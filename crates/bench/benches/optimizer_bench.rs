@@ -1,0 +1,51 @@
+//! Criterion micro-benchmark behind paper Figure 18's motivation:
+//! optimization time itself. The legacy planner's per-partition expansion
+//! makes *planning* scale with the partition count; Orca's compact plans
+//! keep it flat. Also measures the Memo path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mppart::core::OptimizerConfig;
+use mppart::workloads::{setup_rs, SynthConfig};
+use mppart::MppDb;
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning_time");
+    group.sample_size(20);
+    for parts in [50usize, 200] {
+        let db = MppDb::new(4);
+        let memo_db = MppDb::with_config(OptimizerConfig {
+            num_segments: 4,
+            use_memo: true,
+            ..OptimizerConfig::default()
+        });
+        for d in [&db, &memo_db] {
+            setup_rs(
+                d.storage(),
+                &SynthConfig {
+                    r_rows: 100,
+                    s_rows: 50,
+                    r_parts: Some(parts),
+                    s_parts: None,
+                    b_domain: 3_000,
+                    a_domain: 1_000,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+        }
+        let sql = "SELECT * FROM s, r WHERE r.b = s.b AND s.a < 100";
+        group.bench_function(BenchmarkId::new("orca_pipeline", parts), |b| {
+            b.iter(|| db.plan(sql).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("orca_memo", parts), |b| {
+            b.iter(|| memo_db.plan(sql).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("legacy_planner", parts), |b| {
+            b.iter(|| db.plan_legacy(sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark behind paper Table 2: full-scan throughput
+//! at each partition grain vs an unpartitioned baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mppart::executor::execute;
+use mppart::workloads::{setup_lineitem, LineitemConfig, TABLE2_GRAINS};
+use mppart::MppDb;
+
+fn bench_scan_overhead(c: &mut Criterion) {
+    let rows = 30_000;
+    let db = MppDb::new(4);
+    setup_lineitem(
+        db.storage(),
+        &LineitemConfig {
+            rows,
+            parts: None,
+            seed: 42,
+            name: "lineitem_flat".into(),
+        },
+    )
+    .unwrap();
+    for &parts in &TABLE2_GRAINS {
+        setup_lineitem(
+            db.storage(),
+            &LineitemConfig {
+                rows,
+                parts: Some(parts),
+                seed: 42,
+                name: format!("lineitem_{parts}"),
+            },
+        )
+        .unwrap();
+    }
+
+    let mut group = c.benchmark_group("table2_full_scan");
+    group.sample_size(20);
+    let plan_flat = db.plan("SELECT count(*) FROM lineitem_flat").unwrap();
+    group.bench_function(BenchmarkId::new("parts", 0), |b| {
+        b.iter(|| execute(db.storage(), &plan_flat).unwrap())
+    });
+    for &parts in &TABLE2_GRAINS {
+        let plan = db
+            .plan(&format!("SELECT count(*) FROM lineitem_{parts}"))
+            .unwrap();
+        group.bench_function(BenchmarkId::new("parts", parts), |b| {
+            b.iter(|| execute(db.storage(), &plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_overhead);
+criterion_main!(benches);

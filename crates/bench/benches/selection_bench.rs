@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark behind paper Figure 17: query execution
+//! with partition selection enabled vs disabled, for static and dynamic
+//! elimination patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mppart::core::OptimizerConfig;
+use mppart::executor::execute;
+use mppart::workloads::{setup_tpcds, TpcdsConfig};
+use mppart::MppDb;
+
+fn mk_db(enable: bool) -> MppDb {
+    let db = MppDb::with_config(OptimizerConfig {
+        num_segments: 4,
+        enable_partition_selection: enable,
+        ..OptimizerConfig::default()
+    });
+    setup_tpcds(
+        db.storage(),
+        &TpcdsConfig {
+            fact_rows: 20_000,
+            parts_per_fact: 24,
+            seed: 2014,
+            ..TpcdsConfig::default()
+        },
+    )
+    .unwrap();
+    db
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let on = mk_db(true);
+    let off = mk_db(false);
+
+    let static_sql = "SELECT count(*) FROM store_sales WHERE ss_date_id BETWEEN 100 AND 160";
+    let dynamic_sql = "SELECT count(*) FROM store_sales WHERE ss_date_id IN \
+                       (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month = 12)";
+
+    let mut group = c.benchmark_group("fig17_selection");
+    group.sample_size(20);
+    for (label, sql) in [("static", static_sql), ("dynamic", dynamic_sql)] {
+        let plan_on = on.plan(sql).unwrap();
+        let plan_off = off.plan(sql).unwrap();
+        group.bench_function(format!("{label}/enabled"), |b| {
+            b.iter(|| execute(on.storage(), &plan_on).unwrap())
+        });
+        group.bench_function(format!("{label}/disabled"), |b| {
+            b.iter(|| execute(off.storage(), &plan_off).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Paper Table 3 + Figure 16: partition elimination effectiveness, Orca
+//! vs the legacy Planner, over the TPC-DS-style workload.
+//!
+//! Table 3 classifies every query by who eliminated more partitions;
+//! Figure 16 aggregates partitions scanned per fact table. The shapes to
+//! reproduce: a large "equal" class (static and simple-join cases), a
+//! sizable "Orca eliminates, Planner does not" class (subquery/multi-join
+//! and parameterized cases), and strictly fewer partitions scanned by
+//! Orca on every fact table.
+
+use mpp_bench::{print_table, scaled, write_result};
+use mppart::workloads::{setup_tpcds, tpcds_workload, TpcdsConfig};
+use mppart::MppDb;
+use std::collections::BTreeMap;
+
+fn main() {
+    let fact_rows = scaled(30_000);
+    println!("== Table 3 / Figure 16: elimination effectiveness ({fact_rows} rows/fact) ==\n");
+    let db = MppDb::new(4);
+    let t = setup_tpcds(
+        db.storage(),
+        &TpcdsConfig {
+            fact_rows,
+            parts_per_fact: 24,
+            ..TpcdsConfig::default()
+        },
+    )
+    .unwrap();
+    let fact_names: BTreeMap<_, _> = t
+        .facts
+        .iter()
+        .map(|(name, oid)| (*oid, name.clone()))
+        .collect();
+
+    let mut per_table: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // (planner, orca)
+    let mut classes: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut per_query = Vec::new();
+
+    for q in tpcds_workload() {
+        let orca = db.sql_with_params(q.sql, &q.params).unwrap();
+        let legacy = db.sql_legacy_with_params(q.sql, &q.params).unwrap();
+        let mut orca_parts = 0usize;
+        let mut legacy_parts = 0usize;
+        // Total partitions of the facts this query actually touched:
+        // "Planner does not eliminate" means it scanned all of them.
+        let mut possible = 0usize;
+        for (&oid, name) in &fact_names {
+            let o = orca.stats.parts_scanned_for(oid);
+            let l = legacy.stats.parts_scanned_for(oid);
+            if o > 0 || l > 0 {
+                possible += db.catalog().table(oid).unwrap().num_leaves();
+            }
+            orca_parts += o;
+            legacy_parts += l;
+            let e = per_table.entry(name.clone()).or_default();
+            e.0 += l;
+            e.1 += o;
+        }
+        let class = match orca_parts.cmp(&legacy_parts) {
+            std::cmp::Ordering::Less if legacy_parts == possible => {
+                "Orca eliminates parts, Planner does not"
+            }
+            std::cmp::Ordering::Less => "Orca eliminates more parts than Planner",
+            std::cmp::Ordering::Equal => "Orca and Planner eliminate parts equally",
+            std::cmp::Ordering::Greater => "Orca eliminates fewer parts than Planner",
+        };
+        *classes.entry(class).or_default() += 1;
+        per_query.push(serde_json::json!({
+            "query": q.name,
+            "class_designed": format!("{:?}", q.class),
+            "orca_parts": orca_parts,
+            "planner_parts": legacy_parts,
+        }));
+    }
+
+    let total: usize = classes.values().sum();
+    println!("--- Table 3: workload classification ---");
+    let order = [
+        "Orca eliminates parts, Planner does not",
+        "Orca eliminates more parts than Planner",
+        "Orca and Planner eliminate parts equally",
+        "Orca eliminates fewer parts than Planner",
+    ];
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .map(|c| {
+            let n = classes.get(c).copied().unwrap_or(0);
+            vec![
+                c.to_string(),
+                format!("{:.0}%", 100.0 * n as f64 / total as f64),
+                n.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["Category", "Percentage", "Queries"], &rows);
+    println!(
+        "(paper: 11% / 3% / 80% / 3% / 3% — the paper's two sub-optimal \
+         classes came from production cardinality-estimation errors, which \
+         this deterministic reproduction does not exhibit)\n"
+    );
+
+    println!("--- Figure 16: partitions scanned per fact table (whole workload) ---");
+    let rows: Vec<Vec<String>> = per_table
+        .iter()
+        .map(|(name, (planner, orca))| {
+            let saved = if *planner > 0 {
+                100.0 * (1.0 - *orca as f64 / *planner as f64)
+            } else {
+                0.0
+            };
+            vec![
+                name.clone(),
+                planner.to_string(),
+                orca.to_string(),
+                format!("{saved:.0}%"),
+            ]
+        })
+        .collect();
+    print_table(&["table", "Planner", "Orca", "eliminated by Orca vs Planner"], &rows);
+    println!("(paper Figure 16: Orca scans fewer parts everywhere, up to 80% fewer)");
+
+    write_result(
+        "table3_fig16",
+        &serde_json::json!({
+            "fact_rows": fact_rows,
+            "classes": classes.iter().map(|(k, v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>(),
+            "per_table": per_table,
+            "per_query": per_query,
+        }),
+    );
+}

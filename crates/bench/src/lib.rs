@@ -1,0 +1,110 @@
+//! # mpp-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§4), plus Criterion micro-benchmarks.
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table 2 (partitioning overhead) | `cargo run -p mpp-bench --release --bin table2` |
+//! | Table 3 + Figure 16 (elimination effectiveness) | `… --bin table3_fig16` |
+//! | Figure 17 (runtime improvement) | `… --bin fig17` |
+//! | Figure 18(a) (static plan size) | `… --bin fig18a` |
+//! | Figure 18(b) (dynamic plan size) | `… --bin fig18b` |
+//! | Figure 18(c) (DML plan size) | `… --bin fig18c` |
+//! | Figure 14 (cost-based plan space) | `… --bin fig14_planspace` |
+//!
+//! Every binary prints a human-readable table and appends a JSON record
+//! to `results/<name>.json` for EXPERIMENTS.md bookkeeping. Scale knobs
+//! come from the `MPPART_SCALE` environment variable (a row-count
+//! multiplier, default 1).
+
+use std::time::{Duration, Instant};
+
+/// Row-count multiplier from `MPPART_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("MPPART_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scale a base row count.
+pub fn scaled(base: usize) -> usize {
+    ((base as f64) * scale()).max(1.0) as usize
+}
+
+/// Run `f` a few times and return the median wall-clock duration.
+pub fn time_median<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(iters >= 1);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed());
+        drop(out);
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Append a JSON record to `results/<name>.json` (one JSON value per
+/// line, so reruns accumulate).
+pub fn write_result(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        use std::io::Write;
+        let _ = writeln!(file, "{value}");
+    }
+}
+
+/// Print a markdown-ish table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_timing_is_monotone_sane() {
+        let d = time_median(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn scaled_never_zero() {
+        assert!(scaled(0) >= 1);
+        assert!(scaled(100) >= 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Convenience builders for the partitioning schemes the paper's
+//! experiments use: equal-width ranges, monthly date ranges, categorical
+//! lists.
+
+use crate::partition::{PartTree, PartitionLevel, PartitionPiece};
+use mpp_common::value::{civil_from_days, days_from_civil};
+use mpp_common::{Datum, Error, PartOid, Result};
+use mpp_expr::interval::Interval;
+use mpp_expr::IntervalSet;
+
+/// A single-level range partitioning with `n` equal-width pieces covering
+/// `[low, high)`. Works for `Int32`/`Int64`/`Date` keys.
+pub fn range_parts_equal_width(
+    key_index: usize,
+    low: Datum,
+    high: Datum,
+    n: usize,
+    first_oid: PartOid,
+) -> Result<PartTree> {
+    let level = range_level_equal_width(key_index, low, high, n)?;
+    PartTree::new(vec![level], first_oid)
+}
+
+/// Build just the [`PartitionLevel`] for equal-width ranges — reusable as a
+/// level of a multi-level tree.
+pub fn range_level_equal_width(
+    key_index: usize,
+    low: Datum,
+    high: Datum,
+    n: usize,
+) -> Result<PartitionLevel> {
+    if n == 0 {
+        return Err(Error::InvalidMetadata("need at least one partition".into()));
+    }
+    let lo = low.as_i64()?;
+    let hi = high.as_i64()?;
+    if hi <= lo {
+        return Err(Error::InvalidMetadata(format!(
+            "empty partition domain [{lo}, {hi})"
+        )));
+    }
+    let span = (hi - lo) as u128;
+    let mk = |v: i64| -> Result<Datum> {
+        Ok(match low {
+            Datum::Int32(_) => Datum::Int32(
+                i32::try_from(v).map_err(|_| Error::Arithmetic("bound overflow".into()))?,
+            ),
+            Datum::Int64(_) => Datum::Int64(v),
+            Datum::Date(_) => Datum::Date(
+                i32::try_from(v).map_err(|_| Error::Arithmetic("bound overflow".into()))?,
+            ),
+            _ => {
+                return Err(Error::TypeMismatch(
+                    "equal-width ranges need an integer-like key".into(),
+                ))
+            }
+        })
+    };
+    let mut pieces = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = lo + ((span * i as u128) / n as u128) as i64;
+        let b = lo + ((span * (i + 1) as u128) / n as u128) as i64;
+        if b <= a {
+            return Err(Error::InvalidMetadata(format!(
+                "more partitions ({n}) than key values ({span})"
+            )));
+        }
+        pieces.push(PartitionPiece::new(
+            format!("p{i}"),
+            IntervalSet::interval(Interval::half_open(mk(a)?, mk(b)?)),
+        ));
+    }
+    PartitionLevel::new(key_index, pieces)
+}
+
+/// A single-level *monthly* range partitioning over a `Date` key — the
+/// scheme of paper Figure 1 (`orders` partitioned by month). Covers
+/// `months` consecutive months starting at `start_year`/`start_month`.
+pub fn monthly_range_parts(
+    key_index: usize,
+    start_year: i32,
+    start_month: u32,
+    months: usize,
+    first_oid: PartOid,
+) -> Result<PartTree> {
+    let level = monthly_range_level(key_index, start_year, start_month, months)?;
+    PartTree::new(vec![level], first_oid)
+}
+
+/// The [`PartitionLevel`] behind [`monthly_range_parts`].
+pub fn monthly_range_level(
+    key_index: usize,
+    start_year: i32,
+    start_month: u32,
+    months: usize,
+) -> Result<PartitionLevel> {
+    if months == 0 {
+        return Err(Error::InvalidMetadata("need at least one month".into()));
+    }
+    if !(1..=12).contains(&start_month) {
+        return Err(Error::InvalidMetadata(format!(
+            "bad start month {start_month}"
+        )));
+    }
+    let mut pieces = Vec::with_capacity(months);
+    let mut y = start_year;
+    let mut m = start_month;
+    for _ in 0..months {
+        let (ny, nm) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+        let lo = Datum::Date(days_from_civil(y, m, 1));
+        let hi = Datum::Date(days_from_civil(ny, nm, 1));
+        pieces.push(PartitionPiece::new(
+            format!("{y:04}_{m:02}"),
+            IntervalSet::interval(Interval::half_open(lo, hi)),
+        ));
+        y = ny;
+        m = nm;
+    }
+    PartitionLevel::new(key_index, pieces)
+}
+
+/// Step size for [`range_level_stepped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeStep {
+    /// Fixed numeric width (integer-like keys and day-stepped dates).
+    Width(i64),
+    /// Calendar months (date keys only).
+    Months(u32),
+}
+
+/// Range pieces of the given step covering `[start, end)` — the engine
+/// behind `PARTITION BY RANGE (…) (START … END … EVERY …)`.
+pub fn range_level_stepped(
+    key_index: usize,
+    start: Datum,
+    end: Datum,
+    step: RangeStep,
+) -> Result<PartitionLevel> {
+    let lo = start.as_i64()?;
+    let hi = end.as_i64()?;
+    if hi <= lo {
+        return Err(Error::InvalidMetadata(format!(
+            "empty partition domain [{lo}, {hi})"
+        )));
+    }
+    let mk = |v: i64| -> Result<Datum> {
+        Ok(match start {
+            Datum::Int32(_) => Datum::Int32(
+                i32::try_from(v).map_err(|_| Error::Arithmetic("bound overflow".into()))?,
+            ),
+            Datum::Int64(_) => Datum::Int64(v),
+            Datum::Date(_) => Datum::Date(
+                i32::try_from(v).map_err(|_| Error::Arithmetic("bound overflow".into()))?,
+            ),
+            _ => {
+                return Err(Error::TypeMismatch(
+                    "stepped ranges need an integer-like key".into(),
+                ))
+            }
+        })
+    };
+    let mut pieces = Vec::new();
+    let mut cur = lo;
+    let mut i = 0usize;
+    while cur < hi {
+        let next = match step {
+            RangeStep::Width(w) => {
+                if w <= 0 {
+                    return Err(Error::InvalidMetadata("EVERY must be positive".into()));
+                }
+                (cur + w).min(hi)
+            }
+            RangeStep::Months(m) => {
+                if m == 0 {
+                    return Err(Error::InvalidMetadata("EVERY must be positive".into()));
+                }
+                if !matches!(start, Datum::Date(_)) {
+                    return Err(Error::TypeMismatch(
+                        "EVERY (n MONTHS) requires a date key".into(),
+                    ));
+                }
+                let (y, mo, d) = civil_from_days(cur as i32);
+                let total = (y as i64) * 12 + (mo as i64 - 1) + m as i64;
+                let (ny, nm) = ((total / 12) as i32, (total % 12 + 1) as u32);
+                (days_from_civil(ny, nm, d.min(28)) as i64).min(hi)
+            }
+        };
+        if next <= cur {
+            return Err(Error::InvalidMetadata("EVERY step does not advance".into()));
+        }
+        pieces.push(PartitionPiece::new(
+            format!("p{i}"),
+            IntervalSet::interval(Interval::half_open(mk(cur)?, mk(next)?)),
+        ));
+        cur = next;
+        i += 1;
+        if i > 100_000 {
+            return Err(Error::InvalidMetadata(
+                "EVERY step produces too many partitions".into(),
+            ));
+        }
+    }
+    PartitionLevel::new(key_index, pieces)
+}
+
+/// A single-level categorical (list) partitioning: one piece per value
+/// group, optionally with a default piece.
+pub fn list_parts(
+    key_index: usize,
+    groups: Vec<(String, Vec<Datum>)>,
+    with_default: bool,
+    first_oid: PartOid,
+) -> Result<PartTree> {
+    let level = list_level(key_index, groups, with_default)?;
+    PartTree::new(vec![level], first_oid)
+}
+
+/// The [`PartitionLevel`] behind [`list_parts`].
+pub fn list_level(
+    key_index: usize,
+    groups: Vec<(String, Vec<Datum>)>,
+    with_default: bool,
+) -> Result<PartitionLevel> {
+    let mut pieces: Vec<PartitionPiece> = groups
+        .into_iter()
+        .map(|(name, vals)| PartitionPiece::new(name, IntervalSet::points(vals)))
+        .collect();
+    if with_default {
+        pieces.push(PartitionPiece::default_piece("default"));
+    }
+    PartitionLevel::new(key_index, pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_covers_domain_exactly() {
+        let t = range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(100), 7, PartOid(0))
+            .unwrap();
+        assert_eq!(t.num_leaves(), 7);
+        // Every value in [0, 100) routes somewhere; edges route nowhere.
+        for v in [0, 1, 14, 15, 50, 99] {
+            assert!(t.route(&[Datum::Int32(v)]).is_some(), "v={v}");
+        }
+        assert!(t.route(&[Datum::Int32(100)]).is_none());
+        assert!(t.route(&[Datum::Int32(-1)]).is_none());
+        // Pieces are contiguous: count distinct targets.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..100 {
+            seen.insert(t.route(&[Datum::Int32(v)]).unwrap());
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn equal_width_rejects_degenerate_inputs() {
+        assert!(
+            range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(0), 3, PartOid(0)).is_err()
+        );
+        assert!(
+            range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(2), 5, PartOid(0)).is_err()
+        );
+        assert!(range_parts_equal_width(0, Datum::str("x"), Datum::str("y"), 2, PartOid(0))
+            .is_err());
+    }
+
+    #[test]
+    fn monthly_parts_like_figure_1() {
+        // orders: 24 monthly partitions over 2012–2013 (paper Figure 1).
+        let t = monthly_range_parts(2, 2012, 1, 24, PartOid(10)).unwrap();
+        assert_eq!(t.num_leaves(), 24);
+        // An order on 2013-10-15 lands in partition 2013_10 (index 21).
+        let oid = t.route(&[Datum::date_ymd(2013, 10, 15)]).unwrap();
+        let leaf = t.leaf_by_oid(oid).unwrap();
+        assert_eq!(leaf.name, "2013_10");
+        assert_eq!(oid, PartOid(31));
+        // Month boundaries are half-open.
+        assert_eq!(
+            t.route(&[Datum::date_ymd(2012, 2, 1)]).unwrap(),
+            PartOid(11)
+        );
+        assert!(t.route(&[Datum::date_ymd(2014, 1, 1)]).is_none());
+    }
+
+    #[test]
+    fn monthly_parts_cross_year_boundary() {
+        let t = monthly_range_parts(0, 2012, 11, 4, PartOid(0)).unwrap();
+        let names: Vec<&str> = t.leaves().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["2012_11", "2012_12", "2013_01", "2013_02"]);
+    }
+
+    #[test]
+    fn list_parts_with_default() {
+        let t = list_parts(
+            1,
+            vec![
+                ("west".into(), vec![Datum::str("CA"), Datum::str("OR")]),
+                ("east".into(), vec![Datum::str("NY")]),
+            ],
+            true,
+            PartOid(0),
+        )
+        .unwrap();
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.route(&[Datum::str("OR")]), Some(PartOid(0)));
+        assert_eq!(t.route(&[Datum::str("NY")]), Some(PartOid(1)));
+        assert_eq!(t.route(&[Datum::str("TX")]), Some(PartOid(2)));
+        // Without a default, unknown values are unroutable.
+        let t2 = list_parts(
+            1,
+            vec![("west".into(), vec![Datum::str("CA")])],
+            false,
+            PartOid(0),
+        )
+        .unwrap();
+        assert_eq!(t2.route(&[Datum::str("TX")]), None);
+    }
+
+    #[test]
+    fn multi_level_from_level_builders() {
+        // Figure 9: 24 months × 2 regions + default region.
+        let date_level = monthly_range_level(2, 2012, 1, 24).unwrap();
+        let region_level = list_level(
+            3,
+            vec![
+                ("region1".into(), vec![Datum::str("Region 1")]),
+                ("region2".into(), vec![Datum::str("Region 2")]),
+            ],
+            false,
+        )
+        .unwrap();
+        let t = PartTree::new(vec![date_level, region_level], PartOid(0)).unwrap();
+        assert_eq!(t.num_leaves(), 48);
+        let oid = t
+            .route(&[Datum::date_ymd(2012, 1, 5), Datum::str("Region 1")])
+            .unwrap();
+        assert_eq!(t.leaf_by_oid(oid).unwrap().name, "2012_01.region1");
+    }
+}

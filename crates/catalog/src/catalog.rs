@@ -1,0 +1,244 @@
+//! The catalog registry: shared, thread-safe metadata store.
+
+use crate::partition::PartTree;
+use crate::stats::TableStats;
+use crate::table::TableDesc;
+use mpp_common::{Error, PartOid, Result, TableOid};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Inner {
+    tables: HashMap<TableOid, Arc<TableDesc>>,
+    by_name: HashMap<String, TableOid>,
+    stats: HashMap<TableOid, TableStats>,
+    /// Leaf partition OID → owning root table.
+    part_owner: HashMap<PartOid, TableOid>,
+    next_table_oid: u32,
+    next_part_oid: u32,
+}
+
+/// Thread-safe registry of table metadata, shared by binder, optimizers,
+/// storage and executor. Cloning is cheap (`Arc` inside).
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog {
+            inner: Arc::new(RwLock::new(Inner {
+                next_table_oid: 1,
+                next_part_oid: 1000,
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Reserve the next table OID.
+    pub fn allocate_table_oid(&self) -> TableOid {
+        let mut g = self.inner.write();
+        let oid = TableOid(g.next_table_oid);
+        g.next_table_oid += 1;
+        oid
+    }
+
+    /// Reserve a dense block of `n` leaf-partition OIDs and return the first.
+    pub fn allocate_part_oids(&self, n: u32) -> PartOid {
+        let mut g = self.inner.write();
+        let first = PartOid(g.next_part_oid);
+        g.next_part_oid += n;
+        first
+    }
+
+    /// Register a table. Its name must be unique; the descriptor must
+    /// validate.
+    pub fn register(&self, desc: TableDesc) -> Result<Arc<TableDesc>> {
+        desc.validate()?;
+        let mut g = self.inner.write();
+        let key = desc.name.to_ascii_lowercase();
+        if g.by_name.contains_key(&key) {
+            return Err(Error::Duplicate(format!("table '{}'", desc.name)));
+        }
+        if g.tables.contains_key(&desc.oid) {
+            return Err(Error::Duplicate(format!("table oid {}", desc.oid)));
+        }
+        let desc = Arc::new(desc);
+        if let Some(tree) = &desc.partitioning {
+            for leaf in tree.leaves() {
+                if g.part_owner.contains_key(&leaf.oid) {
+                    return Err(Error::Duplicate(format!("partition oid {}", leaf.oid)));
+                }
+            }
+            for leaf in tree.leaves() {
+                g.part_owner.insert(leaf.oid, desc.oid);
+            }
+        }
+        g.by_name.insert(key, desc.oid);
+        g.tables.insert(desc.oid, Arc::clone(&desc));
+        Ok(desc)
+    }
+
+    pub fn table(&self, oid: TableOid) -> Result<Arc<TableDesc>> {
+        self.inner
+            .read()
+            .tables
+            .get(&oid)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {oid}")))
+    }
+
+    pub fn table_by_name(&self, name: &str) -> Result<Arc<TableDesc>> {
+        let g = self.inner.read();
+        let oid = g
+            .by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("table '{name}'")))?;
+        Ok(Arc::clone(&g.tables[&oid]))
+    }
+
+    /// Which root table owns a leaf partition?
+    pub fn part_owner(&self, part: PartOid) -> Result<TableOid> {
+        self.inner
+            .read()
+            .part_owner
+            .get(&part)
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("partition {part}")))
+    }
+
+    /// Partition tree of a table (error if not partitioned).
+    pub fn part_tree(&self, oid: TableOid) -> Result<PartTree> {
+        Ok(self.table(oid)?.part_tree()?.clone())
+    }
+
+    pub fn all_tables(&self) -> Vec<Arc<TableDesc>> {
+        let g = self.inner.read();
+        let mut v: Vec<_> = g.tables.values().cloned().collect();
+        v.sort_by_key(|t| t.oid);
+        v
+    }
+
+    /// Remove a table (and its partition index entries) from the catalog.
+    pub fn drop_table(&self, oid: TableOid) -> Result<()> {
+        let mut g = self.inner.write();
+        let desc = g
+            .tables
+            .remove(&oid)
+            .ok_or_else(|| Error::NotFound(format!("table {oid}")))?;
+        g.by_name.remove(&desc.name.to_ascii_lowercase());
+        g.stats.remove(&oid);
+        if let Some(tree) = &desc.partitioning {
+            for leaf in tree.leaves() {
+                g.part_owner.remove(&leaf.oid);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn set_stats(&self, oid: TableOid, stats: TableStats) {
+        self.inner.write().stats.insert(oid, stats);
+    }
+
+    /// Stats for a table; defaults to a small-table guess when never
+    /// analyzed.
+    pub fn stats(&self, oid: TableOid) -> TableStats {
+        self.inner
+            .read()
+            .stats
+            .get(&oid)
+            .cloned()
+            .unwrap_or_else(|| TableStats::new(1000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::range_parts_equal_width;
+    use crate::table::Distribution;
+    use mpp_common::{Column, DataType, Datum, Schema};
+
+    fn register_partitioned(cat: &Catalog, name: &str, parts: u32) -> Arc<TableDesc> {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let oid = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(parts);
+        let tree = range_parts_equal_width(
+            1,
+            Datum::Int32(0),
+            Datum::Int32(parts as i32 * 10),
+            parts as usize,
+            first,
+        )
+        .unwrap();
+        cat.register(TableDesc {
+            oid,
+            name: name.into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(tree),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        let t = register_partitioned(&cat, "R", 4);
+        assert_eq!(cat.table(t.oid).unwrap().name, "R");
+        assert_eq!(cat.table_by_name("r").unwrap().oid, t.oid);
+        assert!(cat.table_by_name("missing").is_err());
+        assert!(cat.table(TableOid(999)).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let cat = Catalog::new();
+        register_partitioned(&cat, "R", 2);
+        let schema = Schema::new(vec![Column::new("x", DataType::Int32)]);
+        let oid = cat.allocate_table_oid();
+        let err = cat.register(TableDesc {
+            oid,
+            name: "r".into(),
+            schema,
+            distribution: Distribution::Replicated,
+            partitioning: None,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn part_ownership_indexed() {
+        let cat = Catalog::new();
+        let t = register_partitioned(&cat, "R", 4);
+        let leaves = t.part_tree().unwrap().partition_expansion();
+        for leaf in leaves {
+            assert_eq!(cat.part_owner(leaf).unwrap(), t.oid);
+        }
+        assert!(cat.part_owner(PartOid(1)).is_err());
+    }
+
+    #[test]
+    fn oid_allocation_is_dense_and_unique() {
+        let cat = Catalog::new();
+        let a = cat.allocate_part_oids(10);
+        let b = cat.allocate_part_oids(5);
+        assert_eq!(b.0, a.0 + 10);
+        assert_ne!(cat.allocate_table_oid(), cat.allocate_table_oid());
+    }
+
+    #[test]
+    fn stats_roundtrip_with_default() {
+        let cat = Catalog::new();
+        let t = register_partitioned(&cat, "R", 2);
+        assert_eq!(cat.stats(t.oid).row_count, 1000); // default
+        cat.set_stats(t.oid, TableStats::new(5_000_000));
+        assert_eq!(cat.stats(t.oid).row_count, 5_000_000);
+    }
+}

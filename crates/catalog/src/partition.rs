@@ -1,0 +1,540 @@
+//! Partition trees: the catalog-side model of partitioned tables.
+//!
+//! A table may be partitioned over multiple *levels* (paper §2.4,
+//! Figure 9): level 0 splits the table into pieces, level 1 splits every
+//! level-0 piece the same way, and so on. Leaf partitions — the physical
+//! tables the storage layer actually holds — are the cartesian product of
+//! the per-level pieces, each identified by a [`PartOid`] and carrying one
+//! check constraint (an [`IntervalSet`]) per level.
+//!
+//! This module implements both partitioning functions of paper §2.1:
+//!
+//! * `f_T`  — tuple routing ([`PartTree::route`]): key values → leaf OID or
+//!   `⊥`,
+//! * `f*_T` — partition selection ([`PartTree::select_partitions`]):
+//!   predicate-derived value sets → the set of leaf OIDs that may contain
+//!   satisfying tuples. It is sound (never misses a partition) and minimal
+//!   for the exactly-analyzable predicate forms.
+
+use mpp_common::{Datum, Error, PartOid, Result};
+use mpp_expr::analysis::DerivedSet;
+use mpp_expr::IntervalSet;
+use serde::{Deserialize, Serialize};
+
+/// One piece of one partitioning level (e.g. "the January 2012 range" or
+/// "Region 1"). A *default* piece catches values outside every sibling's
+/// constraint, as well as NULL keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPiece {
+    pub name: String,
+    /// Values this piece accepts. Ignored for routing when `is_default`.
+    pub constraint: IntervalSet,
+    pub is_default: bool,
+}
+
+impl PartitionPiece {
+    pub fn new(name: impl Into<String>, constraint: IntervalSet) -> PartitionPiece {
+        PartitionPiece {
+            name: name.into(),
+            constraint,
+            is_default: false,
+        }
+    }
+
+    pub fn default_piece(name: impl Into<String>) -> PartitionPiece {
+        PartitionPiece {
+            name: name.into(),
+            constraint: IntervalSet::empty(),
+            is_default: true,
+        }
+    }
+}
+
+/// One level of the partition hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionLevel {
+    /// Index of the partitioning key column in the table schema.
+    pub key_index: usize,
+    pub pieces: Vec<PartitionPiece>,
+    /// Pre-computed union of all non-default constraints; the default piece
+    /// owns the complement (plus NULLs).
+    covered: IntervalSet,
+}
+
+impl PartitionLevel {
+    pub fn new(key_index: usize, pieces: Vec<PartitionPiece>) -> Result<PartitionLevel> {
+        if pieces.is_empty() {
+            return Err(Error::InvalidMetadata(
+                "partition level must have at least one piece".into(),
+            ));
+        }
+        if pieces.iter().filter(|p| p.is_default).count() > 1 {
+            return Err(Error::InvalidMetadata(
+                "at most one default piece per level".into(),
+            ));
+        }
+        // Non-default constraints must be pairwise disjoint so routing is
+        // unambiguous.
+        let mut covered = IntervalSet::empty();
+        for p in pieces.iter().filter(|p| !p.is_default) {
+            if covered.overlaps(&p.constraint) {
+                return Err(Error::InvalidMetadata(format!(
+                    "partition piece '{}' overlaps a sibling",
+                    p.name
+                )));
+            }
+            covered = covered.union(&p.constraint);
+        }
+        Ok(PartitionLevel {
+            key_index,
+            pieces,
+            covered,
+        })
+    }
+
+    /// Values not owned by any non-default piece.
+    pub fn uncovered(&self) -> IntervalSet {
+        self.covered.complement()
+    }
+
+    pub fn default_position(&self) -> Option<usize> {
+        self.pieces.iter().position(|p| p.is_default)
+    }
+
+    /// Route one key value to a piece index (`f_T` at this level).
+    pub fn route(&self, value: &Datum) -> Option<usize> {
+        if !value.is_null() {
+            if let Some(i) = self
+                .pieces
+                .iter()
+                .position(|p| !p.is_default && p.constraint.contains(value))
+            {
+                return Some(i);
+            }
+        }
+        self.default_position()
+    }
+
+    /// Piece indices that may hold values in `derived` (`f*_T` at this
+    /// level).
+    pub fn select(&self, derived: &DerivedSet) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, p) in self.pieces.iter().enumerate() {
+            let selected = if p.is_default {
+                derived.null_possible || derived.set.overlaps(&self.uncovered())
+            } else {
+                derived.set.overlaps(&p.constraint)
+            };
+            if selected {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+/// A leaf partition: one physical table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeafPart {
+    pub oid: PartOid,
+    /// Dotted path of piece names, e.g. `jan2012.region1`.
+    pub name: String,
+    /// Piece index at each level.
+    pub piece_path: Vec<usize>,
+}
+
+/// The full partition descriptor of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartTree {
+    levels: Vec<PartitionLevel>,
+    leaves: Vec<LeafPart>,
+}
+
+impl PartTree {
+    /// Build a tree from per-level descriptors. Leaf OIDs are assigned
+    /// densely starting at `first_leaf_oid` in row-major (level-0 outermost)
+    /// order.
+    pub fn new(levels: Vec<PartitionLevel>, first_leaf_oid: PartOid) -> Result<PartTree> {
+        if levels.is_empty() {
+            return Err(Error::InvalidMetadata(
+                "partitioned table needs at least one level".into(),
+            ));
+        }
+        let mut leaves = Vec::new();
+        let mut path = vec![0usize; levels.len()];
+        loop {
+            let name = path
+                .iter()
+                .zip(&levels)
+                .map(|(&i, l)| l.pieces[i].name.clone())
+                .collect::<Vec<_>>()
+                .join(".");
+            leaves.push(LeafPart {
+                oid: PartOid(first_leaf_oid.0 + leaves.len() as u32),
+                name,
+                piece_path: path.clone(),
+            });
+            // Odometer increment over the piece counts.
+            let mut l = levels.len();
+            loop {
+                if l == 0 {
+                    return PartTree::validated(levels, leaves);
+                }
+                l -= 1;
+                path[l] += 1;
+                if path[l] < levels[l].pieces.len() {
+                    break;
+                }
+                path[l] = 0;
+            }
+        }
+    }
+
+    fn validated(levels: Vec<PartitionLevel>, leaves: Vec<LeafPart>) -> Result<PartTree> {
+        Ok(PartTree { levels, leaves })
+    }
+
+    pub fn levels(&self) -> &[PartitionLevel] {
+        &self.levels
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn leaves(&self) -> &[LeafPart] {
+        &self.leaves
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Key column indices, one per level (outermost first).
+    pub fn key_indices(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.key_index).collect()
+    }
+
+    pub fn leaf_by_oid(&self, oid: PartOid) -> Result<&LeafPart> {
+        self.leaves
+            .iter()
+            .find(|l| l.oid == oid)
+            .ok_or_else(|| Error::NotFound(format!("leaf partition {oid}")))
+    }
+
+    /// Paper Table 1 `partition_expansion`: all leaf OIDs.
+    pub fn partition_expansion(&self) -> Vec<PartOid> {
+        self.leaves.iter().map(|l| l.oid).collect()
+    }
+
+    /// Paper Table 1 `partition_constraints`: every leaf with its per-level
+    /// constraint (default pieces report the uncovered remainder).
+    pub fn partition_constraints(&self) -> Vec<(PartOid, Vec<IntervalSet>)> {
+        self.leaves
+            .iter()
+            .map(|leaf| {
+                let cons = leaf
+                    .piece_path
+                    .iter()
+                    .zip(&self.levels)
+                    .map(|(&i, level)| {
+                        let p = &level.pieces[i];
+                        if p.is_default {
+                            level.uncovered()
+                        } else {
+                            p.constraint.clone()
+                        }
+                    })
+                    .collect();
+                (leaf.oid, cons)
+            })
+            .collect()
+    }
+
+    /// Paper Table 1 `partition_selection` — also the paper's `f_T`: route
+    /// one key value per level to the owning leaf, or `⊥` (`None`).
+    pub fn route(&self, key_values: &[Datum]) -> Option<PartOid> {
+        if key_values.len() != self.levels.len() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.levels.len());
+        for (level, v) in self.levels.iter().zip(key_values) {
+            path.push(level.route(v)?);
+        }
+        self.leaf_at(&path).map(|l| l.oid)
+    }
+
+    fn leaf_at(&self, path: &[usize]) -> Option<&LeafPart> {
+        // Leaves are in row-major order; compute the flat index.
+        let mut idx = 0usize;
+        for (l, &p) in path.iter().enumerate() {
+            idx = idx * self.levels[l].pieces.len() + p;
+        }
+        self.leaves.get(idx)
+    }
+
+    /// The paper's `f*_T`, generalized to multiple levels (Figure 10): given
+    /// one [`DerivedSet`] per level (from predicate analysis), return the
+    /// OIDs of every leaf that may contain satisfying tuples.
+    pub fn select_partitions(&self, derived: &[DerivedSet]) -> Result<Vec<PartOid>> {
+        if derived.len() != self.levels.len() {
+            return Err(Error::InvalidMetadata(format!(
+                "expected {} per-level predicates, got {}",
+                self.levels.len(),
+                derived.len()
+            )));
+        }
+        let per_level: Vec<Vec<usize>> = self
+            .levels
+            .iter()
+            .zip(derived)
+            .map(|(level, d)| level.select(d))
+            .collect();
+        let mut out = Vec::new();
+        for leaf in &self.leaves {
+            if leaf
+                .piece_path
+                .iter()
+                .zip(&per_level)
+                .all(|(p, sel)| sel.contains(p))
+            {
+                out.push(leaf.oid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience for single-level trees: select by one derived set.
+    pub fn select_single_level(&self, derived: &DerivedSet) -> Result<Vec<PartOid>> {
+        if self.levels.len() != 1 {
+            return Err(Error::InvalidMetadata(
+                "select_single_level on multi-level tree".into(),
+            ));
+        }
+        self.select_partitions(std::slice::from_ref(derived))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_expr::interval::Interval;
+
+    fn d(v: i32) -> Datum {
+        Datum::Int32(v)
+    }
+
+    /// 10 ranges [0,10), [10,20), …, [90,100).
+    fn decades(key_index: usize) -> PartitionLevel {
+        let pieces = (0..10)
+            .map(|i| {
+                PartitionPiece::new(
+                    format!("p{i}"),
+                    IntervalSet::interval(Interval::half_open(d(i * 10), d((i + 1) * 10))),
+                )
+            })
+            .collect();
+        PartitionLevel::new(key_index, pieces).unwrap()
+    }
+
+    fn regions(key_index: usize) -> PartitionLevel {
+        let pieces = vec![
+            PartitionPiece::new("r1", IntervalSet::point(Datum::str("Region 1"))),
+            PartitionPiece::new("r2", IntervalSet::point(Datum::str("Region 2"))),
+        ];
+        PartitionLevel::new(key_index, pieces).unwrap()
+    }
+
+    fn exact(set: IntervalSet) -> DerivedSet {
+        DerivedSet {
+            set,
+            exact: true,
+            null_possible: false,
+        }
+    }
+
+    #[test]
+    fn single_level_routing() {
+        let t = PartTree::new(vec![decades(0)], PartOid(100)).unwrap();
+        assert_eq!(t.num_leaves(), 10);
+        assert_eq!(t.route(&[d(0)]), Some(PartOid(100)));
+        assert_eq!(t.route(&[d(95)]), Some(PartOid(109)));
+        // Out of range & NULL: no default piece → ⊥.
+        assert_eq!(t.route(&[d(100)]), None);
+        assert_eq!(t.route(&[Datum::Null]), None);
+    }
+
+    #[test]
+    fn default_piece_catches_stragglers() {
+        let mut pieces: Vec<PartitionPiece> = (0..3)
+            .map(|i| {
+                PartitionPiece::new(
+                    format!("p{i}"),
+                    IntervalSet::interval(Interval::half_open(d(i * 10), d((i + 1) * 10))),
+                )
+            })
+            .collect();
+        pieces.push(PartitionPiece::default_piece("other"));
+        let level = PartitionLevel::new(0, pieces).unwrap();
+        let t = PartTree::new(vec![level], PartOid(1)).unwrap();
+        let def = t.route(&[d(999)]).unwrap();
+        assert_eq!(def, PartOid(4));
+        assert_eq!(t.route(&[Datum::Null]), Some(def));
+        assert_eq!(t.route(&[d(15)]), Some(PartOid(2)));
+    }
+
+    #[test]
+    fn overlapping_pieces_rejected() {
+        let pieces = vec![
+            PartitionPiece::new(
+                "a",
+                IntervalSet::interval(Interval::half_open(d(0), d(20))),
+            ),
+            PartitionPiece::new(
+                "b",
+                IntervalSet::interval(Interval::half_open(d(10), d(30))),
+            ),
+        ];
+        assert!(PartitionLevel::new(0, pieces).is_err());
+    }
+
+    #[test]
+    fn selection_equality_and_range() {
+        let t = PartTree::new(vec![decades(0)], PartOid(0)).unwrap();
+        // pk = 42 → exactly the [40,50) part.
+        let sel = t
+            .select_single_level(&exact(IntervalSet::point(d(42))))
+            .unwrap();
+        assert_eq!(sel, vec![PartOid(4)]);
+        // pk < 25 → first three parts (Figure 5(c) shape).
+        let sel = t
+            .select_single_level(&exact(IntervalSet::from_cmp(
+                mpp_expr::CmpOp::Lt,
+                d(25),
+            )))
+            .unwrap();
+        assert_eq!(sel, vec![PartOid(0), PartOid(1), PartOid(2)]);
+        // No predicate info → all parts (Figure 5(a)).
+        let sel = t.select_single_level(&DerivedSet::full()).unwrap();
+        assert_eq!(sel.len(), 10);
+        // Empty set → nothing.
+        let sel = t
+            .select_single_level(&DerivedSet::empty_exact())
+            .unwrap();
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn default_part_selected_conservatively() {
+        let mut pieces: Vec<PartitionPiece> = (0..3)
+            .map(|i| {
+                PartitionPiece::new(
+                    format!("p{i}"),
+                    IntervalSet::interval(Interval::half_open(d(i * 10), d((i + 1) * 10))),
+                )
+            })
+            .collect();
+        pieces.push(PartitionPiece::default_piece("other"));
+        let t = PartTree::new(vec![PartitionLevel::new(0, pieces).unwrap()], PartOid(0)).unwrap();
+        // pk = 15 is covered by p1: the default part is NOT selected.
+        let sel = t
+            .select_single_level(&exact(IntervalSet::point(d(15))))
+            .unwrap();
+        assert_eq!(sel, vec![PartOid(1)]);
+        // pk = 99 lives only in the default part.
+        let sel = t
+            .select_single_level(&exact(IntervalSet::point(d(99))))
+            .unwrap();
+        assert_eq!(sel, vec![PartOid(3)]);
+        // pk > 15 straddles covered and uncovered space.
+        let sel = t
+            .select_single_level(&exact(IntervalSet::from_cmp(
+                mpp_expr::CmpOp::Gt,
+                d(15),
+            )))
+            .unwrap();
+        assert_eq!(sel, vec![PartOid(1), PartOid(2), PartOid(3)]);
+        // NULL-possible predicates must keep the default part.
+        let sel = t
+            .select_single_level(&DerivedSet {
+                set: IntervalSet::empty(),
+                exact: true,
+                null_possible: true,
+            })
+            .unwrap();
+        assert_eq!(sel, vec![PartOid(3)]);
+    }
+
+    #[test]
+    fn multi_level_selection_matches_figure_10() {
+        // 24 months × 2 regions, as in paper Figures 9/10 (scaled down to 3
+        // months for readability of the assertions).
+        let t = PartTree::new(vec![decades(0), regions(1)], PartOid(0)).unwrap();
+        assert_eq!(t.num_leaves(), 20);
+        // date-only predicate → all regions of one date piece.
+        let sel = t
+            .select_partitions(&[exact(IntervalSet::point(d(5))), DerivedSet::full()])
+            .unwrap();
+        assert_eq!(sel.len(), 2);
+        // region-only predicate → that region in all date pieces.
+        let sel = t
+            .select_partitions(&[
+                DerivedSet::full(),
+                exact(IntervalSet::point(Datum::str("Region 1"))),
+            ])
+            .unwrap();
+        assert_eq!(sel.len(), 10);
+        // both predicates → exactly one leaf.
+        let sel = t
+            .select_partitions(&[
+                exact(IntervalSet::point(d(5))),
+                exact(IntervalSet::point(Datum::str("Region 1"))),
+            ])
+            .unwrap();
+        assert_eq!(sel.len(), 1);
+        // no predicates → all leaves.
+        let sel = t
+            .select_partitions(&[DerivedSet::full(), DerivedSet::full()])
+            .unwrap();
+        assert_eq!(sel.len(), 20);
+    }
+
+    #[test]
+    fn multi_level_routing() {
+        let t = PartTree::new(vec![decades(0), regions(1)], PartOid(0)).unwrap();
+        let leaf = t.route(&[d(15), Datum::str("Region 2")]).unwrap();
+        let l = t.leaf_by_oid(leaf).unwrap();
+        assert_eq!(l.piece_path, vec![1, 1]);
+        assert_eq!(l.name, "p1.r2");
+        // Unroutable second level → ⊥.
+        assert_eq!(t.route(&[d(15), Datum::str("Region 9")]), None);
+        // Wrong arity → ⊥.
+        assert_eq!(t.route(&[d(15)]), None);
+    }
+
+    #[test]
+    fn constraints_report_uncovered_for_default() {
+        let pieces = vec![
+            PartitionPiece::new(
+                "a",
+                IntervalSet::interval(Interval::half_open(d(0), d(10))),
+            ),
+            PartitionPiece::default_piece("rest"),
+        ];
+        let t = PartTree::new(vec![PartitionLevel::new(0, pieces).unwrap()], PartOid(0)).unwrap();
+        let cons = t.partition_constraints();
+        assert_eq!(cons.len(), 2);
+        assert!(cons[0].1[0].contains(&d(5)));
+        assert!(!cons[1].1[0].contains(&d(5)));
+        assert!(cons[1].1[0].contains(&d(50)));
+    }
+
+    #[test]
+    fn expansion_lists_all_leaves() {
+        let t = PartTree::new(vec![decades(0)], PartOid(7)).unwrap();
+        let all = t.partition_expansion();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0], PartOid(7));
+        assert_eq!(all[9], PartOid(16));
+    }
+}

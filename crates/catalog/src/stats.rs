@@ -1,0 +1,95 @@
+//! Table statistics for cardinality estimation and costing.
+
+use mpp_common::Datum;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-column summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub ndv: u64,
+    /// Fraction of NULLs, in `[0, 1]`.
+    pub null_frac: f64,
+    pub min: Option<Datum>,
+    pub max: Option<Datum>,
+}
+
+impl ColumnStats {
+    pub fn new(ndv: u64) -> ColumnStats {
+        ColumnStats {
+            ndv: ndv.max(1),
+            null_frac: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    pub fn with_range(mut self, min: Datum, max: Datum) -> ColumnStats {
+        self.min = Some(min);
+        self.max = Some(max);
+        self
+    }
+}
+
+/// Statistics of one table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TableStats {
+    pub row_count: u64,
+    /// Column index → stats. Sparse: absent columns use defaults.
+    pub columns: HashMap<usize, ColumnStats>,
+}
+
+impl TableStats {
+    pub fn new(row_count: u64) -> TableStats {
+        TableStats {
+            row_count,
+            columns: HashMap::new(),
+        }
+    }
+
+    pub fn with_column(mut self, idx: usize, stats: ColumnStats) -> TableStats {
+        self.columns.insert(idx, stats);
+        self
+    }
+
+    /// NDV of a column, defaulting to a fraction of the row count when
+    /// unknown (the classic System-R guess).
+    pub fn ndv(&self, idx: usize) -> u64 {
+        self.columns
+            .get(&idx)
+            .map(|c| c.ndv)
+            .unwrap_or_else(|| (self.row_count / 10).max(1))
+    }
+
+    /// Selectivity of an equality predicate on the column.
+    pub fn eq_selectivity(&self, idx: usize) -> f64 {
+        1.0 / self.ndv(idx) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = TableStats::new(1000);
+        assert_eq!(s.ndv(0), 100);
+        assert!((s.eq_selectivity(0) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_column_stats_win() {
+        let s = TableStats::new(1000).with_column(2, ColumnStats::new(50));
+        assert_eq!(s.ndv(2), 50);
+        assert_eq!(s.ndv(0), 100);
+    }
+
+    #[test]
+    fn ndv_never_zero() {
+        let s = TableStats::new(0).with_column(0, ColumnStats::new(0));
+        assert_eq!(s.ndv(0), 1);
+        assert_eq!(s.ndv(1), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Table descriptors and distribution specs.
+
+use crate::partition::PartTree;
+use mpp_common::{Error, Result, Schema, TableOid};
+use serde::{Deserialize, Serialize};
+
+/// How a table's rows are laid out across the MPP segments (paper §3.1).
+/// Distribution is orthogonal to partitioning: a distributed table may also
+/// be partitioned *within* each segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Rows hashed on the listed column indices.
+    Hashed(Vec<usize>),
+    /// A full copy on every segment.
+    Replicated,
+    /// All rows on a single segment (segment 0).
+    Singleton,
+}
+
+impl Distribution {
+    pub fn describe(&self, schema: &Schema) -> String {
+        match self {
+            Distribution::Hashed(cols) => {
+                let names: Vec<&str> = cols
+                    .iter()
+                    .filter_map(|&i| schema.columns().get(i).map(|c| c.name.as_str()))
+                    .collect();
+                format!("hashed({})", names.join(", "))
+            }
+            Distribution::Replicated => "replicated".into(),
+            Distribution::Singleton => "singleton".into(),
+        }
+    }
+}
+
+/// Full metadata of one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDesc {
+    pub oid: TableOid,
+    pub name: String,
+    pub schema: Schema,
+    pub distribution: Distribution,
+    /// `None` for plain (unpartitioned) tables.
+    pub partitioning: Option<PartTree>,
+}
+
+impl TableDesc {
+    /// Validate internal consistency (key/distribution columns in range).
+    pub fn validate(&self) -> Result<()> {
+        let ncols = self.schema.len();
+        if let Distribution::Hashed(cols) = &self.distribution {
+            if cols.is_empty() {
+                return Err(Error::InvalidMetadata(format!(
+                    "table {}: hashed distribution needs at least one column",
+                    self.name
+                )));
+            }
+            if let Some(&bad) = cols.iter().find(|&&i| i >= ncols) {
+                return Err(Error::InvalidMetadata(format!(
+                    "table {}: distribution column #{bad} out of range",
+                    self.name
+                )));
+            }
+        }
+        if let Some(tree) = &self.partitioning {
+            for level in tree.levels() {
+                if level.key_index >= ncols {
+                    return Err(Error::InvalidMetadata(format!(
+                        "table {}: partition key #{} out of range",
+                        self.name, level.key_index
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioning.is_some()
+    }
+
+    /// The partition tree, or an error for plain tables.
+    pub fn part_tree(&self) -> Result<&PartTree> {
+        self.partitioning
+            .as_ref()
+            .ok_or_else(|| Error::InvalidMetadata(format!("table {} is not partitioned", self.name)))
+    }
+
+    /// Number of leaf partitions (1 for plain tables, matching how the
+    /// storage layer stores them).
+    pub fn num_leaves(&self) -> usize {
+        self.partitioning
+            .as_ref()
+            .map(|t| t.num_leaves())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartitionLevel, PartitionPiece};
+    use mpp_common::{Column, DataType, PartOid};
+    use mpp_expr::interval::Interval;
+    use mpp_expr::IntervalSet;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ])
+    }
+
+    fn tree_on(col: usize) -> PartTree {
+        let pieces = vec![PartitionPiece::new(
+            "p0",
+            IntervalSet::interval(Interval::half_open(
+                mpp_common::Datum::Int32(0),
+                mpp_common::Datum::Int32(10),
+            )),
+        )];
+        PartTree::new(
+            vec![PartitionLevel::new(col, pieces).unwrap()],
+            PartOid(0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_columns() {
+        let good = TableDesc {
+            oid: TableOid(1),
+            name: "r".into(),
+            schema: schema(),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(tree_on(1)),
+        };
+        assert!(good.validate().is_ok());
+        let bad_dist = TableDesc {
+            distribution: Distribution::Hashed(vec![5]),
+            ..good.clone()
+        };
+        assert!(bad_dist.validate().is_err());
+        let bad_part = TableDesc {
+            partitioning: Some(tree_on(7)),
+            ..good.clone()
+        };
+        assert!(bad_part.validate().is_err());
+        let empty_hash = TableDesc {
+            distribution: Distribution::Hashed(vec![]),
+            ..good
+        };
+        assert!(empty_hash.validate().is_err());
+    }
+
+    #[test]
+    fn distribution_describe() {
+        assert_eq!(
+            Distribution::Hashed(vec![1]).describe(&schema()),
+            "hashed(b)"
+        );
+        assert_eq!(Distribution::Replicated.describe(&schema()), "replicated");
+    }
+
+    #[test]
+    fn leaves_default_to_one() {
+        let t = TableDesc {
+            oid: TableOid(1),
+            name: "r".into(),
+            schema: schema(),
+            distribution: Distribution::Replicated,
+            partitioning: None,
+        };
+        assert_eq!(t.num_leaves(), 1);
+        assert!(!t.is_partitioned());
+        assert!(t.part_tree().is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for partition trees: routing (`f_T`) and selection
+//! (`f*_T`) must be consistent — a tuple routed to partition P that
+//! satisfies predicate φ implies P ∈ f*(φ).
+
+use mpp_catalog::builders::{list_level, range_level_equal_width};
+use mpp_catalog::{PartTree, PartitionLevel, PartitionPiece};
+use mpp_common::{Datum, PartOid, Row};
+use mpp_expr::analysis::derive_interval_set;
+use mpp_expr::{eval, ColRef, EvalContext, Expr, IntervalSet};
+use proptest::prelude::*;
+
+fn d(v: i32) -> Datum {
+    Datum::Int32(v)
+}
+
+/// A random single-level partitioning over [0, 100): equal ranges, or a
+/// list over point groups, optionally with a default piece.
+fn arb_level() -> impl Strategy<Value = PartitionLevel> {
+    prop_oneof![
+        (2usize..12).prop_map(|n| {
+            range_level_equal_width(0, d(0), d(100), n).unwrap()
+        }),
+        (1usize..6, any::<bool>()).prop_map(|(groups, with_default)| {
+            // Point groups 0..groups*10 step 7 (sparse, leaves gaps).
+            let gs: Vec<(String, Vec<Datum>)> = (0..groups)
+                .map(|g| {
+                    (
+                        format!("g{g}"),
+                        vec![d((g * 17 % 100) as i32), d((g * 23 % 100) as i32 + 1)],
+                    )
+                })
+                .collect();
+            list_level(0, gs, with_default).unwrap()
+        }),
+        // Ranges with a default piece.
+        (2usize..8).prop_map(|n| {
+            let mut pieces: Vec<PartitionPiece> = range_level_equal_width(0, d(0), d(80), n)
+                .unwrap()
+                .pieces
+                .clone();
+            pieces.push(PartitionPiece::default_piece("rest"));
+            PartitionLevel::new(0, pieces).unwrap()
+        }),
+    ]
+}
+
+fn key() -> ColRef {
+    ColRef::new(1, "pk")
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let lit = -10i32..110;
+    prop_oneof![
+        (lit.clone()).prop_map(|v| Expr::eq(Expr::col(key()), Expr::lit(v))),
+        (lit.clone()).prop_map(|v| Expr::lt(Expr::col(key()), Expr::lit(v))),
+        (lit.clone()).prop_map(|v| Expr::ge(Expr::col(key()), Expr::lit(v))),
+        (lit.clone(), lit.clone()).prop_map(|(a, b)| Expr::between(
+            Expr::col(key()),
+            Expr::lit(a.min(b)),
+            Expr::lit(a.max(b))
+        )),
+        (lit.clone(), lit.clone()).prop_map(|(a, b)| Expr::or(vec![
+            Expr::lt(Expr::col(key()), Expr::lit(a)),
+            Expr::gt(Expr::col(key()), Expr::lit(b)),
+        ])),
+        Just(Expr::not(Expr::IsNull(Box::new(Expr::col(key()))))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// f_T / f*_T consistency: if value v routes to P and satisfies φ,
+    /// then P is selected by f*(φ).
+    #[test]
+    fn routing_is_covered_by_selection(
+        level in arb_level(),
+        pred in arb_pred(),
+        v in -5i32..105,
+    ) {
+        let tree = PartTree::new(vec![level], PartOid(0)).unwrap();
+        let Some(part) = tree.route(&[d(v)]) else {
+            return Ok(()); // ⊥: the tuple is unstorable, nothing to check
+        };
+        let ctx = EvalContext::from_columns(&[key()]);
+        let row = Row::new(vec![d(v)]);
+        let satisfied = eval(&pred, &row, &ctx)
+            .unwrap()
+            .as_bool()
+            .unwrap()
+            .unwrap_or(false);
+        if satisfied {
+            let derived = derive_interval_set(&pred, &key(), None);
+            let selected = tree.select_partitions(&[derived]).unwrap();
+            prop_assert!(
+                selected.contains(&part),
+                "v={v} satisfies {pred}, routed to {part}, but selection returned {selected:?}"
+            );
+        }
+    }
+
+    /// A NULL key routes to the default piece when one exists, and
+    /// null-possible predicates keep that piece selected.
+    #[test]
+    fn null_routing_consistency(level in arb_level()) {
+        let has_default = level.default_position().is_some();
+        let tree = PartTree::new(vec![level], PartOid(0)).unwrap();
+        let routed = tree.route(&[Datum::Null]);
+        prop_assert_eq!(routed.is_some(), has_default);
+        if let Some(p) = routed {
+            // IS NULL selects exactly partitions that may hold nulls.
+            let derived = derive_interval_set(
+                &Expr::IsNull(Box::new(Expr::col(key()))),
+                &key(),
+                None,
+            );
+            let selected = tree.select_partitions(&[derived]).unwrap();
+            prop_assert!(selected.contains(&p));
+        }
+    }
+
+    /// Expansion ⊇ any selection; trivial predicate selects everything
+    /// that can hold data.
+    #[test]
+    fn selection_is_subset_of_expansion(level in arb_level(), pred in arb_pred()) {
+        let tree = PartTree::new(vec![level], PartOid(0)).unwrap();
+        let all = tree.partition_expansion();
+        let derived = derive_interval_set(&pred, &key(), None);
+        let selected = tree.select_partitions(&[derived]).unwrap();
+        for p in &selected {
+            prop_assert!(all.contains(p));
+        }
+        // No duplicates.
+        let mut dedup = selected.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), selected.len());
+    }
+
+    /// partition_constraints is faithful: v routes to P iff P's reported
+    /// constraint contains v (non-null values; default pieces report the
+    /// uncovered remainder).
+    #[test]
+    fn constraints_match_routing(level in arb_level(), v in -5i32..105) {
+        let tree = PartTree::new(vec![level], PartOid(0)).unwrap();
+        let routed = tree.route(&[d(v)]);
+        let cons = tree.partition_constraints();
+        let containing: Vec<PartOid> = cons
+            .iter()
+            .filter(|(_, sets)| sets[0].contains(&d(v)))
+            .map(|(p, _)| *p)
+            .collect();
+        match routed {
+            Some(p) => prop_assert_eq!(containing, vec![p]),
+            None => prop_assert!(containing.is_empty()),
+        }
+    }
+
+    /// Multi-level selection equals the cartesian filtering of per-level
+    /// selections (Figure 10 semantics).
+    #[test]
+    fn multilevel_is_per_level_product(v1 in 0i32..100, v2 in 0i32..100) {
+        let l1 = range_level_equal_width(0, d(0), d(100), 5).unwrap();
+        let l2 = range_level_equal_width(1, d(0), d(100), 4).unwrap();
+        let tree = PartTree::new(vec![l1, l2], PartOid(0)).unwrap();
+        let p1 = Expr::eq(Expr::col(key()), Expr::lit(v1));
+        let k2 = ColRef::new(2, "k2");
+        let p2 = Expr::eq(Expr::col(k2.clone()), Expr::lit(v2));
+        let derived = [
+            derive_interval_set(&p1, &key(), None),
+            derive_interval_set(&p2, &k2, None),
+        ];
+        let selected = tree.select_partitions(&derived).unwrap();
+        prop_assert_eq!(selected.len(), 1);
+        prop_assert_eq!(tree.route(&[d(v1), d(v2)]), Some(selected[0]));
+    }
+
+    /// Leaf constraints of non-default range pieces partition the domain:
+    /// every value is in at most one piece's interval set.
+    #[test]
+    fn range_pieces_are_disjoint(n in 2usize..12, v in 0i32..100) {
+        let level = range_level_equal_width(0, d(0), d(100), n).unwrap();
+        let count = level
+            .pieces
+            .iter()
+            .filter(|p| p.constraint.contains(&d(v)))
+            .count();
+        prop_assert_eq!(count, 1);
+    }
+}
+
+/// Deterministic regression: IntervalSet-based constraints of Figure 10.
+#[test]
+fn figure10_multilevel_predicates() {
+    let date = range_level_equal_width(0, d(0), d(24), 24).unwrap(); // 24 "months"
+    let region = list_level(
+        1,
+        vec![
+            ("r1".into(), vec![Datum::str("Region 1")]),
+            ("r2".into(), vec![Datum::str("Region 2")]),
+        ],
+        false,
+    )
+    .unwrap();
+    let tree = PartTree::new(vec![date, region], PartOid(0)).unwrap();
+    let full = mpp_expr::analysis::DerivedSet::full();
+    let jan = mpp_expr::analysis::DerivedSet {
+        set: IntervalSet::point(d(0)),
+        exact: true,
+        null_possible: false,
+    };
+    let r1 = mpp_expr::analysis::DerivedSet {
+        set: IntervalSet::point(Datum::str("Region 1")),
+        exact: true,
+        null_possible: false,
+    };
+    // date='Jan' → T_{1,1..n}
+    assert_eq!(tree.select_partitions(&[jan.clone(), full.clone()]).unwrap().len(), 2);
+    // region='Region 1' → T_{1..24,1}
+    assert_eq!(tree.select_partitions(&[full.clone(), r1.clone()]).unwrap().len(), 24);
+    // both → T_{1,1}
+    assert_eq!(tree.select_partitions(&[jan, r1]).unwrap().len(), 1);
+    // φ → all leaves
+    assert_eq!(tree.select_partitions(&[full.clone(), full]).unwrap().len(), 48);
+}

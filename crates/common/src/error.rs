@@ -1,0 +1,113 @@
+//! Workspace-wide error type.
+//!
+//! A single enum keeps error plumbing between crates trivial; variants are
+//! grouped by the subsystem that raises them.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// The error type shared by all `mppart` crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value had an unexpected type for the operation.
+    TypeMismatch(String),
+    /// An identifier (table, column, partition, parameter) did not resolve.
+    NotFound(String),
+    /// An object was defined twice.
+    Duplicate(String),
+    /// Schema or metadata is internally inconsistent.
+    InvalidMetadata(String),
+    /// A tuple could not be mapped to any partition (the `⊥` of the
+    /// partitioning function in the paper's §2.1).
+    NoMatchingPartition(String),
+    /// SQL text failed to lex/parse.
+    Parse(String),
+    /// A name failed to bind against the catalog.
+    Bind(String),
+    /// The optimizer could not produce a plan.
+    Optimize(String),
+    /// A plan is structurally invalid for execution (e.g. a `DynamicScan`
+    /// whose paired `PartitionSelector` is separated from it by a Motion).
+    InvalidPlan(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// Arithmetic overflow / division by zero and friends.
+    Arithmetic(String),
+    /// Feature intentionally out of scope.
+    Unsupported(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl Error {
+    /// Short machine-readable category name, handy for tests and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::TypeMismatch(_) => "type_mismatch",
+            Error::NotFound(_) => "not_found",
+            Error::Duplicate(_) => "duplicate",
+            Error::InvalidMetadata(_) => "invalid_metadata",
+            Error::NoMatchingPartition(_) => "no_matching_partition",
+            Error::Parse(_) => "parse",
+            Error::Bind(_) => "bind",
+            Error::Optimize(_) => "optimize",
+            Error::InvalidPlan(_) => "invalid_plan",
+            Error::Execution(_) => "execution",
+            Error::Arithmetic(_) => "arithmetic",
+            Error::Unsupported(_) => "unsupported",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Error::TypeMismatch(m)
+            | Error::NotFound(m)
+            | Error::Duplicate(m)
+            | Error::InvalidMetadata(m)
+            | Error::NoMatchingPartition(m)
+            | Error::Parse(m)
+            | Error::Bind(m)
+            | Error::Optimize(m)
+            | Error::InvalidPlan(m)
+            | Error::Execution(m)
+            | Error::Arithmetic(m)
+            | Error::Unsupported(m)
+            | Error::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::NotFound("table orders".into());
+        assert_eq!(e.to_string(), "not_found: table orders");
+        assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Parse("x".into()), Error::Parse("x".into()));
+        assert_ne!(Error::Parse("x".into()), Error::Bind("x".into()));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Internal("boom".into()));
+    }
+}

@@ -1,0 +1,29 @@
+//! # mpp-common
+//!
+//! Foundation types shared by every crate in the `mppart` workspace:
+//!
+//! * [`Datum`] — the dynamically typed scalar value flowing through the
+//!   system (a miniature analogue of PostgreSQL's datum),
+//! * [`DataType`] — the static type lattice,
+//! * [`Schema`] / [`Column`] — relation shapes,
+//! * [`Row`] — a tuple of datums,
+//! * strongly typed object identifiers ([`TableOid`], [`PartOid`],
+//!   [`PartScanId`], [`SegmentId`]),
+//! * the workspace-wide [`Error`] type.
+//!
+//! The crate is dependency-light on purpose: everything above it (expressions,
+//! catalog, storage, planner, executor) builds on these definitions.
+
+pub mod error;
+pub mod oid;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use oid::{PartOid, PartScanId, SegmentId, TableOid};
+pub use row::{Row, RowBatch};
+pub use schema::{Column, Schema};
+pub use types::DataType;
+pub use value::Datum;

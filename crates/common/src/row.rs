@@ -1,0 +1,138 @@
+//! Rows and batches.
+
+use crate::value::Datum;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One tuple. Values are positional against a [`crate::Schema`].
+///
+/// Rows share their backing storage (`Arc<[Datum]>`), so passing rows
+/// between executor operators and across simulated Motion boundaries is a
+/// refcount bump, not a deep copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Row {
+    values: Arc<[Datum]>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Datum>) -> Row {
+        Row {
+            values: values.into(),
+        }
+    }
+
+    pub fn empty() -> Row {
+        Row::new(Vec::new())
+    }
+
+    pub fn values(&self) -> &[Datum] {
+        &self.values
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Datum> {
+        self.values.get(idx)
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Row::new(v)
+    }
+
+    /// Project by index; panics on out-of-range (plans are validated before
+    /// execution).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Hash of the listed columns, used by hash-distribution and hash joins.
+    pub fn hash_columns(&self, indices: &[usize]) -> u64 {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for &i in indices {
+            h = h
+                .rotate_left(5)
+                .wrapping_mul(0x100_0000_01b3)
+                ^ self.values[i].distribution_hash();
+        }
+        h
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Datum>> for Row {
+    fn from(values: Vec<Datum>) -> Self {
+        Row::new(values)
+    }
+}
+
+/// A batch of rows, the unit the executor's operators exchange.
+pub type RowBatch = Vec<Row>;
+
+/// Build a row from anything convertible to datums.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Datum::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_macro_and_accessors() {
+        let r = row![1i32, 2.5f64, "abc", true];
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.get(0), Some(&Datum::Int32(1)));
+        assert_eq!(r.get(2), Some(&Datum::str("abc")));
+        assert_eq!(r.get(9), None);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = row![1i32, 2i32];
+        let b = row![3i32];
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p, row![3i32, 1i32]);
+    }
+
+    #[test]
+    fn column_hash_consistency() {
+        let a = row![5i32, "x"];
+        let b = row![5i64, "y"];
+        // Hash over column 0 only: equal numeric values hash equal.
+        assert_eq!(a.hash_columns(&[0]), b.hash_columns(&[0]));
+        assert_ne!(a.hash_columns(&[0, 1]), b.hash_columns(&[0, 1]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(row![1i32, "a"].to_string(), "(1, 'a')");
+    }
+}

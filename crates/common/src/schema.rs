@@ -1,0 +1,149 @@
+//! Relation schemas.
+
+use crate::types::DataType;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Column {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> Column {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered list of columns. Cheap to clone (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema {
+            columns: Arc::new(columns),
+        }
+    }
+
+    pub fn empty() -> Schema {
+        Schema::new(Vec::new())
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> Result<&Column> {
+        self.columns
+            .get(idx)
+            .ok_or_else(|| Error::NotFound(format!("column #{idx} (schema has {})", self.len())))
+    }
+
+    /// Index of the column with the given name (case-insensitive, first
+    /// match wins — callers that need ambiguity detection use the binder).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| Error::NotFound(format!("column '{name}'")))
+    }
+
+    /// Concatenate two schemas (e.g. the output of a join).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.as_ref().clone();
+        cols.extend(other.columns.iter().cloned());
+        Schema::new(cols)
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let cols = indices
+            .iter()
+            .map(|&i| self.column(i).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(cols))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int32).not_null(),
+            Column::new("amount", DataType::Float64),
+            Column::new("date", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("AMOUNT").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let joined = s.join(&Schema::new(vec![Column::new("x", DataType::Bool)]));
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.column(3).unwrap().name, "x");
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.column(0).unwrap().name, "date");
+        assert_eq!(p.column(1).unwrap().name, "id");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display_renders_types() {
+        assert_eq!(
+            sample().to_string(),
+            "(id int4, amount float8, date date)"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The static type lattice.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Data types supported by the engine.
+///
+/// Deliberately small: the paper's workloads only need integers, decimals
+/// (modelled as `Float64`), strings, booleans and dates. `Date` is stored as
+/// days since the epoch, which makes range partitioning on dates identical to
+/// range partitioning on integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    Int32,
+    Int64,
+    Float64,
+    Utf8,
+    /// Days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// True if values of this type can be compared with `<`/`>` in a way
+    /// that is meaningful for range partitioning.
+    pub fn is_orderable(self) -> bool {
+        true
+    }
+
+    /// True for the numeric types (arithmetic is defined).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int32 | DataType::Int64 | DataType::Float64)
+    }
+
+    /// The common type two operands are coerced to for comparison and
+    /// arithmetic, if any.
+    pub fn common_super_type(a: DataType, b: DataType) -> Option<DataType> {
+        use DataType::*;
+        if a == b {
+            return Some(a);
+        }
+        match (a, b) {
+            (Int32, Int64) | (Int64, Int32) => Some(Int64),
+            (Int32, Float64) | (Float64, Int32) => Some(Float64),
+            (Int64, Float64) | (Float64, Int64) => Some(Float64),
+            // Dates are comparable with every numeric type (as their day
+            // number): comparability must be transitive across the whole
+            // numeric class or the total order on Datum would break.
+            (Date, Int32) | (Int32, Date) => Some(Date),
+            (Date, Int64) | (Int64, Date) => Some(Date),
+            (Date, Float64) | (Float64, Date) => Some(Float64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int32 => "int4",
+            DataType::Int64 => "int8",
+            DataType::Float64 => "float8",
+            DataType::Utf8 => "text",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_super_type_numeric_widening() {
+        assert_eq!(
+            DataType::common_super_type(DataType::Int32, DataType::Int64),
+            Some(DataType::Int64)
+        );
+        assert_eq!(
+            DataType::common_super_type(DataType::Int64, DataType::Float64),
+            Some(DataType::Float64)
+        );
+        assert_eq!(
+            DataType::common_super_type(DataType::Utf8, DataType::Int32),
+            None
+        );
+        assert_eq!(
+            DataType::common_super_type(DataType::Date, DataType::Date),
+            Some(DataType::Date)
+        );
+    }
+
+    #[test]
+    fn display_names_match_postgres_flavor() {
+        assert_eq!(DataType::Int32.to_string(), "int4");
+        assert_eq!(DataType::Utf8.to_string(), "text");
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+    }
+}

@@ -1,0 +1,499 @@
+//! [`Datum`] — the dynamically typed scalar value.
+//!
+//! Datums have a *total* order (`Null` sorts first, floats use IEEE total
+//! ordering) so they can serve as partition-boundary values and hash-table
+//! keys without wrapper types.
+
+use crate::types::DataType;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Datum {
+    Null,
+    Bool(bool),
+    Int32(i32),
+    Int64(i64),
+    Float64(f64),
+    Str(Arc<str>),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl Datum {
+    /// Construct a string datum.
+    pub fn str(s: impl Into<Arc<str>>) -> Datum {
+        Datum::Str(s.into())
+    }
+
+    /// Construct a date datum from a `YYYY-MM-DD` civil date.
+    pub fn date_ymd(year: i32, month: u32, day: u32) -> Datum {
+        Datum::Date(days_from_civil(year, month, day))
+    }
+
+    /// The runtime type of this datum, if not null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Int32(_) => Some(DataType::Int32),
+            Datum::Int64(_) => Some(DataType::Int64),
+            Datum::Float64(_) => Some(DataType::Float64),
+            Datum::Str(_) => Some(DataType::Utf8),
+            Datum::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Interpret as a boolean (SQL three-valued logic leaves `Null` as
+    /// `None`).
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Datum::Null => Ok(None),
+            Datum::Bool(b) => Ok(Some(*b)),
+            other => Err(Error::TypeMismatch(format!(
+                "expected bool, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Numeric view as i64 (integers and dates only).
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Datum::Int32(v) => Ok(*v as i64),
+            Datum::Int64(v) => Ok(*v),
+            Datum::Date(v) => Ok(*v as i64),
+            other => Err(Error::TypeMismatch(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    /// Numeric view as f64 (all numeric types and dates).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Datum::Int32(v) => Ok(*v as f64),
+            Datum::Int64(v) => Ok(*v as f64),
+            Datum::Float64(v) => Ok(*v),
+            Datum::Date(v) => Ok(*v as f64),
+            other => Err(Error::TypeMismatch(format!(
+                "expected numeric, got {other:?}"
+            ))),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Datum::Str(s) => Ok(s),
+            other => Err(Error::TypeMismatch(format!("expected text, got {other:?}"))),
+        }
+    }
+
+    /// SQL comparison: `None` when either side is null, otherwise the
+    /// ordering under numeric coercion.
+    pub fn sql_cmp(&self, other: &Datum) -> Result<Option<Ordering>> {
+        if self.is_null() || other.is_null() {
+            return Ok(None);
+        }
+        Ok(Some(self.cmp_non_null(other)?))
+    }
+
+    fn cmp_non_null(&self, other: &Datum) -> Result<Ordering> {
+        use Datum::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => Ok(a.cmp(b)),
+            (Str(a), Str(b)) => Ok(a.as_ref().cmp(b.as_ref())),
+            (Date(a), Date(b)) => Ok(a.cmp(b)),
+            // Numeric (and date/int) coercion.
+            _ => {
+                let ta = self.data_type().ok_or_else(|| {
+                    Error::TypeMismatch("null in non-null comparison".into())
+                })?;
+                let tb = other.data_type().ok_or_else(|| {
+                    Error::TypeMismatch("null in non-null comparison".into())
+                })?;
+                if DataType::common_super_type(ta, tb).is_none() {
+                    return Err(Error::TypeMismatch(format!(
+                        "cannot compare {ta} with {tb}"
+                    )));
+                }
+                if ta == DataType::Float64 || tb == DataType::Float64 {
+                    Ok(self.as_f64()?.total_cmp(&other.as_f64()?))
+                } else {
+                    Ok(self.as_i64()?.cmp(&other.as_i64()?))
+                }
+            }
+        }
+    }
+
+    /// Arithmetic used in expression evaluation; result type follows the
+    /// usual widening rules.
+    pub fn arith(&self, op: ArithOp, other: &Datum) -> Result<Datum> {
+        use Datum::*;
+        if self.is_null() || other.is_null() {
+            return Ok(Null);
+        }
+        let ta = self.data_type().unwrap();
+        let tb = other.data_type().unwrap();
+        if !ta.is_numeric() && ta != DataType::Date {
+            return Err(Error::TypeMismatch(format!("arithmetic on {ta}")));
+        }
+        if !tb.is_numeric() && tb != DataType::Date {
+            return Err(Error::TypeMismatch(format!("arithmetic on {tb}")));
+        }
+        if ta == DataType::Float64 || tb == DataType::Float64 {
+            let (a, b) = (self.as_f64()?, other.as_f64()?);
+            let v = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::Arithmetic("division by zero".into()));
+                    }
+                    a / b
+                }
+                ArithOp::Mod => {
+                    if b == 0.0 {
+                        return Err(Error::Arithmetic("modulo by zero".into()));
+                    }
+                    a % b
+                }
+            };
+            return Ok(Float64(v));
+        }
+        let (a, b) = (self.as_i64()?, other.as_i64()?);
+        let v = match op {
+            ArithOp::Add => a.checked_add(b),
+            ArithOp::Sub => a.checked_sub(b),
+            ArithOp::Mul => a.checked_mul(b),
+            ArithOp::Div => {
+                if b == 0 {
+                    return Err(Error::Arithmetic("division by zero".into()));
+                }
+                a.checked_div(b)
+            }
+            ArithOp::Mod => {
+                if b == 0 {
+                    return Err(Error::Arithmetic("modulo by zero".into()));
+                }
+                a.checked_rem(b)
+            }
+        }
+        .ok_or_else(|| Error::Arithmetic("integer overflow".into()))?;
+        // Date - Date and Date +/- Int stay in sensible types.
+        match (self, other, op) {
+            (Date(_), Date(_), ArithOp::Sub) => Ok(Int64(v)),
+            (Date(_), _, ArithOp::Add) | (Date(_), _, ArithOp::Sub) => {
+                Ok(Date(i32::try_from(v).map_err(|_| {
+                    Error::Arithmetic("date out of range".into())
+                })?))
+            }
+            _ => Ok(Int64(v)),
+        }
+    }
+
+    /// A stable 64-bit hash used for MPP hash distribution. Numeric values
+    /// that compare equal hash equal across physical types.
+    pub fn distribution_hash(&self) -> u64 {
+        // FNV-1a over a normalized byte representation.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        match self {
+            Datum::Null => eat(&[0u8]),
+            Datum::Bool(b) => {
+                eat(&[1u8]);
+                eat(&[*b as u8]);
+            }
+            Datum::Int32(v) => {
+                eat(&[2u8]);
+                eat(&(*v as i64).to_le_bytes());
+            }
+            Datum::Int64(v) => {
+                eat(&[2u8]);
+                eat(&v.to_le_bytes());
+            }
+            Datum::Float64(v) => {
+                // Integral floats hash like the integer they equal.
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                    eat(&[2u8]);
+                    eat(&(*v as i64).to_le_bytes());
+                } else {
+                    eat(&[3u8]);
+                    eat(&v.to_bits().to_le_bytes());
+                }
+            }
+            Datum::Str(s) => {
+                eat(&[4u8]);
+                eat(s.as_bytes());
+            }
+            // Dates hash as their day number: Date(n) compares equal to
+            // Int(n) under the coercion rules, so they must hash equal.
+            Datum::Date(v) => {
+                eat(&[2u8]);
+                eat(&(*v as i64).to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+/// Arithmetic operators supported by [`Datum::arith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Datum {
+    /// Total order used for sorting and partition boundaries: `Null` first,
+    /// then by type-coerced value; incomparable types order by type tag so
+    /// the order stays total.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            _ => self
+                .cmp_non_null(other)
+                .unwrap_or_else(|_| type_rank(self).cmp(&type_rank(other))),
+        }
+    }
+}
+
+fn type_rank(d: &Datum) -> u8 {
+    match d {
+        Datum::Null => 0,
+        Datum::Bool(_) => 1,
+        Datum::Int32(_) | Datum::Int64(_) | Datum::Float64(_) | Datum::Date(_) => 2,
+        Datum::Str(_) => 3,
+    }
+}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.distribution_hash());
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => f.write_str("NULL"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Int32(v) => write!(f, "{v}"),
+            Datum::Int64(v) => write!(f, "{v}"),
+            Datum::Float64(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "'{s}'"),
+            Datum::Date(d) => {
+                let (y, m, dd) = civil_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+        }
+    }
+}
+
+impl From<i32> for Datum {
+    fn from(v: i32) -> Self {
+        Datum::Int32(v)
+    }
+}
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int64(v)
+    }
+}
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float64(v)
+    }
+}
+impl From<bool> for Datum {
+    fn from(v: bool) -> Self {
+        Datum::Bool(v)
+    }
+}
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::str(v)
+    }
+}
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::str(v)
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11]
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+/// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// Parse a `YYYY-MM-DD` literal into a [`Datum::Date`].
+pub fn parse_date(s: &str) -> Result<Datum> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(Error::Parse(format!("bad date literal '{s}'")));
+    }
+    let y: i32 = parts[0]
+        .parse()
+        .map_err(|_| Error::Parse(format!("bad date literal '{s}'")))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| Error::Parse(format!("bad date literal '{s}'")))?;
+    let d: u32 = parts[2]
+        .parse()
+        .map_err(|_| Error::Parse(format!("bad date literal '{s}'")))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(Error::Parse(format!("bad date literal '{s}'")));
+    }
+    Ok(Datum::date_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_roundtrip() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        for days in [-100_000, -1, 0, 1, 10_000, 20_000, 100_000] {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "roundtrip for {days}");
+        }
+    }
+
+    #[test]
+    fn date_display_and_parse() {
+        let d = Datum::date_ymd(2013, 10, 1);
+        assert_eq!(d.to_string(), "2013-10-01");
+        assert_eq!(parse_date("2013-10-01").unwrap(), d);
+        assert!(parse_date("2013-13-01").is_err());
+        assert!(parse_date("oops").is_err());
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(
+            Datum::Int32(3).sql_cmp(&Datum::Int64(3)).unwrap(),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Datum::Int32(3).sql_cmp(&Datum::Float64(3.5)).unwrap(),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int32(1)).unwrap(), None);
+        assert!(Datum::Int32(1).sql_cmp(&Datum::str("a")).is_err());
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        let mut v = vec![Datum::Int32(2), Datum::Null, Datum::Int32(1)];
+        v.sort();
+        assert_eq!(v, vec![Datum::Null, Datum::Int32(1), Datum::Int32(2)]);
+    }
+
+    #[test]
+    fn equal_numerics_hash_equal() {
+        assert_eq!(
+            Datum::Int32(42).distribution_hash(),
+            Datum::Int64(42).distribution_hash()
+        );
+        assert_eq!(
+            Datum::Int64(42).distribution_hash(),
+            Datum::Float64(42.0).distribution_hash()
+        );
+        assert_ne!(
+            Datum::Int32(42).distribution_hash(),
+            Datum::Int32(43).distribution_hash()
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            Datum::Int32(7).arith(ArithOp::Add, &Datum::Int32(3)).unwrap(),
+            Datum::Int64(10)
+        );
+        assert_eq!(
+            Datum::Float64(1.5)
+                .arith(ArithOp::Mul, &Datum::Int32(2))
+                .unwrap(),
+            Datum::Float64(3.0)
+        );
+        assert!(Datum::Int32(1).arith(ArithOp::Div, &Datum::Int32(0)).is_err());
+        assert_eq!(
+            Datum::Int32(1).arith(ArithOp::Add, &Datum::Null).unwrap(),
+            Datum::Null
+        );
+        // date - date = int days; date + int = date
+        let d1 = Datum::date_ymd(2013, 1, 10);
+        let d2 = Datum::date_ymd(2013, 1, 1);
+        assert_eq!(d1.arith(ArithOp::Sub, &d2).unwrap(), Datum::Int64(9));
+        assert_eq!(
+            d2.arith(ArithOp::Add, &Datum::Int32(9)).unwrap(),
+            Datum::date_ymd(2013, 1, 10)
+        );
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        assert!(Datum::Int64(i64::MAX)
+            .arith(ArithOp::Add, &Datum::Int64(1))
+            .is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Cardinality estimation.
+//!
+//! Textbook System-R-style estimation over the statistics kept in the
+//! catalog. The estimator works with a [`ColumnBinding`] that maps column
+//! identities (colref ids) back to base-table columns, which the optimizer
+//! builds while walking `Get` nodes — this is what lets a predicate high in
+//! the tree find the NDV of the base column it references.
+
+use mpp_catalog::Catalog;
+use mpp_common::TableOid;
+use mpp_expr::{CmpOp, Expr};
+use std::collections::HashMap;
+
+/// colref id → (base table, column index). Columns produced by projections
+/// or aggregates are unbound and fall back to default selectivities.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBinding {
+    map: HashMap<u32, (TableOid, usize)>,
+}
+
+impl ColumnBinding {
+    pub fn new() -> ColumnBinding {
+        ColumnBinding::default()
+    }
+
+    pub fn bind(&mut self, colref_id: u32, table: TableOid, column: usize) {
+        self.map.insert(colref_id, (table, column));
+    }
+
+    pub fn lookup(&self, colref_id: u32) -> Option<(TableOid, usize)> {
+        self.map.get(&colref_id).copied()
+    }
+
+    pub fn merge(&mut self, other: &ColumnBinding) {
+        self.map.extend(other.map.iter().map(|(k, v)| (*k, *v)));
+    }
+}
+
+/// Default selectivities when nothing better is known — the classic
+/// Selinger constants.
+const DEFAULT_EQ_SEL: f64 = 0.005;
+const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+const DEFAULT_SEL: f64 = 0.25;
+
+/// The estimator.
+pub struct CardinalityEstimator<'a> {
+    catalog: &'a Catalog,
+    binding: &'a ColumnBinding,
+}
+
+impl<'a> CardinalityEstimator<'a> {
+    pub fn new(catalog: &'a Catalog, binding: &'a ColumnBinding) -> CardinalityEstimator<'a> {
+        CardinalityEstimator { catalog, binding }
+    }
+
+    fn ndv_of(&self, e: &Expr) -> Option<f64> {
+        if let Expr::Col(c) = e {
+            let (table, col) = self.binding.lookup(c.id)?;
+            Some(self.catalog.stats(table).ndv(col) as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Selectivity of a predicate in `[0, 1]`.
+    pub fn selectivity(&self, pred: &Expr) -> f64 {
+        let s = match pred {
+            Expr::Lit(d) => match d.as_bool() {
+                Ok(Some(true)) => 1.0,
+                Ok(Some(false)) | Ok(None) => 0.0,
+                Err(_) => DEFAULT_SEL,
+            },
+            Expr::And(v) => v.iter().map(|e| self.selectivity(e)).product(),
+            Expr::Or(v) => {
+                // Inclusion-exclusion under independence.
+                let mut not_any = 1.0;
+                for e in v {
+                    not_any *= 1.0 - self.selectivity(e);
+                }
+                1.0 - not_any
+            }
+            Expr::Not(e) => 1.0 - self.selectivity(e),
+            Expr::Cmp { op, left, right } => self.cmp_selectivity(*op, left, right),
+            Expr::Between { .. } => DEFAULT_RANGE_SEL / 2.0,
+            Expr::InList { list, expr, .. } => {
+                let per = self
+                    .ndv_of(expr)
+                    .map(|n| 1.0 / n)
+                    .unwrap_or(DEFAULT_EQ_SEL);
+                (per * list.len() as f64).min(1.0)
+            }
+            Expr::IsNull(e) => {
+                if let Expr::Col(c) = e.as_ref() {
+                    if let Some((t, col)) = self.binding.lookup(c.id) {
+                        return self
+                            .catalog
+                            .stats(t)
+                            .columns
+                            .get(&col)
+                            .map(|cs| cs.null_frac)
+                            .unwrap_or(0.01)
+                            .clamp(0.0, 1.0);
+                    }
+                }
+                0.01
+            }
+            _ => DEFAULT_SEL,
+        };
+        s.clamp(0.0, 1.0)
+    }
+
+    fn cmp_selectivity(&self, op: CmpOp, left: &Expr, right: &Expr) -> f64 {
+        let l_col = matches!(left, Expr::Col(_));
+        let r_col = matches!(right, Expr::Col(_));
+        match op {
+            CmpOp::Eq => {
+                if l_col && r_col {
+                    // Join predicate: 1/max(ndv).
+                    let nl = self.ndv_of(left).unwrap_or(1.0 / DEFAULT_EQ_SEL);
+                    let nr = self.ndv_of(right).unwrap_or(1.0 / DEFAULT_EQ_SEL);
+                    1.0 / nl.max(nr).max(1.0)
+                } else if l_col {
+                    1.0 / self.ndv_of(left).unwrap_or(1.0 / DEFAULT_EQ_SEL).max(1.0)
+                } else if r_col {
+                    1.0 / self.ndv_of(right).unwrap_or(1.0 / DEFAULT_EQ_SEL).max(1.0)
+                } else {
+                    DEFAULT_EQ_SEL
+                }
+            }
+            CmpOp::Ne => 1.0 - self.cmp_selectivity(CmpOp::Eq, left, right),
+            _ => DEFAULT_RANGE_SEL,
+        }
+    }
+
+    /// Join output cardinality under the standard independence model.
+    pub fn join_cardinality(&self, left_rows: f64, right_rows: f64, pred: &Expr) -> f64 {
+        (left_rows * right_rows * self.selectivity(pred)).max(1.0)
+    }
+
+    /// Grouped-aggregation output cardinality: product of group-column
+    /// NDVs, capped by input.
+    pub fn agg_cardinality(&self, input_rows: f64, group_cols: &[mpp_expr::ColRef]) -> f64 {
+        if group_cols.is_empty() {
+            return 1.0;
+        }
+        let mut groups = 1.0f64;
+        for c in group_cols {
+            let ndv = self
+                .ndv_of(&Expr::col(c.clone()))
+                .unwrap_or((input_rows / 10.0).max(1.0));
+            groups *= ndv;
+        }
+        groups.min(input_rows).max(1.0)
+    }
+
+    /// Base-table cardinality.
+    pub fn table_cardinality(&self, table: TableOid) -> f64 {
+        self.catalog.stats(table).row_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::{ColumnStats, TableStats};
+    use mpp_expr::ColRef;
+
+    fn setup() -> (Catalog, ColumnBinding) {
+        let cat = Catalog::new();
+        let t = TableOid(1);
+        cat.set_stats(
+            t,
+            TableStats::new(10_000)
+                .with_column(0, ColumnStats::new(100))
+                .with_column(1, ColumnStats::new(10_000)),
+        );
+        let mut b = ColumnBinding::new();
+        b.bind(1, t, 0); // colref 1 → col 0, ndv 100
+        b.bind(2, t, 1); // colref 2 → col 1, ndv 10000
+        (cat, b)
+    }
+
+    fn c(id: u32) -> Expr {
+        Expr::col(ColRef::new(id, "c"))
+    }
+
+    #[test]
+    fn equality_uses_ndv() {
+        let (cat, b) = setup();
+        let est = CardinalityEstimator::new(&cat, &b);
+        let s = est.selectivity(&Expr::eq(c(1), Expr::lit(5i32)));
+        assert!((s - 0.01).abs() < 1e-9);
+        let s = est.selectivity(&Expr::eq(c(2), Expr::lit(5i32)));
+        assert!((s - 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_pred_uses_max_ndv() {
+        let (cat, b) = setup();
+        let est = CardinalityEstimator::new(&cat, &b);
+        let s = est.selectivity(&Expr::eq(c(1), c(2)));
+        assert!((s - 1.0 / 10_000.0).abs() < 1e-9);
+        let card = est.join_cardinality(10_000.0, 100.0, &Expr::eq(c(1), c(2)));
+        assert!((card - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn and_or_combinators() {
+        let (cat, b) = setup();
+        let est = CardinalityEstimator::new(&cat, &b);
+        let p = Expr::eq(c(1), Expr::lit(5i32));
+        let s_and = est.selectivity(&Expr::and(vec![p.clone(), p.clone()]));
+        assert!((s_and - 0.0001).abs() < 1e-9);
+        let s_or = est.selectivity(&Expr::or(vec![p.clone(), p.clone()]));
+        assert!(s_or > 0.01 && s_or < 0.02001);
+        let s_not = est.selectivity(&Expr::not(p));
+        assert!((s_not - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivities_stay_in_unit_interval() {
+        let (cat, b) = setup();
+        let est = CardinalityEstimator::new(&cat, &b);
+        let p = Expr::in_list(c(1), (0..500).map(|i| Expr::lit(i as i32)).collect());
+        let s = est.selectivity(&p);
+        assert!((0.0..=1.0).contains(&s));
+        assert!((s - 1.0).abs() < 1e-9); // 500 values / ndv 100, capped
+    }
+
+    #[test]
+    fn agg_cardinality_capped_by_input() {
+        let (cat, b) = setup();
+        let est = CardinalityEstimator::new(&cat, &b);
+        let g = est.agg_cardinality(10_000.0, &[ColRef::new(2, "c")]);
+        assert!((g - 10_000.0).abs() < 1.0);
+        let g = est.agg_cardinality(10_000.0, &[ColRef::new(1, "c")]);
+        assert!((g - 100.0).abs() < 1.0);
+        assert!((est.agg_cardinality(500.0, &[]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn literal_predicates() {
+        let (cat, b) = setup();
+        let est = CardinalityEstimator::new(&cat, &b);
+        assert_eq!(est.selectivity(&Expr::lit(true)), 1.0);
+        assert_eq!(est.selectivity(&Expr::lit(false)), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mpp-core
+//!
+//! The paper's primary contribution: query optimization over partitioned
+//! tables in an MPP system, as implemented in Orca / Greenplum
+//! ("Optimizing Queries over Partitioned Tables in MPP Systems",
+//! SIGMOD 2014).
+//!
+//! The crate provides two cooperating entry points:
+//!
+//! * [`placement`] — the literal §2.3 algorithms: given a physical
+//!   operator tree containing [`mpp_plan::PhysicalPlan::DynamicScan`]s,
+//!   compute where every `PartitionSelector` goes
+//!   ([`placement::place_partition_selectors`], Algorithms 1–4, including
+//!   the multi-level extension of §2.4);
+//! * [`optimizer`] — the full pipeline from a bound [`mpp_plan::LogicalPlan`]
+//!   to an executable [`mpp_plan::PhysicalPlan`]: normalization, join
+//!   implementation, Motion placement for distribution, PartitionSelector
+//!   placement, and DML planning. Its cost-based core is [`memo`], a
+//!   Cascades-style Memo with optimization requests carrying *distribution*
+//!   and *partition propagation* requirements, `Motion` and
+//!   `PartitionSelector` as property enforcers, and the §3.1 ordering
+//!   restriction (no Motion between a selector and its paired scan).
+//!
+//! Supporting modules: [`spec`] (the `PartSelectorSpec` of Figures 7/11),
+//! [`cardinality`] and [`cost`] (estimation), [`validate`] (§3.1 plan
+//! validity checking).
+
+pub mod cardinality;
+pub mod cost;
+pub mod memo;
+pub mod optimizer;
+pub mod placement;
+pub mod spec;
+pub mod validate;
+
+pub use optimizer::{Optimizer, OptimizerConfig};
+pub use placement::place_partition_selectors;
+pub use spec::PartSelectorSpec;
+pub use validate::validate_selector_pairing;

@@ -1,0 +1,1588 @@
+//! Cascades-style Memo optimization with partition propagation as a
+//! physical property (paper §3.1).
+//!
+//! The Memo compactly encodes the plan space as *groups* of logically
+//! equivalent expressions. Optimization requests carry two requirements:
+//!
+//! * a **distribution** requirement (`Any` / `Hashed` / `Replicated` /
+//!   `Singleton`), enforced by `Motion` operators;
+//! * a list of **partition propagation** requirements
+//!   `<partScanId, partKeys, partPredicates>`, enforced by
+//!   `PartitionSelector` operators.
+//!
+//! Enforcer ordering implements the paper's §3.1 restriction: a partition
+//! propagation request whose DynamicScan is *not* in a group's subtree can
+//! only be satisfied by a pass-through PartitionSelector **on top** of
+//! that group's plan — above any Motion — because a Motion between the
+//! selector and the consuming scan would break their shared-memory
+//! channel (Figure 12). Requests whose scan *is* in the subtree are routed
+//! down through the operators (being augmented with partition-filtering
+//! predicates on the way, as in §2.3) and materialize at the DynamicScan
+//! as the `Sequence(PartitionSelector, DynamicScan)` shape.
+//!
+//! Join expressions route an inner-side request with a key-constraining
+//! join predicate to their *outer* child (making it non-local there — the
+//! dynamic partition elimination of Figure 5(d)), and the cost model
+//! credits the join with the partitions the inner scan then avoids; this
+//! is what makes Figure 14's "replicate the outer side to enable DPE"
+//! plan win or lose on cost.
+
+use crate::cardinality::{CardinalityEstimator, ColumnBinding};
+use crate::cost::CostModel;
+use crate::optimizer::DistSpec;
+use mpp_catalog::{Catalog, Distribution};
+use mpp_common::{Error, PartScanId, Result, TableOid};
+use mpp_expr::analysis::{derive_interval_set, find_preds_on_keys, DerivedSet};
+use mpp_expr::{collect_columns, split_conjuncts, ColRef, Expr};
+use mpp_plan::{AggCall, JoinType, LogicalPlan, MotionKind, PhysicalPlan};
+use std::cell::Cell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+type GroupId = usize;
+
+/// Distribution requirement of an optimization request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DistReq {
+    Any,
+    Hashed(Vec<ColRef>),
+    Replicated,
+    Singleton,
+}
+
+/// One partition propagation requirement: "a PartitionSelector for this
+/// scan, with these per-level predicates, must exist in your plan".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PartReq {
+    scan_id: PartScanId,
+    table: TableOid,
+    table_name: String,
+    keys: Vec<ColRef>,
+    preds: Vec<Option<Expr>>,
+}
+
+impl PartReq {
+    fn augmented(&self, per_level: &[Option<Expr>]) -> PartReq {
+        let preds = self
+            .preds
+            .iter()
+            .zip(per_level)
+            .map(|(old, new)| match new {
+                None => old.clone(),
+                Some(p) => Some(mpp_expr::conj(old.clone(), p.clone())),
+            })
+            .collect();
+        PartReq {
+            preds,
+            ..self.clone()
+        }
+    }
+}
+
+/// A full optimization request (paper Figure 13's `{dist, <…>}` pairs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OptRequest {
+    dist: DistReq,
+    parts: Vec<PartReq>,
+}
+
+impl OptRequest {
+    fn any() -> OptRequest {
+        OptRequest {
+            dist: DistReq::Any,
+            parts: vec![],
+        }
+    }
+
+    fn with_parts(mut self, mut parts: Vec<PartReq>) -> OptRequest {
+        parts.sort_by_key(|p| p.scan_id);
+        self.parts = parts;
+        self
+    }
+}
+
+/// Group expressions: operators whose children are group references.
+#[derive(Debug, Clone)]
+enum MExpr {
+    // Physical only — logical expressions are implemented eagerly at
+    // insertion, so the group stores the physical alternatives plus enough
+    // logical identity for exploration.
+    Scan {
+        table: TableOid,
+        name: String,
+        output: Vec<ColRef>,
+    },
+    DynScan {
+        table: TableOid,
+        name: String,
+        scan_id: PartScanId,
+        output: Vec<ColRef>,
+    },
+    Filter {
+        pred: Expr,
+        child: GroupId,
+    },
+    Project {
+        exprs: Vec<Expr>,
+        output: Vec<ColRef>,
+        child: GroupId,
+    },
+    HashJoin {
+        join_type: JoinType,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        residual: Option<Expr>,
+        left: GroupId,
+        right: GroupId,
+    },
+    NLJoin {
+        join_type: JoinType,
+        pred: Option<Expr>,
+        left: GroupId,
+        right: GroupId,
+    },
+    HashAgg {
+        group_by: Vec<ColRef>,
+        aggs: Vec<AggCall>,
+        output: Vec<ColRef>,
+        child: GroupId,
+    },
+    Values {
+        rows: Vec<Vec<mpp_common::Datum>>,
+        output: Vec<ColRef>,
+    },
+    Limit {
+        n: u64,
+        child: GroupId,
+    },
+    Sort {
+        keys: Vec<(ColRef, bool)>,
+        child: GroupId,
+    },
+}
+
+impl MExpr {
+    fn children(&self) -> Vec<GroupId> {
+        match self {
+            MExpr::Scan { .. } | MExpr::DynScan { .. } | MExpr::Values { .. } => vec![],
+            MExpr::Filter { child, .. }
+            | MExpr::Project { child, .. }
+            | MExpr::HashAgg { child, .. }
+            | MExpr::Limit { child, .. }
+            | MExpr::Sort { child, .. } => vec![*child],
+            MExpr::HashJoin { left, right, .. } | MExpr::NLJoin { left, right, .. } => {
+                vec![*left, *right]
+            }
+        }
+    }
+}
+
+/// What satisfied a request: a group expression, or an enforcer on top of
+/// the same group.
+#[derive(Debug, Clone)]
+enum Choice {
+    Expr {
+        idx: usize,
+        child_reqs: Vec<OptRequest>,
+    },
+    MotionEnf {
+        kind: MotionKind,
+        child: OptRequest,
+    },
+    SelectorEnf {
+        part: PartReq,
+        child: OptRequest,
+    },
+}
+
+struct Group {
+    exprs: Vec<MExpr>,
+    output: Vec<ColRef>,
+    rows: f64,
+    /// Product of base-table cardinalities in the subtree (used by the
+    /// DPE fraction estimate).
+    base_rows: f64,
+    /// Dynamic scans defined in this group's subtree.
+    scans: HashSet<PartScanId>,
+    /// Natural distribution delivered with no motion (for scans); derived
+    /// operators deliver whatever their inputs were asked for.
+    best: HashMap<OptRequest, Option<(f64, Choice)>>,
+}
+
+/// The result the main optimizer consumes.
+pub(crate) struct MemoResult {
+    pub(crate) plan: PhysicalPlan,
+    pub(crate) dist: DistSpec,
+    pub(crate) rows: f64,
+}
+
+/// The memo-based optimizer. Holds references to the owning
+/// [`crate::optimizer::Optimizer`]'s state.
+pub(crate) struct MemoOptimizer<'a> {
+    catalog: &'a Catalog,
+    cost: &'a CostModel,
+    binding: &'a ColumnBinding,
+    next_scan_id: &'a Cell<u32>,
+}
+
+struct Memo<'a> {
+    groups: Vec<Group>,
+    catalog: &'a Catalog,
+    cost: &'a CostModel,
+    binding: &'a ColumnBinding,
+}
+
+impl<'a> MemoOptimizer<'a> {
+    pub(crate) fn new(
+        catalog: &'a Catalog,
+        cost: &'a CostModel,
+        binding: &'a ColumnBinding,
+        next_scan_id: &'a Cell<u32>,
+    ) -> MemoOptimizer<'a> {
+        MemoOptimizer {
+            catalog,
+            cost,
+            binding,
+            next_scan_id,
+        }
+    }
+
+    pub(crate) fn optimize(&self, logical: &LogicalPlan) -> Result<MemoResult> {
+        let mut memo = Memo {
+            groups: Vec::new(),
+            catalog: self.catalog,
+            cost: self.cost,
+            binding: self.binding,
+        };
+        let root = memo.insert(logical, self.next_scan_id)?;
+        // Initial request: any distribution, and partition propagation for
+        // every dynamic scan in the tree (paper Figure 13 req #1).
+        let parts: Vec<PartReq> = memo.groups[root]
+            .scans
+            .iter()
+            .map(|&id| memo.part_req_for(root, id))
+            .collect::<Result<_>>()?;
+        let req = OptRequest::any().with_parts(parts);
+        let cost = memo
+            .optimize_group(root, &req)
+            .ok_or_else(|| Error::Optimize("memo found no valid plan".into()))?;
+        let _ = cost;
+        let plan = memo.extract(root, &req)?;
+        let dist = derive_distribution(&plan, self.catalog);
+        Ok(MemoResult {
+            plan,
+            dist,
+            rows: memo.groups[root].rows,
+        })
+    }
+}
+
+impl<'a> Memo<'a> {
+    fn part_req_for(&self, root: GroupId, id: PartScanId) -> Result<PartReq> {
+        // Find the DynScan expression for this id.
+        for g in &self.groups {
+            for e in &g.exprs {
+                if let MExpr::DynScan {
+                    table,
+                    name,
+                    scan_id,
+                    output,
+                } = e
+                {
+                    if *scan_id == id {
+                        let tree = self.catalog.part_tree(*table)?;
+                        let keys = tree
+                            .key_indices()
+                            .iter()
+                            .map(|&i| output[i].clone())
+                            .collect::<Vec<_>>();
+                        let levels = keys.len();
+                        return Ok(PartReq {
+                            scan_id: id,
+                            table: *table,
+                            table_name: name.clone(),
+                            keys,
+                            preds: vec![None; levels],
+                        });
+                    }
+                }
+            }
+        }
+        let _ = root;
+        Err(Error::Internal(format!("scan {id} not in memo")))
+    }
+
+    /// Insert a logical plan, implementing physical alternatives eagerly
+    /// (including commuted joins — the Figure 13 `HashJoin[1,2]` /
+    /// `HashJoin[2,1]` pair).
+    fn insert(&mut self, plan: &LogicalPlan, next_scan_id: &Cell<u32>) -> Result<GroupId> {
+        let est = CardinalityEstimator::new(self.catalog, self.binding);
+        match plan {
+            LogicalPlan::Get {
+                table,
+                table_name,
+                output,
+            } => {
+                let desc = self.catalog.table(*table)?;
+                let rows = est.table_cardinality(*table);
+                let mut scans = HashSet::new();
+                let expr = if desc.is_partitioned() {
+                    let id = PartScanId(next_scan_id.get());
+                    next_scan_id.set(id.0 + 1);
+                    scans.insert(id);
+                    MExpr::DynScan {
+                        table: *table,
+                        name: table_name.clone(),
+                        scan_id: id,
+                        output: output.clone(),
+                    }
+                } else {
+                    MExpr::Scan {
+                        table: *table,
+                        name: table_name.clone(),
+                        output: output.clone(),
+                    }
+                };
+                Ok(self.add_group(vec![expr], output.clone(), rows, rows, scans))
+            }
+            LogicalPlan::Select { pred, child } => {
+                let c = self.insert(child, next_scan_id)?;
+                let rows = (self.groups[c].rows * est.selectivity(pred)).max(1.0);
+                let output = self.groups[c].output.clone();
+                let scans = self.groups[c].scans.clone();
+                let base = self.groups[c].base_rows;
+                Ok(self.add_group(
+                    vec![MExpr::Filter {
+                        pred: pred.clone(),
+                        child: c,
+                    }],
+                    output,
+                    rows,
+                    base,
+                    scans,
+                ))
+            }
+            LogicalPlan::Project {
+                exprs,
+                output,
+                child,
+            } => {
+                let c = self.insert(child, next_scan_id)?;
+                let rows = self.groups[c].rows;
+                let scans = self.groups[c].scans.clone();
+                let base = self.groups[c].base_rows;
+                Ok(self.add_group(
+                    vec![MExpr::Project {
+                        exprs: exprs.clone(),
+                        output: output.clone(),
+                        child: c,
+                    }],
+                    output.clone(),
+                    rows,
+                    base,
+                    scans,
+                ))
+            }
+            LogicalPlan::Join {
+                join_type,
+                pred,
+                left,
+                right,
+            } => {
+                let l = self.insert(left, next_scan_id)?;
+                let r = self.insert(right, next_scan_id)?;
+                let rows =
+                    est.join_cardinality(self.groups[l].rows, self.groups[r].rows, pred);
+                let mut output = self.groups[l].output.clone();
+                if join_type.outputs_right() {
+                    output.extend(self.groups[r].output.clone());
+                }
+                let mut scans = self.groups[l].scans.clone();
+                scans.extend(self.groups[r].scans.iter().copied());
+
+                let mut exprs =
+                    self.join_impls(*join_type, pred, l, r)?;
+                // Exploration: inner-join commutativity.
+                if *join_type == JoinType::Inner {
+                    exprs.extend(self.join_impls(*join_type, pred, r, l)?);
+                }
+                let base = self.groups[l].base_rows * self.groups[r].base_rows;
+                Ok(self.add_group(exprs, output, rows, base, scans))
+            }
+            LogicalPlan::Agg {
+                group_by,
+                aggs,
+                output,
+                child,
+            } => {
+                let c = self.insert(child, next_scan_id)?;
+                let rows = est.agg_cardinality(self.groups[c].rows, group_by);
+                let scans = self.groups[c].scans.clone();
+                let base = self.groups[c].base_rows;
+                Ok(self.add_group(
+                    vec![MExpr::HashAgg {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                        output: output.clone(),
+                        child: c,
+                    }],
+                    output.clone(),
+                    rows,
+                    base,
+                    scans,
+                ))
+            }
+            LogicalPlan::Values { rows, output } => {
+                let n = rows.len() as f64;
+                Ok(self.add_group(
+                    vec![MExpr::Values {
+                        rows: rows.clone(),
+                        output: output.clone(),
+                    }],
+                    output.clone(),
+                    n,
+                    n,
+                    HashSet::new(),
+                ))
+            }
+            LogicalPlan::Limit { n, child } => {
+                let c = self.insert(child, next_scan_id)?;
+                let rows = self.groups[c].rows.min(*n as f64);
+                let output = self.groups[c].output.clone();
+                let scans = self.groups[c].scans.clone();
+                let base = self.groups[c].base_rows;
+                Ok(self.add_group(
+                    vec![MExpr::Limit { n: *n, child: c }],
+                    output,
+                    rows,
+                    base,
+                    scans,
+                ))
+            }
+            LogicalPlan::Sort { keys, child } => {
+                let c = self.insert(child, next_scan_id)?;
+                let rows = self.groups[c].rows;
+                let output = self.groups[c].output.clone();
+                let scans = self.groups[c].scans.clone();
+                let base = self.groups[c].base_rows;
+                Ok(self.add_group(
+                    vec![MExpr::Sort {
+                        keys: keys.clone(),
+                        child: c,
+                    }],
+                    output,
+                    rows,
+                    base,
+                    scans,
+                ))
+            }
+            LogicalPlan::Update { .. } | LogicalPlan::Delete { .. } | LogicalPlan::Insert { .. } => {
+                Err(Error::Unsupported(
+                    "DML is planned by the deterministic pipeline, not the memo".into(),
+                ))
+            }
+        }
+    }
+
+    /// Physical join alternatives for one child order.
+    fn join_impls(
+        &self,
+        join_type: JoinType,
+        pred: &Expr,
+        left: GroupId,
+        right: GroupId,
+    ) -> Result<Vec<MExpr>> {
+        // Semi/anti/outer joins are direction-sensitive: only generate them
+        // in the original orientation.
+        let left_cols: BTreeSet<ColRef> = self.groups[left].output.iter().cloned().collect();
+        let right_cols: BTreeSet<ColRef> = self.groups[right].output.iter().cloned().collect();
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual = Vec::new();
+        for conj in split_conjuncts(pred) {
+            if let Expr::Cmp {
+                op: mpp_expr::CmpOp::Eq,
+                left: a,
+                right: b,
+            } = &conj
+            {
+                let a_cols = collect_columns(a);
+                let b_cols = collect_columns(b);
+                if !a_cols.is_empty()
+                    && !b_cols.is_empty()
+                    && a_cols.iter().all(|c| left_cols.contains(c))
+                    && b_cols.iter().all(|c| right_cols.contains(c))
+                {
+                    left_keys.push(a.as_ref().clone());
+                    right_keys.push(b.as_ref().clone());
+                    continue;
+                }
+                if !a_cols.is_empty()
+                    && !b_cols.is_empty()
+                    && b_cols.iter().all(|c| left_cols.contains(c))
+                    && a_cols.iter().all(|c| right_cols.contains(c))
+                {
+                    left_keys.push(b.as_ref().clone());
+                    right_keys.push(a.as_ref().clone());
+                    continue;
+                }
+            }
+            residual.push(conj);
+        }
+        let mut out = Vec::new();
+        if !left_keys.is_empty() {
+            out.push(MExpr::HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                residual: if residual.is_empty() {
+                    None
+                } else {
+                    Some(Expr::and(residual))
+                },
+                left,
+                right,
+            });
+        } else {
+            out.push(MExpr::NLJoin {
+                join_type,
+                pred: Some(pred.clone()),
+                left,
+                right,
+            });
+        }
+        Ok(out)
+    }
+
+    fn add_group(
+        &mut self,
+        exprs: Vec<MExpr>,
+        output: Vec<ColRef>,
+        rows: f64,
+        base_rows: f64,
+        scans: HashSet<PartScanId>,
+    ) -> GroupId {
+        self.groups.push(Group {
+            exprs,
+            output,
+            rows,
+            base_rows,
+            scans,
+            best: HashMap::new(),
+        });
+        self.groups.len() - 1
+    }
+
+    /// Optimize `group` for `req`; returns the best cost, memoized.
+    fn optimize_group(&mut self, gid: GroupId, req: &OptRequest) -> Option<f64> {
+        if let Some(entry) = self.groups[gid].best.get(req) {
+            return entry.as_ref().map(|(c, _)| *c);
+        }
+        // Mark in-progress to cut accidental cycles (shouldn't occur: the
+        // group graph is a DAG and enforcer recursion strictly shrinks the
+        // request).
+        self.groups[gid].best.insert(req.clone(), None);
+
+        let rows = self.groups[gid].rows;
+        let mut best: Option<(f64, Choice)> = None;
+        let consider = |cost: f64, choice: Choice, best: &mut Option<(f64, Choice)>| {
+            if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                *best = Some((cost, choice));
+            }
+        };
+
+        // 1. Non-local partition requests are satisfied only by a
+        //    pass-through PartitionSelector on top (paper §3.1).
+        let (local, nonlocal): (Vec<PartReq>, Vec<PartReq>) = req
+            .parts
+            .iter()
+            .cloned()
+            .partition(|p| self.groups[gid].scans.contains(&p.scan_id));
+        if let Some(part) = nonlocal.first() {
+            let mut rest = local.clone();
+            rest.extend(nonlocal.iter().skip(1).cloned());
+            let child_req = OptRequest {
+                dist: req.dist.clone(),
+                parts: vec![],
+            }
+            .with_parts(rest);
+            if let Some(child_cost) = self.optimize_group(gid, &child_req) {
+                let total = child_cost + self.cost.partition_selector(rows);
+                consider(
+                    total,
+                    Choice::SelectorEnf {
+                        part: part.clone(),
+                        child: child_req,
+                    },
+                    &mut best,
+                );
+            }
+            // Nothing else can satisfy a non-local part request.
+            self.groups[gid].best.insert(req.clone(), best.clone());
+            return best.map(|(c, _)| c);
+        }
+
+        // 2. Group expressions.
+        for idx in 0..self.groups[gid].exprs.len() {
+            let expr = self.groups[gid].exprs[idx].clone();
+            for (child_reqs, local_cost) in self.expr_alternatives(gid, &expr, req) {
+                let mut total = local_cost;
+                let mut ok = true;
+                for (child, creq) in expr.children().iter().zip(&child_reqs) {
+                    match self.optimize_group(*child, creq) {
+                        Some(c) => total += c,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    consider(total, Choice::Expr { idx, child_reqs }, &mut best);
+                }
+            }
+        }
+
+        // 3. Motion enforcer for a non-Any distribution requirement (all
+        //    remaining part requests are local and stay below the motion).
+        if req.dist != DistReq::Any {
+            let child_req = OptRequest {
+                dist: DistReq::Any,
+                parts: req.parts.clone(),
+            };
+            let kind = match &req.dist {
+                DistReq::Hashed(cols) => Some(MotionKind::Redistribute(cols.clone())),
+                DistReq::Replicated => Some(MotionKind::Broadcast),
+                DistReq::Singleton => Some(MotionKind::Gather),
+                DistReq::Any => None,
+            };
+            if let Some(kind) = kind {
+                if let Some(child_cost) = self.optimize_group(gid, &child_req) {
+                    let motion_cost = match &kind {
+                        MotionKind::Redistribute(_) => self.cost.redistribute(rows),
+                        MotionKind::Broadcast => self.cost.broadcast(rows),
+                        _ => self.cost.gather(rows),
+                    };
+                    consider(
+                        child_cost + motion_cost,
+                        Choice::MotionEnf {
+                            kind,
+                            child: child_req,
+                        },
+                        &mut best,
+                    );
+                }
+            }
+        }
+
+        self.groups[gid].best.insert(req.clone(), best.clone());
+        best.map(|(c, _)| c)
+    }
+
+    /// Alternatives for satisfying `req` with `expr`: (child requests,
+    /// local cost).
+    fn expr_alternatives(
+        &mut self,
+        gid: GroupId,
+        expr: &MExpr,
+        req: &OptRequest,
+    ) -> Vec<(Vec<OptRequest>, f64)> {
+        let rows = self.groups[gid].rows;
+        match expr {
+            MExpr::Scan { table, output, .. } => {
+                if !req.parts.is_empty() {
+                    return vec![];
+                }
+                let natural = self.natural_dist_expr(*table, output);
+                if !self.dist_compatible(&natural, &req.dist) {
+                    return vec![];
+                }
+                let base = self.catalog.stats(*table).row_count as f64;
+                vec![(vec![], self.cost.table_scan(base))]
+            }
+            MExpr::DynScan {
+                table,
+                scan_id,
+                output,
+                ..
+            } => {
+                // Accept only a part request for this very scan.
+                let frac = match req.parts.len() {
+                    0 => 1.0,
+                    1 if req.parts[0].scan_id == *scan_id => {
+                        self.static_fraction(*table, &req.parts[0])
+                    }
+                    _ => return vec![],
+                };
+                let natural = self.natural_dist_expr(*table, output);
+                if !self.dist_compatible(&natural, &req.dist) {
+                    return vec![];
+                }
+                let tree = match self.catalog.part_tree(*table) {
+                    Ok(t) => t,
+                    Err(_) => return vec![],
+                };
+                let base = self.catalog.stats(*table).row_count as f64;
+                vec![(
+                    vec![],
+                    self.cost.dynamic_scan(base, tree.num_leaves(), frac),
+                )]
+            }
+            MExpr::Filter { pred, .. } => {
+                // Pass the distribution through; augment part requests with
+                // this filter's key predicates (Algorithm 3 in memo form).
+                let parts = req
+                    .parts
+                    .iter()
+                    .map(|p| match find_preds_on_keys(pred, &p.keys) {
+                        Some(per_level) => p.augmented(&per_level),
+                        None => p.clone(),
+                    })
+                    .collect();
+                let creq = OptRequest {
+                    dist: req.dist.clone(),
+                    parts: vec![],
+                }
+                .with_parts(parts);
+                vec![(vec![creq], self.cost.filter(rows))]
+            }
+            MExpr::Project { exprs, output, .. } => {
+                // A projection renames columns: a Hashed requirement must
+                // be translated through simple pass-through expressions;
+                // requirements on computed columns can only be enforced
+                // above the projection (by the Motion enforcer).
+                let child_dist = match &req.dist {
+                    DistReq::Hashed(cols) => {
+                        let mapped: Option<Vec<ColRef>> = cols
+                            .iter()
+                            .map(|c| {
+                                output.iter().position(|o| o == c).and_then(|i| {
+                                    match &exprs[i] {
+                                        Expr::Col(inner) => Some(inner.clone()),
+                                        _ => None,
+                                    }
+                                })
+                            })
+                            .collect();
+                        match mapped {
+                            Some(m) => DistReq::Hashed(m),
+                            None => return vec![],
+                        }
+                    }
+                    other => other.clone(),
+                };
+                let creq = OptRequest {
+                    dist: child_dist,
+                    parts: req.parts.clone(),
+                };
+                vec![(vec![creq], self.cost.project(rows))]
+            }
+            MExpr::Limit { .. } => {
+                let creq = OptRequest {
+                    dist: DistReq::Singleton,
+                    parts: req.parts.clone(),
+                };
+                if matches!(req.dist, DistReq::Any | DistReq::Singleton) {
+                    vec![(vec![creq], 0.0)]
+                } else {
+                    vec![]
+                }
+            }
+            MExpr::Sort { .. } => {
+                let creq = OptRequest {
+                    dist: DistReq::Singleton,
+                    parts: req.parts.clone(),
+                };
+                if matches!(req.dist, DistReq::Any | DistReq::Singleton) {
+                    // n log n sort cost, in tuple units.
+                    vec![(vec![creq], rows * rows.max(2.0).log2() * 0.05)]
+                } else {
+                    vec![]
+                }
+            }
+            MExpr::Values { .. } => {
+                if !req.parts.is_empty() {
+                    return vec![];
+                }
+                if matches!(req.dist, DistReq::Any | DistReq::Singleton) {
+                    vec![(vec![], rows)]
+                } else {
+                    vec![]
+                }
+            }
+            MExpr::HashAgg { group_by, .. } => {
+                let child_dist = if group_by.is_empty() {
+                    DistReq::Singleton
+                } else {
+                    DistReq::Hashed(group_by.clone())
+                };
+                let delivered_ok = match &req.dist {
+                    DistReq::Any => true,
+                    DistReq::Singleton => group_by.is_empty(),
+                    DistReq::Hashed(h) => h == group_by,
+                    DistReq::Replicated => false,
+                };
+                if !delivered_ok {
+                    return vec![];
+                }
+                let child_rows = {
+                    let child = expr.children()[0];
+                    self.groups[child].rows
+                };
+                let creq = OptRequest {
+                    dist: child_dist,
+                    parts: req.parts.clone(),
+                };
+                vec![(vec![creq], self.cost.hash_agg(child_rows))]
+            }
+            MExpr::HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                left,
+                right,
+            } => self.join_alternatives(
+                gid,
+                *join_type,
+                Some((left_keys, right_keys)),
+                &join_pred_expr(left_keys, right_keys, residual),
+                *left,
+                *right,
+                req,
+            ),
+            MExpr::NLJoin {
+                join_type,
+                pred,
+                left,
+                right,
+            } => self.join_alternatives(
+                gid,
+                *join_type,
+                None,
+                &pred.clone().unwrap_or_else(|| Expr::lit(true)),
+                *left,
+                *right,
+                req,
+            ),
+        }
+    }
+
+    /// Join alternatives: route part requests (Algorithm 4 in memo form)
+    /// and enumerate distribution pairs.
+    #[allow(clippy::too_many_arguments)]
+    fn join_alternatives(
+        &mut self,
+        gid: GroupId,
+        join_type: JoinType,
+        keys: Option<(&Vec<Expr>, &Vec<Expr>)>,
+        join_pred: &Expr,
+        left: GroupId,
+        right: GroupId,
+        req: &OptRequest,
+    ) -> Vec<(Vec<OptRequest>, f64)> {
+        let out_rows = self.groups[gid].rows;
+        let l_rows = self.groups[left].rows;
+        let r_rows = self.groups[right].rows;
+
+        // Route part requests.
+        let mut l_parts = Vec::new();
+        let mut r_parts = Vec::new();
+        let mut dpe_routed = false;
+        let mut dpe_fraction = 1.0f64;
+        for p in &req.parts {
+            if self.groups[left].scans.contains(&p.scan_id) {
+                l_parts.push(p.clone());
+            } else if let Some(per_level) = find_preds_on_keys(join_pred, &p.keys) {
+                // DPE: augmented request to the outer side (non-local
+                // there → pass-through selector on top of the outer plan).
+                // Filters on the inner chain contribute their key
+                // predicates as well, since the request no longer travels
+                // through them.
+                let mut routed = p.augmented(&per_level);
+                if let Some(inner) = self.inner_chain_preds(right, &p.keys) {
+                    routed = routed.augmented(&inner);
+                }
+                l_parts.push(routed);
+                dpe_routed = true;
+                let l_base = self.groups[left].base_rows;
+                dpe_fraction = dpe_fraction.min(self.dpe_fraction(p, l_rows, l_base));
+            } else {
+                r_parts.push(p.clone());
+            }
+        }
+
+        // The join's local cost. When DPE applies, the inner child's
+        // already-memoized full-scan cost is credited back here with the
+        // partitions the selector will eliminate.
+        let mut local = match keys {
+            Some(_) => self
+                .cost
+                .hash_join(l_rows, r_rows * dpe_fraction, out_rows),
+            None => self.cost.nl_join(l_rows, r_rows),
+        };
+        if dpe_fraction < 1.0 {
+            if let Some((table, leaves)) = self.single_dyn_scan_shape(right) {
+                let base = self.catalog.stats(table).row_count as f64;
+                let full = self.cost.dynamic_scan(base, leaves, 1.0);
+                let pruned = self.cost.dynamic_scan(base, leaves, dpe_fraction);
+                local -= full - pruned;
+            }
+        }
+
+        // Distribution pairs: (left req, right req) such that matching
+        // tuples meet on one segment.
+        let mut pairs: Vec<(DistReq, DistReq)> = Vec::new();
+        let hashable = keys
+            .map(|(lk, rk)| {
+                let lc: Option<Vec<ColRef>> = lk
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Col(c) => Some(c.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let rc: Option<Vec<ColRef>> = rk
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Col(c) => Some(c.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                lc.zip(rc)
+            })
+            .unwrap_or(None);
+        match &req.dist {
+            DistReq::Any => {
+                if let Some((lc, rc)) = &hashable {
+                    pairs.push((DistReq::Hashed(lc.clone()), DistReq::Hashed(rc.clone())));
+                }
+                // Right side everywhere: valid for every join type.
+                pairs.push((DistReq::Any, DistReq::Replicated));
+                // Left side everywhere: inner joins only (left rows must
+                // not be duplicated for semi/anti/outer).
+                if join_type == JoinType::Inner {
+                    pairs.push((DistReq::Replicated, DistReq::Any));
+                }
+                pairs.push((DistReq::Singleton, DistReq::Singleton));
+            }
+            DistReq::Hashed(h) => {
+                if let Some((lc, rc)) = &hashable {
+                    if h == lc {
+                        pairs.push((DistReq::Hashed(lc.clone()), DistReq::Hashed(rc.clone())));
+                    }
+                }
+            }
+            DistReq::Singleton => pairs.push((DistReq::Singleton, DistReq::Singleton)),
+            DistReq::Replicated => {
+                pairs.push((DistReq::Replicated, DistReq::Replicated));
+            }
+        }
+
+        let mut out = Vec::new();
+        for (ld, rd) in pairs {
+            // When a DPE request was routed to the outer side, the inner
+            // side must stay motion-free above its scan: request the
+            // scan's natural distribution so no enforcer is needed there.
+            let rd = if dpe_routed {
+                match self.natural_dist_of_group(right) {
+                    Some(nat) if self.dist_compatible(&nat, &rd) => nat,
+                    Some(_) | None => continue,
+                }
+            } else {
+                rd
+            };
+            let lreq = OptRequest {
+                dist: ld,
+                parts: vec![],
+            }
+            .with_parts(l_parts.clone());
+            let rreq = OptRequest {
+                dist: rd,
+                parts: vec![],
+            }
+            .with_parts(r_parts.clone());
+            out.push((vec![lreq, rreq], local));
+        }
+        out
+    }
+
+    /// Expected fraction of partitions scanned under DPE through this
+    /// request: the outer side's filter selectivity (rows surviving vs.
+    /// its base cardinality) approximates the surviving fraction of the
+    /// key domain under the uniform-key assumption.
+    fn dpe_fraction(&self, p: &PartReq, outer_rows: f64, outer_base: f64) -> f64 {
+        let Ok(tree) = self.catalog.part_tree(p.table) else {
+            return 1.0;
+        };
+        let parts = tree.num_leaves() as f64;
+        // Filter selectivity and absolute row count both bound the touched
+        // fraction (see the pipeline's dpe_fraction for the reasoning).
+        let ratio = if outer_base > 0.0 {
+            outer_rows / outer_base
+        } else {
+            1.0
+        };
+        let by_count = outer_rows / parts;
+        ratio.min(by_count).clamp(1.0 / parts, 1.0)
+    }
+
+    /// Partition-key predicates contributed by the Filter chain of a
+    /// group whose subtree bottoms out in the dynamic scan.
+    fn inner_chain_preds(
+        &self,
+        gid: GroupId,
+        keys: &[ColRef],
+    ) -> Option<Vec<Option<Expr>>> {
+        let mut acc: Option<Vec<Option<Expr>>> = None;
+        let mut g = gid;
+        loop {
+            match self.groups[g].exprs.first()? {
+                MExpr::Filter { pred, child } => {
+                    if let Some(per_level) = find_preds_on_keys(pred, keys) {
+                        acc = Some(match acc {
+                            None => per_level,
+                            Some(prev) => prev
+                                .into_iter()
+                                .zip(per_level)
+                                .map(|(a, b)| match (a, b) {
+                                    (None, x) | (x, None) => x,
+                                    (Some(a), Some(b)) => Some(mpp_expr::conj(Some(a), b)),
+                                })
+                                .collect(),
+                        });
+                    }
+                    g = *child;
+                }
+                MExpr::Project { child, .. } | MExpr::Limit { child, .. } => g = *child,
+                _ => return acc,
+            }
+        }
+    }
+
+    /// If the group's subtree is a single (possibly filtered/projected)
+    /// DynamicScan, return (table, leaf count) for cost crediting.
+    fn single_dyn_scan_shape(&self, gid: GroupId) -> Option<(TableOid, usize)> {
+        let g = &self.groups[gid];
+        if g.scans.len() != 1 {
+            return None;
+        }
+        for e in &g.exprs {
+            match e {
+                MExpr::DynScan { table, .. } => {
+                    let leaves = self.catalog.part_tree(*table).ok()?.num_leaves();
+                    return Some((*table, leaves));
+                }
+                MExpr::Filter { child, .. } | MExpr::Project { child, .. } => {
+                    return self.single_dyn_scan_shape(*child);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn dist_compatible(&self, delivered: &DistReq, required: &DistReq) -> bool {
+        required == &DistReq::Any || delivered == required
+    }
+
+    /// Natural distribution of a scan, expressed over its output colrefs.
+    fn natural_dist_expr(&self, table: TableOid, output: &[ColRef]) -> DistReq {
+        match self.catalog.table(table).map(|d| d.distribution.clone()) {
+            Ok(Distribution::Hashed(cols)) => {
+                DistReq::Hashed(cols.iter().map(|&i| output[i].clone()).collect())
+            }
+            Ok(Distribution::Replicated) => DistReq::Replicated,
+            _ => DistReq::Singleton,
+        }
+    }
+
+    /// Natural (no-motion) distribution of a group whose subtree bottoms
+    /// out in a scan: used to pin the inner side of a DPE join in place.
+    fn natural_dist_of_group(&self, gid: GroupId) -> Option<DistReq> {
+        for e in &self.groups[gid].exprs {
+            match e {
+                MExpr::Scan { table, output, .. } | MExpr::DynScan { table, output, .. } => {
+                    let desc = self.catalog.table(*table).ok()?;
+                    return Some(match &desc.distribution {
+                        Distribution::Hashed(cols) => DistReq::Hashed(
+                            cols.iter().map(|&i| output[i].clone()).collect(),
+                        ),
+                        Distribution::Replicated => DistReq::Replicated,
+                        Distribution::Singleton => DistReq::Singleton,
+                    });
+                }
+                MExpr::Filter { child, .. } | MExpr::Project { child, .. } => {
+                    return self.natural_dist_of_group(*child)
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Fraction of partitions selected by the request's static predicates.
+    fn static_fraction(&self, table: TableOid, p: &PartReq) -> f64 {
+        let Ok(tree) = self.catalog.part_tree(table) else {
+            return 1.0;
+        };
+        let derived: Vec<DerivedSet> = p
+            .keys
+            .iter()
+            .zip(&p.preds)
+            .map(|(key, pred)| match pred {
+                Some(pred) => derive_interval_set(pred, key, None),
+                None => DerivedSet::full(),
+            })
+            .collect();
+        match tree.select_partitions(&derived) {
+            Ok(sel) => (sel.len() as f64 / tree.num_leaves() as f64).max(0.001),
+            Err(_) => 1.0,
+        }
+    }
+
+    /// Extract the best physical plan for (group, request).
+    fn extract(&self, gid: GroupId, req: &OptRequest) -> Result<PhysicalPlan> {
+        let entry = self.groups[gid]
+            .best
+            .get(req)
+            .and_then(|e| e.as_ref())
+            .ok_or_else(|| Error::Internal("extracting unoptimized request".into()))?;
+        match &entry.1 {
+            Choice::SelectorEnf { part, child } => {
+                let inner = self.extract(gid, child)?;
+                Ok(PhysicalPlan::PartitionSelector {
+                    table: part.table,
+                    table_name: part.table_name.clone(),
+                    part_scan_id: part.scan_id,
+                    part_keys: part.keys.clone(),
+                    predicates: part.preds.clone(),
+                    child: Some(Box::new(inner)),
+                })
+            }
+            Choice::MotionEnf { kind, child } => {
+                let inner = self.extract(gid, child)?;
+                Ok(PhysicalPlan::Motion {
+                    kind: kind.clone(),
+                    child: Box::new(inner),
+                })
+            }
+            Choice::Expr { idx, child_reqs } => {
+                self.extract_expr(gid, &self.groups[gid].exprs[*idx], child_reqs, req)
+            }
+        }
+    }
+
+    fn extract_expr(
+        &self,
+        gid: GroupId,
+        expr: &MExpr,
+        child_reqs: &[OptRequest],
+        req: &OptRequest,
+    ) -> Result<PhysicalPlan> {
+        let _ = gid;
+        Ok(match expr {
+            MExpr::Scan {
+                table,
+                name,
+                output,
+            } => PhysicalPlan::TableScan {
+                table: *table,
+                table_name: name.clone(),
+                output: output.clone(),
+                filter: None,
+            },
+            MExpr::DynScan {
+                table,
+                name,
+                scan_id,
+                output,
+            } => {
+                let scan = PhysicalPlan::DynamicScan {
+                    table: *table,
+                    table_name: name.clone(),
+                    part_scan_id: *scan_id,
+                    output: output.clone(),
+                    filter: None,
+                };
+                // A part request satisfied at the scan materializes as the
+                // Sequence(selector, scan) shape of Figure 5.
+                if let Some(p) = req.parts.first() {
+                    PhysicalPlan::Sequence {
+                        children: vec![
+                            PhysicalPlan::PartitionSelector {
+                                table: *table,
+                                table_name: name.clone(),
+                                part_scan_id: *scan_id,
+                                part_keys: p.keys.clone(),
+                                predicates: p.preds.clone(),
+                                child: None,
+                            },
+                            scan,
+                        ],
+                    }
+                } else {
+                    scan
+                }
+            }
+            MExpr::Filter { pred, child } => PhysicalPlan::Filter {
+                pred: pred.clone(),
+                child: Box::new(self.extract(*child, &child_reqs[0])?),
+            },
+            MExpr::Project {
+                exprs,
+                output,
+                child,
+            } => PhysicalPlan::Project {
+                exprs: exprs.clone(),
+                output: output.clone(),
+                child: Box::new(self.extract(*child, &child_reqs[0])?),
+            },
+            MExpr::HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                left,
+                right,
+            } => PhysicalPlan::HashJoin {
+                join_type: *join_type,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+                left: Box::new(self.extract(*left, &child_reqs[0])?),
+                right: Box::new(self.extract(*right, &child_reqs[1])?),
+            },
+            MExpr::NLJoin {
+                join_type,
+                pred,
+                left,
+                right,
+            } => PhysicalPlan::NLJoin {
+                join_type: *join_type,
+                pred: pred.clone(),
+                left: Box::new(self.extract(*left, &child_reqs[0])?),
+                right: Box::new(self.extract(*right, &child_reqs[1])?),
+            },
+            MExpr::HashAgg {
+                group_by,
+                aggs,
+                output,
+                child,
+            } => PhysicalPlan::HashAgg {
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                output: output.clone(),
+                child: Box::new(self.extract(*child, &child_reqs[0])?),
+            },
+            MExpr::Values { rows, output } => PhysicalPlan::Values {
+                rows: rows.clone(),
+                output: output.clone(),
+            },
+            MExpr::Limit { n, child } => PhysicalPlan::Limit {
+                n: *n,
+                child: Box::new(self.extract(*child, &child_reqs[0])?),
+            },
+            MExpr::Sort { keys, child } => PhysicalPlan::Sort {
+                keys: keys.clone(),
+                child: Box::new(self.extract(*child, &child_reqs[0])?),
+            },
+        })
+    }
+}
+
+fn join_pred_expr(left_keys: &[Expr], right_keys: &[Expr], residual: &Option<Expr>) -> Expr {
+    let mut conjuncts: Vec<Expr> = left_keys
+        .iter()
+        .zip(right_keys)
+        .map(|(l, r)| Expr::eq(l.clone(), r.clone()))
+        .collect();
+    if let Some(r) = residual {
+        conjuncts.push(r.clone());
+    }
+    Expr::and(conjuncts)
+}
+
+/// Derive the delivered distribution of an extracted plan (used to decide
+/// the root gather).
+pub(crate) fn derive_distribution(plan: &PhysicalPlan, catalog: &Catalog) -> DistSpec {
+    match plan {
+        PhysicalPlan::TableScan { table, output, .. }
+        | PhysicalPlan::DynamicScan { table, output, .. } => {
+            match catalog.table(*table).map(|d| d.distribution.clone()) {
+                Ok(Distribution::Hashed(cols)) => {
+                    DistSpec::Hashed(cols.iter().map(|&i| output[i].clone()).collect())
+                }
+                Ok(Distribution::Replicated) => DistSpec::Replicated,
+                _ => DistSpec::Singleton,
+            }
+        }
+        PhysicalPlan::Motion { kind, .. } => match kind {
+            MotionKind::Gather | MotionKind::GatherOne => DistSpec::Singleton,
+            MotionKind::Broadcast => DistSpec::Replicated,
+            MotionKind::Redistribute(cols) => DistSpec::Hashed(cols.clone()),
+        },
+        PhysicalPlan::HashJoin { left, right, .. } => {
+            let l = derive_distribution(left, catalog);
+            if l == DistSpec::Replicated {
+                derive_distribution(right, catalog)
+            } else {
+                l
+            }
+        }
+        PhysicalPlan::NLJoin { left, .. } => derive_distribution(left, catalog),
+        PhysicalPlan::HashAgg {
+            group_by, child, ..
+        } => {
+            if group_by.is_empty() {
+                derive_distribution(child, catalog)
+            } else {
+                DistSpec::Hashed(group_by.clone())
+            }
+        }
+        PhysicalPlan::Values { .. } => DistSpec::Singleton,
+        PhysicalPlan::Limit { .. } => DistSpec::Singleton,
+        PhysicalPlan::Sequence { children } => children
+            .last()
+            .map(|c| derive_distribution(c, catalog))
+            .unwrap_or(DistSpec::Singleton),
+        PhysicalPlan::PartitionSelector {
+            child: Some(c), ..
+        } => derive_distribution(c, catalog),
+        PhysicalPlan::Filter { child, .. }
+        | PhysicalPlan::Project { child, .. }
+        | PhysicalPlan::InitPlanOids { child, .. } => derive_distribution(child, catalog),
+        _ => DistSpec::Singleton,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::range_parts_equal_width;
+    use mpp_catalog::{TableDesc, TableStats};
+    use mpp_common::{Column, DataType, Datum, Schema};
+    use mpp_plan::explain;
+
+    /// The paper's §3.1 example: R(pk, v) partitioned on pk and hash
+    /// distributed on pk; S(a, b) hash distributed on a.
+    fn figure13_catalog(r_rows: u64, s_rows: u64) -> (Catalog, TableOid, TableOid) {
+        let cat = Catalog::new();
+        let r_schema = Schema::new(vec![
+            Column::new("pk", DataType::Int32),
+            Column::new("v", DataType::Int32),
+        ]);
+        let r = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(100);
+        cat.register(TableDesc {
+            oid: r,
+            name: "r".into(),
+            schema: r_schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(
+                range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(1000), 100, first)
+                    .unwrap(),
+            ),
+        })
+        .unwrap();
+        cat.set_stats(r, TableStats::new(r_rows));
+        let s_schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let s = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: s,
+            name: "s".into(),
+            schema: s_schema,
+            distribution: Distribution::Hashed(vec![1]),
+            partitioning: None,
+        })
+        .unwrap();
+        cat.set_stats(s, TableStats::new(s_rows));
+        (cat, r, s)
+    }
+
+    fn figure13_query(cat: &Catalog, r: TableOid, s: TableOid) -> LogicalPlan {
+        // SELECT * FROM R, S WHERE R.pk = S.a
+        let _ = cat;
+        LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            pred: Expr::eq(
+                Expr::col(ColRef::new(1, "pk")),
+                Expr::col(ColRef::new(3, "a")),
+            ),
+            left: Box::new(LogicalPlan::Get {
+                table: r,
+                table_name: "r".into(),
+                output: vec![ColRef::new(1, "pk"), ColRef::new(2, "v")],
+            }),
+            right: Box::new(LogicalPlan::Get {
+                table: s,
+                table_name: "s".into(),
+                output: vec![ColRef::new(3, "a"), ColRef::new(4, "b")],
+            }),
+        }
+    }
+
+    fn run_memo(cat: &Catalog, plan: &LogicalPlan) -> PhysicalPlan {
+        let cost = CostModel::with_segments(4);
+        let mut binding = ColumnBinding::new();
+        fn bind(plan: &LogicalPlan, b: &mut ColumnBinding) {
+            if let LogicalPlan::Get { table, output, .. } = plan {
+                for (i, c) in output.iter().enumerate() {
+                    b.bind(c.id, *table, i);
+                }
+            }
+            for c in plan.children() {
+                bind(c, b);
+            }
+        }
+        bind(plan, &mut binding);
+        let next = Cell::new(1);
+        let m = MemoOptimizer::new(cat, &cost, &binding, &next);
+        m.optimize(plan).unwrap().plan
+    }
+
+    #[test]
+    fn figure14_memo_picks_dpe_plan_when_outer_is_small() {
+        // Big partitioned R, small S: Plan 4 (replicate S, select into R)
+        // must win.
+        let (cat, r, s) = figure13_catalog(1_000_000, 500);
+        let plan = run_memo(&cat, &figure13_query(&cat, r, s));
+        let text = explain(&plan);
+        // A pass-through selector with the join predicate exists.
+        let mut dpe = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector {
+                child: Some(_),
+                predicates,
+                ..
+            } = p
+            {
+                if predicates.iter().any(Option::is_some) {
+                    dpe = true;
+                }
+            }
+        });
+        assert!(dpe, "expected DPE plan:\n{text}");
+        // The big partitioned side (R) must stay in place: no Motion
+        // between the join and its DynamicScan, and the outer (S) side
+        // carries a Motion below the selector (replicate or co-locating
+        // redistribute — the memo picks the cheaper, both enable DPE).
+        let mut r_moved = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::Motion { child, .. } = p {
+                if child.has_part_scan_id(PartScanId(1)) && child.count_op("HashJoin") == 0 {
+                    r_moved = true;
+                }
+            }
+        });
+        assert!(!r_moved, "the 1M-row partitioned side must not move:\n{text}");
+        assert!(text.contains("Motion"), "{text}");
+        crate::validate::validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn memo_skips_dpe_when_outer_is_huge() {
+        // Tiny R, enormous S: moving 5M rows to enable DPE over a 100-row
+        // table is a loss; the memo must not put any Motion on the S side.
+        let (cat, r, s) = figure13_catalog(100, 5_000_000);
+        let plan = run_memo(&cat, &figure13_query(&cat, r, s));
+        let text = explain(&plan);
+        let mut s_moved = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::Motion { kind, child } = p {
+                let mut has_s = false;
+                child.visit(&mut |c| {
+                    if let PhysicalPlan::TableScan { table_name, .. } = c {
+                        if table_name == "s" {
+                            has_s = true;
+                        }
+                    }
+                });
+                if has_s
+                    && child.count_op("HashJoin") == 0
+                    && !matches!(kind, MotionKind::Gather | MotionKind::GatherOne)
+                {
+                    s_moved = true;
+                }
+            }
+        });
+        assert!(!s_moved, "the 5M-row side must not move:\n{text}");
+        crate::validate::validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn memo_static_selection_for_filtered_scan() {
+        let (cat, r, _) = figure13_catalog(10_000, 100);
+        let logical = LogicalPlan::Select {
+            pred: Expr::lt(Expr::col(ColRef::new(1, "pk")), Expr::lit(100i32)),
+            child: Box::new(LogicalPlan::Get {
+                table: r,
+                table_name: "r".into(),
+                output: vec![ColRef::new(1, "pk"), ColRef::new(2, "v")],
+            }),
+        };
+        let plan = run_memo(&cat, &logical);
+        let text = explain(&plan);
+        assert!(text.contains("Sequence"), "{text}");
+        let mut static_pred = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector {
+                child: None,
+                predicates,
+                ..
+            } = p
+            {
+                if predicates[0].is_some() {
+                    static_pred = true;
+                }
+            }
+        });
+        assert!(static_pred, "selector carries the filter predicate:\n{text}");
+        crate::validate::validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn memo_rejects_dml() {
+        let (cat, r, _) = figure13_catalog(100, 100);
+        let cost = CostModel::with_segments(4);
+        let binding = ColumnBinding::new();
+        let next = Cell::new(1);
+        let m = MemoOptimizer::new(&cat, &cost, &binding, &next);
+        let dml = LogicalPlan::Insert {
+            table: r,
+            child: Box::new(LogicalPlan::Values {
+                rows: vec![],
+                output: vec![],
+            }),
+        };
+        assert!(m.optimize(&dml).is_err());
+    }
+
+    #[test]
+    fn derive_distribution_tracks_motions() {
+        let (cat, r, _) = figure13_catalog(100, 100);
+        let scan = PhysicalPlan::DynamicScan {
+            table: r,
+            table_name: "r".into(),
+            part_scan_id: PartScanId(1),
+            output: vec![ColRef::new(1, "pk"), ColRef::new(2, "v")],
+            filter: None,
+        };
+        assert_eq!(
+            derive_distribution(&scan, &cat),
+            DistSpec::Hashed(vec![ColRef::new(1, "pk")])
+        );
+        let bcast = PhysicalPlan::Motion {
+            kind: MotionKind::Broadcast,
+            child: Box::new(scan.clone()),
+        };
+        assert_eq!(derive_distribution(&bcast, &cat), DistSpec::Replicated);
+        let gather = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(scan),
+        };
+        assert_eq!(derive_distribution(&gather, &cat), DistSpec::Singleton);
+    }
+}

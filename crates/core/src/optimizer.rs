@@ -1,0 +1,1409 @@
+//! The optimizer pipeline: bound [`LogicalPlan`] → executable
+//! [`PhysicalPlan`].
+//!
+//! Stages:
+//!
+//! 1. **Normalization** — conjunct-level predicate pushdown, constant
+//!    folding.
+//! 2. **Physical implementation** — scans (partitioned tables become
+//!    [`PhysicalPlan::DynamicScan`]s with fresh `partScanId`s), join
+//!    method selection, aggregate implementation.
+//! 3. **Distribution planning** — Motion enforcement for co-location,
+//!    choosing cost-based between redistribution and broadcast; the
+//!    choice is *partition-aware*: a strategy that leaves a partitioned
+//!    inner side motion-free keeps dynamic partition elimination possible
+//!    and its DynamicScan is costed at the pruned fraction (the Figure 14
+//!    trade-off).
+//! 4. **PartitionSelector placement** — the §2.3 algorithms
+//!    ([`crate::placement`]).
+//! 5. **Validation** — §3.1 pairing rules ([`crate::validate`]).
+//!
+//! The `use_memo` config flag routes pure SELECT queries through the
+//! Cascades-style [`crate::memo`] optimizer instead of stages 2–3; both
+//! paths share placement and validation.
+
+use crate::cardinality::{CardinalityEstimator, ColumnBinding};
+use crate::cost::CostModel;
+use crate::placement::place_partition_selectors;
+use crate::validate::validate_selector_pairing;
+use mpp_catalog::{Catalog, Distribution};
+use mpp_common::{Error, PartScanId, Result, TableOid};
+use mpp_expr::{collect_columns, simplify, split_conjuncts, ColRef, Expr};
+use mpp_plan::{JoinType, LogicalPlan, MotionKind, PhysicalPlan};
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Number of MPP segments (drives Motion costing).
+    pub num_segments: usize,
+    /// When false, PartitionSelectors are still placed (the machinery is
+    /// identical) but carry no predicates, so every partition is scanned —
+    /// the "partition selection disabled" configuration of Figure 17.
+    pub enable_partition_selection: bool,
+    /// Route SELECT queries through the Memo (cost-based, §3.1) instead of
+    /// the deterministic pipeline.
+    pub use_memo: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            num_segments: 4,
+            enable_partition_selection: true,
+            use_memo: false,
+        }
+    }
+}
+
+/// Distribution of a plan subtree's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DistSpec {
+    Hashed(Vec<ColRef>),
+    Replicated,
+    Singleton,
+}
+
+/// The optimizer.
+pub struct Optimizer {
+    catalog: Catalog,
+    config: OptimizerConfig,
+    cost: CostModel,
+    next_scan_id: Cell<u32>,
+}
+
+struct Built {
+    plan: PhysicalPlan,
+    dist: DistSpec,
+    rows: f64,
+}
+
+impl Optimizer {
+    pub fn new(catalog: Catalog, config: OptimizerConfig) -> Optimizer {
+        let cost = CostModel::with_segments(config.num_segments);
+        Optimizer::with_cost_model(catalog, config, cost)
+    }
+
+    /// An optimizer with explicit cost constants — for cost-model tuning
+    /// and ablation experiments.
+    pub fn with_cost_model(
+        catalog: Catalog,
+        config: OptimizerConfig,
+        cost: CostModel,
+    ) -> Optimizer {
+        Optimizer {
+            catalog,
+            config,
+            cost,
+            next_scan_id: Cell::new(1),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    fn fresh_scan_id(&self) -> PartScanId {
+        let id = self.next_scan_id.get();
+        self.next_scan_id.set(id + 1);
+        PartScanId(id)
+    }
+
+    /// Optimize a logical plan into an executable physical plan.
+    pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
+        self.next_scan_id.set(1);
+        let normalized = normalize(logical.clone());
+        let mut binding = ColumnBinding::new();
+        build_binding(&normalized, &mut binding);
+
+        let built = if self.config.use_memo && !normalized.is_dml() {
+            let memo_opt = crate::memo::MemoOptimizer::new(
+                &self.catalog,
+                &self.cost,
+                &binding,
+                &self.next_scan_id,
+            );
+            let res = memo_opt.optimize(&normalized)?;
+            Built {
+                plan: res.plan,
+                dist: res.dist,
+                rows: res.rows,
+            }
+        } else {
+            self.build(&normalized, &binding)?
+        };
+
+        // Root motion: query results are delivered on the master
+        // (segment 0), DML results are counts and need no motion.
+        let mut plan = built.plan;
+        if !normalized.is_dml() && built.dist != DistSpec::Singleton {
+            plan = PhysicalPlan::Motion {
+                kind: if built.dist == DistSpec::Replicated {
+                    MotionKind::GatherOne
+                } else {
+                    MotionKind::Gather
+                },
+                child: Box::new(plan),
+            };
+        }
+
+        let mut plan = place_partition_selectors(&self.catalog, plan)?;
+        if !self.config.enable_partition_selection {
+            plan = strip_selector_predicates(plan);
+        }
+        validate_selector_pairing(&plan)?;
+        Ok(plan)
+    }
+
+    /// Stage 2+3: deterministic physical implementation with distribution
+    /// planning.
+    fn build(&self, plan: &LogicalPlan, binding: &ColumnBinding) -> Result<Built> {
+        let est = CardinalityEstimator::new(&self.catalog, binding);
+        match plan {
+            LogicalPlan::Get {
+                table,
+                table_name,
+                output,
+            } => {
+                let desc = self.catalog.table(*table)?;
+                let rows = est.table_cardinality(*table);
+                let dist = match &desc.distribution {
+                    Distribution::Hashed(cols) => {
+                        DistSpec::Hashed(cols.iter().map(|&i| output[i].clone()).collect())
+                    }
+                    Distribution::Replicated => DistSpec::Replicated,
+                    Distribution::Singleton => DistSpec::Singleton,
+                };
+                let plan = if desc.is_partitioned() {
+                    PhysicalPlan::DynamicScan {
+                        table: *table,
+                        table_name: table_name.clone(),
+                        part_scan_id: self.fresh_scan_id(),
+                        output: output.clone(),
+                        filter: None,
+                    }
+                } else {
+                    PhysicalPlan::TableScan {
+                        table: *table,
+                        table_name: table_name.clone(),
+                        output: output.clone(),
+                        filter: None,
+                    }
+                };
+                Ok(Built { plan, dist, rows })
+            }
+
+            LogicalPlan::Select { pred, child } => {
+                let c = self.build(child, binding)?;
+                let rows = (c.rows * est.selectivity(pred)).max(1.0);
+                Ok(Built {
+                    plan: PhysicalPlan::Filter {
+                        pred: pred.clone(),
+                        child: Box::new(c.plan),
+                    },
+                    dist: c.dist,
+                    rows,
+                })
+            }
+
+            LogicalPlan::Project {
+                exprs,
+                output,
+                child,
+            } => {
+                let c = self.build(child, binding)?;
+                // A projection may drop distribution columns; conservative:
+                // keep Hashed only if all hash columns survive as pass-through.
+                let dist = match &c.dist {
+                    DistSpec::Hashed(cols) => {
+                        let passthrough: Vec<ColRef> = exprs
+                            .iter()
+                            .filter_map(|e| match e {
+                                Expr::Col(c) => Some(c.clone()),
+                                _ => None,
+                            })
+                            .collect();
+                        if cols.iter().all(|c| passthrough.contains(c)) {
+                            DistSpec::Hashed(cols.clone())
+                        } else {
+                            // Rows still live where they were; model as
+                            // hashed on an unknown key ≈ keep as-is for
+                            // correctness purposes (no co-location claims).
+                            DistSpec::Hashed(vec![])
+                        }
+                    }
+                    d => d.clone(),
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::Project {
+                        exprs: exprs.clone(),
+                        output: output.clone(),
+                        child: Box::new(c.plan),
+                    },
+                    dist,
+                    rows: c.rows,
+                })
+            }
+
+            LogicalPlan::Join {
+                join_type,
+                pred,
+                left,
+                right,
+            } => self.build_join(*join_type, pred, left, right, binding),
+
+            LogicalPlan::Agg {
+                group_by,
+                aggs,
+                output,
+                child,
+            } => {
+                let c = self.build(child, binding)?;
+                let rows = est.agg_cardinality(c.rows, group_by);
+                if group_by.is_empty() {
+                    // Scalar aggregate: gather everything to one segment.
+                    let gathered = match c.dist {
+                        DistSpec::Singleton => c.plan,
+                        DistSpec::Replicated => PhysicalPlan::Motion {
+                            // One copy is enough; a plain Gather from a
+                            // replicated child would multiply rows.
+                            kind: MotionKind::GatherOne,
+                            child: Box::new(c.plan),
+                        },
+                        _ => PhysicalPlan::Motion {
+                            kind: MotionKind::Gather,
+                            child: Box::new(c.plan),
+                        },
+                    };
+                    return Ok(Built {
+                        plan: PhysicalPlan::HashAgg {
+                            group_by: vec![],
+                            aggs: aggs.clone(),
+                            output: output.clone(),
+                            child: Box::new(gathered),
+                        },
+                        dist: DistSpec::Singleton,
+                        rows,
+                    });
+                }
+                // Grouped: co-locate groups. A child hashed on a subset of
+                // the group columns already co-locates equal groups.
+                let colocated = match &c.dist {
+                    DistSpec::Hashed(cols) => {
+                        !cols.is_empty() && cols.iter().all(|h| group_by.contains(h))
+                    }
+                    DistSpec::Singleton => true,
+                    DistSpec::Replicated => false,
+                };
+                let input = if colocated {
+                    c.plan
+                } else {
+                    PhysicalPlan::Motion {
+                        kind: MotionKind::Redistribute(group_by.clone()),
+                        child: Box::new(c.plan),
+                    }
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::HashAgg {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                        output: output.clone(),
+                        child: Box::new(input),
+                    },
+                    dist: DistSpec::Hashed(group_by.clone()),
+                    rows,
+                })
+            }
+
+            LogicalPlan::Values { rows, output } => Ok(Built {
+                plan: PhysicalPlan::Values {
+                    rows: rows.clone(),
+                    output: output.clone(),
+                },
+                dist: DistSpec::Singleton,
+                rows: rows.len() as f64,
+            }),
+
+            LogicalPlan::Limit { n, child } => {
+                let c = self.build(child, binding)?;
+                let gathered = match c.dist {
+                    DistSpec::Singleton => c.plan,
+                    DistSpec::Replicated => PhysicalPlan::Motion {
+                        kind: MotionKind::GatherOne,
+                        child: Box::new(c.plan),
+                    },
+                    _ => PhysicalPlan::Motion {
+                        kind: MotionKind::Gather,
+                        child: Box::new(c.plan),
+                    },
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::Limit {
+                        n: *n,
+                        child: Box::new(gathered),
+                    },
+                    dist: DistSpec::Singleton,
+                    rows: c.rows.min(*n as f64),
+                })
+            }
+
+            LogicalPlan::Sort { keys, child } => {
+                let c = self.build(child, binding)?;
+                let gathered = match c.dist {
+                    DistSpec::Singleton => c.plan,
+                    DistSpec::Replicated => PhysicalPlan::Motion {
+                        kind: MotionKind::GatherOne,
+                        child: Box::new(c.plan),
+                    },
+                    _ => PhysicalPlan::Motion {
+                        kind: MotionKind::Gather,
+                        child: Box::new(c.plan),
+                    },
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::Sort {
+                        keys: keys.clone(),
+                        child: Box::new(gathered),
+                    },
+                    dist: DistSpec::Singleton,
+                    rows: c.rows,
+                })
+            }
+
+            LogicalPlan::Update {
+                table,
+                target_cols,
+                assignments,
+                child,
+            } => {
+                let c = self.build(child, binding)?;
+                Ok(Built {
+                    plan: PhysicalPlan::Update {
+                        table: *table,
+                        target_cols: target_cols.clone(),
+                        assignments: assignments.clone(),
+                        child: Box::new(c.plan),
+                    },
+                    dist: DistSpec::Singleton,
+                    rows: c.rows,
+                })
+            }
+            LogicalPlan::Delete {
+                table,
+                target_cols,
+                child,
+            } => {
+                let c = self.build(child, binding)?;
+                Ok(Built {
+                    plan: PhysicalPlan::Delete {
+                        table: *table,
+                        target_cols: target_cols.clone(),
+                        child: Box::new(c.plan),
+                    },
+                    dist: DistSpec::Singleton,
+                    rows: c.rows,
+                })
+            }
+            LogicalPlan::Insert { table, child } => {
+                let c = self.build(child, binding)?;
+                Ok(Built {
+                    plan: PhysicalPlan::Insert {
+                        table: *table,
+                        child: Box::new(c.plan),
+                    },
+                    dist: DistSpec::Singleton,
+                    rows: c.rows,
+                })
+            }
+        }
+    }
+
+    /// Join implementation + distribution strategy selection.
+    fn build_join(
+        &self,
+        join_type: JoinType,
+        pred: &Expr,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        binding: &ColumnBinding,
+    ) -> Result<Built> {
+        let est = CardinalityEstimator::new(&self.catalog, binding);
+        let l = self.build(left, binding)?;
+        let r = self.build(right, binding)?;
+        let left_cols: BTreeSet<ColRef> = left.output_cols().into_iter().collect();
+        let right_cols: BTreeSet<ColRef> = right.output_cols().into_iter().collect();
+
+        // Split the predicate into equi-key pairs and a residual.
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual = Vec::new();
+        for conj in split_conjuncts(pred) {
+            if let Expr::Cmp {
+                op: mpp_expr::CmpOp::Eq,
+                left: a,
+                right: b,
+            } = &conj
+            {
+                let a_cols = collect_columns(a);
+                let b_cols = collect_columns(b);
+                let a_left = a_cols.iter().all(|c| left_cols.contains(c));
+                let a_right = a_cols.iter().all(|c| right_cols.contains(c));
+                let b_left = b_cols.iter().all(|c| left_cols.contains(c));
+                let b_right = b_cols.iter().all(|c| right_cols.contains(c));
+                if a_left && b_right && !a_cols.is_empty() && !b_cols.is_empty() {
+                    left_keys.push(a.as_ref().clone());
+                    right_keys.push(b.as_ref().clone());
+                    continue;
+                }
+                if b_left && a_right && !a_cols.is_empty() && !b_cols.is_empty() {
+                    left_keys.push(b.as_ref().clone());
+                    right_keys.push(a.as_ref().clone());
+                    continue;
+                }
+            }
+            residual.push(conj);
+        }
+        let residual = if residual.is_empty() {
+            None
+        } else {
+            Some(Expr::and(residual))
+        };
+
+        let out_rows = est.join_cardinality(l.rows, r.rows, pred);
+
+        if left_keys.is_empty() {
+            // No equi keys: nested loops with a broadcast inner.
+            let (r_plan, r_moved) = match &r.dist {
+                DistSpec::Replicated => (r.plan, false),
+                DistSpec::Singleton if l.dist == DistSpec::Singleton => (r.plan, false),
+                _ => (
+                    PhysicalPlan::Motion {
+                        kind: MotionKind::Broadcast,
+                        child: Box::new(r.plan),
+                    },
+                    true,
+                ),
+            };
+            let _ = r_moved;
+            let dist = l.dist.clone();
+            return Ok(Built {
+                plan: PhysicalPlan::NLJoin {
+                    join_type,
+                    pred: Some(pred.clone()),
+                    left: Box::new(l.plan),
+                    right: Box::new(r_plan),
+                },
+                dist,
+                rows: out_rows,
+            });
+        }
+
+        // Key colref sequences for co-location checks (only simple column
+        // keys co-locate).
+        let lk_cols: Option<Vec<ColRef>> = left_keys
+            .iter()
+            .map(|e| match e {
+                Expr::Col(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        let rk_cols: Option<Vec<ColRef>> = right_keys
+            .iter()
+            .map(|e| match e {
+                Expr::Col(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+
+        let l_colocated = matches!((&l.dist, &lk_cols), (DistSpec::Hashed(h), Some(k)) if h == k)
+            || l.dist == DistSpec::Singleton;
+        let r_colocated = matches!((&r.dist, &rk_cols), (DistSpec::Hashed(h), Some(k)) if h == k)
+            || r.dist == DistSpec::Singleton;
+
+        // Is there a DPE opportunity: the right (inner) side roots a
+        // partitioned scan whose partition key is constrained by the join
+        // predicate?
+        let l_base_rows = base_cardinality(left, &self.catalog);
+        let dpe_fraction =
+            self.dpe_fraction(&r.plan, &left_keys, &right_keys, l.rows, l_base_rows);
+        let _ = est;
+
+        // Candidate strategies: (left motion, right motion, dpe-possible).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mv {
+            None,
+            Redist,
+            Bcast,
+        }
+        let mut candidates: Vec<(Mv, Mv)> = Vec::new();
+        // (a) redistribute to co-locate on keys.
+        candidates.push((
+            if l_colocated { Mv::None } else { Mv::Redist },
+            if r_colocated { Mv::None } else { Mv::Redist },
+        ));
+        // (b) broadcast right, leave left.
+        candidates.push((Mv::None, Mv::Bcast));
+        // (c) broadcast left, leave right (inner joins and semi-style
+        // joins must not duplicate left rows — only Inner allows this).
+        if join_type == JoinType::Inner {
+            candidates.push((Mv::Bcast, Mv::None));
+        }
+
+        let mut best: Option<(f64, (Mv, Mv))> = None;
+        for (ml, mr) in candidates {
+            // Redistribution requires simple column keys.
+            if ml == Mv::Redist && lk_cols.is_none() {
+                continue;
+            }
+            if mr == Mv::Redist && rk_cols.is_none() {
+                continue;
+            }
+            // Replicated sides must not be moved again.
+            if l.dist == DistSpec::Replicated && ml != Mv::None {
+                continue;
+            }
+            if r.dist == DistSpec::Replicated && mr != Mv::None {
+                continue;
+            }
+            // Validity: matching pairs must meet. Either both hashed on
+            // keys, or one side replicated/broadcast.
+            let l_ok = ml != Mv::None || l_colocated || l.dist == DistSpec::Replicated;
+            let r_ok = mr != Mv::None || r_colocated || r.dist == DistSpec::Replicated;
+            let joinable = match (ml, mr) {
+                (Mv::Bcast, _) | (_, Mv::Bcast) => true,
+                _ => {
+                    (l_ok && r_ok)
+                        || l.dist == DistSpec::Replicated
+                        || r.dist == DistSpec::Replicated
+                }
+            };
+            if !joinable {
+                continue;
+            }
+            let mut cost = 0.0;
+            cost += match ml {
+                Mv::None => 0.0,
+                Mv::Redist => self.cost.redistribute(l.rows),
+                Mv::Bcast => self.cost.broadcast(l.rows),
+            };
+            cost += match mr {
+                Mv::None => 0.0,
+                Mv::Redist => self.cost.redistribute(r.rows),
+                Mv::Bcast => self.cost.broadcast(r.rows),
+            };
+            // DPE saves scan cost on the inner side when it stays in place.
+            let scan_fraction = if mr == Mv::None { dpe_fraction } else { 1.0 };
+            if let Some((total_parts, scan_rows)) = partitioned_scan_shape(&r.plan, &self.catalog)
+            {
+                cost += self.cost.dynamic_scan(scan_rows, total_parts, scan_fraction);
+            } else {
+                cost += r.rows * 0.0; // child cost already sunk
+            }
+            cost += self.cost.hash_join(l.rows, r.rows * scan_fraction, out_rows);
+            if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                best = Some((cost, (ml, mr)));
+            }
+        }
+        let (_, (ml, mr)) = best.ok_or_else(|| {
+            Error::Optimize("no valid distribution strategy for join".into())
+        })?;
+
+        let apply = |plan: PhysicalPlan, mv: Mv, keys: &Option<Vec<ColRef>>| match mv {
+            Mv::None => plan,
+            Mv::Redist => PhysicalPlan::Motion {
+                kind: MotionKind::Redistribute(keys.clone().expect("checked above")),
+                child: Box::new(plan),
+            },
+            Mv::Bcast => PhysicalPlan::Motion {
+                kind: MotionKind::Broadcast,
+                child: Box::new(plan),
+            },
+        };
+        let out_dist = match (ml, mr) {
+            (Mv::Bcast, _) => r.dist.clone(),
+            (_, Mv::Bcast) => match ml {
+                Mv::Redist => DistSpec::Hashed(lk_cols.clone().unwrap()),
+                _ => l.dist.clone(),
+            },
+            (Mv::Redist, _) | (Mv::None, Mv::Redist) => {
+                if ml == Mv::Redist {
+                    DistSpec::Hashed(lk_cols.clone().unwrap())
+                } else {
+                    l.dist.clone()
+                }
+            }
+            (Mv::None, Mv::None) => l.dist.clone(),
+        };
+        let l_plan = apply(l.plan, ml, &lk_cols);
+        let r_plan = apply(r.plan, mr, &rk_cols);
+        Ok(Built {
+            plan: PhysicalPlan::HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                left: Box::new(l_plan),
+                right: Box::new(r_plan),
+            },
+            dist: out_dist,
+            rows: out_rows,
+        })
+    }
+
+    /// Expected fraction of partitions scanned if dynamic partition
+    /// elimination applies to the right (inner) side via these join keys;
+    /// 1.0 when no DPE opportunity exists.
+    ///
+    /// Without per-value histograms we estimate the fraction of the key
+    /// domain the outer side still covers by how selective its filters
+    /// were: an outer side reduced to 1% of its base rows drives roughly
+    /// 1% of the partitions (the uniform-key assumption).
+    fn dpe_fraction(
+        &self,
+        right_plan: &PhysicalPlan,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        left_rows: f64,
+        left_base_rows: f64,
+    ) -> f64 {
+        let Some((table, output)) = dynamic_scan_of(right_plan) else {
+            return 1.0;
+        };
+        let Ok(tree) = self.catalog.part_tree(table) else {
+            return 1.0;
+        };
+        let key_cols: Vec<ColRef> = tree
+            .key_indices()
+            .iter()
+            .filter_map(|&i| output.get(i).cloned())
+            .collect();
+        // Which join key pair hits a partition key?
+        for (lk, rk) in left_keys.iter().zip(right_keys) {
+            let _ = lk;
+            if let Expr::Col(rc) = rk {
+                if key_cols.contains(rc) {
+                    let parts = tree.num_leaves() as f64;
+                    // Two independent upper bounds on the touched
+                    // fraction: the outer side's filter selectivity (a
+                    // filtered outer covers proportionally less of the
+                    // key domain) and its absolute row count (n outer
+                    // rows can light up at most n partitions).
+                    let ratio = if left_base_rows > 0.0 {
+                        left_rows / left_base_rows
+                    } else {
+                        1.0
+                    };
+                    let by_count = left_rows / parts;
+                    return ratio.min(by_count).clamp(1.0 / parts, 1.0);
+                }
+            }
+        }
+        1.0
+    }
+}
+
+/// Product of the base-table cardinalities in a logical subtree — the
+/// "unfiltered" size the estimator's output is compared against when
+/// guessing how much of the key domain survives.
+fn base_cardinality(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
+    let mut product = 1.0f64;
+    for t in plan.base_tables() {
+        product *= catalog.stats(t).row_count.max(1) as f64;
+    }
+    product
+}
+
+/// If the plan is a (filter over a) DynamicScan, return its table and
+/// output columns.
+fn dynamic_scan_of(plan: &PhysicalPlan) -> Option<(TableOid, Vec<ColRef>)> {
+    match plan {
+        PhysicalPlan::DynamicScan { table, output, .. } => Some((*table, output.clone())),
+        PhysicalPlan::Filter { child, .. } | PhysicalPlan::Project { child, .. } => {
+            dynamic_scan_of(child)
+        }
+        _ => None,
+    }
+}
+
+/// Shape of the partitioned scan rooted in the plan, if any: (leaf count,
+/// base row estimate).
+fn partitioned_scan_shape(plan: &PhysicalPlan, catalog: &Catalog) -> Option<(usize, f64)> {
+    let (table, _) = dynamic_scan_of(plan)?;
+    let tree = catalog.part_tree(table).ok()?;
+    Some((tree.num_leaves(), catalog.stats(table).row_count as f64))
+}
+
+/// Remove every selector predicate, disabling partition elimination while
+/// keeping the plan shape (Figure 17's "disabled" configuration).
+fn strip_selector_predicates(plan: PhysicalPlan) -> PhysicalPlan {
+    fn rec(p: PhysicalPlan) -> PhysicalPlan {
+        let p = map_children(p, rec);
+        if let PhysicalPlan::PartitionSelector {
+            table,
+            table_name,
+            part_scan_id,
+            part_keys,
+            predicates,
+            child,
+        } = p
+        {
+            PhysicalPlan::PartitionSelector {
+                table,
+                table_name,
+                part_scan_id,
+                part_keys,
+                predicates: vec![None; predicates.len()],
+                child,
+            }
+        } else {
+            p
+        }
+    }
+    rec(plan)
+}
+
+/// Rebuild a node with transformed children.
+pub(crate) fn map_children(
+    plan: PhysicalPlan,
+    mut f: impl FnMut(PhysicalPlan) -> PhysicalPlan,
+) -> PhysicalPlan {
+    use PhysicalPlan::*;
+    match plan {
+        Filter { pred, child } => Filter {
+            pred,
+            child: Box::new(f(*child)),
+        },
+        Project {
+            exprs,
+            output,
+            child,
+        } => Project {
+            exprs,
+            output,
+            child: Box::new(f(*child)),
+        },
+        HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            left,
+            right,
+        } => {
+            let l = f(*left);
+            let r = f(*right);
+            HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        NLJoin {
+            join_type,
+            pred,
+            left,
+            right,
+        } => {
+            let l = f(*left);
+            let r = f(*right);
+            NLJoin {
+                join_type,
+                pred,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        HashAgg {
+            group_by,
+            aggs,
+            output,
+            child,
+        } => HashAgg {
+            group_by,
+            aggs,
+            output,
+            child: Box::new(f(*child)),
+        },
+        Motion { kind, child } => Motion {
+            kind,
+            child: Box::new(f(*child)),
+        },
+        Sequence { children } => Sequence {
+            children: children.into_iter().map(f).collect(),
+        },
+        Append { output, children } => Append {
+            output,
+            children: children.into_iter().map(f).collect(),
+        },
+        Limit { n, child } => Limit {
+            n,
+            child: Box::new(f(*child)),
+        },
+        Sort { keys, child } => Sort {
+            keys,
+            child: Box::new(f(*child)),
+        },
+        InitPlanOids {
+            param,
+            table,
+            key,
+            child,
+        } => InitPlanOids {
+            param,
+            table,
+            key,
+            child: Box::new(f(*child)),
+        },
+        PartitionSelector {
+            table,
+            table_name,
+            part_scan_id,
+            part_keys,
+            predicates,
+            child,
+        } => PartitionSelector {
+            table,
+            table_name,
+            part_scan_id,
+            part_keys,
+            predicates,
+            child: child.map(|c| Box::new(f(*c))),
+        },
+        Update {
+            table,
+            target_cols,
+            assignments,
+            child,
+        } => Update {
+            table,
+            target_cols,
+            assignments,
+            child: Box::new(f(*child)),
+        },
+        Delete {
+            table,
+            target_cols,
+            child,
+        } => Delete {
+            table,
+            target_cols,
+            child: Box::new(f(*child)),
+        },
+        Insert { table, child } => Insert {
+            table,
+            child: Box::new(f(*child)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Build the colref → base column binding by walking `Get` nodes.
+fn build_binding(plan: &LogicalPlan, binding: &mut ColumnBinding) {
+    if let LogicalPlan::Get { table, output, .. } = plan {
+        for (i, c) in output.iter().enumerate() {
+            binding.bind(c.id, *table, i);
+        }
+    }
+    for c in plan.children() {
+        build_binding(c, binding);
+    }
+}
+
+/// Stage 1: normalization — simplify predicates, push conjuncts below
+/// joins where their columns allow it, and rewrite equi-semi-joins into
+/// inner joins over a distinct build side. The semi-join rewrite is what
+/// turns the paper's Figure 4 `IN (SELECT …)` into a join with the fact
+/// table on the *inner* side, where Algorithm 4 can apply dynamic
+/// partition elimination.
+pub fn normalize(plan: LogicalPlan) -> LogicalPlan {
+    normalize_opts(plan, true)
+}
+
+/// Normalization without the semi-join rewrite — the legacy planner's
+/// weaker normalizer (its subquery plans keep the fact table on the outer
+/// side, which is why it cannot eliminate partitions there; §4.3).
+pub fn normalize_basic(plan: LogicalPlan) -> LogicalPlan {
+    normalize_opts(plan, false)
+}
+
+fn normalize_opts(plan: LogicalPlan, rewrite_semi: bool) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Select { pred, child } => {
+            let child = normalize_opts(*child, rewrite_semi);
+            let pred = simplify(&pred);
+            push_select(pred, child)
+        }
+        LogicalPlan::Join {
+            join_type,
+            pred,
+            left,
+            right,
+        } => {
+            let mut left = normalize_opts(*left, rewrite_semi);
+            let mut right = normalize_opts(*right, rewrite_semi);
+            let pred = simplify(&pred);
+            // Semi-join → inner join over the distinct right side, with
+            // the former probe side as the join's inner child.
+            if rewrite_semi && join_type == JoinType::LeftSemi {
+                if let Some(r_col) = single_right_equi_col(&pred, &left, &right) {
+                    let distinct = LogicalPlan::Agg {
+                        group_by: vec![r_col.clone()],
+                        aggs: vec![],
+                        output: vec![r_col],
+                        child: Box::new(right),
+                    };
+                    let out_cols = left.output_cols();
+                    let inner = LogicalPlan::Join {
+                        join_type: JoinType::Inner,
+                        pred,
+                        left: Box::new(distinct),
+                        right: Box::new(left),
+                    };
+                    return LogicalPlan::Project {
+                        exprs: out_cols.iter().cloned().map(Expr::col).collect(),
+                        output: out_cols,
+                        child: Box::new(inner),
+                    };
+                }
+            }
+            // Single-side conjuncts of an inner/semi join predicate sink
+            // into that side.
+            let mut keep = Vec::new();
+            if matches!(join_type, JoinType::Inner | JoinType::LeftSemi) {
+                let lcols: BTreeSet<ColRef> = left.output_cols().into_iter().collect();
+                let rcols: BTreeSet<ColRef> = right.output_cols().into_iter().collect();
+                for c in split_conjuncts(&pred) {
+                    let cols = collect_columns(&c);
+                    if !cols.is_empty() && cols.iter().all(|x| lcols.contains(x)) {
+                        left = push_select(c, left);
+                    } else if !cols.is_empty() && cols.iter().all(|x| rcols.contains(x)) {
+                        right = push_select(c, right);
+                    } else {
+                        keep.push(c);
+                    }
+                }
+            } else {
+                keep = split_conjuncts(&pred);
+            }
+            LogicalPlan::Join {
+                join_type,
+                pred: Expr::and(keep),
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        LogicalPlan::Project {
+            exprs,
+            output,
+            child,
+        } => LogicalPlan::Project {
+            exprs,
+            output,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        LogicalPlan::Agg {
+            group_by,
+            aggs,
+            output,
+            child,
+        } => LogicalPlan::Agg {
+            group_by,
+            aggs,
+            output,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        LogicalPlan::Limit { n, child } => LogicalPlan::Limit {
+            n,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        LogicalPlan::Sort { keys, child } => LogicalPlan::Sort {
+            keys,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        LogicalPlan::Update {
+            table,
+            target_cols,
+            assignments,
+            child,
+        } => LogicalPlan::Update {
+            table,
+            target_cols,
+            assignments,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        LogicalPlan::Delete {
+            table,
+            target_cols,
+            child,
+        } => LogicalPlan::Delete {
+            table,
+            target_cols,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        LogicalPlan::Insert { table, child } => LogicalPlan::Insert {
+            table,
+            child: Box::new(normalize_opts(*child, rewrite_semi)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// If the predicate is a single equality `l_expr = r_col` with `r_col` a
+/// bare column of `right` and the other side referencing only `left`,
+/// return that right column (the semi-join rewrite precondition).
+fn single_right_equi_col(
+    pred: &Expr,
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+) -> Option<ColRef> {
+    let conjuncts = split_conjuncts(pred);
+    if conjuncts.len() != 1 {
+        return None;
+    }
+    let Expr::Cmp {
+        op: mpp_expr::CmpOp::Eq,
+        left: a,
+        right: b,
+    } = &conjuncts[0]
+    else {
+        return None;
+    };
+    let lcols: BTreeSet<ColRef> = left.output_cols().into_iter().collect();
+    let rcols: BTreeSet<ColRef> = right.output_cols().into_iter().collect();
+    let a_cols = collect_columns(a);
+    match (a.as_ref(), b.as_ref()) {
+        (_, Expr::Col(rc))
+            if rcols.contains(rc)
+                && !a_cols.is_empty()
+                && a_cols.iter().all(|c| lcols.contains(c)) =>
+        {
+            Some(rc.clone())
+        }
+        (Expr::Col(rc), _)
+            if rcols.contains(rc) && {
+                let b_cols = collect_columns(b);
+                !b_cols.is_empty() && b_cols.iter().all(|c| lcols.contains(c))
+            } =>
+        {
+            Some(rc.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Push a selection's conjuncts as deep as their column references allow.
+fn push_select(pred: Expr, child: LogicalPlan) -> LogicalPlan {
+    match child {
+        LogicalPlan::Join {
+            join_type,
+            pred: jpred,
+            left,
+            right,
+        } => {
+            let lcols: BTreeSet<ColRef> = left.output_cols().into_iter().collect();
+            let rcols: BTreeSet<ColRef> = right.output_cols().into_iter().collect();
+            let mut left = *left;
+            let mut right = *right;
+            let mut keep = Vec::new();
+            for c in split_conjuncts(&pred) {
+                let cols = collect_columns(&c);
+                let all_left = !cols.is_empty() && cols.iter().all(|x| lcols.contains(x));
+                let all_right = !cols.is_empty() && cols.iter().all(|x| rcols.contains(x));
+                match join_type {
+                    // Above an inner join, either side accepts its own
+                    // conjuncts.
+                    JoinType::Inner if all_left => left = push_select(c, left),
+                    JoinType::Inner if all_right => right = push_select(c, right),
+                    // Semi/anti/outer joins output left columns only (or
+                    // null-extend the right), so only left-side pushes are
+                    // safe.
+                    JoinType::LeftSemi | JoinType::LeftAnti | JoinType::LeftOuter if all_left => {
+                        left = push_select(c, left)
+                    }
+                    _ => keep.push(c),
+                }
+            }
+            // For inner joins the remaining conjuncts fold into the join
+            // predicate itself (they may be equi-join keys); for other
+            // join types they must stay above.
+            if join_type == JoinType::Inner {
+                let mut jconj = split_conjuncts(&jpred);
+                jconj.extend(keep);
+                LogicalPlan::Join {
+                    join_type,
+                    pred: simplify(&Expr::and(jconj)),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            } else {
+                let joined = LogicalPlan::Join {
+                    join_type,
+                    pred: jpred,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+                wrap_select(keep, joined)
+            }
+        }
+        LogicalPlan::Select {
+            pred: inner,
+            child,
+        } => {
+            // Merge adjacent selects, then retry the push with the union.
+            let mut conj = split_conjuncts(&pred);
+            conj.extend(split_conjuncts(&inner));
+            push_select(Expr::and(conj), *child)
+        }
+        other => wrap_select(split_conjuncts(&pred), other),
+    }
+}
+
+fn wrap_select(conjuncts: Vec<Expr>, child: LogicalPlan) -> LogicalPlan {
+    if conjuncts.is_empty() {
+        child
+    } else {
+        LogicalPlan::Select {
+            pred: Expr::and(conjuncts),
+            child: Box::new(child),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::range_parts_equal_width;
+    use mpp_catalog::{TableDesc, TableStats};
+    use mpp_common::{Column, DataType, Datum, Schema};
+    use mpp_plan::explain;
+
+    /// R(a, b) hash-distributed on a, partitioned on b into `parts` ranges
+    /// over [0, parts*10); S(a, b) hash-distributed on a, unpartitioned.
+    fn rs_catalog(parts: u32, r_rows: u64, s_rows: u64) -> (Catalog, TableOid, TableOid) {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let r = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(parts);
+        cat.register(TableDesc {
+            oid: r,
+            name: "r".into(),
+            schema: schema.clone(),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(
+                range_parts_equal_width(
+                    1,
+                    Datum::Int32(0),
+                    Datum::Int32(parts as i32 * 10),
+                    parts as usize,
+                    first,
+                )
+                .unwrap(),
+            ),
+        })
+        .unwrap();
+        cat.set_stats(r, TableStats::new(r_rows));
+        let s = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: s,
+            name: "s".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        cat.set_stats(s, TableStats::new(s_rows));
+        (cat, r, s)
+    }
+
+    fn get(cat: &Catalog, oid: TableOid, ids: &[u32]) -> LogicalPlan {
+        let desc = cat.table(oid).unwrap();
+        LogicalPlan::Get {
+            table: oid,
+            table_name: desc.name.clone(),
+            output: desc
+                .schema
+                .columns()
+                .iter()
+                .zip(ids)
+                .map(|(c, &id)| ColRef::new(id, c.name.as_str()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn simple_selection_query_plans_with_static_selector() {
+        let (cat, r, _) = rs_catalog(10, 100_000, 100);
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        let rb = ColRef::new(2, "b");
+        let logical = LogicalPlan::Select {
+            pred: Expr::lt(Expr::col(rb), Expr::lit(30i32)),
+            child: Box::new(get(&cat, r, &[1, 2])),
+        };
+        let plan = opt.optimize(&logical).unwrap();
+        let text = explain(&plan);
+        assert_eq!(plan.count_op("PartitionSelector"), 1, "{text}");
+        assert_eq!(plan.count_op("DynamicScan"), 1, "{text}");
+        assert_eq!(plan.count_op("Sequence"), 1, "{text}");
+        // Root gather present.
+        assert!(text.starts_with("Gather Motion"), "{text}");
+        validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn join_on_partition_key_produces_dpe_plan() {
+        // select * from R, S where R.b = S.b and S.a < 100  (paper §4.4.2)
+        let (cat, r, s) = rs_catalog(100, 1_000_000, 1_000);
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        let (ra, rb) = (ColRef::new(1, "a"), ColRef::new(2, "b"));
+        let (sa, sb) = (ColRef::new(3, "a"), ColRef::new(4, "b"));
+        let _ = ra;
+        let logical = LogicalPlan::Select {
+            pred: Expr::and(vec![
+                Expr::eq(Expr::col(rb), Expr::col(sb.clone())),
+                Expr::lt(Expr::col(sa), Expr::lit(100i32)),
+            ]),
+            child: Box::new(LogicalPlan::Join {
+                join_type: JoinType::Inner,
+                // Keep S as the join's outer side so the DynamicScan of R
+                // sits on the inner side (the Figure 5(d) shape).
+                pred: Expr::lit(true),
+                left: Box::new(get(&cat, s, &[3, 4])),
+                right: Box::new(get(&cat, r, &[1, 2])),
+            }),
+        };
+        let plan = opt.optimize(&logical).unwrap();
+        let text = explain(&plan);
+        // The selector is a pass-through on the outer side with the join
+        // predicate — dynamic partition elimination.
+        assert_eq!(plan.count_op("PartitionSelector"), 1, "{text}");
+        let mut dpe = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector {
+                child: Some(_),
+                predicates,
+                ..
+            } = p
+            {
+                if predicates[0].is_some() {
+                    dpe = true;
+                }
+            }
+        });
+        assert!(dpe, "expected pass-through DPE selector:\n{text}");
+        validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn disabling_partition_selection_strips_predicates() {
+        let (cat, r, _) = rs_catalog(10, 10_000, 100);
+        let opt = Optimizer::new(
+            cat.clone(),
+            OptimizerConfig {
+                enable_partition_selection: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        let rb = ColRef::new(2, "b");
+        let logical = LogicalPlan::Select {
+            pred: Expr::lt(Expr::col(rb), Expr::lit(30i32)),
+            child: Box::new(get(&cat, r, &[1, 2])),
+        };
+        let plan = opt.optimize(&logical).unwrap();
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector { predicates, .. } = p {
+                assert!(predicates.iter().all(Option::is_none));
+            }
+        });
+    }
+
+    #[test]
+    fn normalization_pushes_predicates_below_join() {
+        let (cat, r, s) = rs_catalog(10, 1000, 1000);
+        let (rb, sa) = (ColRef::new(2, "b"), ColRef::new(3, "a"));
+        let logical = LogicalPlan::Select {
+            pred: Expr::and(vec![
+                Expr::lt(Expr::col(rb.clone()), Expr::lit(30i32)),
+                Expr::eq(Expr::col(sa.clone()), Expr::lit(5i32)),
+            ]),
+            child: Box::new(LogicalPlan::Join {
+                join_type: JoinType::Inner,
+                pred: Expr::eq(Expr::col(ColRef::new(1, "a")), Expr::col(sa.clone())),
+                left: Box::new(get(&cat, r, &[1, 2])),
+                right: Box::new(get(&cat, s, &[3, 4])),
+            }),
+        };
+        let n = normalize(logical);
+        // Both conjuncts sank below the join.
+        match &n {
+            LogicalPlan::Join { left, right, .. } => {
+                assert!(matches!(left.as_ref(), LogicalPlan::Select { .. }));
+                assert!(matches!(right.as_ref(), LogicalPlan::Select { .. }));
+            }
+            other => panic!("expected Join at top, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn scalar_agg_gathers_before_aggregating() {
+        let (cat, r, _) = rs_catalog(10, 1000, 100);
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        let out = ColRef::new(50, "cnt");
+        let logical = LogicalPlan::Agg {
+            group_by: vec![],
+            aggs: vec![mpp_plan::AggCall::count_star()],
+            output: vec![out],
+            child: Box::new(get(&cat, r, &[1, 2])),
+        };
+        let plan = opt.optimize(&logical).unwrap();
+        let text = explain(&plan);
+        // Singleton output: no root gather on top; Gather below the agg.
+        assert!(text.contains("HashAgg"), "{text}");
+        assert!(text.contains("Gather Motion"), "{text}");
+        assert!(!text.starts_with("Gather"), "agg output is already singleton:\n{text}");
+    }
+
+    #[test]
+    fn grouped_agg_redistributes_when_not_colocated() {
+        let (cat, r, _) = rs_catalog(10, 1000, 100);
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        // Group by b, but r is distributed on a → redistribute.
+        let rb = ColRef::new(2, "b");
+        let logical = LogicalPlan::Agg {
+            group_by: vec![rb.clone()],
+            aggs: vec![mpp_plan::AggCall::count_star()],
+            output: vec![rb, ColRef::new(50, "cnt")],
+            child: Box::new(get(&cat, r, &[1, 2])),
+        };
+        let plan = opt.optimize(&logical).unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("Redistribute Motion"), "{text}");
+    }
+
+    #[test]
+    fn grouped_agg_stays_local_when_colocated() {
+        let (cat, r, _) = rs_catalog(10, 1000, 100);
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        // Group by a = the distribution key: no redistribute needed.
+        let ra = ColRef::new(1, "a");
+        let logical = LogicalPlan::Agg {
+            group_by: vec![ra.clone()],
+            aggs: vec![mpp_plan::AggCall::count_star()],
+            output: vec![ra, ColRef::new(50, "cnt")],
+            child: Box::new(get(&cat, r, &[1, 2])),
+        };
+        let plan = opt.optimize(&logical).unwrap();
+        let text = explain(&plan);
+        assert!(!text.contains("Redistribute Motion"), "{text}");
+    }
+}

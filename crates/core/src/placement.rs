@@ -1,0 +1,938 @@
+//! PartitionSelector placement — the paper's §2.3 (Algorithms 1–4) with
+//! the §2.4 multi-level extension.
+//!
+//! Input: a physical operator tree whose partitioned-table scans are
+//! [`PhysicalPlan::DynamicScan`]s with **no** PartitionSelectors placed
+//! yet. Output: the same tree with one PartitionSelector per DynamicScan,
+//! placed to maximize partition elimination:
+//!
+//! * a `Select` contributes its partition-key conjuncts to the spec that
+//!   travels through it (Algorithm 3);
+//! * a `Join` whose *inner* side defines the scan and whose predicate
+//!   constrains the partitioning key plants the (augmented) spec on its
+//!   *outer* side — dynamic partition elimination (Algorithm 4);
+//! * everything else routes the spec toward the defining subtree, or
+//!   enforces it on top when the scan is out of scope (Algorithm 2).
+//!
+//! Enforcement produces the two shapes of Figure 5: a childless selector
+//! under a `Sequence` when the scan is inside the enforced subtree
+//! (static selection), or a pass-through selector on top of the subtree
+//! whose tuples drive selection (dynamic selection).
+
+use crate::spec::PartSelectorSpec;
+use mpp_catalog::Catalog;
+use mpp_common::{Error, Result};
+use mpp_expr::analysis::find_preds_on_keys;
+use mpp_expr::Expr;
+use mpp_plan::PhysicalPlan;
+
+/// Top-level driver: build one unfiltered [`PartSelectorSpec`] per
+/// DynamicScan in `expr` (the initialization step of Algorithm 1) and run
+/// placement. Scans that already have a selector in the tree are left
+/// alone, so the pass is idempotent.
+pub fn place_partition_selectors(catalog: &Catalog, expr: PhysicalPlan) -> Result<PhysicalPlan> {
+    let mut specs = Vec::new();
+    let mut existing = Vec::new();
+    expr.visit(&mut |p| {
+        if let PhysicalPlan::PartitionSelector { part_scan_id, .. } = p {
+            existing.push(*part_scan_id);
+        }
+    });
+    collect_specs(catalog, &expr, &mut specs)?;
+    specs.retain(|s| !existing.contains(&s.part_scan_id));
+    place(expr, specs)
+}
+
+fn collect_specs(
+    catalog: &Catalog,
+    expr: &PhysicalPlan,
+    out: &mut Vec<PartSelectorSpec>,
+) -> Result<()> {
+    let mut err = None;
+    expr.visit(&mut |p| {
+        if let PhysicalPlan::DynamicScan {
+            table,
+            table_name,
+            part_scan_id,
+            output,
+            ..
+        } = p
+        {
+            let build = || -> Result<PartSelectorSpec> {
+                let tree = catalog.part_tree(*table)?;
+                let keys = tree
+                    .key_indices()
+                    .iter()
+                    .map(|&i| {
+                        output.get(i).cloned().ok_or_else(|| {
+                            Error::InvalidPlan(format!(
+                                "DynamicScan of {table_name} lacks key column #{i}"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(PartSelectorSpec::unfiltered(
+                    *part_scan_id,
+                    *table,
+                    table_name.clone(),
+                    keys,
+                ))
+            };
+            match build() {
+                Ok(s) => out.push(s),
+                Err(e) => err = Some(e),
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Algorithm 1: `PlacePartSelectors`.
+fn place(expr: PhysicalPlan, input_specs: Vec<PartSelectorSpec>) -> Result<PhysicalPlan> {
+    let n_children = expr.children().len();
+    let (on_top, child_specs) = compute_part_selectors(&expr, input_specs, n_children);
+    let rebuilt = rebuild_with_children(expr, child_specs)?;
+    Ok(enforce_part_selectors(on_top, rebuilt))
+}
+
+/// Dispatch of `Operator::ComputePartSelectors` (Algorithms 2–4): returns
+/// the specs to enforce on top of this operator and the spec lists pushed
+/// to each child.
+fn compute_part_selectors(
+    expr: &PhysicalPlan,
+    input_specs: Vec<PartSelectorSpec>,
+    n_children: usize,
+) -> (Vec<PartSelectorSpec>, Vec<Vec<PartSelectorSpec>>) {
+    let mut on_top = Vec::new();
+    let mut child_specs: Vec<Vec<PartSelectorSpec>> = vec![Vec::new(); n_children];
+    let children: Vec<&PhysicalPlan> = expr.children();
+    for spec in input_specs {
+        if !expr.has_part_scan_id(spec.part_scan_id) {
+            // The scan is out of scope: enforce here (Algorithm 2 line 3).
+            on_top.push(spec);
+            continue;
+        }
+        match expr {
+            // A DynamicScan resolves its own spec: enforced directly on
+            // top, which the Sequence shape of `enforce_part_selectors`
+            // turns into Figure 5(a–c).
+            PhysicalPlan::DynamicScan { .. } => on_top.push(spec),
+
+            // Algorithm 3: Select contributes its partition-key conjuncts.
+            PhysicalPlan::Filter { pred, .. } => {
+                let spec = match find_preds_on_keys(pred, &spec.part_keys) {
+                    Some(per_level) => spec.augmented(&per_level),
+                    None => spec,
+                };
+                child_specs[0].push(spec);
+            }
+
+            // Algorithm 4: Join.
+            PhysicalPlan::HashJoin {
+                left_keys,
+                right_keys,
+                residual,
+                left,
+                right,
+                ..
+            } => {
+                let pred = join_predicate(left_keys, right_keys, residual);
+                route_join_spec(spec, &pred, left, right, &mut child_specs);
+            }
+            PhysicalPlan::NLJoin {
+                pred, left, right, ..
+            } => {
+                let pred = pred.clone().unwrap_or_else(|| Expr::lit(true));
+                route_join_spec(spec, &pred, left, right, &mut child_specs);
+            }
+
+            // Algorithm 2 (default): route toward the defining child.
+            _ => {
+                for (i, child) in children.iter().enumerate() {
+                    if child.has_part_scan_id(spec.part_scan_id) {
+                        child_specs[i].push(spec);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (on_top, child_specs)
+}
+
+/// Reassemble a join predicate expression from equi-keys and residual.
+fn join_predicate(left_keys: &[Expr], right_keys: &[Expr], residual: &Option<Expr>) -> Expr {
+    let mut conjuncts: Vec<Expr> = left_keys
+        .iter()
+        .zip(right_keys)
+        .map(|(l, r)| Expr::eq(l.clone(), r.clone()))
+        .collect();
+    if let Some(r) = residual {
+        conjuncts.push(r.clone());
+    }
+    Expr::and(conjuncts)
+}
+
+/// Algorithm 4 lines 7–17: decide which join child receives the spec.
+///
+/// One refinement beyond the paper's pseudo-code: the §2.3 algorithms
+/// assume a motion-free tree, while we also run placement after Motion
+/// planning. A pass-through selector on the outer side can only feed a
+/// scan on the inner side if no Motion separates the scan from the join
+/// (§3.1, Figure 12) — when one does, dynamic elimination is impossible
+/// and the spec resolves near the scan instead.
+fn route_join_spec(
+    spec: PartSelectorSpec,
+    join_pred: &Expr,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    child_specs: &mut [Vec<PartSelectorSpec>],
+) {
+    let defined_in_outer = left.has_part_scan_id(spec.part_scan_id);
+    if defined_in_outer {
+        // The scan runs on the outer side, before any inner tuples exist:
+        // the selector stays with it.
+        child_specs[0].push(spec);
+        return;
+    }
+    let dpe_possible = !motion_above_scan(right, spec.part_scan_id);
+    match find_preds_on_keys(join_pred, &spec.part_keys) {
+        // The join predicate restricts the partitioning key and the inner
+        // scan shares the join's process: plant the augmented spec on the
+        // outer side — dynamic partition elimination. Filters sitting on
+        // the inner path between the join and the scan contribute their
+        // key predicates too (e.g. a static predicate on another
+        // partitioning level, paper §2.4), since the spec will no longer
+        // travel through them.
+        Some(per_level) if dpe_possible => {
+            let mut spec = spec.augmented(&per_level);
+            if let Some(inner_preds) = inner_path_preds(right, spec.part_scan_id, &spec.part_keys)
+            {
+                spec = spec.augmented(&inner_preds);
+            }
+            child_specs[0].push(spec);
+        }
+        // Otherwise resolve near the scan.
+        _ => child_specs[1].push(spec),
+    }
+}
+
+/// Partition-key predicates contributed by Filter operators on the path
+/// from `root` down to the DynamicScan with the given id.
+fn inner_path_preds(
+    root: &PhysicalPlan,
+    id: mpp_common::PartScanId,
+    keys: &[mpp_expr::ColRef],
+) -> Option<Vec<Option<Expr>>> {
+    let mut acc: Option<Vec<Option<Expr>>> = None;
+    let mut node = root;
+    loop {
+        if let PhysicalPlan::DynamicScan { part_scan_id, .. } = node {
+            if *part_scan_id == id {
+                return acc;
+            }
+        }
+        if let PhysicalPlan::Filter { pred, .. } = node {
+            if let Some(per_level) = find_preds_on_keys(pred, keys) {
+                acc = Some(match acc {
+                    None => per_level,
+                    Some(prev) => prev
+                        .into_iter()
+                        .zip(per_level)
+                        .map(|(a, b)| match (a, b) {
+                            (None, x) | (x, None) => x,
+                            (Some(a), Some(b)) => Some(mpp_expr::conj(Some(a), b)),
+                        })
+                        .collect(),
+                });
+            }
+        }
+        let children = node.children();
+        match children.into_iter().find(|c| c.has_part_scan_id(id)) {
+            Some(c) => node = c,
+            None => return acc,
+        }
+    }
+}
+
+/// Does any Motion sit on the path from `root` (inclusive) down to the
+/// DynamicScan with the given id?
+fn motion_above_scan(root: &PhysicalPlan, id: mpp_common::PartScanId) -> bool {
+    if let PhysicalPlan::DynamicScan { part_scan_id, .. } = root {
+        if *part_scan_id == id {
+            return false;
+        }
+    }
+    let is_motion = matches!(root, PhysicalPlan::Motion { .. });
+    for c in root.children() {
+        if c.has_part_scan_id(id) {
+            return is_motion || motion_above_scan(c, id);
+        }
+    }
+    is_motion
+}
+
+/// Recurse into children with their assigned spec lists.
+fn rebuild_with_children(
+    expr: PhysicalPlan,
+    mut child_specs: Vec<Vec<PartSelectorSpec>>,
+) -> Result<PhysicalPlan> {
+    // Take ownership of children, transform, and put them back.
+    Ok(match expr {
+        PhysicalPlan::Filter { pred, child } => PhysicalPlan::Filter {
+            pred,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::Project {
+            exprs,
+            output,
+            child,
+        } => PhysicalPlan::Project {
+            exprs,
+            output,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            left,
+            right,
+        } => {
+            let l = place(*left, child_specs.remove(0))?;
+            let r = place(*right, child_specs.remove(0))?;
+            PhysicalPlan::HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        PhysicalPlan::NLJoin {
+            join_type,
+            pred,
+            left,
+            right,
+        } => {
+            let l = place(*left, child_specs.remove(0))?;
+            let r = place(*right, child_specs.remove(0))?;
+            PhysicalPlan::NLJoin {
+                join_type,
+                pred,
+                left: Box::new(l),
+                right: Box::new(r),
+            }
+        }
+        PhysicalPlan::HashAgg {
+            group_by,
+            aggs,
+            output,
+            child,
+        } => PhysicalPlan::HashAgg {
+            group_by,
+            aggs,
+            output,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::Motion { kind, child } => PhysicalPlan::Motion {
+            kind,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::Sequence { children } => PhysicalPlan::Sequence {
+            children: children
+                .into_iter()
+                .zip(child_specs)
+                .map(|(c, s)| place(c, s))
+                .collect::<Result<_>>()?,
+        },
+        PhysicalPlan::Append { output, children } => PhysicalPlan::Append {
+            output,
+            children: children
+                .into_iter()
+                .zip(child_specs)
+                .map(|(c, s)| place(c, s))
+                .collect::<Result<_>>()?,
+        },
+        PhysicalPlan::Limit { n, child } => PhysicalPlan::Limit {
+            n,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::Sort { keys, child } => PhysicalPlan::Sort {
+            keys,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::InitPlanOids {
+            param,
+            table,
+            key,
+            child,
+        } => PhysicalPlan::InitPlanOids {
+            param,
+            table,
+            key,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::PartitionSelector {
+            table,
+            table_name,
+            part_scan_id,
+            part_keys,
+            predicates,
+            child: Some(child),
+        } => PhysicalPlan::PartitionSelector {
+            table,
+            table_name,
+            part_scan_id,
+            part_keys,
+            predicates,
+            child: Some(Box::new(place(*child, child_specs.remove(0))?)),
+        },
+        PhysicalPlan::Update {
+            table,
+            target_cols,
+            assignments,
+            child,
+        } => PhysicalPlan::Update {
+            table,
+            target_cols,
+            assignments,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::Delete {
+            table,
+            target_cols,
+            child,
+        } => PhysicalPlan::Delete {
+            table,
+            target_cols,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        PhysicalPlan::Insert { table, child } => PhysicalPlan::Insert {
+            table,
+            child: Box::new(place(*child, child_specs.remove(0))?),
+        },
+        // Leaves.
+        leaf => leaf,
+    })
+}
+
+/// `EnforcePartSelectors`: wrap `expr` with the selectors that must sit on
+/// top of it. Two shapes (paper Figure 5):
+///
+/// * the scan is inside `expr` → `Sequence(childless selector, expr)`, so
+///   the selector runs first (static selection);
+/// * the scan is elsewhere → pass-through selector with `expr` as child,
+///   evaluating its predicates against every tuple flowing by (dynamic
+///   selection).
+fn enforce_part_selectors(specs: Vec<PartSelectorSpec>, mut expr: PhysicalPlan) -> PhysicalPlan {
+    for spec in specs {
+        let selector = |child: Option<Box<PhysicalPlan>>| PhysicalPlan::PartitionSelector {
+            table: spec.table,
+            table_name: spec.table_name.clone(),
+            part_scan_id: spec.part_scan_id,
+            part_keys: spec.part_keys.clone(),
+            predicates: spec.part_predicates.clone(),
+            child,
+        };
+        expr = if expr.has_part_scan_id(spec.part_scan_id) {
+            PhysicalPlan::Sequence {
+                children: vec![selector(None), expr],
+            }
+        } else {
+            selector(Some(Box::new(expr)))
+        };
+    }
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::{list_level, monthly_range_level, range_parts_equal_width};
+    use mpp_catalog::{Distribution, PartTree, TableDesc};
+    use mpp_common::{Column, DataType, Datum, PartScanId, Schema};
+    use mpp_expr::ColRef;
+    use mpp_plan::{explain, JoinType};
+
+    /// Catalog with the paper's running example (Figure 6): `date_dim`
+    /// partitioned on month, `sales_fact` partitioned on date_id,
+    /// `customer_dim` unpartitioned.
+    fn example_catalog() -> Catalog {
+        let cat = Catalog::new();
+        // date_dim(id, month)
+        let dd_schema = Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::new("month", DataType::Int32),
+        ]);
+        let dd = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(12);
+        cat.register(TableDesc {
+            oid: dd,
+            name: "date_dim".into(),
+            schema: dd_schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(
+                range_parts_equal_width(1, Datum::Int32(1), Datum::Int32(13), 12, first).unwrap(),
+            ),
+        })
+        .unwrap();
+        // sales_fact(date_id, cust_id, amount)
+        let sf_schema = Schema::new(vec![
+            Column::new("date_id", DataType::Int32),
+            Column::new("cust_id", DataType::Int32),
+            Column::new("amount", DataType::Float64),
+        ]);
+        let sf = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(100);
+        cat.register(TableDesc {
+            oid: sf,
+            name: "sales_fact".into(),
+            schema: sf_schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(
+                range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(1000), 100, first)
+                    .unwrap(),
+            ),
+        })
+        .unwrap();
+        // customer_dim(id, state)
+        let cd_schema = Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::new("state", DataType::Utf8),
+        ]);
+        let cd = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: cd,
+            name: "customer_dim".into(),
+            schema: cd_schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        cat
+    }
+
+    fn col(id: u32, name: &str) -> ColRef {
+        ColRef::new(id, name)
+    }
+
+    // Colrefs used by the Figure 8 plan.
+    fn d_id() -> ColRef {
+        col(1, "d_id")
+    }
+    fn d_month() -> ColRef {
+        col(2, "month")
+    }
+    fn s_date_id() -> ColRef {
+        col(3, "date_id")
+    }
+    fn s_cust_id() -> ColRef {
+        col(4, "cust_id")
+    }
+    fn s_amount() -> ColRef {
+        col(5, "amount")
+    }
+    fn c_id() -> ColRef {
+        col(6, "c_id")
+    }
+    fn c_state() -> ColRef {
+        col(7, "state")
+    }
+
+    /// The Figure 8(a) expression tree, before placement.
+    fn figure8_input(cat: &Catalog) -> PhysicalPlan {
+        let dd = cat.table_by_name("date_dim").unwrap();
+        let sf = cat.table_by_name("sales_fact").unwrap();
+        let cd = cat.table_by_name("customer_dim").unwrap();
+        let date_scan = PhysicalPlan::DynamicScan {
+            table: dd.oid,
+            table_name: "date_dim".into(),
+            part_scan_id: PartScanId(1),
+            output: vec![d_id(), d_month()],
+            filter: None,
+        };
+        let month_sel = PhysicalPlan::Filter {
+            pred: Expr::and(vec![
+                Expr::ge(Expr::col(d_month()), Expr::lit(10i32)),
+                Expr::le(Expr::col(d_month()), Expr::lit(12i32)),
+            ]),
+            child: Box::new(date_scan),
+        };
+        let sales_scan = PhysicalPlan::DynamicScan {
+            table: sf.oid,
+            table_name: "sales_fact".into(),
+            part_scan_id: PartScanId(2),
+            output: vec![s_date_id(), s_cust_id(), s_amount()],
+            filter: None,
+        };
+        let lower_join = PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(d_id())],
+            right_keys: vec![Expr::col(s_date_id())],
+            residual: None,
+            left: Box::new(month_sel),
+            right: Box::new(sales_scan),
+        };
+        let cust_sel = PhysicalPlan::Filter {
+            pred: Expr::eq(Expr::col(c_state()), Expr::lit("CA")),
+            child: Box::new(PhysicalPlan::TableScan {
+                table: cd.oid,
+                table_name: "customer_dim".into(),
+                output: vec![c_id(), c_state()],
+                filter: None,
+            }),
+        };
+        PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(s_cust_id())],
+            right_keys: vec![Expr::col(c_id())],
+            residual: None,
+            left: Box::new(lower_join),
+            right: Box::new(cust_sel),
+        }
+    }
+
+    /// Find the PartitionSelector node for a scan id.
+    fn find_selector(plan: &PhysicalPlan, id: u32) -> Option<PhysicalPlan> {
+        let mut found = None;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector { part_scan_id, .. } = p {
+                if part_scan_id.raw() == id && found.is_none() {
+                    found = Some(p.clone());
+                }
+            }
+        });
+        found
+    }
+
+    #[test]
+    fn figure8_placement_end_to_end() {
+        let cat = example_catalog();
+        let placed = place_partition_selectors(&cat, figure8_input(&cat)).unwrap();
+        let text = explain(&placed);
+
+        // Exactly two selectors, one per dynamic scan.
+        assert_eq!(placed.count_op("PartitionSelector"), 2);
+
+        // Selector 1 (date_dim) is childless under a Sequence, annotated
+        // with the month predicate (static selection, Figure 8(b) bottom).
+        let s1 = find_selector(&placed, 1).unwrap();
+        match &s1 {
+            PhysicalPlan::PartitionSelector {
+                predicates, child, ..
+            } => {
+                assert!(child.is_none(), "selector 1 must be childless:\n{text}");
+                assert!(predicates[0].is_some(), "selector 1 carries month pred");
+            }
+            _ => unreachable!(),
+        }
+
+        // Selector 2 (sales_fact) is a pass-through on the OUTER side of
+        // the lower join, annotated with the join predicate (dynamic
+        // selection, Figure 8(b) middle).
+        let s2 = find_selector(&placed, 2).unwrap();
+        match &s2 {
+            PhysicalPlan::PartitionSelector {
+                predicates, child, ..
+            } => {
+                assert!(child.is_some(), "selector 2 is pass-through:\n{text}");
+                let p = predicates[0].as_ref().expect("selector 2 carries join pred");
+                let cols = mpp_expr::collect_columns(p);
+                assert!(cols.contains(&s_date_id()));
+                assert!(cols.contains(&d_id()));
+            }
+            _ => unreachable!(),
+        }
+
+        // Structure: the lower join's outer child is selector 2, whose
+        // child contains the Sequence with selector 1.
+        fn lower_join_outer(p: &PhysicalPlan) -> Option<&PhysicalPlan> {
+            let mut found = None;
+            fn rec<'a>(p: &'a PhysicalPlan, found: &mut Option<&'a PhysicalPlan>) {
+                if let PhysicalPlan::HashJoin { left, right, .. } = p {
+                    if right.has_part_scan_id(PartScanId(2)) {
+                        *found = Some(left);
+                        return;
+                    }
+                }
+                for c in p.children() {
+                    rec(c, found);
+                }
+            }
+            rec(p, &mut found);
+            found
+        }
+        let outer = lower_join_outer(&placed).expect("lower join found");
+        assert!(
+            matches!(outer, PhysicalPlan::PartitionSelector { part_scan_id, .. } if part_scan_id.raw() == 2),
+            "selector 2 sits atop the lower join's outer side:\n{text}"
+        );
+
+        // And a Sequence pairs selector 1 with its scan.
+        assert_eq!(placed.count_op("Sequence"), 1);
+    }
+
+    #[test]
+    fn full_scan_gets_unfiltered_selector() {
+        // Figure 5(a): a bare DynamicScan becomes Sequence(selector, scan)
+        // with no predicate.
+        let cat = example_catalog();
+        let dd = cat.table_by_name("date_dim").unwrap();
+        let scan = PhysicalPlan::DynamicScan {
+            table: dd.oid,
+            table_name: "date_dim".into(),
+            part_scan_id: PartScanId(1),
+            output: vec![d_id(), d_month()],
+            filter: None,
+        };
+        let placed = place_partition_selectors(&cat, scan).unwrap();
+        match &placed {
+            PhysicalPlan::Sequence { children } => {
+                assert_eq!(children.len(), 2);
+                match &children[0] {
+                    PhysicalPlan::PartitionSelector {
+                        predicates, child, ..
+                    } => {
+                        assert!(child.is_none());
+                        assert_eq!(predicates, &vec![None]);
+                    }
+                    other => panic!("expected selector, got {}", other.name()),
+                }
+            }
+            other => panic!("expected Sequence, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn equality_select_pushes_predicate_into_selector() {
+        // Figure 5(b): Select(pk=35) over DynamicScan.
+        let cat = example_catalog();
+        let sf = cat.table_by_name("sales_fact").unwrap();
+        let plan = PhysicalPlan::Filter {
+            pred: Expr::eq(Expr::col(s_date_id()), Expr::lit(35i32)),
+            child: Box::new(PhysicalPlan::DynamicScan {
+                table: sf.oid,
+                table_name: "sales_fact".into(),
+                part_scan_id: PartScanId(1),
+                output: vec![s_date_id(), s_cust_id(), s_amount()],
+                filter: None,
+            }),
+        };
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        let sel = find_selector(&placed, 1).unwrap();
+        match sel {
+            PhysicalPlan::PartitionSelector { predicates, .. } => {
+                let p = predicates[0].as_ref().unwrap();
+                assert_eq!(
+                    *p,
+                    Expr::eq(Expr::col(s_date_id()), Expr::lit(35i32))
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn join_without_key_predicate_resolves_on_inner_side() {
+        // Join on a NON-partitioning column: no DPE possible; the selector
+        // stays next to the scan on the inner side (Algorithm 4 line 12).
+        let cat = example_catalog();
+        let sf = cat.table_by_name("sales_fact").unwrap();
+        let cd = cat.table_by_name("customer_dim").unwrap();
+        let plan = PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(c_id())],
+            right_keys: vec![Expr::col(s_cust_id())],
+            residual: None,
+            left: Box::new(PhysicalPlan::TableScan {
+                table: cd.oid,
+                table_name: "customer_dim".into(),
+                output: vec![c_id(), c_state()],
+                filter: None,
+            }),
+            right: Box::new(PhysicalPlan::DynamicScan {
+                table: sf.oid,
+                table_name: "sales_fact".into(),
+                part_scan_id: PartScanId(1),
+                output: vec![s_date_id(), s_cust_id(), s_amount()],
+                filter: None,
+            }),
+        };
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        // The selector must be inside the join's right subtree, childless.
+        match &placed {
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                assert_eq!(left.count_op("PartitionSelector"), 0);
+                assert_eq!(right.count_op("PartitionSelector"), 1);
+                assert_eq!(right.count_op("Sequence"), 1);
+            }
+            other => panic!("expected HashJoin at root, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn scan_on_outer_side_keeps_selector_with_scan() {
+        // Algorithm 4 line 9: DynamicScan on the OUTER side cannot use the
+        // join predicate (inner tuples don't exist yet).
+        let cat = example_catalog();
+        let sf = cat.table_by_name("sales_fact").unwrap();
+        let cd = cat.table_by_name("customer_dim").unwrap();
+        let plan = PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(s_date_id())],
+            right_keys: vec![Expr::col(c_id())],
+            residual: None,
+            left: Box::new(PhysicalPlan::DynamicScan {
+                table: sf.oid,
+                table_name: "sales_fact".into(),
+                part_scan_id: PartScanId(1),
+                output: vec![s_date_id(), s_cust_id(), s_amount()],
+                filter: None,
+            }),
+            right: Box::new(PhysicalPlan::TableScan {
+                table: cd.oid,
+                table_name: "customer_dim".into(),
+                output: vec![c_id(), c_state()],
+                filter: None,
+            }),
+        };
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        match &placed {
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                assert_eq!(left.count_op("PartitionSelector"), 1);
+                assert_eq!(right.count_op("PartitionSelector"), 0);
+                // Childless selector with NO predicate (no elimination).
+                let sel = find_selector(left, 1).unwrap();
+                match sel {
+                    PhysicalPlan::PartitionSelector {
+                        predicates, child, ..
+                    } => {
+                        assert!(child.is_none());
+                        assert_eq!(predicates, vec![None]);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => panic!("expected HashJoin at root, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn multilevel_select_fills_per_level_predicates() {
+        // orders partitioned by (date month, region) — paper Figure 9. A
+        // region-only predicate fills only level 2's slot.
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("oid", DataType::Int64),
+            Column::new("amount", DataType::Float64),
+            Column::new("date", DataType::Date),
+            Column::new("region", DataType::Utf8),
+        ]);
+        let oid = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(48);
+        let tree = PartTree::new(
+            vec![
+                monthly_range_level(2, 2012, 1, 24).unwrap(),
+                list_level(
+                    3,
+                    vec![
+                        ("r1".into(), vec![Datum::str("Region 1")]),
+                        ("r2".into(), vec![Datum::str("Region 2")]),
+                    ],
+                    false,
+                )
+                .unwrap(),
+            ],
+            first,
+        )
+        .unwrap();
+        cat.register(TableDesc {
+            oid,
+            name: "orders".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(tree),
+        })
+        .unwrap();
+
+        let o_date = col(11, "date");
+        let o_region = col(12, "region");
+        let plan = PhysicalPlan::Filter {
+            pred: Expr::eq(Expr::col(o_region.clone()), Expr::lit("Region 1")),
+            child: Box::new(PhysicalPlan::DynamicScan {
+                table: oid,
+                table_name: "orders".into(),
+                part_scan_id: PartScanId(1),
+                output: vec![col(9, "oid"), col(10, "amount"), o_date, o_region.clone()],
+                filter: None,
+            }),
+        };
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        let sel = find_selector(&placed, 1).unwrap();
+        match sel {
+            PhysicalPlan::PartitionSelector {
+                part_keys,
+                predicates,
+                ..
+            } => {
+                assert_eq!(part_keys.len(), 2);
+                assert!(predicates[0].is_none(), "no date predicate");
+                assert!(predicates[1].is_some(), "region predicate captured");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn placement_is_idempotent() {
+        let cat = example_catalog();
+        let placed = place_partition_selectors(&cat, figure8_input(&cat)).unwrap();
+        let again = place_partition_selectors(&cat, placed.clone()).unwrap();
+        assert_eq!(placed, again);
+    }
+
+    #[test]
+    fn selector_above_groupby_travels_through() {
+        // Algorithm 2: GroupBy is not partition-filtering; the spec passes
+        // through to the child.
+        let cat = example_catalog();
+        let sf = cat.table_by_name("sales_fact").unwrap();
+        let plan = PhysicalPlan::HashAgg {
+            group_by: vec![s_cust_id()],
+            aggs: vec![],
+            output: vec![s_cust_id()],
+            child: Box::new(PhysicalPlan::Filter {
+                pred: Expr::lt(Expr::col(s_date_id()), Expr::lit(100i32)),
+                child: Box::new(PhysicalPlan::DynamicScan {
+                    table: sf.oid,
+                    table_name: "sales_fact".into(),
+                    part_scan_id: PartScanId(1),
+                    output: vec![s_date_id(), s_cust_id(), s_amount()],
+                    filter: None,
+                }),
+            }),
+        };
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        // The selector ends up below the agg (inside its child), with the
+        // filter's predicate.
+        match &placed {
+            PhysicalPlan::HashAgg { child, .. } => {
+                assert_eq!(child.count_op("PartitionSelector"), 1);
+                let sel = find_selector(child, 1).unwrap();
+                match sel {
+                    PhysicalPlan::PartitionSelector { predicates, .. } => {
+                        assert!(predicates[0].is_some())
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => panic!("expected HashAgg at root, got {}", other.name()),
+        }
+    }
+}

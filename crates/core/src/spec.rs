@@ -1,0 +1,121 @@
+//! `PartSelectorSpec` — the compact specification of a PartitionSelector
+//! that the placement algorithms push through the tree (paper Figure 7,
+//! extended for multi-level partitioning in Figure 11).
+
+use mpp_common::{PartScanId, TableOid};
+use mpp_expr::{conj, ColRef, Expr};
+
+/// Specification of the PartitionSelector that must be placed for one
+/// unresolved DynamicScan.
+///
+/// `part_keys` / `part_predicates` are parallel lists with one entry per
+/// partitioning level (paper §2.4): a single-level table has lists of
+/// length 1, recovering the Figure 7 shape. `part_predicates[i]` is `None`
+/// until some operator on the way down contributes a filtering predicate
+/// for level `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartSelectorSpec {
+    pub part_scan_id: PartScanId,
+    pub table: TableOid,
+    pub table_name: String,
+    pub part_keys: Vec<ColRef>,
+    pub part_predicates: Vec<Option<Expr>>,
+}
+
+impl PartSelectorSpec {
+    /// A fresh spec with no predicates: the selector would select all
+    /// partitions (Figure 5(a)).
+    pub fn unfiltered(
+        part_scan_id: PartScanId,
+        table: TableOid,
+        table_name: impl Into<String>,
+        part_keys: Vec<ColRef>,
+    ) -> PartSelectorSpec {
+        let levels = part_keys.len();
+        PartSelectorSpec {
+            part_scan_id,
+            table,
+            table_name: table_name.into(),
+            part_keys,
+            part_predicates: vec![None; levels],
+        }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.part_keys.len()
+    }
+
+    /// Do any levels carry a filtering predicate?
+    pub fn has_predicates(&self) -> bool {
+        self.part_predicates.iter().any(Option::is_some)
+    }
+
+    /// Return a new spec whose per-level predicates are augmented with
+    /// `new_preds` (conjunction with any existing predicate) — the
+    /// `Conj(partKeyPredicate, partSpec.partPredicate)` step of
+    /// Algorithms 3 and 4.
+    pub fn augmented(&self, new_preds: &[Option<Expr>]) -> PartSelectorSpec {
+        assert_eq!(
+            new_preds.len(),
+            self.num_levels(),
+            "predicate list arity must match level count"
+        );
+        let part_predicates = self
+            .part_predicates
+            .iter()
+            .zip(new_preds)
+            .map(|(old, new)| match new {
+                None => old.clone(),
+                Some(p) => Some(conj(old.clone(), p.clone())),
+            })
+            .collect();
+        PartSelectorSpec {
+            part_predicates,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> PartSelectorSpec {
+        PartSelectorSpec::unfiltered(
+            PartScanId(1),
+            TableOid(1),
+            "orders",
+            vec![ColRef::new(1, "date"), ColRef::new(2, "region")],
+        )
+    }
+
+    #[test]
+    fn unfiltered_has_no_predicates() {
+        let s = spec2();
+        assert_eq!(s.num_levels(), 2);
+        assert!(!s.has_predicates());
+    }
+
+    #[test]
+    fn augment_conjoins_per_level() {
+        let s = spec2();
+        let p1 = Expr::eq(Expr::col(ColRef::new(1, "date")), Expr::lit(5i32));
+        let s2 = s.augmented(&[Some(p1.clone()), None]);
+        assert!(s2.has_predicates());
+        assert_eq!(s2.part_predicates[0], Some(p1.clone()));
+        assert_eq!(s2.part_predicates[1], None);
+        // Augment again on the same level: conjunction.
+        let p2 = Expr::gt(Expr::col(ColRef::new(1, "date")), Expr::lit(0i32));
+        let s3 = s2.augmented(&[Some(p2), None]);
+        match &s3.part_predicates[0] {
+            Some(Expr::And(v)) => assert_eq!(v.len(), 2),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn augment_checks_arity() {
+        spec2().augmented(&[None]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Plan validity checking for partition propagation (paper §3.1,
+//! Figure 12).
+//!
+//! A (PartitionSelector, DynamicScan) pair communicates over shared memory
+//! within one process, so a valid plan must guarantee:
+//!
+//! 1. every DynamicScan has exactly one PartitionSelector with its
+//!    `partScanId`;
+//! 2. the selector *executes before* the scan: at their lowest common
+//!    ancestor the selector's branch comes first (children run left to
+//!    right) — in particular the selector must not be an ancestor of its
+//!    own scan, which would invert the order;
+//! 3. **no Motion sits between either of them and their lowest common
+//!    ancestor** — a Motion is a process boundary, and OIDs written on one
+//!    side of it would never be seen on the other (the "invalid plan" of
+//!    Figure 12).
+
+use mpp_common::{Error, PartScanId, Result};
+use mpp_plan::PhysicalPlan;
+
+/// A path from the root to a node: the child index taken at every step,
+/// plus whether any Motion was crossed after a given depth.
+#[derive(Debug, Clone)]
+struct NodePath {
+    steps: Vec<usize>,
+    /// For each depth d, whether the node at depth d (0 = root) is a
+    /// Motion.
+    motion_at: Vec<bool>,
+}
+
+fn find_paths(
+    plan: &PhysicalPlan,
+    mut on_selector: impl FnMut(PartScanId, NodePath),
+    mut on_scan: impl FnMut(PartScanId, NodePath),
+) {
+    fn rec(
+        p: &PhysicalPlan,
+        steps: &mut Vec<usize>,
+        motions: &mut Vec<bool>,
+        on_selector: &mut impl FnMut(PartScanId, NodePath),
+        on_scan: &mut impl FnMut(PartScanId, NodePath),
+    ) {
+        motions.push(matches!(p, PhysicalPlan::Motion { .. }));
+        match p {
+            PhysicalPlan::PartitionSelector { part_scan_id, .. } => on_selector(
+                *part_scan_id,
+                NodePath {
+                    steps: steps.clone(),
+                    motion_at: motions.clone(),
+                },
+            ),
+            PhysicalPlan::DynamicScan { part_scan_id, .. } => on_scan(
+                *part_scan_id,
+                NodePath {
+                    steps: steps.clone(),
+                    motion_at: motions.clone(),
+                },
+            ),
+            _ => {}
+        }
+        for (i, c) in p.children().iter().enumerate() {
+            steps.push(i);
+            rec(c, steps, motions, on_selector, on_scan);
+            steps.pop();
+        }
+        motions.pop();
+    }
+    let mut steps = Vec::new();
+    let mut motions = Vec::new();
+    rec(plan, &mut steps, &mut motions, &mut on_selector, &mut on_scan);
+}
+
+/// Check conditions 1–3 above for every (selector, scan) pair in the plan.
+pub fn validate_selector_pairing(plan: &PhysicalPlan) -> Result<()> {
+    let mut selectors: Vec<(PartScanId, NodePath)> = Vec::new();
+    let mut scans: Vec<(PartScanId, NodePath)> = Vec::new();
+    find_paths(
+        plan,
+        |id, p| selectors.push((id, p)),
+        |id, p| scans.push((id, p)),
+    );
+
+    for (id, scan_path) in &scans {
+        let mine: Vec<&NodePath> = selectors
+            .iter()
+            .filter(|(sid, _)| sid == id)
+            .map(|(_, p)| p)
+            .collect();
+        if mine.is_empty() {
+            return Err(Error::InvalidPlan(format!(
+                "DynamicScan {id} has no PartitionSelector"
+            )));
+        }
+        if mine.len() > 1 {
+            return Err(Error::InvalidPlan(format!(
+                "DynamicScan {id} has {} PartitionSelectors",
+                mine.len()
+            )));
+        }
+        let sel_path = mine[0];
+
+        // Depth of the lowest common ancestor = length of the common step
+        // prefix.
+        let lca = sel_path
+            .steps
+            .iter()
+            .zip(&scan_path.steps)
+            .take_while(|(a, b)| a == b)
+            .count();
+
+        // Condition 2a: the selector must not be an ancestor of the scan.
+        if sel_path.steps.len() == lca && scan_path.steps.len() > lca {
+            return Err(Error::InvalidPlan(format!(
+                "PartitionSelector {id} is an ancestor of its own DynamicScan; \
+                 it would run after the scan (use the Sequence form)"
+            )));
+        }
+        // ... nor vice versa.
+        if scan_path.steps.len() == lca {
+            return Err(Error::InvalidPlan(format!(
+                "DynamicScan {id} is an ancestor of its PartitionSelector"
+            )));
+        }
+
+        // Condition 2b: selector branch executes before scan branch.
+        if sel_path.steps[lca] >= scan_path.steps[lca] {
+            return Err(Error::InvalidPlan(format!(
+                "PartitionSelector {id} is placed after its DynamicScan in \
+                 execution order"
+            )));
+        }
+
+        // Condition 3: no Motion strictly below the LCA on either path.
+        // motion_at[d] describes the node at depth d; the LCA node itself
+        // sits at depth `lca`, so check depths lca+1.. on both paths.
+        let crosses_motion = |p: &NodePath| p.motion_at.iter().skip(lca + 1).any(|&m| m);
+        if crosses_motion(sel_path) {
+            return Err(Error::InvalidPlan(format!(
+                "a Motion separates PartitionSelector {id} from the common \
+                 ancestor with its DynamicScan (paper Figure 12)"
+            )));
+        }
+        if crosses_motion(scan_path) {
+            return Err(Error::InvalidPlan(format!(
+                "a Motion separates DynamicScan {id} from the common \
+                 ancestor with its PartitionSelector (paper Figure 12)"
+            )));
+        }
+    }
+
+    // Selectors without a scan are also invalid.
+    for (id, _) in &selectors {
+        if !scans.iter().any(|(sid, _)| sid == id) {
+            return Err(Error::InvalidPlan(format!(
+                "PartitionSelector {id} has no DynamicScan"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_common::{PartScanId, TableOid};
+    use mpp_expr::{ColRef, Expr};
+    use mpp_plan::{JoinType, MotionKind};
+
+    fn scan(id: u32) -> PhysicalPlan {
+        PhysicalPlan::DynamicScan {
+            table: TableOid(1),
+            table_name: "t".into(),
+            part_scan_id: PartScanId(id),
+            output: vec![ColRef::new(1, "a")],
+            filter: None,
+        }
+    }
+
+    fn selector(id: u32, child: Option<PhysicalPlan>) -> PhysicalPlan {
+        PhysicalPlan::PartitionSelector {
+            table: TableOid(1),
+            table_name: "t".into(),
+            part_scan_id: PartScanId(id),
+            part_keys: vec![ColRef::new(1, "a")],
+            predicates: vec![None],
+            child: child.map(Box::new),
+        }
+    }
+
+    fn table_scan() -> PhysicalPlan {
+        PhysicalPlan::TableScan {
+            table: TableOid(2),
+            table_name: "s".into(),
+            output: vec![ColRef::new(2, "b")],
+            filter: None,
+        }
+    }
+
+    fn join(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
+        PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(ColRef::new(2, "b"))],
+            right_keys: vec![Expr::col(ColRef::new(1, "a"))],
+            residual: None,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    #[test]
+    fn sequence_form_is_valid() {
+        let plan = PhysicalPlan::Sequence {
+            children: vec![selector(1, None), scan(1)],
+        };
+        assert!(validate_selector_pairing(&plan).is_ok());
+    }
+
+    #[test]
+    fn join_dpe_form_is_valid() {
+        // Selector on outer side, scan on inner side — Figure 5(d).
+        let plan = join(selector(1, Some(table_scan())), scan(1));
+        assert!(validate_selector_pairing(&plan).is_ok());
+    }
+
+    #[test]
+    fn missing_selector_is_invalid() {
+        let err = validate_selector_pairing(&scan(1)).unwrap_err();
+        assert!(err.to_string().contains("no PartitionSelector"));
+    }
+
+    #[test]
+    fn orphan_selector_is_invalid() {
+        let plan = selector(1, Some(table_scan()));
+        assert!(validate_selector_pairing(&plan).is_err());
+    }
+
+    #[test]
+    fn selector_after_scan_is_invalid() {
+        let plan = PhysicalPlan::Sequence {
+            children: vec![scan(1), selector(1, None)],
+        };
+        assert!(validate_selector_pairing(&plan).is_err());
+    }
+
+    #[test]
+    fn selector_above_own_scan_is_invalid() {
+        // Pass-through selector directly over its own scan: would run
+        // after the scan in a materialize-children-first model.
+        let plan = selector(1, Some(scan(1)));
+        let err = validate_selector_pairing(&plan).unwrap_err();
+        assert!(err.to_string().contains("ancestor"));
+    }
+
+    #[test]
+    fn motion_between_selector_and_join_is_invalid() {
+        // Figure 12 right side: Motion above the selector on the outer
+        // branch breaks the pairing.
+        let plan = join(
+            PhysicalPlan::Motion {
+                kind: MotionKind::Broadcast,
+                child: Box::new(selector(1, Some(table_scan()))),
+            },
+            scan(1),
+        );
+        let err = validate_selector_pairing(&plan).unwrap_err();
+        assert!(err.to_string().contains("Motion"), "{err}");
+    }
+
+    #[test]
+    fn motion_between_scan_and_join_is_invalid() {
+        let plan = join(
+            selector(1, Some(table_scan())),
+            PhysicalPlan::Motion {
+                kind: MotionKind::Redistribute(vec![ColRef::new(1, "a")]),
+                child: Box::new(scan(1)),
+            },
+        );
+        assert!(validate_selector_pairing(&plan).is_err());
+    }
+
+    #[test]
+    fn motion_above_both_is_valid() {
+        // Figure 12 left side: the whole pair below one Motion is fine —
+        // the pair still shares a process.
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(join(selector(1, Some(table_scan())), scan(1))),
+        };
+        assert!(validate_selector_pairing(&plan).is_ok());
+    }
+
+    #[test]
+    fn duplicate_selectors_are_invalid() {
+        let plan = PhysicalPlan::Sequence {
+            children: vec![selector(1, None), selector(1, None), scan(1)],
+        };
+        assert!(validate_selector_pairing(&plan).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for PartitionSelector placement: for *any* operator
+//! tree shape, the §2.3 algorithms must produce exactly one selector per
+//! dynamic scan, placed so the §3.1 pairing rules hold.
+
+use mpp_catalog::builders::range_parts_equal_width;
+use mpp_catalog::{Catalog, Distribution, TableDesc};
+use mpp_common::{Column, DataType, Datum, PartScanId, Schema};
+use mpp_core::{place_partition_selectors, validate_selector_pairing};
+use mpp_expr::{ColRef, Expr};
+use mpp_plan::{JoinType, PhysicalPlan};
+use proptest::prelude::*;
+
+/// Catalog with several partitioned tables t1..t4 (schema (a, b),
+/// partitioned on b) and one plain table t0.
+fn catalog() -> Catalog {
+    let cat = Catalog::new();
+    let schema = Schema::new(vec![
+        Column::new("a", DataType::Int32),
+        Column::new("b", DataType::Int32),
+    ]);
+    for i in 0..5u32 {
+        let oid = cat.allocate_table_oid();
+        let partitioning = if i == 0 {
+            None
+        } else {
+            let first = cat.allocate_part_oids(10);
+            Some(
+                range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(100), 10, first)
+                    .unwrap(),
+            )
+        };
+        cat.register(TableDesc {
+            oid,
+            name: format!("t{i}"),
+            schema: schema.clone(),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning,
+        })
+        .unwrap();
+    }
+    cat
+}
+
+/// A recipe for a random physical tree. Leaves pick one of the tables;
+/// interior nodes are filters (with or without a key predicate) and
+/// joins (on the partition key or not).
+#[derive(Debug, Clone)]
+enum Shape {
+    Scan { table: u32 },
+    Filter { on_key: bool, child: Box<Shape> },
+    Join { on_key: bool, left: Box<Shape>, right: Box<Shape> },
+    Agg { child: Box<Shape> },
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    let leaf = (0u32..5).prop_map(|table| Shape::Scan { table });
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (any::<bool>(), inner.clone()).prop_map(|(on_key, c)| Shape::Filter {
+                on_key,
+                child: Box::new(c)
+            }),
+            (any::<bool>(), inner.clone(), inner.clone()).prop_map(|(on_key, l, r)| {
+                Shape::Join {
+                    on_key,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }),
+            inner.clone().prop_map(|c| Shape::Agg { child: Box::new(c) }),
+        ]
+    })
+}
+
+struct Builder {
+    cat: Catalog,
+    next_col: u32,
+    next_scan: u32,
+}
+
+impl Builder {
+    /// Build a physical tree; returns (plan, a-colref, b-colref) of some
+    /// table in the subtree for predicate construction.
+    fn build(&mut self, shape: &Shape) -> (PhysicalPlan, ColRef, ColRef) {
+        match shape {
+            Shape::Scan { table } => {
+                let a = ColRef::new(self.next_col, "a");
+                let b = ColRef::new(self.next_col + 1, "b");
+                self.next_col += 2;
+                let desc = self.cat.table_by_name(&format!("t{table}")).unwrap();
+                let plan = if desc.is_partitioned() {
+                    let id = PartScanId(self.next_scan);
+                    self.next_scan += 1;
+                    PhysicalPlan::DynamicScan {
+                        table: desc.oid,
+                        table_name: desc.name.clone(),
+                        part_scan_id: id,
+                        output: vec![a.clone(), b.clone()],
+                        filter: None,
+                    }
+                } else {
+                    PhysicalPlan::TableScan {
+                        table: desc.oid,
+                        table_name: desc.name.clone(),
+                        output: vec![a.clone(), b.clone()],
+                        filter: None,
+                    }
+                };
+                (plan, a, b)
+            }
+            Shape::Filter { on_key, child } => {
+                let (c, a, b) = self.build(child);
+                let col = if *on_key { b.clone() } else { a.clone() };
+                let plan = PhysicalPlan::Filter {
+                    pred: Expr::lt(Expr::col(col), Expr::lit(40i32)),
+                    child: Box::new(c),
+                };
+                (plan, a, b)
+            }
+            Shape::Join { on_key, left, right } => {
+                let (l, la, lb) = self.build(left);
+                let (r, ra, rb) = self.build(right);
+                let (lk, rk) = if *on_key {
+                    (la.clone(), rb)
+                } else {
+                    (la.clone(), ra)
+                };
+                let plan = PhysicalPlan::HashJoin {
+                    join_type: JoinType::Inner,
+                    left_keys: vec![Expr::col(lk)],
+                    right_keys: vec![Expr::col(rk)],
+                    residual: None,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                };
+                (plan, la, lb)
+            }
+            Shape::Agg { child } => {
+                let (c, a, b) = self.build(child);
+                let out = ColRef::new(self.next_col, "cnt");
+                self.next_col += 1;
+                let plan = PhysicalPlan::HashAgg {
+                    group_by: vec![a.clone()],
+                    aggs: vec![mpp_plan::AggCall::count_star()],
+                    output: vec![a.clone(), out],
+                    child: Box::new(c),
+                };
+                (plan, a, b)
+            }
+        }
+    }
+}
+
+fn count_scans(plan: &PhysicalPlan) -> usize {
+    plan.count_op("DynamicScan")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Placement always yields a valid plan with exactly one selector per
+    /// dynamic scan, and never duplicates or drops scans.
+    #[test]
+    fn placement_yields_valid_plans(shape in arb_shape()) {
+        let cat = catalog();
+        let mut b = Builder { cat: cat.clone(), next_col: 1, next_scan: 1 };
+        let (plan, _, _) = b.build(&shape);
+        let scans_before = count_scans(&plan);
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        prop_assert_eq!(count_scans(&placed), scans_before);
+        prop_assert_eq!(placed.count_op("PartitionSelector"), scans_before);
+        validate_selector_pairing(&placed)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    /// Placement is idempotent for any shape.
+    #[test]
+    fn placement_is_idempotent(shape in arb_shape()) {
+        let cat = catalog();
+        let mut b = Builder { cat: cat.clone(), next_col: 1, next_scan: 1 };
+        let (plan, _, _) = b.build(&shape);
+        let once = place_partition_selectors(&cat, plan).unwrap();
+        let twice = place_partition_selectors(&cat, once.clone()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A key-filter directly over a dynamic scan always ends up annotated
+    /// on the selector (static elimination is never missed).
+    #[test]
+    fn key_filters_reach_selectors(table in 1u32..5) {
+        let cat = catalog();
+        let mut b = Builder { cat: cat.clone(), next_col: 1, next_scan: 1 };
+        let shape = Shape::Filter {
+            on_key: true,
+            child: Box::new(Shape::Scan { table }),
+        };
+        let (plan, _, _) = b.build(&shape);
+        let placed = place_partition_selectors(&cat, plan).unwrap();
+        let mut annotated = false;
+        placed.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector { predicates, .. } = p {
+                if predicates[0].is_some() {
+                    annotated = true;
+                }
+            }
+        });
+        prop_assert!(annotated);
+    }
+}

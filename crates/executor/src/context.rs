@@ -1,0 +1,144 @@
+//! Execution context: the per-query runtime state.
+
+use crate::stats::ExecutionStats;
+use mpp_common::{Datum, Error, PartOid, PartScanId, Result, Row, SegmentId};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Per-query runtime state shared by all operators and segments.
+///
+/// `part_registry` is the simulator's stand-in for the shared-memory
+/// channel between a `PartitionSelector` and its `DynamicScan` (paper
+/// §2.2): it is keyed by *(partScanId, segment)*, so OIDs selected on one
+/// segment are only visible to the scan on the **same** segment — exactly
+/// the property that makes plans with a Motion between the pair invalid.
+pub struct ExecContext<'a> {
+    /// Prepared-statement parameter values (`$1` = index 0).
+    pub params: &'a [Datum],
+    /// (scan id, segment) → selected partition OIDs. An entry exists once
+    /// the selector has run, even when it selected nothing.
+    part_registry: RefCell<HashMap<(PartScanId, SegmentId), BTreeSet<PartOid>>>,
+    /// Legacy init-plan OID-set parameters (`$oidsN` gates).
+    oid_params: RefCell<HashMap<u32, HashSet<PartOid>>>,
+    /// Motion materialization cache: plan-node address → per-segment rows.
+    motion_cache: RefCell<HashMap<usize, Vec<Vec<Row>>>>,
+    pub stats: RefCell<ExecutionStats>,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(params: &'a [Datum]) -> ExecContext<'a> {
+        ExecContext {
+            params,
+            part_registry: RefCell::new(HashMap::new()),
+            oid_params: RefCell::new(HashMap::new()),
+            motion_cache: RefCell::new(HashMap::new()),
+            stats: RefCell::new(ExecutionStats::default()),
+        }
+    }
+
+    /// The `partition_propagation` built-in (paper Table 1): push OIDs to
+    /// the DynamicScan with this id on this segment.
+    pub fn propagate_parts(
+        &self,
+        id: PartScanId,
+        segment: SegmentId,
+        oids: impl IntoIterator<Item = PartOid>,
+    ) {
+        let mut reg = self.part_registry.borrow_mut();
+        reg.entry((id, segment)).or_default().extend(oids);
+    }
+
+    /// Mark a selector as having run even if it selected no partitions.
+    pub fn mark_selector_ran(&self, id: PartScanId, segment: SegmentId) {
+        self.part_registry
+            .borrow_mut()
+            .entry((id, segment))
+            .or_default();
+    }
+
+    /// Consume the propagated OIDs for a DynamicScan. Errors if no
+    /// selector ran on this segment — the runtime symptom of the §3.1
+    /// invalid plans.
+    pub fn consume_parts(&self, id: PartScanId, segment: SegmentId) -> Result<Vec<PartOid>> {
+        self.part_registry
+            .borrow()
+            .get(&(id, segment))
+            .map(|s| s.iter().copied().collect())
+            .ok_or_else(|| {
+                Error::InvalidPlan(format!(
+                    "DynamicScan {id} on {segment}: no PartitionSelector ran in this \
+                     process (is a Motion separating the pair?)"
+                ))
+            })
+    }
+
+    pub fn set_oid_param(&self, param: u32, oids: HashSet<PartOid>) {
+        self.oid_params.borrow_mut().insert(param, oids);
+    }
+
+    pub fn oid_param_contains(&self, param: u32, oid: PartOid) -> Result<bool> {
+        self.oid_params
+            .borrow()
+            .get(&param)
+            .map(|s| s.contains(&oid))
+            .ok_or_else(|| {
+                Error::InvalidPlan(format!("OID-set parameter $oids{param} was never computed"))
+            })
+    }
+
+    pub(crate) fn motion_cached(&self, key: usize) -> Option<Vec<Vec<Row>>> {
+        self.motion_cache.borrow().get(&key).cloned()
+    }
+
+    pub(crate) fn motion_store(&self, key: usize, per_segment: Vec<Vec<Row>>) {
+        self.motion_cache.borrow_mut().insert(key, per_segment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_is_per_segment() {
+        let ctx = ExecContext::new(&[]);
+        ctx.propagate_parts(PartScanId(1), SegmentId(0), [PartOid(5)]);
+        assert_eq!(
+            ctx.consume_parts(PartScanId(1), SegmentId(0)).unwrap(),
+            vec![PartOid(5)]
+        );
+        // Same scan id, different segment: nothing was propagated there.
+        let err = ctx.consume_parts(PartScanId(1), SegmentId(1)).unwrap_err();
+        assert_eq!(err.kind(), "invalid_plan");
+    }
+
+    #[test]
+    fn empty_selection_still_counts_as_ran() {
+        let ctx = ExecContext::new(&[]);
+        ctx.mark_selector_ran(PartScanId(2), SegmentId(0));
+        assert!(ctx
+            .consume_parts(PartScanId(2), SegmentId(0))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn propagation_accumulates_and_dedupes() {
+        let ctx = ExecContext::new(&[]);
+        ctx.propagate_parts(PartScanId(1), SegmentId(0), [PartOid(5), PartOid(6)]);
+        ctx.propagate_parts(PartScanId(1), SegmentId(0), [PartOid(5), PartOid(7)]);
+        assert_eq!(
+            ctx.consume_parts(PartScanId(1), SegmentId(0)).unwrap(),
+            vec![PartOid(5), PartOid(6), PartOid(7)]
+        );
+    }
+
+    #[test]
+    fn oid_params_gate() {
+        let ctx = ExecContext::new(&[]);
+        assert!(ctx.oid_param_contains(1, PartOid(5)).is_err());
+        ctx.set_oid_param(1, [PartOid(5)].into_iter().collect());
+        assert!(ctx.oid_param_contains(1, PartOid(5)).unwrap());
+        assert!(!ctx.oid_param_contains(1, PartOid(6)).unwrap());
+    }
+}

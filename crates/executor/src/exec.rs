@@ -1,0 +1,1443 @@
+//! The plan interpreter.
+//!
+//! `exec(plan, segment, …)` evaluates a plan subtree *as seen by one
+//! segment*. Children execute left-to-right (the ordering guarantee the
+//! placement algorithms rely on), and a [`mpp_plan::PhysicalPlan::Motion`]
+//! materializes its child once for **all** segments and hands each target
+//! segment its share.
+
+use crate::context::ExecContext;
+use crate::stats::ExecutionStats;
+use mpp_catalog::PartTree;
+use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
+use mpp_expr::analysis::{derive_interval_set, DerivedSet};
+use mpp_expr::{collect_columns, eval, eval_predicate, ColRef, EvalContext, Expr};
+use mpp_plan::{AggCall, AggFunc, JoinType, MotionKind, PhysicalPlan};
+use mpp_storage::{PhysId, Storage};
+use std::collections::{HashMap, HashSet};
+
+/// Result of one query execution.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub rows: Vec<Row>,
+    pub stats: ExecutionStats,
+}
+
+/// Convenience wrapper owning the storage handle.
+pub struct Executor {
+    storage: Storage,
+}
+
+impl Executor {
+    pub fn new(storage: Storage) -> Executor {
+        Executor { storage }
+    }
+
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    pub fn run(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
+        execute(&self.storage, plan)
+    }
+
+    pub fn run_with_params(&self, plan: &PhysicalPlan, params: &[Datum]) -> Result<QueryResult> {
+        execute_with_params(&self.storage, plan, params)
+    }
+}
+
+/// Execute a plan with no parameters.
+pub fn execute(storage: &Storage, plan: &PhysicalPlan) -> Result<QueryResult> {
+    execute_with_params(storage, plan, &[])
+}
+
+/// Execute a plan with prepared-statement parameters bound.
+pub fn execute_with_params(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+) -> Result<QueryResult> {
+    let ctx = ExecContext::new(params);
+    let rows = if is_dml(plan) {
+        exec_dml(plan, storage, &ctx)?
+    } else {
+        // Every segment runs its slice; the union of slice outputs is the
+        // query result (a root Gather makes all but segment 0 empty).
+        let mut out = Vec::new();
+        for seg in storage.segments() {
+            out.extend(exec(plan, seg, storage, &ctx)?);
+        }
+        out
+    };
+    let mut stats = ctx.stats.into_inner();
+    stats.rows_returned = rows.len() as u64;
+    Ok(QueryResult { rows, stats })
+}
+
+fn is_dml(plan: &PhysicalPlan) -> bool {
+    matches!(
+        plan,
+        PhysicalPlan::Update { .. } | PhysicalPlan::Delete { .. } | PhysicalPlan::Insert { .. }
+    )
+}
+
+fn eval_ctx<'a>(cols: &[ColRef], params: &'a [Datum]) -> EvalContext<'a> {
+    EvalContext::from_columns(cols).with_params(params)
+}
+
+/// Evaluate one subtree on one segment.
+pub(crate) fn exec(
+    plan: &PhysicalPlan,
+    seg: SegmentId,
+    storage: &Storage,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    match plan {
+        PhysicalPlan::TableScan {
+            table,
+            output,
+            filter,
+            ..
+        } => {
+            let rows = storage.scan(PhysId::Table(*table), seg);
+            ctx.stats.borrow_mut().record_table_scan(rows.len());
+            apply_filter(rows, filter, output, ctx)
+        }
+
+        PhysicalPlan::PartScan {
+            table,
+            part,
+            output,
+            filter,
+            gate,
+            ..
+        } => {
+            // Legacy gated scan: skip entirely when the run-time OID set
+            // excludes this partition.
+            if let Some(g) = gate {
+                if !ctx.oid_param_contains(*g, *part)? {
+                    return Ok(Vec::new());
+                }
+            }
+            let rows = storage.scan(PhysId::Part(*part), seg);
+            ctx.stats
+                .borrow_mut()
+                .record_part_scan(*table, *part, rows.len());
+            apply_filter(rows, filter, output, ctx)
+        }
+
+        PhysicalPlan::DynamicScan {
+            table,
+            part_scan_id,
+            output,
+            filter,
+            ..
+        } => {
+            let oids = ctx.consume_parts(*part_scan_id, seg)?;
+            let mut rows = Vec::new();
+            {
+                let mut stats = ctx.stats.borrow_mut();
+                for oid in &oids {
+                    let part_rows = storage.scan(PhysId::Part(*oid), seg);
+                    stats.record_part_scan(*table, *oid, part_rows.len());
+                    rows.extend(part_rows);
+                }
+            }
+            apply_filter(rows, filter, output, ctx)
+        }
+
+        PhysicalPlan::PartitionSelector {
+            table,
+            part_scan_id,
+            part_keys,
+            predicates,
+            child,
+            ..
+        } => {
+            ctx.stats.borrow_mut().selector_runs += 1;
+            let tree = storage.catalog().part_tree(*table)?;
+            match child {
+                None => {
+                    // Static selection: predicates reference only
+                    // constants and parameters.
+                    let derived: Vec<DerivedSet> = part_keys
+                        .iter()
+                        .zip(predicates)
+                        .map(|(key, pred)| match pred {
+                            Some(p) => derive_interval_set(p, key, Some(ctx.params)),
+                            None => DerivedSet::full(),
+                        })
+                        .collect();
+                    let oids = tree.select_partitions(&derived)?;
+                    ctx.mark_selector_ran(*part_scan_id, seg);
+                    ctx.propagate_parts(*part_scan_id, seg, oids);
+                    Ok(Vec::new())
+                }
+                Some(child) => {
+                    // Dynamic selection: apply the selection function per
+                    // input tuple, pass tuples through unchanged.
+                    let rows = exec(child, seg, storage, ctx)?;
+                    ctx.mark_selector_ran(*part_scan_id, seg);
+                    let child_cols = child.output_cols();
+                    select_per_tuple(
+                        &tree,
+                        part_keys,
+                        predicates,
+                        &rows,
+                        &child_cols,
+                        ctx,
+                        |oids| ctx.propagate_parts(*part_scan_id, seg, oids),
+                    )?;
+                    Ok(rows)
+                }
+            }
+        }
+
+        PhysicalPlan::Sequence { children } => {
+            let mut last = Vec::new();
+            for c in children {
+                last = exec(c, seg, storage, ctx)?;
+            }
+            Ok(last)
+        }
+
+        PhysicalPlan::Filter { pred, child } => {
+            let rows = exec(child, seg, storage, ctx)?;
+            let cols = child.output_cols();
+            let ectx = eval_ctx(&cols, ctx.params);
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                if eval_predicate(pred, &r, &ectx)? {
+                    out.push(r);
+                }
+            }
+            Ok(out)
+        }
+
+        PhysicalPlan::Project { exprs, child, .. } => {
+            let rows = exec(child, seg, storage, ctx)?;
+            let cols = child.output_cols();
+            let ectx = eval_ctx(&cols, ctx.params);
+            rows.iter()
+                .map(|r| {
+                    exprs
+                        .iter()
+                        .map(|e| eval(e, r, &ectx))
+                        .collect::<Result<Vec<_>>>()
+                        .map(Row::new)
+                })
+                .collect()
+        }
+
+        PhysicalPlan::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            left,
+            right,
+        } => {
+            let l_rows = exec(left, seg, storage, ctx)?;
+            let r_rows = exec(right, seg, storage, ctx)?;
+            hash_join(
+                *join_type, left_keys, right_keys, residual, left, right, l_rows, r_rows, ctx,
+            )
+        }
+
+        PhysicalPlan::NLJoin {
+            join_type,
+            pred,
+            left,
+            right,
+        } => {
+            let l_rows = exec(left, seg, storage, ctx)?;
+            let r_rows = exec(right, seg, storage, ctx)?;
+            nl_join(*join_type, pred, left, right, l_rows, r_rows, ctx)
+        }
+
+        PhysicalPlan::HashAgg {
+            group_by,
+            aggs,
+            child,
+            ..
+        } => {
+            let rows = exec(child, seg, storage, ctx)?;
+            let cols = child.output_cols();
+            hash_agg(group_by, aggs, rows, &cols, seg, ctx)
+        }
+
+        PhysicalPlan::Motion { kind, child } => {
+            let key = plan as *const PhysicalPlan as usize;
+            let per_source = match ctx.motion_cached(key) {
+                Some(v) => v,
+                None => {
+                    let mut v = Vec::with_capacity(storage.num_segments());
+                    for s in storage.segments() {
+                        v.push(exec(child, s, storage, ctx)?);
+                    }
+                    let moved: u64 = v.iter().map(|r| r.len() as u64).sum();
+                    let mut stats = ctx.stats.borrow_mut();
+                    stats.motions += 1;
+                    stats.rows_moved += moved;
+                    ctx.motion_store(key, v.clone());
+                    v
+                }
+            };
+            Ok(route_motion(kind, &per_source, seg, storage, child)?)
+        }
+
+        PhysicalPlan::Append { children, .. } => {
+            let mut out = Vec::new();
+            for c in children {
+                out.extend(exec(c, seg, storage, ctx)?);
+            }
+            Ok(out)
+        }
+
+        PhysicalPlan::InitPlanOids {
+            param,
+            table,
+            key,
+            child,
+        } => {
+            // Init plans run once (triggered from segment 0) and publish a
+            // global OID set.
+            if seg == SegmentId(0) {
+                let tree = storage.catalog().part_tree(*table)?;
+                let cols = child.output_cols();
+                let ectx = eval_ctx(&cols, ctx.params);
+                let mut oids: HashSet<PartOid> = HashSet::new();
+                for s in storage.segments() {
+                    for row in exec(child, s, storage, ctx)? {
+                        let v = eval(key, &row, &ectx)?;
+                        // Route the value through level-0 of the partition
+                        // tree (single-level legacy gating).
+                        if let Some(oid) = tree.route(std::slice::from_ref(&v)) {
+                            oids.insert(oid);
+                        }
+                    }
+                }
+                ctx.set_oid_param(*param, oids);
+            }
+            Ok(Vec::new())
+        }
+
+        PhysicalPlan::Values { rows, .. } => {
+            // Literal rows materialize on the master segment only.
+            if seg == SegmentId(0) {
+                Ok(rows.iter().cloned().map(Row::new).collect())
+            } else {
+                Ok(Vec::new())
+            }
+        }
+
+        PhysicalPlan::Limit { n, child } => {
+            let mut rows = exec(child, seg, storage, ctx)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+
+        PhysicalPlan::Sort { keys, child } => {
+            let mut rows = exec(child, seg, storage, ctx)?;
+            let cols = child.output_cols();
+            let positions: Vec<(usize, bool)> = keys
+                .iter()
+                .map(|(k, desc)| {
+                    cols.iter()
+                        .position(|c| c == k)
+                        .map(|i| (i, *desc))
+                        .ok_or_else(|| Error::Execution(format!("sort column {k} missing")))
+                })
+                .collect::<Result<_>>()?;
+            rows.sort_by(|a, b| {
+                for &(i, desc) in &positions {
+                    let ord = a.values()[i].cmp(&b.values()[i]);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+
+        PhysicalPlan::Update { .. } | PhysicalPlan::Delete { .. } | PhysicalPlan::Insert { .. } => {
+            Err(Error::Execution(
+                "DML must be the plan root (executed via exec_dml)".into(),
+            ))
+        }
+    }
+}
+
+/// Motion routing: hand `seg` its share of the materialized child output.
+fn route_motion(
+    kind: &MotionKind,
+    per_source: &[Vec<Row>],
+    seg: SegmentId,
+    storage: &Storage,
+    child: &PhysicalPlan,
+) -> Result<Vec<Row>> {
+    match kind {
+        MotionKind::Gather => {
+            if seg == SegmentId(0) {
+                Ok(per_source.iter().flatten().cloned().collect())
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        MotionKind::GatherOne => {
+            if seg == SegmentId(0) {
+                Ok(per_source.first().cloned().unwrap_or_default())
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        MotionKind::Broadcast => Ok(per_source.iter().flatten().cloned().collect()),
+        MotionKind::Redistribute(cols) => {
+            let child_cols = child.output_cols();
+            let positions: Vec<usize> = cols
+                .iter()
+                .map(|c| {
+                    child_cols
+                        .iter()
+                        .position(|x| x == c)
+                        .ok_or_else(|| Error::Execution(format!("redistribute column {c} missing")))
+                })
+                .collect::<Result<_>>()?;
+            let n = storage.num_segments() as u64;
+            let mut out = Vec::new();
+            for rows in per_source {
+                for r in rows {
+                    let target = (r.hash_columns(&positions) % n) as u32;
+                    if SegmentId(target) == seg {
+                        out.push(r.clone());
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Per-tuple partition selection (dynamic elimination): substitute the
+/// input tuple's values into each level predicate, derive the interval
+/// set for the partitioning key, and propagate the selected OIDs.
+fn select_per_tuple(
+    tree: &PartTree,
+    part_keys: &[ColRef],
+    predicates: &[Option<Expr>],
+    rows: &[Row],
+    child_cols: &[ColRef],
+    ctx: &ExecContext<'_>,
+    mut propagate: impl FnMut(Vec<PartOid>),
+) -> Result<()> {
+    // Columns of the predicates that come from the input (not the scan's
+    // partition keys): these get substituted per row.
+    let key_set: HashSet<u32> = part_keys.iter().map(|k| k.id).collect();
+    let mut input_cols: Vec<ColRef> = Vec::new();
+    for p in predicates.iter().flatten() {
+        for c in collect_columns(p) {
+            if !key_set.contains(&c.id) && !input_cols.contains(&c) {
+                input_cols.push(c);
+            }
+        }
+    }
+    let positions: Vec<(u32, usize)> = input_cols
+        .iter()
+        .map(|c| {
+            child_cols
+                .iter()
+                .position(|x| x == c)
+                .map(|i| (c.id, i))
+                .ok_or_else(|| {
+                    Error::Execution(format!(
+                        "PartitionSelector predicate references {c}, not in its input"
+                    ))
+                })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    for row in rows {
+        let key_vals: Vec<Datum> = positions
+            .iter()
+            .map(|&(_, i)| row.values()[i].clone())
+            .collect();
+        if !seen.insert(key_vals.clone()) {
+            continue; // same driving values → same partitions
+        }
+        let subst: HashMap<u32, Expr> = positions
+            .iter()
+            .zip(&key_vals)
+            .map(|(&(id, _), v)| (id, Expr::Lit(v.clone())))
+            .collect();
+        let derived: Vec<DerivedSet> = part_keys
+            .iter()
+            .zip(predicates)
+            .map(|(key, pred)| match pred {
+                Some(p) => {
+                    let bound = mpp_expr::substitute_columns(p, &subst);
+                    derive_interval_set(&bound, key, Some(ctx.params))
+                }
+                None => DerivedSet::full(),
+            })
+            .collect();
+        propagate(tree.select_partitions(&derived)?);
+    }
+    Ok(())
+}
+
+fn apply_filter(
+    rows: Vec<Row>,
+    filter: &Option<Expr>,
+    output: &[ColRef],
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    match filter {
+        None => Ok(rows),
+        Some(pred) => {
+            let ectx = eval_ctx(output, ctx.params);
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                if eval_predicate(pred, &r, &ectx)? {
+                    out.push(r);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn null_row(width: usize) -> Row {
+    Row::new(vec![Datum::Null; width])
+}
+
+/// Hash join building on the left (outer) side, probing with the right.
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    join_type: JoinType,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    residual: &Option<Expr>,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    l_rows: Vec<Row>,
+    r_rows: Vec<Row>,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let l_cols = left.output_cols();
+    let r_cols = right.output_cols();
+    let l_ectx = eval_ctx(&l_cols, ctx.params);
+    let r_ectx = eval_ctx(&r_cols, ctx.params);
+    let mut joined_cols = l_cols.clone();
+    joined_cols.extend(r_cols.clone());
+    let j_ectx = eval_ctx(&joined_cols, ctx.params);
+
+    // Build on the left.
+    let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
+    let mut l_keysv: Vec<Option<Vec<Datum>>> = Vec::with_capacity(l_rows.len());
+    for (i, r) in l_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(left_keys.len());
+        let mut has_null = false;
+        for k in left_keys {
+            let v = eval(k, r, &l_ectx)?;
+            has_null |= v.is_null();
+            key.push(v);
+        }
+        if has_null {
+            l_keysv.push(None); // null keys never match
+        } else {
+            table.entry(key.clone()).or_default().push(i);
+            l_keysv.push(Some(key));
+        }
+    }
+
+    let mut matched = vec![false; l_rows.len()];
+    let mut out = Vec::new();
+    for rr in &r_rows {
+        let mut key = Vec::with_capacity(right_keys.len());
+        let mut has_null = false;
+        for k in right_keys {
+            let v = eval(k, rr, &r_ectx)?;
+            has_null |= v.is_null();
+            key.push(v);
+        }
+        if has_null {
+            continue;
+        }
+        let Some(candidates) = table.get(&key) else {
+            continue;
+        };
+        for &li in candidates {
+            let joined = l_rows[li].concat(rr);
+            if let Some(res) = residual {
+                if !eval_predicate(res, &joined, &j_ectx)? {
+                    continue;
+                }
+            }
+            matched[li] = true;
+            if join_type.outputs_right() {
+                out.push(joined);
+            }
+        }
+    }
+
+    match join_type {
+        JoinType::Inner => Ok(out),
+        JoinType::LeftOuter => {
+            let width = r_cols.len();
+            for (i, l) in l_rows.iter().enumerate() {
+                if !matched[i] {
+                    out.push(l.concat(&null_row(width)));
+                }
+            }
+            Ok(out)
+        }
+        JoinType::LeftSemi => Ok(l_rows
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| matched[*i])
+            .map(|(_, r)| r)
+            .collect()),
+        JoinType::LeftAnti => Ok(l_rows
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !matched[*i])
+            .map(|(_, r)| r)
+            .collect()),
+    }
+}
+
+/// Nested-loops join.
+fn nl_join(
+    join_type: JoinType,
+    pred: &Option<Expr>,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    l_rows: Vec<Row>,
+    r_rows: Vec<Row>,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let mut joined_cols = left.output_cols();
+    let r_width = right.output_cols().len();
+    joined_cols.extend(right.output_cols());
+    let j_ectx = eval_ctx(&joined_cols, ctx.params);
+    let mut out = Vec::new();
+    for l in &l_rows {
+        let mut matched = false;
+        for r in &r_rows {
+            let joined = l.concat(r);
+            let ok = match pred {
+                None => true,
+                Some(p) => eval_predicate(p, &joined, &j_ectx)?,
+            };
+            if ok {
+                matched = true;
+                match join_type {
+                    JoinType::Inner | JoinType::LeftOuter => out.push(joined),
+                    JoinType::LeftSemi => break,
+                    JoinType::LeftAnti => break,
+                }
+            }
+        }
+        match join_type {
+            JoinType::LeftOuter if !matched => out.push(l.concat(&null_row(r_width))),
+            JoinType::LeftSemi if matched => out.push(l.clone()),
+            JoinType::LeftAnti if !matched => out.push(l.clone()),
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Hash aggregation.
+fn hash_agg(
+    group_by: &[ColRef],
+    aggs: &[AggCall],
+    rows: Vec<Row>,
+    child_cols: &[ColRef],
+    seg: SegmentId,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let ectx = eval_ctx(child_cols, ctx.params);
+    let positions: Vec<usize> = group_by
+        .iter()
+        .map(|c| {
+            child_cols
+                .iter()
+                .position(|x| x == c)
+                .ok_or_else(|| Error::Execution(format!("group column {c} missing")))
+        })
+        .collect::<Result<_>>()?;
+
+    #[derive(Clone)]
+    struct Acc {
+        count: i64,
+        sum: f64,
+        sum_is_float: bool,
+        sum_i: i64,
+        min: Option<Datum>,
+        max: Option<Datum>,
+        non_null: i64,
+    }
+    impl Acc {
+        fn new() -> Acc {
+            Acc {
+                count: 0,
+                sum: 0.0,
+                sum_is_float: false,
+                sum_i: 0,
+                min: None,
+                max: None,
+                non_null: 0,
+            }
+        }
+    }
+
+    let mut groups: HashMap<Vec<Datum>, (Vec<Acc>, Row)> = HashMap::new();
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    for row in &rows {
+        let key: Vec<Datum> = positions.iter().map(|&i| row.values()[i].clone()).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            (vec![Acc::new(); aggs.len()], row.project(&positions))
+        });
+        for (acc, call) in entry.0.iter_mut().zip(aggs) {
+            acc.count += 1;
+            let v = match &call.arg {
+                None => None,
+                Some(e) => Some(eval(e, row, &ectx)?),
+            };
+            if let Some(v) = v {
+                if !v.is_null() {
+                    acc.non_null += 1;
+                    match &v {
+                        Datum::Float64(f) => {
+                            acc.sum_is_float = true;
+                            acc.sum += f;
+                        }
+                        Datum::Int32(_) | Datum::Int64(_) | Datum::Date(_) => {
+                            let i = v.as_i64()?;
+                            acc.sum_i = acc.sum_i.checked_add(i).ok_or_else(|| {
+                                Error::Arithmetic("sum overflow".into())
+                            })?;
+                            acc.sum += i as f64;
+                        }
+                        _ => {}
+                    }
+                    match &acc.min {
+                        Some(m) if &v >= m => {}
+                        _ => acc.min = Some(v.clone()),
+                    }
+                    match &acc.max {
+                        Some(m) if &v <= m => {}
+                        _ => acc.max = Some(v),
+                    }
+                }
+            }
+        }
+    }
+
+    // Scalar aggregates over empty input produce one row — on the
+    // singleton segment only (the optimizer gathers below scalar aggs,
+    // so segment 0 is where the single input slice lives).
+    if groups.is_empty() && group_by.is_empty() {
+        if seg != SegmentId(0) {
+            return Ok(Vec::new());
+        }
+        let vals: Vec<Datum> = aggs
+            .iter()
+            .map(|call| match call.func {
+                AggFunc::Count => Datum::Int64(0),
+                _ => Datum::Null,
+            })
+            .collect();
+        return Ok(vec![Row::new(vals)]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (accs, group_row) = &groups[&key];
+        let mut vals: Vec<Datum> = group_row.values().to_vec();
+        for (acc, call) in accs.iter().zip(aggs) {
+            let v = match call.func {
+                AggFunc::Count => match &call.arg {
+                    None => Datum::Int64(acc.count),
+                    Some(_) => Datum::Int64(acc.non_null),
+                },
+                AggFunc::Sum => {
+                    if acc.non_null == 0 {
+                        Datum::Null
+                    } else if acc.sum_is_float {
+                        Datum::Float64(acc.sum)
+                    } else {
+                        Datum::Int64(acc.sum_i)
+                    }
+                }
+                AggFunc::Avg => {
+                    if acc.non_null == 0 {
+                        Datum::Null
+                    } else {
+                        Datum::Float64(acc.sum / acc.non_null as f64)
+                    }
+                }
+                AggFunc::Min => acc.min.clone().unwrap_or(Datum::Null),
+                AggFunc::Max => acc.max.clone().unwrap_or(Datum::Null),
+            };
+            vals.push(v);
+        }
+        out.push(Row::new(vals));
+    }
+    Ok(out)
+}
+
+/// Execute a DML plan (always the root).
+fn exec_dml(plan: &PhysicalPlan, storage: &Storage, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    match plan {
+        PhysicalPlan::Insert { table, child } => {
+            let mut rows = Vec::new();
+            for seg in storage.segments() {
+                rows.extend(exec(child, seg, storage, ctx)?);
+            }
+            let n = storage.insert(*table, rows)?;
+            storage.analyze(*table)?; // auto-analyze keeps the optimizer honest
+            Ok(vec![Row::new(vec![Datum::Int64(n as i64)])])
+        }
+        PhysicalPlan::Delete {
+            table,
+            target_cols,
+            child,
+        } => {
+            let rows = collect_target_rows(child, target_cols, storage, ctx)?;
+            let n = rows.len();
+            delete_rows(*table, rows, storage)?;
+            storage.analyze(*table)?;
+            Ok(vec![Row::new(vec![Datum::Int64(n as i64)])])
+        }
+        PhysicalPlan::Update {
+            table,
+            target_cols,
+            assignments,
+            child,
+        } => {
+            // Materialize old rows and their replacements first (the scan
+            // must not observe its own updates).
+            let child_cols = child.output_cols();
+            let ectx = eval_ctx(&child_cols, ctx.params);
+            let positions: Vec<usize> = target_cols
+                .iter()
+                .map(|c| {
+                    child_cols
+                        .iter()
+                        .position(|x| x == c)
+                        .ok_or_else(|| Error::Execution(format!("update column {c} missing")))
+                })
+                .collect::<Result<_>>()?;
+            let mut old_rows = Vec::new();
+            let mut new_rows = Vec::new();
+            for seg in storage.segments() {
+                for row in exec(child, seg, storage, ctx)? {
+                    let old = row.project(&positions);
+                    let mut vals: Vec<Datum> = old.values().to_vec();
+                    for (idx, e) in assignments {
+                        vals[*idx] = eval(e, &row, &ectx)?;
+                    }
+                    old_rows.push(old);
+                    new_rows.push(Row::new(vals));
+                }
+            }
+            let n = old_rows.len();
+            delete_rows(*table, old_rows, storage)?;
+            // Re-inserting routes updated tuples to their (possibly new)
+            // partition and segment — cross-partition updates included.
+            storage.insert(*table, new_rows)?;
+            storage.analyze(*table)?;
+            Ok(vec![Row::new(vec![Datum::Int64(n as i64)])])
+        }
+        other => Err(Error::Execution(format!(
+            "exec_dml called on {}",
+            other.name()
+        ))),
+    }
+}
+
+fn collect_target_rows(
+    child: &PhysicalPlan,
+    target_cols: &[ColRef],
+    storage: &Storage,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let child_cols = child.output_cols();
+    let positions: Vec<usize> = target_cols
+        .iter()
+        .map(|c| {
+            child_cols
+                .iter()
+                .position(|x| x == c)
+                .ok_or_else(|| Error::Execution(format!("target column {c} missing")))
+        })
+        .collect::<Result<_>>()?;
+    let mut out = Vec::new();
+    for seg in storage.segments() {
+        for row in exec(child, seg, storage, ctx)? {
+            out.push(row.project(&positions));
+        }
+    }
+    Ok(out)
+}
+
+/// Remove rows by value, one stored instance per requested instance (bag
+/// semantics).
+fn delete_rows(table: TableOid, rows: Vec<Row>, storage: &Storage) -> Result<()> {
+    // Group removal counts by storage location. locate_row returns every
+    // location for replicated tables; a hashed/singleton table has
+    // exactly one.
+    let mut by_loc: HashMap<(PhysId, SegmentId), HashMap<Row, usize>> = HashMap::new();
+    for row in rows {
+        for loc in storage.locate_row(table, &row)? {
+            *by_loc.entry(loc).or_default().entry(row.clone()).or_insert(0) += 1;
+        }
+    }
+    for ((phys, seg), mut counts) in by_loc {
+        let current = storage.scan(phys, seg);
+        let mut kept = Vec::with_capacity(current.len());
+        for r in current {
+            match counts.get_mut(&r) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => kept.push(r),
+            }
+        }
+        storage.overwrite(phys, seg, kept);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::range_parts_equal_width;
+    use mpp_catalog::{Catalog, Distribution, TableDesc};
+    use mpp_common::{row, Column, DataType, PartScanId, Schema};
+
+    fn cr(id: u32, name: &str) -> ColRef {
+        ColRef::new(id, name)
+    }
+
+    /// R(a, b): hash on a, 10 partitions on b over [0, 100).
+    /// S(a, b): hash on a, unpartitioned.
+    fn setup() -> (Storage, TableOid, TableOid) {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let r = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(10);
+        cat.register(TableDesc {
+            oid: r,
+            name: "r".into(),
+            schema: schema.clone(),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(
+                range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(100), 10, first).unwrap(),
+            ),
+        })
+        .unwrap();
+        let s = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: s,
+            name: "s".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        let st = Storage::new(cat, 4);
+        st.insert(r, (0..100).map(|i| row![i, i])).unwrap();
+        st.insert(s, (0..10).map(|i| row![i, i * 10])).unwrap();
+        (st, r, s)
+    }
+
+    fn r_scan(r: TableOid, id: u32) -> PhysicalPlan {
+        PhysicalPlan::DynamicScan {
+            table: r,
+            table_name: "r".into(),
+            part_scan_id: PartScanId(id),
+            output: vec![cr(1, "a"), cr(2, "b")],
+            filter: None,
+        }
+    }
+
+    fn static_selector(r: TableOid, id: u32, pred: Option<Expr>) -> PhysicalPlan {
+        PhysicalPlan::PartitionSelector {
+            table: r,
+            table_name: "r".into(),
+            part_scan_id: PartScanId(id),
+            part_keys: vec![cr(2, "b")],
+            predicates: vec![pred],
+            child: None,
+        }
+    }
+
+    #[test]
+    fn full_dynamic_scan_reads_everything() {
+        // Figure 5(a): selector with no predicate → all 10 parts.
+        let (st, r, _) = setup();
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Sequence {
+                children: vec![static_selector(r, 1, None), r_scan(r, 1)],
+            }),
+        };
+        let res = execute(&st, &plan).unwrap();
+        assert_eq!(res.rows.len(), 100);
+        assert_eq!(res.stats.parts_scanned_for(r), 10);
+    }
+
+    #[test]
+    fn equality_selection_scans_one_part() {
+        // Figure 5(b): b = 35 → only the [30, 40) partition.
+        let (st, r, _) = setup();
+        let pred = Expr::eq(Expr::col(cr(2, "b")), Expr::lit(35i32));
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Filter {
+                pred: pred.clone(),
+                child: Box::new(PhysicalPlan::Sequence {
+                    children: vec![static_selector(r, 1, Some(pred)), r_scan(r, 1)],
+                }),
+            }),
+        };
+        let res = execute(&st, &plan).unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.stats.parts_scanned_for(r), 1);
+    }
+
+    #[test]
+    fn range_selection_scans_matching_parts() {
+        // Figure 5(c): b < 25 → 3 partitions.
+        let (st, r, _) = setup();
+        let pred = Expr::lt(Expr::col(cr(2, "b")), Expr::lit(25i32));
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Filter {
+                pred: pred.clone(),
+                child: Box::new(PhysicalPlan::Sequence {
+                    children: vec![static_selector(r, 1, Some(pred)), r_scan(r, 1)],
+                }),
+            }),
+        };
+        let res = execute(&st, &plan).unwrap();
+        assert_eq!(res.rows.len(), 25);
+        assert_eq!(res.stats.parts_scanned_for(r), 3);
+    }
+
+    #[test]
+    fn join_dpe_scans_only_matching_parts() {
+        // Figure 5(d): selector on the outer side driven by S tuples.
+        let (st, r, s) = setup();
+        // Keep only S rows with b ∈ {0, 10} → partitions [0,10) and [10,20).
+        let s_scan = PhysicalPlan::TableScan {
+            table: s,
+            table_name: "s".into(),
+            output: vec![cr(3, "sa"), cr(4, "sb")],
+            filter: Some(Expr::lt(Expr::col(cr(4, "sb")), Expr::lit(20i32))),
+        };
+        let selector = PhysicalPlan::PartitionSelector {
+            table: r,
+            table_name: "r".into(),
+            part_scan_id: PartScanId(1),
+            part_keys: vec![cr(2, "b")],
+            predicates: vec![Some(Expr::eq(Expr::col(cr(2, "b")), Expr::col(cr(4, "sb"))))],
+            child: Some(Box::new(PhysicalPlan::Motion {
+                kind: MotionKind::Broadcast,
+                child: Box::new(s_scan),
+            })),
+        };
+        let join = PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(cr(4, "sb"))],
+            right_keys: vec![Expr::col(cr(2, "b"))],
+            residual: None,
+            left: Box::new(selector),
+            right: Box::new(r_scan(r, 1)),
+        };
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(join),
+        };
+        let res = execute(&st, &plan).unwrap();
+        // S rows with sb<20: (0,0) and (1,10); R matches b=0 and b=10.
+        assert_eq!(res.rows.len(), 2);
+        assert_eq!(res.stats.parts_scanned_for(r), 2, "DPE must prune to 2 parts");
+    }
+
+    #[test]
+    fn scan_without_selector_fails() {
+        let (st, r, _) = setup();
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(r_scan(r, 1)),
+        };
+        let err = execute(&st, &plan).unwrap_err();
+        assert_eq!(err.kind(), "invalid_plan");
+    }
+
+    #[test]
+    fn prepared_parameter_selection() {
+        // b = $1, bound at run time (the prepared-statement case of §1).
+        let (st, r, _) = setup();
+        let pred = Expr::eq(Expr::col(cr(2, "b")), Expr::Param(1));
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Filter {
+                pred: pred.clone(),
+                child: Box::new(PhysicalPlan::Sequence {
+                    children: vec![static_selector(r, 1, Some(pred)), r_scan(r, 1)],
+                }),
+            }),
+        };
+        let res = execute_with_params(&st, &plan, &[Datum::Int32(42)]).unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0], row![42, 42]);
+        assert_eq!(res.stats.parts_scanned_for(r), 1);
+        // A different binding selects a different partition.
+        let res = execute_with_params(&st, &plan, &[Datum::Int32(7)]).unwrap();
+        assert_eq!(res.rows[0], row![7, 7]);
+    }
+
+    #[test]
+    fn redistribute_motion_rebalances() {
+        let (st, _, s) = setup();
+        // Redistribute S on sb, then count per segment via scan outputs.
+        let scan = PhysicalPlan::TableScan {
+            table: s,
+            table_name: "s".into(),
+            output: vec![cr(3, "sa"), cr(4, "sb")],
+            filter: None,
+        };
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Redistribute(vec![cr(4, "sb")]),
+            child: Box::new(scan),
+        };
+        // Executing the whole plan returns the union over segments: all 10
+        // rows exactly once.
+        let res = execute(&st, &plan).unwrap();
+        assert_eq!(res.rows.len(), 10);
+        assert!(res.stats.rows_moved >= 10);
+    }
+
+    #[test]
+    fn broadcast_motion_replicates() {
+        let (st, _, s) = setup();
+        let scan = PhysicalPlan::TableScan {
+            table: s,
+            table_name: "s".into(),
+            output: vec![cr(3, "sa"), cr(4, "sb")],
+            filter: None,
+        };
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Broadcast,
+            child: Box::new(scan),
+        };
+        let res = execute(&st, &plan).unwrap();
+        // Every one of 4 segments sees all 10 rows.
+        assert_eq!(res.rows.len(), 40);
+    }
+
+    #[test]
+    fn hash_join_types() {
+        let (st, _, s) = setup();
+        let left = PhysicalPlan::Values {
+            rows: vec![
+                vec![Datum::Int32(1)],
+                vec![Datum::Int32(2)],
+                vec![Datum::Int32(99)],
+                vec![Datum::Null],
+            ],
+            output: vec![cr(10, "x")],
+        };
+        let right = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::TableScan {
+                table: s,
+                table_name: "s".into(),
+                output: vec![cr(3, "sa"), cr(4, "sb")],
+                filter: None,
+            }),
+        };
+        let mk = |jt| PhysicalPlan::HashJoin {
+            join_type: jt,
+            left_keys: vec![Expr::col(cr(10, "x"))],
+            right_keys: vec![Expr::col(cr(3, "sa"))],
+            residual: None,
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+        };
+        let inner = execute(&st, &mk(JoinType::Inner)).unwrap();
+        assert_eq!(inner.rows.len(), 2);
+        assert_eq!(inner.rows[0].len(), 3);
+        let semi = execute(&st, &mk(JoinType::LeftSemi)).unwrap();
+        assert_eq!(semi.rows.len(), 2);
+        assert_eq!(semi.rows[0].len(), 1);
+        let anti = execute(&st, &mk(JoinType::LeftAnti)).unwrap();
+        // 99 and NULL have no match.
+        assert_eq!(anti.rows.len(), 2);
+        let outer = execute(&st, &mk(JoinType::LeftOuter)).unwrap();
+        assert_eq!(outer.rows.len(), 4);
+        let nulls = outer
+            .rows
+            .iter()
+            .filter(|r| r.values()[1].is_null())
+            .count();
+        assert_eq!(nulls, 2);
+    }
+
+    #[test]
+    fn aggregation_with_groups_and_nulls() {
+        let (st, _, _) = setup();
+        let values = PhysicalPlan::Values {
+            rows: vec![
+                vec![Datum::Int32(1), Datum::Int32(10)],
+                vec![Datum::Int32(1), Datum::Null],
+                vec![Datum::Int32(2), Datum::Int32(5)],
+            ],
+            output: vec![cr(1, "g"), cr(2, "v")],
+        };
+        let agg = PhysicalPlan::HashAgg {
+            group_by: vec![cr(1, "g")],
+            aggs: vec![
+                AggCall::count_star(),
+                AggCall::new(AggFunc::Count, Expr::col(cr(2, "v"))),
+                AggCall::new(AggFunc::Sum, Expr::col(cr(2, "v"))),
+                AggCall::new(AggFunc::Avg, Expr::col(cr(2, "v"))),
+                AggCall::new(AggFunc::Min, Expr::col(cr(2, "v"))),
+            ],
+            output: vec![
+                cr(1, "g"),
+                cr(20, "c1"),
+                cr(21, "c2"),
+                cr(22, "s"),
+                cr(23, "a"),
+                cr(24, "m"),
+            ],
+            child: Box::new(values),
+        };
+        let res = execute(&st, &agg).unwrap();
+        assert_eq!(res.rows.len(), 2);
+        let g1 = res.rows.iter().find(|r| r.values()[0] == Datum::Int32(1)).unwrap();
+        assert_eq!(g1.values()[1], Datum::Int64(2)); // count(*)
+        assert_eq!(g1.values()[2], Datum::Int64(1)); // count(v)
+        assert_eq!(g1.values()[3], Datum::Int64(10)); // sum
+        assert_eq!(g1.values()[4], Datum::Float64(10.0)); // avg ignores null
+        assert_eq!(g1.values()[5], Datum::Int32(10)); // min
+    }
+
+    #[test]
+    fn scalar_agg_on_empty_input() {
+        let (st, _, _) = setup();
+        let agg = PhysicalPlan::HashAgg {
+            group_by: vec![],
+            aggs: vec![AggCall::count_star(), AggCall::new(AggFunc::Sum, Expr::col(cr(1, "x")))],
+            output: vec![cr(20, "c"), cr(21, "s")],
+            child: Box::new(PhysicalPlan::Values {
+                rows: vec![],
+                output: vec![cr(1, "x")],
+            }),
+        };
+        let res = execute(&st, &agg).unwrap();
+        // The empty-input scalar-agg row is produced on segment 0 only
+        // (the optimizer gathers below scalar aggregates).
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0].values()[0], Datum::Int64(0));
+        assert_eq!(res.rows[0].values()[1], Datum::Null);
+    }
+
+    #[test]
+    fn legacy_gated_part_scans() {
+        // Legacy dynamic elimination: init plan computes the OID set, the
+        // Append lists every partition with a gate.
+        let (st, r, s) = setup();
+        let tree = st.catalog().part_tree(r).unwrap();
+        let init = PhysicalPlan::InitPlanOids {
+            param: 1,
+            table: r,
+            key: Expr::col(cr(4, "sb")),
+            child: Box::new(PhysicalPlan::TableScan {
+                table: s,
+                table_name: "s".into(),
+                output: vec![cr(3, "sa"), cr(4, "sb")],
+                filter: Some(Expr::lt(Expr::col(cr(4, "sb")), Expr::lit(20i32))),
+            }),
+        };
+        let scans: Vec<PhysicalPlan> = tree
+            .leaves()
+            .iter()
+            .map(|leaf| PhysicalPlan::PartScan {
+                table: r,
+                part: leaf.oid,
+                part_name: leaf.name.clone(),
+                output: vec![cr(1, "a"), cr(2, "b")],
+                filter: None,
+                gate: Some(1),
+            })
+            .collect();
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Sequence {
+                children: vec![
+                    init,
+                    PhysicalPlan::Append {
+                        output: vec![cr(1, "a"), cr(2, "b")],
+                        children: scans,
+                    },
+                ],
+            }),
+        };
+        let res = execute(&st, &plan).unwrap();
+        // Gated to partitions containing b=0 and b=10: 20 rows.
+        assert_eq!(res.rows.len(), 20);
+        assert_eq!(res.stats.parts_scanned_for(r), 2);
+    }
+
+    #[test]
+    fn dml_insert_update_delete() {
+        let (st, r, _) = setup();
+        // INSERT two rows.
+        let ins = PhysicalPlan::Insert {
+            table: r,
+            child: Box::new(PhysicalPlan::Values {
+                rows: vec![
+                    vec![Datum::Int32(200), Datum::Int32(55)],
+                    vec![Datum::Int32(201), Datum::Int32(56)],
+                ],
+                output: vec![cr(1, "a"), cr(2, "b")],
+            }),
+        };
+        let res = execute(&st, &ins).unwrap();
+        assert_eq!(res.rows[0], row![2i64]);
+        assert_eq!(st.row_count(r).unwrap(), 102);
+
+        // UPDATE: move b=55 → b=5 (crosses partitions).
+        let scan = PhysicalPlan::Sequence {
+            children: vec![
+                static_selector(r, 1, Some(Expr::eq(Expr::col(cr(2, "b")), Expr::lit(55i32)))),
+                r_scan(r, 1),
+            ],
+        };
+        let upd = PhysicalPlan::Update {
+            table: r,
+            target_cols: vec![cr(1, "a"), cr(2, "b")],
+            assignments: vec![(1, Expr::lit(5i32))],
+            child: Box::new(PhysicalPlan::Filter {
+                pred: Expr::eq(Expr::col(cr(2, "b")), Expr::lit(55i32)),
+                child: Box::new(scan),
+            }),
+        };
+        let res = execute(&st, &upd).unwrap();
+        assert_eq!(res.rows[0], row![2i64]); // rows 55 (original) + 55 (inserted)
+        assert_eq!(st.row_count(r).unwrap(), 102);
+
+        // DELETE everything with b < 10 (now includes the moved rows).
+        let scan = PhysicalPlan::Sequence {
+            children: vec![
+                static_selector(r, 2, Some(Expr::lt(Expr::col(cr(2, "b")), Expr::lit(10i32)))),
+                PhysicalPlan::DynamicScan {
+                    table: r,
+                    table_name: "r".into(),
+                    part_scan_id: PartScanId(2),
+                    output: vec![cr(1, "a"), cr(2, "b")],
+                    filter: Some(Expr::lt(Expr::col(cr(2, "b")), Expr::lit(10i32))),
+                },
+            ],
+        };
+        let del = PhysicalPlan::Delete {
+            table: r,
+            target_cols: vec![cr(1, "a"), cr(2, "b")],
+            child: Box::new(scan),
+        };
+        let res = execute(&st, &del).unwrap();
+        assert_eq!(res.rows[0], row![12i64]); // 10 original + 2 moved
+        assert_eq!(st.row_count(r).unwrap(), 90);
+    }
+
+    #[test]
+    fn multilevel_dynamic_selection() {
+        // Two-level table: 5 ranges × 2 list values.
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("region", DataType::Utf8),
+        ]);
+        let t = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(10);
+        let tree = mpp_catalog::PartTree::new(
+            vec![
+                mpp_catalog::builders::range_level_equal_width(
+                    0,
+                    Datum::Int32(0),
+                    Datum::Int32(50),
+                    5,
+                )
+                .unwrap(),
+                mpp_catalog::builders::list_level(
+                    1,
+                    vec![
+                        ("r1".into(), vec![Datum::str("A")]),
+                        ("r2".into(), vec![Datum::str("B")]),
+                    ],
+                    false,
+                )
+                .unwrap(),
+            ],
+            first,
+        )
+        .unwrap();
+        cat.register(TableDesc {
+            oid: t,
+            name: "t".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(tree),
+        })
+        .unwrap();
+        let st = Storage::new(cat, 4);
+        st.insert(
+            t,
+            (0..50).map(|i| Row::new(vec![Datum::Int32(i), Datum::str(if i % 2 == 0 { "A" } else { "B" })])),
+        )
+        .unwrap();
+
+        // k = 7 AND region = 'B' → exactly one leaf.
+        let keys = vec![cr(1, "k"), cr(2, "region")];
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Sequence {
+                children: vec![
+                    PhysicalPlan::PartitionSelector {
+                        table: t,
+                        table_name: "t".into(),
+                        part_scan_id: PartScanId(1),
+                        part_keys: keys.clone(),
+                        predicates: vec![
+                            Some(Expr::eq(Expr::col(cr(1, "k")), Expr::lit(7i32))),
+                            Some(Expr::eq(Expr::col(cr(2, "region")), Expr::lit("B"))),
+                        ],
+                        child: None,
+                    },
+                    PhysicalPlan::DynamicScan {
+                        table: t,
+                        table_name: "t".into(),
+                        part_scan_id: PartScanId(1),
+                        output: keys,
+                        filter: Some(Expr::eq(Expr::col(cr(1, "k")), Expr::lit(7i32))),
+                    },
+                ],
+            }),
+        };
+        let res = execute(&st, &plan).unwrap();
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.stats.parts_scanned_for(t), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mpp-executor
+//!
+//! The MPP runtime simulator. A physical plan executes once per *segment*
+//! (worker); [`mpp_plan::PhysicalPlan::Motion`] operators are the only
+//! points where rows cross segment boundaries — Gather funnels to the
+//! master, Redistribute re-hashes, Broadcast replicates (paper §3.1).
+//!
+//! The partitioning operators work exactly as §2.2 describes:
+//!
+//! * a `PartitionSelector` evaluates its per-level predicates — against
+//!   constants and prepared-statement parameters when childless (static
+//!   selection), or against every input tuple when it has a child
+//!   (dynamic selection) — and **pushes the selected partition OIDs into a
+//!   per-(partScanId, segment) shared-memory registry**
+//!   (the `partition_propagation` built-in of Table 1);
+//! * the paired `DynamicScan` consumes that registry entry and scans only
+//!   those partitions. A scan whose registry entry was never written is a
+//!   runtime error — the §3.1 invalid-plan condition, detectable here as
+//!   well as statically.
+//!
+//! Execution also collects [`ExecutionStats`] — distinct partitions
+//! scanned per table, tuples read, rows moved — which the benchmark
+//! harness uses to regenerate the paper's Figures 16–17.
+
+pub mod context;
+pub mod exec;
+pub mod stats;
+
+#[cfg(test)]
+mod motion_tests;
+
+pub use context::ExecContext;
+pub use exec::{execute, execute_with_params, Executor, QueryResult};
+pub use stats::ExecutionStats;

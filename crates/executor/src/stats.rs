@@ -1,0 +1,68 @@
+//! Execution statistics.
+
+use mpp_common::{PartOid, TableOid};
+use std::collections::{HashMap, HashSet};
+
+/// Counters collected during one query execution.
+#[derive(Debug, Default, Clone)]
+pub struct ExecutionStats {
+    /// Distinct leaf partitions scanned, per root table — the metric of
+    /// paper Figure 16.
+    pub parts_scanned: HashMap<TableOid, HashSet<PartOid>>,
+    /// Total partition opens (a partition scanned on several segments or
+    /// in several loops counts each time).
+    pub part_opens: u64,
+    /// Unpartitioned-table scans.
+    pub table_scans: u64,
+    /// Tuples read from storage.
+    pub tuples_scanned: u64,
+    /// Rows that crossed a Motion boundary.
+    pub rows_moved: u64,
+    /// Motion executions.
+    pub motions: u64,
+    /// Rows emitted by the root.
+    pub rows_returned: u64,
+    /// Partition-selector invocations.
+    pub selector_runs: u64,
+}
+
+impl ExecutionStats {
+    /// Distinct partitions scanned across all tables.
+    pub fn total_parts_scanned(&self) -> usize {
+        self.parts_scanned.values().map(|s| s.len()).sum()
+    }
+
+    /// Distinct partitions scanned for one table.
+    pub fn parts_scanned_for(&self, table: TableOid) -> usize {
+        self.parts_scanned.get(&table).map(|s| s.len()).unwrap_or(0)
+    }
+
+    pub fn record_part_scan(&mut self, table: TableOid, part: PartOid, tuples: usize) {
+        self.parts_scanned.entry(table).or_default().insert(part);
+        self.part_opens += 1;
+        self.tuples_scanned += tuples as u64;
+    }
+
+    pub fn record_table_scan(&mut self, tuples: usize) {
+        self.table_scans += 1;
+        self.tuples_scanned += tuples as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_parts_counted_once() {
+        let mut s = ExecutionStats::default();
+        s.record_part_scan(TableOid(1), PartOid(10), 5);
+        s.record_part_scan(TableOid(1), PartOid(10), 7); // same part, other segment
+        s.record_part_scan(TableOid(1), PartOid(11), 3);
+        s.record_part_scan(TableOid(2), PartOid(20), 1);
+        assert_eq!(s.parts_scanned_for(TableOid(1)), 2);
+        assert_eq!(s.total_parts_scanned(), 3);
+        assert_eq!(s.part_opens, 4);
+        assert_eq!(s.tuples_scanned, 16);
+    }
+}

@@ -1,0 +1,544 @@
+//! Predicate analysis: deriving interval sets from predicates and the
+//! helper functions used by the PartitionSelector placement algorithms
+//! (paper §2.3): `FindPredOnKey`, `Conj`, conjunct splitting.
+//!
+//! [`derive_interval_set`] is the analytical core of the partition
+//! selection function `f*_T` (paper §2.1): given a predicate `φ` over a
+//! partitioning key, it computes a set `S` of key values such that any
+//! tuple satisfying `φ` has its key in `S` (or has a NULL key, reported
+//! separately). The derivation is *conservative*: when a sub-expression
+//! cannot be analyzed, it widens to "all values", never dropping a
+//! partition that could contain matches — the soundness requirement of
+//! `f*_T`.
+
+use crate::ast::{CmpOp, Expr};
+use crate::colref::ColRef;
+use crate::eval::{eval, EvalContext};
+use crate::interval::IntervalSet;
+use mpp_common::{Datum, Row};
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of interval derivation for a key column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedSet {
+    /// Non-null key values that may satisfy the predicate.
+    pub set: IntervalSet,
+    /// True if the set is exactly the satisfying values (enables
+    /// complement-based reasoning); false means "conservative superset".
+    pub exact: bool,
+    /// True if a tuple whose key is NULL might satisfy the predicate.
+    pub null_possible: bool,
+}
+
+impl DerivedSet {
+    pub fn full() -> DerivedSet {
+        DerivedSet {
+            set: IntervalSet::full(),
+            exact: false,
+            null_possible: true,
+        }
+    }
+
+    pub fn empty_exact() -> DerivedSet {
+        DerivedSet {
+            set: IntervalSet::empty(),
+            exact: true,
+            null_possible: false,
+        }
+    }
+}
+
+/// Try to evaluate a constant sub-expression (literals, arithmetic over
+/// literals, and parameters when `params` is provided).
+pub fn eval_const(expr: &Expr, params: Option<&[Datum]>) -> Option<Datum> {
+    if !expr.is_constant_given_params(params.is_some()) {
+        return None;
+    }
+    let empty = Row::empty();
+    let ctx = match params {
+        Some(p) => EvalContext::new().with_params(p),
+        None => EvalContext::new(),
+    };
+    eval(expr, &empty, &ctx).ok()
+}
+
+/// Derive the interval set of values of `key` that may satisfy `expr`.
+///
+/// `params` supplies prepared-statement parameter values when they are
+/// known (at run time); without them any predicate mentioning a parameter
+/// widens conservatively.
+pub fn derive_interval_set(expr: &Expr, key: &ColRef, params: Option<&[Datum]>) -> DerivedSet {
+    match expr {
+        Expr::Lit(Datum::Bool(true)) => DerivedSet {
+            set: IntervalSet::full(),
+            exact: true,
+            null_possible: true,
+        },
+        Expr::Lit(Datum::Bool(false)) | Expr::Lit(Datum::Null) => DerivedSet::empty_exact(),
+        Expr::Cmp { op, left, right } => derive_cmp(*op, left, right, key, params),
+        Expr::And(v) => {
+            let mut acc = DerivedSet {
+                set: IntervalSet::full(),
+                exact: true,
+                null_possible: true,
+            };
+            for e in v {
+                let d = derive_interval_set(e, key, params);
+                acc.set = acc.set.intersect(&d.set);
+                acc.exact &= d.exact;
+                acc.null_possible &= d.null_possible;
+            }
+            acc
+        }
+        Expr::Or(v) => {
+            let mut acc = DerivedSet::empty_exact();
+            for e in v {
+                let d = derive_interval_set(e, key, params);
+                acc.set = acc.set.union(&d.set);
+                acc.exact &= d.exact;
+                acc.null_possible |= d.null_possible;
+            }
+            acc
+        }
+        Expr::Not(inner) => derive_not(inner, key, params),
+        Expr::IsNull(inner) => match inner.as_ref() {
+            Expr::Col(c) if c == key => DerivedSet {
+                set: IntervalSet::empty(),
+                exact: true,
+                null_possible: true,
+            },
+            _ => DerivedSet::full(),
+        },
+        Expr::Between { expr: e, low, high } => match e.as_ref() {
+            Expr::Col(c) if c == key => {
+                let lo = eval_const(low, params);
+                let hi = eval_const(high, params);
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) => {
+                        if lo.is_null() || hi.is_null() {
+                            // BETWEEN with a NULL endpoint is never true.
+                            return DerivedSet::empty_exact();
+                        }
+                        DerivedSet {
+                            set: IntervalSet::from_cmp(CmpOp::Ge, lo)
+                                .intersect(&IntervalSet::from_cmp(CmpOp::Le, hi)),
+                            exact: true,
+                            null_possible: false,
+                        }
+                    }
+                    _ => DerivedSet::full(),
+                }
+            }
+            _ => DerivedSet::full(),
+        },
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => match e.as_ref() {
+            Expr::Col(c) if c == key => {
+                let mut vals = Vec::with_capacity(list.len());
+                let mut has_null = false;
+                for item in list {
+                    match eval_const(item, params) {
+                        Some(Datum::Null) => has_null = true,
+                        Some(v) => vals.push(v),
+                        None => return DerivedSet::full(),
+                    }
+                }
+                if !negated {
+                    DerivedSet {
+                        set: IntervalSet::points(vals),
+                        exact: !has_null, // with NULL in the list, a superset
+                        null_possible: false,
+                    }
+                } else if has_null {
+                    // key NOT IN (…, NULL, …) is never true.
+                    DerivedSet::empty_exact()
+                } else {
+                    DerivedSet {
+                        set: IntervalSet::points(vals).complement(),
+                        exact: true,
+                        null_possible: false,
+                    }
+                }
+            }
+            _ => DerivedSet::full(),
+        },
+        // Anything else gives no information about the key.
+        _ => DerivedSet::full(),
+    }
+}
+
+fn derive_cmp(
+    op: CmpOp,
+    left: &Expr,
+    right: &Expr,
+    key: &ColRef,
+    params: Option<&[Datum]>,
+) -> DerivedSet {
+    // Normalize to `key OP const`.
+    let (op, other) = match (left, right) {
+        (Expr::Col(c), other) if c == key => (op, other),
+        (other, Expr::Col(c)) if c == key => (op.flip(), other),
+        _ => return DerivedSet::full(),
+    };
+    match eval_const(other, params) {
+        Some(v) => {
+            if v.is_null() {
+                return DerivedSet::empty_exact();
+            }
+            DerivedSet {
+                set: IntervalSet::from_cmp(op, v),
+                exact: true,
+                null_possible: false,
+            }
+        }
+        None => DerivedSet::full(),
+    }
+}
+
+fn derive_not(inner: &Expr, key: &ColRef, params: Option<&[Datum]>) -> DerivedSet {
+    match inner {
+        // NOT (key OP c) = key negate(OP) c for non-null keys; a NULL key
+        // leaves the comparison unknown, so NOT also never holds.
+        Expr::Cmp { op, left, right } => {
+            let d = derive_cmp(op.negate(), left, right, key, params);
+            if d.exact {
+                d
+            } else {
+                DerivedSet::full()
+            }
+        }
+        Expr::Not(e) => derive_interval_set(e, key, params),
+        // De Morgan.
+        Expr::And(v) => derive_interval_set(
+            &Expr::or(v.iter().cloned().map(Expr::not).collect()),
+            key,
+            params,
+        ),
+        Expr::Or(v) => derive_interval_set(
+            &Expr::and(v.iter().cloned().map(Expr::not).collect()),
+            key,
+            params,
+        ),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => derive_interval_set(
+            &Expr::InList {
+                expr: expr.clone(),
+                list: list.clone(),
+                negated: !negated,
+            },
+            key,
+            params,
+        ),
+        Expr::IsNull(e) => match e.as_ref() {
+            Expr::Col(c) if c == key => DerivedSet {
+                set: IntervalSet::full(),
+                exact: true,
+                null_possible: false,
+            },
+            _ => DerivedSet::full(),
+        },
+        Expr::Between { expr, low, high } => {
+            // NOT (k BETWEEN a AND b) = k < a OR k > b (for non-null k, a, b).
+            let rewritten = Expr::or(vec![
+                Expr::lt(expr.as_ref().clone(), low.as_ref().clone()),
+                Expr::gt(expr.as_ref().clone(), high.as_ref().clone()),
+            ]);
+            let d = derive_interval_set(&rewritten, key, params);
+            if d.exact {
+                d
+            } else {
+                DerivedSet::full()
+            }
+        }
+        _ => DerivedSet::full(),
+    }
+}
+
+/// Split a predicate into its top-level conjuncts, flattening nested ANDs.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn rec(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::And(v) => {
+                for c in v {
+                    rec(c, out);
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+/// The paper's `Conj` helper: conjunction of an optional accumulated
+/// predicate with a new one.
+pub fn conj(a: Option<Expr>, b: Expr) -> Expr {
+    match a {
+        None => b,
+        Some(a) => {
+            let mut parts = split_conjuncts(&a);
+            parts.extend(split_conjuncts(&b));
+            Expr::and(parts)
+        }
+    }
+}
+
+/// All column references appearing in an expression.
+pub fn collect_columns(expr: &Expr) -> BTreeSet<ColRef> {
+    let mut out = BTreeSet::new();
+    expr.visit(&mut |e| {
+        if let Expr::Col(c) = e {
+            out.insert(c.clone());
+        }
+    });
+    out
+}
+
+/// Does the expression reference only columns in `allowed`?
+pub fn references_only(expr: &Expr, allowed: &BTreeSet<ColRef>) -> bool {
+    collect_columns(expr).iter().all(|c| allowed.contains(c))
+}
+
+/// The paper's `FindPredOnKey`: extract from `expr` the conjunction of
+/// top-level conjuncts that mention `key`. Returns `None` when no conjunct
+/// mentions the key.
+pub fn find_pred_on_key(expr: &Expr, key: &ColRef) -> Option<Expr> {
+    let matching: Vec<Expr> = split_conjuncts(expr)
+        .into_iter()
+        .filter(|c| collect_columns(c).contains(key))
+        .collect();
+    if matching.is_empty() {
+        None
+    } else {
+        Some(Expr::and(matching))
+    }
+}
+
+/// Multi-level variant (paper §2.4): one optional predicate per key.
+/// Returns `None` if no key has a filtering predicate.
+pub fn find_preds_on_keys(expr: &Expr, keys: &[ColRef]) -> Option<Vec<Option<Expr>>> {
+    let per_key: Vec<Option<Expr>> = keys.iter().map(|k| find_pred_on_key(expr, k)).collect();
+    if per_key.iter().all(Option::is_none) {
+        None
+    } else {
+        Some(per_key)
+    }
+}
+
+/// Replace column references according to `map` (colref id → expression).
+pub fn substitute_columns(expr: &Expr, map: &HashMap<u32, Expr>) -> Expr {
+    expr.transform(&|e| match &e {
+        Expr::Col(c) => map.get(&c.id).cloned().unwrap_or(e),
+        _ => e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ColRef {
+        ColRef::new(1, "pk")
+    }
+
+    fn other() -> ColRef {
+        ColRef::new(2, "x")
+    }
+
+    fn kc() -> Expr {
+        Expr::col(key())
+    }
+
+    #[test]
+    fn derive_simple_comparisons() {
+        let d = derive_interval_set(&Expr::eq(kc(), Expr::lit(5i32)), &key(), None);
+        assert!(d.exact);
+        assert!(!d.null_possible);
+        assert!(d.set.contains(&Datum::Int32(5)));
+        assert!(!d.set.contains(&Datum::Int32(6)));
+
+        // Flipped side: 5 > pk  ⇔  pk < 5
+        let d = derive_interval_set(&Expr::gt(Expr::lit(5i32), kc()), &key(), None);
+        assert!(d.set.contains(&Datum::Int32(4)));
+        assert!(!d.set.contains(&Datum::Int32(5)));
+    }
+
+    #[test]
+    fn derive_between_and_in() {
+        let d = derive_interval_set(
+            &Expr::between(kc(), Expr::lit(10i32), Expr::lit(12i32)),
+            &key(),
+            None,
+        );
+        assert!(d.exact);
+        assert!(d.set.contains(&Datum::Int32(10)));
+        assert!(d.set.contains(&Datum::Int32(12)));
+        assert!(!d.set.contains(&Datum::Int32(13)));
+
+        let d = derive_interval_set(
+            &Expr::in_list(kc(), vec![Expr::lit(1i32), Expr::lit(3i32)]),
+            &key(),
+            None,
+        );
+        assert!(d.set.contains(&Datum::Int32(3)));
+        assert!(!d.set.contains(&Datum::Int32(2)));
+    }
+
+    #[test]
+    fn derive_and_or_not() {
+        let e = Expr::and(vec![
+            Expr::ge(kc(), Expr::lit(10i32)),
+            Expr::le(kc(), Expr::lit(20i32)),
+        ]);
+        let d = derive_interval_set(&e, &key(), None);
+        assert!(d.exact);
+        assert!(d.set.contains(&Datum::Int32(15)));
+        assert!(!d.set.contains(&Datum::Int32(25)));
+
+        let e = Expr::or(vec![
+            Expr::lt(kc(), Expr::lit(0i32)),
+            Expr::gt(kc(), Expr::lit(100i32)),
+        ]);
+        let d = derive_interval_set(&e, &key(), None);
+        assert!(d.set.contains(&Datum::Int32(-5)));
+        assert!(!d.set.contains(&Datum::Int32(50)));
+
+        let e = Expr::not(Expr::eq(kc(), Expr::lit(5i32)));
+        let d = derive_interval_set(&e, &key(), None);
+        assert!(d.exact);
+        assert!(!d.set.contains(&Datum::Int32(5)));
+        assert!(d.set.contains(&Datum::Int32(6)));
+        assert!(!d.null_possible);
+    }
+
+    #[test]
+    fn derive_is_conservative_for_join_predicates() {
+        // pk = x references another column: no static info.
+        let e = Expr::eq(kc(), Expr::col(other()));
+        let d = derive_interval_set(&e, &key(), None);
+        assert!(d.set.is_full());
+        assert!(!d.exact);
+    }
+
+    #[test]
+    fn params_widen_until_bound() {
+        let e = Expr::eq(kc(), Expr::Param(1));
+        let unbound = derive_interval_set(&e, &key(), None);
+        assert!(unbound.set.is_full());
+        let params = [Datum::Int32(9)];
+        let bound = derive_interval_set(&e, &key(), Some(&params));
+        assert!(bound.exact);
+        assert!(bound.set.contains(&Datum::Int32(9)));
+        assert!(!bound.set.contains(&Datum::Int32(8)));
+    }
+
+    #[test]
+    fn null_semantics() {
+        // pk = NULL never matches.
+        let d = derive_interval_set(&Expr::eq(kc(), Expr::Lit(Datum::Null)), &key(), None);
+        assert!(d.set.is_empty());
+        assert!(d.exact);
+        // pk IS NULL: no non-null values, but null rows qualify.
+        let d = derive_interval_set(&Expr::IsNull(Box::new(kc())), &key(), None);
+        assert!(d.set.is_empty());
+        assert!(d.null_possible);
+        // pk NOT IN (1, NULL) is never true.
+        let d = derive_interval_set(
+            &Expr::InList {
+                expr: Box::new(kc()),
+                list: vec![Expr::lit(1i32), Expr::Lit(Datum::Null)],
+                negated: true,
+            },
+            &key(),
+            None,
+        );
+        assert!(d.set.is_empty());
+        assert!(d.exact);
+    }
+
+    #[test]
+    fn split_and_conj() {
+        let e = Expr::and(vec![
+            Expr::eq(kc(), Expr::lit(1i32)),
+            Expr::and(vec![
+                Expr::gt(Expr::col(other()), Expr::lit(2i32)),
+                Expr::lt(Expr::col(other()), Expr::lit(9i32)),
+            ]),
+        ]);
+        assert_eq!(split_conjuncts(&e).len(), 3);
+        let c = conj(Some(Expr::lit(true)), Expr::eq(kc(), Expr::lit(1i32)));
+        assert_eq!(split_conjuncts(&c).len(), 2);
+        let c = conj(None, Expr::eq(kc(), Expr::lit(1i32)));
+        assert_eq!(split_conjuncts(&c).len(), 1);
+    }
+
+    #[test]
+    fn find_pred_on_key_extracts_only_key_conjuncts() {
+        let e = Expr::and(vec![
+            Expr::ge(kc(), Expr::lit(10i32)),
+            Expr::eq(Expr::col(other()), Expr::lit("CA")),
+            Expr::le(kc(), Expr::lit(12i32)),
+        ]);
+        let p = find_pred_on_key(&e, &key()).unwrap();
+        let conjs = split_conjuncts(&p);
+        assert_eq!(conjs.len(), 2);
+        assert!(find_pred_on_key(&e, &ColRef::new(99, "zz")).is_none());
+        // Join predicate mentioning the key is found too.
+        let j = Expr::eq(kc(), Expr::col(other()));
+        assert!(find_pred_on_key(&j, &key()).is_some());
+    }
+
+    #[test]
+    fn find_preds_on_keys_multi_level() {
+        let date = ColRef::new(10, "date");
+        let region = ColRef::new(11, "region");
+        let e = Expr::eq(Expr::col(region.clone()), Expr::lit("Region 1"));
+        let preds = find_preds_on_keys(&e, &[date.clone(), region.clone()]).unwrap();
+        assert!(preds[0].is_none());
+        assert!(preds[1].is_some());
+        assert!(find_preds_on_keys(&e, &[date]).is_none());
+    }
+
+    #[test]
+    fn substitution() {
+        let e = Expr::eq(kc(), Expr::col(other()));
+        let mut map = HashMap::new();
+        map.insert(other().id, Expr::lit(7i32));
+        let s = substitute_columns(&e, &map);
+        assert_eq!(s, Expr::eq(kc(), Expr::lit(7i32)));
+    }
+
+    #[test]
+    fn collect_and_references_only() {
+        let e = Expr::and(vec![
+            Expr::eq(kc(), Expr::col(other())),
+            Expr::gt(kc(), Expr::lit(0i32)),
+        ]);
+        let cols = collect_columns(&e);
+        assert_eq!(cols.len(), 2);
+        let mut allowed = BTreeSet::new();
+        allowed.insert(key());
+        assert!(!references_only(&e, &allowed));
+        allowed.insert(other());
+        assert!(references_only(&e, &allowed));
+    }
+
+    #[test]
+    fn eval_const_folds_arithmetic() {
+        use mpp_common::value::ArithOp;
+        let e = Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(Expr::lit(2i32)),
+            right: Box::new(Expr::lit(3i32)),
+        };
+        assert_eq!(eval_const(&e, None), Some(Datum::Int64(5)));
+        assert_eq!(eval_const(&kc(), None), None);
+    }
+}

@@ -1,0 +1,402 @@
+//! The scalar expression AST.
+
+use crate::colref::ColRef;
+use mpp_common::value::ArithOp;
+use mpp_common::Datum;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Operator with sides swapped: `a < b` ⇔ `b > a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation: `NOT (a < b)` ⇔ `a >= b` (for non-null operands).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to a column by global identity.
+    Col(ColRef),
+    /// Literal constant.
+    Lit(Datum),
+    /// Prepared-statement parameter `$n` (1-based), bound at execution time.
+    /// This is what makes *static* pruning impossible and *dynamic* pruning
+    /// necessary for prepared statements (paper §1).
+    Param(u32),
+    /// Binary comparison.
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// N-ary conjunction.
+    And(Vec<Expr>),
+    /// N-ary disjunction.
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// Binary arithmetic.
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr BETWEEN low AND high` (inclusive both ends).
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
+    /// `expr [NOT] IN (list…)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    pub fn col(c: ColRef) -> Expr {
+        Expr::Col(c)
+    }
+
+    pub fn lit(d: impl Into<Datum>) -> Expr {
+        Expr::Lit(d.into())
+    }
+
+    pub fn cmp(op: CmpOp, left: Expr, right: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, left, right)
+    }
+
+    pub fn lt(left: Expr, right: Expr) -> Expr {
+        Expr::cmp(CmpOp::Lt, left, right)
+    }
+
+    pub fn le(left: Expr, right: Expr) -> Expr {
+        Expr::cmp(CmpOp::Le, left, right)
+    }
+
+    pub fn gt(left: Expr, right: Expr) -> Expr {
+        Expr::cmp(CmpOp::Gt, left, right)
+    }
+
+    pub fn ge(left: Expr, right: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ge, left, right)
+    }
+
+    pub fn and(exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::lit(true),
+            1 => exprs.into_iter().next().unwrap(),
+            _ => Expr::And(exprs),
+        }
+    }
+
+    pub fn or(exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::lit(false),
+            1 => exprs.into_iter().next().unwrap(),
+            _ => Expr::Or(exprs),
+        }
+    }
+
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    pub fn between(expr: Expr, low: Expr, high: Expr) -> Expr {
+        Expr::Between {
+            expr: Box::new(expr),
+            low: Box::new(low),
+            high: Box::new(high),
+        }
+    }
+
+    pub fn in_list(expr: Expr, list: Vec<Expr>) -> Expr {
+        Expr::InList {
+            expr: Box::new(expr),
+            list,
+            negated: false,
+        }
+    }
+
+    /// True when the expression contains no column references or params —
+    /// i.e. it folds to a constant.
+    pub fn is_constant(&self) -> bool {
+        self.is_constant_given_params(false)
+    }
+
+    /// Like [`Expr::is_constant`], but optionally treat parameters as bound
+    /// (they are, at run time).
+    pub fn is_constant_given_params(&self, params_bound: bool) -> bool {
+        match self {
+            Expr::Col(_) => false,
+            Expr::Lit(_) => true,
+            Expr::Param(_) => params_bound,
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.is_constant_given_params(params_bound)
+                    && right.is_constant_given_params(params_bound)
+            }
+            Expr::And(v) | Expr::Or(v) => {
+                v.iter().all(|e| e.is_constant_given_params(params_bound))
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.is_constant_given_params(params_bound),
+            Expr::Between { expr, low, high } => {
+                expr.is_constant_given_params(params_bound)
+                    && low.is_constant_given_params(params_bound)
+                    && high.is_constant_given_params(params_bound)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.is_constant_given_params(params_bound)
+                    && list.iter().all(|e| e.is_constant_given_params(params_bound))
+            }
+        }
+    }
+
+    /// Visit every sub-expression (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Col(_) | Expr::Lit(_) | Expr::Param(_) => {}
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::And(v) | Expr::Or(v) => {
+                for e in v {
+                    e.visit(f);
+                }
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.visit(f),
+            Expr::Between { expr, low, high } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the expression, transforming leaves bottom-up.
+    pub fn transform(&self, f: &impl Fn(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Col(_) | Expr::Lit(_) | Expr::Param(_) => self.clone(),
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: *op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Arith { op, left, right } => Expr::Arith {
+                op: *op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::And(v) => Expr::And(v.iter().map(|e| e.transform(f)).collect()),
+            Expr::Or(v) => Expr::Or(v.iter().map(|e| e.transform(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.transform(f))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.transform(f))),
+            Expr::Between { expr, low, high } => Expr::Between {
+                expr: Box::new(expr.transform(f)),
+                low: Box::new(low.transform(f)),
+                high: Box::new(high.transform(f)),
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.transform(f)),
+                list: list.iter().map(|e| e.transform(f)).collect(),
+                negated: *negated,
+            },
+        };
+        f(rebuilt)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit(d) => write!(f, "{d}"),
+            Expr::Param(n) => write!(f, "${n}"),
+            Expr::Cmp { op, left, right } => write!(f, "({left} {} {right})", op.symbol()),
+            Expr::And(v) => {
+                write!(f, "(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(v) => {
+                write!(f, "(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+            Expr::Arith { op, left, right } => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                    ArithOp::Mod => "%",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::Between { expr, low, high } => {
+                write!(f, "{expr} BETWEEN {low} AND {high}")
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u32, name: &str) -> ColRef {
+        ColRef::new(id, name)
+    }
+
+    #[test]
+    fn builders_collapse_trivial_connectives() {
+        assert_eq!(Expr::and(vec![]), Expr::lit(true));
+        assert_eq!(Expr::or(vec![]), Expr::lit(false));
+        let e = Expr::eq(Expr::col(c(1, "a")), Expr::lit(5i32));
+        assert_eq!(Expr::and(vec![e.clone()]), e);
+    }
+
+    #[test]
+    fn flip_and_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn is_constant() {
+        assert!(Expr::lit(1i32).is_constant());
+        assert!(!Expr::col(c(1, "a")).is_constant());
+        assert!(!Expr::Param(1).is_constant());
+        assert!(Expr::Param(1).is_constant_given_params(true));
+        let e = Expr::between(Expr::lit(1i32), Expr::lit(0i32), Expr::Param(1));
+        assert!(!e.is_constant());
+        assert!(e.is_constant_given_params(true));
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = Expr::and(vec![
+            Expr::ge(Expr::col(c(1, "month")), Expr::lit(10i32)),
+            Expr::le(Expr::col(c(1, "month")), Expr::lit(12i32)),
+        ]);
+        assert_eq!(e.to_string(), "((month#1 >= 10) AND (month#1 <= 12))");
+    }
+
+    #[test]
+    fn visit_counts_nodes() {
+        let e = Expr::between(
+            Expr::col(c(1, "a")),
+            Expr::lit(1i32),
+            Expr::Arith {
+                op: ArithOp::Add,
+                left: Box::new(Expr::lit(2i32)),
+                right: Box::new(Expr::lit(3i32)),
+            },
+        );
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn transform_replaces_params() {
+        let e = Expr::eq(Expr::col(c(1, "a")), Expr::Param(1));
+        let bound = e.transform(&|x| match x {
+            Expr::Param(1) => Expr::lit(42i32),
+            other => other,
+        });
+        assert_eq!(bound, Expr::eq(Expr::col(c(1, "a")), Expr::lit(42i32)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Column references.
+//!
+//! Like ORCA's `CColRef`, a [`ColRef`] is a *globally unique* column
+//! identity minted by the binder/optimizer, not a positional index. This is
+//! what lets the PartitionSelector placement algorithms reason about "the
+//! partitioning key of DynamicScan 2" while walking operators far above the
+//! scan: identity survives joins, projections and motion boundaries.
+//! Executors translate colrefs to positions only at the last moment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A globally unique column identity. Equality and hashing use only the
+/// numeric id; the name rides along for display.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColRef {
+    pub id: u32,
+    pub name: Arc<str>,
+}
+
+impl ColRef {
+    pub fn new(id: u32, name: impl Into<Arc<str>>) -> ColRef {
+        ColRef {
+            id,
+            name: name.into(),
+        }
+    }
+}
+
+impl PartialEq for ColRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for ColRef {}
+
+impl PartialOrd for ColRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ColRef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.id.cmp(&other.id)
+    }
+}
+
+impl Hash for ColRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.name, self.id)
+    }
+}
+
+/// Mints fresh [`ColRef`]s. One generator per optimization session.
+#[derive(Debug, Default)]
+pub struct ColRefGenerator {
+    next: AtomicU32,
+}
+
+impl ColRefGenerator {
+    pub fn new() -> ColRefGenerator {
+        ColRefGenerator {
+            next: AtomicU32::new(1),
+        }
+    }
+
+    /// Start ids at `first` (used when grafting onto an existing plan).
+    pub fn starting_at(first: u32) -> ColRefGenerator {
+        ColRefGenerator {
+            next: AtomicU32::new(first),
+        }
+    }
+
+    pub fn fresh(&self, name: impl Into<Arc<str>>) -> ColRef {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        ColRef::new(id, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_ignores_name() {
+        let a = ColRef::new(3, "x");
+        let b = ColRef::new(3, "renamed");
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn generator_mints_unique_ids() {
+        let g = ColRefGenerator::new();
+        let a = g.fresh("a");
+        let b = g.fresh("b");
+        assert_ne!(a, b);
+        assert_eq!(a.id + 1, b.id);
+    }
+
+    #[test]
+    fn display_shows_name_and_id() {
+        assert_eq!(ColRef::new(7, "pk").to_string(), "pk#7");
+    }
+}

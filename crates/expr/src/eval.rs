@@ -1,0 +1,298 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use crate::ast::{CmpOp, Expr};
+use crate::colref::ColRef;
+use mpp_common::{Datum, Error, Result, Row};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Binds column identities to positions in a row, and parameters to values.
+#[derive(Debug, Default, Clone)]
+pub struct EvalContext<'a> {
+    /// ColRef id → index into the row.
+    positions: HashMap<u32, usize>,
+    /// Prepared-statement parameter values, 1-based (`params[0]` is `$1`).
+    params: &'a [Datum],
+}
+
+impl<'a> EvalContext<'a> {
+    pub fn new() -> EvalContext<'a> {
+        EvalContext {
+            positions: HashMap::new(),
+            params: &[],
+        }
+    }
+
+    /// Build a context from the output column list of an operator: the i-th
+    /// colref maps to position i.
+    pub fn from_columns(cols: &[ColRef]) -> EvalContext<'a> {
+        let positions = cols.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+        EvalContext {
+            positions,
+            params: &[],
+        }
+    }
+
+    pub fn with_params(mut self, params: &'a [Datum]) -> EvalContext<'a> {
+        self.params = params;
+        self
+    }
+
+    pub fn bind(&mut self, col: &ColRef, pos: usize) {
+        self.positions.insert(col.id, pos);
+    }
+
+    pub fn position_of(&self, col: &ColRef) -> Result<usize> {
+        self.positions
+            .get(&col.id)
+            .copied()
+            .ok_or_else(|| Error::Execution(format!("unbound column {col}")))
+    }
+
+    pub fn param(&self, n: u32) -> Result<&Datum> {
+        if n == 0 {
+            return Err(Error::Execution("parameter numbers are 1-based".into()));
+        }
+        self.params
+            .get((n - 1) as usize)
+            .ok_or_else(|| Error::Execution(format!("unbound parameter ${n}")))
+    }
+}
+
+/// Evaluate an expression against a row. Boolean-valued expressions use
+/// three-valued logic: `Datum::Null` encodes `unknown`.
+pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> Result<Datum> {
+    match expr {
+        Expr::Col(c) => {
+            let pos = ctx.position_of(c)?;
+            row.get(pos)
+                .cloned()
+                .ok_or_else(|| Error::Execution(format!("row too short for {c} at {pos}")))
+        }
+        Expr::Lit(d) => Ok(d.clone()),
+        Expr::Param(n) => Ok(ctx.param(*n)?.clone()),
+        Expr::Cmp { op, left, right } => {
+            let l = eval(left, row, ctx)?;
+            let r = eval(right, row, ctx)?;
+            Ok(match l.sql_cmp(&r)? {
+                None => Datum::Null,
+                Some(ord) => Datum::Bool(cmp_holds(*op, ord)),
+            })
+        }
+        Expr::And(exprs) => {
+            // 3VL AND: false dominates, then unknown.
+            let mut saw_null = false;
+            for e in exprs {
+                match eval(e, row, ctx)?.as_bool()? {
+                    Some(false) => return Ok(Datum::Bool(false)),
+                    Some(true) => {}
+                    None => saw_null = true,
+                }
+            }
+            Ok(if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(true)
+            })
+        }
+        Expr::Or(exprs) => {
+            let mut saw_null = false;
+            for e in exprs {
+                match eval(e, row, ctx)?.as_bool()? {
+                    Some(true) => return Ok(Datum::Bool(true)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            Ok(if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(false)
+            })
+        }
+        Expr::Not(e) => Ok(match eval(e, row, ctx)?.as_bool()? {
+            None => Datum::Null,
+            Some(b) => Datum::Bool(!b),
+        }),
+        Expr::IsNull(e) => Ok(Datum::Bool(eval(e, row, ctx)?.is_null())),
+        Expr::Arith { op, left, right } => {
+            let l = eval(left, row, ctx)?;
+            let r = eval(right, row, ctx)?;
+            l.arith(*op, &r)
+        }
+        Expr::Between { expr, low, high } => {
+            let v = eval(expr, row, ctx)?;
+            let lo = eval(low, row, ctx)?;
+            let hi = eval(high, row, ctx)?;
+            let ge_low = match v.sql_cmp(&lo)? {
+                None => None,
+                Some(ord) => Some(ord != Ordering::Less),
+            };
+            let le_high = match v.sql_cmp(&hi)? {
+                None => None,
+                Some(ord) => Some(ord != Ordering::Greater),
+            };
+            Ok(match (ge_low, le_high) {
+                (Some(false), _) | (_, Some(false)) => Datum::Bool(false),
+                (Some(true), Some(true)) => Datum::Bool(true),
+                _ => Datum::Null,
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row, ctx)?;
+            let mut saw_null = false;
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, row, ctx)?;
+                match v.sql_cmp(&iv)? {
+                    None => saw_null = true,
+                    Some(Ordering::Equal) => {
+                        found = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            Ok(if found {
+                Datum::Bool(!negated)
+            } else if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(*negated)
+            })
+        }
+    }
+}
+
+fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Evaluate a predicate as a filter condition: `unknown` counts as not
+/// passing, per SQL WHERE semantics.
+pub fn eval_predicate(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> Result<bool> {
+    Ok(eval(expr, row, ctx)?.as_bool()?.unwrap_or(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_common::row;
+
+    fn ctx2() -> EvalContext<'static> {
+        EvalContext::from_columns(&[ColRef::new(1, "a"), ColRef::new(2, "b")])
+    }
+
+    fn col(id: u32) -> Expr {
+        Expr::col(ColRef::new(id, "c"))
+    }
+
+    #[test]
+    fn comparison_and_nulls() {
+        let ctx = ctx2();
+        let r = row![5i32, 10i32];
+        let e = Expr::lt(col(1), col(2));
+        assert_eq!(eval(&e, &r, &ctx).unwrap(), Datum::Bool(true));
+        let rn = Row::new(vec![Datum::Null, Datum::Int32(10)]);
+        assert_eq!(eval(&e, &rn, &ctx).unwrap(), Datum::Null);
+        assert!(!eval_predicate(&e, &rn, &ctx).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let ctx = ctx2();
+        let rn = Row::new(vec![Datum::Null, Datum::Int32(10)]);
+        // null AND false = false
+        let e = Expr::and(vec![
+            Expr::eq(col(1), Expr::lit(1i32)),
+            Expr::eq(col(2), Expr::lit(0i32)),
+        ]);
+        assert_eq!(eval(&e, &rn, &ctx).unwrap(), Datum::Bool(false));
+        // null OR true = true
+        let e = Expr::or(vec![
+            Expr::eq(col(1), Expr::lit(1i32)),
+            Expr::eq(col(2), Expr::lit(10i32)),
+        ]);
+        assert_eq!(eval(&e, &rn, &ctx).unwrap(), Datum::Bool(true));
+        // null AND true = null
+        let e = Expr::and(vec![
+            Expr::eq(col(1), Expr::lit(1i32)),
+            Expr::eq(col(2), Expr::lit(10i32)),
+        ]);
+        assert_eq!(eval(&e, &rn, &ctx).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn between_evaluation() {
+        let ctx = ctx2();
+        let e = Expr::between(col(1), Expr::lit(1i32), Expr::lit(9i32));
+        assert_eq!(
+            eval(&e, &row![5i32, 0i32], &ctx).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            eval(&e, &row![10i32, 0i32], &ctx).unwrap(),
+            Datum::Bool(false)
+        );
+        // NULL BETWEEN 1 AND 9 = unknown
+        assert_eq!(
+            eval(&e, &Row::new(vec![Datum::Null, Datum::Int32(0)]), &ctx).unwrap(),
+            Datum::Null
+        );
+    }
+
+    #[test]
+    fn in_list_with_nulls() {
+        let ctx = ctx2();
+        let e = Expr::in_list(col(1), vec![Expr::lit(1i32), Expr::Lit(Datum::Null)]);
+        assert_eq!(
+            eval(&e, &row![1i32, 0i32], &ctx).unwrap(),
+            Datum::Bool(true)
+        );
+        // 2 IN (1, NULL) = unknown
+        assert_eq!(eval(&e, &row![2i32, 0i32], &ctx).unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn params_bind() {
+        let params = vec![Datum::Int32(7)];
+        let ctx = ctx2().with_params(&params);
+        let e = Expr::eq(col(1), Expr::Param(1));
+        assert_eq!(
+            eval(&e, &row![7i32, 0i32], &ctx).unwrap(),
+            Datum::Bool(true)
+        );
+        assert!(eval(&Expr::Param(2), &row![7i32, 0i32], &ctx).is_err());
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let ctx = ctx2();
+        let rn = Row::new(vec![Datum::Null, Datum::Int32(10)]);
+        assert_eq!(
+            eval(&Expr::IsNull(Box::new(col(1))), &rn, &ctx).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            eval(&Expr::not(Expr::IsNull(Box::new(col(1)))), &rn, &ctx).unwrap(),
+            Datum::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unbound_column_is_error() {
+        let ctx = ctx2();
+        assert!(eval(&col(99), &row![1i32, 2i32], &ctx).is_err());
+    }
+}

@@ -1,0 +1,476 @@
+//! Interval sets over [`Datum`].
+//!
+//! GPDB represents every partition's check constraint as
+//! `pk ∈ ∪ᵢ(aᵢ, bᵢ)` where each `(aᵢ, bᵢ)` is an open, closed or
+//! half-open interval, possibly unbounded (paper §3.2). Categorical (list)
+//! partitions are the degenerate case where an interval's endpoints
+//! coincide. [`IntervalSet`] is that representation, with the algebra
+//! (intersection, union, complement) that partition selection needs.
+//!
+//! Intervals range over *non-null* values only; `NULL` routing is handled
+//! by the catalog's default-partition logic.
+
+use mpp_common::Datum;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Lower endpoint of an interval.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LowBound {
+    NegInf,
+    Incl(Datum),
+    Excl(Datum),
+}
+
+/// Upper endpoint of an interval.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HighBound {
+    PosInf,
+    Incl(Datum),
+    Excl(Datum),
+}
+
+/// A contiguous, possibly unbounded interval of datum values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    pub low: LowBound,
+    pub high: HighBound,
+}
+
+/// Where does low bound `a` start relative to low bound `b`?
+fn cmp_low(a: &LowBound, b: &LowBound) -> Ordering {
+    use LowBound::*;
+    match (a, b) {
+        (NegInf, NegInf) => Ordering::Equal,
+        (NegInf, _) => Ordering::Less,
+        (_, NegInf) => Ordering::Greater,
+        (Incl(x), Incl(y)) | (Excl(x), Excl(y)) => x.cmp(y),
+        (Incl(x), Excl(y)) => x.cmp(y).then(Ordering::Less),
+        (Excl(x), Incl(y)) => x.cmp(y).then(Ordering::Greater),
+    }
+}
+
+/// Where does high bound `a` end relative to high bound `b`?
+fn cmp_high(a: &HighBound, b: &HighBound) -> Ordering {
+    use HighBound::*;
+    match (a, b) {
+        (PosInf, PosInf) => Ordering::Equal,
+        (PosInf, _) => Ordering::Greater,
+        (_, PosInf) => Ordering::Less,
+        (Incl(x), Incl(y)) | (Excl(x), Excl(y)) => x.cmp(y),
+        (Incl(x), Excl(y)) => x.cmp(y).then(Ordering::Greater),
+        (Excl(x), Incl(y)) => x.cmp(y).then(Ordering::Less),
+    }
+}
+
+/// True when an interval `(low, high)` contains no value.
+fn is_void(low: &LowBound, high: &HighBound) -> bool {
+    let (lv, li) = match low {
+        LowBound::NegInf => return false,
+        LowBound::Incl(v) => (v, true),
+        LowBound::Excl(v) => (v, false),
+    };
+    let (hv, hi) = match high {
+        HighBound::PosInf => return false,
+        HighBound::Incl(v) => (v, true),
+        HighBound::Excl(v) => (v, false),
+    };
+    match lv.cmp(hv) {
+        Ordering::Greater => true,
+        Ordering::Equal => !(li && hi),
+        Ordering::Less => false,
+    }
+}
+
+/// Is there a gap between a high bound and the following low bound (i.e.
+/// they can NOT be merged into one contiguous interval)?
+fn gap_between(high: &HighBound, low: &LowBound) -> bool {
+    let (hv, hi) = match high {
+        HighBound::PosInf => return false,
+        HighBound::Incl(v) => (v, true),
+        HighBound::Excl(v) => (v, false),
+    };
+    let (lv, li) = match low {
+        LowBound::NegInf => return false,
+        LowBound::Incl(v) => (v, true),
+        LowBound::Excl(v) => (v, false),
+    };
+    match hv.cmp(lv) {
+        Ordering::Less => true,
+        Ordering::Equal => !hi && !li,
+        Ordering::Greater => false,
+    }
+}
+
+impl Interval {
+    pub fn new(low: LowBound, high: HighBound) -> Interval {
+        Interval { low, high }
+    }
+
+    /// The single point `{v}`.
+    pub fn point(v: Datum) -> Interval {
+        Interval::new(LowBound::Incl(v.clone()), HighBound::Incl(v))
+    }
+
+    /// `(-∞, +∞)`.
+    pub fn unbounded() -> Interval {
+        Interval::new(LowBound::NegInf, HighBound::PosInf)
+    }
+
+    /// `[low, high)` — the standard range-partition shape.
+    pub fn half_open(low: Datum, high: Datum) -> Interval {
+        Interval::new(LowBound::Incl(low), HighBound::Excl(high))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        is_void(&self.low, &self.high)
+    }
+
+    /// Does this interval contain the (non-null) value?
+    pub fn contains(&self, v: &Datum) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        let above_low = match &self.low {
+            LowBound::NegInf => true,
+            LowBound::Incl(b) => v >= b,
+            LowBound::Excl(b) => v > b,
+        };
+        let below_high = match &self.high {
+            HighBound::PosInf => true,
+            HighBound::Incl(b) => v <= b,
+            HighBound::Excl(b) => v < b,
+        };
+        above_low && below_high
+    }
+
+    /// Intersection of two intervals (may be empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let low = if cmp_low(&self.low, &other.low) == Ordering::Greater {
+            self.low.clone()
+        } else {
+            other.low.clone()
+        };
+        let high = if cmp_high(&self.high, &other.high) == Ordering::Less {
+            self.high.clone()
+        } else {
+            other.high.clone()
+        };
+        Interval::new(low, high)
+    }
+
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.low {
+            LowBound::NegInf => write!(f, "(-inf")?,
+            LowBound::Incl(v) => write!(f, "[{v}")?,
+            LowBound::Excl(v) => write!(f, "({v}")?,
+        }
+        write!(f, ", ")?;
+        match &self.high {
+            HighBound::PosInf => write!(f, "+inf)"),
+            HighBound::Incl(v) => write!(f, "{v}]"),
+            HighBound::Excl(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+/// A union of disjoint, sorted intervals. The canonical form merges
+/// overlapping and adjacent intervals, so equality is semantic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    pub fn empty() -> IntervalSet {
+        IntervalSet { intervals: vec![] }
+    }
+
+    pub fn full() -> IntervalSet {
+        IntervalSet {
+            intervals: vec![Interval::unbounded()],
+        }
+    }
+
+    pub fn point(v: Datum) -> IntervalSet {
+        IntervalSet::from_intervals(vec![Interval::point(v)])
+    }
+
+    pub fn points(vs: impl IntoIterator<Item = Datum>) -> IntervalSet {
+        IntervalSet::from_intervals(vs.into_iter().map(Interval::point).collect())
+    }
+
+    pub fn interval(i: Interval) -> IntervalSet {
+        IntervalSet::from_intervals(vec![i])
+    }
+
+    /// Normalize an arbitrary list of intervals: drop empties, sort, merge.
+    pub fn from_intervals(mut intervals: Vec<Interval>) -> IntervalSet {
+        intervals.retain(|i| !i.is_empty());
+        intervals.sort_by(|a, b| cmp_low(&a.low, &b.low).then_with(|| cmp_high(&a.high, &b.high)));
+        let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) if !gap_between(&last.high, &iv.low) => {
+                    if cmp_high(&iv.high, &last.high) == Ordering::Greater {
+                        last.high = iv.high;
+                    }
+                }
+                _ => merged.push(iv),
+            }
+        }
+        IntervalSet { intervals: merged }
+    }
+
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.intervals.len() == 1
+            && self.intervals[0].low == LowBound::NegInf
+            && self.intervals[0].high == HighBound::PosInf
+    }
+
+    pub fn contains(&self, v: &Datum) -> bool {
+        self.intervals.iter().any(|i| i.contains(v))
+    }
+
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = self.intervals.clone();
+        all.extend(other.intervals.iter().cloned());
+        IntervalSet::from_intervals(all)
+    }
+
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        // Both lists are sorted and disjoint; a merge-walk is O(n+m).
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = &self.intervals[i];
+            let b = &other.intervals[j];
+            let x = a.intersect(b);
+            if !x.is_empty() {
+                out.push(x);
+            }
+            // Advance whichever ends first.
+            if cmp_high(&a.high, &b.high) == Ordering::Less {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Complement within the full (non-null) value space.
+    pub fn complement(&self) -> IntervalSet {
+        if self.intervals.is_empty() {
+            return IntervalSet::full();
+        }
+        let mut out = Vec::new();
+        let mut cursor = LowBound::NegInf;
+        for iv in &self.intervals {
+            // Gap before iv: [cursor, flip(iv.low))
+            let gap_high = match &iv.low {
+                LowBound::NegInf => None,
+                LowBound::Incl(v) => Some(HighBound::Excl(v.clone())),
+                LowBound::Excl(v) => Some(HighBound::Incl(v.clone())),
+            };
+            if let Some(h) = gap_high {
+                let candidate = Interval::new(cursor.clone(), h);
+                if !candidate.is_empty() {
+                    out.push(candidate);
+                }
+            }
+            cursor = match &iv.high {
+                HighBound::PosInf => return IntervalSet::from_intervals(out),
+                HighBound::Incl(v) => LowBound::Excl(v.clone()),
+                HighBound::Excl(v) => LowBound::Incl(v.clone()),
+            };
+        }
+        out.push(Interval::new(cursor, HighBound::PosInf));
+        IntervalSet::from_intervals(out)
+    }
+
+    pub fn overlaps(&self, other: &IntervalSet) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Interval set for `col OP value`.
+    pub fn from_cmp(op: crate::ast::CmpOp, v: Datum) -> IntervalSet {
+        use crate::ast::CmpOp::*;
+        if v.is_null() {
+            // col OP NULL never holds.
+            return IntervalSet::empty();
+        }
+        match op {
+            Eq => IntervalSet::point(v),
+            Ne => IntervalSet::point(v).complement(),
+            Lt => IntervalSet::interval(Interval::new(LowBound::NegInf, HighBound::Excl(v))),
+            Le => IntervalSet::interval(Interval::new(LowBound::NegInf, HighBound::Incl(v))),
+            Gt => IntervalSet::interval(Interval::new(LowBound::Excl(v), HighBound::PosInf)),
+            Ge => IntervalSet::interval(Interval::new(LowBound::Incl(v), HighBound::PosInf)),
+        }
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            return f.write_str("{}");
+        }
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" u ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn d(v: i32) -> Datum {
+        Datum::Int32(v)
+    }
+
+    #[test]
+    fn point_and_range_contains() {
+        let p = Interval::point(d(5));
+        assert!(p.contains(&d(5)));
+        assert!(!p.contains(&d(6)));
+        let r = Interval::half_open(d(0), d(10));
+        assert!(r.contains(&d(0)));
+        assert!(r.contains(&d(9)));
+        assert!(!r.contains(&d(10)));
+        assert!(!r.contains(&Datum::Null));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Interval::new(LowBound::Incl(d(5)), HighBound::Excl(d(5))).is_empty());
+        assert!(Interval::new(LowBound::Excl(d(5)), HighBound::Incl(d(5))).is_empty());
+        assert!(!Interval::point(d(5)).is_empty());
+        assert!(Interval::new(LowBound::Incl(d(6)), HighBound::Incl(d(5))).is_empty());
+    }
+
+    #[test]
+    fn normalization_merges_overlap_and_adjacency() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::half_open(d(0), d(10)),
+            Interval::half_open(d(10), d(20)),
+            Interval::half_open(d(30), d(40)),
+        ]);
+        assert_eq!(s.intervals().len(), 2);
+        assert!(s.contains(&d(10)));
+        assert!(!s.contains(&d(25)));
+        // (.., 5) and (5, ..) must NOT merge: 5 is excluded by both.
+        let s2 = IntervalSet::from_intervals(vec![
+            Interval::new(LowBound::NegInf, HighBound::Excl(d(5))),
+            Interval::new(LowBound::Excl(d(5)), HighBound::PosInf),
+        ]);
+        assert_eq!(s2.intervals().len(), 2);
+        assert!(!s2.contains(&d(5)));
+    }
+
+    #[test]
+    fn union_intersect() {
+        let a = IntervalSet::interval(Interval::half_open(d(0), d(10)));
+        let b = IntervalSet::interval(Interval::half_open(d(5), d(15)));
+        let u = a.union(&b);
+        assert_eq!(u.intervals().len(), 1);
+        assert!(u.contains(&d(12)));
+        let i = a.intersect(&b);
+        assert!(i.contains(&d(7)));
+        assert!(!i.contains(&d(2)));
+        assert!(!i.contains(&d(12)));
+    }
+
+    #[test]
+    fn intersect_multi_interval_sets() {
+        let a = IntervalSet::from_intervals(vec![
+            Interval::half_open(d(0), d(10)),
+            Interval::half_open(d(20), d(30)),
+            Interval::half_open(d(40), d(50)),
+        ]);
+        let b = IntervalSet::from_intervals(vec![
+            Interval::half_open(d(5), d(25)),
+            Interval::half_open(d(45), d(100)),
+        ]);
+        let x = a.intersect(&b);
+        assert!(x.contains(&d(7)));
+        assert!(x.contains(&d(22)));
+        assert!(x.contains(&d(47)));
+        assert!(!x.contains(&d(15)));
+        assert!(!x.contains(&d(35)));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let a = IntervalSet::from_intervals(vec![
+            Interval::half_open(d(0), d(10)),
+            Interval::point(d(20)),
+        ]);
+        let c = a.complement();
+        assert!(!c.contains(&d(5)));
+        assert!(!c.contains(&d(20)));
+        assert!(c.contains(&d(-1)));
+        assert!(c.contains(&d(10)));
+        assert!(c.contains(&d(15)));
+        assert_eq!(c.complement(), a);
+        assert_eq!(IntervalSet::empty().complement(), IntervalSet::full());
+        assert_eq!(IntervalSet::full().complement(), IntervalSet::empty());
+    }
+
+    #[test]
+    fn from_cmp_shapes() {
+        assert!(IntervalSet::from_cmp(CmpOp::Eq, d(5)).contains(&d(5)));
+        let ne = IntervalSet::from_cmp(CmpOp::Ne, d(5));
+        assert!(!ne.contains(&d(5)));
+        assert!(ne.contains(&d(4)));
+        let lt = IntervalSet::from_cmp(CmpOp::Lt, d(5));
+        assert!(lt.contains(&d(4)));
+        assert!(!lt.contains(&d(5)));
+        let ge = IntervalSet::from_cmp(CmpOp::Ge, d(5));
+        assert!(ge.contains(&d(5)));
+        assert!(!ge.contains(&d(4)));
+        // Comparisons with NULL match nothing.
+        assert!(IntervalSet::from_cmp(CmpOp::Eq, Datum::Null).is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = IntervalSet::from_intervals(vec![
+            Interval::half_open(d(0), d(10)),
+            Interval::point(d(20)),
+        ]);
+        assert_eq!(s.to_string(), "[0, 10) u [20, 20]");
+        assert_eq!(IntervalSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn mixed_type_points_order_totally() {
+        // Strings and ints don't compare SQL-wise, but the set must stay
+        // well-formed (total fallback order by type rank).
+        let s = IntervalSet::points([Datum::str("a"), d(1), Datum::str("b"), d(2)]);
+        assert!(s.contains(&d(1)));
+        assert!(s.contains(&Datum::str("b")));
+        assert!(!s.contains(&Datum::str("c")));
+    }
+}

@@ -1,0 +1,33 @@
+//! # mpp-expr
+//!
+//! Scalar expressions and the analysis machinery the partitioned-table
+//! optimizer is built on:
+//!
+//! * [`Expr`] — the expression AST (comparisons, boolean connectives,
+//!   arithmetic, `BETWEEN`, `IN`, prepared-statement parameters),
+//! * [`eval()`] — SQL three-valued-logic evaluation,
+//! * [`interval`] — interval sets over [`mpp_common::Datum`], the
+//!   representation of partition check constraints
+//!   (`pk ∈ ∪ᵢ(aᵢ, bᵢ)`, paper §3.2),
+//! * [`analysis`] — deriving interval sets from predicates (the heart of
+//!   the partition-selection function `f*_T`, paper §2.1) plus the
+//!   predicate utilities the placement algorithms use (`FindPredOnKey`,
+//!   `Conj`, conjunct splitting, column collection and remapping),
+//! * [`simplify()`] — constant folding and boolean normalization.
+
+pub mod analysis;
+pub mod ast;
+pub mod colref;
+pub mod eval;
+pub mod interval;
+pub mod simplify;
+
+pub use analysis::{
+    collect_columns, conj, derive_interval_set, find_pred_on_key, references_only,
+    split_conjuncts, substitute_columns, DerivedSet,
+};
+pub use ast::{CmpOp, Expr};
+pub use colref::{ColRef, ColRefGenerator};
+pub use eval::{eval, eval_predicate, EvalContext};
+pub use interval::{Interval, IntervalSet};
+pub use simplify::simplify;

@@ -1,0 +1,140 @@
+//! Constant folding and boolean normalization.
+//!
+//! The optimizer runs predicates through [`simplify`] before interval
+//! derivation so that e.g. `BETWEEN` with folded endpoints, nested ANDs and
+//! double negations all land in the shapes `derive_interval_set` analyzes
+//! exactly.
+
+use crate::analysis::{eval_const, split_conjuncts};
+use crate::ast::Expr;
+use mpp_common::Datum;
+
+/// Simplify an expression: fold constants, flatten/prune AND and OR,
+/// eliminate double negation.
+pub fn simplify(expr: &Expr) -> Expr {
+    expr.transform(&simplify_node)
+}
+
+fn simplify_node(e: Expr) -> Expr {
+    // Fold any fully constant subtree (but keep literals as they are).
+    if !matches!(e, Expr::Lit(_)) && e.is_constant() {
+        if let Some(v) = eval_const(&e, None) {
+            return Expr::Lit(v);
+        }
+    }
+    match e {
+        Expr::And(v) => {
+            let mut flat = Vec::new();
+            for c in v.iter().flat_map(split_conjuncts) {
+                match c {
+                    Expr::Lit(Datum::Bool(true)) => {}
+                    Expr::Lit(Datum::Bool(false)) => return Expr::lit(false),
+                    other => {
+                        if !flat.contains(&other) {
+                            flat.push(other);
+                        }
+                    }
+                }
+            }
+            Expr::and(flat)
+        }
+        Expr::Or(v) => {
+            let mut flat = Vec::new();
+            for c in v {
+                match c {
+                    Expr::Or(inner) => {
+                        for x in inner {
+                            if !flat.contains(&x) {
+                                flat.push(x);
+                            }
+                        }
+                    }
+                    Expr::Lit(Datum::Bool(false)) => {}
+                    Expr::Lit(Datum::Bool(true)) => return Expr::lit(true),
+                    other => {
+                        if !flat.contains(&other) {
+                            flat.push(other);
+                        }
+                    }
+                }
+            }
+            Expr::or(flat)
+        }
+        Expr::Not(inner) => match *inner {
+            Expr::Not(e2) => *e2,
+            Expr::Lit(Datum::Bool(b)) => Expr::lit(!b),
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: op.negate(),
+                left,
+                right,
+            },
+            other => Expr::not(other),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colref::ColRef;
+
+    fn c() -> Expr {
+        Expr::col(ColRef::new(1, "a"))
+    }
+
+    #[test]
+    fn folds_constant_subtrees() {
+        use mpp_common::value::ArithOp;
+        let e = Expr::lt(
+            c(),
+            Expr::Arith {
+                op: ArithOp::Add,
+                left: Box::new(Expr::lit(10i32)),
+                right: Box::new(Expr::lit(5i32)),
+            },
+        );
+        assert_eq!(simplify(&e), Expr::lt(c(), Expr::lit(15i64)));
+    }
+
+    #[test]
+    fn and_or_identities() {
+        let e = Expr::And(vec![Expr::lit(true), Expr::gt(c(), Expr::lit(0i32))]);
+        assert_eq!(simplify(&e), Expr::gt(c(), Expr::lit(0i32)));
+        let e = Expr::And(vec![Expr::lit(false), Expr::gt(c(), Expr::lit(0i32))]);
+        assert_eq!(simplify(&e), Expr::lit(false));
+        let e = Expr::Or(vec![Expr::lit(true), Expr::gt(c(), Expr::lit(0i32))]);
+        assert_eq!(simplify(&e), Expr::lit(true));
+        let e = Expr::Or(vec![Expr::lit(false), Expr::gt(c(), Expr::lit(0i32))]);
+        assert_eq!(simplify(&e), Expr::gt(c(), Expr::lit(0i32)));
+    }
+
+    #[test]
+    fn flattens_nested_connectives() {
+        let e = Expr::And(vec![
+            Expr::And(vec![
+                Expr::gt(c(), Expr::lit(0i32)),
+                Expr::lt(c(), Expr::lit(9i32)),
+            ]),
+            Expr::gt(c(), Expr::lit(0i32)), // duplicate
+        ]);
+        match simplify(&e) {
+            Expr::And(v) => assert_eq!(v.len(), 2),
+            other => panic!("expected AND, got {other}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_and_cmp_negation() {
+        let e = Expr::not(Expr::not(Expr::eq(c(), Expr::lit(1i32))));
+        assert_eq!(simplify(&e), Expr::eq(c(), Expr::lit(1i32)));
+        let e = Expr::not(Expr::lt(c(), Expr::lit(1i32)));
+        assert_eq!(simplify(&e), Expr::ge(c(), Expr::lit(1i32)));
+    }
+
+    #[test]
+    fn folds_constant_comparison() {
+        let e = Expr::lt(Expr::lit(1i32), Expr::lit(2i32));
+        assert_eq!(simplify(&e), Expr::lit(true));
+    }
+}

@@ -1,0 +1,154 @@
+//! The soundness property of interval derivation (the heart of `f*_T`,
+//! paper §2.1): for any predicate φ over the key column and any key value
+//! v, if a row with key = v satisfies φ then v is in the derived set.
+//! Partition pruning built on this can never lose rows.
+
+use mpp_common::{Datum, Row};
+use mpp_expr::analysis::derive_interval_set;
+use mpp_expr::{eval, ColRef, EvalContext, Expr};
+use proptest::prelude::*;
+
+fn key() -> ColRef {
+    ColRef::new(1, "pk")
+}
+
+/// Random predicates over the key column and constants (the statically
+/// analyzable fragment plus noise the analysis must widen around).
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let lit = -30i32..30;
+    let leaf = prop_oneof![
+        (
+            prop_oneof![
+                Just(mpp_expr::CmpOp::Eq),
+                Just(mpp_expr::CmpOp::Ne),
+                Just(mpp_expr::CmpOp::Lt),
+                Just(mpp_expr::CmpOp::Le),
+                Just(mpp_expr::CmpOp::Gt),
+                Just(mpp_expr::CmpOp::Ge),
+            ],
+            lit.clone(),
+            any::<bool>()
+        )
+            .prop_map(|(op, v, flip)| {
+                if flip {
+                    Expr::cmp(op, Expr::lit(v), Expr::col(key()))
+                } else {
+                    Expr::cmp(op, Expr::col(key()), Expr::lit(v))
+                }
+            }),
+        (lit.clone(), lit.clone()).prop_map(|(a, b)| Expr::between(
+            Expr::col(key()),
+            Expr::lit(a.min(b)),
+            Expr::lit(a.max(b))
+        )),
+        (prop::collection::vec(lit.clone(), 1..4), any::<bool>()).prop_map(|(vals, neg)| {
+            Expr::InList {
+                expr: Box::new(Expr::col(key())),
+                list: vals.into_iter().map(Expr::lit).collect(),
+                negated: neg,
+            }
+        }),
+        Just(Expr::IsNull(Box::new(Expr::col(key())))),
+        Just(Expr::lit(true)),
+        Just(Expr::lit(false)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::not(e)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: a satisfying key value is always in the derived set.
+    #[test]
+    fn derivation_is_sound(pred in arb_pred(), v in -40i32..40) {
+        let derived = derive_interval_set(&pred, &key(), None);
+        let ctx = EvalContext::from_columns(&[key()]);
+        let row = Row::new(vec![Datum::Int32(v)]);
+        let satisfied = eval(&pred, &row, &ctx)
+            .unwrap()
+            .as_bool()
+            .unwrap()
+            .unwrap_or(false);
+        if satisfied {
+            prop_assert!(
+                derived.set.contains(&Datum::Int32(v)),
+                "value {v} satisfies {pred} but is outside {}",
+                derived.set
+            );
+        }
+    }
+
+    /// NULL soundness: if a NULL key satisfies the predicate,
+    /// `null_possible` must be set (so default partitions stay selected).
+    #[test]
+    fn null_possibility_is_sound(pred in arb_pred()) {
+        let derived = derive_interval_set(&pred, &key(), None);
+        let ctx = EvalContext::from_columns(&[key()]);
+        let row = Row::new(vec![Datum::Null]);
+        let satisfied = eval(&pred, &row, &ctx)
+            .unwrap()
+            .as_bool()
+            .unwrap()
+            .unwrap_or(false);
+        if satisfied {
+            prop_assert!(derived.null_possible, "NULL satisfies {pred}");
+        }
+    }
+
+    /// Exactness: when the analysis claims exactness, the set is not
+    /// merely a superset — non-members never satisfy the predicate.
+    #[test]
+    fn exactness_claim_holds(pred in arb_pred(), v in -40i32..40) {
+        let derived = derive_interval_set(&pred, &key(), None);
+        if !derived.exact {
+            return Ok(());
+        }
+        let ctx = EvalContext::from_columns(&[key()]);
+        let row = Row::new(vec![Datum::Int32(v)]);
+        let satisfied = eval(&pred, &row, &ctx)
+            .unwrap()
+            .as_bool()
+            .unwrap()
+            .unwrap_or(false);
+        prop_assert_eq!(
+            satisfied,
+            derived.set.contains(&Datum::Int32(v)),
+            "exactness violated for {} at {}", pred, v
+        );
+    }
+
+    /// Simplification never changes which key values satisfy a predicate.
+    #[test]
+    fn simplify_preserves_semantics(pred in arb_pred(), v in -40i32..40) {
+        let simplified = mpp_expr::simplify(&pred);
+        let ctx = EvalContext::from_columns(&[key()]);
+        let row = Row::new(vec![Datum::Int32(v)]);
+        let before = eval(&pred, &row, &ctx).unwrap();
+        let after = eval(&simplified, &row, &ctx).unwrap();
+        // Boolean results must agree as filters (unknown ≡ false).
+        let b = before.as_bool().unwrap().unwrap_or(false);
+        let a = after.as_bool().unwrap().unwrap_or(false);
+        prop_assert_eq!(b, a, "{} vs {}", pred, simplified);
+    }
+
+    /// Parameter binding: deriving with params equals deriving the
+    /// substituted predicate.
+    #[test]
+    fn param_binding_matches_substitution(v in -30i32..30, probe in -40i32..40) {
+        let pred = Expr::le(Expr::col(key()), Expr::Param(1));
+        let params = [Datum::Int32(v)];
+        let with_params = derive_interval_set(&pred, &key(), Some(&params));
+        let substituted = Expr::le(Expr::col(key()), Expr::lit(v));
+        let direct = derive_interval_set(&substituted, &key(), None);
+        prop_assert_eq!(
+            with_params.set.contains(&Datum::Int32(probe)),
+            direct.set.contains(&Datum::Int32(probe))
+        );
+    }
+}

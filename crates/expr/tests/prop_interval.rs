@@ -1,0 +1,120 @@
+//! Property tests for the interval-set algebra — the foundation of
+//! partition constraints and the selection function `f*_T`.
+
+use mpp_common::Datum;
+use mpp_expr::interval::{HighBound, Interval, LowBound};
+use mpp_expr::IntervalSet;
+use proptest::prelude::*;
+
+fn d(v: i32) -> Datum {
+    Datum::Int32(v)
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (
+        -50i32..50,
+        -50i32..50,
+        any::<bool>(),
+        any::<bool>(),
+        0u8..4,
+    )
+        .prop_map(|(a, b, li, hi, unbounded)| {
+            let (lo, hi_v) = (a.min(b), a.max(b));
+            let low = match unbounded {
+                1 | 3 => LowBound::NegInf,
+                _ if li => LowBound::Incl(d(lo)),
+                _ => LowBound::Excl(d(lo)),
+            };
+            let high = match unbounded {
+                2 | 3 => HighBound::PosInf,
+                _ if hi => HighBound::Incl(d(hi_v)),
+                _ => HighBound::Excl(d(hi_v)),
+            };
+            Interval::new(low, high)
+        })
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec(arb_interval(), 0..5).prop_map(IntervalSet::from_intervals)
+}
+
+/// Probe values covering the full domain plus the boundaries.
+fn probes() -> Vec<Datum> {
+    (-55..=55).map(d).collect()
+}
+
+proptest! {
+    /// Normalization is idempotent and membership-preserving.
+    #[test]
+    fn normalization_preserves_membership(ivs in prop::collection::vec(arb_interval(), 0..5)) {
+        let set = IntervalSet::from_intervals(ivs.clone());
+        for v in probes() {
+            let direct = ivs.iter().any(|i| i.contains(&v));
+            prop_assert_eq!(set.contains(&v), direct, "value {}", v);
+        }
+        let renorm = IntervalSet::from_intervals(set.intervals().to_vec());
+        prop_assert_eq!(renorm, set);
+    }
+
+    /// Union membership is the disjunction of memberships.
+    #[test]
+    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        for v in probes() {
+            prop_assert_eq!(u.contains(&v), a.contains(&v) || b.contains(&v));
+        }
+    }
+
+    /// Intersection membership is the conjunction of memberships.
+    #[test]
+    fn intersect_is_pointwise_and(a in arb_set(), b in arb_set()) {
+        let i = a.intersect(&b);
+        for v in probes() {
+            prop_assert_eq!(i.contains(&v), a.contains(&v) && b.contains(&v));
+        }
+    }
+
+    /// Complement membership is the negation; double complement is
+    /// identity.
+    #[test]
+    fn complement_is_pointwise_not(a in arb_set()) {
+        let c = a.complement();
+        for v in probes() {
+            prop_assert_eq!(c.contains(&v), !a.contains(&v));
+        }
+        prop_assert_eq!(c.complement(), a);
+    }
+
+    /// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B.
+    #[test]
+    fn de_morgan(a in arb_set(), b in arb_set()) {
+        let lhs = a.union(&b).complement();
+        let rhs = a.complement().intersect(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Union and intersection are commutative and associative (canonical
+    /// forms are equal).
+    #[test]
+    fn algebra_laws(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+        // Absorption.
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+    }
+
+    /// overlaps() agrees with non-empty intersection.
+    #[test]
+    fn overlaps_matches_intersection(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+    }
+
+    /// Intervals never contain NULL.
+    #[test]
+    fn null_is_never_contained(a in arb_set()) {
+        prop_assert!(!a.contains(&Datum::Null));
+    }
+}

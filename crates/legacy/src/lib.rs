@@ -1,0 +1,31 @@
+//! # mpp-legacy
+//!
+//! The baseline **"Planner"** the paper compares against (§4): a
+//! PostgreSQL-inheritance-style optimizer for partitioned tables.
+//!
+//! Where Orca emits a constant-size `PartitionSelector`/`DynamicScan`
+//! pair, the legacy planner **expands every partitioned scan into an
+//! `Append` of explicit per-partition `PartScan` nodes**:
+//!
+//! * *static* elimination prunes the `Append` list at plan time using
+//!   constant predicates — so plan size grows **linearly with the number
+//!   of partitions scanned** (Figure 18(a));
+//! * *dynamic* elimination (simple two-table equi-joins on the partition
+//!   key only) computes an OID set at run time via an
+//!   [`mpp_plan::PhysicalPlan::InitPlanOids`] subplan and gates each
+//!   listed partition on it — the rows are skipped but **every partition
+//!   stays in the plan**, so plan size grows linearly with the *total*
+//!   partition count (Figure 18(b));
+//! * DML over joined partitioned tables enumerates **per-partition join
+//!   pairs**, so plan size grows **quadratically** (Figure 18(c));
+//! * prepared-statement parameters defeat static elimination entirely
+//!   (their values are unknown at plan time), and join-induced
+//!   elimination through anything more complex than the direct pattern —
+//!   semi-joins from `IN` subqueries, multi-join chains, multi-level
+//!   partitioning — is not attempted. These are the workload classes
+//!   where Orca eliminates partitions and the Planner does not
+//!   (Table 3 / Figure 16).
+
+pub mod planner;
+
+pub use planner::LegacyPlanner;

@@ -1,0 +1,810 @@
+//! The legacy planner implementation.
+
+use mpp_catalog::{Catalog, Distribution};
+use mpp_common::{Result, TableOid};
+use mpp_core::optimizer::normalize_basic;
+use mpp_expr::analysis::{derive_interval_set, DerivedSet};
+use mpp_expr::{collect_columns, split_conjuncts, ColRef, Expr};
+use mpp_plan::{JoinType, LogicalPlan, MotionKind, PhysicalPlan};
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+/// Output distribution tracking (a light version of the Orca pipeline's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Dist {
+    Hashed,
+    Replicated,
+    Singleton,
+}
+
+/// The PostgreSQL-inheritance-style planner.
+pub struct LegacyPlanner {
+    catalog: Catalog,
+    next_param: Cell<u32>,
+}
+
+struct Built {
+    plan: PhysicalPlan,
+    dist: Dist,
+}
+
+impl LegacyPlanner {
+    pub fn new(catalog: Catalog) -> LegacyPlanner {
+        LegacyPlanner {
+            catalog,
+            next_param: Cell::new(1),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Plan a query the way the legacy planner does: partitioned scans
+    /// expand into explicit per-partition plans.
+    pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
+        self.next_param.set(1);
+        let normalized = normalize_basic(logical.clone());
+        let built = self.build(&normalized)?;
+        if normalized.is_dml() || built.dist == Dist::Singleton {
+            Ok(built.plan)
+        } else {
+            Ok(PhysicalPlan::Motion {
+                kind: if built.dist == Dist::Replicated {
+                    MotionKind::GatherOne
+                } else {
+                    MotionKind::Gather
+                },
+                child: Box::new(built.plan),
+            })
+        }
+    }
+
+    fn fresh_param(&self) -> u32 {
+        let p = self.next_param.get();
+        self.next_param.set(p + 1);
+        p
+    }
+
+    /// Expand a partitioned Get into per-partition scans, statically
+    /// eliminating with `pred` when provided (constants only — parameter
+    /// values are unknown at plan time).
+    fn expand_partitioned_scan(
+        &self,
+        table: TableOid,
+        output: &[ColRef],
+        pred: Option<&Expr>,
+    ) -> Result<PhysicalPlan> {
+        let tree = self.catalog.part_tree(table)?;
+        let keys: Vec<ColRef> = tree
+            .key_indices()
+            .iter()
+            .map(|&i| output[i].clone())
+            .collect();
+        let selected = match pred {
+            Some(pred) => {
+                let derived: Vec<DerivedSet> = keys
+                    .iter()
+                    .map(|key| derive_interval_set(pred, key, None))
+                    .collect();
+                tree.select_partitions(&derived)?
+            }
+            None => tree.partition_expansion(),
+        };
+        let children: Vec<PhysicalPlan> = selected
+            .iter()
+            .map(|&oid| {
+                let leaf = tree.leaf_by_oid(oid).expect("selected leaf exists");
+                PhysicalPlan::PartScan {
+                    table,
+                    part: oid,
+                    part_name: leaf.name.clone(),
+                    output: output.to_vec(),
+                    filter: pred.cloned(),
+                    gate: None,
+                }
+            })
+            .collect();
+        Ok(PhysicalPlan::Append {
+            output: output.to_vec(),
+            children,
+        })
+    }
+
+    fn natural_dist(&self, table: TableOid) -> Dist {
+        match self.catalog.table(table).map(|d| d.distribution.clone()) {
+            Ok(Distribution::Hashed(_)) => Dist::Hashed,
+            Ok(Distribution::Replicated) => Dist::Replicated,
+            _ => Dist::Singleton,
+        }
+    }
+
+    fn build(&self, plan: &LogicalPlan) -> Result<Built> {
+        match plan {
+            LogicalPlan::Get {
+                table,
+                table_name,
+                output,
+            } => {
+                let desc = self.catalog.table(*table)?;
+                let plan = if desc.is_partitioned() {
+                    self.expand_partitioned_scan(*table, output, None)?
+                } else {
+                    PhysicalPlan::TableScan {
+                        table: *table,
+                        table_name: table_name.clone(),
+                        output: output.clone(),
+                        filter: None,
+                    }
+                };
+                Ok(Built {
+                    plan,
+                    dist: self.natural_dist(*table),
+                })
+            }
+
+            LogicalPlan::Select { pred, child } => {
+                // Static partition elimination: a filter directly over a
+                // partitioned Get prunes the Append list at plan time.
+                if let LogicalPlan::Get { table, output, .. } = child.as_ref() {
+                    if self.catalog.table(*table)?.is_partitioned() {
+                        return Ok(Built {
+                            plan: self.expand_partitioned_scan(*table, output, Some(pred))?,
+                            dist: self.natural_dist(*table),
+                        });
+                    }
+                }
+                let c = self.build(child)?;
+                Ok(Built {
+                    plan: PhysicalPlan::Filter {
+                        pred: pred.clone(),
+                        child: Box::new(c.plan),
+                    },
+                    dist: c.dist,
+                })
+            }
+
+            LogicalPlan::Project {
+                exprs,
+                output,
+                child,
+            } => {
+                let c = self.build(child)?;
+                Ok(Built {
+                    plan: PhysicalPlan::Project {
+                        exprs: exprs.clone(),
+                        output: output.clone(),
+                        child: Box::new(c.plan),
+                    },
+                    dist: c.dist,
+                })
+            }
+
+            LogicalPlan::Join {
+                join_type,
+                pred,
+                left,
+                right,
+            } => self.build_join(*join_type, pred, left, right),
+
+            LogicalPlan::Agg {
+                group_by,
+                aggs,
+                output,
+                child,
+            } => {
+                let c = self.build(child)?;
+                let (input, dist) = if group_by.is_empty() {
+                    let gathered = match c.dist {
+                        Dist::Singleton => c.plan,
+                        Dist::Replicated => PhysicalPlan::Motion {
+                            kind: MotionKind::GatherOne,
+                            child: Box::new(c.plan),
+                        },
+                        Dist::Hashed => PhysicalPlan::Motion {
+                            kind: MotionKind::Gather,
+                            child: Box::new(c.plan),
+                        },
+                    };
+                    (gathered, Dist::Singleton)
+                } else {
+                    let moved = match c.dist {
+                        Dist::Singleton => c.plan,
+                        _ => PhysicalPlan::Motion {
+                            kind: MotionKind::Redistribute(group_by.clone()),
+                            child: Box::new(c.plan),
+                        },
+                    };
+                    (
+                        moved,
+                        if matches!(c.dist, Dist::Singleton) {
+                            Dist::Singleton
+                        } else {
+                            Dist::Hashed
+                        },
+                    )
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::HashAgg {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                        output: output.clone(),
+                        child: Box::new(input),
+                    },
+                    dist,
+                })
+            }
+
+            LogicalPlan::Values { rows, output } => Ok(Built {
+                plan: PhysicalPlan::Values {
+                    rows: rows.clone(),
+                    output: output.clone(),
+                },
+                dist: Dist::Singleton,
+            }),
+
+            LogicalPlan::Limit { n, child } => {
+                let c = self.build(child)?;
+                let gathered = match c.dist {
+                    Dist::Singleton => c.plan,
+                    Dist::Replicated => PhysicalPlan::Motion {
+                        kind: MotionKind::GatherOne,
+                        child: Box::new(c.plan),
+                    },
+                    Dist::Hashed => PhysicalPlan::Motion {
+                        kind: MotionKind::Gather,
+                        child: Box::new(c.plan),
+                    },
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::Limit {
+                        n: *n,
+                        child: Box::new(gathered),
+                    },
+                    dist: Dist::Singleton,
+                })
+            }
+
+            LogicalPlan::Sort { keys, child } => {
+                let c = self.build(child)?;
+                let gathered = match c.dist {
+                    Dist::Singleton => c.plan,
+                    Dist::Replicated => PhysicalPlan::Motion {
+                        kind: MotionKind::GatherOne,
+                        child: Box::new(c.plan),
+                    },
+                    Dist::Hashed => PhysicalPlan::Motion {
+                        kind: MotionKind::Gather,
+                        child: Box::new(c.plan),
+                    },
+                };
+                Ok(Built {
+                    plan: PhysicalPlan::Sort {
+                        keys: keys.clone(),
+                        child: Box::new(gathered),
+                    },
+                    dist: Dist::Singleton,
+                })
+            }
+
+            LogicalPlan::Update {
+                table,
+                target_cols,
+                assignments,
+                child,
+            } => Ok(Built {
+                plan: PhysicalPlan::Update {
+                    table: *table,
+                    target_cols: target_cols.clone(),
+                    assignments: assignments.clone(),
+                    child: Box::new(self.build_dml_child(child, *table)?),
+                },
+                dist: Dist::Singleton,
+            }),
+            LogicalPlan::Delete {
+                table,
+                target_cols,
+                child,
+            } => Ok(Built {
+                plan: PhysicalPlan::Delete {
+                    table: *table,
+                    target_cols: target_cols.clone(),
+                    child: Box::new(self.build_dml_child(child, *table)?),
+                },
+                dist: Dist::Singleton,
+            }),
+            LogicalPlan::Insert { table, child } => Ok(Built {
+                plan: PhysicalPlan::Insert {
+                    table: *table,
+                    child: Box::new(self.build(child)?.plan),
+                },
+                dist: Dist::Singleton,
+            }),
+        }
+    }
+
+    /// Join implementation. The planner broadcasts the inner (right) side;
+    /// for the *direct* pattern — inner side is a partitioned table scan
+    /// whose partition key is equi-joined — it adds run-time gating: an
+    /// init plan evaluates the outer side, maps join values through the
+    /// partitioning function, and stores the qualifying OIDs in a
+    /// parameter each listed PartScan tests (the paper's §4.4.2
+    /// description of Planner dynamic elimination).
+    fn build_join(
+        &self,
+        join_type: JoinType,
+        pred: &Expr,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+    ) -> Result<Built> {
+        let l = self.build(left)?;
+        let r = self.build(right)?;
+        let (left_keys, right_keys, residual) =
+            split_equi_keys(pred, &left.output_cols(), &right.output_cols());
+
+        if left_keys.is_empty() {
+            let r_plan = match r.dist {
+                Dist::Replicated => r.plan,
+                _ => PhysicalPlan::Motion {
+                    kind: MotionKind::Broadcast,
+                    child: Box::new(r.plan),
+                },
+            };
+            return Ok(Built {
+                plan: PhysicalPlan::NLJoin {
+                    join_type,
+                    pred: Some(pred.clone()),
+                    left: Box::new(l.plan),
+                    right: Box::new(r_plan),
+                },
+                dist: l.dist,
+            });
+        }
+
+        // Direct dynamic-elimination pattern?
+        let gating = self.try_gate_inner_side(left, right, &left_keys, &right_keys, &r.plan)?;
+        let (r_plan, init) = match gating {
+            Some((gated, init)) => (gated, Some(init)),
+            None => (r.plan, None),
+        };
+        let r_plan = match r.dist {
+            Dist::Replicated => r_plan,
+            _ => PhysicalPlan::Motion {
+                kind: MotionKind::Broadcast,
+                child: Box::new(r_plan),
+            },
+        };
+        let join = PhysicalPlan::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            left: Box::new(l.plan),
+            right: Box::new(r_plan),
+        };
+        let plan = match init {
+            None => join,
+            Some(init) => PhysicalPlan::Sequence {
+                children: vec![init, join],
+            },
+        };
+        Ok(Built { plan, dist: l.dist })
+    }
+
+    /// If the right side is a plain per-partition `Append` of a
+    /// single-level partitioned table whose key is one of the equi-join
+    /// keys, gate every listed PartScan on a fresh OID-set parameter and
+    /// return (gated plan, init plan). Anything more complex — semi-join
+    /// inputs, multi-level partitioning, joins of joins — is beyond the
+    /// legacy planner and scans everything.
+    fn try_gate_inner_side(
+        &self,
+        left_logical: &LogicalPlan,
+        right_logical: &LogicalPlan,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        right_plan: &PhysicalPlan,
+    ) -> Result<Option<(PhysicalPlan, PhysicalPlan)>> {
+        // Right side must be exactly Get or Select(Get) of a partitioned
+        // table.
+        let (table, output) = match right_logical {
+            LogicalPlan::Get { table, output, .. } => (*table, output.clone()),
+            LogicalPlan::Select { child, .. } => match child.as_ref() {
+                LogicalPlan::Get { table, output, .. } => (*table, output.clone()),
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        let desc = self.catalog.table(table)?;
+        let Some(tree) = desc.partitioning.as_ref() else {
+            return Ok(None);
+        };
+        if tree.num_levels() != 1 {
+            return Ok(None);
+        }
+        let key_col = output[tree.key_indices()[0]].clone();
+        // Which equi pair targets the partition key?
+        let Some(pair_idx) = right_keys
+            .iter()
+            .position(|rk| matches!(rk, Expr::Col(c) if *c == key_col))
+        else {
+            return Ok(None);
+        };
+        let outer_key = left_keys[pair_idx].clone();
+
+        // Gate the PartScans.
+        let param = self.fresh_param();
+        let gated = gate_append(right_plan.clone(), param);
+
+        // The init plan re-evaluates the join's outer side as a subplan —
+        // the classic planner approach: the OIDs are only known after the
+        // outer side runs, and the subplan pays for that with a second
+        // execution of the outer plan.
+        let init = PhysicalPlan::InitPlanOids {
+            param,
+            table,
+            key: outer_key,
+            child: Box::new(self.build(left_logical)?.plan),
+        };
+        Ok(Some((gated, init)))
+    }
+}
+
+/// Add a gate to every PartScan in an Append subtree.
+fn gate_append(plan: PhysicalPlan, param: u32) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Append { output, children } => PhysicalPlan::Append {
+            output,
+            children: children
+                .into_iter()
+                .map(|c| gate_append(c, param))
+                .collect(),
+        },
+        PhysicalPlan::PartScan {
+            table,
+            part,
+            part_name,
+            output,
+            filter,
+            ..
+        } => PhysicalPlan::PartScan {
+            table,
+            part,
+            part_name,
+            output,
+            filter,
+            gate: Some(param),
+        },
+        PhysicalPlan::Filter { pred, child } => PhysicalPlan::Filter {
+            pred,
+            child: Box::new(gate_append(*child, param)),
+        },
+        other => other,
+    }
+}
+
+/// Split a join predicate into equi-key lists and a residual.
+fn split_equi_keys(
+    pred: &Expr,
+    left_cols: &[ColRef],
+    right_cols: &[ColRef],
+) -> (Vec<Expr>, Vec<Expr>, Option<Expr>) {
+    let lset: BTreeSet<ColRef> = left_cols.iter().cloned().collect();
+    let rset: BTreeSet<ColRef> = right_cols.iter().cloned().collect();
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    let mut residual = Vec::new();
+    for conj in split_conjuncts(pred) {
+        if let Expr::Cmp {
+            op: mpp_expr::CmpOp::Eq,
+            left: a,
+            right: b,
+        } = &conj
+        {
+            let ac = collect_columns(a);
+            let bc = collect_columns(b);
+            if !ac.is_empty() && !bc.is_empty() {
+                if ac.iter().all(|c| lset.contains(c)) && bc.iter().all(|c| rset.contains(c)) {
+                    lk.push(a.as_ref().clone());
+                    rk.push(b.as_ref().clone());
+                    continue;
+                }
+                if bc.iter().all(|c| lset.contains(c)) && ac.iter().all(|c| rset.contains(c)) {
+                    lk.push(b.as_ref().clone());
+                    rk.push(a.as_ref().clone());
+                    continue;
+                }
+            }
+        }
+        residual.push(conj);
+    }
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(Expr::and(residual))
+    };
+    (lk, rk, residual)
+}
+
+impl LegacyPlanner {
+    /// DML child planning: expand the target table (and a directly joined
+    /// partitioned source) into explicit per-partition combinations — the
+    /// quadratic growth of Figure 18(c).
+    fn build_dml_child(&self, child: &LogicalPlan, target: TableOid) -> Result<PhysicalPlan> {
+        match child {
+            // UPDATE … FROM source: join of the target with a source.
+            LogicalPlan::Join {
+                join_type,
+                pred,
+                left,
+                right,
+            } if left_is_target(left, target) => {
+                let target_parts = self.dml_target_parts(left)?;
+                let (left_keys, right_keys, residual) =
+                    split_equi_keys(pred, &left.output_cols(), &right.output_cols());
+                // Source side: per-partition list when partitioned.
+                let source_parts: Vec<PhysicalPlan> = match self.build(right)?.plan {
+                    PhysicalPlan::Append { children, .. } => children,
+                    other => vec![other],
+                };
+                let mut combos = Vec::new();
+                for tp in &target_parts {
+                    for sp in &source_parts {
+                        let joined = if left_keys.is_empty() {
+                            PhysicalPlan::NLJoin {
+                                join_type: *join_type,
+                                pred: Some(pred.clone()),
+                                left: Box::new(tp.clone()),
+                                right: Box::new(PhysicalPlan::Motion {
+                                    kind: MotionKind::Broadcast,
+                                    child: Box::new(sp.clone()),
+                                }),
+                            }
+                        } else {
+                            PhysicalPlan::HashJoin {
+                                join_type: *join_type,
+                                left_keys: left_keys.clone(),
+                                right_keys: right_keys.clone(),
+                                residual: residual.clone(),
+                                left: Box::new(tp.clone()),
+                                right: Box::new(PhysicalPlan::Motion {
+                                    kind: MotionKind::Broadcast,
+                                    child: Box::new(sp.clone()),
+                                }),
+                            }
+                        };
+                        combos.push(joined);
+                    }
+                }
+                let mut output = child.output_cols();
+                if output.is_empty() {
+                    output = left.output_cols();
+                }
+                Ok(PhysicalPlan::Append {
+                    output,
+                    children: combos,
+                })
+            }
+            other => Ok(self.build(other)?.plan),
+        }
+    }
+
+    /// Per-partition plans for the DML target side (Get or Select(Get)).
+    fn dml_target_parts(&self, side: &LogicalPlan) -> Result<Vec<PhysicalPlan>> {
+        let built = self.build(side)?.plan;
+        Ok(match built {
+            PhysicalPlan::Append { children, .. } => children,
+            other => vec![other],
+        })
+    }
+}
+
+fn left_is_target(side: &LogicalPlan, target: TableOid) -> bool {
+    match side {
+        LogicalPlan::Get { table, .. } => *table == target,
+        LogicalPlan::Select { child, .. } => left_is_target(child, target),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::range_parts_equal_width;
+    use mpp_catalog::TableDesc;
+    use mpp_common::{Column, DataType, Datum, Schema};
+    use mpp_plan::{plan_node_count, plan_size_bytes};
+
+    fn catalog(r_parts: u32, s_parts: Option<u32>) -> (Catalog, TableOid, TableOid) {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let r = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(r_parts);
+        cat.register(TableDesc {
+            oid: r,
+            name: "r".into(),
+            schema: schema.clone(),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(
+                range_parts_equal_width(
+                    1,
+                    Datum::Int32(0),
+                    Datum::Int32(r_parts as i32 * 10),
+                    r_parts as usize,
+                    first,
+                )
+                .unwrap(),
+            ),
+        })
+        .unwrap();
+        let s = cat.allocate_table_oid();
+        let partitioning = s_parts.map(|n| {
+            let first = cat.allocate_part_oids(n);
+            range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(n as i32 * 10), n as usize, first)
+                .unwrap()
+        });
+        cat.register(TableDesc {
+            oid: s,
+            name: "s".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning,
+        })
+        .unwrap();
+        (cat, r, s)
+    }
+
+    fn get(cat: &Catalog, oid: TableOid, ids: [u32; 2]) -> LogicalPlan {
+        let desc = cat.table(oid).unwrap();
+        LogicalPlan::Get {
+            table: oid,
+            table_name: desc.name.clone(),
+            output: vec![ColRef::new(ids[0], "a"), ColRef::new(ids[1], "b")],
+        }
+    }
+
+    #[test]
+    fn full_scan_lists_every_partition() {
+        let (cat, r, _) = catalog(20, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let plan = p.optimize(&get(&cat, r, [1, 2])).unwrap();
+        assert_eq!(plan.count_op("PartScan"), 20);
+        assert_eq!(plan.count_op("DynamicScan"), 0);
+    }
+
+    #[test]
+    fn static_elimination_prunes_the_list() {
+        let (cat, r, _) = catalog(20, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let logical = LogicalPlan::Select {
+            pred: Expr::lt(Expr::col(ColRef::new(2, "b")), Expr::lit(50i32)),
+            child: Box::new(get(&cat, r, [1, 2])),
+        };
+        let plan = p.optimize(&logical).unwrap();
+        // b < 50 → 5 of 20 partitions listed.
+        assert_eq!(plan.count_op("PartScan"), 5);
+    }
+
+    #[test]
+    fn parameters_defeat_static_elimination() {
+        let (cat, r, _) = catalog(20, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let logical = LogicalPlan::Select {
+            pred: Expr::lt(Expr::col(ColRef::new(2, "b")), Expr::Param(1)),
+            child: Box::new(get(&cat, r, [1, 2])),
+        };
+        let plan = p.optimize(&logical).unwrap();
+        // The parameter value is unknown at plan time: all 20 listed.
+        assert_eq!(plan.count_op("PartScan"), 20);
+    }
+
+    #[test]
+    fn plan_size_grows_linearly_with_selected_parts() {
+        // Figure 18(a): Planner plan size ∝ partitions scanned.
+        let (cat, r, _) = catalog(400, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let mut sizes = Vec::new();
+        for pct in [25i32, 50, 75, 100] {
+            let logical = LogicalPlan::Select {
+                pred: Expr::lt(Expr::col(ColRef::new(2, "b")), Expr::lit(pct * 40)),
+                child: Box::new(get(&cat, r, [1, 2])),
+            };
+            let plan = p.optimize(&logical).unwrap();
+            sizes.push(plan_size_bytes(&plan));
+        }
+        assert!(sizes[3] > sizes[0] * 3, "sizes {sizes:?} should grow ~linearly");
+    }
+
+    #[test]
+    fn join_on_partition_key_gates_all_parts() {
+        // Figure 18(b): dynamic elimination lists all parts with gates.
+        let (cat, r, s) = catalog(30, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let logical = LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            pred: Expr::eq(
+                Expr::col(ColRef::new(4, "b")),
+                Expr::col(ColRef::new(2, "b")),
+            ),
+            left: Box::new(get(&cat, s, [3, 4])),
+            right: Box::new(get(&cat, r, [1, 2])),
+        };
+        let plan = p.optimize(&logical).unwrap();
+        assert_eq!(plan.count_op("PartScan"), 30, "all parts listed");
+        assert_eq!(plan.count_op("InitPlanOids"), 1);
+        let mut gated = 0;
+        plan.visit(&mut |n| {
+            if let PhysicalPlan::PartScan { gate: Some(_), .. } = n {
+                gated += 1;
+            }
+        });
+        assert_eq!(gated, 30, "all listed parts gated");
+    }
+
+    #[test]
+    fn join_on_non_key_column_scans_everything_ungated() {
+        let (cat, r, s) = catalog(10, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let logical = LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            pred: Expr::eq(
+                Expr::col(ColRef::new(3, "a")),
+                Expr::col(ColRef::new(1, "a")),
+            ),
+            left: Box::new(get(&cat, s, [3, 4])),
+            right: Box::new(get(&cat, r, [1, 2])),
+        };
+        let plan = p.optimize(&logical).unwrap();
+        assert_eq!(plan.count_op("InitPlanOids"), 0);
+        let mut gated = 0;
+        plan.visit(&mut |n| {
+            if let PhysicalPlan::PartScan { gate: Some(_), .. } = n {
+                gated += 1;
+            }
+        });
+        assert_eq!(gated, 0);
+    }
+
+    #[test]
+    fn dml_plan_grows_quadratically() {
+        // Figure 18(c): update R … from S joins every pair of partitions.
+        let sizes: Vec<usize> = [10u32, 20]
+            .iter()
+            .map(|&n| {
+                let (cat, r, s) = catalog(n, Some(n));
+                let p = LegacyPlanner::new(cat.clone());
+                let logical = LogicalPlan::Update {
+                    table: r,
+                    target_cols: vec![ColRef::new(1, "a"), ColRef::new(2, "b")],
+                    assignments: vec![(1, Expr::col(ColRef::new(4, "b")))],
+                    child: Box::new(LogicalPlan::Join {
+                        join_type: JoinType::Inner,
+                        pred: Expr::eq(
+                            Expr::col(ColRef::new(1, "a")),
+                            Expr::col(ColRef::new(3, "a")),
+                        ),
+                        left: Box::new(get(&cat, r, [1, 2])),
+                        right: Box::new(get(&cat, s, [3, 4])),
+                    }),
+                };
+                let plan = p.optimize(&logical).unwrap();
+                assert_eq!(plan.count_op("HashJoin"), (n * n) as usize);
+                plan_node_count(&plan)
+            })
+            .collect();
+        // 2× the partitions → ~4× the nodes.
+        assert!(sizes[1] > sizes[0] * 3, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn unpartitioned_tables_plan_normally() {
+        let (cat, _, s) = catalog(4, None);
+        let p = LegacyPlanner::new(cat.clone());
+        let plan = p.optimize(&get(&cat, s, [3, 4])).unwrap();
+        assert_eq!(plan.count_op("TableScan"), 1);
+        assert_eq!(plan.count_op("Append"), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! # mppart — partitioned-table query optimization for MPP systems
+//!
+//! A from-scratch Rust reproduction of *"Optimizing Queries over
+//! Partitioned Tables in MPP Systems"* (SIGMOD 2014): the
+//! `PartitionSelector` / `DynamicScan` model of the Orca optimizer, its
+//! placement algorithms, static and dynamic partition elimination unified
+//! over single- and multi-level partitioned tables, a Cascades-style Memo
+//! with partition propagation as an enforced property, a legacy-planner
+//! baseline, and a simulated MPP runtime to execute it all.
+//!
+//! The easiest entry point is [`MppDb`]:
+//!
+//! ```
+//! use mppart::MppDb;
+//!
+//! let db = MppDb::new(4); // 4 segments
+//! db.sql("").err(); // empty SQL is a parse error
+//! ```
+//!
+//! See the `examples/` directory for full scenarios (the paper's Figure 2
+//! and Figure 4 queries, multi-level partitioning, prepared statements).
+//!
+//! The underlying crates are re-exported for direct use:
+//! [`catalog`], [`storage`], [`plan`], [`core`] (optimizer), [`legacy`]
+//! (baseline planner), [`executor`], [`sql`], [`workloads`].
+
+pub use mpp_catalog as catalog;
+pub use mpp_common as common;
+pub use mpp_core as core;
+pub use mpp_executor as executor;
+pub use mpp_expr as expr;
+pub use mpp_legacy as legacy;
+pub use mpp_plan as plan;
+pub use mpp_sql as sql;
+pub use mpp_storage as storage;
+pub use mpp_workloads as workloads;
+
+use mpp_catalog::Catalog;
+use mpp_common::{Datum, Error, Result, Row};
+use mpp_core::{Optimizer, OptimizerConfig};
+use mpp_executor::{execute_with_params, ExecutionStats};
+use mpp_expr::ColRefGenerator;
+use mpp_legacy::LegacyPlanner;
+use mpp_plan::{explain, PhysicalPlan};
+use mpp_storage::Storage;
+
+pub mod testing;
+
+/// Result of running one SQL statement.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    pub rows: Vec<Row>,
+    pub stats: ExecutionStats,
+    /// The executed physical plan.
+    pub plan: PhysicalPlan,
+}
+
+/// A self-contained in-process "MPP database": catalog + storage +
+/// Orca-style optimizer + legacy planner + executor + SQL front-end.
+pub struct MppDb {
+    storage: Storage,
+    optimizer: Optimizer,
+    legacy: LegacyPlanner,
+    gen: ColRefGenerator,
+}
+
+impl MppDb {
+    /// A database with the given number of segments and default optimizer
+    /// configuration.
+    pub fn new(num_segments: usize) -> MppDb {
+        MppDb::with_config(OptimizerConfig {
+            num_segments,
+            ..OptimizerConfig::default()
+        })
+    }
+
+    /// A database with an explicit optimizer configuration.
+    pub fn with_config(config: OptimizerConfig) -> MppDb {
+        let catalog = Catalog::new();
+        let storage = Storage::new(catalog.clone(), config.num_segments);
+        MppDb {
+            storage,
+            optimizer: Optimizer::new(catalog.clone(), config),
+            legacy: LegacyPlanner::new(catalog),
+            gen: ColRefGenerator::new(),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        self.storage.catalog()
+    }
+
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    pub fn legacy_planner(&self) -> &LegacyPlanner {
+        &self.legacy
+    }
+
+    /// Parse + bind a statement and produce the optimized physical plan
+    /// (Orca-style pipeline).
+    pub fn plan(&self, sql_text: &str) -> Result<PhysicalPlan> {
+        let bound = mpp_sql::plan_sql(sql_text, self.catalog(), &self.gen)?;
+        self.optimizer.optimize(&bound.plan)
+    }
+
+    /// Same statement through the legacy planner baseline.
+    pub fn plan_legacy(&self, sql_text: &str) -> Result<PhysicalPlan> {
+        let bound = mpp_sql::plan_sql(sql_text, self.catalog(), &self.gen)?;
+        self.legacy.optimize(&bound.plan)
+    }
+
+    /// Run a SQL statement end to end. `EXPLAIN …` returns the plan text
+    /// as single-column rows instead of executing.
+    pub fn sql(&self, sql_text: &str) -> Result<QueryOutcome> {
+        self.sql_with_params(sql_text, &[])
+    }
+
+    /// Run a SQL statement with prepared-statement parameters bound.
+    pub fn sql_with_params(&self, sql_text: &str, params: &[Datum]) -> Result<QueryOutcome> {
+        let stmt = mpp_sql::parse(sql_text)?;
+        if let Some(outcome) = self.try_ddl(&stmt)? {
+            return Ok(outcome);
+        }
+        let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
+        if bound.param_count as usize > params.len() {
+            return Err(Error::Execution(format!(
+                "statement needs {} parameters, {} given",
+                bound.param_count,
+                params.len()
+            )));
+        }
+        let plan = self.optimizer.optimize(&bound.plan)?;
+        if bound.explain {
+            let rows = explain(&plan)
+                .lines()
+                .map(|l| Row::new(vec![Datum::str(l)]))
+                .collect();
+            return Ok(QueryOutcome {
+                rows,
+                stats: ExecutionStats::default(),
+                plan,
+            });
+        }
+        let res = execute_with_params(&self.storage, &plan, params)?;
+        Ok(QueryOutcome {
+            rows: res.rows,
+            stats: res.stats,
+            plan,
+        })
+    }
+
+    /// Execute a SQL statement through the legacy planner (baseline
+    /// comparison path).
+    pub fn sql_legacy(&self, sql_text: &str) -> Result<QueryOutcome> {
+        self.sql_legacy_with_params(sql_text, &[])
+    }
+
+    pub fn sql_legacy_with_params(
+        &self,
+        sql_text: &str,
+        params: &[Datum],
+    ) -> Result<QueryOutcome> {
+        let stmt = mpp_sql::parse(sql_text)?;
+        if let Some(outcome) = self.try_ddl(&stmt)? {
+            return Ok(outcome);
+        }
+        let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
+        let plan = self.legacy.optimize(&bound.plan)?;
+        if bound.explain {
+            let rows = explain(&plan)
+                .lines()
+                .map(|l| Row::new(vec![Datum::str(l)]))
+                .collect();
+            return Ok(QueryOutcome {
+                rows,
+                stats: ExecutionStats::default(),
+                plan,
+            });
+        }
+        let res = execute_with_params(&self.storage, &plan, params)?;
+        Ok(QueryOutcome {
+            rows: res.rows,
+            stats: res.stats,
+            plan,
+        })
+    }
+
+    /// Execute DDL statements (CREATE TABLE / DROP TABLE); `None` when the
+    /// statement is not DDL. DROP also truncates the table's storage.
+    fn try_ddl(&self, stmt: &mpp_sql::Statement) -> Result<Option<QueryOutcome>> {
+        use mpp_sql::Statement;
+        match stmt {
+            Statement::CreateTable { .. } => {
+                mpp_sql::execute_ddl(stmt, self.catalog())?;
+            }
+            Statement::DropTable { .. } => {
+                // Clear rows first, while the catalog still knows the table.
+                if let Statement::DropTable { name } = stmt {
+                    let oid = self.catalog().table_by_name(name)?.oid;
+                    self.storage.truncate(oid)?;
+                }
+                mpp_sql::execute_ddl(stmt, self.catalog())?;
+            }
+            _ => return Ok(None),
+        }
+        Ok(Some(QueryOutcome {
+            rows: Vec::new(),
+            stats: ExecutionStats::default(),
+            plan: PhysicalPlan::Values {
+                rows: vec![],
+                output: vec![],
+            },
+        }))
+    }
+
+    /// EXPLAIN text of the optimized plan.
+    pub fn explain_sql(&self, sql_text: &str) -> Result<String> {
+        Ok(explain(&self.plan(sql_text)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_workloads::{setup_rs, SynthConfig};
+
+    #[test]
+    fn sql_roundtrip_on_synthetic_schema() {
+        let db = MppDb::new(4);
+        setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+        let out = db.sql("SELECT count(*) FROM r WHERE b < 100").unwrap();
+        assert_eq!(out.rows.len(), 1);
+        // 10 of 100 partitions scanned.
+        let r = db.catalog().table_by_name("r").unwrap();
+        assert_eq!(out.stats.parts_scanned_for(r.oid), 10);
+    }
+
+    #[test]
+    fn explain_returns_text() {
+        let db = MppDb::new(4);
+        setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+        let out = db.sql("EXPLAIN SELECT * FROM r WHERE b = 5").unwrap();
+        let text: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| r.values()[0].as_str().unwrap().to_string())
+            .collect();
+        assert!(text.iter().any(|l| l.contains("PartitionSelector")));
+        assert!(text.iter().any(|l| l.contains("DynamicScan")));
+    }
+
+    #[test]
+    fn missing_parameters_are_rejected() {
+        let db = MppDb::new(2);
+        setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+        let err = db.sql("SELECT * FROM r WHERE b = $1").unwrap_err();
+        assert!(err.to_string().contains("parameters"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Helpers shared by integration tests, examples and benches.
+
+use crate::MppDb;
+use mpp_catalog::builders::{list_level, monthly_range_level, monthly_range_parts};
+use mpp_catalog::{Distribution, PartTree, TableDesc};
+use mpp_common::{Column, DataType, Datum, Result, Row, Schema, TableOid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sort rows into a canonical order so bags can be compared.
+pub fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+    rows
+}
+
+/// Do two results contain the same bag of rows?
+pub fn same_bag(a: Vec<Row>, b: Vec<Row>) -> bool {
+    sorted(a) == sorted(b)
+}
+
+/// Bag comparison tolerating floating-point summation-order differences:
+/// floats are equal within a relative epsilon, everything else exactly.
+pub fn approx_same_bag(a: Vec<Row>, b: Vec<Row>) -> bool {
+    let (a, b) = (sorted(a), sorted(b));
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(&b).all(|(ra, rb)| {
+        ra.len() == rb.len()
+            && ra.values().iter().zip(rb.values()).all(|(x, y)| match (x, y) {
+                (Datum::Float64(x), Datum::Float64(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    (x - y).abs() <= 1e-9 * scale
+                }
+                _ => x == y,
+            })
+    })
+}
+
+/// The paper's Figure 1 schema: `orders(o_id, amount, date)` partitioned
+/// into 24 monthly partitions covering 2012–2013, populated with `rows`
+/// seeded random orders. Returns the table OID.
+pub fn setup_orders(db: &MppDb, rows: usize, seed: u64) -> Result<TableOid> {
+    let cat = db.catalog();
+    let schema = Schema::new(vec![
+        Column::new("o_id", DataType::Int64).not_null(),
+        Column::new("amount", DataType::Float64).not_null(),
+        Column::new("date", DataType::Date).not_null(),
+    ]);
+    let oid = cat.allocate_table_oid();
+    let first = cat.allocate_part_oids(24);
+    cat.register(TableDesc {
+        oid,
+        name: "orders".into(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning: Some(monthly_range_parts(2, 2012, 1, 24, first)?),
+    })?;
+    let lo = mpp_common::value::days_from_civil(2012, 1, 1);
+    let hi = mpp_common::value::days_from_civil(2014, 1, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows).map(|i| {
+        Row::new(vec![
+            Datum::Int64(i as i64 + 1),
+            Datum::Float64(rng.gen_range(100..100_000) as f64 / 100.0),
+            Datum::Date(rng.gen_range(lo..hi)),
+        ])
+    });
+    db.storage().insert(oid, data)?;
+    db.storage().analyze(oid)?;
+    Ok(oid)
+}
+
+/// The paper's Figure 9 schema: `orders_ml(o_id, amount, date, region)`
+/// partitioned two levels deep — 24 monthly date ranges × the given
+/// regions (categorical).
+pub fn setup_orders_multilevel(
+    db: &MppDb,
+    regions: &[&str],
+    rows: usize,
+    seed: u64,
+) -> Result<TableOid> {
+    let cat = db.catalog();
+    let schema = Schema::new(vec![
+        Column::new("o_id", DataType::Int64).not_null(),
+        Column::new("amount", DataType::Float64).not_null(),
+        Column::new("date", DataType::Date).not_null(),
+        Column::new("region", DataType::Utf8).not_null(),
+    ]);
+    let oid = cat.allocate_table_oid();
+    let leaves = 24 * regions.len() as u32;
+    let first = cat.allocate_part_oids(leaves);
+    let region_level = list_level(
+        3,
+        regions
+            .iter()
+            .map(|r| (r.to_string(), vec![Datum::str(*r)]))
+            .collect(),
+        false,
+    )?;
+    let tree = PartTree::new(
+        vec![monthly_range_level(2, 2012, 1, 24)?, region_level],
+        first,
+    )?;
+    cat.register(TableDesc {
+        oid,
+        name: "orders_ml".into(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning: Some(tree),
+    })?;
+    let lo = mpp_common::value::days_from_civil(2012, 1, 1);
+    let hi = mpp_common::value::days_from_civil(2014, 1, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows).map(|i| {
+        Row::new(vec![
+            Datum::Int64(i as i64 + 1),
+            Datum::Float64(rng.gen_range(100..100_000) as f64 / 100.0),
+            Datum::Date(rng.gen_range(lo..hi)),
+            Datum::str(regions[rng.gen_range(0..regions.len())]),
+        ])
+    });
+    db.storage().insert(oid, data)?;
+    db.storage().analyze(oid)?;
+    Ok(oid)
+}

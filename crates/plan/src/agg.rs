@@ -1,0 +1,72 @@
+//! Aggregate function calls.
+
+use mpp_expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate call, e.g. `avg(amount)`. `arg` is `None` only for
+/// `count(*)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggCall {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+impl AggCall {
+    pub fn count_star() -> AggCall {
+        AggCall {
+            func: AggFunc::Count,
+            arg: None,
+        }
+    }
+
+    pub fn new(func: AggFunc, arg: Expr) -> AggCall {
+        AggCall {
+            func,
+            arg: Some(arg),
+        }
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "{}(*)", self.func.name()),
+            Some(e) => write!(f, "{}({e})", self.func.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(AggCall::count_star().to_string(), "count(*)");
+        let c = AggCall::new(AggFunc::Avg, Expr::lit(1i32));
+        assert_eq!(c.to_string(), "avg(1)");
+    }
+}

@@ -1,0 +1,199 @@
+//! EXPLAIN-style plan rendering.
+
+use crate::physical::PhysicalPlan;
+use std::fmt::Write;
+
+/// Render a physical plan as an indented tree, one operator per line with
+/// its interesting annotations — close to GPDB's `EXPLAIN` output.
+pub fn explain(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+    let mut text = String::new();
+    match plan {
+        PhysicalPlan::TableScan {
+            table_name, filter, ..
+        } => {
+            write!(text, "TableScan on {table_name}").unwrap();
+            if let Some(f) = filter {
+                write!(text, " filter: {f}").unwrap();
+            }
+        }
+        PhysicalPlan::PartScan {
+            part_name,
+            filter,
+            gate,
+            ..
+        } => {
+            write!(text, "PartScan on {part_name}").unwrap();
+            if let Some(g) = gate {
+                write!(text, " gated-by: $oids{g}").unwrap();
+            }
+            if let Some(f) = filter {
+                write!(text, " filter: {f}").unwrap();
+            }
+        }
+        PhysicalPlan::DynamicScan {
+            table_name,
+            part_scan_id,
+            filter,
+            ..
+        } => {
+            write!(text, "DynamicScan({part_scan_id}) on {table_name}").unwrap();
+            if let Some(f) = filter {
+                write!(text, " filter: {f}").unwrap();
+            }
+        }
+        PhysicalPlan::PartitionSelector {
+            table_name,
+            part_scan_id,
+            part_keys,
+            predicates,
+            ..
+        } => {
+            write!(text, "PartitionSelector({part_scan_id}) for {table_name}").unwrap();
+            for (k, p) in part_keys.iter().zip(predicates) {
+                match p {
+                    Some(p) => write!(text, " [{k}: {p}]").unwrap(),
+                    None => write!(text, " [{k}: <all>]").unwrap(),
+                }
+            }
+        }
+        PhysicalPlan::Sequence { .. } => text.push_str("Sequence"),
+        PhysicalPlan::Filter { pred, .. } => write!(text, "Filter: {pred}").unwrap(),
+        PhysicalPlan::Project { exprs, .. } => {
+            write!(text, "Project: ").unwrap();
+            for (i, e) in exprs.iter().enumerate() {
+                if i > 0 {
+                    text.push_str(", ");
+                }
+                write!(text, "{e}").unwrap();
+            }
+        }
+        PhysicalPlan::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
+            write!(text, "HashJoin ({})", join_type.name()).unwrap();
+            for (l, r) in left_keys.iter().zip(right_keys) {
+                write!(text, " {l}={r}").unwrap();
+            }
+            if let Some(r) = residual {
+                write!(text, " residual: {r}").unwrap();
+            }
+        }
+        PhysicalPlan::NLJoin {
+            join_type, pred, ..
+        } => {
+            write!(text, "NLJoin ({})", join_type.name()).unwrap();
+            if let Some(p) = pred {
+                write!(text, " on {p}").unwrap();
+            }
+        }
+        PhysicalPlan::HashAgg {
+            group_by, aggs, ..
+        } => {
+            write!(text, "HashAgg").unwrap();
+            if !group_by.is_empty() {
+                write!(text, " by ").unwrap();
+                for (i, g) in group_by.iter().enumerate() {
+                    if i > 0 {
+                        text.push_str(", ");
+                    }
+                    write!(text, "{g}").unwrap();
+                }
+            }
+            write!(text, ":").unwrap();
+            for a in aggs {
+                write!(text, " {a}").unwrap();
+            }
+        }
+        PhysicalPlan::Motion { kind, .. } => match kind {
+            crate::physical::MotionKind::Redistribute(cols) => {
+                write!(text, "Redistribute Motion on ").unwrap();
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        text.push_str(", ");
+                    }
+                    write!(text, "{c}").unwrap();
+                }
+            }
+            k => write!(text, "{} Motion", k.name()).unwrap(),
+        },
+        PhysicalPlan::Append { children, .. } => {
+            write!(text, "Append ({} children)", children.len()).unwrap()
+        }
+        PhysicalPlan::InitPlanOids { param, key, .. } => {
+            write!(text, "InitPlan $oids{param} = route({key})").unwrap()
+        }
+        PhysicalPlan::Values { rows, .. } => write!(text, "Values ({} rows)", rows.len()).unwrap(),
+        PhysicalPlan::Limit { n, .. } => write!(text, "Limit {n}").unwrap(),
+        PhysicalPlan::Sort { keys, .. } => {
+            write!(text, "Sort by ").unwrap();
+            for (i, (k, desc)) in keys.iter().enumerate() {
+                if i > 0 {
+                    text.push_str(", ");
+                }
+                write!(text, "{k}{}", if *desc { " desc" } else { "" }).unwrap();
+            }
+        }
+        PhysicalPlan::Update { table, .. } => write!(text, "Update {table}").unwrap(),
+        PhysicalPlan::Delete { table, .. } => write!(text, "Delete {table}").unwrap(),
+        PhysicalPlan::Insert { table, .. } => write!(text, "Insert {table}").unwrap(),
+    }
+    line(out, depth, &text);
+    for c in plan.children() {
+        render(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_common::{PartScanId, TableOid};
+    use mpp_expr::{ColRef, Expr};
+
+    #[test]
+    fn renders_selector_and_dynamic_scan() {
+        let key = ColRef::new(5, "pk");
+        let plan = PhysicalPlan::Sequence {
+            children: vec![
+                PhysicalPlan::PartitionSelector {
+                    table: TableOid(1),
+                    table_name: "orders".into(),
+                    part_scan_id: PartScanId(1),
+                    part_keys: vec![key.clone()],
+                    predicates: vec![Some(Expr::lt(Expr::col(key), Expr::lit(10i32)))],
+                    child: None,
+                },
+                PhysicalPlan::DynamicScan {
+                    table: TableOid(1),
+                    table_name: "orders".into(),
+                    part_scan_id: PartScanId(1),
+                    output: vec![ColRef::new(5, "pk")],
+                    filter: None,
+                },
+            ],
+        };
+        let s = explain(&plan);
+        assert!(s.contains("Sequence"));
+        assert!(s.contains("PartitionSelector(scan1) for orders [pk#5: (pk#5 < 10)]"));
+        assert!(s.contains("DynamicScan(scan1) on orders"));
+        // Children indented under the sequence.
+        assert!(s.lines().nth(1).unwrap().starts_with("  "));
+    }
+}

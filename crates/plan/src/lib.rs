@@ -1,0 +1,30 @@
+//! # mpp-plan
+//!
+//! The plan algebras of the system:
+//!
+//! * [`LogicalPlan`] — what the SQL binder produces and the optimizers
+//!   consume,
+//! * [`PhysicalPlan`] — what the optimizers produce and the executor runs,
+//!   including the paper's three partitioning operators (§2.2):
+//!   [`PhysicalPlan::PartitionSelector`] (producer),
+//!   [`PhysicalPlan::DynamicScan`] (consumer) and
+//!   [`PhysicalPlan::Sequence`] (ordering), the MPP
+//!   [`PhysicalPlan::Motion`] enforcers, and the legacy planner's
+//!   inheritance-expansion shapes ([`PhysicalPlan::Append`],
+//!   [`PhysicalPlan::PartScan`] with run-time gates, [`PhysicalPlan::InitPlanOids`]),
+//! * aggregate calls ([`AggCall`], [`AggFunc`]),
+//! * EXPLAIN-style rendering ([`explain()`]),
+//! * the plan-size metric used by the paper's Figure 18
+//!   ([`size::plan_size_bytes`], [`size::plan_node_count`]).
+
+pub mod agg;
+pub mod explain;
+pub mod logical;
+pub mod physical;
+pub mod size;
+
+pub use agg::{AggCall, AggFunc};
+pub use explain::explain;
+pub use logical::{JoinType, LogicalPlan};
+pub use physical::{MotionKind, PhysicalPlan};
+pub use size::{plan_node_count, plan_size_bytes};

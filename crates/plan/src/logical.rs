@@ -1,0 +1,260 @@
+//! The logical plan algebra produced by the binder.
+
+use crate::agg::AggCall;
+use mpp_common::{Datum, TableOid};
+use mpp_expr::{ColRef, Expr};
+use serde::{Deserialize, Serialize};
+
+/// Join flavors. `LeftSemi` is what `IN (subquery)` binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+    LeftSemi,
+    LeftAnti,
+}
+
+impl JoinType {
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinType::Inner => "inner",
+            JoinType::LeftOuter => "left",
+            JoinType::LeftSemi => "semi",
+            JoinType::LeftAnti => "anti",
+        }
+    }
+
+    /// Does the join output include the right side's columns?
+    pub fn outputs_right(self) -> bool {
+        matches!(self, JoinType::Inner | JoinType::LeftOuter)
+    }
+}
+
+/// A logical query plan. Column identities ([`ColRef`]) are minted by the
+/// binder; every node lists its output columns explicitly so parents can
+/// reference them without positional bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Scan of a base table (partitioned or not — the optimizer decides how
+    /// to implement it).
+    Get {
+        table: TableOid,
+        table_name: String,
+        /// One colref per table column, in schema order.
+        output: Vec<ColRef>,
+    },
+    /// Filter.
+    Select { pred: Expr, child: Box<LogicalPlan> },
+    /// Projection: compute `exprs`, named by `output`.
+    Project {
+        exprs: Vec<Expr>,
+        output: Vec<ColRef>,
+        child: Box<LogicalPlan>,
+    },
+    /// Join with an arbitrary predicate.
+    Join {
+        join_type: JoinType,
+        pred: Expr,
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Grouping + aggregation. Output colrefs are the group columns
+    /// followed by one colref per aggregate.
+    Agg {
+        group_by: Vec<ColRef>,
+        aggs: Vec<AggCall>,
+        output: Vec<ColRef>,
+        child: Box<LogicalPlan>,
+    },
+    /// Literal rows.
+    Values {
+        rows: Vec<Vec<Datum>>,
+        output: Vec<ColRef>,
+    },
+    /// First `n` rows (no ordering guarantees — used for LIMIT).
+    Limit { n: u64, child: Box<LogicalPlan> },
+    /// Sort by the listed columns (`true` = descending).
+    Sort {
+        keys: Vec<(ColRef, bool)>,
+        child: Box<LogicalPlan>,
+    },
+    /// `UPDATE table SET …`. `child` produces, for every target row, the
+    /// target table's full current row (as `target_cols`) plus whatever the
+    /// assignments reference.
+    Update {
+        table: TableOid,
+        /// The child's colrefs holding the target table's current row, in
+        /// schema order.
+        target_cols: Vec<ColRef>,
+        /// (column index in the table schema, new-value expression).
+        assignments: Vec<(usize, Expr)>,
+        child: Box<LogicalPlan>,
+    },
+    /// `DELETE FROM table`. `child` produces the rows to delete
+    /// (`target_cols` in schema order).
+    Delete {
+        table: TableOid,
+        target_cols: Vec<ColRef>,
+        child: Box<LogicalPlan>,
+    },
+    /// `INSERT INTO table`. `child` produces rows in schema order.
+    Insert {
+        table: TableOid,
+        child: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// Output column identities of this node.
+    pub fn output_cols(&self) -> Vec<ColRef> {
+        match self {
+            LogicalPlan::Get { output, .. }
+            | LogicalPlan::Project { output, .. }
+            | LogicalPlan::Agg { output, .. }
+            | LogicalPlan::Values { output, .. } => output.clone(),
+            LogicalPlan::Select { child, .. }
+            | LogicalPlan::Limit { child, .. }
+            | LogicalPlan::Sort { child, .. } => child.output_cols(),
+            LogicalPlan::Join {
+                join_type,
+                left,
+                right,
+                ..
+            } => {
+                let mut cols = left.output_cols();
+                if join_type.outputs_right() {
+                    cols.extend(right.output_cols());
+                }
+                cols
+            }
+            // DML nodes return a row count, no named columns.
+            LogicalPlan::Update { .. }
+            | LogicalPlan::Delete { .. }
+            | LogicalPlan::Insert { .. } => Vec::new(),
+        }
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Get { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Select { child, .. }
+            | LogicalPlan::Project { child, .. }
+            | LogicalPlan::Agg { child, .. }
+            | LogicalPlan::Limit { child, .. }
+            | LogicalPlan::Sort { child, .. }
+            | LogicalPlan::Update { child, .. }
+            | LogicalPlan::Delete { child, .. }
+            | LogicalPlan::Insert { child, .. } => vec![child],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// All `Get` nodes in the tree (pre-order).
+    pub fn base_tables(&self) -> Vec<TableOid> {
+        let mut out = Vec::new();
+        fn rec(p: &LogicalPlan, out: &mut Vec<TableOid>) {
+            if let LogicalPlan::Get { table, .. } = p {
+                out.push(*table);
+            }
+            for c in p.children() {
+                rec(c, out);
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Is this a DML statement?
+    pub fn is_dml(&self) -> bool {
+        matches!(
+            self,
+            LogicalPlan::Update { .. } | LogicalPlan::Delete { .. } | LogicalPlan::Insert { .. }
+        )
+    }
+
+    /// Short operator name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Get { .. } => "Get",
+            LogicalPlan::Select { .. } => "Select",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Agg { .. } => "Agg",
+            LogicalPlan::Values { .. } => "Values",
+            LogicalPlan::Limit { .. } => "Limit",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Update { .. } => "Update",
+            LogicalPlan::Delete { .. } => "Delete",
+            LogicalPlan::Insert { .. } => "Insert",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cr(id: u32, name: &str) -> ColRef {
+        ColRef::new(id, name)
+    }
+
+    fn get(table: u32, cols: &[(u32, &str)]) -> LogicalPlan {
+        LogicalPlan::Get {
+            table: TableOid(table),
+            table_name: format!("t{table}"),
+            output: cols.iter().map(|&(id, n)| cr(id, n)).collect(),
+        }
+    }
+
+    #[test]
+    fn output_cols_flow_through_select() {
+        let plan = LogicalPlan::Select {
+            pred: Expr::lit(true),
+            child: Box::new(get(1, &[(1, "a"), (2, "b")])),
+        };
+        assert_eq!(plan.output_cols().len(), 2);
+    }
+
+    #[test]
+    fn join_output_depends_on_type() {
+        let l = get(1, &[(1, "a")]);
+        let r = get(2, &[(2, "b")]);
+        let inner = LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            pred: Expr::lit(true),
+            left: Box::new(l.clone()),
+            right: Box::new(r.clone()),
+        };
+        assert_eq!(inner.output_cols().len(), 2);
+        let semi = LogicalPlan::Join {
+            join_type: JoinType::LeftSemi,
+            pred: Expr::lit(true),
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        assert_eq!(semi.output_cols().len(), 1);
+    }
+
+    #[test]
+    fn base_tables_collects_in_preorder() {
+        let plan = LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            pred: Expr::lit(true),
+            left: Box::new(get(1, &[(1, "a")])),
+            right: Box::new(get(2, &[(2, "b")])),
+        };
+        assert_eq!(plan.base_tables(), vec![TableOid(1), TableOid(2)]);
+    }
+
+    #[test]
+    fn dml_detection() {
+        let ins = LogicalPlan::Insert {
+            table: TableOid(1),
+            child: Box::new(get(1, &[(1, "a")])),
+        };
+        assert!(ins.is_dml());
+        assert!(ins.output_cols().is_empty());
+        assert!(!get(1, &[(1, "a")]).is_dml());
+    }
+}

@@ -1,0 +1,428 @@
+//! The physical plan algebra.
+//!
+//! Besides the conventional operators (scans, filters, hash joins,
+//! aggregates), this algebra contains:
+//!
+//! * the paper's partitioning trio (§2.2) — [`PhysicalPlan::PartitionSelector`]
+//!   (producer of partition OIDs), [`PhysicalPlan::DynamicScan`] (consumer)
+//!   and [`PhysicalPlan::Sequence`] (left-to-right ordering),
+//! * the MPP [`PhysicalPlan::Motion`] operators (Gather / Redistribute /
+//!   Broadcast) that move rows between segments (§3.1),
+//! * the **legacy planner's** inheritance-expansion shapes used as the
+//!   paper's comparison baseline (§4.4): [`PhysicalPlan::Append`] over
+//!   explicit per-partition [`PhysicalPlan::PartScan`]s, with
+//!   [`PhysicalPlan::InitPlanOids`] computing a run-time OID set that gates
+//!   each listed partition.
+//!
+//! Join children execute **left to right**: the left (outer) side is fully
+//! consumed before the right (inner) side starts. This is the ordering
+//! guarantee Algorithm 4 relies on when it pushes a `PartSelectorSpec` for
+//! an inner-side `DynamicScan` onto the join's *outer* side.
+
+use crate::agg::AggCall;
+use crate::logical::JoinType;
+use mpp_common::{Datum, PartOid, PartScanId, TableOid};
+use mpp_expr::{ColRef, Expr};
+use serde::{Deserialize, Serialize};
+
+/// How a Motion moves rows between segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MotionKind {
+    /// All rows to segment 0.
+    Gather,
+    /// One copy to segment 0 — the child is replicated identically on
+    /// every segment, so gathering all copies would multiply rows.
+    GatherOne,
+    /// Re-hash rows on the given columns.
+    Redistribute(Vec<ColRef>),
+    /// Every row to every segment.
+    Broadcast,
+}
+
+impl MotionKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            MotionKind::Gather => "Gather",
+            MotionKind::GatherOne => "GatherOne",
+            MotionKind::Redistribute(_) => "Redistribute",
+            MotionKind::Broadcast => "Broadcast",
+        }
+    }
+}
+
+/// A physical query plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalPlan {
+    /// Scan of an unpartitioned table.
+    TableScan {
+        table: TableOid,
+        table_name: String,
+        output: Vec<ColRef>,
+        filter: Option<Expr>,
+    },
+    /// Scan of **one** leaf partition, listed explicitly in the plan — the
+    /// legacy planner's unit of partitioned scanning. When `gate` is set,
+    /// the scan only runs if the OID is present in the run-time OID-set
+    /// parameter with that id (the legacy form of dynamic elimination; the
+    /// partition is listed in the plan regardless).
+    PartScan {
+        table: TableOid,
+        part: PartOid,
+        part_name: String,
+        output: Vec<ColRef>,
+        filter: Option<Expr>,
+        gate: Option<u32>,
+    },
+    /// The paper's consumer operator: scans exactly the partitions whose
+    /// OIDs the paired PartitionSelector propagated. Plan size is O(1) in
+    /// the partition count.
+    DynamicScan {
+        table: TableOid,
+        table_name: String,
+        part_scan_id: PartScanId,
+        output: Vec<ColRef>,
+        filter: Option<Expr>,
+    },
+    /// The paper's producer operator. `part_keys` are the DynamicScan's
+    /// colrefs for the partitioning key at each level; `predicates[i]`, if
+    /// present, restricts level `i` (paper §2.4 extends both to lists for
+    /// multi-level partitioning). With a child, the selector evaluates its
+    /// predicates once per input row (dynamic elimination) and passes the
+    /// child's rows through unchanged; without a child it evaluates them
+    /// once against constants/parameters and produces nothing.
+    PartitionSelector {
+        table: TableOid,
+        table_name: String,
+        part_scan_id: PartScanId,
+        part_keys: Vec<ColRef>,
+        predicates: Vec<Option<Expr>>,
+        child: Option<Box<PhysicalPlan>>,
+    },
+    /// Executes children in order, returns the last child's rows (§2.2).
+    Sequence { children: Vec<PhysicalPlan> },
+    /// Filter.
+    Filter {
+        pred: Expr,
+        child: Box<PhysicalPlan>,
+    },
+    /// Projection.
+    Project {
+        exprs: Vec<Expr>,
+        output: Vec<ColRef>,
+        child: Box<PhysicalPlan>,
+    },
+    /// Hash join: builds on the **left** (outer) side, probes with the
+    /// right — preserving left-to-right execution.
+    HashJoin {
+        join_type: JoinType,
+        /// Equi-key expressions over the left / right child outputs.
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        /// Non-equi remainder of the join predicate, over the concatenated
+        /// output.
+        residual: Option<Expr>,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    /// Nested-loops join (used when no equi-keys exist).
+    NLJoin {
+        join_type: JoinType,
+        pred: Option<Expr>,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    /// Hash aggregation.
+    HashAgg {
+        group_by: Vec<ColRef>,
+        aggs: Vec<AggCall>,
+        output: Vec<ColRef>,
+        child: Box<PhysicalPlan>,
+    },
+    /// Inter-segment data movement.
+    Motion {
+        kind: MotionKind,
+        child: Box<PhysicalPlan>,
+    },
+    /// Bag union of same-shaped children (legacy partition expansion).
+    Append {
+        output: Vec<ColRef>,
+        children: Vec<PhysicalPlan>,
+    },
+    /// Legacy "init plan": executes `child`, maps `key` of every row
+    /// through the partitioning function of `table`, and stores the
+    /// resulting OID set in run-time parameter `param` for
+    /// [`PhysicalPlan::PartScan`] gates to test.
+    InitPlanOids {
+        param: u32,
+        table: TableOid,
+        key: Expr,
+        child: Box<PhysicalPlan>,
+    },
+    /// Literal rows.
+    Values {
+        rows: Vec<Vec<Datum>>,
+        output: Vec<ColRef>,
+    },
+    /// First `n` rows.
+    Limit { n: u64, child: Box<PhysicalPlan> },
+    /// Sort by the listed columns (`true` = descending). Runs on a single
+    /// segment (the optimizer gathers below it).
+    Sort {
+        keys: Vec<(ColRef, bool)>,
+        child: Box<PhysicalPlan>,
+    },
+    /// UPDATE execution (see [`crate::logical::LogicalPlan::Update`]).
+    Update {
+        table: TableOid,
+        target_cols: Vec<ColRef>,
+        assignments: Vec<(usize, Expr)>,
+        child: Box<PhysicalPlan>,
+    },
+    /// DELETE execution.
+    Delete {
+        table: TableOid,
+        target_cols: Vec<ColRef>,
+        child: Box<PhysicalPlan>,
+    },
+    /// INSERT execution.
+    Insert {
+        table: TableOid,
+        child: Box<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output column identities.
+    pub fn output_cols(&self) -> Vec<ColRef> {
+        match self {
+            PhysicalPlan::TableScan { output, .. }
+            | PhysicalPlan::PartScan { output, .. }
+            | PhysicalPlan::DynamicScan { output, .. }
+            | PhysicalPlan::Project { output, .. }
+            | PhysicalPlan::HashAgg { output, .. }
+            | PhysicalPlan::Append { output, .. }
+            | PhysicalPlan::Values { output, .. } => output.clone(),
+            PhysicalPlan::PartitionSelector { child, .. } => {
+                child.as_ref().map(|c| c.output_cols()).unwrap_or_default()
+            }
+            PhysicalPlan::Sequence { children } => children
+                .last()
+                .map(|c| c.output_cols())
+                .unwrap_or_default(),
+            PhysicalPlan::Filter { child, .. }
+            | PhysicalPlan::Motion { child, .. }
+            | PhysicalPlan::Limit { child, .. }
+            | PhysicalPlan::Sort { child, .. } => child.output_cols(),
+            PhysicalPlan::HashJoin {
+                join_type,
+                left,
+                right,
+                ..
+            }
+            | PhysicalPlan::NLJoin {
+                join_type,
+                left,
+                right,
+                ..
+            } => {
+                let mut cols = left.output_cols();
+                if join_type.outputs_right() {
+                    cols.extend(right.output_cols());
+                }
+                cols
+            }
+            PhysicalPlan::InitPlanOids { child, .. } => child.output_cols(),
+            PhysicalPlan::Update { .. }
+            | PhysicalPlan::Delete { .. }
+            | PhysicalPlan::Insert { .. } => Vec::new(),
+        }
+    }
+
+    /// Immediate children, in execution order.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. }
+            | PhysicalPlan::PartScan { .. }
+            | PhysicalPlan::DynamicScan { .. }
+            | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::PartitionSelector { child, .. } => {
+                child.iter().map(|c| c.as_ref()).collect()
+            }
+            PhysicalPlan::Sequence { children } | PhysicalPlan::Append { children, .. } => {
+                children.iter().collect()
+            }
+            PhysicalPlan::Filter { child, .. }
+            | PhysicalPlan::Project { child, .. }
+            | PhysicalPlan::Motion { child, .. }
+            | PhysicalPlan::Limit { child, .. }
+            | PhysicalPlan::Sort { child, .. }
+            | PhysicalPlan::InitPlanOids { child, .. }
+            | PhysicalPlan::HashAgg { child, .. }
+            | PhysicalPlan::Update { child, .. }
+            | PhysicalPlan::Delete { child, .. }
+            | PhysicalPlan::Insert { child, .. } => vec![child],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NLJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Short operator name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::TableScan { .. } => "TableScan",
+            PhysicalPlan::PartScan { .. } => "PartScan",
+            PhysicalPlan::DynamicScan { .. } => "DynamicScan",
+            PhysicalPlan::PartitionSelector { .. } => "PartitionSelector",
+            PhysicalPlan::Sequence { .. } => "Sequence",
+            PhysicalPlan::Filter { .. } => "Filter",
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::HashJoin { .. } => "HashJoin",
+            PhysicalPlan::NLJoin { .. } => "NLJoin",
+            PhysicalPlan::HashAgg { .. } => "HashAgg",
+            PhysicalPlan::Motion { .. } => "Motion",
+            PhysicalPlan::Append { .. } => "Append",
+            PhysicalPlan::InitPlanOids { .. } => "InitPlanOids",
+            PhysicalPlan::Values { .. } => "Values",
+            PhysicalPlan::Limit { .. } => "Limit",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::Update { .. } => "Update",
+            PhysicalPlan::Delete { .. } => "Delete",
+            PhysicalPlan::Insert { .. } => "Insert",
+        }
+    }
+
+    /// Pre-order walk.
+    pub fn visit(&self, f: &mut impl FnMut(&PhysicalPlan)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Does the subtree contain a `DynamicScan` with this id? — the
+    /// `HasPartScanId` helper of the placement algorithms (paper §2.3).
+    pub fn has_part_scan_id(&self, id: PartScanId) -> bool {
+        let mut found = false;
+        self.visit(&mut |p| {
+            if let PhysicalPlan::DynamicScan { part_scan_id, .. } = p {
+                if *part_scan_id == id {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// All `DynamicScan` ids in the subtree, with their tables and key
+    /// colrefs unresolved by any PartitionSelector yet.
+    pub fn dynamic_scans(&self) -> Vec<(PartScanId, TableOid)> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let PhysicalPlan::DynamicScan {
+                part_scan_id,
+                table,
+                ..
+            } = p
+            {
+                out.push((*part_scan_id, *table));
+            }
+        });
+        out
+    }
+
+    /// Count of PartitionSelector nodes (used by tests).
+    pub fn count_op(&self, name: &str) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| {
+            if p.name() == name {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cr(id: u32, name: &str) -> ColRef {
+        ColRef::new(id, name)
+    }
+
+    fn dynscan(id: u32, table: u32) -> PhysicalPlan {
+        PhysicalPlan::DynamicScan {
+            table: TableOid(table),
+            table_name: format!("t{table}"),
+            part_scan_id: PartScanId(id),
+            output: vec![cr(1, "a"), cr(2, "b")],
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn has_part_scan_id_walks_subtrees() {
+        let plan = PhysicalPlan::Filter {
+            pred: Expr::lit(true),
+            child: Box::new(dynscan(7, 1)),
+        };
+        assert!(plan.has_part_scan_id(PartScanId(7)));
+        assert!(!plan.has_part_scan_id(PartScanId(8)));
+    }
+
+    #[test]
+    fn sequence_outputs_last_child() {
+        let selector = PhysicalPlan::PartitionSelector {
+            table: TableOid(1),
+            table_name: "t1".into(),
+            part_scan_id: PartScanId(1),
+            part_keys: vec![cr(2, "b")],
+            predicates: vec![None],
+            child: None,
+        };
+        let seq = PhysicalPlan::Sequence {
+            children: vec![selector, dynscan(1, 1)],
+        };
+        assert_eq!(seq.output_cols().len(), 2);
+        assert_eq!(seq.children().len(), 2);
+    }
+
+    #[test]
+    fn selector_with_child_passes_output_through() {
+        let sel = PhysicalPlan::PartitionSelector {
+            table: TableOid(1),
+            table_name: "t1".into(),
+            part_scan_id: PartScanId(1),
+            part_keys: vec![cr(2, "b")],
+            predicates: vec![Some(Expr::lit(true))],
+            child: Some(Box::new(PhysicalPlan::Values {
+                rows: vec![vec![Datum::Int32(1)]],
+                output: vec![cr(9, "x")],
+            })),
+        };
+        assert_eq!(sel.output_cols(), vec![cr(9, "x")]);
+    }
+
+    #[test]
+    fn semi_join_hides_right_columns() {
+        let j = PhysicalPlan::HashJoin {
+            join_type: JoinType::LeftSemi,
+            left_keys: vec![],
+            right_keys: vec![],
+            residual: None,
+            left: Box::new(dynscan(1, 1)),
+            right: Box::new(dynscan(2, 2)),
+        };
+        assert_eq!(j.output_cols().len(), 2);
+        assert_eq!(j.dynamic_scans().len(), 2);
+    }
+
+    #[test]
+    fn count_op_counts() {
+        let seq = PhysicalPlan::Sequence {
+            children: vec![dynscan(1, 1), dynscan(2, 1)],
+        };
+        assert_eq!(seq.count_op("DynamicScan"), 2);
+        assert_eq!(seq.count_op("HashJoin"), 0);
+    }
+}

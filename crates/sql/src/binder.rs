@@ -1,0 +1,1027 @@
+//! Name resolution and logical plan construction.
+
+use crate::parser::{AstExpr, BinOp, FromItem, Query, SelectItem, Statement, TableRef};
+use mpp_catalog::Catalog;
+use mpp_common::value::{parse_date, ArithOp};
+use mpp_common::{DataType, Datum, Error, Result};
+use mpp_expr::{ColRef, ColRefGenerator, Expr};
+use mpp_plan::{AggCall, AggFunc, JoinType, LogicalPlan};
+use std::collections::HashMap;
+
+/// A bound statement ready for the optimizer.
+#[derive(Debug, Clone)]
+pub struct BoundStatement {
+    pub plan: LogicalPlan,
+    /// Highest `$n` parameter referenced (0 when none).
+    pub param_count: u32,
+    /// True when the statement was wrapped in EXPLAIN.
+    pub explain: bool,
+}
+
+/// Bind a parsed statement against the catalog.
+pub fn bind(stmt: &Statement, catalog: &Catalog, gen: &ColRefGenerator) -> Result<BoundStatement> {
+    let mut b = Binder {
+        catalog,
+        gen,
+        types: HashMap::new(),
+        max_param: 0,
+    };
+    let (plan, explain) = match stmt {
+        Statement::Explain(inner) => {
+            let bound = bind(inner, catalog, gen)?;
+            return Ok(BoundStatement {
+                explain: true,
+                ..bound
+            });
+        }
+        Statement::Select(q) => (b.bind_query(q)?.0, false),
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => (b.bind_insert(table, columns.as_deref(), rows)?, false),
+        Statement::Update {
+            table,
+            set,
+            from,
+            where_clause,
+        } => (b.bind_update(table, set, from, where_clause.as_ref())?, false),
+        Statement::Delete {
+            table,
+            using,
+            where_clause,
+        } => (b.bind_delete(table, using, where_clause.as_ref())?, false),
+        Statement::CreateTable { .. } | Statement::DropTable { .. } => {
+            return Err(Error::Unsupported(
+                "DDL is executed by the session layer (see mpp_sql::ddl), not bound to a plan"
+                    .into(),
+            ))
+        }
+    };
+    Ok(BoundStatement {
+        plan,
+        param_count: b.max_param,
+        explain,
+    })
+}
+
+/// One visible relation in the current scope.
+#[derive(Debug, Clone)]
+struct ScopeEntry {
+    binding_name: String,
+    columns: Vec<(String, ColRef, DataType)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    entries: Vec<ScopeEntry>,
+}
+
+impl Scope {
+    fn all_columns(&self) -> Vec<(String, ColRef, DataType)> {
+        self.entries
+            .iter()
+            .flat_map(|e| e.columns.iter().cloned())
+            .collect()
+    }
+
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<(ColRef, DataType)> {
+        let mut found: Option<(ColRef, DataType)> = None;
+        for e in &self.entries {
+            if let Some(q) = qualifier {
+                if !e.binding_name.eq_ignore_ascii_case(q) {
+                    continue;
+                }
+            }
+            for (cname, cref, ty) in &e.columns {
+                if cname.eq_ignore_ascii_case(name) {
+                    if found.is_some() {
+                        return Err(Error::Bind(format!("ambiguous column '{name}'")));
+                    }
+                    found = Some((cref.clone(), *ty));
+                }
+            }
+        }
+        found.ok_or_else(|| {
+            Error::Bind(match qualifier {
+                Some(q) => format!("column '{q}.{name}' not found"),
+                None => format!("column '{name}' not found"),
+            })
+        })
+    }
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    gen: &'a ColRefGenerator,
+    /// colref id → type (for literal coercion).
+    types: HashMap<u32, DataType>,
+    max_param: u32,
+}
+
+impl<'a> Binder<'a> {
+    /// Create a Get node and scope entry for a base table.
+    fn bind_table(&mut self, t: &TableRef) -> Result<(LogicalPlan, ScopeEntry)> {
+        let desc = self.catalog.table_by_name(&t.name)?;
+        let mut output = Vec::with_capacity(desc.schema.len());
+        let mut columns = Vec::with_capacity(desc.schema.len());
+        for col in desc.schema.columns() {
+            let cref = self.gen.fresh(col.name.as_str());
+            self.types.insert(cref.id, col.data_type);
+            columns.push((col.name.clone(), cref.clone(), col.data_type));
+            output.push(cref);
+        }
+        Ok((
+            LogicalPlan::Get {
+                table: desc.oid,
+                table_name: desc.name.clone(),
+                output,
+            },
+            ScopeEntry {
+                binding_name: t.binding_name().to_string(),
+                columns,
+            },
+        ))
+    }
+
+    fn bind_from_item(&mut self, item: &FromItem, scope: &mut Scope) -> Result<LogicalPlan> {
+        match item {
+            FromItem::Table(t) => {
+                let (plan, entry) = self.bind_table(t)?;
+                scope.entries.push(entry);
+                Ok(plan)
+            }
+            FromItem::Join {
+                left,
+                right,
+                left_outer,
+                on,
+            } => {
+                let l = self.bind_from_item(left, scope)?;
+                let (r, entry) = self.bind_table(right)?;
+                scope.entries.push(entry);
+                let pred = self.bind_expr(on, scope)?;
+                Ok(LogicalPlan::Join {
+                    join_type: if *left_outer {
+                        JoinType::LeftOuter
+                    } else {
+                        JoinType::Inner
+                    },
+                    pred,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
+            }
+        }
+    }
+
+    /// Bind a query; returns the plan and its output (name, colref) pairs.
+    fn bind_query(&mut self, q: &Query) -> Result<(LogicalPlan, Vec<(String, ColRef)>)> {
+        let mut scope = Scope::default();
+        let mut plan: Option<LogicalPlan> = None;
+        for item in &q.from {
+            let p = self.bind_from_item(item, &mut scope)?;
+            plan = Some(match plan {
+                None => p,
+                Some(acc) => LogicalPlan::Join {
+                    join_type: JoinType::Inner,
+                    pred: Expr::lit(true),
+                    left: Box::new(acc),
+                    right: Box::new(p),
+                },
+            });
+        }
+        let mut plan = plan.ok_or_else(|| Error::Bind("FROM clause is empty".into()))?;
+
+        // WHERE: top-level conjuncts; IN-subqueries become semi/anti joins.
+        if let Some(w) = &q.where_clause {
+            let mut plain = Vec::new();
+            for conj in split_ast_conjuncts(w) {
+                match conj {
+                    AstExpr::InSubquery {
+                        expr,
+                        query,
+                        negated,
+                    } => {
+                        let probe = self.bind_expr(&expr, &scope)?;
+                        let (sub, sub_out) = self.bind_query(&query)?;
+                        if sub_out.len() != 1 {
+                            return Err(Error::Bind(
+                                "IN subquery must return exactly one column".into(),
+                            ));
+                        }
+                        plan = LogicalPlan::Join {
+                            join_type: if negated {
+                                JoinType::LeftAnti
+                            } else {
+                                JoinType::LeftSemi
+                            },
+                            pred: self.coerce_cmp(Expr::eq(
+                                probe,
+                                Expr::col(sub_out[0].1.clone()),
+                            )),
+                            left: Box::new(plan),
+                            right: Box::new(sub),
+                        };
+                    }
+                    other => plain.push(self.bind_expr(&other, &scope)?),
+                }
+            }
+            if !plain.is_empty() {
+                plan = LogicalPlan::Select {
+                    pred: Expr::and(plain),
+                    child: Box::new(plan),
+                };
+            }
+        }
+
+        // Aggregation.
+        let has_aggs = q
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_agg(expr)));
+        let mut output: Vec<(String, ColRef)> = Vec::new();
+        if has_aggs || !q.group_by.is_empty() {
+            // Group columns must be plain column references.
+            let mut group_cols = Vec::new();
+            for g in &q.group_by {
+                match self.bind_expr(g, &scope)? {
+                    Expr::Col(c) => group_cols.push(c),
+                    other => {
+                        return Err(Error::Unsupported(format!(
+                            "GROUP BY expression {other} (columns only)"
+                        )))
+                    }
+                }
+            }
+            // Collect aggregate calls from the select list.
+            let mut aggs: Vec<AggCall> = Vec::new();
+            let mut item_kinds: Vec<ItemKind> = Vec::new();
+            for item in &q.items {
+                match item {
+                    SelectItem::Star => {
+                        return Err(Error::Bind(
+                            "SELECT * cannot be combined with aggregation".into(),
+                        ))
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        if let AstExpr::FuncCall { name, args, star } = expr {
+                            let call = self.bind_agg(name, args, *star, &scope)?;
+                            aggs.push(call);
+                            item_kinds.push(ItemKind::Agg {
+                                idx: aggs.len() - 1,
+                                alias: alias.clone().unwrap_or_else(|| name.to_lowercase()),
+                            });
+                        } else {
+                            let bound = self.bind_expr(expr, &scope)?;
+                            match &bound {
+                                Expr::Col(c) if group_cols.contains(c) => {
+                                    item_kinds.push(ItemKind::Group {
+                                        col: c.clone(),
+                                        alias: alias.clone().unwrap_or_else(|| c.name.to_string()),
+                                    });
+                                }
+                                _ => {
+                                    return Err(Error::Bind(format!(
+                                        "select expression {bound} must be an aggregate or a \
+                                         GROUP BY column"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let mut agg_output = group_cols.clone();
+            let agg_refs: Vec<ColRef> = aggs
+                .iter()
+                .map(|a| self.gen.fresh(a.func.name()))
+                .collect();
+            agg_output.extend(agg_refs.clone());
+            plan = LogicalPlan::Agg {
+                group_by: group_cols,
+                aggs,
+                output: agg_output,
+                child: Box::new(plan),
+            };
+            // Final projection in select-list order.
+            let mut exprs = Vec::new();
+            for kind in item_kinds {
+                match kind {
+                    ItemKind::Group { col, alias } => {
+                        let out = self.gen.fresh(alias.as_str());
+                        output.push((alias, out.clone()));
+                        exprs.push((Expr::col(col), out));
+                    }
+                    ItemKind::Agg { idx, alias } => {
+                        let out = self.gen.fresh(alias.as_str());
+                        output.push((alias, out.clone()));
+                        exprs.push((Expr::col(agg_refs[idx].clone()), out));
+                    }
+                }
+            }
+            plan = LogicalPlan::Project {
+                exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
+                output: exprs.into_iter().map(|(_, o)| o).collect(),
+                child: Box::new(plan),
+            };
+        } else {
+            // Plain projection.
+            let mut exprs: Vec<(String, Expr)> = Vec::new();
+            for item in &q.items {
+                match item {
+                    SelectItem::Star => {
+                        for (name, cref, _) in scope.all_columns() {
+                            exprs.push((name, Expr::col(cref)));
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let bound = self.bind_expr(expr, &scope)?;
+                        let name = alias.clone().unwrap_or_else(|| display_name(expr));
+                        exprs.push((name, bound));
+                    }
+                }
+            }
+            let out_refs: Vec<ColRef> = exprs
+                .iter()
+                .map(|(name, _)| self.gen.fresh(name.as_str()))
+                .collect();
+            output = exprs
+                .iter()
+                .zip(&out_refs)
+                .map(|((n, _), r)| (n.clone(), r.clone()))
+                .collect();
+            plan = LogicalPlan::Project {
+                exprs: exprs.into_iter().map(|(_, e)| e).collect(),
+                output: out_refs,
+                child: Box::new(plan),
+            };
+        }
+
+        // ORDER BY: keys resolve against the select-list output (by name
+        // or alias); bare column keys not in the output are rejected.
+        if !q.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for (e, desc) in &q.order_by {
+                let AstExpr::Column { qualifier: None, name } = e else {
+                    return Err(Error::Unsupported(
+                        "ORDER BY supports select-list column names only".into(),
+                    ));
+                };
+                let found = output
+                    .iter()
+                    .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                    .map(|(_, c)| c.clone())
+                    .ok_or_else(|| {
+                        Error::Bind(format!("ORDER BY column '{name}' is not in the select list"))
+                    })?;
+                keys.push((found, *desc));
+            }
+            plan = LogicalPlan::Sort {
+                keys,
+                child: Box::new(plan),
+            };
+        }
+        if let Some(n) = q.limit {
+            plan = LogicalPlan::Limit {
+                n,
+                child: Box::new(plan),
+            };
+        }
+        Ok((plan, output))
+    }
+
+    fn bind_agg(
+        &mut self,
+        name: &str,
+        args: &[AstExpr],
+        star: bool,
+        scope: &Scope,
+    ) -> Result<AggCall> {
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            other => return Err(Error::Bind(format!("unknown function '{other}'"))),
+        };
+        if star {
+            if func != AggFunc::Count {
+                return Err(Error::Bind(format!("{name}(*) is not valid")));
+            }
+            return Ok(AggCall::count_star());
+        }
+        if args.len() != 1 {
+            return Err(Error::Bind(format!("{name} takes exactly one argument")));
+        }
+        if contains_agg(&args[0]) {
+            return Err(Error::Bind("nested aggregates".into()));
+        }
+        Ok(AggCall::new(func, self.bind_expr(&args[0], scope)?))
+    }
+
+    fn bind_expr(&mut self, e: &AstExpr, scope: &Scope) -> Result<Expr> {
+        Ok(match e {
+            AstExpr::Column { qualifier, name } => {
+                let (cref, _) = scope.resolve(qualifier.as_deref(), name)?;
+                Expr::col(cref)
+            }
+            AstExpr::IntLit(v) => {
+                if let Ok(v32) = i32::try_from(*v) {
+                    Expr::lit(v32)
+                } else {
+                    Expr::lit(*v)
+                }
+            }
+            AstExpr::FloatLit(v) => Expr::lit(*v),
+            AstExpr::StrLit(s) => Expr::lit(s.as_str()),
+            AstExpr::BoolLit(b) => Expr::lit(*b),
+            AstExpr::NullLit => Expr::Lit(Datum::Null),
+            AstExpr::Param(n) => {
+                self.max_param = self.max_param.max(*n);
+                Expr::Param(*n)
+            }
+            AstExpr::Binary { op, left, right } => {
+                let l = self.bind_expr(left, scope)?;
+                let r = self.bind_expr(right, scope)?;
+                match op {
+                    BinOp::And => Expr::and(vec![l, r]),
+                    BinOp::Or => Expr::or(vec![l, r]),
+                    BinOp::Eq => self.coerce_cmp(Expr::cmp(mpp_expr::CmpOp::Eq, l, r)),
+                    BinOp::Neq => self.coerce_cmp(Expr::cmp(mpp_expr::CmpOp::Ne, l, r)),
+                    BinOp::Lt => self.coerce_cmp(Expr::cmp(mpp_expr::CmpOp::Lt, l, r)),
+                    BinOp::Le => self.coerce_cmp(Expr::cmp(mpp_expr::CmpOp::Le, l, r)),
+                    BinOp::Gt => self.coerce_cmp(Expr::cmp(mpp_expr::CmpOp::Gt, l, r)),
+                    BinOp::Ge => self.coerce_cmp(Expr::cmp(mpp_expr::CmpOp::Ge, l, r)),
+                    BinOp::Add => arith(ArithOp::Add, l, r),
+                    BinOp::Sub => arith(ArithOp::Sub, l, r),
+                    BinOp::Mul => arith(ArithOp::Mul, l, r),
+                    BinOp::Div => arith(ArithOp::Div, l, r),
+                    BinOp::Mod => arith(ArithOp::Mod, l, r),
+                }
+            }
+            AstExpr::Not(inner) => Expr::not(self.bind_expr(inner, scope)?),
+            AstExpr::IsNull { expr, negated } => {
+                let inner = Expr::IsNull(Box::new(self.bind_expr(expr, scope)?));
+                if *negated {
+                    Expr::not(inner)
+                } else {
+                    inner
+                }
+            }
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let b = Expr::between(
+                    self.bind_expr(expr, scope)?,
+                    self.bind_expr(low, scope)?,
+                    self.bind_expr(high, scope)?,
+                );
+                let b = self.coerce_between(b);
+                if *negated {
+                    Expr::not(b)
+                } else {
+                    b
+                }
+            }
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let probe = self.bind_expr(expr, scope)?;
+                let items = list
+                    .iter()
+                    .map(|i| self.bind_expr(i, scope))
+                    .collect::<Result<Vec<_>>>()?;
+                self.coerce_in_list(Expr::InList {
+                    expr: Box::new(probe),
+                    list: items,
+                    negated: *negated,
+                })?
+            }
+            AstExpr::InSubquery { .. } => {
+                return Err(Error::Unsupported(
+                    "IN (SELECT …) is only supported as a top-level WHERE conjunct".into(),
+                ))
+            }
+            AstExpr::FuncCall { name, .. } => {
+                return Err(Error::Bind(format!(
+                    "aggregate '{name}' is not allowed here"
+                )))
+            }
+        })
+    }
+
+    fn type_of(&self, e: &Expr) -> Option<DataType> {
+        match e {
+            Expr::Col(c) => self.types.get(&c.id).copied(),
+            Expr::Lit(d) => d.data_type(),
+            _ => None,
+        }
+    }
+
+    /// Coerce string literals compared against date columns.
+    fn coerce_side(&self, target: Option<DataType>, e: Expr) -> Expr {
+        if target == Some(DataType::Date) {
+            if let Expr::Lit(Datum::Str(s)) = &e {
+                if let Ok(d) = parse_date(s) {
+                    return Expr::Lit(d);
+                }
+            }
+        }
+        e
+    }
+
+    fn coerce_cmp(&self, e: Expr) -> Expr {
+        if let Expr::Cmp { op, left, right } = e {
+            let lt = self.type_of(&left);
+            let rt = self.type_of(&right);
+            let l = self.coerce_side(rt, *left);
+            let r = self.coerce_side(lt, *right);
+            Expr::cmp(op, l, r)
+        } else {
+            e
+        }
+    }
+
+    fn coerce_between(&self, e: Expr) -> Expr {
+        if let Expr::Between { expr, low, high } = e {
+            let t = self.type_of(&expr);
+            let low = self.coerce_side(t, *low);
+            let high = self.coerce_side(t, *high);
+            Expr::between(*expr, low, high)
+        } else {
+            e
+        }
+    }
+
+    fn coerce_in_list(&self, e: Expr) -> Result<Expr> {
+        if let Expr::InList {
+            expr,
+            list,
+            negated,
+        } = e
+        {
+            let t = self.type_of(&expr);
+            let list = list
+                .into_iter()
+                .map(|i| self.coerce_side(t, i))
+                .collect();
+            Ok(Expr::InList {
+                expr,
+                list,
+                negated,
+            })
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn bind_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<AstExpr>],
+    ) -> Result<LogicalPlan> {
+        let desc = self.catalog.table_by_name(table)?;
+        let schema = &desc.schema;
+        // Map provided columns to schema positions.
+        let positions: Vec<usize> = match columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| schema.index_of(c))
+                .collect::<Result<_>>()?,
+        };
+        let scope = Scope::default();
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(Error::Bind(format!(
+                    "INSERT row has {} values, expected {}",
+                    row.len(),
+                    positions.len()
+                )));
+            }
+            let mut values = vec![Datum::Null; schema.len()];
+            for (ast, &pos) in row.iter().zip(&positions) {
+                let bound = self.bind_expr(ast, &scope)?;
+                let col_type = schema.column(pos)?.data_type;
+                let coerced = self.coerce_side(Some(col_type), bound);
+                let v = mpp_expr::analysis::eval_const(&coerced, None).ok_or_else(|| {
+                    Error::Unsupported("INSERT values must be constants".into())
+                })?;
+                values[pos] = coerce_datum(v, col_type)?;
+            }
+            out_rows.push(values);
+        }
+        let output: Vec<ColRef> = schema
+            .columns()
+            .iter()
+            .map(|c| self.gen.fresh(c.name.as_str()))
+            .collect();
+        Ok(LogicalPlan::Insert {
+            table: desc.oid,
+            child: Box::new(LogicalPlan::Values {
+                rows: out_rows,
+                output,
+            }),
+        })
+    }
+
+    fn bind_update(
+        &mut self,
+        table: &TableRef,
+        set: &[(String, AstExpr)],
+        from: &[FromItem],
+        where_clause: Option<&AstExpr>,
+    ) -> Result<LogicalPlan> {
+        let desc = self.catalog.table_by_name(&table.name)?;
+        let mut scope = Scope::default();
+        let (target_plan, entry) = self.bind_table(table)?;
+        let target_cols: Vec<ColRef> = entry.columns.iter().map(|(_, c, _)| c.clone()).collect();
+        scope.entries.push(entry);
+        let mut plan = target_plan;
+        for item in from {
+            let p = self.bind_from_item(item, &mut scope)?;
+            plan = LogicalPlan::Join {
+                join_type: JoinType::Inner,
+                pred: Expr::lit(true),
+                left: Box::new(plan),
+                right: Box::new(p),
+            };
+        }
+        if let Some(w) = where_clause {
+            let pred = self.bind_expr(w, &scope)?;
+            plan = LogicalPlan::Select {
+                pred,
+                child: Box::new(plan),
+            };
+        }
+        let mut assignments = Vec::new();
+        for (col, ast) in set {
+            let idx = desc.schema.index_of(col)?;
+            let col_type = desc.schema.column(idx)?.data_type;
+            let bound = self.bind_expr(ast, &scope)?;
+            assignments.push((idx, self.coerce_side(Some(col_type), bound)));
+        }
+        Ok(LogicalPlan::Update {
+            table: desc.oid,
+            target_cols,
+            assignments,
+            child: Box::new(plan),
+        })
+    }
+
+    fn bind_delete(
+        &mut self,
+        table: &TableRef,
+        using: &[FromItem],
+        where_clause: Option<&AstExpr>,
+    ) -> Result<LogicalPlan> {
+        let desc = self.catalog.table_by_name(&table.name)?;
+        let mut scope = Scope::default();
+        let (target_plan, entry) = self.bind_table(table)?;
+        let target_cols: Vec<ColRef> = entry.columns.iter().map(|(_, c, _)| c.clone()).collect();
+        scope.entries.push(entry);
+        let mut plan = target_plan;
+        for item in using {
+            let p = self.bind_from_item(item, &mut scope)?;
+            plan = LogicalPlan::Join {
+                join_type: JoinType::Inner,
+                pred: Expr::lit(true),
+                left: Box::new(plan),
+                right: Box::new(p),
+            };
+        }
+        if let Some(w) = where_clause {
+            let pred = self.bind_expr(w, &scope)?;
+            plan = LogicalPlan::Select {
+                pred,
+                child: Box::new(plan),
+            };
+        }
+        Ok(LogicalPlan::Delete {
+            table: desc.oid,
+            target_cols,
+            child: Box::new(plan),
+        })
+    }
+}
+
+enum ItemKind {
+    Group { col: ColRef, alias: String },
+    Agg { idx: usize, alias: String },
+}
+
+/// Flatten the AND structure of a WHERE clause into top-level conjuncts.
+fn split_ast_conjuncts(e: &AstExpr) -> Vec<AstExpr> {
+    match e {
+        AstExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = split_ast_conjuncts(left);
+            out.extend(split_ast_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn arith(op: ArithOp, l: Expr, r: Expr) -> Expr {
+    Expr::Arith {
+        op,
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+fn contains_agg(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::FuncCall { .. } => true,
+        AstExpr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
+        AstExpr::Not(x) => contains_agg(x),
+        AstExpr::IsNull { expr, .. } => contains_agg(expr),
+        AstExpr::Between {
+            expr, low, high, ..
+        } => contains_agg(expr) || contains_agg(low) || contains_agg(high),
+        AstExpr::InList { expr, list, .. } => {
+            contains_agg(expr) || list.iter().any(contains_agg)
+        }
+        _ => false,
+    }
+}
+
+fn display_name(e: &AstExpr) -> String {
+    match e {
+        AstExpr::Column { name, .. } => name.clone(),
+        AstExpr::FuncCall { name, .. } => name.to_lowercase(),
+        _ => "?column?".to_string(),
+    }
+}
+
+/// Coerce a constant datum to a column's type.
+fn coerce_datum(v: Datum, ty: DataType) -> Result<Datum> {
+    if v.is_null() {
+        return Ok(v);
+    }
+    Ok(match (ty, &v) {
+        (DataType::Int32, Datum::Int64(x)) => Datum::Int32(
+            i32::try_from(*x).map_err(|_| Error::Bind(format!("{x} out of range for int4")))?,
+        ),
+        (DataType::Int64, Datum::Int32(x)) => Datum::Int64(*x as i64),
+        (DataType::Float64, Datum::Int32(x)) => Datum::Float64(*x as f64),
+        (DataType::Float64, Datum::Int64(x)) => Datum::Float64(*x as f64),
+        (DataType::Date, Datum::Str(s)) => parse_date(s)?,
+        _ => {
+            let vt = v.data_type();
+            if vt != Some(ty) {
+                return Err(Error::TypeMismatch(format!(
+                    "cannot store {v:?} in a {ty} column"
+                )));
+            }
+            v
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::monthly_range_parts;
+    use mpp_catalog::{Distribution, TableDesc};
+    use mpp_common::{Column, Schema};
+
+    /// orders(o_id, amount, date, date_id, cust_id) partitioned monthly;
+    /// date_dim(id, year, month); customer_dim(id, state).
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let orders = Schema::new(vec![
+            Column::new("o_id", DataType::Int64),
+            Column::new("amount", DataType::Float64),
+            Column::new("date", DataType::Date),
+            Column::new("date_id", DataType::Int32),
+            Column::new("cust_id", DataType::Int32),
+        ]);
+        let oid = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(24);
+        cat.register(TableDesc {
+            oid,
+            name: "orders".into(),
+            schema: orders,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(monthly_range_parts(2, 2012, 1, 24, first).unwrap()),
+        })
+        .unwrap();
+        let dd = Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::new("year", DataType::Int32),
+            Column::new("month", DataType::Int32),
+        ]);
+        let oid = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid,
+            name: "date_dim".into(),
+            schema: dd,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        let cd = Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::new("state", DataType::Utf8),
+        ]);
+        let oid = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid,
+            name: "customer_dim".into(),
+            schema: cd,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        cat
+    }
+
+    fn bind_sql(sql: &str) -> BoundStatement {
+        let cat = catalog();
+        let gen = ColRefGenerator::new();
+        crate::plan_sql(sql, &cat, &gen).unwrap()
+    }
+
+    #[test]
+    fn binds_figure2_with_date_coercion() {
+        let b = bind_sql(
+            "SELECT avg(amount) FROM orders \
+             WHERE date BETWEEN '2013-10-01' AND '2013-12-31'",
+        );
+        // The where predicate's endpoints must be Date datums now.
+        let mut found_date_between = false;
+        fn walk(p: &LogicalPlan, found: &mut bool) {
+            if let LogicalPlan::Select { pred, .. } = p {
+                pred.visit(&mut |e| {
+                    if let Expr::Between { low, high, .. } = e {
+                        if matches!(low.as_ref(), Expr::Lit(Datum::Date(_)))
+                            && matches!(high.as_ref(), Expr::Lit(Datum::Date(_)))
+                        {
+                            *found = true;
+                        }
+                    }
+                });
+            }
+            for c in p.children() {
+                walk(c, found);
+            }
+        }
+        walk(&b.plan, &mut found_date_between);
+        assert!(found_date_between);
+        // Shape: Project(Agg(Select(Get))).
+        assert!(matches!(b.plan, LogicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn binds_figure4_subquery_as_semi_join() {
+        let b = bind_sql(
+            "SELECT avg(amount) FROM orders WHERE date_id IN \
+             (SELECT id FROM date_dim WHERE year = 2013 AND month BETWEEN 10 AND 12)",
+        );
+        let mut semi = 0;
+        fn walk(p: &LogicalPlan, semi: &mut i32) {
+            if let LogicalPlan::Join { join_type, .. } = p {
+                if *join_type == JoinType::LeftSemi {
+                    *semi += 1;
+                }
+            }
+            for c in p.children() {
+                walk(c, semi);
+            }
+        }
+        walk(&b.plan, &mut semi);
+        assert_eq!(semi, 1);
+    }
+
+    #[test]
+    fn binds_qualified_and_aliased_columns() {
+        let b = bind_sql(
+            "SELECT o.amount, d.month FROM orders o, date_dim d WHERE o.date_id = d.id",
+        );
+        assert!(matches!(b.plan, LogicalPlan::Project { .. }));
+        assert_eq!(b.plan.output_cols().len(), 2);
+    }
+
+    #[test]
+    fn ambiguous_column_is_an_error() {
+        let cat = catalog();
+        let gen = ColRefGenerator::new();
+        // `id` exists in both date_dim and customer_dim.
+        let err =
+            crate::plan_sql("SELECT id FROM date_dim, customer_dim", &cat, &gen).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let cat = catalog();
+        let gen = ColRefGenerator::new();
+        assert!(crate::plan_sql("SELECT * FROM missing", &cat, &gen).is_err());
+        assert!(crate::plan_sql("SELECT nope FROM orders", &cat, &gen).is_err());
+        assert!(crate::plan_sql("SELECT o.nope FROM orders o", &cat, &gen).is_err());
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let b = bind_sql(
+            "SELECT cust_id, count(*), sum(amount) FROM orders GROUP BY cust_id",
+        );
+        fn find_agg(p: &LogicalPlan) -> Option<(usize, usize)> {
+            if let LogicalPlan::Agg {
+                group_by, aggs, ..
+            } = p
+            {
+                return Some((group_by.len(), aggs.len()));
+            }
+            p.children().into_iter().find_map(find_agg)
+        }
+        assert_eq!(find_agg(&b.plan), Some((1, 2)));
+        // Non-grouped bare column is rejected.
+        let cat = catalog();
+        let gen = ColRefGenerator::new();
+        assert!(crate::plan_sql(
+            "SELECT amount, count(*) FROM orders GROUP BY cust_id",
+            &cat,
+            &gen
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn binds_parameters_and_counts_them() {
+        let b = bind_sql("SELECT * FROM orders WHERE date_id = $2 AND cust_id = $1");
+        assert_eq!(b.param_count, 2);
+    }
+
+    #[test]
+    fn binds_insert_with_coercion() {
+        let b = bind_sql("INSERT INTO orders VALUES (1, 9.5, '2012-03-04', 64, 7)");
+        match &b.plan {
+            LogicalPlan::Insert { child, .. } => match child.as_ref() {
+                LogicalPlan::Values { rows, .. } => {
+                    assert_eq!(rows[0][0], Datum::Int64(1));
+                    assert_eq!(rows[0][2], Datum::date_ymd(2012, 3, 4));
+                    assert_eq!(rows[0][3], Datum::Int32(64));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+        // Column-subset insert fills NULLs.
+        let b = bind_sql("INSERT INTO date_dim (id) VALUES (5)");
+        match &b.plan {
+            LogicalPlan::Insert { child, .. } => match child.as_ref() {
+                LogicalPlan::Values { rows, .. } => {
+                    assert_eq!(rows[0][0], Datum::Int32(5));
+                    assert!(rows[0][1].is_null());
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn binds_update_with_from() {
+        let b = bind_sql("UPDATE orders SET amount = 0.0 FROM date_dim WHERE date_id = id");
+        match &b.plan {
+            LogicalPlan::Update {
+                target_cols,
+                assignments,
+                child,
+                ..
+            } => {
+                assert_eq!(target_cols.len(), 5);
+                assert_eq!(assignments[0].0, 1);
+                assert!(matches!(child.as_ref(), LogicalPlan::Select { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn binds_delete() {
+        let b = bind_sql("DELETE FROM orders WHERE date < '2012-06-01'");
+        assert!(matches!(b.plan, LogicalPlan::Delete { .. }));
+    }
+
+    #[test]
+    fn explain_flag_set() {
+        let b = bind_sql("EXPLAIN SELECT * FROM orders");
+        assert!(b.explain);
+    }
+}

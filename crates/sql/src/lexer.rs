@@ -1,0 +1,273 @@
+//! The SQL lexer.
+
+use mpp_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `$n` parameter.
+    Param(u32),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Token {
+    /// Is this identifier token equal to the given keyword
+    /// (case-insensitively)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(Error::Parse("expected digits after '$'".into()));
+                }
+                let n: u32 = sql[start..j]
+                    .parse()
+                    .map_err(|_| Error::Parse("bad parameter number".into()))?;
+                if n == 0 {
+                    return Err(Error::Parse("parameters are numbered from $1".into()));
+                }
+                out.push(Token::Param(n));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    if bytes[j] == b'.' {
+                        // Don't eat a trailing dot that isn't a decimal
+                        // point (e.g. `1.foo` is invalid anyway).
+                        if j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit() {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let text = &sql[start..j];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad int literal '{text}'"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token::Ident(sql[start..j].to_string()));
+                i = j;
+            }
+            other => return Err(Error::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_figure2_query() {
+        let toks = tokenize(
+            "SELECT avg(amount) FROM orders \
+             WHERE date BETWEEN '2013-10-01' AND '2013-12-31'",
+        )
+        .unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Str("2013-10-01".into())));
+        assert!(toks.contains(&Token::LParen));
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = tokenize("a<=1 b<>2 c!=3.5 d>=$4").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Int(1),
+                Token::Ident("b".into()),
+                Token::Neq,
+                Token::Int(2),
+                Token::Ident("c".into()),
+                Token::Neq,
+                Token::Float(3.5),
+                Token::Ident("d".into()),
+                Token::Ge,
+                Token::Param(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping_and_comments() {
+        let toks = tokenize("-- comment\n'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("$0").is_err());
+        assert!(tokenize("$x").is_err());
+        assert!(tokenize("#").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mpp-sql
+//!
+//! A SQL front-end for the dialect the paper's queries use: a hand-written
+//! lexer ([`lexer`]), a recursive-descent parser ([`parser`]) and a binder
+//! ([`binder`]) that resolves names against the catalog and produces a
+//! [`mpp_plan::LogicalPlan`].
+//!
+//! Supported statements:
+//!
+//! * `SELECT` with expressions and aggregates, comma-joins and
+//!   `[INNER|LEFT] JOIN … ON`, `WHERE` (including `BETWEEN`, `IN (list)`,
+//!   `IN (SELECT …)` → semi-join, `NOT IN` → anti-join, `IS [NOT] NULL`),
+//!   `GROUP BY`, `LIMIT`, and `$n` parameters (prepared statements);
+//! * `INSERT INTO … VALUES`;
+//! * `UPDATE … SET … [FROM …] [WHERE …]`;
+//! * `DELETE FROM … [USING …] [WHERE …]`;
+//! * `CREATE TABLE … [DISTRIBUTED …] [PARTITION BY RANGE|LIST …
+//!   [SUBPARTITION BY …]]` and `DROP TABLE` (see [`ddl`]).
+//!
+//! String literals compared against `date` columns are coerced to dates,
+//! so `o_date BETWEEN '2013-10-01' AND '2013-12-31'` works as in the
+//! paper's Figure 2.
+
+pub mod binder;
+pub mod ddl;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{bind, BoundStatement};
+pub use ddl::execute_ddl;
+pub use parser::{parse, Statement};
+
+use mpp_catalog::Catalog;
+use mpp_common::Result;
+use mpp_expr::ColRefGenerator;
+
+/// One-shot convenience: parse and bind a statement.
+pub fn plan_sql(sql: &str, catalog: &Catalog, gen: &ColRefGenerator) -> Result<BoundStatement> {
+    let stmt = parse(sql)?;
+    bind(&stmt, catalog, gen)
+}

@@ -1,0 +1,1077 @@
+//! Recursive-descent SQL parser.
+
+use crate::lexer::{tokenize, Token};
+use mpp_common::{Error, Result};
+
+/// Unbound expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    BoolLit(bool),
+    NullLit,
+    Param(u32),
+    Binary {
+        op: BinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<AstExpr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// Function call — aggregates (`count/sum/avg/min/max`); `star` is
+    /// `count(*)`.
+    FuncCall {
+        name: String,
+        args: Vec<AstExpr>,
+        star: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Star,
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in the query.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One FROM item: a table or a chain of explicit joins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    Table(TableRef),
+    Join {
+        left: Box<FromItem>,
+        right: TableRef,
+        left_outer: bool,
+        on: AstExpr,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    /// (sort expression, descending).
+    pub order_by: Vec<(AstExpr, bool)>,
+    pub limit: Option<u64>,
+}
+
+/// One column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub type_name: String,
+    pub not_null: bool,
+}
+
+/// DISTRIBUTED clause of CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistClause {
+    /// `DISTRIBUTED BY (col)`; defaults to the first column when absent.
+    By(Vec<String>),
+    /// `DISTRIBUTED REPLICATED`.
+    Replicated,
+}
+
+/// The EVERY step of a range partition clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EveryStep {
+    /// Plain numeric width (also used for date keys stepped in days).
+    Width(i64),
+    /// `EVERY (n MONTHS)` for date keys.
+    Months(u32),
+}
+
+/// One PARTITION BY (or SUBPARTITION BY) clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartClause {
+    /// `PARTITION BY RANGE (col) (START (lit) END (lit) EVERY (step))`.
+    Range {
+        column: String,
+        start: AstExpr,
+        end: AstExpr,
+        every: EveryStep,
+    },
+    /// `PARTITION BY LIST (col) (PARTITION nm VALUES (lit, …), …
+    /// [, DEFAULT PARTITION nm])`.
+    List {
+        column: String,
+        parts: Vec<(String, Vec<AstExpr>)>,
+        default_partition: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Query),
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        distribution: Option<DistClause>,
+        /// Outermost first: `PARTITION BY …` then any `SUBPARTITION BY …`.
+        partitioning: Vec<PartClause>,
+    },
+    DropTable {
+        name: String,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    Update {
+        table: TableRef,
+        set: Vec<(String, AstExpr)>,
+        from: Vec<FromItem>,
+        where_clause: Option<AstExpr>,
+    },
+    Delete {
+        table: TableRef,
+        using: Vec<FromItem>,
+        where_clause: Option<AstExpr>,
+    },
+    Explain(Box<Statement>),
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semi);
+    if p.pos != p.tokens.len() {
+        return Err(Error::Parse(format!(
+            "unexpected trailing tokens: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
+        if self.peek_kw("select") {
+            return Ok(Statement::Select(self.query()?));
+        }
+        if self.eat_kw("create") {
+            return self.create_table();
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("update") {
+            return self.update();
+        }
+        if self.eat_kw("delete") {
+            return self.delete();
+        }
+        Err(Error::Parse(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat_if(&Token::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat_if(&Token::Comma) {
+            from.push(self.from_item()?);
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(Error::Parse(format!("expected LIMIT count, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        // Alias: a bare identifier that isn't a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !is_clause_keyword(s) =>
+            {
+                Some(self.ident()?)
+            }
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem> {
+        let mut item = FromItem::Table(self.table_ref()?);
+        loop {
+            let left_outer = if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                false
+            } else if self.eat_kw("left") {
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                true
+            } else if self.eat_kw("join") {
+                false
+            } else {
+                break;
+            };
+            let right = self.table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            item = FromItem::Join {
+                left: Box::new(item),
+                right,
+                left_outer,
+                on,
+            };
+        }
+        Ok(item)
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let type_name = self.ident()?;
+            let mut not_null = false;
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                not_null = true;
+            }
+            columns.push(ColumnDef {
+                name: col,
+                type_name,
+                not_null,
+            });
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let mut distribution = None;
+        if self.eat_kw("distributed") {
+            if self.eat_kw("replicated") {
+                distribution = Some(DistClause::Replicated);
+            } else {
+                self.expect_kw("by")?;
+                self.expect(&Token::LParen)?;
+                let mut cols = vec![self.ident()?];
+                while self.eat_if(&Token::Comma) {
+                    cols.push(self.ident()?);
+                }
+                self.expect(&Token::RParen)?;
+                distribution = Some(DistClause::By(cols));
+            }
+        }
+        let mut partitioning = Vec::new();
+        if self.eat_kw("partition") {
+            self.expect_kw("by")?;
+            partitioning.push(self.part_clause()?);
+            while self.eat_kw("subpartition") {
+                self.expect_kw("by")?;
+                partitioning.push(self.part_clause()?);
+            }
+        }
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            distribution,
+            partitioning,
+        })
+    }
+
+    fn part_clause(&mut self) -> Result<PartClause> {
+        if self.eat_kw("range") {
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::LParen)?;
+            self.expect_kw("start")?;
+            self.expect(&Token::LParen)?;
+            let start = self.expr()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("end")?;
+            self.expect(&Token::LParen)?;
+            let end = self.expr()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("every")?;
+            self.expect(&Token::LParen)?;
+            let every = match self.next()? {
+                Token::Int(n) if n > 0 => {
+                    if self.eat_kw("months") || self.eat_kw("month") {
+                        EveryStep::Months(n as u32)
+                    } else {
+                        let _ = self.eat_kw("days") || self.eat_kw("day");
+                        EveryStep::Width(n)
+                    }
+                }
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected a positive EVERY step, got {other:?}"
+                    )))
+                }
+            };
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::RParen)?;
+            return Ok(PartClause::Range {
+                column,
+                start,
+                end,
+                every,
+            });
+        }
+        if self.eat_kw("list") {
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::LParen)?;
+            let mut parts = Vec::new();
+            let mut default_partition = None;
+            loop {
+                if self.eat_kw("default") {
+                    self.expect_kw("partition")?;
+                    default_partition = Some(self.ident()?);
+                } else {
+                    self.expect_kw("partition")?;
+                    let nm = self.ident()?;
+                    self.expect_kw("values")?;
+                    self.expect(&Token::LParen)?;
+                    let mut vals = vec![self.expr()?];
+                    while self.eat_if(&Token::Comma) {
+                        vals.push(self.expr()?);
+                    }
+                    self.expect(&Token::RParen)?;
+                    parts.push((nm, vals));
+                }
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(PartClause::List {
+                column,
+                parts,
+                default_partition,
+            });
+        }
+        Err(Error::Parse("expected RANGE or LIST".into()))
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let columns = if self.peek() == Some(&Token::LParen) {
+            self.expect(&Token::LParen)?;
+            let mut cols = vec![self.ident()?];
+            while self.eat_if(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_if(&Token::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.table_ref()?;
+        self.expect_kw("set")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let val = self.expr()?;
+            set.push((col, val));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            from.push(self.from_item()?);
+            while self.eat_if(&Token::Comma) {
+                from.push(self.from_item()?);
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            set,
+            from,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.table_ref()?;
+        let mut using = Vec::new();
+        if self.eat_kw("using") {
+            using.push(self.from_item()?);
+            while self.eat_if(&Token::Comma) {
+                using.push(self.from_item()?);
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            using,
+            where_clause,
+        })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < additive <
+    // multiplicative < unary < primary.
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            let r = self.and_expr()?;
+            e = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(e),
+                right: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("and") {
+            let r = self.not_expr()?;
+            e = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(e),
+                right: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("not") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        let e = self.additive()?;
+        // Postfix predicates.
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(e),
+                negated,
+            });
+        }
+        let negated = if self.peek_kw("not") {
+            // NOT BETWEEN / NOT IN.
+            let save = self.pos;
+            self.pos += 1;
+            if self.peek_kw("between") || self.peek_kw("in") {
+                true
+            } else {
+                self.pos = save;
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(e),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            if self.peek_kw("select") {
+                let q = self.query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(AstExpr::InSubquery {
+                    expr: Box::new(e),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while self.eat_if(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(e),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(Error::Parse("expected BETWEEN or IN after NOT".into()));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Neq) => BinOp::Neq,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(e),
+        };
+        self.pos += 1;
+        let r = self.additive()?;
+        Ok(AstExpr::Binary {
+            op,
+            left: Box::new(e),
+            right: Box::new(r),
+        })
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.multiplicative()?;
+            e = AstExpr::Binary {
+                op,
+                left: Box::new(e),
+                right: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.unary()?;
+            e = AstExpr::Binary {
+                op,
+                left: Box::new(e),
+                right: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr> {
+        if self.eat_if(&Token::Minus) {
+            let e = self.unary()?;
+            return Ok(match e {
+                AstExpr::IntLit(v) => AstExpr::IntLit(-v),
+                AstExpr::FloatLit(v) => AstExpr::FloatLit(-v),
+                other => AstExpr::Binary {
+                    op: BinOp::Sub,
+                    left: Box::new(AstExpr::IntLit(0)),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.next()? {
+            Token::Int(v) => Ok(AstExpr::IntLit(v)),
+            Token::Float(v) => Ok(AstExpr::FloatLit(v)),
+            Token::Str(s) => Ok(AstExpr::StrLit(s)),
+            Token::Param(n) => Ok(AstExpr::Param(n)),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(AstExpr::NullLit);
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(AstExpr::BoolLit(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(AstExpr::BoolLit(false));
+                }
+                if name.eq_ignore_ascii_case("date") {
+                    // DATE 'yyyy-mm-dd' literal.
+                    if let Some(Token::Str(_)) = self.peek() {
+                        if let Token::Str(s) = self.next()? {
+                            return Ok(AstExpr::StrLit(s));
+                        }
+                    }
+                }
+                if self.peek() == Some(&Token::LParen) {
+                    // Function call.
+                    self.pos += 1;
+                    if self.eat_if(&Token::Star) {
+                        self.expect(&Token::RParen)?;
+                        return Ok(AstExpr::FuncCall {
+                            name,
+                            args: vec![],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat_if(&Token::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(AstExpr::FuncCall {
+                        name,
+                        args,
+                        star: false,
+                    });
+                }
+                if self.eat_if(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(AstExpr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "where", "group", "order", "limit", "join", "inner", "left", "right", "outer", "on",
+        "set", "from", "using", "values", "as", "and", "or", "not", "union", "asc", "desc",
+        "group", "by", "distributed", "partition", "subpartition",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2() {
+        let s = parse(
+            "SELECT avg(amount) FROM orders \
+             WHERE date BETWEEN '2013-10-01' AND '2013-12-31'",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert_eq!(q.items.len(), 1);
+                assert!(matches!(
+                    q.items[0],
+                    SelectItem::Expr {
+                        expr: AstExpr::FuncCall { .. },
+                        ..
+                    }
+                ));
+                assert!(matches!(q.where_clause, Some(AstExpr::Between { .. })));
+            }
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn parses_figure4_in_subquery() {
+        let s = parse(
+            "SELECT avg(amount) FROM orders WHERE date_id IN \
+             (SELECT date_id FROM date_dim WHERE year = 2013 AND month BETWEEN 10 AND 12)",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert!(matches!(q.where_clause, Some(AstExpr::InSubquery { .. })));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_figure6_three_way_join() {
+        let s = parse(
+            "SELECT * FROM sales_fact s, date_dim d, customer_dim c \
+             WHERE d.month BETWEEN 10 AND 12 AND c.state='CA' \
+             AND d.id=s.date_id AND c.id=s.cust_id",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert_eq!(q.from.len(), 3);
+                assert!(matches!(q.items[0], SelectItem::Star));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_explicit_joins_with_aliases() {
+        let s = parse(
+            "SELECT d.month, count(*) FROM orders o \
+             JOIN date_dim d ON o.date_id = d.id \
+             LEFT OUTER JOIN customer_dim c ON o.cust_id = c.id \
+             GROUP BY d.month LIMIT 10",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(q) => {
+                assert_eq!(q.from.len(), 1);
+                match &q.from[0] {
+                    FromItem::Join {
+                        left, left_outer, ..
+                    } => {
+                        assert!(*left_outer);
+                        assert!(matches!(left.as_ref(), FromItem::Join { .. }));
+                    }
+                    _ => panic!("expected join chain"),
+                }
+                assert_eq!(q.group_by.len(), 1);
+                assert_eq!(q.limit, Some(10));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_dml() {
+        let s = parse("UPDATE r SET b = s.b FROM s WHERE r.a = s.a").unwrap();
+        match s {
+            Statement::Update { table, set, from, .. } => {
+                assert_eq!(table.name, "r");
+                assert_eq!(set.len(), 1);
+                assert_eq!(from.len(), 1);
+            }
+            _ => panic!(),
+        }
+        let s = parse("DELETE FROM r WHERE b < 10").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+        let s = parse("INSERT INTO r (a, b) VALUES (1, 2), (3, 4)").unwrap();
+        match s {
+            Statement::Insert { rows, columns, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(columns.unwrap().len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_not_in_and_is_null() {
+        let s = parse("SELECT * FROM t WHERE a NOT IN (1, 2) AND b IS NOT NULL").unwrap();
+        match s {
+            Statement::Select(q) => {
+                let w = q.where_clause.unwrap();
+                match w {
+                    AstExpr::Binary { op: BinOp::And, left, right } => {
+                        assert!(matches!(*left, AstExpr::InList { negated: true, .. }));
+                        assert!(matches!(*right, AstExpr::IsNull { negated: true, .. }));
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_explain_and_params() {
+        let s = parse("EXPLAIN SELECT * FROM t WHERE a = $1").unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match s {
+            Statement::Select(q) => match q.where_clause.unwrap() {
+                AstExpr::Binary { op: BinOp::Or, .. } => {}
+                other => panic!("OR should be at the top: {other:?}"),
+            },
+            _ => panic!(),
+        }
+        // Arithmetic precedence: a + b * 2.
+        let s = parse("SELECT a + b * 2 FROM t").unwrap();
+        match s {
+            Statement::Select(q) => match &q.items[0] {
+                SelectItem::Expr {
+                    expr: AstExpr::Binary { op: BinOp::Add, .. },
+                    ..
+                } => {}
+                other => panic!("{other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("FOO BAR").is_err());
+        assert!(parse("SELECT * FROM t WHERE a NOT LIKE 'x'").is_err());
+        assert!(parse("SELECT * FROM t extra garbage !").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_date_literal() {
+        let s = parse("SELECT * FROM t WHERE a > -5 AND d = DATE '2013-01-01'").unwrap();
+        match s {
+            Statement::Select(q) => {
+                let w = format!("{:?}", q.where_clause.unwrap());
+                assert!(w.contains("IntLit(-5)"));
+                assert!(w.contains("2013-01-01"));
+            }
+            _ => panic!(),
+        }
+    }
+}

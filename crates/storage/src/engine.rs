@@ -1,0 +1,425 @@
+//! The storage engine proper.
+
+use mpp_catalog::{Catalog, ColumnStats, Distribution, TableStats};
+use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Identity of a physical table: either a plain (unpartitioned) table or
+/// one leaf partition of a partitioned table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PhysId {
+    Table(TableOid),
+    Part(PartOid),
+}
+
+impl std::fmt::Display for PhysId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysId::Table(t) => write!(f, "{t}"),
+            PhysId::Part(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// (physical table, segment) → rows.
+    data: HashMap<(PhysId, SegmentId), Vec<Row>>,
+}
+
+/// The shared storage engine. Cheap to clone.
+#[derive(Clone)]
+pub struct Storage {
+    catalog: Catalog,
+    num_segments: usize,
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Storage {
+    pub fn new(catalog: Catalog, num_segments: usize) -> Storage {
+        assert!(num_segments >= 1, "need at least one segment");
+        Storage {
+            catalog,
+            num_segments,
+            inner: Arc::new(RwLock::new(Inner::default())),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    pub fn segments(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.num_segments as u32).map(SegmentId)
+    }
+
+    /// Which segment(s) a row of `table` belongs on.
+    fn target_segments(&self, dist: &Distribution, row: &Row) -> Vec<SegmentId> {
+        match dist {
+            Distribution::Hashed(cols) => {
+                let h = row.hash_columns(cols);
+                vec![SegmentId((h % self.num_segments as u64) as u32)]
+            }
+            Distribution::Replicated => self.segments().collect(),
+            Distribution::Singleton => vec![SegmentId(0)],
+        }
+    }
+
+    /// The physical table a row of `table` belongs in (`f_T`; `⊥` is an
+    /// error).
+    pub fn route_row(&self, table: TableOid, row: &Row) -> Result<PhysId> {
+        let desc = self.catalog.table(table)?;
+        match &desc.partitioning {
+            None => Ok(PhysId::Table(table)),
+            Some(tree) => {
+                let keys: Vec<Datum> = tree
+                    .key_indices()
+                    .iter()
+                    .map(|&i| {
+                        row.get(i).cloned().ok_or_else(|| {
+                            Error::Execution(format!("row too short for partition key #{i}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let oid = tree.route(&keys).ok_or_else(|| {
+                    Error::NoMatchingPartition(format!(
+                        "table {}: no partition accepts key {:?}",
+                        desc.name, keys
+                    ))
+                })?;
+                Ok(PhysId::Part(oid))
+            }
+        }
+    }
+
+    /// Every (physical table, segment) location where a row of `table`
+    /// with these values is stored.
+    pub fn locate_row(&self, table: TableOid, row: &Row) -> Result<Vec<(PhysId, SegmentId)>> {
+        let desc = self.catalog.table(table)?;
+        let phys = self.route_row(table, row)?;
+        Ok(self
+            .target_segments(&desc.distribution, row)
+            .into_iter()
+            .map(|seg| (phys, seg))
+            .collect())
+    }
+
+    /// Insert rows, routing each to its partition and segment(s).
+    pub fn insert(&self, table: TableOid, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        let desc = self.catalog.table(table)?;
+        let mut staged: HashMap<(PhysId, SegmentId), Vec<Row>> = HashMap::new();
+        let mut n = 0usize;
+        for row in rows {
+            if row.len() != desc.schema.len() {
+                return Err(Error::Execution(format!(
+                    "table {}: row arity {} != schema arity {}",
+                    desc.name,
+                    row.len(),
+                    desc.schema.len()
+                )));
+            }
+            let phys = self.route_row(table, &row)?;
+            for seg in self.target_segments(&desc.distribution, &row) {
+                staged.entry((phys, seg)).or_default().push(row.clone());
+            }
+            n += 1;
+        }
+        let mut g = self.inner.write();
+        for (key, mut rows) in staged {
+            g.data.entry(key).or_default().append(&mut rows);
+        }
+        Ok(n)
+    }
+
+    /// Scan one physical table on one segment. Returns a clone of the row
+    /// vector (rows share storage, so this is shallow).
+    pub fn scan(&self, phys: PhysId, segment: SegmentId) -> Vec<Row> {
+        self.inner
+            .read()
+            .data
+            .get(&(phys, segment))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Rows of a physical table across all segments.
+    pub fn scan_all_segments(&self, phys: PhysId) -> Vec<Row> {
+        let g = self.inner.read();
+        let mut out = Vec::new();
+        for seg in 0..self.num_segments as u32 {
+            if let Some(rows) = g.data.get(&(phys, SegmentId(seg))) {
+                out.extend(rows.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Every physical table of a logical table (1 for plain tables).
+    pub fn physical_tables(&self, table: TableOid) -> Result<Vec<PhysId>> {
+        let desc = self.catalog.table(table)?;
+        Ok(match &desc.partitioning {
+            None => vec![PhysId::Table(table)],
+            Some(tree) => tree
+                .partition_expansion()
+                .into_iter()
+                .map(PhysId::Part)
+                .collect(),
+        })
+    }
+
+    /// Total row count of a logical table. For replicated tables this is
+    /// the logical count (one copy), not the stored count.
+    pub fn row_count(&self, table: TableOid) -> Result<u64> {
+        let desc = self.catalog.table(table)?;
+        let phys = self.physical_tables(table)?;
+        let g = self.inner.read();
+        let mut n = 0u64;
+        for p in phys {
+            for seg in 0..self.num_segments as u32 {
+                if let Some(rows) = g.data.get(&(p, SegmentId(seg))) {
+                    n += rows.len() as u64;
+                }
+            }
+        }
+        if matches!(desc.distribution, Distribution::Replicated) {
+            n /= self.num_segments as u64;
+        }
+        Ok(n)
+    }
+
+    /// Replace the contents of one physical table on one segment (used by
+    /// DML execution).
+    pub fn overwrite(&self, phys: PhysId, segment: SegmentId, rows: Vec<Row>) {
+        self.inner.write().data.insert((phys, segment), rows);
+    }
+
+    /// Delete all rows of a logical table.
+    pub fn truncate(&self, table: TableOid) -> Result<()> {
+        let phys: HashSet<PhysId> = self.physical_tables(table)?.into_iter().collect();
+        let mut g = self.inner.write();
+        g.data.retain(|(p, _), _| !phys.contains(p));
+        Ok(())
+    }
+
+    /// Compute and install [`TableStats`] for a table: row count and, for
+    /// every column, NDV / null fraction / min / max.
+    pub fn analyze(&self, table: TableOid) -> Result<TableStats> {
+        let desc = self.catalog.table(table)?;
+        let phys = self.physical_tables(table)?;
+        let ncols = desc.schema.len();
+        let mut rows_seen = 0u64;
+        let mut distinct: Vec<HashSet<Datum>> = vec![HashSet::new(); ncols];
+        let mut nulls = vec![0u64; ncols];
+        let mut mins: Vec<Option<Datum>> = vec![None; ncols];
+        let mut maxs: Vec<Option<Datum>> = vec![None; ncols];
+        let replicated = matches!(desc.distribution, Distribution::Replicated);
+        let g = self.inner.read();
+        for p in &phys {
+            // For replicated tables, scan one segment's copy only.
+            let seg_range: Vec<u32> = if replicated {
+                vec![0]
+            } else {
+                (0..self.num_segments as u32).collect()
+            };
+            for seg in seg_range {
+                let Some(rows) = g.data.get(&(*p, SegmentId(seg))) else {
+                    continue;
+                };
+                for row in rows {
+                    rows_seen += 1;
+                    for (i, v) in row.values().iter().enumerate() {
+                        if v.is_null() {
+                            nulls[i] += 1;
+                            continue;
+                        }
+                        distinct[i].insert(v.clone());
+                        match &mins[i] {
+                            Some(m) if v >= m => {}
+                            _ => mins[i] = Some(v.clone()),
+                        }
+                        match &maxs[i] {
+                            Some(m) if v <= m => {}
+                            _ => maxs[i] = Some(v.clone()),
+                        }
+                    }
+                }
+            }
+        }
+        drop(g);
+        let mut stats = TableStats::new(rows_seen);
+        for i in 0..ncols {
+            let mut cs = ColumnStats::new(distinct[i].len() as u64);
+            cs.null_frac = if rows_seen == 0 {
+                0.0
+            } else {
+                nulls[i] as f64 / rows_seen as f64
+            };
+            cs.min = mins[i].clone();
+            cs.max = maxs[i].clone();
+            stats = stats.with_column(i, cs);
+        }
+        self.catalog.set_stats(table, stats.clone());
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::builders::range_parts_equal_width;
+    use mpp_catalog::TableDesc;
+    use mpp_common::{row, Column, DataType, Schema};
+
+    fn setup(parts: Option<u32>, dist: Distribution) -> (Storage, TableOid) {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let oid = cat.allocate_table_oid();
+        let partitioning = parts.map(|n| {
+            let first = cat.allocate_part_oids(n);
+            range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(n as i32 * 10), n as usize, first)
+                .unwrap()
+        });
+        cat.register(TableDesc {
+            oid,
+            name: "r".into(),
+            schema,
+            distribution: dist,
+            partitioning,
+        })
+        .unwrap();
+        (Storage::new(cat, 4), oid)
+    }
+
+    #[test]
+    fn insert_routes_to_partitions() {
+        let (st, t) = setup(Some(4), Distribution::Hashed(vec![0]));
+        st.insert(t, (0..40).map(|i| row![i, i])).unwrap();
+        assert_eq!(st.row_count(t).unwrap(), 40);
+        let phys = st.physical_tables(t).unwrap();
+        assert_eq!(phys.len(), 4);
+        // Each leaf holds exactly its decade.
+        for (k, p) in phys.iter().enumerate() {
+            let rows = st.scan_all_segments(*p);
+            assert_eq!(rows.len(), 10, "leaf {k}");
+            for r in rows {
+                let b = r.get(1).unwrap().as_i64().unwrap();
+                assert!(b >= k as i64 * 10 && b < (k as i64 + 1) * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_key_is_rejected() {
+        let (st, t) = setup(Some(4), Distribution::Hashed(vec![0]));
+        let err = st.insert(t, vec![row![1, 999]]).unwrap_err();
+        assert_eq!(err.kind(), "no_matching_partition");
+        // Nothing partially inserted.
+        assert_eq!(st.row_count(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn hash_distribution_spreads_and_is_stable() {
+        let (st, t) = setup(None, Distribution::Hashed(vec![0]));
+        st.insert(t, (0..1000).map(|i| row![i, 0])).unwrap();
+        let mut per_seg = Vec::new();
+        for seg in st.segments() {
+            per_seg.push(st.scan(PhysId::Table(t), seg).len());
+        }
+        assert_eq!(per_seg.iter().sum::<usize>(), 1000);
+        // All segments get a reasonable share.
+        for &n in &per_seg {
+            assert!(n > 150, "skewed distribution: {per_seg:?}");
+        }
+        // Same key → same segment.
+        let (st2, t2) = setup(None, Distribution::Hashed(vec![0]));
+        st2.insert(t2, vec![row![42, 1]]).unwrap();
+        st2.insert(t2, vec![row![42, 2]]).unwrap();
+        let seg_with_rows: Vec<usize> = st2
+            .segments()
+            .map(|s| st2.scan(PhysId::Table(t2), s).len())
+            .collect();
+        assert_eq!(seg_with_rows.iter().filter(|&&n| n > 0).count(), 1);
+    }
+
+    #[test]
+    fn replicated_tables_copy_everywhere() {
+        let (st, t) = setup(None, Distribution::Replicated);
+        st.insert(t, vec![row![1, 1], row![2, 2]]).unwrap();
+        for seg in st.segments() {
+            assert_eq!(st.scan(PhysId::Table(t), seg).len(), 2);
+        }
+        // Logical count is one copy's worth.
+        assert_eq!(st.row_count(t).unwrap(), 2);
+    }
+
+    #[test]
+    fn singleton_tables_live_on_segment_zero() {
+        let (st, t) = setup(None, Distribution::Singleton);
+        st.insert(t, vec![row![1, 1]]).unwrap();
+        assert_eq!(st.scan(PhysId::Table(t), SegmentId(0)).len(), 1);
+        assert_eq!(st.scan(PhysId::Table(t), SegmentId(1)).len(), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (st, t) = setup(None, Distribution::Singleton);
+        assert!(st.insert(t, vec![row![1]]).is_err());
+    }
+
+    #[test]
+    fn analyze_computes_stats() {
+        let (st, t) = setup(Some(4), Distribution::Hashed(vec![0]));
+        let rows = (0..40).map(|i| {
+            if i % 4 == 0 {
+                Row::new(vec![Datum::Null, Datum::Int32(i)])
+            } else {
+                row![i % 5, i]
+            }
+        });
+        st.insert(t, rows).unwrap();
+        let stats = st.analyze(t).unwrap();
+        assert_eq!(stats.row_count, 40);
+        let a = &stats.columns[&0];
+        assert_eq!(a.ndv, 5); // i%5 over non-multiples-of-4 i in 0..40: {0,1,2,3,4}
+        assert!((a.null_frac - 0.25).abs() < 1e-9);
+        let b = &stats.columns[&1];
+        assert_eq!(b.ndv, 40);
+        assert_eq!(b.min, Some(Datum::Int32(0)));
+        assert_eq!(b.max, Some(Datum::Int32(39)));
+        // Stats are installed in the catalog.
+        assert_eq!(st.catalog().stats(t).row_count, 40);
+    }
+
+    #[test]
+    fn analyze_replicated_counts_one_copy() {
+        let (st, t) = setup(None, Distribution::Replicated);
+        st.insert(t, vec![row![1, 1], row![2, 2]]).unwrap();
+        let stats = st.analyze(t).unwrap();
+        assert_eq!(stats.row_count, 2);
+    }
+
+    #[test]
+    fn truncate_clears_all_parts() {
+        let (st, t) = setup(Some(4), Distribution::Hashed(vec![0]));
+        st.insert(t, (0..40).map(|i| row![i, i])).unwrap();
+        st.truncate(t).unwrap();
+        assert_eq!(st.row_count(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_segment_contents() {
+        let (st, t) = setup(None, Distribution::Singleton);
+        st.insert(t, vec![row![1, 1]]).unwrap();
+        st.overwrite(PhysId::Table(t), SegmentId(0), vec![row![9, 9], row![8, 8]]);
+        assert_eq!(st.row_count(t).unwrap(), 2);
+    }
+}

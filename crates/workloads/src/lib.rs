@@ -1,0 +1,24 @@
+//! # mpp-workloads
+//!
+//! Deterministic (seeded) data generators and query workloads for the
+//! paper's experiments:
+//!
+//! * [`tpch`] — a TPC-H-style `lineitem` table with 7 years of ship
+//!   dates, partitionable at the four grains of paper Table 2
+//!   (42 / 84 / 169 / 361 partitions) or left unpartitioned;
+//! * [`tpcds`] — a TPC-DS-style star schema: `date_dim`,
+//!   `customer_dim`, `item_dim` dimensions and the seven partitioned
+//!   fact tables the paper's workload touches (`store_sales`,
+//!   `web_sales`, `catalog_sales`, `store_returns`, `web_returns`,
+//!   `catalog_returns`, `inventory`), plus the query workload used to
+//!   reproduce Table 3 and Figures 16–17;
+//! * [`synth`] — the synthetic `R(a,b)` / `S(a,b)` pair of §4.4.2 used by
+//!   the plan-size experiments (Figure 18).
+
+pub mod synth;
+pub mod tpcds;
+pub mod tpch;
+
+pub use synth::{setup_rs, SynthConfig};
+pub use tpcds::{setup_tpcds, tpcds_workload, TpcdsConfig, WorkloadQuery};
+pub use tpch::{setup_lineitem, LineitemConfig, TABLE2_GRAINS};

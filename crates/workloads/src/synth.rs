@@ -1,0 +1,118 @@
+//! The synthetic `R(a,b)` / `S(a,b)` schema of paper §4.4.2, partitioned
+//! on `R.b` and `S.b` respectively, used by the plan-size experiments.
+
+use mpp_catalog::builders::range_parts_equal_width;
+use mpp_catalog::{Distribution, TableDesc};
+use mpp_common::{Column, DataType, Datum, Result, Row, Schema, TableOid};
+use mpp_storage::Storage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic pair.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    pub r_rows: usize,
+    pub s_rows: usize,
+    /// Partitions of R on `b` (None = unpartitioned).
+    pub r_parts: Option<usize>,
+    /// Partitions of S on `b` (None = unpartitioned).
+    pub s_parts: Option<usize>,
+    /// Domain of `b` is `[0, b_domain)`; `a` is `[0, a_domain)`.
+    pub b_domain: i32,
+    pub a_domain: i32,
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            r_rows: 10_000,
+            s_rows: 1_000,
+            r_parts: Some(100),
+            s_parts: None,
+            b_domain: 1_000,
+            a_domain: 1_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Register and populate R and S; returns their OIDs.
+pub fn setup_rs(storage: &Storage, cfg: &SynthConfig) -> Result<(TableOid, TableOid)> {
+    let r = setup_one(storage, "r", cfg.r_rows, cfg.r_parts, cfg, cfg.seed)?;
+    let s = setup_one(storage, "s", cfg.s_rows, cfg.s_parts, cfg, cfg.seed ^ 0x5555)?;
+    Ok((r, s))
+}
+
+fn setup_one(
+    storage: &Storage,
+    name: &str,
+    rows: usize,
+    parts: Option<usize>,
+    cfg: &SynthConfig,
+    seed: u64,
+) -> Result<TableOid> {
+    let cat = storage.catalog();
+    let schema = Schema::new(vec![
+        Column::new("a", DataType::Int32).not_null(),
+        Column::new("b", DataType::Int32).not_null(),
+    ]);
+    let oid = cat.allocate_table_oid();
+    let partitioning = match parts {
+        None => None,
+        Some(n) => {
+            let first = cat.allocate_part_oids(n as u32);
+            Some(range_parts_equal_width(
+                1,
+                Datum::Int32(0),
+                Datum::Int32(cfg.b_domain),
+                n,
+                first,
+            )?)
+        }
+    };
+    cat.register(TableDesc {
+        oid,
+        name: name.into(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning,
+    })?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows).map(|_| {
+        Row::new(vec![
+            Datum::Int32(rng.gen_range(0..cfg.a_domain)),
+            Datum::Int32(rng.gen_range(0..cfg.b_domain)),
+        ])
+    });
+    storage.insert(oid, data)?;
+    storage.analyze(oid)?;
+    Ok(oid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::Catalog;
+
+    #[test]
+    fn builds_both_tables() {
+        let st = Storage::new(Catalog::new(), 4);
+        let (r, s) = setup_rs(&st, &SynthConfig::default()).unwrap();
+        assert_eq!(st.row_count(r).unwrap(), 10_000);
+        assert_eq!(st.row_count(s).unwrap(), 1_000);
+        assert_eq!(st.catalog().table(r).unwrap().num_leaves(), 100);
+        assert!(!st.catalog().table(s).unwrap().is_partitioned());
+    }
+
+    #[test]
+    fn partitioned_s_variant() {
+        let st = Storage::new(Catalog::new(), 4);
+        let cfg = SynthConfig {
+            s_parts: Some(50),
+            ..SynthConfig::default()
+        };
+        let (_, s) = setup_rs(&st, &cfg).unwrap();
+        assert_eq!(st.catalog().table(s).unwrap().num_leaves(), 50);
+    }
+}

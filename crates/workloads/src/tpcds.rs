@@ -1,0 +1,469 @@
+//! TPC-DS-style star schema and the benchmark workload (paper §4.3).
+//!
+//! Three dimensions (`date_dim`, `customer_dim`, `item_dim`) and the seven
+//! partitioned fact tables the paper's workload references: `store_sales`,
+//! `web_sales`, `catalog_sales`, `store_returns`, `web_returns`,
+//! `catalog_returns` and `inventory`. Every fact is range-partitioned on
+//! its date-id column — the normalized Figure 3 design where static
+//! elimination is impossible for date-dimension filters and dynamic
+//! elimination is required.
+
+use mpp_catalog::builders::range_parts_equal_width;
+use mpp_catalog::{Distribution, TableDesc};
+use mpp_common::value::civil_from_days;
+use mpp_common::{Column, DataType, Datum, Result, Row, Schema, TableOid};
+use mpp_storage::Storage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the generated star schema.
+#[derive(Debug, Clone)]
+pub struct TpcdsConfig {
+    /// Rows per sales fact table (returns get 1/5 of this, inventory 1/2).
+    pub fact_rows: usize,
+    pub customers: usize,
+    pub items: usize,
+    /// Days covered by `date_dim` (d_id ∈ [1, days]); two years by default.
+    pub days: usize,
+    /// Range partitions per fact table on its date-id column.
+    pub parts_per_fact: usize,
+    pub seed: u64,
+}
+
+impl Default for TpcdsConfig {
+    fn default() -> TpcdsConfig {
+        TpcdsConfig {
+            fact_rows: 20_000,
+            customers: 500,
+            items: 200,
+            days: 730,
+            parts_per_fact: 24,
+            seed: 2014,
+        }
+    }
+}
+
+/// OIDs of the registered schema.
+#[derive(Debug, Clone)]
+pub struct Tpcds {
+    pub date_dim: TableOid,
+    pub customer_dim: TableOid,
+    pub item_dim: TableOid,
+    /// (table name, oid) for the seven partitioned facts.
+    pub facts: Vec<(String, TableOid)>,
+}
+
+const US_STATES: [&str; 10] = ["CA", "NY", "TX", "WA", "OR", "MA", "IL", "FL", "CO", "GA"];
+const CATEGORIES: [&str; 6] = ["Books", "Music", "Sports", "Home", "Toys", "Garden"];
+
+/// Register and populate the full schema.
+pub fn setup_tpcds(storage: &Storage, cfg: &TpcdsConfig) -> Result<Tpcds> {
+    let cat = storage.catalog();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // date_dim: one row per day starting 2012-01-01; d_id is 1-based.
+    let date_dim = {
+        let schema = Schema::new(vec![
+            Column::new("d_id", DataType::Int32).not_null(),
+            Column::new("d_date", DataType::Date).not_null(),
+            Column::new("d_year", DataType::Int32).not_null(),
+            Column::new("d_month", DataType::Int32).not_null(),
+            Column::new("d_day_of_week", DataType::Int32).not_null(),
+        ]);
+        let oid = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid,
+            name: "date_dim".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })?;
+        let epoch = mpp_common::value::days_from_civil(2012, 1, 1);
+        let rows = (0..cfg.days as i32).map(|i| {
+            let day = epoch + i;
+            let (y, m, _) = civil_from_days(day);
+            Row::new(vec![
+                Datum::Int32(i + 1),
+                Datum::Date(day),
+                Datum::Int32(y),
+                Datum::Int32(m as i32),
+                Datum::Int32((day.rem_euclid(7)) + 1),
+            ])
+        });
+        storage.insert(oid, rows)?;
+        storage.analyze(oid)?;
+        oid
+    };
+
+    let customer_dim = {
+        let schema = Schema::new(vec![
+            Column::new("c_id", DataType::Int32).not_null(),
+            Column::new("c_state", DataType::Utf8).not_null(),
+            Column::new("c_country", DataType::Utf8).not_null(),
+        ]);
+        let oid = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid,
+            name: "customer_dim".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })?;
+        let rows = (0..cfg.customers as i32).map(|i| {
+            Row::new(vec![
+                Datum::Int32(i + 1),
+                Datum::str(US_STATES[rng.gen_range(0..US_STATES.len())]),
+                Datum::str("US"),
+            ])
+        });
+        storage.insert(oid, rows)?;
+        storage.analyze(oid)?;
+        oid
+    };
+
+    let item_dim = {
+        let schema = Schema::new(vec![
+            Column::new("i_id", DataType::Int32).not_null(),
+            Column::new("i_category", DataType::Utf8).not_null(),
+            Column::new("i_price", DataType::Float64).not_null(),
+        ]);
+        let oid = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid,
+            name: "item_dim".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })?;
+        let rows = (0..cfg.items as i32).map(|i| {
+            Row::new(vec![
+                Datum::Int32(i + 1),
+                Datum::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
+                Datum::Float64(rng.gen_range(100..100_00) as f64 / 100.0),
+            ])
+        });
+        storage.insert(oid, rows)?;
+        storage.analyze(oid)?;
+        oid
+    };
+
+    // Fact tables: (name, date col prefix, has customer, is_sales).
+    let fact_defs: [(&str, &str, bool, FactKind); 7] = [
+        ("store_sales", "ss", true, FactKind::Sales),
+        ("web_sales", "ws", true, FactKind::Sales),
+        ("catalog_sales", "cs", true, FactKind::Sales),
+        ("store_returns", "sr", true, FactKind::Returns),
+        ("web_returns", "wr", true, FactKind::Returns),
+        ("catalog_returns", "cr", true, FactKind::Returns),
+        ("inventory", "inv", false, FactKind::Inventory),
+    ];
+    let mut facts = Vec::new();
+    for (name, prefix, has_cust, kind) in fact_defs {
+        let oid = setup_fact(storage, cfg, &mut rng, name, prefix, has_cust, kind)?;
+        facts.push((name.to_string(), oid));
+    }
+
+    Ok(Tpcds {
+        date_dim,
+        customer_dim,
+        item_dim,
+        facts,
+    })
+}
+
+#[derive(Clone, Copy)]
+enum FactKind {
+    Sales,
+    Returns,
+    Inventory,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn setup_fact(
+    storage: &Storage,
+    cfg: &TpcdsConfig,
+    rng: &mut StdRng,
+    name: &str,
+    prefix: &str,
+    has_cust: bool,
+    kind: FactKind,
+) -> Result<TableOid> {
+    let cat = storage.catalog();
+    let mut cols = vec![
+        Column::new(format!("{prefix}_date_id"), DataType::Int32).not_null(),
+        Column::new(format!("{prefix}_item_id"), DataType::Int32).not_null(),
+    ];
+    if has_cust {
+        cols.push(Column::new(format!("{prefix}_cust_id"), DataType::Int32).not_null());
+    }
+    match kind {
+        FactKind::Sales => {
+            cols.push(Column::new(format!("{prefix}_qty"), DataType::Int32).not_null());
+            cols.push(Column::new(format!("{prefix}_amount"), DataType::Float64).not_null());
+        }
+        FactKind::Returns => {
+            cols.push(Column::new(format!("{prefix}_amount"), DataType::Float64).not_null());
+        }
+        FactKind::Inventory => {
+            cols.push(Column::new(format!("{prefix}_qty"), DataType::Int32).not_null());
+        }
+    }
+    let schema = Schema::new(cols);
+    let ncols = schema.len();
+    let oid = cat.allocate_table_oid();
+    let first = cat.allocate_part_oids(cfg.parts_per_fact as u32);
+    cat.register(TableDesc {
+        oid,
+        name: name.into(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning: Some(range_parts_equal_width(
+            0,
+            Datum::Int32(1),
+            Datum::Int32(cfg.days as i32 + 1),
+            cfg.parts_per_fact,
+            first,
+        )?),
+    })?;
+    let rows_n = match kind {
+        FactKind::Sales => cfg.fact_rows,
+        FactKind::Returns => cfg.fact_rows / 5,
+        FactKind::Inventory => cfg.fact_rows / 2,
+    };
+    let mut rows = Vec::with_capacity(rows_n);
+    for _ in 0..rows_n {
+        let mut vals = vec![
+            Datum::Int32(rng.gen_range(1..=cfg.days as i32)),
+            Datum::Int32(rng.gen_range(1..=cfg.items as i32)),
+        ];
+        if has_cust {
+            vals.push(Datum::Int32(rng.gen_range(1..=cfg.customers as i32)));
+        }
+        match kind {
+            FactKind::Sales => {
+                vals.push(Datum::Int32(rng.gen_range(1..=20)));
+                vals.push(Datum::Float64(rng.gen_range(100..50_000) as f64 / 100.0));
+            }
+            FactKind::Returns => {
+                vals.push(Datum::Float64(rng.gen_range(100..20_000) as f64 / 100.0));
+            }
+            FactKind::Inventory => {
+                vals.push(Datum::Int32(rng.gen_range(0..=500)));
+            }
+        }
+        debug_assert_eq!(vals.len(), ncols);
+        rows.push(Row::new(vals));
+    }
+    storage.insert(oid, rows)?;
+    storage.analyze(oid)?;
+    Ok(oid)
+}
+
+/// One workload query.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    pub name: &'static str,
+    pub sql: &'static str,
+    /// Prepared-statement parameter values, bound at execution time.
+    pub params: Vec<Datum>,
+    /// The elimination class we designed the query to exercise (used for
+    /// reporting, not by the optimizers).
+    pub class: QueryClass,
+}
+
+/// Why partition elimination does or does not apply to a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Constant predicate on the partition key: both optimizers prune.
+    Static,
+    /// Simple two-table equi-join on the partition key: both optimizers
+    /// prune dynamically.
+    SimpleJoin,
+    /// Elimination requires reasoning through subqueries or multi-join
+    /// chains: only Orca prunes.
+    ComplexJoin,
+    /// Prepared-statement parameter on the key: only Orca prunes (at run
+    /// time).
+    Param,
+    /// No predicate on the partition key: nobody prunes.
+    NoElimination,
+}
+
+/// The query workload for Table 3 and Figures 16–17: a mix over all seven
+/// partitioned facts covering every elimination class.
+pub fn tpcds_workload() -> Vec<WorkloadQuery> {
+    fn q(
+        name: &'static str,
+        class: QueryClass,
+        sql: &'static str,
+    ) -> WorkloadQuery {
+        WorkloadQuery {
+            name,
+            sql,
+            params: vec![],
+            class,
+        }
+    }
+    vec![
+        // ---- static elimination (both optimizers prune) ----
+        q("q01_ss_static_range", QueryClass::Static,
+          "SELECT count(*), sum(ss_amount) FROM store_sales WHERE ss_date_id BETWEEN 100 AND 190"),
+        q("q02_ws_static_month", QueryClass::Static,
+          "SELECT avg(ws_amount) FROM web_sales WHERE ws_date_id BETWEEN 1 AND 31"),
+        q("q03_cs_static_half", QueryClass::Static,
+          "SELECT count(*) FROM catalog_sales WHERE cs_date_id < 365"),
+        q("q04_inv_static_range", QueryClass::Static,
+          "SELECT sum(inv_qty) FROM inventory WHERE inv_date_id BETWEEN 300 AND 400"),
+        q("q05_sr_static_in", QueryClass::Static,
+          "SELECT count(*) FROM store_returns WHERE sr_date_id IN (10, 50, 300, 700)"),
+        q("q06_ss_static_or", QueryClass::Static,
+          "SELECT count(*) FROM store_sales WHERE ss_date_id < 60 OR ss_date_id > 700"),
+        // ---- simple join elimination (both prune) ----
+        q("q07_ss_simple_join", QueryClass::SimpleJoin,
+          "SELECT count(*) FROM date_dim, store_sales \
+           WHERE d_id = ss_date_id AND d_year = 2012 AND d_month = 3"),
+        q("q08_ws_simple_join", QueryClass::SimpleJoin,
+          "SELECT sum(ws_amount) FROM date_dim, web_sales \
+           WHERE d_id = ws_date_id AND d_year = 2013 AND d_month BETWEEN 1 AND 2"),
+        q("q09_cr_simple_join", QueryClass::SimpleJoin,
+          "SELECT count(*) FROM date_dim, catalog_returns \
+           WHERE d_id = cr_date_id AND d_year = 2012 AND d_month = 12"),
+        q("q10_inv_simple_join", QueryClass::SimpleJoin,
+          "SELECT sum(inv_qty) FROM date_dim, inventory \
+           WHERE d_id = inv_date_id AND d_year = 2013 AND d_month = 7"),
+        // ---- complex elimination (only Orca prunes) ----
+        q("q11_ss_subquery", QueryClass::ComplexJoin,
+          "SELECT avg(ss_amount) FROM store_sales WHERE ss_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 10 AND 12)"),
+        q("q12_ws_subquery", QueryClass::ComplexJoin,
+          "SELECT count(*) FROM web_sales WHERE ws_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month = 6)"),
+        q("q13_cs_subquery", QueryClass::ComplexJoin,
+          "SELECT sum(cs_amount) FROM catalog_sales WHERE cs_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_day_of_week = 1 AND d_year = 2013 AND d_month = 1)"),
+        q("q14_sr_subquery", QueryClass::ComplexJoin,
+          "SELECT count(*) FROM store_returns WHERE sr_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month BETWEEN 1 AND 2)"),
+        q("q15_wr_subquery", QueryClass::ComplexJoin,
+          "SELECT avg(wr_amount) FROM web_returns WHERE wr_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month = 11)"),
+        q("q16_cr_subquery", QueryClass::ComplexJoin,
+          "SELECT count(*) FROM catalog_returns WHERE cr_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 5 AND 6)"),
+        q("q17_inv_subquery", QueryClass::ComplexJoin,
+          "SELECT sum(inv_qty) FROM inventory WHERE inv_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month = 9)"),
+        q("q18_ss_three_way", QueryClass::ComplexJoin,
+          "SELECT count(*) FROM customer_dim, date_dim, store_sales \
+           WHERE c_id = ss_cust_id AND d_id = ss_date_id \
+           AND c_state = 'CA' AND d_year = 2013 AND d_month BETWEEN 10 AND 12"),
+        q("q19_ws_three_way", QueryClass::ComplexJoin,
+          "SELECT sum(ws_amount) FROM item_dim, date_dim, web_sales \
+           WHERE i_id = ws_item_id AND d_id = ws_date_id \
+           AND i_category = 'Books' AND d_year = 2012 AND d_month = 12"),
+        // ---- prepared statements (only Orca prunes, at run time) ----
+        WorkloadQuery {
+            name: "q20_ss_param_eq",
+            sql: "SELECT count(*) FROM store_sales WHERE ss_date_id = $1",
+            params: vec![Datum::Int32(42)],
+            class: QueryClass::Param,
+        },
+        WorkloadQuery {
+            name: "q21_cs_param_range",
+            sql: "SELECT sum(cs_amount) FROM catalog_sales \
+                  WHERE cs_date_id BETWEEN $1 AND $2",
+            params: vec![Datum::Int32(60), Datum::Int32(120)],
+            class: QueryClass::Param,
+        },
+        // ---- no elimination possible (both scan everything) ----
+        q("q22_ss_full", QueryClass::NoElimination,
+          "SELECT sum(ss_amount), count(*) FROM store_sales"),
+        q("q23_ws_by_item", QueryClass::NoElimination,
+          "SELECT count(*) FROM item_dim, web_sales \
+           WHERE i_id = ws_item_id AND i_category = 'Music'"),
+        q("q24_sr_group", QueryClass::NoElimination,
+          "SELECT sr_item_id, count(*) FROM store_returns GROUP BY sr_item_id LIMIT 50"),
+        q("q25_wr_full", QueryClass::NoElimination,
+          "SELECT avg(wr_amount) FROM web_returns"),
+        q("q26_cs_nonkey_filter", QueryClass::NoElimination,
+          "SELECT count(*) FROM catalog_sales WHERE cs_qty > 10"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::Catalog;
+
+    fn small() -> TpcdsConfig {
+        TpcdsConfig {
+            fact_rows: 1000,
+            customers: 50,
+            items: 20,
+            days: 730,
+            parts_per_fact: 12,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn registers_all_tables() {
+        let st = Storage::new(Catalog::new(), 4);
+        let t = setup_tpcds(&st, &small()).unwrap();
+        assert_eq!(t.facts.len(), 7);
+        assert_eq!(st.row_count(t.date_dim).unwrap(), 730);
+        assert_eq!(st.row_count(t.customer_dim).unwrap(), 50);
+        for (name, oid) in &t.facts {
+            let desc = st.catalog().table(*oid).unwrap();
+            assert_eq!(desc.num_leaves(), 12, "{name}");
+            assert!(st.row_count(*oid).unwrap() > 0, "{name}");
+        }
+        assert_eq!(st.row_count(t.facts[0].1).unwrap(), 1000);
+        assert_eq!(st.row_count(t.facts[3].1).unwrap(), 200);
+    }
+
+    #[test]
+    fn date_dim_spans_two_years() {
+        let st = Storage::new(Catalog::new(), 4);
+        let t = setup_tpcds(&st, &small()).unwrap();
+        let rows = st.scan_all_segments(mpp_storage::PhysId::Table(t.date_dim));
+        let years: std::collections::HashSet<i64> = rows
+            .iter()
+            .map(|r| r.values()[2].as_i64().unwrap())
+            .collect();
+        assert_eq!(years, [2012i64, 2013].into_iter().collect());
+        // d_id 1 is 2012-01-01.
+        let first = rows
+            .iter()
+            .find(|r| r.values()[0] == Datum::Int32(1))
+            .unwrap();
+        assert_eq!(first.values()[1], Datum::date_ymd(2012, 1, 1));
+    }
+
+    #[test]
+    fn workload_covers_every_fact_and_class() {
+        let w = tpcds_workload();
+        assert!(w.len() >= 25);
+        for fact in [
+            "store_sales",
+            "web_sales",
+            "catalog_sales",
+            "store_returns",
+            "web_returns",
+            "catalog_returns",
+            "inventory",
+        ] {
+            assert!(
+                w.iter().any(|q| q.sql.contains(fact)),
+                "no query touches {fact}"
+            );
+        }
+        use QueryClass::*;
+        for class in [Static, SimpleJoin, ComplexJoin, Param, NoElimination] {
+            assert!(w.iter().any(|q| q.class == class), "missing {class:?}");
+        }
+        // Names are unique.
+        let names: std::collections::HashSet<&str> = w.iter().map(|q| q.name).collect();
+        assert_eq!(names.len(), w.len());
+    }
+}

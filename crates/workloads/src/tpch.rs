@@ -1,0 +1,170 @@
+//! TPC-H-style `lineitem` (paper §4.2, Table 2).
+
+use mpp_catalog::builders::range_parts_equal_width;
+use mpp_catalog::{Distribution, TableDesc};
+use mpp_common::value::days_from_civil;
+use mpp_common::{Column, DataType, Datum, Result, Row, Schema, TableOid};
+use mpp_storage::Storage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The partition grains of paper Table 2: 42 two-month, 84 monthly,
+/// 169 bi-weekly, 361 weekly partitions over 7 years of data.
+pub const TABLE2_GRAINS: [usize; 4] = [42, 84, 169, 361];
+
+/// First ship date: 1992-01-01 (TPC-H's epoch), 7 years of data.
+pub fn shipdate_range() -> (i32, i32) {
+    (
+        days_from_civil(1992, 1, 1),
+        days_from_civil(1999, 1, 1), // exclusive
+    )
+}
+
+/// Configuration for the lineitem generator.
+#[derive(Debug, Clone)]
+pub struct LineitemConfig {
+    pub rows: usize,
+    /// `None` → unpartitioned; `Some(n)` → n equal range partitions on
+    /// `l_shipdate`.
+    pub parts: Option<usize>,
+    pub seed: u64,
+    /// Table name to register (lets several variants coexist).
+    pub name: String,
+}
+
+impl Default for LineitemConfig {
+    fn default() -> LineitemConfig {
+        LineitemConfig {
+            rows: 10_000,
+            parts: Some(84),
+            seed: 42,
+            name: "lineitem".into(),
+        }
+    }
+}
+
+/// Register and populate a lineitem table; returns its OID. Stats are
+/// analyzed so the optimizer sees real cardinalities.
+pub fn setup_lineitem(storage: &Storage, cfg: &LineitemConfig) -> Result<TableOid> {
+    let cat = storage.catalog();
+    let schema = Schema::new(vec![
+        Column::new("l_orderkey", DataType::Int64).not_null(),
+        Column::new("l_partkey", DataType::Int32).not_null(),
+        Column::new("l_suppkey", DataType::Int32).not_null(),
+        Column::new("l_quantity", DataType::Float64),
+        Column::new("l_extendedprice", DataType::Float64),
+        Column::new("l_discount", DataType::Float64),
+        Column::new("l_shipdate", DataType::Date).not_null(),
+    ]);
+    let (lo, hi) = shipdate_range();
+    let oid = cat.allocate_table_oid();
+    let partitioning = match cfg.parts {
+        None => None,
+        Some(n) => {
+            let first = cat.allocate_part_oids(n as u32);
+            Some(range_parts_equal_width(
+                6,
+                Datum::Date(lo),
+                Datum::Date(hi),
+                n,
+                first,
+            )?)
+        }
+    };
+    cat.register(TableDesc {
+        oid,
+        name: cfg.name.clone(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning,
+    })?;
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let span = (hi - lo) as i64;
+    let rows = (0..cfg.rows).map(|i| {
+        let qty = rng.gen_range(1..=50) as f64;
+        let price = (rng.gen_range(90_000..=200_000) as f64) / 100.0;
+        Row::new(vec![
+            Datum::Int64(i as i64 / 4 + 1),
+            Datum::Int32(rng.gen_range(1..=2000)),
+            Datum::Int32(rng.gen_range(1..=100)),
+            Datum::Float64(qty),
+            Datum::Float64(price * qty),
+            Datum::Float64((rng.gen_range(0..=10) as f64) / 100.0),
+            Datum::Date(lo + rng.gen_range(0..span) as i32),
+        ])
+    });
+    storage.insert(oid, rows)?;
+    storage.analyze(oid)?;
+    Ok(oid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_catalog::Catalog;
+
+    #[test]
+    fn generates_each_table2_grain() {
+        let cat = Catalog::new();
+        let st = Storage::new(cat, 2);
+        for (k, &parts) in TABLE2_GRAINS.iter().enumerate() {
+            let cfg = LineitemConfig {
+                rows: 500,
+                parts: Some(parts),
+                seed: 1,
+                name: format!("lineitem_{parts}"),
+            };
+            let oid = setup_lineitem(&st, &cfg).unwrap();
+            let desc = st.catalog().table(oid).unwrap();
+            assert_eq!(desc.num_leaves(), parts, "grain {k}");
+            assert_eq!(st.row_count(oid).unwrap(), 500);
+        }
+    }
+
+    #[test]
+    fn unpartitioned_variant() {
+        let cat = Catalog::new();
+        let st = Storage::new(cat, 2);
+        let cfg = LineitemConfig {
+            rows: 200,
+            parts: None,
+            seed: 1,
+            name: "lineitem_flat".into(),
+        };
+        let oid = setup_lineitem(&st, &cfg).unwrap();
+        assert!(!st.catalog().table(oid).unwrap().is_partitioned());
+        assert_eq!(st.row_count(oid).unwrap(), 200);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mk = |seed| {
+            let st = Storage::new(Catalog::new(), 2);
+            let cfg = LineitemConfig {
+                rows: 100,
+                parts: Some(42),
+                seed,
+                name: "lineitem".into(),
+            };
+            let oid = setup_lineitem(&st, &cfg).unwrap();
+            let mut rows = st
+                .physical_tables(oid)
+                .unwrap()
+                .into_iter()
+                .flat_map(|p| st.scan_all_segments(p))
+                .collect::<Vec<_>>();
+            rows.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+            rows
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn stats_are_analyzed() {
+        let st = Storage::new(Catalog::new(), 2);
+        let oid = setup_lineitem(&st, &LineitemConfig::default()).unwrap();
+        assert_eq!(st.catalog().stats(oid).row_count, 10_000);
+    }
+}

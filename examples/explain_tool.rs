@@ -1,0 +1,82 @@
+//! A tiny interactive EXPLAIN/query shell over the TPC-DS-style schema:
+//! type SQL, see the Orca-style plan, the legacy plan, and execution
+//! statistics side by side.
+//!
+//! Run with: `cargo run -p mppart --example explain_tool` and type SQL
+//! (or pipe a file in). `\q` quits.
+
+use mppart::plan::explain;
+use mppart::workloads::{setup_tpcds, TpcdsConfig};
+use mppart::MppDb;
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = MppDb::new(4);
+    let t = setup_tpcds(
+        db.storage(),
+        &TpcdsConfig {
+            fact_rows: 10_000,
+            parts_per_fact: 24,
+            ..TpcdsConfig::default()
+        },
+    )?;
+    println!("mppart explain shell — TPC-DS-style schema loaded:");
+    println!("  dims:  date_dim, customer_dim, item_dim");
+    print!("  facts:");
+    for (name, oid) in &t.facts {
+        print!(" {name}({} parts)", db.catalog().table(*oid)?.num_leaves());
+    }
+    println!("\ntype SQL (one statement per line), \\q to quit.\n");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("mppart> ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" {
+            break;
+        }
+        match db.plan(line) {
+            Err(e) => {
+                println!("error: {e}\n");
+                continue;
+            }
+            Ok(plan) => {
+                println!("--- orca plan ---\n{}", explain(&plan));
+                match db.plan_legacy(line) {
+                    Ok(lp) => println!(
+                        "--- legacy plan: {} nodes vs orca's {} ---",
+                        mppart::plan::plan_node_count(&lp),
+                        mppart::plan::plan_node_count(&plan),
+                    ),
+                    Err(e) => println!("--- legacy planner failed: {e} ---"),
+                }
+            }
+        }
+        match db.sql(line) {
+            Err(e) => println!("execution error: {e}\n"),
+            Ok(out) => {
+                for row in out.rows.iter().take(20) {
+                    println!("{row}");
+                }
+                if out.rows.len() > 20 {
+                    println!("… {} more rows", out.rows.len() - 20);
+                }
+                println!(
+                    "[{} rows, {} partitions scanned, {} tuples read]\n",
+                    out.rows.len(),
+                    out.stats.total_parts_scanned(),
+                    out.stats.tuples_scanned
+                );
+            }
+        }
+    }
+    Ok(())
+}
