@@ -84,7 +84,11 @@ fn main() {
         let mut row = vec![format!("{s_rows}")];
         for &part_open in &PART_OPEN_COSTS {
             let dpe = choice_for(s_rows, part_open);
-            row.push(if dpe { "DPE".into() } else { "full scan".to_string() });
+            row.push(if dpe {
+                "DPE".into()
+            } else {
+                "full scan".to_string()
+            });
             json.push(serde_json::json!({
                 "s_rows": s_rows, "part_open": part_open, "dpe": dpe,
             }));

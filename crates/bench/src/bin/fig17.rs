@@ -4,16 +4,21 @@
 //!
 //! The shape to reproduce: improvements across the board for queries with
 //! elimination opportunities, >50% for many, ~0% for full-scan queries.
+//! Each pair is measured under both execution modes (sequential
+//! interpreter and per-segment parallel slices) — elimination gains are
+//! mode-independent.
 
 use mpp_bench::{print_table, scaled, time_median, write_result};
 use mppart::core::OptimizerConfig;
-use mppart::executor::execute_with_params;
+use mppart::executor::{execute_with_params_mode, ExecMode};
 use mppart::workloads::{setup_tpcds, tpcds_workload, TpcdsConfig};
 use mppart::MppDb;
 
 fn main() {
     let fact_rows = scaled(60_000);
-    println!("== Figure 17: runtime improvement from partition selection ({fact_rows} rows/fact) ==\n");
+    println!(
+        "== Figure 17: runtime improvement from partition selection ({fact_rows} rows/fact) ==\n"
+    );
 
     let mk = |enable: bool| {
         let db = MppDb::with_config(OptimizerConfig {
@@ -40,22 +45,30 @@ fn main() {
         name: &'static str,
         off_us: u128,
         improvement_pct: f64,
+        improvement_pct_parallel: f64,
     }
     let mut entries = Vec::new();
     for q in tpcds_workload() {
         let on_plan = on.plan(q.sql).unwrap();
         let off_plan = off.plan(q.sql).unwrap();
-        let t_on = time_median(3, || {
-            execute_with_params(on.storage(), &on_plan, &q.params).unwrap()
-        });
-        let t_off = time_median(3, || {
-            execute_with_params(off.storage(), &off_plan, &q.params).unwrap()
-        });
+        let timed = |mode: ExecMode| {
+            let t_on = time_median(3, || {
+                execute_with_params_mode(on.storage(), &on_plan, &q.params, mode).unwrap()
+            });
+            let t_off = time_median(3, || {
+                execute_with_params_mode(off.storage(), &off_plan, &q.params, mode).unwrap()
+            });
+            (t_on, t_off)
+        };
+        let (t_on, t_off) = timed(ExecMode::Sequential);
+        let (p_on, p_off) = timed(ExecMode::Parallel);
         let improvement = (1.0 - t_on.as_secs_f64() / t_off.as_secs_f64()) * 100.0;
+        let improvement_par = (1.0 - p_on.as_secs_f64() / p_off.as_secs_f64()) * 100.0;
         entries.push(Entry {
             name: q.name,
             off_us: t_off.as_micros(),
             improvement_pct: improvement,
+            improvement_pct_parallel: improvement_par,
         });
     }
     // The paper orders queries by baseline runtime (short → long running).
@@ -69,12 +82,19 @@ fn main() {
                 e.name.to_string(),
                 format!("{:.0} us", e.off_us),
                 format!("{:+.0}%", e.improvement_pct),
+                format!("{:+.0}%", e.improvement_pct_parallel),
                 "#".repeat(bar_len),
             ]
         })
         .collect();
     print_table(
-        &["query (by baseline runtime)", "disabled", "improvement", ""],
+        &[
+            "query (by baseline runtime)",
+            "disabled",
+            "improvement (seq)",
+            "improvement (par)",
+            "",
+        ],
         &rows,
     );
 
@@ -97,6 +117,7 @@ fn main() {
                     "query": e.name,
                     "baseline_us": e.off_us,
                     "improvement_pct": e.improvement_pct,
+                    "improvement_pct_parallel": e.improvement_pct_parallel,
                 }))
                 .collect::<Vec<_>>(),
         }),

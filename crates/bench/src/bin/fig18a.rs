@@ -29,11 +29,10 @@ fn main() {
     for pct in [1usize, 25, 50, 75, 100] {
         // Cut-off date selecting roughly `pct` percent of the 7 years.
         let total_days = 7 * 365;
-        let day = mppart::common::value::days_from_civil(1992, 1, 1)
-            + ((total_days * pct) / 100) as i32;
+        let day =
+            mppart::common::value::days_from_civil(1992, 1, 1) + ((total_days * pct) / 100) as i32;
         let (y, m, d) = mppart::common::value::civil_from_days(day);
-        let sql =
-            format!("SELECT * FROM lineitem WHERE l_shipdate < '{y:04}-{m:02}-{d:02}'");
+        let sql = format!("SELECT * FROM lineitem WHERE l_shipdate < '{y:04}-{m:02}-{d:02}'");
         let orca = plan_size_bytes(&db.plan(&sql).unwrap());
         let planner = plan_size_bytes(&db.plan_legacy(&sql).unwrap());
         rows.push(vec![

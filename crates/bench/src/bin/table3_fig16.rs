@@ -116,7 +116,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["table", "Planner", "Orca", "eliminated by Orca vs Planner"], &rows);
+    print_table(
+        &["table", "Planner", "Orca", "eliminated by Orca vs Planner"],
+        &rows,
+    );
     println!("(paper Figure 16: Orca scans fewer parts everywhere, up to 80% fewer)");
 
     write_result(

@@ -47,6 +47,34 @@ pub fn time_median<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Time two alternatives back to back, interleaved (a, b, a, b, …), and
+/// return the median duration of each. Interleaving cancels slow drift
+/// (allocator state, frequency scaling, cache warm-up) that would bias
+/// two separately-timed blocks — use this when the point is the *ratio*
+/// between the two.
+pub fn time_median_pair<A, B>(
+    iters: usize,
+    mut fa: impl FnMut() -> A,
+    mut fb: impl FnMut() -> B,
+) -> (Duration, Duration) {
+    assert!(iters >= 1);
+    let mut sa = Vec::with_capacity(iters);
+    let mut sb = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = fa();
+        sa.push(t0.elapsed());
+        drop(out);
+        let t0 = Instant::now();
+        let out = fb();
+        sb.push(t0.elapsed());
+        drop(out);
+    }
+    sa.sort();
+    sb.sort();
+    (sa[sa.len() / 2], sb[sb.len() / 2])
+}
+
 /// Append a JSON record to `results/<name>.json` (one JSON value per
 /// line, so reruns accumulate).
 pub fn write_result(name: &str, value: &serde_json::Value) {
@@ -55,7 +83,11 @@ pub fn write_result(name: &str, value: &serde_json::Value) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         use std::io::Write;
         let _ = writeln!(file, "{value}");
     }

@@ -237,8 +237,8 @@ mod tests {
 
     #[test]
     fn equal_width_covers_domain_exactly() {
-        let t = range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(100), 7, PartOid(0))
-            .unwrap();
+        let t =
+            range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(100), 7, PartOid(0)).unwrap();
         assert_eq!(t.num_leaves(), 7);
         // Every value in [0, 100) routes somewhere; edges route nowhere.
         for v in [0, 1, 14, 15, 50, 99] {
@@ -262,8 +262,9 @@ mod tests {
         assert!(
             range_parts_equal_width(0, Datum::Int32(0), Datum::Int32(2), 5, PartOid(0)).is_err()
         );
-        assert!(range_parts_equal_width(0, Datum::str("x"), Datum::str("y"), 2, PartOid(0))
-            .is_err());
+        assert!(
+            range_parts_equal_width(0, Datum::str("x"), Datum::str("y"), 2, PartOid(0)).is_err()
+        );
     }
 
     #[test]

@@ -386,10 +386,7 @@ mod tests {
     #[test]
     fn overlapping_pieces_rejected() {
         let pieces = vec![
-            PartitionPiece::new(
-                "a",
-                IntervalSet::interval(Interval::half_open(d(0), d(20))),
-            ),
+            PartitionPiece::new("a", IntervalSet::interval(Interval::half_open(d(0), d(20)))),
             PartitionPiece::new(
                 "b",
                 IntervalSet::interval(Interval::half_open(d(10), d(30))),
@@ -408,19 +405,14 @@ mod tests {
         assert_eq!(sel, vec![PartOid(4)]);
         // pk < 25 → first three parts (Figure 5(c) shape).
         let sel = t
-            .select_single_level(&exact(IntervalSet::from_cmp(
-                mpp_expr::CmpOp::Lt,
-                d(25),
-            )))
+            .select_single_level(&exact(IntervalSet::from_cmp(mpp_expr::CmpOp::Lt, d(25))))
             .unwrap();
         assert_eq!(sel, vec![PartOid(0), PartOid(1), PartOid(2)]);
         // No predicate info → all parts (Figure 5(a)).
         let sel = t.select_single_level(&DerivedSet::full()).unwrap();
         assert_eq!(sel.len(), 10);
         // Empty set → nothing.
-        let sel = t
-            .select_single_level(&DerivedSet::empty_exact())
-            .unwrap();
+        let sel = t.select_single_level(&DerivedSet::empty_exact()).unwrap();
         assert!(sel.is_empty());
     }
 
@@ -448,10 +440,7 @@ mod tests {
         assert_eq!(sel, vec![PartOid(3)]);
         // pk > 15 straddles covered and uncovered space.
         let sel = t
-            .select_single_level(&exact(IntervalSet::from_cmp(
-                mpp_expr::CmpOp::Gt,
-                d(15),
-            )))
+            .select_single_level(&exact(IntervalSet::from_cmp(mpp_expr::CmpOp::Gt, d(15))))
             .unwrap();
         assert_eq!(sel, vec![PartOid(1), PartOid(2), PartOid(3)]);
         // NULL-possible predicates must keep the default part.
@@ -515,10 +504,7 @@ mod tests {
     #[test]
     fn constraints_report_uncovered_for_default() {
         let pieces = vec![
-            PartitionPiece::new(
-                "a",
-                IntervalSet::interval(Interval::half_open(d(0), d(10))),
-            ),
+            PartitionPiece::new("a", IntervalSet::interval(Interval::half_open(d(0), d(10)))),
             PartitionPiece::default_piece("rest"),
         ];
         let t = PartTree::new(vec![PartitionLevel::new(0, pieces).unwrap()], PartOid(0)).unwrap();

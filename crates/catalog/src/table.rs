@@ -81,9 +81,9 @@ impl TableDesc {
 
     /// The partition tree, or an error for plain tables.
     pub fn part_tree(&self) -> Result<&PartTree> {
-        self.partitioning
-            .as_ref()
-            .ok_or_else(|| Error::InvalidMetadata(format!("table {} is not partitioned", self.name)))
+        self.partitioning.as_ref().ok_or_else(|| {
+            Error::InvalidMetadata(format!("table {} is not partitioned", self.name))
+        })
     }
 
     /// Number of leaf partitions (1 for plain tables, matching how the
@@ -119,11 +119,7 @@ mod tests {
                 mpp_common::Datum::Int32(10),
             )),
         )];
-        PartTree::new(
-            vec![PartitionLevel::new(col, pieces).unwrap()],
-            PartOid(0),
-        )
-        .unwrap()
+        PartTree::new(vec![PartitionLevel::new(col, pieces).unwrap()], PartOid(0)).unwrap()
     }
 
     #[test]

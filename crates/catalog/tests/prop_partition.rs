@@ -17,9 +17,7 @@ fn d(v: i32) -> Datum {
 /// list over point groups, optionally with a default piece.
 fn arb_level() -> impl Strategy<Value = PartitionLevel> {
     prop_oneof![
-        (2usize..12).prop_map(|n| {
-            range_level_equal_width(0, d(0), d(100), n).unwrap()
-        }),
+        (2usize..12).prop_map(|n| { range_level_equal_width(0, d(0), d(100), n).unwrap() }),
         (1usize..6, any::<bool>()).prop_map(|(groups, with_default)| {
             // Point groups 0..groups*10 step 7 (sparse, leaves gaps).
             let gs: Vec<(String, Vec<Datum>)> = (0..groups)
@@ -214,11 +212,24 @@ fn figure10_multilevel_predicates() {
         null_possible: false,
     };
     // date='Jan' → T_{1,1..n}
-    assert_eq!(tree.select_partitions(&[jan.clone(), full.clone()]).unwrap().len(), 2);
+    assert_eq!(
+        tree.select_partitions(&[jan.clone(), full.clone()])
+            .unwrap()
+            .len(),
+        2
+    );
     // region='Region 1' → T_{1..24,1}
-    assert_eq!(tree.select_partitions(&[full.clone(), r1.clone()]).unwrap().len(), 24);
+    assert_eq!(
+        tree.select_partitions(&[full.clone(), r1.clone()])
+            .unwrap()
+            .len(),
+        24
+    );
     // both → T_{1,1}
     assert_eq!(tree.select_partitions(&[jan, r1]).unwrap().len(), 1);
     // φ → all leaves
-    assert_eq!(tree.select_partitions(&[full.clone(), full]).unwrap().len(), 48);
+    assert_eq!(
+        tree.select_partitions(&[full.clone(), full]).unwrap().len(),
+        48
+    );
 }

@@ -22,7 +22,7 @@ pub mod types;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use oid::{PartOid, PartScanId, SegmentId, TableOid};
+pub use oid::{MotionId, PartOid, PartScanId, SegmentId, TableOid};
 pub use row::{Row, RowBatch};
 pub use schema::{Column, Schema};
 pub use types::DataType;

@@ -64,6 +64,16 @@ id_newtype!(
     "seg"
 );
 
+id_newtype!(
+    /// Stable identifier of one `Motion` node in a physical plan, assigned
+    /// deterministically (pre-order) after planning. The executor keys the
+    /// Motion materialization cache and per-motion statistics by it, so a
+    /// cloned or re-executed plan behaves identically to the original —
+    /// unlike the raw node address it replaced.
+    MotionId,
+    "motion"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,10 +60,7 @@ impl Row {
     pub fn hash_columns(&self, indices: &[usize]) -> u64 {
         let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
         for &i in indices {
-            h = h
-                .rotate_left(5)
-                .wrapping_mul(0x100_0000_01b3)
-                ^ self.values[i].distribution_hash();
+            h = h.rotate_left(5).wrapping_mul(0x100_0000_01b3) ^ self.values[i].distribution_hash();
         }
         h
     }

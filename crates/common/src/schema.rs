@@ -141,9 +141,6 @@ mod tests {
 
     #[test]
     fn display_renders_types() {
-        assert_eq!(
-            sample().to_string(),
-            "(id int4, amount float8, date date)"
-        );
+        assert_eq!(sample().to_string(), "(id int4, amount float8, date date)");
     }
 }

@@ -59,9 +59,7 @@ impl Datum {
         match self {
             Datum::Null => Ok(None),
             Datum::Bool(b) => Ok(Some(*b)),
-            other => Err(Error::TypeMismatch(format!(
-                "expected bool, got {other:?}"
-            ))),
+            other => Err(Error::TypeMismatch(format!("expected bool, got {other:?}"))),
         }
     }
 
@@ -113,12 +111,12 @@ impl Datum {
             (Date(a), Date(b)) => Ok(a.cmp(b)),
             // Numeric (and date/int) coercion.
             _ => {
-                let ta = self.data_type().ok_or_else(|| {
-                    Error::TypeMismatch("null in non-null comparison".into())
-                })?;
-                let tb = other.data_type().ok_or_else(|| {
-                    Error::TypeMismatch("null in non-null comparison".into())
-                })?;
+                let ta = self
+                    .data_type()
+                    .ok_or_else(|| Error::TypeMismatch("null in non-null comparison".into()))?;
+                let tb = other
+                    .data_type()
+                    .ok_or_else(|| Error::TypeMismatch("null in non-null comparison".into()))?;
                 if DataType::common_super_type(ta, tb).is_none() {
                     return Err(Error::TypeMismatch(format!(
                         "cannot compare {ta} with {tb}"
@@ -466,7 +464,9 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(
-            Datum::Int32(7).arith(ArithOp::Add, &Datum::Int32(3)).unwrap(),
+            Datum::Int32(7)
+                .arith(ArithOp::Add, &Datum::Int32(3))
+                .unwrap(),
             Datum::Int64(10)
         );
         assert_eq!(
@@ -475,7 +475,9 @@ mod tests {
                 .unwrap(),
             Datum::Float64(3.0)
         );
-        assert!(Datum::Int32(1).arith(ArithOp::Div, &Datum::Int32(0)).is_err());
+        assert!(Datum::Int32(1)
+            .arith(ArithOp::Div, &Datum::Int32(0))
+            .is_err());
         assert_eq!(
             Datum::Int32(1).arith(ArithOp::Add, &Datum::Null).unwrap(),
             Datum::Null

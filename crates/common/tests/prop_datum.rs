@@ -11,7 +11,7 @@ fn arb_datum() -> impl Strategy<Value = Datum> {
         any::<i32>().prop_map(Datum::Int32),
         any::<i64>().prop_map(Datum::Int64),
         (-1.0e12f64..1.0e12).prop_map(Datum::Float64),
-        "[a-z]{0,8}".prop_map(|s| Datum::str(s)),
+        "[a-z]{0,8}".prop_map(Datum::str),
         (-200_000i32..200_000).prop_map(Datum::Date),
     ]
 }

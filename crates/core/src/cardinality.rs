@@ -83,10 +83,7 @@ impl<'a> CardinalityEstimator<'a> {
             Expr::Cmp { op, left, right } => self.cmp_selectivity(*op, left, right),
             Expr::Between { .. } => DEFAULT_RANGE_SEL / 2.0,
             Expr::InList { list, expr, .. } => {
-                let per = self
-                    .ndv_of(expr)
-                    .map(|n| 1.0 / n)
-                    .unwrap_or(DEFAULT_EQ_SEL);
+                let per = self.ndv_of(expr).map(|n| 1.0 / n).unwrap_or(DEFAULT_EQ_SEL);
                 (per * list.len() as f64).min(1.0)
             }
             Expr::IsNull(e) => {
@@ -221,7 +218,7 @@ mod tests {
     fn selectivities_stay_in_unit_interval() {
         let (cat, b) = setup();
         let est = CardinalityEstimator::new(&cat, &b);
-        let p = Expr::in_list(c(1), (0..500).map(|i| Expr::lit(i as i32)).collect());
+        let p = Expr::in_list(c(1), (0..500).map(Expr::lit).collect());
         let s = est.selectivity(&p);
         assert!((0.0..=1.0).contains(&s));
         assert!((s - 1.0).abs() < 1e-9); // 500 values / ndv 100, capped

@@ -390,8 +390,7 @@ impl<'a> Memo<'a> {
             } => {
                 let l = self.insert(left, next_scan_id)?;
                 let r = self.insert(right, next_scan_id)?;
-                let rows =
-                    est.join_cardinality(self.groups[l].rows, self.groups[r].rows, pred);
+                let rows = est.join_cardinality(self.groups[l].rows, self.groups[r].rows, pred);
                 let mut output = self.groups[l].output.clone();
                 if join_type.outputs_right() {
                     output.extend(self.groups[r].output.clone());
@@ -399,8 +398,7 @@ impl<'a> Memo<'a> {
                 let mut scans = self.groups[l].scans.clone();
                 scans.extend(self.groups[r].scans.iter().copied());
 
-                let mut exprs =
-                    self.join_impls(*join_type, pred, l, r)?;
+                let mut exprs = self.join_impls(*join_type, pred, l, r)?;
                 // Exploration: inner-join commutativity.
                 if *join_type == JoinType::Inner {
                     exprs.extend(self.join_impls(*join_type, pred, r, l)?);
@@ -475,11 +473,11 @@ impl<'a> Memo<'a> {
                     scans,
                 ))
             }
-            LogicalPlan::Update { .. } | LogicalPlan::Delete { .. } | LogicalPlan::Insert { .. } => {
-                Err(Error::Unsupported(
-                    "DML is planned by the deterministic pipeline, not the memo".into(),
-                ))
-            }
+            LogicalPlan::Update { .. }
+            | LogicalPlan::Delete { .. }
+            | LogicalPlan::Insert { .. } => Err(Error::Unsupported(
+                "DML is planned by the deterministic pipeline, not the memo".into(),
+            )),
         }
     }
 
@@ -752,17 +750,17 @@ impl<'a> Memo<'a> {
                 // above the projection (by the Motion enforcer).
                 let child_dist = match &req.dist {
                     DistReq::Hashed(cols) => {
-                        let mapped: Option<Vec<ColRef>> = cols
-                            .iter()
-                            .map(|c| {
-                                output.iter().position(|o| o == c).and_then(|i| {
-                                    match &exprs[i] {
-                                        Expr::Col(inner) => Some(inner.clone()),
-                                        _ => None,
-                                    }
+                        let mapped: Option<Vec<ColRef>> =
+                            cols.iter()
+                                .map(|c| {
+                                    output.iter().position(|o| o == c).and_then(|i| {
+                                        match &exprs[i] {
+                                            Expr::Col(inner) => Some(inner.clone()),
+                                            _ => None,
+                                        }
+                                    })
                                 })
-                            })
-                            .collect();
+                                .collect();
                         match mapped {
                             Some(m) => DistReq::Hashed(m),
                             None => return vec![],
@@ -915,9 +913,7 @@ impl<'a> Memo<'a> {
         // already-memoized full-scan cost is credited back here with the
         // partitions the selector will eliminate.
         let mut local = match keys {
-            Some(_) => self
-                .cost
-                .hash_join(l_rows, r_rows * dpe_fraction, out_rows),
+            Some(_) => self.cost.hash_join(l_rows, r_rows * dpe_fraction, out_rows),
             None => self.cost.nl_join(l_rows, r_rows),
         };
         if dpe_fraction < 1.0 {
@@ -1028,11 +1024,7 @@ impl<'a> Memo<'a> {
 
     /// Partition-key predicates contributed by the Filter chain of a
     /// group whose subtree bottoms out in the dynamic scan.
-    fn inner_chain_preds(
-        &self,
-        gid: GroupId,
-        keys: &[ColRef],
-    ) -> Option<Vec<Option<Expr>>> {
+    fn inner_chain_preds(&self, gid: GroupId, keys: &[ColRef]) -> Option<Vec<Option<Expr>>> {
         let mut acc: Option<Vec<Option<Expr>>> = None;
         let mut g = gid;
         loop {
@@ -1099,25 +1091,22 @@ impl<'a> Memo<'a> {
     /// Natural (no-motion) distribution of a group whose subtree bottoms
     /// out in a scan: used to pin the inner side of a DPE join in place.
     fn natural_dist_of_group(&self, gid: GroupId) -> Option<DistReq> {
-        for e in &self.groups[gid].exprs {
-            match e {
-                MExpr::Scan { table, output, .. } | MExpr::DynScan { table, output, .. } => {
-                    let desc = self.catalog.table(*table).ok()?;
-                    return Some(match &desc.distribution {
-                        Distribution::Hashed(cols) => DistReq::Hashed(
-                            cols.iter().map(|&i| output[i].clone()).collect(),
-                        ),
-                        Distribution::Replicated => DistReq::Replicated,
-                        Distribution::Singleton => DistReq::Singleton,
-                    });
-                }
-                MExpr::Filter { child, .. } | MExpr::Project { child, .. } => {
-                    return self.natural_dist_of_group(*child)
-                }
-                _ => return None,
+        match self.groups[gid].exprs.first()? {
+            MExpr::Scan { table, output, .. } | MExpr::DynScan { table, output, .. } => {
+                let desc = self.catalog.table(*table).ok()?;
+                Some(match &desc.distribution {
+                    Distribution::Hashed(cols) => {
+                        DistReq::Hashed(cols.iter().map(|&i| output[i].clone()).collect())
+                    }
+                    Distribution::Replicated => DistReq::Replicated,
+                    Distribution::Singleton => DistReq::Singleton,
+                })
             }
+            MExpr::Filter { child, .. } | MExpr::Project { child, .. } => {
+                self.natural_dist_of_group(*child)
+            }
+            _ => None,
         }
-        None
     }
 
     /// Fraction of partitions selected by the request's static predicates.
@@ -1345,9 +1334,7 @@ pub(crate) fn derive_distribution(plan: &PhysicalPlan, catalog: &Catalog) -> Dis
             .last()
             .map(|c| derive_distribution(c, catalog))
             .unwrap_or(DistSpec::Singleton),
-        PhysicalPlan::PartitionSelector {
-            child: Some(c), ..
-        } => derive_distribution(c, catalog),
+        PhysicalPlan::PartitionSelector { child: Some(c), .. } => derive_distribution(c, catalog),
         PhysicalPlan::Filter { child, .. }
         | PhysicalPlan::Project { child, .. }
         | PhysicalPlan::InitPlanOids { child, .. } => derive_distribution(child, catalog),
@@ -1477,7 +1464,10 @@ mod tests {
                 }
             }
         });
-        assert!(!r_moved, "the 1M-row partitioned side must not move:\n{text}");
+        assert!(
+            !r_moved,
+            "the 1M-row partitioned side must not move:\n{text}"
+        );
         assert!(text.contains("Motion"), "{text}");
         crate::validate::validate_selector_pairing(&plan).unwrap();
     }
@@ -1539,7 +1529,10 @@ mod tests {
                 }
             }
         });
-        assert!(static_pred, "selector carries the filter predicate:\n{text}");
+        assert!(
+            static_pred,
+            "selector carries the filter predicate:\n{text}"
+        );
         crate::validate::validate_selector_pairing(&plan).unwrap();
     }
 

@@ -529,8 +529,7 @@ impl Optimizer {
         // partitioned scan whose partition key is constrained by the join
         // predicate?
         let l_base_rows = base_cardinality(left, &self.catalog);
-        let dpe_fraction =
-            self.dpe_fraction(&r.plan, &left_keys, &right_keys, l.rows, l_base_rows);
+        let dpe_fraction = self.dpe_fraction(&r.plan, &left_keys, &right_keys, l.rows, l_base_rows);
         let _ = est;
 
         // Candidate strategies: (left motion, right motion, dpe-possible).
@@ -598,20 +597,22 @@ impl Optimizer {
             };
             // DPE saves scan cost on the inner side when it stays in place.
             let scan_fraction = if mr == Mv::None { dpe_fraction } else { 1.0 };
-            if let Some((total_parts, scan_rows)) = partitioned_scan_shape(&r.plan, &self.catalog)
-            {
-                cost += self.cost.dynamic_scan(scan_rows, total_parts, scan_fraction);
+            if let Some((total_parts, scan_rows)) = partitioned_scan_shape(&r.plan, &self.catalog) {
+                cost += self
+                    .cost
+                    .dynamic_scan(scan_rows, total_parts, scan_fraction);
             } else {
                 cost += r.rows * 0.0; // child cost already sunk
             }
-            cost += self.cost.hash_join(l.rows, r.rows * scan_fraction, out_rows);
+            cost += self
+                .cost
+                .hash_join(l.rows, r.rows * scan_fraction, out_rows);
             if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                 best = Some((cost, (ml, mr)));
             }
         }
-        let (_, (ml, mr)) = best.ok_or_else(|| {
-            Error::Optimize("no valid distribution strategy for join".into())
-        })?;
+        let (_, (ml, mr)) =
+            best.ok_or_else(|| Error::Optimize("no valid distribution strategy for join".into()))?;
 
         let apply = |plan: PhysicalPlan, mv: Mv, keys: &Option<Vec<ColRef>>| match mv {
             Mv::None => plan,
@@ -1059,11 +1060,7 @@ fn normalize_opts(plan: LogicalPlan, rewrite_semi: bool) -> LogicalPlan {
 /// If the predicate is a single equality `l_expr = r_col` with `r_col` a
 /// bare column of `right` and the other side referencing only `left`,
 /// return that right column (the semi-join rewrite precondition).
-fn single_right_equi_col(
-    pred: &Expr,
-    left: &LogicalPlan,
-    right: &LogicalPlan,
-) -> Option<ColRef> {
+fn single_right_equi_col(pred: &Expr, left: &LogicalPlan, right: &LogicalPlan) -> Option<ColRef> {
     let conjuncts = split_conjuncts(pred);
     if conjuncts.len() != 1 {
         return None;
@@ -1153,10 +1150,7 @@ fn push_select(pred: Expr, child: LogicalPlan) -> LogicalPlan {
                 wrap_select(keep, joined)
             }
         }
-        LogicalPlan::Select {
-            pred: inner,
-            child,
-        } => {
+        LogicalPlan::Select { pred: inner, child } => {
             // Merge adjacent selects, then retry the push with the union.
             let mut conj = split_conjuncts(&pred);
             conj.extend(split_conjuncts(&inner));
@@ -1370,7 +1364,10 @@ mod tests {
         // Singleton output: no root gather on top; Gather below the agg.
         assert!(text.contains("HashAgg"), "{text}");
         assert!(text.contains("Gather Motion"), "{text}");
-        assert!(!text.starts_with("Gather"), "agg output is already singleton:\n{text}");
+        assert!(
+            !text.starts_with("Gather"),
+            "agg output is already singleton:\n{text}"
+        );
     }
 
     #[test]

@@ -209,8 +209,7 @@ fn route_join_spec(
         // travel through them.
         Some(per_level) if dpe_possible => {
             let mut spec = spec.augmented(&per_level);
-            if let Some(inner_preds) = inner_path_preds(right, spec.part_scan_id, &spec.part_keys)
-            {
+            if let Some(inner_preds) = inner_path_preds(right, spec.part_scan_id, &spec.part_keys) {
                 spec = spec.augmented(&inner_preds);
             }
             child_specs[0].push(spec);
@@ -642,7 +641,9 @@ mod tests {
                 predicates, child, ..
             } => {
                 assert!(child.is_some(), "selector 2 is pass-through:\n{text}");
-                let p = predicates[0].as_ref().expect("selector 2 carries join pred");
+                let p = predicates[0]
+                    .as_ref()
+                    .expect("selector 2 carries join pred");
                 let cols = mpp_expr::collect_columns(p);
                 assert!(cols.contains(&s_date_id()));
                 assert!(cols.contains(&d_id()));
@@ -729,10 +730,7 @@ mod tests {
         match sel {
             PhysicalPlan::PartitionSelector { predicates, .. } => {
                 let p = predicates[0].as_ref().unwrap();
-                assert_eq!(
-                    *p,
-                    Expr::eq(Expr::col(s_date_id()), Expr::lit(35i32))
-                );
+                assert_eq!(*p, Expr::eq(Expr::col(s_date_id()), Expr::lit(35i32)));
             }
             _ => unreachable!(),
         }

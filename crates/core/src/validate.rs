@@ -67,7 +67,13 @@ fn find_paths(
     }
     let mut steps = Vec::new();
     let mut motions = Vec::new();
-    rec(plan, &mut steps, &mut motions, &mut on_selector, &mut on_scan);
+    rec(
+        plan,
+        &mut steps,
+        &mut motions,
+        &mut on_selector,
+        &mut on_scan,
+    );
 }
 
 /// Check conditions 1–3 above for every (selector, scan) pair in the plan.

@@ -24,10 +24,7 @@ fn catalog() -> Catalog {
             None
         } else {
             let first = cat.allocate_part_oids(10);
-            Some(
-                range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(100), 10, first)
-                    .unwrap(),
-            )
+            Some(range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(100), 10, first).unwrap())
         };
         cat.register(TableDesc {
             oid,
@@ -46,10 +43,21 @@ fn catalog() -> Catalog {
 /// joins (on the partition key or not).
 #[derive(Debug, Clone)]
 enum Shape {
-    Scan { table: u32 },
-    Filter { on_key: bool, child: Box<Shape> },
-    Join { on_key: bool, left: Box<Shape>, right: Box<Shape> },
-    Agg { child: Box<Shape> },
+    Scan {
+        table: u32,
+    },
+    Filter {
+        on_key: bool,
+        child: Box<Shape>,
+    },
+    Join {
+        on_key: bool,
+        left: Box<Shape>,
+        right: Box<Shape>,
+    },
+    Agg {
+        child: Box<Shape>,
+    },
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape> {
@@ -67,7 +75,9 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
                     right: Box::new(r),
                 }
             }),
-            inner.clone().prop_map(|c| Shape::Agg { child: Box::new(c) }),
+            inner
+                .clone()
+                .prop_map(|c| Shape::Agg { child: Box::new(c) }),
         ]
     })
 }
@@ -117,7 +127,11 @@ impl Builder {
                 };
                 (plan, a, b)
             }
-            Shape::Join { on_key, left, right } => {
+            Shape::Join {
+                on_key,
+                left,
+                right,
+            } => {
                 let (l, la, lb) = self.build(left);
                 let (r, ra, rb) = self.build(right);
                 let (lk, rk) = if *on_key {

@@ -5,8 +5,17 @@
 //! placement algorithms rely on), and a [`mpp_plan::PhysicalPlan::Motion`]
 //! materializes its child once for **all** segments and hands each target
 //! segment its share.
+//!
+//! Two drivers run the per-segment interpreter (see [`ExecMode`]):
+//! sequential (one thread interprets every segment in turn, Motions
+//! materialize lazily) and parallel (the plan is cut into slices at
+//! Motion boundaries and every segment's slice runs on its own worker
+//! thread, stage by stage — the process shape of a real MPP executor).
+//! Both produce the same rows and the same merged statistics.
 
 use crate::context::ExecContext;
+use crate::pool;
+use crate::slice::{init_plan_sites, SlicePlan};
 use crate::stats::ExecutionStats;
 use mpp_catalog::PartTree;
 use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
@@ -15,6 +24,24 @@ use mpp_expr::{collect_columns, eval, eval_predicate, ColRef, EvalContext, Expr}
 use mpp_plan::{AggCall, AggFunc, JoinType, MotionKind, PhysicalPlan};
 use mpp_storage::{PhysId, Storage};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How the simulated cluster's segments execute their plan slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One driver thread interprets every segment's slice in turn and
+    /// Motions materialize lazily on first access — the original
+    /// single-process interpreter.
+    #[default]
+    Sequential,
+    /// One worker thread per segment, stage by stage over the Motion
+    /// boundaries (children before parents), so every Motion input is
+    /// materialized before the slices reading it run. Rows and merged
+    /// statistics are identical to [`ExecMode::Sequential`]; only the
+    /// per-segment `elapsed` breakdown differs.
+    Parallel,
+}
 
 /// Result of one query execution.
 #[derive(Debug)]
@@ -26,11 +53,27 @@ pub struct QueryResult {
 /// Convenience wrapper owning the storage handle.
 pub struct Executor {
     storage: Storage,
+    mode: ExecMode,
 }
 
 impl Executor {
     pub fn new(storage: Storage) -> Executor {
-        Executor { storage }
+        Executor {
+            storage,
+            mode: ExecMode::Sequential,
+        }
+    }
+
+    pub fn with_mode(storage: Storage, mode: ExecMode) -> Executor {
+        Executor { storage, mode }
+    }
+
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     pub fn storage(&self) -> &Storage {
@@ -38,40 +81,187 @@ impl Executor {
     }
 
     pub fn run(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
-        execute(&self.storage, plan)
+        execute_with_params_mode(&self.storage, plan, &[], self.mode)
     }
 
     pub fn run_with_params(&self, plan: &PhysicalPlan, params: &[Datum]) -> Result<QueryResult> {
-        execute_with_params(&self.storage, plan, params)
+        execute_with_params_mode(&self.storage, plan, params, self.mode)
     }
 }
 
-/// Execute a plan with no parameters.
+/// Execute a plan with no parameters (sequentially).
 pub fn execute(storage: &Storage, plan: &PhysicalPlan) -> Result<QueryResult> {
-    execute_with_params(storage, plan, &[])
+    execute_with_params_mode(storage, plan, &[], ExecMode::Sequential)
 }
 
-/// Execute a plan with prepared-statement parameters bound.
+/// Execute a plan with prepared-statement parameters bound (sequentially).
 pub fn execute_with_params(
     storage: &Storage,
     plan: &PhysicalPlan,
     params: &[Datum],
 ) -> Result<QueryResult> {
-    let ctx = ExecContext::new(params);
-    let rows = if is_dml(plan) {
-        exec_dml(plan, storage, &ctx)?
+    execute_with_params_mode(storage, plan, params, ExecMode::Sequential)
+}
+
+/// Execute a plan with no parameters under the given [`ExecMode`].
+pub fn execute_mode(storage: &Storage, plan: &PhysicalPlan, mode: ExecMode) -> Result<QueryResult> {
+    execute_with_params_mode(storage, plan, &[], mode)
+}
+
+/// Execute a plan with prepared-statement parameters bound, under the
+/// given [`ExecMode`].
+pub fn execute_with_params_mode(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+) -> Result<QueryResult> {
+    // DML mutates shared storage from one driver thread in either mode;
+    // its children still execute per segment, with Motions materialized
+    // lazily, so it always runs under a sequential context.
+    let eff_mode = if is_dml(plan) {
+        ExecMode::Sequential
     } else {
-        // Every segment runs its slice; the union of slice outputs is the
-        // query result (a root Gather makes all but segment 0 empty).
-        let mut out = Vec::new();
-        for seg in storage.segments() {
-            out.extend(exec(plan, seg, storage, &ctx)?);
-        }
-        out
+        mode
     };
-    let mut stats = ctx.stats.into_inner();
+    let ctx = ExecContext::for_plan(plan, params, storage.num_segments(), eff_mode);
+    // Init plans run once, before the main plan — the classic planner
+    // contract. Publishing every $oids parameter up front is what lets a
+    // gated scan below a Motion read a parameter its InitPlanOids
+    // sibling sits above, in both modes, and it makes the two modes
+    // reach gates in an identical publication state.
+    for init in init_plan_sites(plan) {
+        let t0 = Instant::now();
+        exec(init, SegmentId(0), storage, &ctx)?;
+        ctx.seg_stats(SegmentId(0)).elapsed += t0.elapsed();
+    }
+    let rows = if is_dml(plan) {
+        let t0 = Instant::now();
+        let rows = exec_dml(plan, storage, &ctx)?;
+        ctx.seg_stats(SegmentId(0)).elapsed += t0.elapsed();
+        rows
+    } else {
+        match eff_mode {
+            ExecMode::Sequential => {
+                // Every segment runs its slice; the union of slice
+                // outputs is the query result (a root Gather makes all
+                // but segment 0 empty).
+                let mut out = Vec::new();
+                for seg in storage.segments() {
+                    let t0 = Instant::now();
+                    let rows = exec(plan, seg, storage, &ctx)?;
+                    ctx.seg_stats(seg).elapsed += t0.elapsed();
+                    out.extend(rows);
+                }
+                out
+            }
+            ExecMode::Parallel => exec_parallel(plan, storage, &ctx)?,
+        }
+    };
+    let mut stats = ctx.into_stats();
     stats.rows_returned = rows.len() as u64;
     Ok(QueryResult { rows, stats })
+}
+
+/// The multi-process-shaped driver: materialize every Motion stage in
+/// children-before-parents order, then run the root slice.
+///
+/// Each stage fans out to the long-lived per-segment worker threads of
+/// [`crate::pool`] — mirroring an MPP cluster's persistent segment
+/// processes, and keeping thread start-up latency off every stage's
+/// critical path. Segment 0 runs inline on the driver thread: a root
+/// Gather concentrates its work there, and keeping that path on one
+/// warm thread across stages is what makes parallel execution no slower
+/// than sequential even for plans whose upper slice is inherently
+/// serial.
+fn exec_parallel(
+    plan: &PhysicalPlan,
+    storage: &Storage,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let slices = SlicePlan::cut(plan);
+    // From here on every Motion a worker reads must come from a stage
+    // (or from the init-plan phase, which may have materialized Motions
+    // inside init subtrees already — those stages are skipped).
+    ctx.freeze_motions();
+    let segs: Vec<SegmentId> = storage.segments().collect();
+    let Some((&first, rest)) = segs.split_first() else {
+        return Ok(Vec::new());
+    };
+    let timed = |node: &PhysicalPlan, seg: SegmentId| {
+        let t0 = Instant::now();
+        let res = exec(node, seg, storage, ctx);
+        ctx.seg_stats(seg).elapsed += t0.elapsed();
+        res
+    };
+
+    // Run one slice on every segment concurrently; results come back in
+    // segment order — the same order the sequential driver produces — so
+    // downstream routing, result concatenation and first-error selection
+    // are mode-independent. Every worker runs the slice to completion
+    // even when another segment errors, exactly as the sequential loop
+    // visits every segment's already-started work.
+    //
+    // With `preroute` set (Gather stages), each worker also clones its
+    // own output while the rows are still warm in its cache: a Gather
+    // concentrates all rows on segment 0, and cloning the whole cache
+    // there serially — cold — is the one part of a gather-rooted plan
+    // that parallelism would otherwise make *slower* than sequential.
+    // A segment's slice output plus (for Gather stages) its pre-routed copy.
+    type SegOut = Result<(Vec<Row>, Vec<Row>)>;
+    let run_slice = |node: &PhysicalPlan, preroute: bool| -> Result<(Vec<Vec<Row>>, Vec<Row>)> {
+        let run = |seg: SegmentId| -> SegOut {
+            timed(node, seg).map(|rows| {
+                let copy = if preroute { rows.clone() } else { Vec::new() };
+                (rows, copy)
+            })
+        };
+        let mut slots: Vec<Option<SegOut>> = Vec::new();
+        slots.resize_with(rest.len(), || None);
+        let run = &run;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = rest
+            .iter()
+            .zip(slots.iter_mut())
+            .map(|(&seg, slot)| {
+                Box::new(move || {
+                    *slot = Some(run(seg));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let (first_res, _oks) = pool::run_with(jobs, || run(first));
+        let mut joined = vec![first_res];
+        joined.extend(slots.into_iter().map(|slot| {
+            // An empty slot means the job never finished — its worker
+            // panicked mid-slice.
+            slot.unwrap_or_else(|| Err(Error::Internal("segment worker panicked".into())))
+        }));
+        let pairs: Vec<(Vec<Row>, Vec<Row>)> = joined.into_iter().collect::<Result<_>>()?;
+        let mut per_source = Vec::with_capacity(pairs.len());
+        let mut routed = Vec::new();
+        for (rows, copy) in pairs {
+            per_source.push(rows);
+            routed.extend(copy);
+        }
+        Ok((per_source, routed))
+    };
+
+    for site in &slices.stages {
+        let id = ctx.motion_id_of(site.node)?;
+        if ctx.motion_cached(id).is_some() {
+            continue;
+        }
+        let preroute = matches!(site.kind, MotionKind::Gather);
+        let (per_source, routed) = run_slice(site.child, preroute)?;
+        ctx.record_motion(id, &per_source);
+        ctx.motion_store(id, Arc::new(per_source));
+        if preroute {
+            // Concatenated in segment order — byte-identical to what
+            // `route_motion` would assemble for segment 0.
+            ctx.preroute_put(id, routed);
+        }
+    }
+    let (per_segment, _) = run_slice(slices.root, false)?;
+    Ok(per_segment.into_iter().flatten().collect())
 }
 
 fn is_dml(plan: &PhysicalPlan) -> bool {
@@ -100,7 +290,7 @@ pub(crate) fn exec(
             ..
         } => {
             let rows = storage.scan(PhysId::Table(*table), seg);
-            ctx.stats.borrow_mut().record_table_scan(rows.len());
+            ctx.seg_stats(seg).record_table_scan(rows.len());
             apply_filter(rows, filter, output, ctx)
         }
 
@@ -120,8 +310,7 @@ pub(crate) fn exec(
                 }
             }
             let rows = storage.scan(PhysId::Part(*part), seg);
-            ctx.stats
-                .borrow_mut()
+            ctx.seg_stats(seg)
                 .record_part_scan(*table, *part, rows.len());
             apply_filter(rows, filter, output, ctx)
         }
@@ -134,11 +323,11 @@ pub(crate) fn exec(
             ..
         } => {
             let oids = ctx.consume_parts(*part_scan_id, seg)?;
+            let scans = storage.scan_batch(oids.iter().map(|&oid| PhysId::Part(oid)), seg);
             let mut rows = Vec::new();
             {
-                let mut stats = ctx.stats.borrow_mut();
-                for oid in &oids {
-                    let part_rows = storage.scan(PhysId::Part(*oid), seg);
+                let mut stats = ctx.seg_stats(seg);
+                for (oid, (_, part_rows)) in oids.iter().zip(scans) {
                     stats.record_part_scan(*table, *oid, part_rows.len());
                     rows.extend(part_rows);
                 }
@@ -154,7 +343,7 @@ pub(crate) fn exec(
             child,
             ..
         } => {
-            ctx.stats.borrow_mut().selector_runs += 1;
+            ctx.seg_stats(seg).selector_runs += 1;
             let tree = storage.catalog().part_tree(*table)?;
             match child {
                 None => {
@@ -267,23 +456,42 @@ pub(crate) fn exec(
         }
 
         PhysicalPlan::Motion { kind, child } => {
-            let key = plan as *const PhysicalPlan as usize;
-            let per_source = match ctx.motion_cached(key) {
+            // The cache is keyed by the node's stable MotionId, not its
+            // address, so re-executions and clones of a plan report
+            // (and cache) under the same key.
+            let id = ctx.motion_id_of(plan)?;
+            if seg == SegmentId(0) && matches!(kind, MotionKind::Gather) {
+                // First consumption of a parallel Gather stage takes the
+                // copy the stage workers pre-assembled (each cloned its
+                // own rows, warm and concurrently). Re-executions — and
+                // sequential mode, which never pre-routes — fall through
+                // to cloning from the cache.
+                if let Some(rows) = ctx.preroute_take(id) {
+                    return Ok(rows);
+                }
+            }
+            let per_source = match ctx.motion_cached(id) {
                 Some(v) => v,
                 None => {
+                    if ctx.motions_frozen() {
+                        // The parallel stage driver materializes every
+                        // Motion before the slices above it run; a miss
+                        // here is a scheduling bug, not a user error.
+                        return Err(Error::Internal(format!(
+                            "parallel execution reached {id} before its stage materialized it"
+                        )));
+                    }
                     let mut v = Vec::with_capacity(storage.num_segments());
                     for s in storage.segments() {
                         v.push(exec(child, s, storage, ctx)?);
                     }
-                    let moved: u64 = v.iter().map(|r| r.len() as u64).sum();
-                    let mut stats = ctx.stats.borrow_mut();
-                    stats.motions += 1;
-                    stats.rows_moved += moved;
-                    ctx.motion_store(key, v.clone());
+                    ctx.record_motion(id, &v);
+                    let v = Arc::new(v);
+                    ctx.motion_store(id, v.clone());
                     v
                 }
             };
-            Ok(route_motion(kind, &per_source, seg, storage, child)?)
+            route_motion(kind, &per_source, seg, storage, child)
         }
 
         PhysicalPlan::Append { children, .. } => {
@@ -300,18 +508,32 @@ pub(crate) fn exec(
             key,
             child,
         } => {
-            // Init plans run once (triggered from segment 0) and publish a
-            // global OID set.
-            if seg == SegmentId(0) {
+            // Init plans run once and publish a global OID set. The
+            // drivers pre-run them before the main plan; when traversal
+            // visits the node again the parameter is already published
+            // and this is a no-op (as it is on every segment but 0).
+            if seg == SegmentId(0) && !ctx.oid_param_published(*param) {
                 let tree = storage.catalog().part_tree(*table)?;
+                // Routing a single key value is only the full partitioning
+                // function for single-level tables; the planner never
+                // emits gates for multi-level ones, so such a plan is
+                // invalid rather than silently mis-routed through the
+                // first level alone.
+                if tree.num_levels() != 1 {
+                    return Err(Error::InvalidPlan(format!(
+                        "InitPlanOids over {table}: legacy OID gating supports only \
+                         single-level partitioned tables ({} levels found)",
+                        tree.num_levels()
+                    )));
+                }
                 let cols = child.output_cols();
                 let ectx = eval_ctx(&cols, ctx.params);
                 let mut oids: HashSet<PartOid> = HashSet::new();
                 for s in storage.segments() {
                     for row in exec(child, s, storage, ctx)? {
                         let v = eval(key, &row, &ectx)?;
-                        // Route the value through level-0 of the partition
-                        // tree (single-level legacy gating).
+                        // Single level (checked above), so one value is the
+                        // whole routing key.
                         if let Some(oid) = tree.route(std::slice::from_ref(&v)) {
                             oids.insert(oid);
                         }
@@ -396,15 +618,14 @@ fn route_motion(
         MotionKind::Broadcast => Ok(per_source.iter().flatten().cloned().collect()),
         MotionKind::Redistribute(cols) => {
             let child_cols = child.output_cols();
-            let positions: Vec<usize> = cols
-                .iter()
-                .map(|c| {
-                    child_cols
-                        .iter()
-                        .position(|x| x == c)
-                        .ok_or_else(|| Error::Execution(format!("redistribute column {c} missing")))
-                })
-                .collect::<Result<_>>()?;
+            let positions: Vec<usize> =
+                cols.iter()
+                    .map(|c| {
+                        child_cols.iter().position(|x| x == c).ok_or_else(|| {
+                            Error::Execution(format!("redistribute column {c} missing"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
             let n = storage.num_segments() as u64;
             let mut out = Vec::new();
             for rows in per_source {
@@ -695,15 +916,8 @@ fn hash_agg(
         }
     }
 
-    let mut groups: HashMap<Vec<Datum>, (Vec<Acc>, Row)> = HashMap::new();
-    let mut order: Vec<Vec<Datum>> = Vec::new();
-    for row in &rows {
-        let key: Vec<Datum> = positions.iter().map(|&i| row.values()[i].clone()).collect();
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            (vec![Acc::new(); aggs.len()], row.project(&positions))
-        });
-        for (acc, call) in entry.0.iter_mut().zip(aggs) {
+    let update = |accs: &mut [Acc], row: &Row| -> Result<()> {
+        for (acc, call) in accs.iter_mut().zip(aggs) {
             acc.count += 1;
             let v = match &call.arg {
                 None => None,
@@ -719,9 +933,10 @@ fn hash_agg(
                         }
                         Datum::Int32(_) | Datum::Int64(_) | Datum::Date(_) => {
                             let i = v.as_i64()?;
-                            acc.sum_i = acc.sum_i.checked_add(i).ok_or_else(|| {
-                                Error::Arithmetic("sum overflow".into())
-                            })?;
+                            acc.sum_i = acc
+                                .sum_i
+                                .checked_add(i)
+                                .ok_or_else(|| Error::Arithmetic("sum overflow".into()))?;
                             acc.sum += i as f64;
                         }
                         _ => {}
@@ -736,6 +951,30 @@ fn hash_agg(
                     }
                 }
             }
+        }
+        Ok(())
+    };
+
+    let mut groups: HashMap<Vec<Datum>, (Vec<Acc>, Row)> = HashMap::new();
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    if positions.is_empty() {
+        // Scalar aggregation: one group, no per-row key hashing.
+        if !rows.is_empty() {
+            let mut accs = vec![Acc::new(); aggs.len()];
+            for row in &rows {
+                update(&mut accs, row)?;
+            }
+            order.push(Vec::new());
+            groups.insert(Vec::new(), (accs, Row::new(Vec::new())));
+        }
+    } else {
+        for row in &rows {
+            let key: Vec<Datum> = positions.iter().map(|&i| row.values()[i].clone()).collect();
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                (vec![Acc::new(); aggs.len()], row.project(&positions))
+            });
+            update(&mut entry.0, row)?;
         }
     }
 
@@ -896,7 +1135,11 @@ fn delete_rows(table: TableOid, rows: Vec<Row>, storage: &Storage) -> Result<()>
     let mut by_loc: HashMap<(PhysId, SegmentId), HashMap<Row, usize>> = HashMap::new();
     for row in rows {
         for loc in storage.locate_row(table, &row)? {
-            *by_loc.entry(loc).or_default().entry(row.clone()).or_insert(0) += 1;
+            *by_loc
+                .entry(loc)
+                .or_default()
+                .entry(row.clone())
+                .or_insert(0) += 1;
         }
     }
     for ((phys, seg), mut counts) in by_loc {
@@ -1049,7 +1292,10 @@ mod tests {
             table_name: "r".into(),
             part_scan_id: PartScanId(1),
             part_keys: vec![cr(2, "b")],
-            predicates: vec![Some(Expr::eq(Expr::col(cr(2, "b")), Expr::col(cr(4, "sb"))))],
+            predicates: vec![Some(Expr::eq(
+                Expr::col(cr(2, "b")),
+                Expr::col(cr(4, "sb")),
+            ))],
             child: Some(Box::new(PhysicalPlan::Motion {
                 kind: MotionKind::Broadcast,
                 child: Box::new(s_scan),
@@ -1070,7 +1316,11 @@ mod tests {
         let res = execute(&st, &plan).unwrap();
         // S rows with sb<20: (0,0) and (1,10); R matches b=0 and b=10.
         assert_eq!(res.rows.len(), 2);
-        assert_eq!(res.stats.parts_scanned_for(r), 2, "DPE must prune to 2 parts");
+        assert_eq!(
+            res.stats.parts_scanned_for(r),
+            2,
+            "DPE must prune to 2 parts"
+        );
     }
 
     #[test]
@@ -1226,7 +1476,11 @@ mod tests {
         };
         let res = execute(&st, &agg).unwrap();
         assert_eq!(res.rows.len(), 2);
-        let g1 = res.rows.iter().find(|r| r.values()[0] == Datum::Int32(1)).unwrap();
+        let g1 = res
+            .rows
+            .iter()
+            .find(|r| r.values()[0] == Datum::Int32(1))
+            .unwrap();
         assert_eq!(g1.values()[1], Datum::Int64(2)); // count(*)
         assert_eq!(g1.values()[2], Datum::Int64(1)); // count(v)
         assert_eq!(g1.values()[3], Datum::Int64(10)); // sum
@@ -1239,7 +1493,10 @@ mod tests {
         let (st, _, _) = setup();
         let agg = PhysicalPlan::HashAgg {
             group_by: vec![],
-            aggs: vec![AggCall::count_star(), AggCall::new(AggFunc::Sum, Expr::col(cr(1, "x")))],
+            aggs: vec![
+                AggCall::count_star(),
+                AggCall::new(AggFunc::Sum, Expr::col(cr(1, "x"))),
+            ],
             output: vec![cr(20, "c"), cr(21, "s")],
             child: Box::new(PhysicalPlan::Values {
                 rows: vec![],
@@ -1322,7 +1579,11 @@ mod tests {
         // UPDATE: move b=55 → b=5 (crosses partitions).
         let scan = PhysicalPlan::Sequence {
             children: vec![
-                static_selector(r, 1, Some(Expr::eq(Expr::col(cr(2, "b")), Expr::lit(55i32)))),
+                static_selector(
+                    r,
+                    1,
+                    Some(Expr::eq(Expr::col(cr(2, "b")), Expr::lit(55i32))),
+                ),
                 r_scan(r, 1),
             ],
         };
@@ -1342,7 +1603,11 @@ mod tests {
         // DELETE everything with b < 10 (now includes the moved rows).
         let scan = PhysicalPlan::Sequence {
             children: vec![
-                static_selector(r, 2, Some(Expr::lt(Expr::col(cr(2, "b")), Expr::lit(10i32)))),
+                static_selector(
+                    r,
+                    2,
+                    Some(Expr::lt(Expr::col(cr(2, "b")), Expr::lit(10i32))),
+                ),
                 PhysicalPlan::DynamicScan {
                     table: r,
                     table_name: "r".into(),
@@ -1405,7 +1670,12 @@ mod tests {
         let st = Storage::new(cat, 4);
         st.insert(
             t,
-            (0..50).map(|i| Row::new(vec![Datum::Int32(i), Datum::str(if i % 2 == 0 { "A" } else { "B" })])),
+            (0..50).map(|i| {
+                Row::new(vec![
+                    Datum::Int32(i),
+                    Datum::str(if i % 2 == 0 { "A" } else { "B" }),
+                ])
+            }),
         )
         .unwrap();
 
@@ -1439,5 +1709,317 @@ mod tests {
         let res = execute(&st, &plan).unwrap();
         assert_eq!(res.rows.len(), 1);
         assert_eq!(res.stats.parts_scanned_for(t), 1);
+    }
+
+    // ---- parallel-mode equivalence and error behavior ----
+
+    fn row_counts(rows: &[Row]) -> HashMap<Row, usize> {
+        let mut m = HashMap::new();
+        for r in rows {
+            *m.entry(r.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Both modes must return the same bag of rows and identical merged
+    /// statistics (everything except per-segment `elapsed`).
+    fn assert_modes_agree(st: &Storage, plan: &PhysicalPlan, params: &[Datum]) -> QueryResult {
+        let seq = execute_with_params_mode(st, plan, params, ExecMode::Sequential).unwrap();
+        let par = execute_with_params_mode(st, plan, params, ExecMode::Parallel).unwrap();
+        assert_eq!(row_counts(&seq.rows), row_counts(&par.rows));
+        assert_eq!(seq.stats.parts_scanned, par.stats.parts_scanned);
+        assert_eq!(seq.stats.part_opens, par.stats.part_opens);
+        assert_eq!(seq.stats.table_scans, par.stats.table_scans);
+        assert_eq!(seq.stats.tuples_scanned, par.stats.tuples_scanned);
+        assert_eq!(seq.stats.rows_moved, par.stats.rows_moved);
+        assert_eq!(seq.stats.motions, par.stats.motions);
+        assert_eq!(seq.stats.selector_runs, par.stats.selector_runs);
+        assert_eq!(seq.stats.per_motion_rows, par.stats.per_motion_rows);
+        assert_eq!(seq.stats.per_segment.len(), par.stats.per_segment.len());
+        for (s, p) in seq.stats.per_segment.iter().zip(&par.stats.per_segment) {
+            assert_eq!(s.parts_scanned, p.parts_scanned);
+            assert_eq!(s.part_opens, p.part_opens);
+            assert_eq!(s.table_scans, p.table_scans);
+            assert_eq!(s.tuples_scanned, p.tuples_scanned);
+            assert_eq!(s.rows_moved, p.rows_moved);
+            assert_eq!(s.selector_runs, p.selector_runs);
+        }
+        par
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_dynamic_scans() {
+        let (st, r, _) = setup();
+        let pred = Expr::lt(Expr::col(cr(2, "b")), Expr::lit(25i32));
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Filter {
+                pred: pred.clone(),
+                child: Box::new(PhysicalPlan::Sequence {
+                    children: vec![static_selector(r, 1, Some(pred)), r_scan(r, 1)],
+                }),
+            }),
+        };
+        let res = assert_modes_agree(&st, &plan, &[]);
+        assert_eq!(res.rows.len(), 25);
+        assert_eq!(res.stats.parts_scanned_for(r), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_dpe_join() {
+        // The Figure 5(d) shape: a Broadcast stage feeding a selector
+        // that drives the dynamic scan on each segment.
+        let (st, r, s) = setup();
+        let s_scan = PhysicalPlan::TableScan {
+            table: s,
+            table_name: "s".into(),
+            output: vec![cr(3, "sa"), cr(4, "sb")],
+            filter: Some(Expr::lt(Expr::col(cr(4, "sb")), Expr::lit(20i32))),
+        };
+        let selector = PhysicalPlan::PartitionSelector {
+            table: r,
+            table_name: "r".into(),
+            part_scan_id: PartScanId(1),
+            part_keys: vec![cr(2, "b")],
+            predicates: vec![Some(Expr::eq(
+                Expr::col(cr(2, "b")),
+                Expr::col(cr(4, "sb")),
+            ))],
+            child: Some(Box::new(PhysicalPlan::Motion {
+                kind: MotionKind::Broadcast,
+                child: Box::new(s_scan),
+            })),
+        };
+        let join = PhysicalPlan::HashJoin {
+            join_type: JoinType::Inner,
+            left_keys: vec![Expr::col(cr(4, "sb"))],
+            right_keys: vec![Expr::col(cr(2, "b"))],
+            residual: None,
+            left: Box::new(selector),
+            right: Box::new(r_scan(r, 1)),
+        };
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(join),
+        };
+        let res = assert_modes_agree(&st, &plan, &[]);
+        assert_eq!(res.rows.len(), 2);
+        assert_eq!(res.stats.parts_scanned_for(r), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_params() {
+        let (st, r, _) = setup();
+        let pred = Expr::eq(Expr::col(cr(2, "b")), Expr::Param(1));
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Filter {
+                pred: pred.clone(),
+                child: Box::new(PhysicalPlan::Sequence {
+                    children: vec![static_selector(r, 1, Some(pred)), r_scan(r, 1)],
+                }),
+            }),
+        };
+        let res = assert_modes_agree(&st, &plan, &[Datum::Int32(42)]);
+        assert_eq!(res.rows, vec![row![42, 42]]);
+        assert_eq!(res.stats.parts_scanned_for(r), 1);
+    }
+
+    #[test]
+    fn parallel_detects_invalid_plan() {
+        // §3.1: DynamicScan whose selector never ran must error in
+        // parallel mode exactly like in sequential mode.
+        let (st, r, _) = setup();
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(r_scan(r, 1)),
+        };
+        let seq = execute_mode(&st, &plan, ExecMode::Sequential).unwrap_err();
+        let par = execute_mode(&st, &plan, ExecMode::Parallel).unwrap_err();
+        assert_eq!(seq.kind(), "invalid_plan");
+        assert_eq!(par.kind(), "invalid_plan");
+    }
+
+    #[test]
+    fn parallel_legacy_gated_part_scans_block_until_published() {
+        // The legacy gate is the cross-thread case: segment 0 computes
+        // the OID set while segments 1–3 block at their first gate.
+        let (st, r, s) = setup();
+        let tree = st.catalog().part_tree(r).unwrap();
+        let init = PhysicalPlan::InitPlanOids {
+            param: 1,
+            table: r,
+            key: Expr::col(cr(4, "sb")),
+            child: Box::new(PhysicalPlan::TableScan {
+                table: s,
+                table_name: "s".into(),
+                output: vec![cr(3, "sa"), cr(4, "sb")],
+                filter: Some(Expr::lt(Expr::col(cr(4, "sb")), Expr::lit(20i32))),
+            }),
+        };
+        let scans: Vec<PhysicalPlan> = tree
+            .leaves()
+            .iter()
+            .map(|leaf| PhysicalPlan::PartScan {
+                table: r,
+                part: leaf.oid,
+                part_name: leaf.name.clone(),
+                output: vec![cr(1, "a"), cr(2, "b")],
+                filter: None,
+                gate: Some(1),
+            })
+            .collect();
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Sequence {
+                children: vec![
+                    init,
+                    PhysicalPlan::Append {
+                        output: vec![cr(1, "a"), cr(2, "b")],
+                        children: scans,
+                    },
+                ],
+            }),
+        };
+        let res = assert_modes_agree(&st, &plan, &[]);
+        assert_eq!(res.rows.len(), 20);
+        assert_eq!(res.stats.parts_scanned_for(r), 2);
+    }
+
+    #[test]
+    fn gate_below_motion_reads_publisher_above_it() {
+        // The legacy planner emits Sequence[InitPlanOids, Join(...,
+        // Broadcast(gated Append))]: the gate sits in an *earlier* stage
+        // than its publisher's slice. Init plans pre-run before the main
+        // plan in both modes, so this works — and identically.
+        let (st, r, s) = setup();
+        let part = st.catalog().part_tree(r).unwrap().leaves()[0].oid;
+        let plan = PhysicalPlan::Append {
+            output: vec![cr(1, "a"), cr(2, "b")],
+            children: vec![
+                PhysicalPlan::Motion {
+                    kind: MotionKind::Gather,
+                    child: Box::new(PhysicalPlan::PartScan {
+                        table: r,
+                        part,
+                        part_name: "p".into(),
+                        output: vec![cr(1, "a"), cr(2, "b")],
+                        filter: None,
+                        gate: Some(1),
+                    }),
+                },
+                PhysicalPlan::InitPlanOids {
+                    param: 1,
+                    table: r,
+                    key: Expr::col(cr(4, "sb")),
+                    child: Box::new(PhysicalPlan::TableScan {
+                        table: s,
+                        table_name: "s".into(),
+                        output: vec![cr(3, "sa"), cr(4, "sb")],
+                        filter: None,
+                    }),
+                },
+            ],
+        };
+        // S values 0..10 route to partition [0,10) = the first leaf: the
+        // gate admits the scan, so its 10 rows come back from each mode.
+        let res = assert_modes_agree(&st, &plan, &[]);
+        assert_eq!(res.rows.len(), 10);
+        assert_eq!(res.stats.parts_scanned_for(r), 1);
+    }
+
+    #[test]
+    fn init_plan_oids_rejects_multilevel_table() {
+        // Regression: InitPlanOids used to route the key through level 0
+        // only, silently picking wrong partitions on multi-level tables.
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int32),
+            Column::new("region", DataType::Utf8),
+        ]);
+        let t = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(10);
+        let tree = mpp_catalog::PartTree::new(
+            vec![
+                mpp_catalog::builders::range_level_equal_width(
+                    0,
+                    Datum::Int32(0),
+                    Datum::Int32(50),
+                    5,
+                )
+                .unwrap(),
+                mpp_catalog::builders::list_level(
+                    1,
+                    vec![
+                        ("r1".into(), vec![Datum::str("A")]),
+                        ("r2".into(), vec![Datum::str("B")]),
+                    ],
+                    false,
+                )
+                .unwrap(),
+            ],
+            first,
+        )
+        .unwrap();
+        cat.register(TableDesc {
+            oid: t,
+            name: "t".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(tree),
+        })
+        .unwrap();
+        let st = Storage::new(cat, 4);
+        st.insert(t, (0..10).map(|i| row![i, "A"])).unwrap();
+
+        let leaves = st.catalog().part_tree(t).unwrap().leaves().to_vec();
+        let plan = PhysicalPlan::Sequence {
+            children: vec![
+                PhysicalPlan::InitPlanOids {
+                    param: 1,
+                    table: t,
+                    key: Expr::col(cr(1, "k")),
+                    child: Box::new(PhysicalPlan::Values {
+                        rows: vec![vec![Datum::Int32(7)]],
+                        output: vec![cr(1, "k")],
+                    }),
+                },
+                PhysicalPlan::PartScan {
+                    table: t,
+                    part: leaves[0].oid,
+                    part_name: leaves[0].name.clone(),
+                    output: vec![cr(1, "k"), cr(2, "region")],
+                    filter: None,
+                    gate: Some(1),
+                },
+            ],
+        };
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let err = execute_mode(&st, &plan, mode).unwrap_err();
+            assert_eq!(err.kind(), "invalid_plan", "{mode:?}");
+            assert!(err.to_string().contains("single-level"), "{err}");
+        }
+    }
+
+    #[test]
+    fn motion_cache_key_is_stable_across_clones() {
+        // Address-keyed caching regressed when plans were cloned: the
+        // clone's nodes had fresh addresses and missed the cache/stats
+        // keys. Stable MotionIds make the clone behave identically.
+        let (st, r, _) = setup();
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Sequence {
+                children: vec![static_selector(r, 1, None), r_scan(r, 1)],
+            }),
+        };
+        let a = execute(&st, &plan).unwrap();
+        let b = execute(&st, &plan.clone()).unwrap();
+        assert_eq!(a.stats.motions, b.stats.motions);
+        assert_eq!(a.stats.per_motion_rows, b.stats.per_motion_rows);
+        assert_eq!(
+            a.stats.per_motion_rows.get(&mpp_common::MotionId(0)),
+            Some(&100)
+        );
     }
 }

@@ -18,17 +18,31 @@
 //!   runtime error — the §3.1 invalid-plan condition, detectable here as
 //!   well as statically.
 //!
+//! Execution comes in two [`ExecMode`]s: `Sequential` (one driver
+//! thread interprets every segment's slice in turn) and `Parallel` (the
+//! plan is cut into slices at Motion boundaries — see [`slice`] — and
+//! every segment's slice runs on its own worker thread, stage by
+//! stage). Both modes return the same bag of rows and identical merged
+//! statistics; only the per-segment `elapsed` breakdown differs.
+//!
 //! Execution also collects [`ExecutionStats`] — distinct partitions
-//! scanned per table, tuples read, rows moved — which the benchmark
-//! harness uses to regenerate the paper's Figures 16–17.
+//! scanned per table, tuples read, rows moved, now with per-segment
+//! [`SegmentStats`] — which the benchmark harness uses to regenerate
+//! the paper's Figures 16–17 and Table 2.
 
 pub mod context;
 pub mod exec;
+mod pool;
+pub mod slice;
 pub mod stats;
 
 #[cfg(test)]
 mod motion_tests;
 
 pub use context::ExecContext;
-pub use exec::{execute, execute_with_params, Executor, QueryResult};
-pub use stats::ExecutionStats;
+pub use exec::{
+    execute, execute_mode, execute_with_params, execute_with_params_mode, ExecMode, Executor,
+    QueryResult,
+};
+pub use slice::SlicePlan;
+pub use stats::{ExecutionStats, SegmentStats};

@@ -216,8 +216,11 @@ fn redistribute_on_null_keys_is_deterministic() {
     })
     .unwrap();
     let st = Storage::new(cat, 4);
-    st.insert(t, vec![Row::new(vec![Datum::Null]), Row::new(vec![Datum::Null])])
-        .unwrap();
+    st.insert(
+        t,
+        vec![Row::new(vec![Datum::Null]), Row::new(vec![Datum::Null])],
+    )
+    .unwrap();
     let plan = PhysicalPlan::Motion {
         kind: MotionKind::Redistribute(vec![cr(1, "a")]),
         child: Box::new(PhysicalPlan::TableScan {

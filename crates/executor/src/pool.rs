@@ -1,0 +1,163 @@
+//! Long-lived segment worker threads.
+//!
+//! An MPP deployment keeps one executor process per segment alive for
+//! the lifetime of the cluster; queries are dispatched to the processes
+//! that already exist. Spawning fresh threads per query (or worse, per
+//! slice) pays thread start-up latency on the critical path of every
+//! stage — measurably more than the fan-out saves on short queries.
+//! This module mirrors the real architecture: a process-global pool of
+//! worker threads, one per segment beyond segment 0 (which runs inline
+//! on the query's driver thread), parked on a job channel between
+//! queries.
+//!
+//! The only subtle part is lifetimes: jobs borrow the plan and the
+//! per-query [`crate::context::ExecContext`], which do not live for
+//! `'static`. [`run_with`] erases the lifetime to hand the job to a
+//! long-lived thread, and re-establishes safety by not returning until
+//! every job has either run to completion or provably never started —
+//! the borrows outlive the call, and the call outlives the jobs.
+
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::OnceLock;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Worker {
+    jobs: mpsc::Sender<Job>,
+}
+
+fn spawn_worker(idx: usize) -> Worker {
+    let (tx, rx) = mpsc::channel::<Job>();
+    std::thread::Builder::new()
+        .name(format!("mpp-segment-{}", idx + 1))
+        .spawn(move || {
+            for job in rx {
+                // A panicking slice must not take the long-lived worker
+                // down with it; the driver observes the panic through
+                // the job's completion receipt.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+        })
+        .expect("failed to spawn segment worker thread");
+    Worker { jobs: tx }
+}
+
+static POOL: OnceLock<Mutex<Vec<Worker>>> = OnceLock::new();
+
+/// Dispatch `jobs[i]` to long-lived worker thread `i`, run `main` on the
+/// calling thread while they execute, then block until every job has
+/// finished. Returns `main`'s result plus, per job, whether it completed
+/// without panicking (`false` covers both a panicked job and a job that
+/// never ran because its worker was gone).
+pub(crate) fn run_with<'env, T>(
+    jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    main: impl FnOnce() -> T,
+) -> (T, Vec<bool>) {
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut receipts: Vec<Option<mpsc::Receiver<()>>> = Vec::with_capacity(jobs.len());
+    {
+        let mut workers = pool.lock();
+        while workers.len() < jobs.len() {
+            let idx = workers.len();
+            workers.push(spawn_worker(idx));
+        }
+        for (i, job) in jobs.into_iter().enumerate() {
+            // SAFETY: this function does not return before `done_rx`
+            // yields a receipt or disconnects, and either outcome means
+            // the job has finished running (or was dropped without ever
+            // running, see the send-failure arm). Everything the job
+            // borrows therefore outlives its execution; the `'static`
+            // erasure is confined to that window.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            let (done_tx, done_rx) = mpsc::channel::<()>();
+            let wrapped: Job = Box::new(move || {
+                job();
+                let _ = done_tx.send(());
+            });
+            match workers[i].jobs.send(wrapped) {
+                Ok(()) => receipts.push(Some(done_rx)),
+                Err(_) => {
+                    // The worker's queue hung up (its thread died on a
+                    // prior panic path): the job came back in the error
+                    // and was dropped unrun. Replace the worker so the
+                    // next batch has a live one.
+                    workers[i] = spawn_worker(i);
+                    receipts.push(None);
+                }
+            }
+        }
+        // Release the pool lock before blocking: concurrent queries may
+        // enqueue to the same workers while this one waits.
+    }
+    // If `main` panics we must still join the outstanding jobs before
+    // unwinding — they borrow stack data from our caller.
+    let main_out = catch_unwind(AssertUnwindSafe(main));
+    let oks: Vec<bool> = receipts
+        .into_iter()
+        .map(|r| match r {
+            // A disconnect without a receipt means the job panicked (the
+            // completion sender was dropped during unwind) — it is no
+            // longer running either way.
+            Some(rx) => rx.recv().is_ok(),
+            None => false,
+        })
+        .collect();
+    match main_out {
+        Ok(out) => (out, oks),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn jobs_run_on_workers_and_join() {
+        let counter = AtomicU64::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4u64)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(i + 1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let (main_out, oks) = run_with(jobs, || 7);
+        assert_eq!(main_out, 7);
+        assert_eq!(oks, vec![true; 4]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn panicked_job_reports_false_and_pool_survives() {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| panic!("boom")), Box::new(|| {})];
+        let ((), oks) = run_with(jobs, || {});
+        assert_eq!(oks, vec![false, true]);
+        // The workers are still serviceable afterwards.
+        let done = AtomicU64::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..2)
+            .map(|_| {
+                let done = &done;
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let ((), oks) = run_with(jobs, || {});
+        assert_eq!(oks, vec![true, true]);
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_batch_just_runs_main() {
+        let (out, oks) = run_with(Vec::new(), || "main");
+        assert_eq!(out, "main");
+        assert!(oks.is_empty());
+    }
+}

@@ -1,9 +1,53 @@
 //! Execution statistics.
+//!
+//! Counters are collected **per segment** in a [`SegmentStats`] (each
+//! worker thread owns its own slot under parallel execution) and merged
+//! deterministically — in segment order, with order-insensitive set
+//! unions and sums — into the query-level [`ExecutionStats`]. Every
+//! merged counter is therefore identical between sequential and
+//! parallel execution of the same plan; only `elapsed` is
+//! mode-dependent (wall-clock per worker vs. a share of one thread).
 
-use mpp_common::{PartOid, TableOid};
+use mpp_common::{MotionId, PartOid, SegmentId, TableOid};
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
-/// Counters collected during one query execution.
+/// Counters collected by one segment (worker) during one execution.
+#[derive(Debug, Default, Clone)]
+pub struct SegmentStats {
+    /// Wall-clock time this segment spent executing its slices. Under
+    /// `ExecMode::Parallel` this is the worker thread's own time; under
+    /// `ExecMode::Sequential` it is the segment's share of the single
+    /// driver thread. Excluded from cross-mode equivalence.
+    pub elapsed: Duration,
+    /// Distinct leaf partitions this segment scanned, per root table.
+    pub parts_scanned: HashMap<TableOid, HashSet<PartOid>>,
+    /// Partition opens on this segment (each loop over a partition counts).
+    pub part_opens: u64,
+    /// Unpartitioned-table scans on this segment.
+    pub table_scans: u64,
+    /// Tuples this segment read from storage.
+    pub tuples_scanned: u64,
+    /// Rows this segment *sent* across Motion boundaries.
+    pub rows_moved: u64,
+    /// Partition-selector invocations on this segment.
+    pub selector_runs: u64,
+}
+
+impl SegmentStats {
+    pub fn record_part_scan(&mut self, table: TableOid, part: PartOid, tuples: usize) {
+        self.parts_scanned.entry(table).or_default().insert(part);
+        self.part_opens += 1;
+        self.tuples_scanned += tuples as u64;
+    }
+
+    pub fn record_table_scan(&mut self, tuples: usize) {
+        self.table_scans += 1;
+        self.tuples_scanned += tuples as u64;
+    }
+}
+
+/// Counters for one query execution, merged across segments.
 #[derive(Debug, Default, Clone)]
 pub struct ExecutionStats {
     /// Distinct leaf partitions scanned, per root table — the metric of
@@ -24,6 +68,12 @@ pub struct ExecutionStats {
     pub rows_returned: u64,
     /// Partition-selector invocations.
     pub selector_runs: u64,
+    /// Rows materialized by each Motion node, keyed by its stable
+    /// [`MotionId`] (not its node address, so clones/re-executions of a
+    /// plan report under the same key).
+    pub per_motion_rows: HashMap<MotionId, u64>,
+    /// Per-segment breakdown, indexed by `SegmentId.0`.
+    pub per_segment: Vec<SegmentStats>,
 }
 
 impl ExecutionStats {
@@ -47,6 +97,31 @@ impl ExecutionStats {
         self.table_scans += 1;
         self.tuples_scanned += tuples as u64;
     }
+
+    /// The per-segment view for one segment, if it exists.
+    pub fn segment(&self, seg: SegmentId) -> Option<&SegmentStats> {
+        self.per_segment.get(seg.0 as usize)
+    }
+
+    /// Fold per-segment counters into the query-level totals, in segment
+    /// order. Sets and sums are order-insensitive, so the result is
+    /// identical no matter how the segments were scheduled.
+    pub fn merge_segments(&mut self, per_segment: Vec<SegmentStats>) {
+        for seg in &per_segment {
+            for (table, parts) in &seg.parts_scanned {
+                self.parts_scanned
+                    .entry(*table)
+                    .or_default()
+                    .extend(parts.iter().copied());
+            }
+            self.part_opens += seg.part_opens;
+            self.table_scans += seg.table_scans;
+            self.tuples_scanned += seg.tuples_scanned;
+            self.rows_moved += seg.rows_moved;
+            self.selector_runs += seg.selector_runs;
+        }
+        self.per_segment = per_segment;
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +139,37 @@ mod tests {
         assert_eq!(s.total_parts_scanned(), 3);
         assert_eq!(s.part_opens, 4);
         assert_eq!(s.tuples_scanned, 16);
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_complete() {
+        let mut a = SegmentStats::default();
+        a.record_part_scan(TableOid(1), PartOid(10), 5);
+        a.record_table_scan(3);
+        a.rows_moved = 7;
+        a.selector_runs = 1;
+        let mut b = SegmentStats::default();
+        b.record_part_scan(TableOid(1), PartOid(10), 2); // same part on another segment
+        b.record_part_scan(TableOid(1), PartOid(11), 4);
+        b.rows_moved = 2;
+
+        let mut fwd = ExecutionStats::default();
+        fwd.merge_segments(vec![a.clone(), b.clone()]);
+        assert_eq!(fwd.parts_scanned_for(TableOid(1)), 2);
+        assert_eq!(fwd.part_opens, 3);
+        assert_eq!(fwd.table_scans, 1);
+        assert_eq!(fwd.tuples_scanned, 14);
+        assert_eq!(fwd.rows_moved, 9);
+        assert_eq!(fwd.selector_runs, 1);
+        assert_eq!(fwd.per_segment.len(), 2);
+        assert_eq!(fwd.segment(SegmentId(1)).unwrap().part_opens, 2);
+
+        // The totals do not depend on which segment did what.
+        let mut rev = ExecutionStats::default();
+        rev.merge_segments(vec![b, a]);
+        assert_eq!(rev.parts_scanned, fwd.parts_scanned);
+        assert_eq!(rev.part_opens, fwd.part_opens);
+        assert_eq!(rev.tuples_scanned, fwd.tuples_scanned);
+        assert_eq!(rev.rows_moved, fwd.rows_moved);
     }
 }

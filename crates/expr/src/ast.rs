@@ -152,6 +152,9 @@ impl Expr {
         }
     }
 
+    // An `Expr -> Expr` constructor, not a `&self` negation — `ops::Not`
+    // does not fit.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         Expr::Not(Box::new(e))
     }
@@ -200,7 +203,9 @@ impl Expr {
             }
             Expr::InList { expr, list, .. } => {
                 expr.is_constant_given_params(params_bound)
-                    && list.iter().all(|e| e.is_constant_given_params(params_bound))
+                    && list
+                        .iter()
+                        .all(|e| e.is_constant_given_params(params_bound))
             }
         }
     }

@@ -124,14 +124,8 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> Result<Datum> {
             let v = eval(expr, row, ctx)?;
             let lo = eval(low, row, ctx)?;
             let hi = eval(high, row, ctx)?;
-            let ge_low = match v.sql_cmp(&lo)? {
-                None => None,
-                Some(ord) => Some(ord != Ordering::Less),
-            };
-            let le_high = match v.sql_cmp(&hi)? {
-                None => None,
-                Some(ord) => Some(ord != Ordering::Greater),
-            };
+            let ge_low = v.sql_cmp(&lo)?.map(|ord| ord != Ordering::Less);
+            let le_high = v.sql_cmp(&hi)?.map(|ord| ord != Ordering::Greater);
             Ok(match (ge_low, le_high) {
                 (Some(false), _) | (_, Some(false)) => Datum::Bool(false),
                 (Some(true), Some(true)) => Datum::Bool(true),

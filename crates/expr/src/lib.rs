@@ -23,8 +23,8 @@ pub mod interval;
 pub mod simplify;
 
 pub use analysis::{
-    collect_columns, conj, derive_interval_set, find_pred_on_key, references_only,
-    split_conjuncts, substitute_columns, DerivedSet,
+    collect_columns, conj, derive_interval_set, find_pred_on_key, references_only, split_conjuncts,
+    substitute_columns, DerivedSet,
 };
 pub use ast::{CmpOp, Expr};
 pub use colref::{ColRef, ColRefGenerator};

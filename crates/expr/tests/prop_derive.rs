@@ -56,7 +56,7 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::And),
             prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Or),
-            inner.prop_map(|e| Expr::not(e)),
+            inner.prop_map(Expr::not),
         ]
     })
 }

@@ -11,14 +11,8 @@ fn d(v: i32) -> Datum {
 }
 
 fn arb_interval() -> impl Strategy<Value = Interval> {
-    (
-        -50i32..50,
-        -50i32..50,
-        any::<bool>(),
-        any::<bool>(),
-        0u8..4,
-    )
-        .prop_map(|(a, b, li, hi, unbounded)| {
+    (-50i32..50, -50i32..50, any::<bool>(), any::<bool>(), 0u8..4).prop_map(
+        |(a, b, li, hi, unbounded)| {
             let (lo, hi_v) = (a.min(b), a.max(b));
             let low = match unbounded {
                 1 | 3 => LowBound::NegInf,
@@ -31,7 +25,8 @@ fn arb_interval() -> impl Strategy<Value = Interval> {
                 _ => HighBound::Excl(d(hi_v)),
             };
             Interval::new(low, high)
-        })
+        },
+    )
 }
 
 fn arb_set() -> impl Strategy<Value = IntervalSet> {

@@ -643,8 +643,14 @@ mod tests {
         let s = cat.allocate_table_oid();
         let partitioning = s_parts.map(|n| {
             let first = cat.allocate_part_oids(n);
-            range_parts_equal_width(1, Datum::Int32(0), Datum::Int32(n as i32 * 10), n as usize, first)
-                .unwrap()
+            range_parts_equal_width(
+                1,
+                Datum::Int32(0),
+                Datum::Int32(n as i32 * 10),
+                n as usize,
+                first,
+            )
+            .unwrap()
         });
         cat.register(TableDesc {
             oid: s,
@@ -715,7 +721,10 @@ mod tests {
             let plan = p.optimize(&logical).unwrap();
             sizes.push(plan_size_bytes(&plan));
         }
-        assert!(sizes[3] > sizes[0] * 3, "sizes {sizes:?} should grow ~linearly");
+        assert!(
+            sizes[3] > sizes[0] * 3,
+            "sizes {sizes:?} should grow ~linearly"
+        );
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub use mpp_workloads as workloads;
 use mpp_catalog::Catalog;
 use mpp_common::{Datum, Error, Result, Row};
 use mpp_core::{Optimizer, OptimizerConfig};
-use mpp_executor::{execute_with_params, ExecutionStats};
+pub use mpp_executor::ExecMode;
+use mpp_executor::{execute_with_params_mode, ExecutionStats};
 use mpp_expr::ColRefGenerator;
 use mpp_legacy::LegacyPlanner;
 use mpp_plan::{explain, PhysicalPlan};
@@ -62,6 +63,7 @@ pub struct MppDb {
     optimizer: Optimizer,
     legacy: LegacyPlanner,
     gen: ColRefGenerator,
+    exec_mode: ExecMode,
 }
 
 impl MppDb {
@@ -83,7 +85,23 @@ impl MppDb {
             optimizer: Optimizer::new(catalog.clone(), config),
             legacy: LegacyPlanner::new(catalog),
             gen: ColRefGenerator::new(),
+            exec_mode: ExecMode::Sequential,
         }
+    }
+
+    /// Same database, executing queries under the given [`ExecMode`]
+    /// (per-segment worker threads when `Parallel`).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> MppDb {
+        self.exec_mode = mode;
+        self
+    }
+
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -147,7 +165,7 @@ impl MppDb {
                 plan,
             });
         }
-        let res = execute_with_params(&self.storage, &plan, params)?;
+        let res = execute_with_params_mode(&self.storage, &plan, params, self.exec_mode)?;
         Ok(QueryOutcome {
             rows: res.rows,
             stats: res.stats,
@@ -161,11 +179,7 @@ impl MppDb {
         self.sql_legacy_with_params(sql_text, &[])
     }
 
-    pub fn sql_legacy_with_params(
-        &self,
-        sql_text: &str,
-        params: &[Datum],
-    ) -> Result<QueryOutcome> {
+    pub fn sql_legacy_with_params(&self, sql_text: &str, params: &[Datum]) -> Result<QueryOutcome> {
         let stmt = mpp_sql::parse(sql_text)?;
         if let Some(outcome) = self.try_ddl(&stmt)? {
             return Ok(outcome);
@@ -183,7 +197,7 @@ impl MppDb {
                 plan,
             });
         }
-        let res = execute_with_params(&self.storage, &plan, params)?;
+        let res = execute_with_params_mode(&self.storage, &plan, params, self.exec_mode)?;
         Ok(QueryOutcome {
             rows: res.rows,
             stats: res.stats,
@@ -261,5 +275,27 @@ mod tests {
         setup_rs(db.storage(), &SynthConfig::default()).unwrap();
         let err = db.sql("SELECT * FROM r WHERE b = $1").unwrap_err();
         assert!(err.to_string().contains("parameters"));
+    }
+
+    #[test]
+    fn parallel_mode_matches_sequential_through_sql() {
+        let seq_db = MppDb::new(4);
+        setup_rs(seq_db.storage(), &SynthConfig::default()).unwrap();
+        let par_db = MppDb::new(4).with_exec_mode(ExecMode::Parallel);
+        setup_rs(par_db.storage(), &SynthConfig::default()).unwrap();
+        for q in [
+            "SELECT count(*) FROM r WHERE b < 100",
+            "SELECT * FROM r, s WHERE r.a = s.a AND s.b = 3",
+        ] {
+            let seq = seq_db.sql(q).unwrap();
+            let par = par_db.sql(q).unwrap();
+            let mut a = seq.rows;
+            let mut b = par.rows;
+            a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            assert_eq!(a, b, "{q}");
+            assert_eq!(seq.stats.parts_scanned, par.stats.parts_scanned, "{q}");
+            assert_eq!(seq.stats.tuples_scanned, par.stats.tuples_scanned, "{q}");
+        }
     }
 }

@@ -27,13 +27,17 @@ pub fn approx_same_bag(a: Vec<Row>, b: Vec<Row>) -> bool {
     }
     a.iter().zip(&b).all(|(ra, rb)| {
         ra.len() == rb.len()
-            && ra.values().iter().zip(rb.values()).all(|(x, y)| match (x, y) {
-                (Datum::Float64(x), Datum::Float64(y)) => {
-                    let scale = x.abs().max(y.abs()).max(1.0);
-                    (x - y).abs() <= 1e-9 * scale
-                }
-                _ => x == y,
-            })
+            && ra
+                .values()
+                .iter()
+                .zip(rb.values())
+                .all(|(x, y)| match (x, y) {
+                    (Datum::Float64(x), Datum::Float64(y)) => {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        (x - y).abs() <= 1e-9 * scale
+                    }
+                    _ => x == y,
+                })
     })
 }
 

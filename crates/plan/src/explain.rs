@@ -104,9 +104,7 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
                 write!(text, " on {p}").unwrap();
             }
         }
-        PhysicalPlan::HashAgg {
-            group_by, aggs, ..
-        } => {
+        PhysicalPlan::HashAgg { group_by, aggs, .. } => {
             write!(text, "HashAgg").unwrap();
             if !group_by.is_empty() {
                 write!(text, " by ").unwrap();

@@ -21,7 +21,7 @@
 
 use crate::agg::AggCall;
 use crate::logical::JoinType;
-use mpp_common::{Datum, PartOid, PartScanId, TableOid};
+use mpp_common::{Datum, MotionId, PartOid, PartScanId, TableOid};
 use mpp_expr::{ColRef, Expr};
 use serde::{Deserialize, Serialize};
 
@@ -205,10 +205,9 @@ impl PhysicalPlan {
             PhysicalPlan::PartitionSelector { child, .. } => {
                 child.as_ref().map(|c| c.output_cols()).unwrap_or_default()
             }
-            PhysicalPlan::Sequence { children } => children
-                .last()
-                .map(|c| c.output_cols())
-                .unwrap_or_default(),
+            PhysicalPlan::Sequence { children } => {
+                children.last().map(|c| c.output_cols()).unwrap_or_default()
+            }
             PhysicalPlan::Filter { child, .. }
             | PhysicalPlan::Motion { child, .. }
             | PhysicalPlan::Limit { child, .. }
@@ -327,6 +326,26 @@ impl PhysicalPlan {
                 out.push((*part_scan_id, *table));
             }
         });
+        out
+    }
+
+    /// Every `Motion` node in the subtree paired with its stable
+    /// [`MotionId`]: the node's pre-order position among Motion nodes.
+    /// The id depends only on tree shape, so clones and re-executions of
+    /// a plan get identical ids — this is what the executor keys its
+    /// materialization cache and per-motion statistics by, instead of
+    /// raw node addresses.
+    pub fn motion_sites(&self) -> Vec<(MotionId, &PhysicalPlan)> {
+        fn walk<'a>(node: &'a PhysicalPlan, out: &mut Vec<(MotionId, &'a PhysicalPlan)>) {
+            if matches!(node, PhysicalPlan::Motion { .. }) {
+                out.push((MotionId(out.len() as u32), node));
+            }
+            for c in node.children() {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
         out
     }
 

@@ -469,7 +469,11 @@ mod tests {
             child: Box::new(part_scan(0)),
         };
         let wide = PhysicalPlan::Filter {
-            pred: Expr::and((0..20).map(|i| Expr::eq(Expr::col(cr(i)), Expr::lit(i as i32))).collect()),
+            pred: Expr::and(
+                (0..20)
+                    .map(|i| Expr::eq(Expr::col(cr(i)), Expr::lit(i as i32)))
+                    .collect(),
+            ),
             child: Box::new(part_scan(0)),
         };
         assert!(plan_size_bytes(&wide) > plan_size_bytes(&narrow) + 100);

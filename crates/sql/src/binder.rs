@@ -45,7 +45,10 @@ pub fn bind(stmt: &Statement, catalog: &Catalog, gen: &ColRefGenerator) -> Resul
             set,
             from,
             where_clause,
-        } => (b.bind_update(table, set, from, where_clause.as_ref())?, false),
+        } => (
+            b.bind_update(table, set, from, where_clause.as_ref())?,
+            false,
+        ),
         Statement::Delete {
             table,
             using,
@@ -216,10 +219,7 @@ impl<'a> Binder<'a> {
                             } else {
                                 JoinType::LeftSemi
                             },
-                            pred: self.coerce_cmp(Expr::eq(
-                                probe,
-                                Expr::col(sub_out[0].1.clone()),
-                            )),
+                            pred: self.coerce_cmp(Expr::eq(probe, Expr::col(sub_out[0].1.clone()))),
                             left: Box::new(plan),
                             right: Box::new(sub),
                         };
@@ -293,10 +293,8 @@ impl<'a> Binder<'a> {
                 }
             }
             let mut agg_output = group_cols.clone();
-            let agg_refs: Vec<ColRef> = aggs
-                .iter()
-                .map(|a| self.gen.fresh(a.func.name()))
-                .collect();
+            let agg_refs: Vec<ColRef> =
+                aggs.iter().map(|a| self.gen.fresh(a.func.name())).collect();
             agg_output.extend(agg_refs.clone());
             plan = LogicalPlan::Agg {
                 group_by: group_cols,
@@ -363,7 +361,11 @@ impl<'a> Binder<'a> {
         if !q.order_by.is_empty() {
             let mut keys = Vec::new();
             for (e, desc) in &q.order_by {
-                let AstExpr::Column { qualifier: None, name } = e else {
+                let AstExpr::Column {
+                    qualifier: None,
+                    name,
+                } = e
+                else {
                     return Err(Error::Unsupported(
                         "ORDER BY supports select-list column names only".into(),
                     ));
@@ -373,7 +375,9 @@ impl<'a> Binder<'a> {
                     .find(|(n, _)| n.eq_ignore_ascii_case(name))
                     .map(|(_, c)| c.clone())
                     .ok_or_else(|| {
-                        Error::Bind(format!("ORDER BY column '{name}' is not in the select list"))
+                        Error::Bind(format!(
+                            "ORDER BY column '{name}' is not in the select list"
+                        ))
                     })?;
                 keys.push((found, *desc));
             }
@@ -568,10 +572,7 @@ impl<'a> Binder<'a> {
         } = e
         {
             let t = self.type_of(&expr);
-            let list = list
-                .into_iter()
-                .map(|i| self.coerce_side(t, i))
-                .collect();
+            let list = list.into_iter().map(|i| self.coerce_side(t, i)).collect();
             Ok(Expr::InList {
                 expr,
                 list,
@@ -613,9 +614,8 @@ impl<'a> Binder<'a> {
                 let bound = self.bind_expr(ast, &scope)?;
                 let col_type = schema.column(pos)?.data_type;
                 let coerced = self.coerce_side(Some(col_type), bound);
-                let v = mpp_expr::analysis::eval_const(&coerced, None).ok_or_else(|| {
-                    Error::Unsupported("INSERT values must be constants".into())
-                })?;
+                let v = mpp_expr::analysis::eval_const(&coerced, None)
+                    .ok_or_else(|| Error::Unsupported("INSERT values must be constants".into()))?;
                 values[pos] = coerce_datum(v, col_type)?;
             }
             out_rows.push(values);
@@ -752,9 +752,7 @@ fn contains_agg(e: &AstExpr) -> bool {
         AstExpr::Between {
             expr, low, high, ..
         } => contains_agg(expr) || contains_agg(low) || contains_agg(high),
-        AstExpr::InList { expr, list, .. } => {
-            contains_agg(expr) || list.iter().any(contains_agg)
-        }
+        AstExpr::InList { expr, list, .. } => contains_agg(expr) || list.iter().any(contains_agg),
         _ => false,
     }
 }
@@ -909,9 +907,8 @@ mod tests {
 
     #[test]
     fn binds_qualified_and_aliased_columns() {
-        let b = bind_sql(
-            "SELECT o.amount, d.month FROM orders o, date_dim d WHERE o.date_id = d.id",
-        );
+        let b =
+            bind_sql("SELECT o.amount, d.month FROM orders o, date_dim d WHERE o.date_id = d.id");
         assert!(matches!(b.plan, LogicalPlan::Project { .. }));
         assert_eq!(b.plan.output_cols().len(), 2);
     }
@@ -921,8 +918,7 @@ mod tests {
         let cat = catalog();
         let gen = ColRefGenerator::new();
         // `id` exists in both date_dim and customer_dim.
-        let err =
-            crate::plan_sql("SELECT id FROM date_dim, customer_dim", &cat, &gen).unwrap_err();
+        let err = crate::plan_sql("SELECT id FROM date_dim, customer_dim", &cat, &gen).unwrap_err();
         assert!(err.to_string().contains("ambiguous"));
     }
 
@@ -937,14 +933,9 @@ mod tests {
 
     #[test]
     fn group_by_with_aggregates() {
-        let b = bind_sql(
-            "SELECT cust_id, count(*), sum(amount) FROM orders GROUP BY cust_id",
-        );
+        let b = bind_sql("SELECT cust_id, count(*), sum(amount) FROM orders GROUP BY cust_id");
         fn find_agg(p: &LogicalPlan) -> Option<(usize, usize)> {
-            if let LogicalPlan::Agg {
-                group_by, aggs, ..
-            } = p
-            {
+            if let LogicalPlan::Agg { group_by, aggs, .. } = p {
                 return Some((group_by.len(), aggs.len()));
             }
             p.children().into_iter().find_map(find_agg)

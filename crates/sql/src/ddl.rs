@@ -34,7 +34,9 @@ pub fn execute_ddl(stmt: &Statement, catalog: &Catalog) -> Result<TableOid> {
             catalog.drop_table(oid)?;
             Ok(oid)
         }
-        _ => Err(Error::Internal("execute_ddl called on a non-DDL statement".into())),
+        _ => Err(Error::Internal(
+            "execute_ddl called on a non-DDL statement".into(),
+        )),
     }
 }
 
@@ -56,9 +58,10 @@ fn literal(e: &AstExpr, ty: DataType) -> Result<Datum> {
     let d = match e {
         AstExpr::IntLit(v) => {
             if ty == DataType::Int32 {
-                Datum::Int32(i32::try_from(*v).map_err(|_| {
-                    Error::Parse(format!("{v} out of range for int4"))
-                })?)
+                Datum::Int32(
+                    i32::try_from(*v)
+                        .map_err(|_| Error::Parse(format!("{v} out of range for int4")))?,
+                )
             } else {
                 Datum::Int64(*v)
             }

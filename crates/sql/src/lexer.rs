@@ -176,9 +176,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 let start = i;
                 let mut j = i;
                 let mut is_float = false;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     if bytes[j] == b'.' {
                         // Don't eat a trailing dot that isn't a decimal
                         // point (e.g. `1.foo` is invalid anyway).

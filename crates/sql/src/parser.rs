@@ -326,9 +326,9 @@ impl Parser {
             }
         }
         self.expect_kw("from")?;
-        let mut from = vec![self.from_item()?];
+        let mut from = vec![self.parse_from_item()?];
         while self.eat_if(&Token::Comma) {
-            from.push(self.from_item()?);
+            from.push(self.parse_from_item()?);
         }
         let where_clause = if self.eat_kw("where") {
             Some(self.expr()?)
@@ -382,17 +382,13 @@ impl Parser {
         let name = self.ident()?;
         // Alias: a bare identifier that isn't a clause keyword.
         let alias = match self.peek() {
-            Some(Token::Ident(s))
-                if !is_clause_keyword(s) =>
-            {
-                Some(self.ident()?)
-            }
+            Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.ident()?),
             _ => None,
         };
         Ok(TableRef { name, alias })
     }
 
-    fn from_item(&mut self) -> Result<FromItem> {
+    fn parse_from_item(&mut self) -> Result<FromItem> {
         let mut item = FromItem::Table(self.table_ref()?);
         loop {
             let left_outer = if self.eat_kw("inner") {
@@ -602,9 +598,9 @@ impl Parser {
         }
         let mut from = Vec::new();
         if self.eat_kw("from") {
-            from.push(self.from_item()?);
+            from.push(self.parse_from_item()?);
             while self.eat_if(&Token::Comma) {
-                from.push(self.from_item()?);
+                from.push(self.parse_from_item()?);
             }
         }
         let where_clause = if self.eat_kw("where") {
@@ -625,9 +621,9 @@ impl Parser {
         let table = self.table_ref()?;
         let mut using = Vec::new();
         if self.eat_kw("using") {
-            using.push(self.from_item()?);
+            using.push(self.parse_from_item()?);
             while self.eat_if(&Token::Comma) {
-                using.push(self.from_item()?);
+                using.push(self.parse_from_item()?);
             }
         }
         let where_clause = if self.eat_kw("where") {
@@ -888,9 +884,32 @@ impl Parser {
 
 fn is_clause_keyword(s: &str) -> bool {
     const KW: &[&str] = &[
-        "where", "group", "order", "limit", "join", "inner", "left", "right", "outer", "on",
-        "set", "from", "using", "values", "as", "and", "or", "not", "union", "asc", "desc",
-        "group", "by", "distributed", "partition", "subpartition",
+        "where",
+        "group",
+        "order",
+        "limit",
+        "join",
+        "inner",
+        "left",
+        "right",
+        "outer",
+        "on",
+        "set",
+        "from",
+        "using",
+        "values",
+        "as",
+        "and",
+        "or",
+        "not",
+        "union",
+        "asc",
+        "desc",
+        "group",
+        "by",
+        "distributed",
+        "partition",
+        "subpartition",
     ];
     KW.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -986,7 +1005,9 @@ mod tests {
     fn parses_dml() {
         let s = parse("UPDATE r SET b = s.b FROM s WHERE r.a = s.a").unwrap();
         match s {
-            Statement::Update { table, set, from, .. } => {
+            Statement::Update {
+                table, set, from, ..
+            } => {
                 assert_eq!(table.name, "r");
                 assert_eq!(set.len(), 1);
                 assert_eq!(from.len(), 1);
@@ -1012,7 +1033,11 @@ mod tests {
             Statement::Select(q) => {
                 let w = q.where_clause.unwrap();
                 match w {
-                    AstExpr::Binary { op: BinOp::And, left, right } => {
+                    AstExpr::Binary {
+                        op: BinOp::And,
+                        left,
+                        right,
+                    } => {
                         assert!(matches!(*left, AstExpr::InList { negated: true, .. }));
                         assert!(matches!(*right, AstExpr::IsNull { negated: true, .. }));
                     }

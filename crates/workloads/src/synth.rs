@@ -40,7 +40,14 @@ impl Default for SynthConfig {
 /// Register and populate R and S; returns their OIDs.
 pub fn setup_rs(storage: &Storage, cfg: &SynthConfig) -> Result<(TableOid, TableOid)> {
     let r = setup_one(storage, "r", cfg.r_rows, cfg.r_parts, cfg, cfg.seed)?;
-    let s = setup_one(storage, "s", cfg.s_rows, cfg.s_parts, cfg, cfg.seed ^ 0x5555)?;
+    let s = setup_one(
+        storage,
+        "s",
+        cfg.s_rows,
+        cfg.s_parts,
+        cfg,
+        cfg.seed ^ 0x5555,
+    )?;
     Ok((r, s))
 }
 

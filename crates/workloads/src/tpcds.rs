@@ -139,7 +139,7 @@ pub fn setup_tpcds(storage: &Storage, cfg: &TpcdsConfig) -> Result<Tpcds> {
             Row::new(vec![
                 Datum::Int32(i + 1),
                 Datum::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
-                Datum::Float64(rng.gen_range(100..100_00) as f64 / 100.0),
+                Datum::Float64(rng.gen_range(100..10_000) as f64 / 100.0),
             ])
         });
         storage.insert(oid, rows)?;
@@ -292,11 +292,7 @@ pub enum QueryClass {
 /// The query workload for Table 3 and Figures 16–17: a mix over all seven
 /// partitioned facts covering every elimination class.
 pub fn tpcds_workload() -> Vec<WorkloadQuery> {
-    fn q(
-        name: &'static str,
-        class: QueryClass,
-        sql: &'static str,
-    ) -> WorkloadQuery {
+    fn q(name: &'static str, class: QueryClass, sql: &'static str) -> WorkloadQuery {
         WorkloadQuery {
             name,
             sql,
@@ -306,61 +302,118 @@ pub fn tpcds_workload() -> Vec<WorkloadQuery> {
     }
     vec![
         // ---- static elimination (both optimizers prune) ----
-        q("q01_ss_static_range", QueryClass::Static,
-          "SELECT count(*), sum(ss_amount) FROM store_sales WHERE ss_date_id BETWEEN 100 AND 190"),
-        q("q02_ws_static_month", QueryClass::Static,
-          "SELECT avg(ws_amount) FROM web_sales WHERE ws_date_id BETWEEN 1 AND 31"),
-        q("q03_cs_static_half", QueryClass::Static,
-          "SELECT count(*) FROM catalog_sales WHERE cs_date_id < 365"),
-        q("q04_inv_static_range", QueryClass::Static,
-          "SELECT sum(inv_qty) FROM inventory WHERE inv_date_id BETWEEN 300 AND 400"),
-        q("q05_sr_static_in", QueryClass::Static,
-          "SELECT count(*) FROM store_returns WHERE sr_date_id IN (10, 50, 300, 700)"),
-        q("q06_ss_static_or", QueryClass::Static,
-          "SELECT count(*) FROM store_sales WHERE ss_date_id < 60 OR ss_date_id > 700"),
+        q(
+            "q01_ss_static_range",
+            QueryClass::Static,
+            "SELECT count(*), sum(ss_amount) FROM store_sales WHERE ss_date_id BETWEEN 100 AND 190",
+        ),
+        q(
+            "q02_ws_static_month",
+            QueryClass::Static,
+            "SELECT avg(ws_amount) FROM web_sales WHERE ws_date_id BETWEEN 1 AND 31",
+        ),
+        q(
+            "q03_cs_static_half",
+            QueryClass::Static,
+            "SELECT count(*) FROM catalog_sales WHERE cs_date_id < 365",
+        ),
+        q(
+            "q04_inv_static_range",
+            QueryClass::Static,
+            "SELECT sum(inv_qty) FROM inventory WHERE inv_date_id BETWEEN 300 AND 400",
+        ),
+        q(
+            "q05_sr_static_in",
+            QueryClass::Static,
+            "SELECT count(*) FROM store_returns WHERE sr_date_id IN (10, 50, 300, 700)",
+        ),
+        q(
+            "q06_ss_static_or",
+            QueryClass::Static,
+            "SELECT count(*) FROM store_sales WHERE ss_date_id < 60 OR ss_date_id > 700",
+        ),
         // ---- simple join elimination (both prune) ----
-        q("q07_ss_simple_join", QueryClass::SimpleJoin,
-          "SELECT count(*) FROM date_dim, store_sales \
-           WHERE d_id = ss_date_id AND d_year = 2012 AND d_month = 3"),
-        q("q08_ws_simple_join", QueryClass::SimpleJoin,
-          "SELECT sum(ws_amount) FROM date_dim, web_sales \
-           WHERE d_id = ws_date_id AND d_year = 2013 AND d_month BETWEEN 1 AND 2"),
-        q("q09_cr_simple_join", QueryClass::SimpleJoin,
-          "SELECT count(*) FROM date_dim, catalog_returns \
-           WHERE d_id = cr_date_id AND d_year = 2012 AND d_month = 12"),
-        q("q10_inv_simple_join", QueryClass::SimpleJoin,
-          "SELECT sum(inv_qty) FROM date_dim, inventory \
-           WHERE d_id = inv_date_id AND d_year = 2013 AND d_month = 7"),
+        q(
+            "q07_ss_simple_join",
+            QueryClass::SimpleJoin,
+            "SELECT count(*) FROM date_dim, store_sales \
+           WHERE d_id = ss_date_id AND d_year = 2012 AND d_month = 3",
+        ),
+        q(
+            "q08_ws_simple_join",
+            QueryClass::SimpleJoin,
+            "SELECT sum(ws_amount) FROM date_dim, web_sales \
+           WHERE d_id = ws_date_id AND d_year = 2013 AND d_month BETWEEN 1 AND 2",
+        ),
+        q(
+            "q09_cr_simple_join",
+            QueryClass::SimpleJoin,
+            "SELECT count(*) FROM date_dim, catalog_returns \
+           WHERE d_id = cr_date_id AND d_year = 2012 AND d_month = 12",
+        ),
+        q(
+            "q10_inv_simple_join",
+            QueryClass::SimpleJoin,
+            "SELECT sum(inv_qty) FROM date_dim, inventory \
+           WHERE d_id = inv_date_id AND d_year = 2013 AND d_month = 7",
+        ),
         // ---- complex elimination (only Orca prunes) ----
-        q("q11_ss_subquery", QueryClass::ComplexJoin,
-          "SELECT avg(ss_amount) FROM store_sales WHERE ss_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 10 AND 12)"),
-        q("q12_ws_subquery", QueryClass::ComplexJoin,
-          "SELECT count(*) FROM web_sales WHERE ws_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month = 6)"),
-        q("q13_cs_subquery", QueryClass::ComplexJoin,
-          "SELECT sum(cs_amount) FROM catalog_sales WHERE cs_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_day_of_week = 1 AND d_year = 2013 AND d_month = 1)"),
-        q("q14_sr_subquery", QueryClass::ComplexJoin,
-          "SELECT count(*) FROM store_returns WHERE sr_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month BETWEEN 1 AND 2)"),
-        q("q15_wr_subquery", QueryClass::ComplexJoin,
-          "SELECT avg(wr_amount) FROM web_returns WHERE wr_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month = 11)"),
-        q("q16_cr_subquery", QueryClass::ComplexJoin,
-          "SELECT count(*) FROM catalog_returns WHERE cr_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 5 AND 6)"),
-        q("q17_inv_subquery", QueryClass::ComplexJoin,
-          "SELECT sum(inv_qty) FROM inventory WHERE inv_date_id IN \
-           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month = 9)"),
-        q("q18_ss_three_way", QueryClass::ComplexJoin,
-          "SELECT count(*) FROM customer_dim, date_dim, store_sales \
+        q(
+            "q11_ss_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT avg(ss_amount) FROM store_sales WHERE ss_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 10 AND 12)",
+        ),
+        q(
+            "q12_ws_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT count(*) FROM web_sales WHERE ws_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month = 6)",
+        ),
+        q(
+            "q13_cs_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT sum(cs_amount) FROM catalog_sales WHERE cs_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_day_of_week = 1 AND d_year = 2013 AND d_month = 1)",
+        ),
+        q(
+            "q14_sr_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT count(*) FROM store_returns WHERE sr_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month BETWEEN 1 AND 2)",
+        ),
+        q(
+            "q15_wr_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT avg(wr_amount) FROM web_returns WHERE wr_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month = 11)",
+        ),
+        q(
+            "q16_cr_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT count(*) FROM catalog_returns WHERE cr_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 5 AND 6)",
+        ),
+        q(
+            "q17_inv_subquery",
+            QueryClass::ComplexJoin,
+            "SELECT sum(inv_qty) FROM inventory WHERE inv_date_id IN \
+           (SELECT d_id FROM date_dim WHERE d_year = 2012 AND d_month = 9)",
+        ),
+        q(
+            "q18_ss_three_way",
+            QueryClass::ComplexJoin,
+            "SELECT count(*) FROM customer_dim, date_dim, store_sales \
            WHERE c_id = ss_cust_id AND d_id = ss_date_id \
-           AND c_state = 'CA' AND d_year = 2013 AND d_month BETWEEN 10 AND 12"),
-        q("q19_ws_three_way", QueryClass::ComplexJoin,
-          "SELECT sum(ws_amount) FROM item_dim, date_dim, web_sales \
+           AND c_state = 'CA' AND d_year = 2013 AND d_month BETWEEN 10 AND 12",
+        ),
+        q(
+            "q19_ws_three_way",
+            QueryClass::ComplexJoin,
+            "SELECT sum(ws_amount) FROM item_dim, date_dim, web_sales \
            WHERE i_id = ws_item_id AND d_id = ws_date_id \
-           AND i_category = 'Books' AND d_year = 2012 AND d_month = 12"),
+           AND i_category = 'Books' AND d_year = 2012 AND d_month = 12",
+        ),
         // ---- prepared statements (only Orca prunes, at run time) ----
         WorkloadQuery {
             name: "q20_ss_param_eq",
@@ -376,17 +429,32 @@ pub fn tpcds_workload() -> Vec<WorkloadQuery> {
             class: QueryClass::Param,
         },
         // ---- no elimination possible (both scan everything) ----
-        q("q22_ss_full", QueryClass::NoElimination,
-          "SELECT sum(ss_amount), count(*) FROM store_sales"),
-        q("q23_ws_by_item", QueryClass::NoElimination,
-          "SELECT count(*) FROM item_dim, web_sales \
-           WHERE i_id = ws_item_id AND i_category = 'Music'"),
-        q("q24_sr_group", QueryClass::NoElimination,
-          "SELECT sr_item_id, count(*) FROM store_returns GROUP BY sr_item_id LIMIT 50"),
-        q("q25_wr_full", QueryClass::NoElimination,
-          "SELECT avg(wr_amount) FROM web_returns"),
-        q("q26_cs_nonkey_filter", QueryClass::NoElimination,
-          "SELECT count(*) FROM catalog_sales WHERE cs_qty > 10"),
+        q(
+            "q22_ss_full",
+            QueryClass::NoElimination,
+            "SELECT sum(ss_amount), count(*) FROM store_sales",
+        ),
+        q(
+            "q23_ws_by_item",
+            QueryClass::NoElimination,
+            "SELECT count(*) FROM item_dim, web_sales \
+           WHERE i_id = ws_item_id AND i_category = 'Music'",
+        ),
+        q(
+            "q24_sr_group",
+            QueryClass::NoElimination,
+            "SELECT sr_item_id, count(*) FROM store_returns GROUP BY sr_item_id LIMIT 50",
+        ),
+        q(
+            "q25_wr_full",
+            QueryClass::NoElimination,
+            "SELECT avg(wr_amount) FROM web_returns",
+        ),
+        q(
+            "q26_cs_nonkey_filter",
+            QueryClass::NoElimination,
+            "SELECT count(*) FROM catalog_sales WHERE cs_qty > 10",
+        ),
     ]
 }
 

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let regions = ["Region 1", "Region 2"];
     let table = setup_orders_multilevel(&db, &regions, 50_000, 42)?;
     let total = db.catalog().table(table)?.num_leaves();
-    println!("orders_ml: 24 months x {} regions = {total} leaf partitions\n", regions.len());
+    println!(
+        "orders_ml: 24 months x {} regions = {total} leaf partitions\n",
+        regions.len()
+    );
 
     let cases = [
         (
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "SELECT count(*) FROM orders_ml \
              WHERE date BETWEEN '2012-01-01' AND '2012-01-31' AND region = 'Region 1'",
         ),
-        ("no predicate (all leaves)", "SELECT count(*) FROM orders_ml"),
+        (
+            "no predicate (all leaves)",
+            "SELECT count(*) FROM orders_ml",
+        ),
     ];
 
     for (label, sql) in cases {

@@ -14,13 +14,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sql = "SELECT count(*), avg(amount) FROM orders WHERE date BETWEEN $1 AND $2";
     println!("prepared: {sql}\n");
-    println!("plan (note the parameterized PartitionSelector):\n{}", db.explain_sql(sql)?);
+    println!(
+        "plan (note the parameterized PartitionSelector):\n{}",
+        db.explain_sql(sql)?
+    );
 
     let bindings = [
-        ("Q1 2012", Datum::date_ymd(2012, 1, 1), Datum::date_ymd(2012, 3, 31)),
-        ("July 2013", Datum::date_ymd(2013, 7, 1), Datum::date_ymd(2013, 7, 31)),
-        ("H2 2013", Datum::date_ymd(2013, 7, 1), Datum::date_ymd(2013, 12, 31)),
-        ("out of range", Datum::date_ymd(2030, 1, 1), Datum::date_ymd(2030, 12, 31)),
+        (
+            "Q1 2012",
+            Datum::date_ymd(2012, 1, 1),
+            Datum::date_ymd(2012, 3, 31),
+        ),
+        (
+            "July 2013",
+            Datum::date_ymd(2013, 7, 1),
+            Datum::date_ymd(2013, 7, 31),
+        ),
+        (
+            "H2 2013",
+            Datum::date_ymd(2013, 7, 1),
+            Datum::date_ymd(2013, 12, 31),
+        ),
+        (
+            "out of range",
+            Datum::date_ymd(2030, 1, 1),
+            Datum::date_ymd(2030, 12, 31),
+        ),
     ];
     for (label, lo, hi) in bindings {
         let out = db.sql_with_params(sql, &[lo, hi])?;

@@ -53,7 +53,11 @@ fn multilevel_mixed_static_and_dynamic_elimination() {
         )
         .unwrap();
     assert_eq!(out.rows, brute.rows);
-    assert_eq!(brute.stats.parts_scanned_for(t), 1, "semi-join rewrite prunes too");
+    assert_eq!(
+        brute.stats.parts_scanned_for(t),
+        1,
+        "semi-join rewrite prunes too"
+    );
 }
 
 /// NOT IN over a partitioned table: anti-join semantics with no partition
@@ -100,8 +104,10 @@ fn left_outer_join_null_extension() {
     let db = MppDb::new(4);
     db.sql("CREATE TABLE l (id int NOT NULL, v int)").unwrap();
     db.sql("CREATE TABLE r2 (id int NOT NULL, w int)").unwrap();
-    db.sql("INSERT INTO l VALUES (1, 10), (2, 20), (3, 30)").unwrap();
-    db.sql("INSERT INTO r2 VALUES (1, 100), (1, 101), (3, 300)").unwrap();
+    db.sql("INSERT INTO l VALUES (1, 10), (2, 20), (3, 30)")
+        .unwrap();
+    db.sql("INSERT INTO r2 VALUES (1, 100), (1, 101), (3, 300)")
+        .unwrap();
     let out = db
         .sql("SELECT l.id AS id, w FROM l LEFT OUTER JOIN r2 ON l.id = r2.id ORDER BY id")
         .unwrap();
@@ -144,7 +150,11 @@ fn legacy_params_scan_everything_but_agree() {
     let orca = db.sql_with_params(sql, &params).unwrap();
     let legacy = db.sql_legacy_with_params(sql, &params).unwrap();
     assert_eq!(orca.rows, legacy.rows);
-    assert_eq!(orca.stats.parts_scanned_for(r), 1, "orca prunes at run time");
+    assert_eq!(
+        orca.stats.parts_scanned_for(r),
+        1,
+        "orca prunes at run time"
+    );
     assert_eq!(
         legacy.stats.parts_scanned_for(r),
         20,
@@ -268,13 +278,19 @@ fn explain_dml_is_side_effect_free() {
         },
     )
     .unwrap();
-    let before = db.storage().row_count(db.catalog().table_by_name("r").unwrap().oid).unwrap();
+    let before = db
+        .storage()
+        .row_count(db.catalog().table_by_name("r").unwrap().oid)
+        .unwrap();
     let out = db.sql("EXPLAIN DELETE FROM r WHERE b < 25").unwrap();
     assert!(out
         .rows
         .iter()
         .any(|r| r.values()[0].as_str().unwrap().contains("Delete")));
-    let after = db.storage().row_count(db.catalog().table_by_name("r").unwrap().oid).unwrap();
+    let after = db
+        .storage()
+        .row_count(db.catalog().table_by_name("r").unwrap().oid)
+        .unwrap();
     assert_eq!(before, after, "EXPLAIN must not execute the DML");
 }
 

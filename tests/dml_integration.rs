@@ -174,11 +174,7 @@ fn legacy_dml_executes_correctly() {
         },
     )
     .unwrap();
-    let before = db
-        .sql("SELECT count(*) FROM r WHERE b >= 90")
-        .unwrap()
-        .rows[0]
-        .values()[0]
+    let before = db.sql("SELECT count(*) FROM r WHERE b >= 90").unwrap().rows[0].values()[0]
         .as_i64()
         .unwrap();
     assert!(before > 0);

@@ -72,7 +72,9 @@ fn figure4_dynamic_elimination_through_subquery() {
 
     // Equivalent static formulation must agree (2013-10-01 is day 640).
     let static_q = db
-        .sql("SELECT count(*), sum(ss_amount) FROM store_sales WHERE ss_date_id BETWEEN 640 AND 731")
+        .sql(
+            "SELECT count(*), sum(ss_amount) FROM store_sales WHERE ss_date_id BETWEEN 640 AND 731",
+        )
         .unwrap();
     assert_eq!(sorted(dynamic.rows), sorted(static_q.rows));
 }
@@ -357,9 +359,7 @@ fn ddl_multilevel_subpartition() {
 fn order_by_is_global() {
     let db = MppDb::new(4);
     setup_orders(&db, 500, 77).unwrap();
-    let out = db
-        .sql("SELECT o_id FROM orders ORDER BY o_id")
-        .unwrap();
+    let out = db.sql("SELECT o_id FROM orders ORDER BY o_id").unwrap();
     let ids: Vec<i64> = out
         .rows
         .iter()

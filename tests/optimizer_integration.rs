@@ -6,7 +6,9 @@ use mppart::core::validate_selector_pairing;
 use mppart::core::{Optimizer, OptimizerConfig};
 use mppart::plan::{plan_node_count, plan_size_bytes, PhysicalPlan};
 use mppart::testing::{approx_same_bag, setup_orders};
-use mppart::workloads::{setup_lineitem, setup_rs, setup_tpcds, tpcds_workload, LineitemConfig, SynthConfig, TpcdsConfig};
+use mppart::workloads::{
+    setup_lineitem, setup_rs, setup_tpcds, tpcds_workload, LineitemConfig, SynthConfig, TpcdsConfig,
+};
 use mppart::MppDb;
 
 /// Figure 18(a): with static elimination, Orca's plan size is flat in the

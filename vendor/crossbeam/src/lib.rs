@@ -1,0 +1,89 @@
+//! Offline stub of `crossbeam`: scoped threads with the
+//! `crossbeam_utils::thread::scope` calling convention, implemented on
+//! `std::thread::scope` (stable since Rust 1.63). See `vendor/README.md`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread::{Scope as StdScope, ScopedJoinHandle as StdHandle};
+
+    /// Mirror of `crossbeam_utils::thread::Scope`. `Copy` so spawn
+    /// closures can capture it by value and spawn nested work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope StdScope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Mirror of `crossbeam_utils::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: StdHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` holds the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Unlike `std`, the closure receives the
+        /// scope handle (crossbeam's convention), so workers can spawn
+        /// siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. All spawned threads are joined before `scope`
+    /// returns. As in crossbeam, an unjoined child panic surfaces as
+    /// `Err` with the panic payload rather than unwinding the caller
+    /// (std's scope re-panics after joining; we catch that here).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_join_and_borrow() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|v| s.spawn(move |_| *v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

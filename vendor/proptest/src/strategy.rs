@@ -1,0 +1,426 @@
+//! Strategies: deterministic value generators composable with
+//! `prop_map`, unions, recursion, tuples, and collections.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generator of values of type `Self::Value`. Unlike upstream
+/// proptest there is no value tree and no shrinking: `generate` draws a
+/// single value.
+pub trait Strategy: Clone {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Bounded recursive strategy. `levels` controls nesting depth; the
+    /// `_desired_size` / `_branch` hints of upstream proptest are
+    /// accepted but unused. Each level is a 50/50 union of "stop at a
+    /// leaf" and "recurse one level deeper", so generated trees
+    /// terminate with geometric depth bounded by `levels`.
+    fn prop_recursive<R, F>(
+        self,
+        levels: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..levels {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (`Arc` under the hood).
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// `s.prop_map(f)`.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed arms (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Function-pointer strategy backing `any::<T>()`.
+pub struct FnStrategy<V>(fn(&mut TestRng) -> V);
+
+impl<V> Clone for FnStrategy<V> {
+    fn clone(&self) -> Self {
+        FnStrategy(self.0)
+    }
+}
+
+impl<V> Strategy for FnStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary() -> FnStrategy<Self>;
+}
+
+pub fn any<A: Arbitrary>() -> FnStrategy<A> {
+    A::arbitrary()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> FnStrategy<bool> {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> FnStrategy<$t> {
+                FnStrategy(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> FnStrategy<f64> {
+        // Finite values only: keeps arithmetic-heavy properties simple.
+        FnStrategy(|rng| (rng.next_u64() as i64 as f64) / (1u64 << 32) as f64)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let frac = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+                self.start + (frac as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident),+)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($S,)+) = self;
+                ($($S.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
+);
+
+/// `prop::collection::vec(elem, len_range)`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.range_i128(self.len.start as i128, self.len.end as i128) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// String strategies from a small regex subset: a sequence of atoms,
+/// where an atom is a char class `[a-z0-9_]` (chars and ranges, no
+/// negation) or a literal char, optionally quantified with `{m}` or
+/// `{m,n}`. Covers patterns like `"[a-z]{0,8}"`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a class or a literal char.
+        let class: Vec<(char, char)>;
+        if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut ranges = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    ranges.push((chars[j], chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((chars[j], chars[j]));
+                    j += 1;
+                }
+            }
+            assert!(
+                !ranges.is_empty(),
+                "empty char class in pattern {pattern:?}"
+            );
+            class = ranges;
+            i = close + 1;
+        } else {
+            class = vec![(chars[i], chars[i])];
+            i += 1;
+        }
+
+        // Parse an optional {m} / {m,n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().unwrap(),
+                    n.trim().parse::<usize>().unwrap(),
+                ),
+                None => {
+                    let m = body.trim().parse::<usize>().unwrap();
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.range_i128(lo as i128, hi as i128 + 1) as usize
+        };
+        let total: u64 = class
+            .iter()
+            .map(|(a, b)| (*b as u64).saturating_sub(*a as u64) + 1)
+            .sum();
+        for _ in 0..count {
+            let mut pick = rng.below(total);
+            for (a, b) in &class {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                    break;
+                }
+                pick -= span;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b) = (-50i32..50, 0u8..4).generate(&mut r);
+            assert!((-50..50).contains(&a));
+            assert!(b < 4);
+        }
+    }
+
+    #[test]
+    fn map_union_and_recursion_terminate() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum T {
+            Leaf(i32),
+            Node(Vec<T>),
+        }
+        let leaf = (0i32..10).prop_map(T::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| vec(inner, 1..3).prop_map(T::Node));
+        let mut r = rng();
+        let mut saw_node = false;
+        for _ in 0..200 {
+            if let T::Node(_) = strat.generate(&mut r) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+
+    #[test]
+    fn pattern_strategy() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{0,8}".generate(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut r = rng();
+        assert_eq!(Just(7).generate(&mut r), 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic per-case RNG, run configuration, and test-case errors.
+
+use std::fmt;
+
+/// SplitMix64 RNG seeded from (test name, case index) so every case is
+/// reproducible without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the fully qualified test name, mixed with the case
+        // index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng {
+            state: h ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[lo, hi)` over the i128 domain (covers every
+    /// primitive integer width used by range strategies).
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u128;
+        let off = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + off as i128
+    }
+}
+
+/// Mirror of `proptest::test_runner::Config` (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// Mirror of `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

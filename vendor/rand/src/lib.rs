@@ -1,0 +1,135 @@
+//! Offline stub of `rand`: `StdRng::seed_from_u64` plus
+//! `Rng::gen_range` over integer ranges — the only rand API this
+//! workspace uses (deterministic workload generation). The generator is
+//! SplitMix64; statistical quality is more than adequate for synthetic
+//! data, but this is NOT the upstream ChaCha12 `StdRng` and produces a
+//! different stream for the same seed. See `vendor/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+pub mod prelude {
+    pub use crate::{Rng, SeedableRng, StdRng};
+}
+
+/// SplitMix64-based deterministic RNG standing in for `rand::rngs::StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seeding interface (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Mix the seed once so small seeds don't start in a low-entropy
+        // regime.
+        let mut rng = StdRng { state: seed };
+        rng.next_u64();
+        StdRng { state: rng.state }
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+}
+
+/// A range understood by `Rng::gen_range` (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T>: private::Sealed {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl private::Sealed for Range<$t> {}
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (next() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl private::Sealed for RangeInclusive<$t> {}
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (next() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Value-generation interface (only `gen_range` is provided).
+pub trait Rng {
+    fn next_u64_dyn(&mut self) -> u64;
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64_dyn();
+        range.sample(&mut next)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64_dyn(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<i64> = (0..8).map(|_| a.gen_range(0i64..1_000_000)).collect();
+        let vb: Vec<i64> = (0..8).map(|_| b.gen_range(0i64..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stub of `serde`: re-exports the no-op `Serialize` /
+//! `Deserialize` derive macros. The workspace uses serde only via
+//! `#[derive(...)]` on plain data types — no trait bounds, no actual
+//! serialization — so empty derives satisfy every use site. The `derive`
+//! and `rc` features requested by the workspace manifest exist but are
+//! no-ops. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

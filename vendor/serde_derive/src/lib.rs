@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! expand to nothing. The workspace only *derives* these traits (it never
+//! bounds on them or calls serialization), so empty expansions keep every
+//! type compiling unchanged. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,220 @@
+//! Offline stub of `serde_json`: a `Value` tree, the `json!` macro for
+//! literal construction, and `Display` emitting compact JSON — the
+//! subset the bench binaries use to write result lines. There is no
+//! parser and no serde integration. See `vendor/README.md`.
+
+use std::fmt;
+
+/// JSON value. Object keys keep insertion order (the benches only build
+/// and print values, never look keys up).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Stored as the final rendered token so integers and floats of any
+    /// width fit without a union of numeric types.
+    Number(String),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v.to_string())
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_from_ref {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+
+impl_from_ref!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        if v.is_finite() {
+            // Match serde_json: render floats so they round-trip; whole
+            // floats keep a trailing ".0".
+            let mut s = format!("{v}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            Value::Number(s)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// Tuples render as JSON arrays, matching upstream serde.
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>, C: Into<Value>> From<(A, B, C)> for Value {
+    fn from((a, b, c): (A, B, C)) -> Value {
+        Value::Array(vec![a.into(), b.into(), c.into()])
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> From<std::collections::BTreeMap<K, V>> for Value {
+    fn from(m: std::collections::BTreeMap<K, V>) -> Value {
+        Value::Object(m.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => f.write_str(n),
+            Value::String(s) => escape(s, f),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Literal-construction macro covering the shapes this workspace uses:
+/// objects with string-literal keys and expression values, arrays of
+/// expressions, `null`, and bare expressions. (Unlike upstream, object
+/// values must be expressions — nested `{...}` literals need their own
+/// `json!` call, which is how every call site here is already written.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Value;
+
+    #[test]
+    fn renders_compact_json() {
+        let v = json!({
+            "name": "table2",
+            "parts": 16usize,
+            "micros": 1234u128,
+            "ratio": 1.5f64,
+            "ok": true,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"table2","parts":16,"micros":1234,"ratio":1.5,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn arrays_null_and_escapes() {
+        let v = json!({ "xs": json!([1, 2, 3]), "n": json!(null), "s": "a\"b" });
+        assert_eq!(v.to_string(), r#"{"xs":[1,2,3],"n":null,"s":"a\"b"}"#);
+    }
+
+    #[test]
+    fn nested_values_and_maps() {
+        let inner: Vec<Value> = (0..2).map(|i| json!({ "i": i })).collect();
+        let m: std::collections::BTreeMap<String, usize> =
+            [("a".to_string(), 1usize)].into_iter().collect();
+        let v = json!({ "queries": inner, "classes": m });
+        assert_eq!(
+            v.to_string(),
+            r#"{"queries":[{"i":0},{"i":1}],"classes":{"a":1}}"#
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_point() {
+        assert_eq!(Value::from(2.0f64).to_string(), "2.0");
+    }
+}
