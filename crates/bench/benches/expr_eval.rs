@@ -1,0 +1,188 @@
+//! Per-row expression evaluation: interpreted AST walk vs the
+//! compile-once [`CompiledExpr`] form the executor now uses, over the
+//! three filter shapes with fast paths (`col < const`, `col BETWEEN
+//! const AND const`, `col IN (const, …)`), plus partition routing at 64
+//! vs 1024 range partitions to show the binary-search route is
+//! sublinear in the partition count.
+//!
+//! Besides the criterion groups, the bench appends a machine-readable
+//! record to `results/BENCH_expr.json` and (outside `--test` smoke
+//! mode) asserts the two acceptance thresholds: compiled evaluation at
+//! least 2x the interpreter on the col-op-const filter, and 1024-way
+//! routing well under the 16x a linear scan of the pieces would cost
+//! relative to 64-way.
+
+use criterion::{black_box, Criterion};
+use mpp_bench::{time_median_pair, write_result};
+use mppart::catalog::builders::range_level_equal_width;
+use mppart::common::{Datum, Row};
+use mppart::expr::{compile, eval_predicate, CmpOp, ColRef, EvalContext, Expr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark table: rows of (a, b, c) with `b` uniform in 0..100.
+fn mk_rows(n: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(2014);
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int32(i as i32),
+                Datum::Int32(rng.gen_range(0..100)),
+                Datum::str(["x", "y", "z"][i % 3]),
+            ])
+        })
+        .collect()
+}
+
+fn cols() -> Vec<ColRef> {
+    vec![
+        ColRef::new(1, "a"),
+        ColRef::new(2, "b"),
+        ColRef::new(3, "c"),
+    ]
+}
+
+fn b() -> Expr {
+    Expr::col(ColRef::new(2, "b"))
+}
+
+fn lit(v: i32) -> Expr {
+    Expr::Lit(Datum::Int32(v))
+}
+
+/// The three per-row filter shapes the compiler special-cases.
+fn shapes() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("col_op_const", Expr::cmp(CmpOp::Lt, b(), lit(50))),
+        ("between", Expr::between(b(), lit(20), lit(60))),
+        (
+            "in_const_set",
+            Expr::InList {
+                expr: Box::new(b()),
+                list: [3, 17, 29, 41, 53, 67, 71, 83]
+                    .into_iter()
+                    .map(lit)
+                    .collect(),
+                negated: false,
+            },
+        ),
+    ]
+}
+
+fn interpreted_count(e: &Expr, rows: &[Row], ctx: &EvalContext<'_>) -> usize {
+    rows.iter()
+        .filter(|r| eval_predicate(e, r, ctx).unwrap())
+        .count()
+}
+
+fn compiled_count(e: &Expr, rows: &[Row], ctx: &EvalContext<'_>) -> usize {
+    let compiled = compile(e, ctx);
+    rows.iter()
+        .filter(|r| compiled.eval_predicate(r).unwrap())
+        .count()
+}
+
+fn route_all(level: &mppart::catalog::PartitionLevel, keys: &[Datum]) -> usize {
+    keys.iter()
+        .map(|k| level.route(k).expect("covered domain"))
+        .sum()
+}
+
+fn main() {
+    // `cargo bench` starts the binary in the package dir; anchor at the
+    // workspace root so `results/` is the same one the figure binaries
+    // write to.
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (n_rows, iters) = if smoke { (2_000, 2) } else { (100_000, 15) };
+    let rows = mk_rows(n_rows);
+    let cols = cols();
+    let ctx = EvalContext::from_columns(&cols);
+
+    println!("== expr_eval: interpreted vs compiled over {n_rows} rows ==\n");
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("expr_eval");
+    group.sample_size(if smoke { 1 } else { 10 });
+    let mut filter_json = Vec::new();
+    for (name, e) in shapes() {
+        group.bench_function(format!("{name}/interpreted"), |bench| {
+            bench.iter(|| black_box(interpreted_count(&e, &rows, &ctx)))
+        });
+        group.bench_function(format!("{name}/compiled"), |bench| {
+            bench.iter(|| black_box(compiled_count(&e, &rows, &ctx)))
+        });
+        // Interleaved timing for the recorded ratio: slow drift would
+        // otherwise bias whichever alternative ran second.
+        let (t_interp, t_comp) = time_median_pair(
+            iters,
+            || interpreted_count(&e, &rows, &ctx),
+            || compiled_count(&e, &rows, &ctx),
+        );
+        let speedup = t_interp.as_secs_f64() / t_comp.as_secs_f64();
+        assert_eq!(
+            interpreted_count(&e, &rows, &ctx),
+            compiled_count(&e, &rows, &ctx),
+            "selectivity divergence on {name}"
+        );
+        println!("{name}: interpreted {t_interp:?}, compiled {t_comp:?} ({speedup:.2}x)");
+        if !smoke && name == "col_op_const" {
+            assert!(
+                speedup >= 2.0,
+                "compiled col-op-const must be >= 2x the interpreter, got {speedup:.2}x"
+            );
+        }
+        filter_json.push(serde_json::json!({
+            "shape": name,
+            "interpreted_us": t_interp.as_micros(),
+            "compiled_us": t_comp.as_micros(),
+            "speedup": speedup,
+        }));
+    }
+    group.finish();
+
+    // Routing: the same key stream through a 64-way and a 1024-way
+    // equal-width range level. A linear route would scale 16x; the
+    // binary search should stay near log2(1024)/log2(64) ~ 1.7x.
+    let level_64 = range_level_equal_width(0, Datum::Int32(0), Datum::Int32(1 << 20), 64).unwrap();
+    let level_1024 =
+        range_level_equal_width(0, Datum::Int32(0), Datum::Int32(1 << 20), 1024).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let keys: Vec<Datum> = (0..n_rows)
+        .map(|_| Datum::Int32(rng.gen_range(0..1 << 20)))
+        .collect();
+    let mut group = criterion.benchmark_group("partition_route");
+    group.sample_size(if smoke { 1 } else { 10 });
+    group.bench_function("parts/64", |bench| {
+        bench.iter(|| black_box(route_all(&level_64, &keys)))
+    });
+    group.bench_function("parts/1024", |bench| {
+        bench.iter(|| black_box(route_all(&level_1024, &keys)))
+    });
+    group.finish();
+    let (t_64, t_1024) = time_median_pair(
+        iters,
+        || route_all(&level_64, &keys),
+        || route_all(&level_1024, &keys),
+    );
+    let ratio = t_1024.as_secs_f64() / t_64.as_secs_f64();
+    println!("\nroute {n_rows} keys: 64 parts {t_64:?}, 1024 parts {t_1024:?} ({ratio:.2}x, linear would be 16x)");
+    if !smoke {
+        assert!(
+            ratio < 8.0,
+            "1024-way routing must be sublinear vs 64-way (< 8x), got {ratio:.2}x"
+        );
+        write_result(
+            "BENCH_expr",
+            &serde_json::json!({
+                "rows": n_rows,
+                "filters": filter_json,
+                "routing": serde_json::json!({
+                    "keys": n_rows,
+                    "parts_64_us": t_64.as_micros(),
+                    "parts_1024_us": t_1024.as_micros(),
+                    "ratio_1024_vs_64": ratio,
+                }),
+            }),
+        );
+    }
+}

@@ -16,7 +16,11 @@ use mppart::workloads::{setup_lineitem, LineitemConfig, TABLE2_GRAINS};
 use mppart::MppDb;
 
 fn main() {
-    let rows = scaled(200_000);
+    // `--quick` is the CI / bench-script mode: a tenth of the rows and
+    // fewer timing iterations, same shape of output.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = scaled(if quick { 20_000 } else { 200_000 });
+    let iters = if quick { 3 } else { 5 };
     println!("== Table 2: partitioning overhead (lineitem, {rows} rows) ==\n");
     let db = MppDb::new(4);
 
@@ -52,7 +56,7 @@ fn main() {
     let run = |table: &str| {
         let plan = db.plan(&format!("SELECT * FROM {table}")).unwrap();
         time_median_pair(
-            5,
+            iters,
             || execute_mode(db.storage(), &plan, ExecMode::Sequential).unwrap(),
             || execute_mode(db.storage(), &plan, ExecMode::Parallel).unwrap(),
         )

@@ -18,6 +18,7 @@
 
 use mpp_common::{Datum, Error, PartOid, Result};
 use mpp_expr::analysis::DerivedSet;
+use mpp_expr::interval::{cmp_high, cmp_low, Interval};
 use mpp_expr::IntervalSet;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +60,12 @@ pub struct PartitionLevel {
     /// Pre-computed union of all non-default constraints; the default piece
     /// owns the complement (plus NULLs).
     covered: IntervalSet,
+    /// Every interval of every non-default piece, tagged with its piece
+    /// index and sorted by low bound. Pieces are pairwise disjoint (checked
+    /// in [`PartitionLevel::new`]), so a value can only fall in the last
+    /// interval whose low bound admits it — routing is one binary search
+    /// instead of a linear scan over all pieces.
+    route_index: Vec<(Interval, usize)>,
 }
 
 impl PartitionLevel {
@@ -76,7 +83,8 @@ impl PartitionLevel {
         // Non-default constraints must be pairwise disjoint so routing is
         // unambiguous.
         let mut covered = IntervalSet::empty();
-        for p in pieces.iter().filter(|p| !p.is_default) {
+        let mut route_index = Vec::new();
+        for (i, p) in pieces.iter().enumerate().filter(|(_, p)| !p.is_default) {
             if covered.overlaps(&p.constraint) {
                 return Err(Error::InvalidMetadata(format!(
                     "partition piece '{}' overlaps a sibling",
@@ -84,11 +92,16 @@ impl PartitionLevel {
                 )));
             }
             covered = covered.union(&p.constraint);
+            route_index.extend(p.constraint.intervals().iter().map(|iv| (iv.clone(), i)));
         }
+        route_index.sort_by(|(a, _), (b, _)| {
+            cmp_low(&a.low, &b.low).then_with(|| cmp_high(&a.high, &b.high))
+        });
         Ok(PartitionLevel {
             key_index,
             pieces,
             covered,
+            route_index,
         })
     }
 
@@ -101,15 +114,21 @@ impl PartitionLevel {
         self.pieces.iter().position(|p| p.is_default)
     }
 
-    /// Route one key value to a piece index (`f_T` at this level).
+    /// Route one key value to a piece index (`f_T` at this level) in
+    /// O(log P): binary-search the sorted interval index. Disjointness
+    /// means only the last interval whose low bound admits the value can
+    /// contain it; everything else (out-of-range, NULLs) falls through to
+    /// the default piece.
     pub fn route(&self, value: &Datum) -> Option<usize> {
         if !value.is_null() {
-            if let Some(i) = self
-                .pieces
-                .iter()
-                .position(|p| !p.is_default && p.constraint.contains(value))
-            {
-                return Some(i);
+            let i = self
+                .route_index
+                .partition_point(|(iv, _)| iv.low_admits(value));
+            if i > 0 {
+                let (iv, piece) = &self.route_index[i - 1];
+                if iv.high_admits(value) {
+                    return Some(*piece);
+                }
             }
         }
         self.default_position()

@@ -172,6 +172,24 @@ proptest! {
         prop_assert_eq!(tree.route(&[d(v1), d(v2)]), Some(selected[0]));
     }
 
+    /// The binary-search `route` agrees with the linear reference scan over
+    /// the pieces on every value, including boundaries, out-of-range values
+    /// and NULL.
+    #[test]
+    fn binary_route_matches_linear_scan(level in arb_level(), v in -5i32..110, null in any::<bool>()) {
+        let value = if null { Datum::Null } else { d(v) };
+        let reference = if value.is_null() {
+            level.default_position()
+        } else {
+            level
+                .pieces
+                .iter()
+                .position(|p| !p.is_default && p.constraint.contains(&value))
+                .or_else(|| level.default_position())
+        };
+        prop_assert_eq!(level.route(&value), reference);
+    }
+
     /// Leaf constraints of non-default range pieces partition the domain:
     /// every value is in at most one piece's interval set.
     #[test]

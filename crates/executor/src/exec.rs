@@ -20,7 +20,9 @@ use crate::stats::ExecutionStats;
 use mpp_catalog::PartTree;
 use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
 use mpp_expr::analysis::{derive_interval_set, DerivedSet};
-use mpp_expr::{collect_columns, eval, eval_predicate, ColRef, EvalContext, Expr};
+use mpp_expr::{
+    collect_columns, compile, CmpOp, ColRef, CompiledExpr, EvalContext, Expr, IntervalSet,
+};
 use mpp_plan::{AggCall, AggFunc, JoinType, MotionKind, PhysicalPlan};
 use mpp_storage::{PhysId, Storage};
 use std::collections::{HashMap, HashSet};
@@ -275,6 +277,14 @@ fn eval_ctx<'a>(cols: &[ColRef], params: &'a [Datum]) -> EvalContext<'a> {
     EvalContext::from_columns(cols).with_params(params)
 }
 
+/// Lower an expression against an operator's output columns: columns become
+/// row offsets, parameters and constant subtrees fold away. Every per-row
+/// site below compiles once per (slice) execution and evaluates the
+/// compiled form per row.
+fn compiled(e: &Expr, cols: &[ColRef], params: &[Datum]) -> CompiledExpr {
+    compile(e, &eval_ctx(cols, params))
+}
+
 /// Evaluate one subtree on one segment.
 pub(crate) fn exec(
     plan: &PhysicalPlan,
@@ -393,10 +403,10 @@ pub(crate) fn exec(
         PhysicalPlan::Filter { pred, child } => {
             let rows = exec(child, seg, storage, ctx)?;
             let cols = child.output_cols();
-            let ectx = eval_ctx(&cols, ctx.params);
+            let pred = compiled(pred, &cols, ctx.params);
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
-                if eval_predicate(pred, &r, &ectx)? {
+                if pred.eval_predicate(&r)? {
                     out.push(r);
                 }
             }
@@ -406,12 +416,15 @@ pub(crate) fn exec(
         PhysicalPlan::Project { exprs, child, .. } => {
             let rows = exec(child, seg, storage, ctx)?;
             let cols = child.output_cols();
-            let ectx = eval_ctx(&cols, ctx.params);
+            let exprs: Vec<CompiledExpr> = exprs
+                .iter()
+                .map(|e| compiled(e, &cols, ctx.params))
+                .collect();
             rows.iter()
                 .map(|r| {
                     exprs
                         .iter()
-                        .map(|e| eval(e, r, &ectx))
+                        .map(|e| e.eval(r))
                         .collect::<Result<Vec<_>>>()
                         .map(Row::new)
                 })
@@ -527,11 +540,11 @@ pub(crate) fn exec(
                     )));
                 }
                 let cols = child.output_cols();
-                let ectx = eval_ctx(&cols, ctx.params);
+                let key = compiled(key, &cols, ctx.params);
                 let mut oids: HashSet<PartOid> = HashSet::new();
                 for s in storage.segments() {
                     for row in exec(child, s, storage, ctx)? {
-                        let v = eval(key, &row, &ectx)?;
+                        let v = key.eval(&row)?;
                         // Single level (checked above), so one value is the
                         // whole routing key.
                         if let Some(oid) = tree.route(std::slice::from_ref(&v)) {
@@ -641,9 +654,84 @@ fn route_motion(
     }
 }
 
+/// How one level of a dynamic PartitionSelector turns an input tuple into
+/// a [`DerivedSet`], prepared once per selector execution.
+enum LevelProbe<'a> {
+    /// No predicate on this level: every piece stays selected.
+    Full,
+    /// `part_key = <input column>` — the shape every equality DPE join
+    /// produces. The derived set is a point (or empty for a NULL driver),
+    /// with no per-row expression substitution or derivation.
+    EqInput(usize),
+    /// Anything else: substitute the tuple's values and re-derive.
+    General(&'a Expr),
+}
+
+impl LevelProbe<'_> {
+    fn derive(
+        &self,
+        row: &Row,
+        positions: &[(u32, usize)],
+        ctx: &ExecContext<'_>,
+        key: &ColRef,
+    ) -> DerivedSet {
+        match self {
+            LevelProbe::Full => DerivedSet::full(),
+            LevelProbe::EqInput(pos) => {
+                let v = &row.values()[*pos];
+                if v.is_null() {
+                    // key = NULL never holds (same as derive_cmp).
+                    DerivedSet::empty_exact()
+                } else {
+                    DerivedSet {
+                        set: IntervalSet::point(v.clone()),
+                        exact: true,
+                        null_possible: false,
+                    }
+                }
+            }
+            LevelProbe::General(p) => {
+                let subst: HashMap<u32, Expr> = positions
+                    .iter()
+                    .map(|&(id, i)| (id, Expr::Lit(row.values()[i].clone())))
+                    .collect();
+                let bound = mpp_expr::substitute_columns(p, &subst);
+                derive_interval_set(&bound, key, Some(ctx.params))
+            }
+        }
+    }
+}
+
+/// Does `pred` have the shape `key = <input col>` (either orientation)?
+/// Returns the row position of the driving input column.
+fn eq_input_probe(pred: &Expr, key: &ColRef, positions: &[(u32, usize)]) -> Option<usize> {
+    let Expr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = pred
+    else {
+        return None;
+    };
+    let other = match (left.as_ref(), right.as_ref()) {
+        (Expr::Col(c), other) if c == key => other,
+        (other, Expr::Col(c)) if c == key => other,
+        _ => return None,
+    };
+    match other {
+        Expr::Col(c) => positions
+            .iter()
+            .find(|&&(id, _)| id == c.id)
+            .map(|&(_, i)| i),
+        _ => None,
+    }
+}
+
 /// Per-tuple partition selection (dynamic elimination): substitute the
 /// input tuple's values into each level predicate, derive the interval
-/// set for the partitioning key, and propagate the selected OIDs.
+/// set for the partitioning key, and propagate the selected OIDs. The
+/// per-level probes are prepared once; the dominant equality shape skips
+/// expression substitution entirely per row.
 fn select_per_tuple(
     tree: &PartTree,
     part_keys: &[ColRef],
@@ -679,30 +767,33 @@ fn select_per_tuple(
         })
         .collect::<Result<_>>()?;
 
+    let probes: Vec<(&ColRef, LevelProbe<'_>)> = part_keys
+        .iter()
+        .zip(predicates)
+        .map(|(key, pred)| {
+            let probe = match pred {
+                None => LevelProbe::Full,
+                Some(p) => match eq_input_probe(p, key, &positions) {
+                    Some(pos) => LevelProbe::EqInput(pos),
+                    None => LevelProbe::General(p),
+                },
+            };
+            (key, probe)
+        })
+        .collect();
+
     let mut seen: HashSet<Vec<Datum>> = HashSet::new();
     for row in rows {
         let key_vals: Vec<Datum> = positions
             .iter()
             .map(|&(_, i)| row.values()[i].clone())
             .collect();
-        if !seen.insert(key_vals.clone()) {
+        if !seen.insert(key_vals) {
             continue; // same driving values → same partitions
         }
-        let subst: HashMap<u32, Expr> = positions
+        let derived: Vec<DerivedSet> = probes
             .iter()
-            .zip(&key_vals)
-            .map(|(&(id, _), v)| (id, Expr::Lit(v.clone())))
-            .collect();
-        let derived: Vec<DerivedSet> = part_keys
-            .iter()
-            .zip(predicates)
-            .map(|(key, pred)| match pred {
-                Some(p) => {
-                    let bound = mpp_expr::substitute_columns(p, &subst);
-                    derive_interval_set(&bound, key, Some(ctx.params))
-                }
-                None => DerivedSet::full(),
-            })
+            .map(|(key, probe)| probe.derive(row, &positions, ctx, key))
             .collect();
         propagate(tree.select_partitions(&derived)?);
     }
@@ -718,10 +809,10 @@ fn apply_filter(
     match filter {
         None => Ok(rows),
         Some(pred) => {
-            let ectx = eval_ctx(output, ctx.params);
+            let pred = compiled(pred, output, ctx.params);
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
-                if eval_predicate(pred, &r, &ectx)? {
+                if pred.eval_predicate(&r)? {
                     out.push(r);
                 }
             }
@@ -749,20 +840,28 @@ fn hash_join(
 ) -> Result<Vec<Row>> {
     let l_cols = left.output_cols();
     let r_cols = right.output_cols();
-    let l_ectx = eval_ctx(&l_cols, ctx.params);
-    let r_ectx = eval_ctx(&r_cols, ctx.params);
+    let l_keys: Vec<CompiledExpr> = left_keys
+        .iter()
+        .map(|k| compiled(k, &l_cols, ctx.params))
+        .collect();
+    let r_keys: Vec<CompiledExpr> = right_keys
+        .iter()
+        .map(|k| compiled(k, &r_cols, ctx.params))
+        .collect();
     let mut joined_cols = l_cols.clone();
     joined_cols.extend(r_cols.clone());
-    let j_ectx = eval_ctx(&joined_cols, ctx.params);
+    let residual = residual
+        .as_ref()
+        .map(|res| compiled(res, &joined_cols, ctx.params));
 
     // Build on the left.
     let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
     let mut l_keysv: Vec<Option<Vec<Datum>>> = Vec::with_capacity(l_rows.len());
     for (i, r) in l_rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(left_keys.len());
+        let mut key = Vec::with_capacity(l_keys.len());
         let mut has_null = false;
-        for k in left_keys {
-            let v = eval(k, r, &l_ectx)?;
+        for k in &l_keys {
+            let v = k.eval(r)?;
             has_null |= v.is_null();
             key.push(v);
         }
@@ -777,10 +876,10 @@ fn hash_join(
     let mut matched = vec![false; l_rows.len()];
     let mut out = Vec::new();
     for rr in &r_rows {
-        let mut key = Vec::with_capacity(right_keys.len());
+        let mut key = Vec::with_capacity(r_keys.len());
         let mut has_null = false;
-        for k in right_keys {
-            let v = eval(k, rr, &r_ectx)?;
+        for k in &r_keys {
+            let v = k.eval(rr)?;
             has_null |= v.is_null();
             key.push(v);
         }
@@ -792,8 +891,8 @@ fn hash_join(
         };
         for &li in candidates {
             let joined = l_rows[li].concat(rr);
-            if let Some(res) = residual {
-                if !eval_predicate(res, &joined, &j_ectx)? {
+            if let Some(res) = &residual {
+                if !res.eval_predicate(&joined)? {
                     continue;
                 }
             }
@@ -843,15 +942,15 @@ fn nl_join(
     let mut joined_cols = left.output_cols();
     let r_width = right.output_cols().len();
     joined_cols.extend(right.output_cols());
-    let j_ectx = eval_ctx(&joined_cols, ctx.params);
+    let pred = pred.as_ref().map(|p| compiled(p, &joined_cols, ctx.params));
     let mut out = Vec::new();
     for l in &l_rows {
         let mut matched = false;
         for r in &r_rows {
             let joined = l.concat(r);
-            let ok = match pred {
+            let ok = match &pred {
                 None => true,
-                Some(p) => eval_predicate(p, &joined, &j_ectx)?,
+                Some(p) => p.eval_predicate(&joined)?,
             };
             if ok {
                 matched = true;
@@ -881,7 +980,16 @@ fn hash_agg(
     seg: SegmentId,
     ctx: &ExecContext<'_>,
 ) -> Result<Vec<Row>> {
-    let ectx = eval_ctx(child_cols, ctx.params);
+    // Aggregate arguments are evaluated once per row per call: compile them
+    // up front (None = COUNT(*), no argument).
+    let args: Vec<Option<CompiledExpr>> = aggs
+        .iter()
+        .map(|call| {
+            call.arg
+                .as_ref()
+                .map(|e| compiled(e, child_cols, ctx.params))
+        })
+        .collect();
     let positions: Vec<usize> = group_by
         .iter()
         .map(|c| {
@@ -917,11 +1025,11 @@ fn hash_agg(
     }
 
     let update = |accs: &mut [Acc], row: &Row| -> Result<()> {
-        for (acc, call) in accs.iter_mut().zip(aggs) {
+        for (acc, arg) in accs.iter_mut().zip(&args) {
             acc.count += 1;
-            let v = match &call.arg {
+            let v = match arg {
                 None => None,
-                Some(e) => Some(eval(e, row, &ectx)?),
+                Some(e) => Some(e.eval(row)?),
             };
             if let Some(v) = v {
                 if !v.is_null() {
@@ -1063,7 +1171,10 @@ fn exec_dml(plan: &PhysicalPlan, storage: &Storage, ctx: &ExecContext<'_>) -> Re
             // Materialize old rows and their replacements first (the scan
             // must not observe its own updates).
             let child_cols = child.output_cols();
-            let ectx = eval_ctx(&child_cols, ctx.params);
+            let assignments: Vec<(usize, CompiledExpr)> = assignments
+                .iter()
+                .map(|(idx, e)| (*idx, compiled(e, &child_cols, ctx.params)))
+                .collect();
             let positions: Vec<usize> = target_cols
                 .iter()
                 .map(|c| {
@@ -1079,8 +1190,8 @@ fn exec_dml(plan: &PhysicalPlan, storage: &Storage, ctx: &ExecContext<'_>) -> Re
                 for row in exec(child, seg, storage, ctx)? {
                     let old = row.project(&positions);
                     let mut vals: Vec<Datum> = old.values().to_vec();
-                    for (idx, e) in assignments {
-                        vals[*idx] = eval(e, &row, &ectx)?;
+                    for (idx, e) in &assignments {
+                        vals[*idx] = e.eval(&row)?;
                     }
                     old_rows.push(old);
                     new_rows.push(Row::new(vals));

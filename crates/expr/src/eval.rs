@@ -138,6 +138,11 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> Result<Datum> {
             negated,
         } => {
             let v = eval(expr, row, ctx)?;
+            // All-literal lists (the common case) compare by reference with
+            // no recursion — same walk the compiled form uses as fallback.
+            if let Some(d) = crate::compile::in_list_literals(&v, list, *negated)? {
+                return Ok(d);
+            }
             let mut saw_null = false;
             let mut found = false;
             for item in list {
@@ -162,7 +167,7 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> Result<Datum> {
     }
 }
 
-fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+pub(crate) fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
     match op {
         CmpOp::Eq => ord == Ordering::Equal,
         CmpOp::Ne => ord != Ordering::Equal,

@@ -39,7 +39,7 @@ pub struct Interval {
 }
 
 /// Where does low bound `a` start relative to low bound `b`?
-fn cmp_low(a: &LowBound, b: &LowBound) -> Ordering {
+pub fn cmp_low(a: &LowBound, b: &LowBound) -> Ordering {
     use LowBound::*;
     match (a, b) {
         (NegInf, NegInf) => Ordering::Equal,
@@ -52,7 +52,7 @@ fn cmp_low(a: &LowBound, b: &LowBound) -> Ordering {
 }
 
 /// Where does high bound `a` end relative to high bound `b`?
-fn cmp_high(a: &HighBound, b: &HighBound) -> Ordering {
+pub fn cmp_high(a: &HighBound, b: &HighBound) -> Ordering {
     use HighBound::*;
     match (a, b) {
         (PosInf, PosInf) => Ordering::Equal,
@@ -127,22 +127,32 @@ impl Interval {
         is_void(&self.low, &self.high)
     }
 
+    /// Is `v` at or above the low endpoint? Monotone along `cmp_low` order,
+    /// which makes it usable as a binary-search predicate over intervals
+    /// sorted by low bound.
+    pub fn low_admits(&self, v: &Datum) -> bool {
+        match &self.low {
+            LowBound::NegInf => true,
+            LowBound::Incl(b) => v >= b,
+            LowBound::Excl(b) => v > b,
+        }
+    }
+
+    /// Is `v` at or below the high endpoint?
+    pub fn high_admits(&self, v: &Datum) -> bool {
+        match &self.high {
+            HighBound::PosInf => true,
+            HighBound::Incl(b) => v <= b,
+            HighBound::Excl(b) => v < b,
+        }
+    }
+
     /// Does this interval contain the (non-null) value?
     pub fn contains(&self, v: &Datum) -> bool {
         if v.is_null() {
             return false;
         }
-        let above_low = match &self.low {
-            LowBound::NegInf => true,
-            LowBound::Incl(b) => v >= b,
-            LowBound::Excl(b) => v > b,
-        };
-        let below_high = match &self.high {
-            HighBound::PosInf => true,
-            HighBound::Incl(b) => v <= b,
-            HighBound::Excl(b) => v < b,
-        };
-        above_low && below_high
+        self.low_admits(v) && self.high_admits(v)
     }
 
     /// Intersection of two intervals (may be empty).

@@ -14,10 +14,15 @@
 //!   predicate utilities the placement algorithms use (`FindPredOnKey`,
 //!   `Conj`, conjunct splitting, column collection and remapping),
 //! * [`simplify()`] — constant folding and boolean normalization.
+//! * [`compile()`] — the prepared-evaluation layer: lowers an expression
+//!   against a fixed context into a [`CompiledExpr`] with columns resolved
+//!   to row offsets, params/constants folded, and fast paths for the hot
+//!   predicate shapes. Compile once per slice, evaluate per row.
 
 pub mod analysis;
 pub mod ast;
 pub mod colref;
+pub mod compile;
 pub mod eval;
 pub mod interval;
 pub mod simplify;
@@ -28,6 +33,7 @@ pub use analysis::{
 };
 pub use ast::{CmpOp, Expr};
 pub use colref::{ColRef, ColRefGenerator};
+pub use compile::{compile, CompiledExpr, ConstSet, TypeClass};
 pub use eval::{eval, eval_predicate, EvalContext};
 pub use interval::{Interval, IntervalSet};
 pub use simplify::simplify;

@@ -1,0 +1,181 @@
+//! Compiled ≡ interpreted: for any expression, any row (NULLs, short rows,
+//! mixed types) and any parameter bindings, `compile(e, ctx).eval(row)`
+//! returns exactly what `eval(e, row, ctx)` returns — the same `Datum` or
+//! an error of the same kind, raised at the same point in the evaluation
+//! order. This is the license for the executor to swap the interpreter out
+//! of its per-row hot paths.
+
+use mpp_common::value::ArithOp;
+use mpp_common::{Datum, Row};
+use mpp_expr::{compile, eval, eval_predicate, CmpOp, ColRef, EvalContext, Expr};
+use proptest::prelude::*;
+
+fn cols() -> Vec<ColRef> {
+    vec![
+        ColRef::new(1, "a"),
+        ColRef::new(2, "b"),
+        ColRef::new(3, "c"),
+    ]
+}
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        Just(Datum::Null),
+        any::<bool>().prop_map(Datum::Bool),
+        (-20i32..20).prop_map(Datum::Int32),
+        (-20i64..20).prop_map(Datum::Int64),
+        (-8i32..8).prop_map(|v| Datum::Float64(f64::from(v) * 0.5)),
+        (0usize..5).prop_map(|i| Datum::str(["a", "b", "c", "d", "e"][i])),
+        (-10i32..10).prop_map(Datum::Date),
+    ]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_arith_op() -> impl Strategy<Value = ArithOp> {
+    prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+        Just(ArithOp::Mod),
+    ]
+}
+
+/// Arbitrary expressions over three bound columns, an unbound column (id
+/// 9), literals of every type, and parameters $1..$3 (of which only some
+/// are bound at eval time).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1u32..4).prop_map(|id| Expr::col(ColRef::new(id, "x"))),
+        Just(Expr::col(ColRef::new(9, "unbound"))),
+        arb_datum().prop_map(Expr::Lit),
+        (1u32..4).prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (arb_cmp_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::cmp(op, l, r)),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Or),
+            inner.clone().prop_map(Expr::not),
+            inner.clone().prop_map(|e| Expr::IsNull(Box::new(e))),
+            (arb_arith_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Arith {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(e, lo, hi)| Expr::between(e, lo, hi)),
+            // General IN: arbitrary subexpression elements.
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 0..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            // Literal-only IN: the shape the hash-set fast path compiles.
+            (
+                inner,
+                prop::collection::vec(arb_datum().prop_map(Expr::Lit), 1..6),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// The compiled form returns the interpreter's exact result: same
+    /// datum, or an error of the same kind (short rows, unbound columns
+    /// and parameters, division by zero, incomparable types).
+    #[test]
+    fn compiled_matches_interpreted(
+        e in arb_expr(),
+        row in prop::collection::vec(arb_datum(), 0..4),
+        params in prop::collection::vec(arb_datum(), 0..3),
+    ) {
+        let cols = cols();
+        let ctx = EvalContext::from_columns(&cols).with_params(&params);
+        let row = Row::new(row);
+        let interpreted = eval(&e, &row, &ctx);
+        let compiled = compile(&e, &ctx);
+        let got = compiled.eval(&row);
+        match (&interpreted, &got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "value divergence on {}", e),
+            (Err(a), Err(b)) => prop_assert_eq!(
+                a.kind(),
+                b.kind(),
+                "error-kind divergence on {}: {} vs {}", e, a, b
+            ),
+            _ => prop_assert!(
+                false,
+                "Ok/Err divergence on {}: interpreted {:?}, compiled {:?}",
+                e, interpreted, got
+            ),
+        }
+    }
+
+    /// Filter semantics agree too (`unknown` never passes either way).
+    #[test]
+    fn compiled_predicate_matches_interpreted(
+        e in arb_expr(),
+        row in prop::collection::vec(arb_datum(), 0..4),
+        params in prop::collection::vec(arb_datum(), 0..3),
+    ) {
+        let cols = cols();
+        let ctx = EvalContext::from_columns(&cols).with_params(&params);
+        let row = Row::new(row);
+        let interpreted = eval_predicate(&e, &row, &ctx);
+        let got = compile(&e, &ctx).eval_predicate(&row);
+        match (&interpreted, &got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "predicate divergence on {}", e),
+            (Err(a), Err(b)) => prop_assert_eq!(a.kind(), b.kind(), "on {}", e),
+            _ => prop_assert!(
+                false,
+                "Ok/Err divergence on {}: {:?} vs {:?}", e, interpreted, got
+            ),
+        }
+    }
+
+    /// Compiling is a pure prepare step: evaluating the same compiled
+    /// expression over many rows equals interpreting it over those rows.
+    #[test]
+    fn one_compile_many_rows(
+        e in arb_expr(),
+        rows in prop::collection::vec(prop::collection::vec(arb_datum(), 3..4), 1..8),
+        params in prop::collection::vec(arb_datum(), 0..3),
+    ) {
+        let cols = cols();
+        let ctx = EvalContext::from_columns(&cols).with_params(&params);
+        let compiled = compile(&e, &ctx);
+        for vals in rows {
+            let row = Row::new(vals);
+            let interpreted = eval(&e, &row, &ctx);
+            let got = compiled.eval(&row);
+            match (&interpreted, &got) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "on {}", e),
+                (Err(a), Err(b)) => prop_assert_eq!(a.kind(), b.kind(), "on {}", e),
+                _ => prop_assert!(false, "on {}: {:?} vs {:?}", e, interpreted, got),
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Hot-path benchmark suite for the per-row expression / routing work:
+#
+#   expr_eval   criterion bench: interpreted vs compiled evaluation on
+#               the three fast-path filter shapes over 100k rows, plus
+#               partition routing at 64 vs 1024 range partitions.
+#               Appends a JSON record to results/BENCH_expr.json and
+#               asserts the acceptance thresholds (compiled >= 2x on
+#               col-op-const; 1024-way routing sublinear vs 64-way).
+#   table2      the paper's Table 2 scan-overhead binary in --quick
+#               mode, to catch SELECT-with-predicate regressions in
+#               either execution mode.
+#
+# Pass --test to run everything in smoke mode (single samples, tiny row
+# counts, no JSON output) — what CI uses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench: expr_eval =="
+cargo bench -p mpp-bench --bench expr_eval -- "$@"
+
+echo "== bench: table2 --quick =="
+cargo run --release -p mpp-bench --bin table2 -- --quick
+
+echo "== bench: OK (see results/BENCH_expr.json and results/table2.json) =="

@@ -345,4 +345,36 @@ proptest! {
         prop_assert_eq!(sorted(s.rows), sorted(p.rows));
         prop_assert_eq!(&s.stats.parts_scanned, &p.stats.parts_scanned);
     }
+
+    /// Compiled expression evaluation is invisible to results: every
+    /// planner × execution mode combination (Orca/legacy × Sequential/
+    /// Parallel) still equals the brute-force reference, which bypasses
+    /// `mpp_expr` evaluation entirely.
+    #[test]
+    fn compilation_unchanged_across_planners_and_modes(
+        pred in arb_pred(),
+        seed in 0u64..100,
+        parts in 1usize..24,
+        segs in 1usize..5,
+    ) {
+        let (seq, par) = mode_pair(segs, parts, seed);
+        let sql = format!("SELECT * FROM r WHERE {}", pred.to_sql());
+        let expected = sorted(brute_force(&seq, "r", &pred));
+        for db in [&seq, &par] {
+            let orca = db.sql(&sql).unwrap();
+            prop_assert_eq!(
+                sorted(orca.rows),
+                expected.clone(),
+                "orca rows changed under compilation for {}",
+                sql
+            );
+            let legacy = db.sql_legacy(&sql).unwrap();
+            prop_assert_eq!(
+                sorted(legacy.rows),
+                expected.clone(),
+                "legacy rows changed under compilation for {}",
+                sql
+            );
+        }
+    }
 }

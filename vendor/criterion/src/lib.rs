@@ -9,19 +9,34 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Mirror of `criterion::Criterion`.
-#[derive(Debug, Default)]
+///
+/// Like upstream, `cargo bench -- --test` puts every bench in smoke
+/// mode: each routine runs once (a single sample, no warmup) so CI can
+/// check that benches still compile and execute without paying for
+/// measurements.
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group: {name}");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name,
-            sample_size: 20,
+            sample_size: if test_mode { 1 } else { 20 },
+            test_mode,
         }
     }
 }
@@ -70,11 +85,16 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl<'a> BenchmarkGroup<'a> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        // `--test` smoke mode pins a single sample regardless of what
+        // the bench asks for.
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -85,11 +105,14 @@ impl<'a> BenchmarkGroup<'a> {
     {
         let label = id.into_label();
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
-        // One warmup run, then `sample_size` timed samples.
-        let mut bencher = Bencher {
-            elapsed: Duration::ZERO,
-        };
-        f(&mut bencher);
+        // One warmup run, then `sample_size` timed samples — except in
+        // `--test` smoke mode, where the warmup is skipped too.
+        if !self.test_mode {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+        }
         for _ in 0..self.sample_size {
             let mut bencher = Bencher {
                 elapsed: Duration::ZERO,
