@@ -1,0 +1,179 @@
+//! Statement throughput (QPS) with and without plan reuse, at 1 / 4 / 16
+//! concurrent sessions over one shared database.
+//!
+//! Three execution styles of the same parameterized workload:
+//!
+//!   unprepared   `MppDb::sql_with_params` — parse, bind and optimize
+//!                on every call (the pre-session baseline);
+//!   cached       `Session::sql_with_params` — ad-hoc text through the
+//!                shared plan cache, planned once process-wide;
+//!   prepared     `PreparedStatement::execute` — the explicit handle,
+//!                which also reuses compiled expression templates.
+//!
+//! Besides the criterion group (single-session statement latency), the
+//! bench drives each style at 1, 4 and 16 sessions, appends a record to
+//! `results/BENCH_qps.json`, and (outside `--test` smoke mode) asserts
+//! the acceptance criterion: plan reuse beats re-planning at every
+//! session count.
+
+use criterion::{black_box, Criterion};
+use mpp_bench::write_result;
+use mpp_session::SessionCtx;
+use mppart::common::Datum;
+use mppart::workloads::{setup_rs, SynthConfig};
+use mppart::MppDb;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The measured workload: partition-pruning point and range lookups,
+/// parameter-driven so every call re-resolves partition OIDs.
+const STATEMENTS: &[(&str, i32)] = &[
+    ("SELECT * FROM r WHERE b = $1", 17),
+    ("SELECT count(*) FROM r WHERE b < $1", 60),
+    ("SELECT * FROM r WHERE b BETWEEN $1 AND 120", 80),
+];
+
+fn mk_ctx() -> Arc<SessionCtx> {
+    let db = MppDb::new(2);
+    setup_rs(
+        db.storage(),
+        &SynthConfig {
+            r_rows: 2_000,
+            s_rows: 0,
+            r_parts: Some(50),
+            s_parts: None,
+            b_domain: 200,
+            a_domain: 200,
+            seed: 2014,
+        },
+    )
+    .unwrap();
+    SessionCtx::with_db(db, 64)
+}
+
+/// Run `iters` passes of the workload on each of `sessions` threads in
+/// one of the three styles; returns statements per second.
+fn qps(ctx: &Arc<SessionCtx>, sessions: usize, iters: usize, style: &str) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..sessions {
+            let session = ctx.session();
+            scope.spawn(move || {
+                let prepared: Vec<_> = if style == "prepared" {
+                    STATEMENTS
+                        .iter()
+                        .map(|(q, _)| session.prepare(q).unwrap())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                for i in 0..iters {
+                    for (j, (q, v)) in STATEMENTS.iter().enumerate() {
+                        // Vary the binding so runs don't degenerate to
+                        // one partition's working set.
+                        let params = [Datum::Int32((v + i as i32 * 7) % 200)];
+                        let out = match style {
+                            "unprepared" => session.ctx().db().sql_with_params(q, &params).unwrap(),
+                            "cached" => session.sql_with_params(q, &params).unwrap(),
+                            "prepared" => prepared[j].execute(&params).unwrap(),
+                            _ => unreachable!(),
+                        };
+                        black_box(out.rows.len());
+                    }
+                }
+            });
+        }
+    });
+    (sessions * iters * STATEMENTS.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 3 } else { 200 };
+
+    // Criterion group: per-statement latency of each style, one session.
+    let ctx = mk_ctx();
+    let session = ctx.session();
+    let q = STATEMENTS[0].0;
+    let prepared = session.prepare(q).unwrap();
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("qps_statement");
+    group.sample_size(if smoke { 1 } else { 10 });
+    group.bench_function("unprepared", |b| {
+        b.iter(|| {
+            black_box(
+                ctx.db()
+                    .sql_with_params(q, &[Datum::Int32(17)])
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            black_box(
+                session
+                    .sql_with_params(q, &[Datum::Int32(17)])
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("prepared", |b| {
+        b.iter(|| black_box(prepared.execute(&[Datum::Int32(17)]).unwrap().rows.len()))
+    });
+    group.finish();
+
+    println!(
+        "\n== bench_qps: {} statements/pass, {iters} passes ==\n",
+        STATEMENTS.len()
+    );
+    let mut records = Vec::new();
+    for sessions in [1usize, 4, 16] {
+        // Fresh context per style so one style's cache warmup never
+        // subsidizes another.
+        let unprepared = qps(&mk_ctx(), sessions, iters, "unprepared");
+        let cached = qps(&mk_ctx(), sessions, iters, "cached");
+        let prepared = qps(&mk_ctx(), sessions, iters, "prepared");
+        println!(
+            "{sessions:>2} session(s): unprepared {unprepared:>9.0} qps | cached {cached:>9.0} qps \
+             ({:.2}x) | prepared {prepared:>9.0} qps ({:.2}x)",
+            cached / unprepared,
+            prepared / unprepared,
+        );
+        if !smoke {
+            assert!(
+                cached > unprepared,
+                "{sessions} sessions: cached plans must beat re-planning \
+                 ({cached:.0} vs {unprepared:.0} qps)"
+            );
+            assert!(
+                prepared > unprepared,
+                "{sessions} sessions: prepared statements must beat re-planning \
+                 ({prepared:.0} vs {unprepared:.0} qps)"
+            );
+        }
+        records.push(serde_json::json!({
+            "sessions": sessions,
+            "unprepared_qps": unprepared,
+            "cached_qps": cached,
+            "prepared_qps": prepared,
+            "cached_speedup": cached / unprepared,
+            "prepared_speedup": prepared / unprepared,
+        }));
+    }
+
+    if !smoke {
+        write_result(
+            "BENCH_qps",
+            &serde_json::json!({
+                "statements": STATEMENTS.iter().map(|(q, _)| *q).collect::<Vec<_>>(),
+                "passes": iters,
+                "by_sessions": records,
+            }),
+        );
+    }
+}

@@ -17,6 +17,12 @@ struct Inner {
     part_owner: HashMap<PartOid, TableOid>,
     next_table_oid: u32,
     next_part_oid: u32,
+    /// Monotonic DDL version: bumped on every CREATE/DROP/ALTER (any
+    /// change to table metadata that could invalidate a compiled plan).
+    /// Statistics updates do NOT bump it — stale stats only affect plan
+    /// *quality*, never correctness, and auto-analyze after DML would
+    /// otherwise flush every plan cache on every insert.
+    version: u64,
 }
 
 /// Thread-safe registry of table metadata, shared by binder, optimizers,
@@ -35,6 +41,14 @@ impl Catalog {
                 ..Inner::default()
             })),
         }
+    }
+
+    /// Current DDL version. Any two calls that return the same value are
+    /// guaranteed to have seen identical table metadata in between, so a
+    /// plan cached under version `v` is valid exactly while
+    /// `version() == v`.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
     }
 
     /// Reserve the next table OID.
@@ -78,6 +92,53 @@ impl Catalog {
         }
         g.by_name.insert(key, desc.oid);
         g.tables.insert(desc.oid, Arc::clone(&desc));
+        g.version += 1;
+        Ok(desc)
+    }
+
+    /// Swap a table's descriptor in place (same OID, e.g. ALTER TABLE
+    /// ADD/DROP PARTITION). The partition-ownership index is re-derived
+    /// from the new tree; leaf OIDs shared with the old tree keep their
+    /// identity, so surviving partitions keep their stored rows.
+    pub fn replace_table(&self, desc: TableDesc) -> Result<Arc<TableDesc>> {
+        desc.validate()?;
+        let mut g = self.inner.write();
+        let old = g
+            .tables
+            .get(&desc.oid)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {}", desc.oid)))?;
+        if !old.name.eq_ignore_ascii_case(&desc.name) {
+            return Err(Error::InvalidMetadata(format!(
+                "replace_table cannot rename '{}' to '{}'",
+                old.name, desc.name
+            )));
+        }
+        if let Some(tree) = &desc.partitioning {
+            let old_leaves: std::collections::HashSet<PartOid> = old
+                .partitioning
+                .iter()
+                .flat_map(|t| t.leaves().iter().map(|l| l.oid))
+                .collect();
+            for leaf in tree.leaves() {
+                if !old_leaves.contains(&leaf.oid) && g.part_owner.contains_key(&leaf.oid) {
+                    return Err(Error::Duplicate(format!("partition oid {}", leaf.oid)));
+                }
+            }
+        }
+        if let Some(tree) = &old.partitioning {
+            for leaf in tree.leaves() {
+                g.part_owner.remove(&leaf.oid);
+            }
+        }
+        let desc = Arc::new(desc);
+        if let Some(tree) = &desc.partitioning {
+            for leaf in tree.leaves() {
+                g.part_owner.insert(leaf.oid, desc.oid);
+            }
+        }
+        g.tables.insert(desc.oid, Arc::clone(&desc));
+        g.version += 1;
         Ok(desc)
     }
 
@@ -136,6 +197,7 @@ impl Catalog {
                 g.part_owner.remove(&leaf.oid);
             }
         }
+        g.version += 1;
         Ok(())
     }
 
@@ -231,6 +293,64 @@ mod tests {
         let b = cat.allocate_part_oids(5);
         assert_eq!(b.0, a.0 + 10);
         assert_ne!(cat.allocate_table_oid(), cat.allocate_table_oid());
+    }
+
+    #[test]
+    fn version_bumps_on_ddl_but_not_stats() {
+        let cat = Catalog::new();
+        let v0 = cat.version();
+        let t = register_partitioned(&cat, "R", 2);
+        let v1 = cat.version();
+        assert!(v1 > v0, "register must bump the version");
+        cat.set_stats(t.oid, TableStats::new(99));
+        assert_eq!(cat.version(), v1, "stats updates must NOT bump");
+        cat.drop_table(t.oid).unwrap();
+        assert!(cat.version() > v1, "drop must bump the version");
+    }
+
+    #[test]
+    fn replace_table_swaps_tree_and_reindexes_owners() {
+        let cat = Catalog::new();
+        let t = register_partitioned(&cat, "R", 4);
+        let old_leaves = t.part_tree().unwrap().partition_expansion();
+        let v1 = cat.version();
+
+        // New 2-piece tree keeping the first two original leaf OIDs.
+        let tree = crate::builders::range_parts_equal_width(
+            1,
+            Datum::Int32(0),
+            Datum::Int32(20),
+            2,
+            old_leaves[0],
+        )
+        .unwrap();
+        let new_desc = TableDesc {
+            partitioning: Some(tree),
+            ..(*t).clone()
+        };
+        cat.replace_table(new_desc).unwrap();
+        assert!(cat.version() > v1, "replace must bump the version");
+        assert_eq!(cat.part_owner(old_leaves[0]).unwrap(), t.oid);
+        assert!(
+            cat.part_owner(old_leaves[3]).is_err(),
+            "dropped leaves must leave the ownership index"
+        );
+        assert_eq!(
+            cat.table(t.oid).unwrap().part_tree().unwrap().num_leaves(),
+            2
+        );
+
+        // Renames and unknown OIDs are rejected.
+        let renamed = TableDesc {
+            name: "other".into(),
+            ..(*cat.table(t.oid).unwrap()).clone()
+        };
+        assert!(cat.replace_table(renamed).is_err());
+        let missing = TableDesc {
+            oid: TableOid(999),
+            ..(*cat.table(t.oid).unwrap()).clone()
+        };
+        assert!(cat.replace_table(missing).is_err());
     }
 
     #[test]

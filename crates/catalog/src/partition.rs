@@ -209,6 +209,35 @@ impl PartTree {
         }
     }
 
+    /// Like [`PartTree::new`], but with an explicit OID per leaf (row-major
+    /// order). Used by ALTER TABLE ADD/DROP PARTITION to rebuild a tree
+    /// while surviving leaves keep their OIDs — and hence their stored
+    /// rows.
+    pub fn with_leaf_oids(levels: Vec<PartitionLevel>, oids: Vec<PartOid>) -> Result<PartTree> {
+        let expected: usize = levels.iter().map(|l| l.pieces.len()).product();
+        if levels.is_empty() || oids.len() != expected {
+            return Err(Error::InvalidMetadata(format!(
+                "expected {} leaf oids, got {}",
+                expected,
+                oids.len()
+            )));
+        }
+        {
+            let mut sorted = oids.clone();
+            sorted.sort();
+            sorted.dedup();
+            if sorted.len() != oids.len() {
+                return Err(Error::InvalidMetadata("duplicate leaf oid".into()));
+            }
+        }
+        // Build with placeholder dense OIDs, then overwrite.
+        let mut tree = PartTree::new(levels, PartOid(0))?;
+        for (leaf, oid) in tree.leaves.iter_mut().zip(oids) {
+            leaf.oid = oid;
+        }
+        Ok(tree)
+    }
+
     fn validated(levels: Vec<PartitionLevel>, leaves: Vec<LeafPart>) -> Result<PartTree> {
         Ok(PartTree { levels, leaves })
     }
@@ -532,6 +561,23 @@ mod tests {
         assert!(cons[0].1[0].contains(&d(5)));
         assert!(!cons[1].1[0].contains(&d(5)));
         assert!(cons[1].1[0].contains(&d(50)));
+    }
+
+    #[test]
+    fn with_leaf_oids_preserves_identity() {
+        let oids: Vec<PartOid> = [7, 3, 99, 12, 5, 41, 8, 2, 60, 77]
+            .into_iter()
+            .map(PartOid)
+            .collect();
+        let t = PartTree::with_leaf_oids(vec![decades(0)], oids.clone()).unwrap();
+        assert_eq!(t.partition_expansion(), oids);
+        // Routing still works against the remapped OIDs.
+        assert_eq!(t.route(&[d(25)]), Some(PartOid(99)));
+        // Wrong count and duplicates are rejected.
+        assert!(PartTree::with_leaf_oids(vec![decades(0)], vec![PartOid(1)]).is_err());
+        let mut dup = oids;
+        dup[1] = dup[0];
+        assert!(PartTree::with_leaf_oids(vec![decades(0)], dup).is_err());
     }
 
     #[test]

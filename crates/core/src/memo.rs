@@ -35,8 +35,8 @@ use mpp_common::{Error, PartScanId, Result, TableOid};
 use mpp_expr::analysis::{derive_interval_set, find_preds_on_keys, DerivedSet};
 use mpp_expr::{collect_columns, split_conjuncts, ColRef, Expr};
 use mpp_plan::{AggCall, JoinType, LogicalPlan, MotionKind, PhysicalPlan};
-use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 type GroupId = usize;
 
@@ -221,7 +221,7 @@ pub(crate) struct MemoOptimizer<'a> {
     catalog: &'a Catalog,
     cost: &'a CostModel,
     binding: &'a ColumnBinding,
-    next_scan_id: &'a Cell<u32>,
+    next_scan_id: &'a AtomicU32,
 }
 
 struct Memo<'a> {
@@ -236,7 +236,7 @@ impl<'a> MemoOptimizer<'a> {
         catalog: &'a Catalog,
         cost: &'a CostModel,
         binding: &'a ColumnBinding,
-        next_scan_id: &'a Cell<u32>,
+        next_scan_id: &'a AtomicU32,
     ) -> MemoOptimizer<'a> {
         MemoOptimizer {
             catalog,
@@ -314,7 +314,7 @@ impl<'a> Memo<'a> {
     /// Insert a logical plan, implementing physical alternatives eagerly
     /// (including commuted joins — the Figure 13 `HashJoin[1,2]` /
     /// `HashJoin[2,1]` pair).
-    fn insert(&mut self, plan: &LogicalPlan, next_scan_id: &Cell<u32>) -> Result<GroupId> {
+    fn insert(&mut self, plan: &LogicalPlan, next_scan_id: &AtomicU32) -> Result<GroupId> {
         let est = CardinalityEstimator::new(self.catalog, self.binding);
         match plan {
             LogicalPlan::Get {
@@ -326,8 +326,7 @@ impl<'a> Memo<'a> {
                 let rows = est.table_cardinality(*table);
                 let mut scans = HashSet::new();
                 let expr = if desc.is_partitioned() {
-                    let id = PartScanId(next_scan_id.get());
-                    next_scan_id.set(id.0 + 1);
+                    let id = PartScanId(next_scan_id.fetch_add(1, Ordering::Relaxed));
                     scans.insert(id);
                     MExpr::DynScan {
                         table: *table,
@@ -1425,7 +1424,7 @@ mod tests {
             }
         }
         bind(plan, &mut binding);
-        let next = Cell::new(1);
+        let next = AtomicU32::new(1);
         let m = MemoOptimizer::new(cat, &cost, &binding, &next);
         m.optimize(plan).unwrap().plan
     }
@@ -1541,7 +1540,7 @@ mod tests {
         let (cat, r, _) = figure13_catalog(100, 100);
         let cost = CostModel::with_segments(4);
         let binding = ColumnBinding::new();
-        let next = Cell::new(1);
+        let next = AtomicU32::new(1);
         let m = MemoOptimizer::new(&cat, &cost, &binding, &next);
         let dml = LogicalPlan::Insert {
             table: r,

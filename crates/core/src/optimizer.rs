@@ -30,8 +30,8 @@ use mpp_catalog::{Catalog, Distribution};
 use mpp_common::{Error, PartScanId, Result, TableOid};
 use mpp_expr::{collect_columns, simplify, split_conjuncts, ColRef, Expr};
 use mpp_plan::{JoinType, LogicalPlan, MotionKind, PhysicalPlan};
-use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
@@ -70,7 +70,9 @@ pub struct Optimizer {
     catalog: Catalog,
     config: OptimizerConfig,
     cost: CostModel,
-    next_scan_id: Cell<u32>,
+    /// Monotonic across this optimizer's lifetime (never reset), so
+    /// concurrent `optimize` calls hand out disjoint scan ids.
+    next_scan_id: AtomicU32,
 }
 
 struct Built {
@@ -96,7 +98,7 @@ impl Optimizer {
             catalog,
             config,
             cost,
-            next_scan_id: Cell::new(1),
+            next_scan_id: AtomicU32::new(1),
         }
     }
 
@@ -109,14 +111,11 @@ impl Optimizer {
     }
 
     fn fresh_scan_id(&self) -> PartScanId {
-        let id = self.next_scan_id.get();
-        self.next_scan_id.set(id + 1);
-        PartScanId(id)
+        PartScanId(self.next_scan_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Optimize a logical plan into an executable physical plan.
     pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
-        self.next_scan_id.set(1);
         let normalized = normalize(logical.clone());
         let mut binding = ColumnBinding::new();
         build_binding(&normalized, &mut binding);

@@ -8,6 +8,7 @@
 //! are simply uncontended.
 
 use crate::exec::ExecMode;
+use crate::prepared::CompiledCache;
 use crate::stats::{ExecutionStats, SegmentStats};
 use mpp_common::{Datum, Error, MotionId, PartOid, PartScanId, Result, Row, SegmentId};
 use mpp_plan::PhysicalPlan;
@@ -59,6 +60,9 @@ pub struct ExecContext<'a> {
     /// One slot per segment; a worker only locks its own during parallel
     /// execution, so contention is nil.
     seg_stats: Vec<Mutex<SegmentStats>>,
+    /// Compiled-expression template cache of a [`crate::prepared::PreparedPlan`]
+    /// execution; `None` for ad-hoc plans (compile per slice, as before).
+    compiled_cache: Option<&'a CompiledCache>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -98,7 +102,18 @@ impl<'a> ExecContext<'a> {
             seg_stats: (0..num_segments.max(1))
                 .map(|_| Mutex::new(SegmentStats::default()))
                 .collect(),
+            compiled_cache: None,
         }
+    }
+
+    /// Attach a prepared plan's template cache to this execution.
+    pub(crate) fn with_compiled_cache(mut self, cache: Option<&'a CompiledCache>) -> Self {
+        self.compiled_cache = cache;
+        self
+    }
+
+    pub(crate) fn compiled_cache(&self) -> Option<&'a CompiledCache> {
+        self.compiled_cache
     }
 
     pub fn mode(&self) -> ExecMode {

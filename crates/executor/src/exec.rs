@@ -15,14 +15,13 @@
 
 use crate::context::ExecContext;
 use crate::pool;
+use crate::prepared::CompiledCache;
 use crate::slice::{init_plan_sites, SlicePlan};
 use crate::stats::ExecutionStats;
 use mpp_catalog::PartTree;
 use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
 use mpp_expr::analysis::{derive_interval_set, DerivedSet};
-use mpp_expr::{
-    collect_columns, compile, CmpOp, ColRef, CompiledExpr, EvalContext, Expr, IntervalSet,
-};
+use mpp_expr::{collect_columns, CmpOp, ColRef, CompiledExpr, Expr, IntervalSet};
 use mpp_plan::{AggCall, AggFunc, JoinType, MotionKind, PhysicalPlan};
 use mpp_storage::{PhysId, Storage};
 use std::collections::{HashMap, HashSet};
@@ -30,7 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// How the simulated cluster's segments execute their plan slices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecMode {
     /// One driver thread interprets every segment's slice in turn and
     /// Motions materialize lazily on first access — the original
@@ -118,6 +117,18 @@ pub fn execute_with_params_mode(
     params: &[Datum],
     mode: ExecMode,
 ) -> Result<QueryResult> {
+    run_plan(storage, plan, params, mode, None)
+}
+
+/// The shared driver behind ad-hoc and prepared execution: the optional
+/// [`CompiledCache`] carries a prepared plan's expression templates.
+pub(crate) fn run_plan(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+    cache: Option<&CompiledCache>,
+) -> Result<QueryResult> {
     // DML mutates shared storage from one driver thread in either mode;
     // its children still execute per segment, with Motions materialized
     // lazily, so it always runs under a sequential context.
@@ -126,7 +137,8 @@ pub fn execute_with_params_mode(
     } else {
         mode
     };
-    let ctx = ExecContext::for_plan(plan, params, storage.num_segments(), eff_mode);
+    let ctx = ExecContext::for_plan(plan, params, storage.num_segments(), eff_mode)
+        .with_compiled_cache(cache);
     // Init plans run once, before the main plan — the classic planner
     // contract. Publishing every $oids parameter up front is what lets a
     // gated scan below a Motion read a parameter its InitPlanOids
@@ -273,16 +285,14 @@ fn is_dml(plan: &PhysicalPlan) -> bool {
     )
 }
 
-fn eval_ctx<'a>(cols: &[ColRef], params: &'a [Datum]) -> EvalContext<'a> {
-    EvalContext::from_columns(cols).with_params(params)
-}
-
 /// Lower an expression against an operator's output columns: columns become
 /// row offsets, parameters and constant subtrees fold away. Every per-row
 /// site below compiles once per (slice) execution and evaluates the
-/// compiled form per row.
-fn compiled(e: &Expr, cols: &[ColRef], params: &[Datum]) -> CompiledExpr {
-    compile(e, &eval_ctx(cols, params))
+/// compiled form per row. Under prepared execution the context carries a
+/// template cache and the lowering survives across executions — only the
+/// cheap parameter re-bind runs per call.
+fn compiled(e: &Expr, cols: &[ColRef], ctx: &ExecContext<'_>) -> Arc<CompiledExpr> {
+    crate::prepared::compiled_for(e, cols, ctx)
 }
 
 /// Evaluate one subtree on one segment.
@@ -403,7 +413,7 @@ pub(crate) fn exec(
         PhysicalPlan::Filter { pred, child } => {
             let rows = exec(child, seg, storage, ctx)?;
             let cols = child.output_cols();
-            let pred = compiled(pred, &cols, ctx.params);
+            let pred = compiled(pred, &cols, ctx);
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
                 if pred.eval_predicate(&r)? {
@@ -416,10 +426,8 @@ pub(crate) fn exec(
         PhysicalPlan::Project { exprs, child, .. } => {
             let rows = exec(child, seg, storage, ctx)?;
             let cols = child.output_cols();
-            let exprs: Vec<CompiledExpr> = exprs
-                .iter()
-                .map(|e| compiled(e, &cols, ctx.params))
-                .collect();
+            let exprs: Vec<Arc<CompiledExpr>> =
+                exprs.iter().map(|e| compiled(e, &cols, ctx)).collect();
             rows.iter()
                 .map(|r| {
                     exprs
@@ -540,7 +548,7 @@ pub(crate) fn exec(
                     )));
                 }
                 let cols = child.output_cols();
-                let key = compiled(key, &cols, ctx.params);
+                let key = compiled(key, &cols, ctx);
                 let mut oids: HashSet<PartOid> = HashSet::new();
                 for s in storage.segments() {
                     for row in exec(child, s, storage, ctx)? {
@@ -809,7 +817,7 @@ fn apply_filter(
     match filter {
         None => Ok(rows),
         Some(pred) => {
-            let pred = compiled(pred, output, ctx.params);
+            let pred = compiled(pred, output, ctx);
             let mut out = Vec::with_capacity(rows.len());
             for r in rows {
                 if pred.eval_predicate(&r)? {
@@ -840,19 +848,19 @@ fn hash_join(
 ) -> Result<Vec<Row>> {
     let l_cols = left.output_cols();
     let r_cols = right.output_cols();
-    let l_keys: Vec<CompiledExpr> = left_keys
+    let l_keys: Vec<Arc<CompiledExpr>> = left_keys
         .iter()
-        .map(|k| compiled(k, &l_cols, ctx.params))
+        .map(|k| compiled(k, &l_cols, ctx))
         .collect();
-    let r_keys: Vec<CompiledExpr> = right_keys
+    let r_keys: Vec<Arc<CompiledExpr>> = right_keys
         .iter()
-        .map(|k| compiled(k, &r_cols, ctx.params))
+        .map(|k| compiled(k, &r_cols, ctx))
         .collect();
     let mut joined_cols = l_cols.clone();
     joined_cols.extend(r_cols.clone());
     let residual = residual
         .as_ref()
-        .map(|res| compiled(res, &joined_cols, ctx.params));
+        .map(|res| compiled(res, &joined_cols, ctx));
 
     // Build on the left.
     let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::new();
@@ -942,7 +950,7 @@ fn nl_join(
     let mut joined_cols = left.output_cols();
     let r_width = right.output_cols().len();
     joined_cols.extend(right.output_cols());
-    let pred = pred.as_ref().map(|p| compiled(p, &joined_cols, ctx.params));
+    let pred = pred.as_ref().map(|p| compiled(p, &joined_cols, ctx));
     let mut out = Vec::new();
     for l in &l_rows {
         let mut matched = false;
@@ -982,13 +990,9 @@ fn hash_agg(
 ) -> Result<Vec<Row>> {
     // Aggregate arguments are evaluated once per row per call: compile them
     // up front (None = COUNT(*), no argument).
-    let args: Vec<Option<CompiledExpr>> = aggs
+    let args: Vec<Option<Arc<CompiledExpr>>> = aggs
         .iter()
-        .map(|call| {
-            call.arg
-                .as_ref()
-                .map(|e| compiled(e, child_cols, ctx.params))
-        })
+        .map(|call| call.arg.as_ref().map(|e| compiled(e, child_cols, ctx)))
         .collect();
     let positions: Vec<usize> = group_by
         .iter()
@@ -1171,9 +1175,9 @@ fn exec_dml(plan: &PhysicalPlan, storage: &Storage, ctx: &ExecContext<'_>) -> Re
             // Materialize old rows and their replacements first (the scan
             // must not observe its own updates).
             let child_cols = child.output_cols();
-            let assignments: Vec<(usize, CompiledExpr)> = assignments
+            let assignments: Vec<(usize, Arc<CompiledExpr>)> = assignments
                 .iter()
-                .map(|(idx, e)| (*idx, compiled(e, &child_cols, ctx.params)))
+                .map(|(idx, e)| (*idx, compiled(e, &child_cols, ctx)))
                 .collect();
             let positions: Vec<usize> = target_cols
                 .iter()

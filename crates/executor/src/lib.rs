@@ -33,6 +33,7 @@
 pub mod context;
 pub mod exec;
 mod pool;
+pub mod prepared;
 pub mod slice;
 pub mod stats;
 
@@ -44,5 +45,6 @@ pub use exec::{
     execute, execute_mode, execute_with_params, execute_with_params_mode, ExecMode, Executor,
     QueryResult,
 };
+pub use prepared::{execute_prepared, CompiledCache, PreparedPlan};
 pub use slice::SlicePlan;
 pub use stats::{ExecutionStats, SegmentStats};

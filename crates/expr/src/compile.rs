@@ -318,6 +318,140 @@ impl CompiledExpr {
         }
     }
 
+    /// Does this tree reference any bindable (`$1`-based) parameter?
+    /// Templates without parameters evaluate identically under every
+    /// binding, so a caller caching compiled forms can share them as-is;
+    /// `UnboundParam(0)` errors regardless of bindings and does not count.
+    pub fn has_params(&self) -> bool {
+        use CompiledExpr::*;
+        match self {
+            UnboundParam(n) => *n >= 1,
+            Const(_) | Col { .. } | UnboundCol(_) | CmpColConst { .. } | BetweenColConst { .. } => {
+                false
+            }
+            Cmp { left, right, .. } | Arith { left, right, .. } => {
+                left.has_params() || right.has_params()
+            }
+            And(es) | Or(es) => es.iter().any(|e| e.has_params()),
+            Not(e) | IsNull(e) => e.has_params(),
+            Between { expr, low, high } => {
+                expr.has_params() || low.has_params() || high.has_params()
+            }
+            InConstSet { input, .. } => input.has_params(),
+            InList { expr, list, .. } => expr.has_params() || list.iter().any(|e| e.has_params()),
+        }
+    }
+
+    /// Bind prepared-statement parameters into a *template* — a tree
+    /// compiled against a context **without** parameter values, so every
+    /// `$n` lowered to [`CompiledExpr::UnboundParam`]. Substituting the
+    /// bindings re-enables exactly the specializations [`compile`] would
+    /// have applied had the parameters been known at compile time
+    /// (col-op-const, BETWEEN, `IN` hash sets, constant folding), so
+    /// `compile(e, ctx_without_params).bind_params(p)` evaluates
+    /// identically to `compile(e, ctx.with_params(p))` — values and
+    /// errors alike. Parameters outside `params` (and the invalid `$0`)
+    /// stay unbound and keep their error-at-eval behaviour.
+    pub fn bind_params(&self, params: &[Datum]) -> CompiledExpr {
+        match self {
+            CompiledExpr::UnboundParam(n) if *n >= 1 && (*n as usize) <= params.len() => {
+                CompiledExpr::Const(params[*n as usize - 1].clone())
+            }
+            CompiledExpr::Const(_)
+            | CompiledExpr::Col { .. }
+            | CompiledExpr::UnboundCol(_)
+            | CompiledExpr::UnboundParam(_)
+            | CompiledExpr::CmpColConst { .. }
+            | CompiledExpr::BetweenColConst { .. } => self.clone(),
+            CompiledExpr::Cmp { op, left, right } => {
+                let left = left.bind_params(params);
+                let right = right.bind_params(params);
+                fold(match (left, right) {
+                    (CompiledExpr::Col { pos, col }, CompiledExpr::Const(val)) => {
+                        CompiledExpr::CmpColConst {
+                            op: *op,
+                            pos,
+                            col,
+                            val,
+                        }
+                    }
+                    (left, right) => CompiledExpr::Cmp {
+                        op: *op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                })
+            }
+            CompiledExpr::And(es) => fold(CompiledExpr::And(
+                es.iter().map(|e| e.bind_params(params)).collect(),
+            )),
+            CompiledExpr::Or(es) => fold(CompiledExpr::Or(
+                es.iter().map(|e| e.bind_params(params)).collect(),
+            )),
+            CompiledExpr::Not(e) => fold(CompiledExpr::Not(Box::new(e.bind_params(params)))),
+            CompiledExpr::IsNull(e) => fold(CompiledExpr::IsNull(Box::new(e.bind_params(params)))),
+            CompiledExpr::Arith { op, left, right } => fold(CompiledExpr::Arith {
+                op: *op,
+                left: Box::new(left.bind_params(params)),
+                right: Box::new(right.bind_params(params)),
+            }),
+            CompiledExpr::Between { expr, low, high } => {
+                let expr = expr.bind_params(params);
+                let low = low.bind_params(params);
+                let high = high.bind_params(params);
+                fold(match (expr, low, high) {
+                    (
+                        CompiledExpr::Col { pos, col },
+                        CompiledExpr::Const(low),
+                        CompiledExpr::Const(high),
+                    ) => CompiledExpr::BetweenColConst {
+                        pos,
+                        col,
+                        low,
+                        high,
+                    },
+                    (expr, low, high) => CompiledExpr::Between {
+                        expr: Box::new(expr),
+                        low: Box::new(low),
+                        high: Box::new(high),
+                    },
+                })
+            }
+            CompiledExpr::InConstSet { input, set } => fold(CompiledExpr::InConstSet {
+                input: Box::new(input.bind_params(params)),
+                set: set.clone(),
+            }),
+            CompiledExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let input = expr.bind_params(params);
+                let list: Vec<CompiledExpr> = list.iter().map(|e| e.bind_params(params)).collect();
+                let values: Option<Vec<Datum>> = list
+                    .iter()
+                    .map(|e| match e {
+                        CompiledExpr::Const(d) => Some(d.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                fold(
+                    match values.and_then(|vs| ConstSet::try_new(&vs, *negated)) {
+                        Some(set) => CompiledExpr::InConstSet {
+                            input: Box::new(input),
+                            set,
+                        },
+                        None => CompiledExpr::InList {
+                            expr: Box::new(input),
+                            list,
+                            negated: *negated,
+                        },
+                    },
+                )
+            }
+        }
+    }
+
     /// Evaluate against a row. Mirrors [`crate::eval()`] exactly, including
     /// three-valued logic, short circuits and evaluation-order-dependent
     /// errors.
@@ -638,6 +772,94 @@ mod tests {
                 .unwrap(),
             Datum::Null
         );
+    }
+
+    #[test]
+    fn template_bind_matches_direct_compile() {
+        // Every parameterized shape: template (no params at compile time)
+        // + bind_params must reach the same specialized form and the same
+        // results as compiling with the params in the context.
+        let params = vec![Datum::Int32(7), Datum::Int32(40)];
+        let shapes = vec![
+            Expr::eq(col(1), Expr::Param(1)),
+            Expr::between(col(1), Expr::Param(1), Expr::Param(2)),
+            Expr::in_list(
+                col(1),
+                vec![Expr::Param(1), Expr::Param(2), Expr::lit(9i32)],
+            ),
+            Expr::and(vec![
+                Expr::lt(col(1), Expr::Param(2)),
+                Expr::gt(col(2), Expr::Param(1)),
+            ]),
+            // Constant subtree enabled by binding: $1 + 1.
+            Expr::eq(
+                col(1),
+                Expr::Arith {
+                    op: ArithOp::Add,
+                    left: Box::new(Expr::Param(1)),
+                    right: Box::new(Expr::lit(1i32)),
+                },
+            ),
+        ];
+        for e in shapes {
+            let template = compile(&e, &ctx2());
+            assert!(template.has_params());
+            let bound = template.bind_params(&params);
+            assert!(!bound.has_params());
+            let direct = compile(&e, &ctx2().with_params(&params));
+            for a in [0i32, 7, 8, 39, 40, 41, 9] {
+                for b in [0i32, 7, 100] {
+                    let r = row![a, b];
+                    assert_eq!(
+                        bound.eval(&r).ok(),
+                        direct.eval(&r).ok(),
+                        "divergence on {e:?} at ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bind_params_respecializes_fast_paths() {
+        let params = vec![Datum::Int32(7), Datum::Int32(40)];
+        let t = compile(&Expr::eq(col(1), Expr::Param(1)), &ctx2());
+        assert!(matches!(t, CompiledExpr::Cmp { .. }));
+        assert!(matches!(
+            t.bind_params(&params),
+            CompiledExpr::CmpColConst { .. }
+        ));
+        let t = compile(
+            &Expr::between(col(1), Expr::Param(1), Expr::Param(2)),
+            &ctx2(),
+        );
+        assert!(matches!(
+            t.bind_params(&params),
+            CompiledExpr::BetweenColConst { .. }
+        ));
+        let t = compile(
+            &Expr::in_list(col(1), vec![Expr::Param(1), Expr::Param(2)]),
+            &ctx2(),
+        );
+        assert!(matches!(
+            t.bind_params(&params),
+            CompiledExpr::InConstSet { .. }
+        ));
+    }
+
+    #[test]
+    fn bind_params_leaves_out_of_range_params_unbound() {
+        let t = compile(&Expr::eq(col(1), Expr::Param(5)), &ctx2());
+        let bound = t.bind_params(&[Datum::Int32(1)]);
+        assert!(bound.has_params());
+        assert!(bound.eval(&row![1i32, 2i32]).is_err());
+        // $0 never binds: its 1-based error is part of the semantics.
+        let t = compile(&Expr::eq(col(1), Expr::Param(0)), &ctx2());
+        assert!(!t.has_params());
+        assert!(t
+            .bind_params(&[Datum::Int32(1)])
+            .eval(&row![1i32, 2i32])
+            .is_err());
     }
 
     #[test]

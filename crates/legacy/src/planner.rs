@@ -6,8 +6,8 @@ use mpp_core::optimizer::normalize_basic;
 use mpp_expr::analysis::{derive_interval_set, DerivedSet};
 use mpp_expr::{collect_columns, split_conjuncts, ColRef, Expr};
 use mpp_plan::{JoinType, LogicalPlan, MotionKind, PhysicalPlan};
-use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Output distribution tracking (a light version of the Orca pipeline's).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,7 +20,9 @@ enum Dist {
 /// The PostgreSQL-inheritance-style planner.
 pub struct LegacyPlanner {
     catalog: Catalog,
-    next_param: Cell<u32>,
+    /// OID-gate parameter numbering; monotonic (never reset) so
+    /// concurrent `optimize` calls hand out disjoint parameter slots.
+    next_param: AtomicU32,
 }
 
 struct Built {
@@ -32,7 +34,7 @@ impl LegacyPlanner {
     pub fn new(catalog: Catalog) -> LegacyPlanner {
         LegacyPlanner {
             catalog,
-            next_param: Cell::new(1),
+            next_param: AtomicU32::new(1),
         }
     }
 
@@ -43,7 +45,6 @@ impl LegacyPlanner {
     /// Plan a query the way the legacy planner does: partitioned scans
     /// expand into explicit per-partition plans.
     pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
-        self.next_param.set(1);
         let normalized = normalize_basic(logical.clone());
         let built = self.build(&normalized)?;
         if normalized.is_dml() || built.dist == Dist::Singleton {
@@ -61,9 +62,7 @@ impl LegacyPlanner {
     }
 
     fn fresh_param(&self) -> u32 {
-        let p = self.next_param.get();
-        self.next_param.set(p + 1);
-        p
+        self.next_param.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Expand a partitioned Get into per-partition scans, statically

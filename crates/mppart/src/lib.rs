@@ -36,24 +36,95 @@ pub use mpp_storage as storage;
 pub use mpp_workloads as workloads;
 
 use mpp_catalog::Catalog;
-use mpp_common::{Datum, Error, Result, Row};
+use mpp_common::{Datum, Error, PartOid, Result, Row};
 use mpp_core::{Optimizer, OptimizerConfig};
 pub use mpp_executor::ExecMode;
-use mpp_executor::{execute_with_params_mode, ExecutionStats};
+use mpp_executor::{execute_with_params_mode, ExecutionStats, PreparedPlan};
 use mpp_expr::ColRefGenerator;
 use mpp_legacy::LegacyPlanner;
 use mpp_plan::{explain, PhysicalPlan};
 use mpp_storage::Storage;
+use std::sync::Arc;
 
 pub mod testing;
+
+/// Which planner produced a physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Planner {
+    /// The Orca-style Memo optimizer (the paper's subject).
+    #[default]
+    Orca,
+    /// The legacy-planner baseline.
+    Legacy,
+}
+
+/// Plan-cache observability for one statement: whether this execution
+/// reused a cached plan, plus the cache-wide counters at completion.
+/// Filled in by the session layer; `None` on direct [`MppDb`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// Did this statement reuse a cached plan?
+    pub hit: bool,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
 
 /// Result of running one SQL statement.
 #[derive(Debug)]
 pub struct QueryOutcome {
     pub rows: Vec<Row>,
     pub stats: ExecutionStats,
-    /// The executed physical plan.
-    pub plan: PhysicalPlan,
+    /// The executed physical plan (shared: cached plans hand out the same
+    /// allocation to every execution).
+    pub plan: Arc<PhysicalPlan>,
+    /// Plan-cache counters when the statement ran through a session.
+    pub cache: Option<CacheInfo>,
+}
+
+/// A statement prepared against the catalog: parse, bind and optimize are
+/// paid once at [`MppDb::prepare`] time; every [`MppDb::execute_prepared`]
+/// binds fresh parameters, re-resolves partition OIDs through the plan's
+/// `PartitionSelector`s, and reuses the executor's compiled-expression
+/// templates ([`mpp_executor::PreparedPlan`]).
+pub struct PreparedQuery {
+    prepared: Arc<PreparedPlan>,
+    param_count: u32,
+    explain: bool,
+    planner: Planner,
+    catalog_version: u64,
+}
+
+impl PreparedQuery {
+    pub fn plan(&self) -> &Arc<PhysicalPlan> {
+        self.prepared.plan()
+    }
+
+    /// Exact number of `$n` parameters each execution must supply.
+    pub fn param_count(&self) -> u32 {
+        self.param_count
+    }
+
+    pub fn planner(&self) -> Planner {
+        self.planner
+    }
+
+    /// The catalog version the plan was optimized against. Stale handles
+    /// (version no longer current) should be re-prepared after DDL.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// Expression sites lowered so far by executions of this handle.
+    pub fn compiled_sites(&self) -> usize {
+        self.prepared.compiled_sites()
+    }
+
+    /// The executor-level prepared plan (shared, cheap to clone).
+    pub fn prepared_plan(&self) -> &Arc<PreparedPlan> {
+        &self.prepared
+    }
 }
 
 /// A self-contained in-process "MPP database": catalog + storage +
@@ -141,36 +212,7 @@ impl MppDb {
 
     /// Run a SQL statement with prepared-statement parameters bound.
     pub fn sql_with_params(&self, sql_text: &str, params: &[Datum]) -> Result<QueryOutcome> {
-        let stmt = mpp_sql::parse(sql_text)?;
-        if let Some(outcome) = self.try_ddl(&stmt)? {
-            return Ok(outcome);
-        }
-        let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
-        if bound.param_count as usize > params.len() {
-            return Err(Error::Execution(format!(
-                "statement needs {} parameters, {} given",
-                bound.param_count,
-                params.len()
-            )));
-        }
-        let plan = self.optimizer.optimize(&bound.plan)?;
-        if bound.explain {
-            let rows = explain(&plan)
-                .lines()
-                .map(|l| Row::new(vec![Datum::str(l)]))
-                .collect();
-            return Ok(QueryOutcome {
-                rows,
-                stats: ExecutionStats::default(),
-                plan,
-            });
-        }
-        let res = execute_with_params_mode(&self.storage, &plan, params, self.exec_mode)?;
-        Ok(QueryOutcome {
-            rows: res.rows,
-            stats: res.stats,
-            plan,
-        })
+        self.run_sql(sql_text, params, Planner::Orca)
     }
 
     /// Execute a SQL statement through the legacy planner (baseline
@@ -180,21 +222,30 @@ impl MppDb {
     }
 
     pub fn sql_legacy_with_params(&self, sql_text: &str, params: &[Datum]) -> Result<QueryOutcome> {
+        self.run_sql(sql_text, params, Planner::Legacy)
+    }
+
+    /// The single parse→DDL→bind→optimize→execute path behind both
+    /// planner flavors (and the session layer).
+    pub fn run_sql(
+        &self,
+        sql_text: &str,
+        params: &[Datum],
+        planner: Planner,
+    ) -> Result<QueryOutcome> {
         let stmt = mpp_sql::parse(sql_text)?;
         if let Some(outcome) = self.try_ddl(&stmt)? {
             return Ok(outcome);
         }
         let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
-        let plan = self.legacy.optimize(&bound.plan)?;
+        check_param_arity(bound.param_count, params.len())?;
+        let plan = Arc::new(self.optimize_with(planner, &bound.plan)?);
         if bound.explain {
-            let rows = explain(&plan)
-                .lines()
-                .map(|l| Row::new(vec![Datum::str(l)]))
-                .collect();
             return Ok(QueryOutcome {
-                rows,
+                rows: explain_rows(&plan),
                 stats: ExecutionStats::default(),
                 plan,
+                cache: None,
             });
         }
         let res = execute_with_params_mode(&self.storage, &plan, params, self.exec_mode)?;
@@ -202,11 +253,75 @@ impl MppDb {
             rows: res.rows,
             stats: res.stats,
             plan,
+            cache: None,
         })
     }
 
-    /// Execute DDL statements (CREATE TABLE / DROP TABLE); `None` when the
-    /// statement is not DDL. DROP also truncates the table's storage.
+    /// Prepare a statement: parse, bind and optimize once. The returned
+    /// handle executes many times via [`MppDb::execute_prepared`] with
+    /// fresh parameters each call. DDL cannot be prepared.
+    pub fn prepare(&self, sql_text: &str) -> Result<PreparedQuery> {
+        self.prepare_with(sql_text, Planner::Orca)
+    }
+
+    /// [`MppDb::prepare`] with an explicit planner flavor.
+    pub fn prepare_with(&self, sql_text: &str, planner: Planner) -> Result<PreparedQuery> {
+        let stmt = mpp_sql::parse(sql_text)?;
+        if is_ddl(&stmt) {
+            return Err(Error::Unsupported(
+                "DDL statements cannot be prepared; run them directly".into(),
+            ));
+        }
+        // Read the version before binding: a concurrent DDL between this
+        // read and the optimize pass makes the handle *stale* (its version
+        // no longer current), never silently wrong.
+        let catalog_version = self.catalog().version();
+        let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
+        let plan = Arc::new(self.optimize_with(planner, &bound.plan)?);
+        Ok(PreparedQuery {
+            prepared: Arc::new(PreparedPlan::new(plan)),
+            param_count: bound.param_count,
+            explain: bound.explain,
+            planner,
+            catalog_version,
+        })
+    }
+
+    /// Execute a prepared statement with this call's parameter bindings.
+    pub fn execute_prepared(&self, q: &PreparedQuery, params: &[Datum]) -> Result<QueryOutcome> {
+        check_param_arity(q.param_count, params.len())?;
+        let plan = Arc::clone(q.prepared.plan());
+        if q.explain {
+            return Ok(QueryOutcome {
+                rows: explain_rows(&plan),
+                stats: ExecutionStats::default(),
+                plan,
+                cache: None,
+            });
+        }
+        let res = q.prepared.execute(&self.storage, params, self.exec_mode)?;
+        Ok(QueryOutcome {
+            rows: res.rows,
+            stats: res.stats,
+            plan,
+            cache: None,
+        })
+    }
+
+    fn optimize_with(
+        &self,
+        planner: Planner,
+        plan: &mpp_plan::LogicalPlan,
+    ) -> Result<PhysicalPlan> {
+        match planner {
+            Planner::Orca => self.optimizer.optimize(plan),
+            Planner::Legacy => self.legacy.optimize(plan),
+        }
+    }
+
+    /// Execute DDL statements (CREATE / DROP / ALTER TABLE); `None` when
+    /// the statement is not DDL. DROP also truncates the table's storage,
+    /// and ALTER … DROP PARTITION removes the dropped leaves' rows.
     fn try_ddl(&self, stmt: &mpp_sql::Statement) -> Result<Option<QueryOutcome>> {
         use mpp_sql::Statement;
         match stmt {
@@ -221,21 +336,75 @@ impl MppDb {
                 }
                 mpp_sql::execute_ddl(stmt, self.catalog())?;
             }
+            Statement::AlterTable { table, .. } => {
+                let before = self
+                    .catalog()
+                    .table_by_name(table)?
+                    .part_tree()?
+                    .partition_expansion();
+                mpp_sql::execute_ddl(stmt, self.catalog())?;
+                let after: std::collections::HashSet<PartOid> = self
+                    .catalog()
+                    .table_by_name(table)?
+                    .part_tree()?
+                    .partition_expansion()
+                    .into_iter()
+                    .collect();
+                let dropped: Vec<PartOid> =
+                    before.into_iter().filter(|p| !after.contains(p)).collect();
+                if !dropped.is_empty() {
+                    self.storage.drop_parts(&dropped);
+                }
+            }
             _ => return Ok(None),
         }
         Ok(Some(QueryOutcome {
             rows: Vec::new(),
             stats: ExecutionStats::default(),
-            plan: PhysicalPlan::Values {
+            plan: Arc::new(PhysicalPlan::Values {
                 rows: vec![],
                 output: vec![],
-            },
+            }),
+            cache: None,
         }))
     }
 
     /// EXPLAIN text of the optimized plan.
     pub fn explain_sql(&self, sql_text: &str) -> Result<String> {
         Ok(explain(&self.plan(sql_text)?))
+    }
+}
+
+/// Every execution must supply exactly the parameters the statement
+/// declares: too few would leave `$n` unbound at evaluation, and extras
+/// are almost certainly a caller bug (historically they were silently
+/// ignored).
+fn check_param_arity(needed: u32, given: usize) -> Result<()> {
+    if needed as usize != given {
+        return Err(Error::Execution(format!(
+            "statement takes exactly {needed} parameter(s), {given} given"
+        )));
+    }
+    Ok(())
+}
+
+fn explain_rows(plan: &PhysicalPlan) -> Vec<Row> {
+    explain(plan)
+        .lines()
+        .map(|l| Row::new(vec![Datum::str(l)]))
+        .collect()
+}
+
+/// Is this statement DDL (CREATE / DROP / ALTER TABLE, possibly behind
+/// EXPLAIN)? DDL cannot be prepared or plan-cached.
+pub fn is_ddl(stmt: &mpp_sql::Statement) -> bool {
+    use mpp_sql::Statement;
+    match stmt {
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::AlterTable { .. } => true,
+        Statement::Explain(inner) => is_ddl(inner),
+        _ => false,
     }
 }
 
@@ -274,7 +443,84 @@ mod tests {
         let db = MppDb::new(2);
         setup_rs(db.storage(), &SynthConfig::default()).unwrap();
         let err = db.sql("SELECT * FROM r WHERE b = $1").unwrap_err();
-        assert!(err.to_string().contains("parameters"));
+        assert!(err.to_string().contains("parameter"), "{err}");
+    }
+
+    #[test]
+    fn extra_parameters_are_rejected() {
+        // The arity check is exact: extras used to be silently ignored.
+        let db = MppDb::new(2);
+        setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+        let two = [Datum::Int32(1), Datum::Int32(2)];
+        let err = db
+            .sql_with_params("SELECT * FROM r WHERE b = $1", &two)
+            .unwrap_err();
+        assert!(err.to_string().contains("exactly 1 parameter"), "{err}");
+        // The legacy path shares the same entry point and check.
+        let err = db
+            .sql_legacy_with_params("SELECT * FROM r WHERE b = $1", &two)
+            .unwrap_err();
+        assert!(err.to_string().contains("exactly 1 parameter"), "{err}");
+        assert!(db
+            .sql_with_params("SELECT * FROM r WHERE b = $1", &[Datum::Int32(1)])
+            .is_ok());
+    }
+
+    #[test]
+    fn prepare_execute_matches_fresh_sql() {
+        let db = MppDb::new(2);
+        setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+        let q = db.prepare("SELECT count(*) FROM r WHERE b < $1").unwrap();
+        assert_eq!(q.param_count(), 1);
+        for v in [0, 100, 555] {
+            let params = [Datum::Int32(v)];
+            let prepared = db.execute_prepared(&q, &params).unwrap();
+            let fresh = db
+                .sql_with_params("SELECT count(*) FROM r WHERE b < $1", &params)
+                .unwrap();
+            assert_eq!(prepared.rows, fresh.rows, "v={v}");
+            let r = db.catalog().table_by_name("r").unwrap();
+            assert_eq!(
+                prepared.stats.parts_scanned_for(r.oid),
+                fresh.stats.parts_scanned_for(r.oid),
+                "v={v}"
+            );
+        }
+        // Expression templates compiled once, then reused.
+        let sites = q.compiled_sites();
+        assert!(sites > 0);
+        db.execute_prepared(&q, &[Datum::Int32(77)]).unwrap();
+        assert_eq!(q.compiled_sites(), sites);
+        // Arity is exact here too, and DDL cannot be prepared.
+        assert!(db.execute_prepared(&q, &[]).is_err());
+        assert!(db.prepare("CREATE TABLE nope (a int)").is_err());
+    }
+
+    #[test]
+    fn alter_partition_ddl_end_to_end() {
+        let db = MppDb::new(2);
+        db.sql(
+            "CREATE TABLE m (k int, v int) \
+             PARTITION BY RANGE (k) (START (0) END (30) EVERY (10))",
+        )
+        .unwrap();
+        db.sql("INSERT INTO m VALUES (5, 1), (15, 1), (25, 1)")
+            .unwrap();
+        // Rows outside every partition are rejected until the range exists.
+        assert!(db.sql("INSERT INTO m VALUES (35, 1)").is_err());
+        db.sql("ALTER TABLE m ADD PARTITION p4 START (30) END (40)")
+            .unwrap();
+        db.sql("INSERT INTO m VALUES (35, 1)").unwrap();
+        let out = db.sql("SELECT count(*) FROM m").unwrap();
+        assert_eq!(out.rows[0].values()[0], Datum::Int64(4));
+        // Existing partitions kept their rows across the tree swap.
+        let out = db.sql("SELECT count(*) FROM m WHERE k < 30").unwrap();
+        assert_eq!(out.rows[0].values()[0], Datum::Int64(3));
+        // Dropping a partition removes its rows from storage too.
+        db.sql("ALTER TABLE m DROP PARTITION p4").unwrap();
+        let out = db.sql("SELECT count(*) FROM m").unwrap();
+        assert_eq!(out.rows[0].values()[0], Datum::Int64(3));
+        assert!(db.sql("INSERT INTO m VALUES (35, 1)").is_err());
     }
 
     #[test]

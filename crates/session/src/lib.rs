@@ -1,0 +1,338 @@
+//! # mpp-session — sessions, prepared statements and the plan cache
+//!
+//! [`mppart::MppDb`] answers one statement at a time; this crate turns
+//! it into something N clients can share:
+//!
+//! * [`SessionCtx`] — the process-wide context: one `MppDb` plus one
+//!   [`PlanCache`], behind an `Arc`. `MppDb` is `Send + Sync` (checked
+//!   at compile time below), so sessions run concurrently from any
+//!   thread.
+//! * [`Session`] — a lightweight per-client handle. Its [`Session::sql`]
+//!   is a drop-in for `MppDb::sql`, except statements transparently hit
+//!   the shared plan cache: parse/bind/optimize are paid once per
+//!   distinct (normalized text, planner, exec-mode) triple, process-wide.
+//! * [`Session::prepare`] → [`PreparedStatement`] — the explicit
+//!   compile-once/execute-many handle. Parameters are bound per
+//!   execution; partition OIDs are re-resolved by the plan's
+//!   `PartitionSelector`s each time (paper §4.1), so `$n`-driven
+//!   partition elimination stays exact under every binding.
+//!
+//! Staleness is governed by the catalog's monotonic version: every DDL
+//! bumps it, cached plans record the version they were optimized
+//! against, and any version mismatch re-plans instead of serving stale
+//! metadata. A `PreparedStatement` re-prepares itself transparently;
+//! cache entries are invalidated on lookup and swept after DDL.
+//! Executions already in flight on an invalidated plan are safe: the
+//! `Arc` keeps their plan alive, and rows of partitions dropped
+//! mid-flight are gone from storage, so they are simply not produced.
+
+mod cache;
+mod normalize;
+
+pub use cache::{CacheKey, PlanCache, DEFAULT_CACHE_CAPACITY};
+pub use normalize::normalize_sql;
+
+use mpp_common::{Datum, Result};
+use mppart::{is_ddl, MppDb, Planner, PreparedQuery, QueryOutcome};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// The whole design rests on sharing one database between threads; make
+// the compiler prove it instead of a doc comment promising it.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MppDb>();
+    assert_send_sync::<SessionCtx>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<PreparedStatement>();
+};
+
+/// The shared, process-wide state behind every session: the database
+/// and the plan cache.
+pub struct SessionCtx {
+    db: MppDb,
+    cache: PlanCache,
+}
+
+impl SessionCtx {
+    /// A context over a fresh database with the given segment count and
+    /// the default plan-cache capacity.
+    pub fn new(num_segments: usize) -> Arc<SessionCtx> {
+        SessionCtx::with_db(MppDb::new(num_segments), DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap an existing database (any exec mode / optimizer config) with
+    /// a plan cache of `cache_capacity` entries (0 disables caching).
+    pub fn with_db(db: MppDb, cache_capacity: usize) -> Arc<SessionCtx> {
+        Arc::new(SessionCtx {
+            db,
+            cache: PlanCache::new(cache_capacity),
+        })
+    }
+
+    pub fn db(&self) -> &MppDb {
+        &self.db
+    }
+
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Open a session. Cheap: a refcount bump and two counters.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            ctx: Arc::clone(self),
+            planner: Planner::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-session cache counters (the process-wide ones live on
+/// [`PlanCache`] and are reported in every outcome's `CacheInfo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// One client's handle on a [`SessionCtx`]. All methods take `&self`;
+/// open as many sessions as you have threads.
+pub struct Session {
+    ctx: Arc<SessionCtx>,
+    planner: Planner,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Session {
+    /// Route this session's statements through the given planner flavor
+    /// (cache keys include it, so both flavors can be cached at once).
+    pub fn with_planner(mut self, planner: Planner) -> Session {
+        self.planner = planner;
+        self
+    }
+
+    pub fn planner(&self) -> Planner {
+        self.planner
+    }
+
+    pub fn ctx(&self) -> &Arc<SessionCtx> {
+        &self.ctx
+    }
+
+    /// This session's own hit/miss counts.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run a statement, reusing a cached plan when one is current.
+    pub fn sql(&self, text: &str) -> Result<QueryOutcome> {
+        self.sql_with_params(text, &[])
+    }
+
+    /// [`Session::sql`] with `$n` parameters bound. The cache key is the
+    /// *normalized* text, so casing/whitespace/comment variants of one
+    /// statement share a single cached plan.
+    pub fn sql_with_params(&self, text: &str, params: &[Datum]) -> Result<QueryOutcome> {
+        let db = self.ctx.db();
+        let stmt = mpp_sql::parse(text)?;
+        if is_ddl(&stmt) {
+            // DDL never caches; it bumps the catalog version, so sweep
+            // the plans that version just obsoleted.
+            let mut out = db.run_sql(text, params, self.planner)?;
+            self.ctx.cache.sweep(db.catalog().version());
+            out.cache = Some(self.ctx.cache.info(false));
+            return Ok(out);
+        }
+        let key = CacheKey {
+            sql: normalize_sql(text)?,
+            planner: self.planner,
+            mode: db.exec_mode(),
+        };
+        let version = db.catalog().version();
+        let (q, hit) = match self.ctx.cache.lookup(&key, version) {
+            Some(q) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (q, true)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let q = Arc::new(db.prepare_with(text, self.planner)?);
+                self.ctx.cache.insert(key, Arc::clone(&q));
+                (q, false)
+            }
+        };
+        let mut out = db.execute_prepared(&q, params)?;
+        out.cache = Some(self.ctx.cache.info(hit));
+        Ok(out)
+    }
+
+    /// Prepare a statement for repeated execution. Unlike the implicit
+    /// cache, the returned handle pins its plan — no eviction can take
+    /// it — but it still re-prepares itself if DDL moves the catalog.
+    pub fn prepare(&self, text: &str) -> Result<PreparedStatement> {
+        let q = self.ctx.db().prepare_with(text, self.planner)?;
+        Ok(PreparedStatement {
+            ctx: Arc::clone(&self.ctx),
+            text: text.to_string(),
+            planner: self.planner,
+            slot: RwLock::new(Arc::new(q)),
+        })
+    }
+}
+
+/// A statement prepared once and executed many times, with staleness
+/// handled for you: each [`PreparedStatement::execute`] checks the
+/// catalog version and transparently re-prepares after DDL, so it never
+/// runs a plan against metadata that no longer exists.
+pub struct PreparedStatement {
+    ctx: Arc<SessionCtx>,
+    text: String,
+    planner: Planner,
+    slot: RwLock<Arc<PreparedQuery>>,
+}
+
+impl PreparedStatement {
+    /// Execute with this call's parameter bindings (arity-checked
+    /// exactly). Partition OIDs are re-resolved per execution, and the
+    /// plan's compiled-expression templates are reused across calls.
+    pub fn execute(&self, params: &[Datum]) -> Result<QueryOutcome> {
+        let db = self.ctx.db();
+        let current = db.catalog().version();
+        let cached = {
+            let g = self.slot.read();
+            (g.catalog_version() == current).then(|| Arc::clone(&g))
+        };
+        let (q, hit) = match cached {
+            Some(q) => (q, true),
+            None => {
+                let fresh = Arc::new(db.prepare_with(&self.text, self.planner)?);
+                *self.slot.write() = Arc::clone(&fresh);
+                (fresh, false)
+            }
+        };
+        let mut out = db.execute_prepared(&q, params)?;
+        out.cache = Some(self.ctx.cache().info(hit));
+        Ok(out)
+    }
+
+    /// Exact number of `$n` parameters every execution must supply.
+    pub fn param_count(&self) -> u32 {
+        self.slot.read().param_count()
+    }
+
+    pub fn planner(&self) -> Planner {
+        self.planner
+    }
+
+    pub fn sql_text(&self) -> &str {
+        &self.text
+    }
+
+    /// The catalog version the current plan was optimized against.
+    pub fn catalog_version(&self) -> u64 {
+        self.slot.read().catalog_version()
+    }
+
+    /// Compiled expression sites of the current plan (stable across
+    /// executions — the signature of template reuse).
+    pub fn compiled_sites(&self) -> usize {
+        self.slot.read().compiled_sites()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_workloads::{setup_rs, SynthConfig};
+
+    fn ctx() -> Arc<SessionCtx> {
+        let ctx = SessionCtx::new(2);
+        setup_rs(ctx.db().storage(), &SynthConfig::default()).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn adhoc_sql_hits_the_shared_cache() {
+        let ctx = ctx();
+        let s1 = ctx.session();
+        let s2 = ctx.session();
+        let a = s1.sql("SELECT count(*) FROM r WHERE b < 100").unwrap();
+        assert!(!a.cache.unwrap().hit);
+        // Different session, different spelling — same cached plan.
+        let b = s2.sql("select COUNT(*) from R where b < 100;").unwrap();
+        let info = b.cache.unwrap();
+        assert!(info.hit);
+        assert_eq!(a.rows, b.rows);
+        assert!(Arc::ptr_eq(&a.plan, &b.plan), "cached plan must be shared");
+        assert_eq!((info.hits, info.misses), (1, 1));
+        assert_eq!(s1.stats(), SessionStats { hits: 0, misses: 1 });
+        assert_eq!(s2.stats(), SessionStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn params_share_one_cached_plan() {
+        let ctx = ctx();
+        let s = ctx.session();
+        for v in [3, 7, 3] {
+            let out = s
+                .sql_with_params("SELECT * FROM r WHERE b = $1", &[Datum::Int32(v)])
+                .unwrap();
+            let fresh = ctx
+                .db()
+                .sql_with_params("SELECT * FROM r WHERE b = $1", &[Datum::Int32(v)])
+                .unwrap();
+            assert_eq!(out.rows, fresh.rows, "v={v}");
+        }
+        assert_eq!(s.stats(), SessionStats { hits: 2, misses: 1 });
+        assert_eq!(ctx.cache().len(), 1);
+    }
+
+    #[test]
+    fn planner_flavors_cache_separately() {
+        let ctx = ctx();
+        let orca = ctx.session();
+        let legacy = ctx.session().with_planner(Planner::Legacy);
+        let q = "SELECT count(*) FROM r WHERE b < 50";
+        let a = orca.sql(q).unwrap();
+        let b = legacy.sql(q).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert!(!b.cache.unwrap().hit, "legacy must not reuse the Orca plan");
+        assert_eq!(ctx.cache().len(), 2);
+    }
+
+    #[test]
+    fn prepared_statement_reprepares_after_ddl() {
+        let ctx = ctx();
+        let s = ctx.session();
+        let q = s.prepare("SELECT count(*) FROM r WHERE b < $1").unwrap();
+        let v0 = q.catalog_version();
+        q.execute(&[Datum::Int32(100)]).unwrap();
+        ctx.session().sql("CREATE TABLE side (x int)").unwrap();
+        let out = q.execute(&[Datum::Int32(100)]).unwrap();
+        assert!(
+            !out.cache.unwrap().hit,
+            "post-DDL execution must re-prepare"
+        );
+        assert!(q.catalog_version() > v0);
+        let again = q.execute(&[Datum::Int32(100)]).unwrap();
+        assert!(again.cache.unwrap().hit);
+    }
+
+    #[test]
+    fn explain_statements_cache_too() {
+        let ctx = ctx();
+        let s = ctx.session();
+        let a = s.sql("EXPLAIN SELECT * FROM r WHERE b = 5").unwrap();
+        let b = s.sql("explain select * from r where b = 5").unwrap();
+        assert!(b.cache.unwrap().hit);
+        assert_eq!(a.rows, b.rows);
+        assert!(!a.rows.is_empty());
+    }
+}

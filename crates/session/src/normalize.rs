@@ -1,0 +1,95 @@
+//! SQL text normalization for plan-cache keys.
+//!
+//! Two statements that differ only in whitespace, comments, keyword /
+//! identifier casing or trailing semicolons optimize to the same plan,
+//! so they must map to the same cache key. Rather than invent a second
+//! lexer, the key is the statement's token stream re-rendered in one
+//! canonical spelling: identifiers lowercased (the dialect is
+//! case-insensitive), literals printed canonically, one space between
+//! tokens, `;` dropped.
+//!
+//! Literals stay in the key on purpose: this cache keys *plans*, and a
+//! changed literal can change the plan (static partition elimination
+//! prunes against constants — paper §4.1). Parameter markers `$n`
+//! render as themselves, so the prepared form is shared across
+//! executions no matter the bound values.
+
+use mpp_common::Result;
+use mpp_sql::lexer::{tokenize, Token};
+use std::fmt::Write;
+
+/// Canonical cache-key spelling of `sql`. Errors only when the text
+/// does not lex — in which case it cannot plan either, and the caller
+/// should surface the parse error instead.
+pub fn normalize_sql(sql: &str) -> Result<String> {
+    let toks = tokenize(sql)?;
+    let mut out = String::new();
+    for t in &toks {
+        if matches!(t, Token::Semi) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        render(t, &mut out);
+    }
+    Ok(out)
+}
+
+fn render(t: &Token, out: &mut String) {
+    match t {
+        Token::Ident(s) => out.push_str(&s.to_ascii_lowercase()),
+        Token::Int(v) => write!(out, "{v}").unwrap(),
+        Token::Float(v) => write!(out, "{v}").unwrap(),
+        Token::Str(s) => write!(out, "'{}'", s.replace('\'', "''")).unwrap(),
+        Token::Param(n) => write!(out, "${n}").unwrap(),
+        Token::LParen => out.push('('),
+        Token::RParen => out.push(')'),
+        Token::Comma => out.push(','),
+        Token::Dot => out.push('.'),
+        Token::Semi => (),
+        Token::Star => out.push('*'),
+        Token::Plus => out.push('+'),
+        Token::Minus => out.push('-'),
+        Token::Slash => out.push('/'),
+        Token::Percent => out.push('%'),
+        Token::Eq => out.push('='),
+        Token::Neq => out.push_str("<>"),
+        Token::Lt => out.push('<'),
+        Token::Le => out.push_str("<="),
+        Token::Gt => out.push('>'),
+        Token::Ge => out.push_str(">="),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casing_whitespace_and_semicolons_collapse() {
+        let a = normalize_sql("SELECT * FROM R WHERE b = $1;").unwrap();
+        let b = normalize_sql("select *\n  from r\twhere B=$1").unwrap();
+        let c = normalize_sql("-- lead comment\nselect * from r where b = $1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, "select * from r where b = $1");
+    }
+
+    #[test]
+    fn literals_distinguish_keys() {
+        let a = normalize_sql("SELECT * FROM r WHERE b = 1").unwrap();
+        let b = normalize_sql("SELECT * FROM r WHERE b = 2").unwrap();
+        assert_ne!(a, b);
+        // String escaping round-trips to one spelling.
+        assert_eq!(
+            normalize_sql("select 'it''s'").unwrap(),
+            normalize_sql("SELECT   'it''s'").unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_sql_does_not_normalize() {
+        assert!(normalize_sql("select #").is_err());
+    }
+}

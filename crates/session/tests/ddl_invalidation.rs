@@ -1,0 +1,147 @@
+//! DDL invalidation: every catalog change (CREATE / DROP / ALTER TABLE,
+//! including adding and dropping partitions) bumps the catalog version,
+//! and no cached plan from before the change is ever executed again —
+//! sessions re-plan, and results always reflect the current metadata.
+
+use mpp_session::SessionCtx;
+use mppart::common::Datum;
+use mppart::workloads::{setup_rs, SynthConfig};
+use std::sync::Arc;
+
+fn ctx() -> Arc<SessionCtx> {
+    let ctx = SessionCtx::new(2);
+    setup_rs(ctx.db().storage(), &SynthConfig::default()).unwrap();
+    ctx
+}
+
+fn count(ctx: &Arc<SessionCtx>, session: &mpp_session::Session, sql: &str) -> (i64, bool) {
+    let _ = ctx;
+    let out = session.sql(sql).unwrap();
+    (
+        out.rows[0].values()[0].as_i64().unwrap(),
+        out.cache.unwrap().hit,
+    )
+}
+
+#[test]
+fn create_table_invalidates_cached_plans() {
+    let ctx = ctx();
+    let s = ctx.session();
+    let q = "SELECT count(*) FROM r WHERE b < 100";
+    let (n0, hit0) = count(&ctx, &s, q);
+    let (n1, hit1) = count(&ctx, &s, q);
+    assert!(!hit0);
+    assert!(hit1);
+    assert_eq!(n0, n1);
+    let before = ctx.db().catalog().version();
+    s.sql("CREATE TABLE unrelated (x int)").unwrap();
+    assert!(ctx.db().catalog().version() > before);
+    // The DDL swept the cache: the next run re-plans.
+    let (n2, hit2) = count(&ctx, &s, q);
+    assert!(!hit2, "plan cached before DDL must not be reused");
+    assert_eq!(n0, n2);
+    let info = s.sql(q).unwrap().cache.unwrap();
+    assert!(info.hit);
+    assert!(
+        info.invalidations >= 1,
+        "sweep must be observable: {info:?}"
+    );
+}
+
+#[test]
+fn drop_and_recreate_never_serves_stale_rows() {
+    let ctx = ctx();
+    let s = ctx.session();
+    s.sql("CREATE TABLE t (a int)").unwrap();
+    s.sql("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let (n, _) = count(&ctx, &s, "SELECT count(*) FROM t");
+    assert_eq!(n, 3);
+    s.sql("DROP TABLE t").unwrap();
+    // The cached plan must not resurrect the dropped table.
+    assert!(s.sql("SELECT count(*) FROM t").is_err());
+    // Recreate under the same name: fresh rows, never the old three.
+    s.sql("CREATE TABLE t (a int)").unwrap();
+    let (n, hit) = count(&ctx, &s, "SELECT count(*) FROM t");
+    assert_eq!(n, 0, "recreated table must read empty");
+    assert!(!hit);
+    s.sql("INSERT INTO t VALUES (9)").unwrap();
+    let (n, _) = count(&ctx, &s, "SELECT count(*) FROM t");
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn alter_partitions_replan_and_stay_exact() {
+    let ctx = ctx();
+    let s = ctx.session();
+    s.sql(
+        "CREATE TABLE m (k int, v int) \
+         PARTITION BY RANGE (k) (START (0) END (30) EVERY (10))",
+    )
+    .unwrap();
+    s.sql("INSERT INTO m VALUES (5, 1), (15, 1), (25, 1)")
+        .unwrap();
+    let total = "SELECT count(*) FROM m";
+    let pruned = "SELECT count(*) FROM m WHERE k >= 30";
+    assert_eq!(count(&ctx, &s, total), (3, false));
+    assert_eq!(count(&ctx, &s, pruned), (0, false));
+    assert!(count(&ctx, &s, pruned).1);
+
+    // ADD PARTITION: the cached pruned plan knew nothing about the new
+    // leaf; serving it would silently miss the new rows.
+    s.sql("ALTER TABLE m ADD PARTITION p4 START (30) END (40)")
+        .unwrap();
+    s.sql("INSERT INTO m VALUES (35, 7)").unwrap();
+    let (n, hit) = count(&ctx, &s, pruned);
+    assert_eq!(n, 1, "re-planned query must see the new partition's rows");
+    assert!(!hit);
+    assert_eq!(count(&ctx, &s, total).0, 4);
+
+    // DROP PARTITION: rows of the dropped leaf disappear everywhere.
+    s.sql("ALTER TABLE m DROP PARTITION p4").unwrap();
+    let (n, hit) = count(&ctx, &s, total);
+    assert_eq!(n, 3, "dropped partition's rows must be gone");
+    assert!(!hit);
+    assert_eq!(count(&ctx, &s, pruned).0, 0);
+}
+
+#[test]
+fn prepared_statements_track_every_ddl_kind() {
+    let ctx = ctx();
+    let s = ctx.session();
+    s.sql(
+        "CREATE TABLE m (k int, v int) \
+         PARTITION BY RANGE (k) (START (0) END (20) EVERY (10))",
+    )
+    .unwrap();
+    s.sql("INSERT INTO m VALUES (5, 1), (15, 1)").unwrap();
+    let q = s.prepare("SELECT count(*) FROM m WHERE k < $1").unwrap();
+    let run = |hi: i32| {
+        let out = q.execute(&[Datum::Int32(hi)]).unwrap();
+        (
+            out.rows[0].values()[0].as_i64().unwrap(),
+            out.cache.unwrap().hit,
+        )
+    };
+    assert_eq!(run(100), (2, true)); // prepare() already planned it
+    let v0 = q.catalog_version();
+
+    s.sql("ALTER TABLE m ADD PARTITION p9 START (20) END (30)")
+        .unwrap();
+    s.sql("INSERT INTO m VALUES (25, 1)").unwrap();
+    let (n, hit) = run(100);
+    assert_eq!(n, 3, "handle must re-prepare against the altered table");
+    assert!(!hit);
+    assert!(q.catalog_version() > v0);
+
+    s.sql("ALTER TABLE m DROP PARTITION p9").unwrap();
+    assert_eq!(run(100).0, 2);
+
+    s.sql("CREATE TABLE shadow (z int)").unwrap();
+    assert_eq!(run(10), (1, false));
+    assert_eq!(run(10), (1, true));
+
+    // Dropping the underlying table: the handle fails to re-prepare
+    // rather than serving rows of a table that no longer exists.
+    s.sql("DROP TABLE m").unwrap();
+    assert!(q.execute(&[Datum::Int32(100)]).is_err());
+}

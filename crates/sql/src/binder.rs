@@ -54,7 +54,9 @@ pub fn bind(stmt: &Statement, catalog: &Catalog, gen: &ColRefGenerator) -> Resul
             using,
             where_clause,
         } => (b.bind_delete(table, using, where_clause.as_ref())?, false),
-        Statement::CreateTable { .. } | Statement::DropTable { .. } => {
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::AlterTable { .. } => {
             return Err(Error::Unsupported(
                 "DDL is executed by the session layer (see mpp_sql::ddl), not bound to a plan"
                     .into(),

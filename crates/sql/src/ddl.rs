@@ -13,11 +13,16 @@
 //! with optional `SUBPARTITION BY` clauses for multi-level partitioning
 //! (paper §2.4).
 
-use crate::parser::{AstExpr, ColumnDef, DistClause, EveryStep, PartClause, Statement};
+use crate::parser::{
+    AlterAction, AstExpr, ColumnDef, DistClause, EveryStep, PartClause, Statement,
+};
 use mpp_catalog::builders::{list_level, range_level_stepped, RangeStep};
-use mpp_catalog::{Catalog, Distribution, PartTree, PartitionLevel, TableDesc};
+use mpp_catalog::{Catalog, Distribution, PartTree, PartitionLevel, PartitionPiece, TableDesc};
 use mpp_common::value::parse_date;
 use mpp_common::{Column, DataType, Datum, Error, Result, Schema, TableOid};
+use mpp_expr::interval::Interval;
+use mpp_expr::IntervalSet;
+use std::collections::HashMap;
 
 /// Execute a DDL statement against the catalog. Returns the affected
 /// table's OID.
@@ -34,6 +39,7 @@ pub fn execute_ddl(stmt: &Statement, catalog: &Catalog) -> Result<TableOid> {
             catalog.drop_table(oid)?;
             Ok(oid)
         }
+        Statement::AlterTable { table, action } => alter_table(table, action, catalog),
         _ => Err(Error::Internal(
             "execute_ddl called on a non-DDL statement".into(),
         )),
@@ -137,6 +143,95 @@ fn create_table(
         partitioning,
     })?;
     Ok(oid)
+}
+
+/// ALTER TABLE ADD/DROP PARTITION: rebuild the outermost level, keeping
+/// every surviving leaf's OID (matched by its dotted name path) so its
+/// stored rows survive the swap. New leaves get freshly allocated OIDs.
+fn alter_table(table: &str, action: &AlterAction, catalog: &Catalog) -> Result<TableOid> {
+    let desc = catalog.table_by_name(table)?;
+    let tree = desc.part_tree()?;
+    let level0 = &tree.levels()[0];
+    let ty = desc.schema.column(level0.key_index)?.data_type;
+
+    let mut pieces = level0.pieces.clone();
+    match action {
+        AlterAction::AddRange { name, start, end } => {
+            ensure_fresh_piece_name(&pieces, name)?;
+            let iv = Interval::half_open(literal(start, ty)?, literal(end, ty)?);
+            if iv.is_empty() {
+                return Err(Error::InvalidMetadata(format!(
+                    "partition '{name}' has an empty range"
+                )));
+            }
+            pieces.push(PartitionPiece::new(name.clone(), IntervalSet::interval(iv)));
+        }
+        AlterAction::AddList { name, values } => {
+            ensure_fresh_piece_name(&pieces, name)?;
+            let datums = values
+                .iter()
+                .map(|v| literal(v, ty))
+                .collect::<Result<Vec<_>>>()?;
+            pieces.push(PartitionPiece::new(
+                name.clone(),
+                IntervalSet::points(datums),
+            ));
+        }
+        AlterAction::Drop { name } => {
+            let i = pieces
+                .iter()
+                .position(|p| p.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| Error::NotFound(format!("partition '{name}'")))?;
+            pieces.remove(i);
+            if pieces.is_empty() {
+                return Err(Error::InvalidMetadata(
+                    "cannot drop the last partition".into(),
+                ));
+            }
+        }
+    }
+
+    let mut levels = tree.levels().to_vec();
+    levels[0] = PartitionLevel::new(level0.key_index, pieces)?;
+    // Shape pass with placeholder OIDs to learn the new leaf name paths,
+    // then keep old OIDs where the path survives and mint the rest.
+    let shape = PartTree::new(levels.clone(), mpp_common::PartOid(0))?;
+    let by_path: HashMap<&str, mpp_common::PartOid> = tree
+        .leaves()
+        .iter()
+        .map(|l| (l.name.as_str(), l.oid))
+        .collect();
+    let fresh = shape
+        .leaves()
+        .iter()
+        .filter(|l| !by_path.contains_key(l.name.as_str()))
+        .count();
+    let mut next_new = catalog.allocate_part_oids(fresh as u32);
+    let oids = shape
+        .leaves()
+        .iter()
+        .map(|l| match by_path.get(l.name.as_str()) {
+            Some(&oid) => oid,
+            None => {
+                let oid = next_new;
+                next_new = mpp_common::PartOid(next_new.0 + 1);
+                oid
+            }
+        })
+        .collect();
+    let new_tree = PartTree::with_leaf_oids(levels, oids)?;
+    catalog.replace_table(TableDesc {
+        partitioning: Some(new_tree),
+        ..(*desc).clone()
+    })?;
+    Ok(desc.oid)
+}
+
+fn ensure_fresh_piece_name(pieces: &[PartitionPiece], name: &str) -> Result<()> {
+    if pieces.iter().any(|p| p.name.eq_ignore_ascii_case(name)) {
+        return Err(Error::Duplicate(format!("partition '{name}'")));
+    }
+    Ok(())
 }
 
 fn build_level(clause: &PartClause, schema: &Schema) -> Result<PartitionLevel> {
@@ -291,6 +386,94 @@ mod tests {
         ddl("DROP TABLE t", &cat).unwrap();
         assert!(cat.table_by_name("t").is_err());
         ddl("CREATE TABLE t (a int)", &cat).unwrap();
+    }
+
+    #[test]
+    fn alter_add_and_drop_partitions_preserve_leaf_oids() {
+        let cat = Catalog::new();
+        let oid = ddl(
+            "CREATE TABLE m (k int, v int) \
+             PARTITION BY RANGE (k) (START (0) END (30) EVERY (10))",
+            &cat,
+        )
+        .unwrap();
+        let before = cat.part_tree(oid).unwrap();
+        let v_before = cat.version();
+
+        ddl("ALTER TABLE m ADD PARTITION p4 START (30) END (40)", &cat).unwrap();
+        let after = cat.part_tree(oid).unwrap();
+        assert_eq!(after.num_leaves(), 4);
+        assert!(cat.version() > v_before);
+        // Old leaves keep their OIDs; the new one is fresh.
+        for leaf in before.leaves() {
+            assert_eq!(after.leaf_by_oid(leaf.oid).unwrap().name, leaf.name);
+        }
+        let new_leaf = after.route(&[Datum::Int32(35)]).unwrap();
+        assert!(before.leaf_by_oid(new_leaf).is_err());
+        assert_eq!(cat.part_owner(new_leaf).unwrap(), oid);
+
+        ddl("ALTER TABLE m DROP PARTITION p4", &cat).unwrap();
+        let dropped = cat.part_tree(oid).unwrap();
+        assert_eq!(dropped.num_leaves(), 3);
+        assert!(cat.part_owner(new_leaf).is_err());
+        assert_eq!(dropped.route(&[Datum::Int32(35)]), None);
+    }
+
+    #[test]
+    fn alter_list_and_multilevel() {
+        let cat = Catalog::new();
+        ddl(
+            "CREATE TABLE cust (id int, state text) \
+             PARTITION BY LIST (state) \
+             (PARTITION west VALUES ('CA', 'OR'), PARTITION east VALUES ('NY'))",
+            &cat,
+        )
+        .unwrap();
+        ddl("ALTER TABLE cust ADD PARTITION south VALUES ('TX')", &cat).unwrap();
+        let oid = cat.table_by_name("cust").unwrap().oid;
+        assert!(cat
+            .part_tree(oid)
+            .unwrap()
+            .route(&[Datum::str("TX")])
+            .is_some());
+
+        // Adding an outer range piece to a 2-level tree crosses it with the
+        // existing subpartitions.
+        let oid = ddl(
+            "CREATE TABLE ml (k int, region text) \
+             PARTITION BY RANGE (k) (START (0) END (20) EVERY (10)) \
+             SUBPARTITION BY LIST (region) \
+             (PARTITION r1 VALUES ('a'), PARTITION r2 VALUES ('b'))",
+            &cat,
+        )
+        .unwrap();
+        ddl("ALTER TABLE ml ADD PARTITION p3 START (20) END (30)", &cat).unwrap();
+        let tree = cat.part_tree(oid).unwrap();
+        assert_eq!(tree.num_leaves(), 6);
+        assert!(tree.route(&[Datum::Int32(25), Datum::str("b")]).is_some());
+    }
+
+    #[test]
+    fn bad_alter_is_rejected() {
+        let cat = Catalog::new();
+        ddl(
+            "CREATE TABLE m (k int) \
+             PARTITION BY RANGE (k) (START (0) END (10) EVERY (10))",
+            &cat,
+        )
+        .unwrap();
+        // Overlap with an existing piece.
+        assert!(ddl("ALTER TABLE m ADD PARTITION bad START (5) END (15)", &cat).is_err());
+        // Empty range, duplicate name, unknown piece, last piece.
+        assert!(ddl("ALTER TABLE m ADD PARTITION bad START (20) END (20)", &cat).is_err());
+        ddl("ALTER TABLE m ADD PARTITION p2 START (10) END (20)", &cat).unwrap();
+        assert!(ddl("ALTER TABLE m ADD PARTITION p2 START (30) END (40)", &cat).is_err());
+        assert!(ddl("ALTER TABLE m DROP PARTITION nosuch", &cat).is_err());
+        ddl("ALTER TABLE m DROP PARTITION p2", &cat).unwrap();
+        assert!(ddl("ALTER TABLE m DROP PARTITION p0", &cat).is_err());
+        // Unpartitioned table.
+        ddl("CREATE TABLE plain (a int)", &cat).unwrap();
+        assert!(ddl("ALTER TABLE plain ADD PARTITION p START (0) END (1)", &cat).is_err());
     }
 
     #[test]

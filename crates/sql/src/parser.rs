@@ -158,6 +158,23 @@ pub enum PartClause {
     },
 }
 
+/// The action of an `ALTER TABLE … PARTITION` statement. Add/drop apply
+/// to the outermost partitioning level; subpartition templates are
+/// inherited by new pieces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlterAction {
+    /// `ADD PARTITION nm START (lit) END (lit)` — a new range piece.
+    AddRange {
+        name: String,
+        start: AstExpr,
+        end: AstExpr,
+    },
+    /// `ADD PARTITION nm VALUES (lit, …)` — a new list piece.
+    AddList { name: String, values: Vec<AstExpr> },
+    /// `DROP PARTITION nm`.
+    Drop { name: String },
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(Query),
@@ -170,6 +187,10 @@ pub enum Statement {
     },
     DropTable {
         name: String,
+    },
+    AlterTable {
+        table: String,
+        action: AlterAction,
     },
     Insert {
         table: String,
@@ -290,6 +311,9 @@ impl Parser {
             self.expect_kw("table")?;
             let name = self.ident()?;
             return Ok(Statement::DropTable { name });
+        }
+        if self.eat_kw("alter") {
+            return self.alter_table();
         }
         if self.eat_kw("insert") {
             return self.insert();
@@ -469,6 +493,45 @@ impl Parser {
             distribution,
             partitioning,
         })
+    }
+
+    fn alter_table(&mut self) -> Result<Statement> {
+        self.expect_kw("table")?;
+        let table = self.ident()?;
+        let action = if self.eat_kw("add") {
+            self.expect_kw("partition")?;
+            let name = self.ident()?;
+            if self.eat_kw("start") {
+                self.expect(&Token::LParen)?;
+                let start = self.expr()?;
+                self.expect(&Token::RParen)?;
+                self.expect_kw("end")?;
+                self.expect(&Token::LParen)?;
+                let end = self.expr()?;
+                self.expect(&Token::RParen)?;
+                AlterAction::AddRange { name, start, end }
+            } else {
+                self.expect_kw("values")?;
+                self.expect(&Token::LParen)?;
+                let mut values = vec![self.expr()?];
+                while self.eat_if(&Token::Comma) {
+                    values.push(self.expr()?);
+                }
+                self.expect(&Token::RParen)?;
+                AlterAction::AddList { name, values }
+            }
+        } else if self.eat_kw("drop") {
+            self.expect_kw("partition")?;
+            AlterAction::Drop {
+                name: self.ident()?,
+            }
+        } else {
+            return Err(Error::Parse(format!(
+                "expected ADD PARTITION or DROP PARTITION, found {:?}",
+                self.peek()
+            )));
+        };
+        Ok(Statement::AlterTable { table, action })
     }
 
     fn part_clause(&mut self) -> Result<PartClause> {
@@ -1076,6 +1139,42 @@ mod tests {
             },
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_alter_table_partitions() {
+        let s = parse(
+            "ALTER TABLE orders ADD PARTITION feb2014 START ('2014-02-01') END ('2014-03-01')",
+        )
+        .unwrap();
+        match s {
+            Statement::AlterTable { table, action } => {
+                assert_eq!(table, "orders");
+                assert!(matches!(action, AlterAction::AddRange { .. }));
+            }
+            _ => panic!(),
+        }
+        let s = parse("ALTER TABLE cust ADD PARTITION south VALUES ('TX', 'NM')").unwrap();
+        match s {
+            Statement::AlterTable {
+                action: AlterAction::AddList { name, values },
+                ..
+            } => {
+                assert_eq!(name, "south");
+                assert_eq!(values.len(), 2);
+            }
+            _ => panic!(),
+        }
+        let s = parse("ALTER TABLE m DROP PARTITION p3").unwrap();
+        assert!(matches!(
+            s,
+            Statement::AlterTable {
+                action: AlterAction::Drop { .. },
+                ..
+            }
+        ));
+        assert!(parse("ALTER TABLE m RENAME TO n").is_err());
+        assert!(parse("ALTER TABLE m ADD PARTITION p").is_err());
     }
 
     #[test]

@@ -249,6 +249,15 @@ impl Storage {
         Ok(())
     }
 
+    /// Delete the rows of specific leaf partitions on every segment —
+    /// the storage side of `ALTER TABLE … DROP PARTITION`, called after
+    /// the catalog no longer knows the leaves.
+    pub fn drop_parts(&self, parts: &[PartOid]) {
+        let phys: HashSet<PhysId> = parts.iter().map(|&p| PhysId::Part(p)).collect();
+        let mut g = self.inner.write();
+        g.data.retain(|(p, _), _| !phys.contains(p));
+    }
+
     /// Compute and install [`TableStats`] for a table: row count and, for
     /// every column, NDV / null fraction / min / max.
     pub fn analyze(&self, table: TableOid) -> Result<TableStats> {

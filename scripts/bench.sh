@@ -10,6 +10,11 @@
 #   table2      the paper's Table 2 scan-overhead binary in --quick
 #               mode, to catch SELECT-with-predicate regressions in
 #               either execution mode.
+#   bench_qps   statement throughput at 1/4/16 concurrent sessions:
+#               unprepared (re-plan every call) vs the session layer's
+#               plan cache vs explicit prepared statements. Appends a
+#               JSON record to results/BENCH_qps.json and asserts plan
+#               reuse beats re-planning at every session count.
 #
 # Pass --test to run everything in smoke mode (single samples, tiny row
 # counts, no JSON output) — what CI uses.
@@ -22,4 +27,7 @@ cargo bench -p mpp-bench --bench expr_eval -- "$@"
 echo "== bench: table2 --quick =="
 cargo run --release -p mpp-bench --bin table2 -- --quick
 
-echo "== bench: OK (see results/BENCH_expr.json and results/table2.json) =="
+echo "== bench: bench_qps =="
+cargo bench -p mpp-bench --bench bench_qps -- "$@"
+
+echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json and results/table2.json) =="

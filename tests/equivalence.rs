@@ -338,10 +338,11 @@ proptest! {
         )?;
 
         // Legacy planner path: Append of gated PartScans behind an
-        // InitPlanOids OID-set parameter.
+        // InitPlanOids OID-set parameter. One `$n`, so exactly one datum.
         let sql = "SELECT count(*) FROM r WHERE b < $1";
-        let s = seq.sql_legacy_with_params(sql, &params).unwrap();
-        let p = par.sql_legacy_with_params(sql, &params).unwrap();
+        let one = [Datum::Int32(v)];
+        let s = seq.sql_legacy_with_params(sql, &one).unwrap();
+        let p = par.sql_legacy_with_params(sql, &one).unwrap();
         prop_assert_eq!(sorted(s.rows), sorted(p.rows));
         prop_assert_eq!(&s.stats.parts_scanned, &p.stats.parts_scanned);
     }
