@@ -1,0 +1,158 @@
+//! Vectorized vs row-at-a-time execution of a scan → filter → aggregate
+//! pipeline, over the ISSUE grid of 10k/100k/1M rows × 4/64/1024 range
+//! partitions.
+//!
+//! Two pipeline shapes per cell, both engines interleaved
+//! ([`time_median_pair`]) so the recorded number is a fair ratio:
+//!
+//! * `filter` — `SELECT * FROM r WHERE a < 20` (≈10% selectivity): the
+//!   block engine refines selection vectors over the storage blocks and
+//!   only materializes survivors at the root;
+//! * `agg` — `SELECT b, COUNT(*), SUM(a) FROM r WHERE a < 150 GROUP BY b`:
+//!   batch filter + vectorized aggregate input, with a near-empty root.
+//!
+//! Appends one record per cell to `results/BENCH_batch.json` and, outside
+//! `--test` smoke mode, asserts the acceptance threshold: the block
+//! engine at least 2x the row engine on the 100k-row filter pipeline.
+
+use criterion::{black_box, Criterion};
+use mpp_bench::{scaled, time_median_pair, write_result};
+use mppart::core::OptimizerConfig;
+use mppart::executor::{ExecEngine, ExecMode};
+use mppart::workloads::{setup_rs, SynthConfig};
+use mppart::MppDb;
+
+const SEGMENTS: usize = 3;
+
+fn mk_db(rows: usize, parts: usize) -> MppDb {
+    let db = MppDb::with_config(OptimizerConfig {
+        num_segments: SEGMENTS,
+        ..OptimizerConfig::default()
+    });
+    setup_rs(
+        db.storage(),
+        &SynthConfig {
+            r_rows: rows,
+            s_rows: 1,
+            r_parts: Some(parts),
+            s_parts: None,
+            // Wide enough that even 1024 partitions get a non-empty range.
+            b_domain: 4096,
+            a_domain: 200,
+            seed: 2014,
+        },
+    )
+    .unwrap();
+    db
+}
+
+/// Run one prepared pipeline on one engine, returning the row count so
+/// the work cannot be optimized away.
+fn run(db: &MppDb, q: &mppart::PreparedQuery, mode: ExecMode, engine: ExecEngine) -> usize {
+    q.prepared_plan()
+        .execute_engine(db.storage(), &[], mode, engine)
+        .unwrap()
+        .rows
+        .len()
+}
+
+fn main() {
+    // Anchor at the workspace root so `results/` is shared with the
+    // figure binaries.
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    let grid_rows: &[usize] = if smoke {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let grid_parts: &[usize] = if smoke { &[4, 64] } else { &[4, 64, 1024] };
+    let queries: &[(&str, &str)] = &[
+        ("filter", "SELECT * FROM r WHERE a < 20"),
+        (
+            "agg",
+            "SELECT b, COUNT(*), SUM(a) FROM r WHERE a < 150 GROUP BY b",
+        ),
+    ];
+
+    println!("== batch_pipeline: block engine vs row engine (scan+filter+agg) ==\n");
+    let mut speedup_100k_filter: Option<f64> = None;
+    for &rows in grid_rows {
+        let rows = scaled(rows);
+        let iters = if smoke {
+            2
+        } else if rows >= 1_000_000 {
+            3
+        } else {
+            9
+        };
+        for &parts in grid_parts {
+            let db = mk_db(rows, parts);
+            for (label, sql) in queries {
+                let q = db.prepare(sql).unwrap();
+                for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                    let (t_row, t_batch) = time_median_pair(
+                        iters,
+                        || black_box(run(&db, &q, mode, ExecEngine::Row)),
+                        || black_box(run(&db, &q, mode, ExecEngine::Batch)),
+                    );
+                    let speedup = t_row.as_secs_f64() / t_batch.as_secs_f64().max(1e-9);
+                    println!(
+                        "{rows:>9} rows  {parts:>5} parts  {label:<6} {mode:?}: \
+                         row {:>9.3?}  batch {:>9.3?}  speedup {speedup:>5.2}x",
+                        t_row, t_batch
+                    );
+                    write_result(
+                        "BENCH_batch",
+                        &serde_json::json!({
+                            "bench": "batch_pipeline",
+                            "rows": rows,
+                            "parts": parts,
+                            "query": *label,
+                            "mode": format!("{mode:?}"),
+                            "segments": SEGMENTS,
+                            "row_engine_ms": t_row.as_secs_f64() * 1e3,
+                            "batch_engine_ms": t_batch.as_secs_f64() * 1e3,
+                            "speedup": speedup,
+                            "smoke": smoke,
+                        }),
+                    );
+                    if !smoke
+                        && rows == 100_000
+                        && parts == 64
+                        && *label == "filter"
+                        && mode == ExecMode::Sequential
+                    {
+                        speedup_100k_filter = Some(speedup);
+                    }
+                }
+            }
+        }
+    }
+
+    // A small criterion group on the mid-size cell, for `cargo bench`
+    // comparability with the other benches.
+    let db = mk_db(scaled(if smoke { 10_000 } else { 100_000 }), 64);
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("batch_pipeline");
+    group.sample_size(10);
+    for (label, sql) in queries {
+        let q = db.prepare(sql).unwrap();
+        for engine in [ExecEngine::Row, ExecEngine::Batch] {
+            group.bench_function(format!("{label}/{engine:?}"), |bench| {
+                bench.iter(|| black_box(run(&db, &q, ExecMode::Sequential, engine)))
+            });
+        }
+    }
+    group.finish();
+
+    if let Some(speedup) = speedup_100k_filter {
+        assert!(
+            speedup >= 2.0,
+            "acceptance: block engine must be >= 2x the row engine on the \
+             100k scan+filter pipeline, measured {speedup:.2}x"
+        );
+        println!("\nacceptance: 100k scan+filter speedup {speedup:.2}x (>= 2x) ok");
+    }
+}

@@ -1,0 +1,657 @@
+//! Columnar batches: [`ColumnVec`] and [`RowBlock`].
+//!
+//! The executor's vectorized engine moves tuples between operators as
+//! column-major blocks instead of one [`Row`] at a time. A block holds one
+//! [`ColumnVec`] per output column plus an optional *selection vector* — the
+//! list of physical row indices that are logically present. Filters refine
+//! the selection without touching the columns; projections drop or reorder
+//! the `Arc`-shared columns without touching the rows; motions clone blocks
+//! by bumping refcounts.
+//!
+//! A `ColumnVec` stores values in a typed vector when the column is
+//! null-free and monotyped (`Vec<i64>`, `Vec<f64>`, …) and degrades to a
+//! `Vec<Datum>` (`ColumnVec::Any`) the moment a NULL or a second runtime
+//! type appears. Typed vectors are what make tight per-kind predicate loops
+//! possible (`mpp_expr`'s batch evaluator); the `Any` fallback keeps every
+//! SQL value representable with unchanged semantics.
+//!
+//! Invariants:
+//! * every column of a block has exactly `rows` physical entries;
+//! * every selection index is `< rows` and indices are in increasing order
+//!   (operators only ever *refine* selections, so order is preserved);
+//! * `Row`↔block conversion is lossless: `RowBlock::from_rows(rows).to_rows()
+//!   == rows` for equal-width rows.
+
+use crate::row::{hash_combine, Row, HASH_COLUMNS_SEED};
+use crate::value::{
+    dist_hash_bool, dist_hash_f64, dist_hash_int, dist_hash_null, dist_hash_str, Datum,
+};
+use std::sync::Arc;
+
+/// One column of a [`RowBlock`]: typed and null-free, or the `Any`
+/// fallback holding arbitrary datums.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVec {
+    Bool(Vec<bool>),
+    Int32(Vec<i32>),
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    /// Days since 1970-01-01, like [`Datum::Date`].
+    Date(Vec<i32>),
+    Str(Vec<Arc<str>>),
+    /// Fallback for columns containing NULLs or mixed runtime types.
+    Any(Vec<Datum>),
+}
+
+impl ColumnVec {
+    /// Physical length of the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Int32(v) => v.len(),
+            ColumnVec::Int64(v) => v.len(),
+            ColumnVec::Float64(v) => v.len(),
+            ColumnVec::Date(v) => v.len(),
+            ColumnVec::Str(v) => v.len(),
+            ColumnVec::Any(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty column that will re-type itself on first push.
+    pub fn empty() -> ColumnVec {
+        ColumnVec::Any(Vec::new())
+    }
+
+    /// The datum at physical index `i`. Cheap for every variant (`Str`
+    /// clones an `Arc`).
+    #[inline]
+    pub fn get(&self, i: usize) -> Datum {
+        match self {
+            ColumnVec::Bool(v) => Datum::Bool(v[i]),
+            ColumnVec::Int32(v) => Datum::Int32(v[i]),
+            ColumnVec::Int64(v) => Datum::Int64(v[i]),
+            ColumnVec::Float64(v) => Datum::Float64(v[i]),
+            ColumnVec::Date(v) => Datum::Date(v[i]),
+            ColumnVec::Str(v) => Datum::Str(Arc::clone(&v[i])),
+            ColumnVec::Any(v) => v[i].clone(),
+        }
+    }
+
+    /// Build a column from owned datums, choosing the typed representation
+    /// when the values are null-free and monotyped.
+    pub fn from_datums(values: Vec<Datum>) -> ColumnVec {
+        // Decide the representation from the first value, then verify.
+        let uniform = |values: &[Datum]| -> Option<ColumnVec> {
+            match values.first()? {
+                Datum::Bool(_) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for d in values {
+                        match d {
+                            Datum::Bool(b) => out.push(*b),
+                            _ => return None,
+                        }
+                    }
+                    Some(ColumnVec::Bool(out))
+                }
+                Datum::Int32(_) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for d in values {
+                        match d {
+                            Datum::Int32(v) => out.push(*v),
+                            _ => return None,
+                        }
+                    }
+                    Some(ColumnVec::Int32(out))
+                }
+                Datum::Int64(_) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for d in values {
+                        match d {
+                            Datum::Int64(v) => out.push(*v),
+                            _ => return None,
+                        }
+                    }
+                    Some(ColumnVec::Int64(out))
+                }
+                Datum::Float64(_) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for d in values {
+                        match d {
+                            Datum::Float64(v) => out.push(*v),
+                            _ => return None,
+                        }
+                    }
+                    Some(ColumnVec::Float64(out))
+                }
+                Datum::Date(_) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for d in values {
+                        match d {
+                            Datum::Date(v) => out.push(*v),
+                            _ => return None,
+                        }
+                    }
+                    Some(ColumnVec::Date(out))
+                }
+                Datum::Str(_) => {
+                    let mut out = Vec::with_capacity(values.len());
+                    for d in values {
+                        match d {
+                            Datum::Str(s) => out.push(Arc::clone(s)),
+                            _ => return None,
+                        }
+                    }
+                    Some(ColumnVec::Str(out))
+                }
+                Datum::Null => None,
+            }
+        };
+        match uniform(&values) {
+            Some(typed) => typed,
+            None => ColumnVec::Any(values),
+        }
+    }
+
+    /// A column of `n` copies of `d` (constant broadcast).
+    pub fn broadcast(d: &Datum, n: usize) -> ColumnVec {
+        match d {
+            Datum::Bool(b) => ColumnVec::Bool(vec![*b; n]),
+            Datum::Int32(v) => ColumnVec::Int32(vec![*v; n]),
+            Datum::Int64(v) => ColumnVec::Int64(vec![*v; n]),
+            Datum::Float64(v) => ColumnVec::Float64(vec![*v; n]),
+            Datum::Date(v) => ColumnVec::Date(vec![*v; n]),
+            Datum::Str(s) => ColumnVec::Str(vec![Arc::clone(s); n]),
+            Datum::Null => ColumnVec::Any(vec![Datum::Null; n]),
+        }
+    }
+
+    /// Append one datum, degrading the representation in place when the
+    /// value does not fit the current typed vector.
+    pub fn push(&mut self, d: Datum) {
+        match (&mut *self, &d) {
+            (ColumnVec::Bool(v), Datum::Bool(b)) => v.push(*b),
+            (ColumnVec::Int32(v), Datum::Int32(x)) => v.push(*x),
+            (ColumnVec::Int64(v), Datum::Int64(x)) => v.push(*x),
+            (ColumnVec::Float64(v), Datum::Float64(x)) => v.push(*x),
+            (ColumnVec::Date(v), Datum::Date(x)) => v.push(*x),
+            (ColumnVec::Str(v), Datum::Str(s)) => v.push(Arc::clone(s)),
+            (ColumnVec::Any(v), _) => {
+                if v.is_empty() {
+                    // Re-type an empty fallback column on first push.
+                    *self = ColumnVec::from_datums(vec![d]);
+                } else {
+                    v.push(d);
+                }
+            }
+            _ => {
+                self.degrade();
+                match self {
+                    ColumnVec::Any(v) => v.push(d),
+                    _ => unreachable!("degrade always yields Any"),
+                }
+            }
+        }
+    }
+
+    /// Convert the representation to `Any` in place.
+    fn degrade(&mut self) {
+        let datums: Vec<Datum> = (0..self.len()).map(|i| self.get(i)).collect();
+        *self = ColumnVec::Any(datums);
+    }
+
+    /// A new column holding the rows at `idx`, in that order.
+    pub fn gather(&self, idx: &[u32]) -> ColumnVec {
+        match self {
+            ColumnVec::Bool(v) => ColumnVec::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnVec::Int32(v) => ColumnVec::Int32(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnVec::Int64(v) => ColumnVec::Int64(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnVec::Float64(v) => {
+                ColumnVec::Float64(idx.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnVec::Date(v) => ColumnVec::Date(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnVec::Str(v) => {
+                ColumnVec::Str(idx.iter().map(|&i| Arc::clone(&v[i as usize])).collect())
+            }
+            ColumnVec::Any(v) => {
+                ColumnVec::Any(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
+    }
+
+    /// Append `other`'s rows at `idx` (all of `other` when `idx` is `None`),
+    /// degrading the representation if the variants differ.
+    pub fn extend_gather(&mut self, other: &ColumnVec, idx: Option<&[u32]>) {
+        use ColumnVec::*;
+        match (&mut *self, other, idx) {
+            (Bool(a), Bool(b), None) => a.extend_from_slice(b),
+            (Int32(a), Int32(b), None) => a.extend_from_slice(b),
+            (Int64(a), Int64(b), None) => a.extend_from_slice(b),
+            (Float64(a), Float64(b), None) => a.extend_from_slice(b),
+            (Date(a), Date(b), None) => a.extend_from_slice(b),
+            (Str(a), Str(b), None) => a.extend(b.iter().map(Arc::clone)),
+            (Any(a), Any(b), None) if !a.is_empty() => a.extend(b.iter().cloned()),
+            (Bool(a), Bool(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
+            (Int32(a), Int32(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
+            (Int64(a), Int64(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
+            (Float64(a), Float64(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
+            (Date(a), Date(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
+            (Str(a), Str(b), Some(idx)) => {
+                a.extend(idx.iter().map(|&i| Arc::clone(&b[i as usize])))
+            }
+            (Any(a), Any(b), Some(idx)) if !a.is_empty() => {
+                a.extend(idx.iter().map(|&i| b[i as usize].clone()))
+            }
+            (this, other, idx) => {
+                if this.is_empty() {
+                    *this = match idx {
+                        None => other.clone(),
+                        Some(idx) => other.gather(idx),
+                    };
+                    return;
+                }
+                this.degrade();
+                let Any(a) = this else {
+                    unreachable!("degrade always yields Any")
+                };
+                match idx {
+                    None => a.extend((0..other.len()).map(|i| other.get(i))),
+                    Some(idx) => a.extend(idx.iter().map(|&i| other.get(i as usize))),
+                }
+            }
+        }
+    }
+
+    /// Distribution hash of the value at physical index `i`, identical to
+    /// `Datum::distribution_hash` of [`ColumnVec::get`]`(i)`.
+    #[inline]
+    pub fn dist_hash(&self, i: usize) -> u64 {
+        match self {
+            ColumnVec::Bool(v) => dist_hash_bool(v[i]),
+            ColumnVec::Int32(v) => dist_hash_int(v[i] as i64),
+            ColumnVec::Int64(v) => dist_hash_int(v[i]),
+            ColumnVec::Float64(v) => dist_hash_f64(v[i]),
+            ColumnVec::Date(v) => dist_hash_int(v[i] as i64),
+            ColumnVec::Str(v) => dist_hash_str(&v[i]),
+            ColumnVec::Any(v) => match &v[i] {
+                Datum::Null => dist_hash_null(),
+                d => d.distribution_hash(),
+            },
+        }
+    }
+}
+
+/// A column-major batch of rows with an optional selection vector.
+///
+/// Columns are `Arc`-shared: cloning a block, projecting columns, and
+/// storing blocks in the motion cache are refcount bumps. The selection
+/// vector (when present) lists the physical row indices that are logically
+/// in the block, in increasing order; `len()` counts selected rows.
+#[derive(Debug, Clone)]
+pub struct RowBlock {
+    columns: Vec<Arc<ColumnVec>>,
+    /// Physical row count (every column's length).
+    rows: usize,
+    sel: Option<Vec<u32>>,
+}
+
+impl RowBlock {
+    /// A block over pre-built columns (no selection). Every column must
+    /// have exactly `rows` entries.
+    pub fn from_columns(columns: Vec<Arc<ColumnVec>>, rows: usize) -> RowBlock {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        RowBlock {
+            columns,
+            rows,
+            sel: None,
+        }
+    }
+
+    /// An empty block of the given width.
+    pub fn empty(width: usize) -> RowBlock {
+        RowBlock {
+            columns: (0..width).map(|_| Arc::new(ColumnVec::empty())).collect(),
+            rows: 0,
+            sel: None,
+        }
+    }
+
+    /// Column-major conversion from rows. `width` fixes the column count
+    /// (needed when `rows` is empty); rows shorter than `width` pad with
+    /// NULL and longer rows truncate — the SQL layer never produces ragged
+    /// rows, so this only normalizes hand-built plans.
+    pub fn from_rows(rows: &[Row], width: usize) -> RowBlock {
+        let mut cols: Vec<ColumnVec> = (0..width).map(|_| ColumnVec::empty()).collect();
+        for r in rows {
+            for (c, col) in cols.iter_mut().enumerate() {
+                col.push(r.get(c).cloned().unwrap_or(Datum::Null));
+            }
+        }
+        RowBlock {
+            columns: cols.into_iter().map(Arc::new).collect(),
+            rows: rows.len(),
+            sel: None,
+        }
+    }
+
+    /// Row-major conversion back to rows (selected rows only, in order).
+    pub fn to_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len());
+        match &self.sel {
+            None => {
+                for i in 0..self.rows {
+                    out.push(self.row_at_phys(i));
+                }
+            }
+            Some(sel) => {
+                for &i in sel {
+                    out.push(self.row_at_phys(i as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialize the row at *physical* index `i` (ignores the selection).
+    pub fn row_at_phys(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// Number of selected (logical) rows.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            None => self.rows,
+            Some(sel) => sel.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical row count, the length of every column.
+    pub fn phys_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn columns(&self) -> &[Arc<ColumnVec>] {
+        &self.columns
+    }
+
+    pub fn column(&self, c: usize) -> &ColumnVec {
+        &self.columns[c]
+    }
+
+    /// The selection vector, if any (physical indices, increasing).
+    pub fn sel(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Physical index of logical row `i`.
+    #[inline]
+    pub fn phys_index(&self, i: usize) -> usize {
+        match &self.sel {
+            None => i,
+            Some(sel) => sel[i] as usize,
+        }
+    }
+
+    /// The datum at (logical row, column).
+    #[inline]
+    pub fn datum_at(&self, row: usize, col: usize) -> Datum {
+        self.columns[col].get(self.phys_index(row))
+    }
+
+    /// Replace the selection with `sel` (physical indices into this
+    /// block's columns — callers produce refinements, so indices must
+    /// already be a subset of the current selection).
+    pub fn with_sel(mut self, sel: Vec<u32>) -> RowBlock {
+        debug_assert!(sel.iter().all(|&i| (i as usize) < self.rows));
+        self.sel = Some(sel);
+        self
+    }
+
+    /// Keep only the first `n` selected rows (LIMIT).
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
+        }
+        match &mut self.sel {
+            Some(sel) => sel.truncate(n),
+            None => self.sel = Some((0..n as u32).collect()),
+        }
+    }
+
+    /// Gather the selection into dense columns (selection becomes `None`).
+    /// No-op (refcount bumps only) when nothing is filtered out.
+    pub fn compact(&self) -> RowBlock {
+        match &self.sel {
+            None => self.clone(),
+            Some(sel) => RowBlock {
+                columns: self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.gather(sel)))
+                    .collect(),
+                rows: sel.len(),
+                sel: None,
+            },
+        }
+    }
+
+    /// Keep the listed columns, in order (projection by position). Columns
+    /// are shared, not copied; the selection carries over.
+    pub fn project(&self, cols: &[usize]) -> RowBlock {
+        RowBlock {
+            columns: cols.iter().map(|&c| Arc::clone(&self.columns[c])).collect(),
+            rows: self.rows,
+            sel: self.sel.clone(),
+        }
+    }
+
+    /// Concatenate blocks (all of width `width`) into one dense block.
+    pub fn concat(blocks: &[RowBlock], width: usize) -> RowBlock {
+        if blocks.len() == 1 && blocks[0].sel.is_none() {
+            return blocks[0].clone();
+        }
+        let mut cols: Vec<ColumnVec> = (0..width).map(|_| ColumnVec::empty()).collect();
+        let mut rows = 0usize;
+        for b in blocks {
+            debug_assert_eq!(b.width(), width);
+            rows += b.len();
+            for (c, col) in cols.iter_mut().enumerate() {
+                col.extend_gather(&b.columns[c], b.sel());
+            }
+        }
+        RowBlock {
+            columns: cols.into_iter().map(Arc::new).collect(),
+            rows,
+            sel: None,
+        }
+    }
+
+    /// Append rows in place, copy-on-writing any `Arc`-shared column.
+    /// Only valid on dense blocks (no selection) — the storage engine's
+    /// resident blocks are always dense.
+    pub fn append_rows(&mut self, rows: &[Row]) {
+        assert!(self.sel.is_none(), "append_rows on a filtered block");
+        for (c, col) in self.columns.iter_mut().enumerate() {
+            let col = Arc::make_mut(col);
+            for r in rows {
+                col.push(r.get(c).cloned().unwrap_or(Datum::Null));
+            }
+        }
+        self.rows += rows.len();
+    }
+
+    /// Per-selected-row hash of the listed columns — bit-identical to
+    /// calling [`Row::hash_columns`] on each materialized row, computed
+    /// column-at-a-time.
+    pub fn hash_columns(&self, indices: &[usize]) -> Vec<u64> {
+        let n = self.len();
+        let mut hs = vec![HASH_COLUMNS_SEED; n];
+        for &c in indices {
+            let col = &self.columns[c];
+            match &self.sel {
+                None => {
+                    for (i, h) in hs.iter_mut().enumerate() {
+                        *h = hash_combine(*h, col.dist_hash(i));
+                    }
+                }
+                Some(sel) => {
+                    for (k, h) in hs.iter_mut().enumerate() {
+                        *h = hash_combine(*h, col.dist_hash(sel[k] as usize));
+                    }
+                }
+            }
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            row![1i32, "a", 1.5f64],
+            row![2i32, "b", 2.5f64],
+            row![3i32, "c", 3.5f64],
+            row![4i32, "d", 4.5f64],
+        ]
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = sample_rows();
+        let b = RowBlock::from_rows(&rows, 3);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.to_rows(), rows);
+        // Null-free monotyped columns pick the typed representation.
+        assert!(matches!(b.column(0), ColumnVec::Int32(_)));
+        assert!(matches!(b.column(1), ColumnVec::Str(_)));
+        assert!(matches!(b.column(2), ColumnVec::Float64(_)));
+    }
+
+    #[test]
+    fn nulls_degrade_to_any() {
+        let rows = vec![row![1i32], Row::new(vec![Datum::Null]), row![3i32]];
+        let b = RowBlock::from_rows(&rows, 1);
+        assert!(matches!(b.column(0), ColumnVec::Any(_)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn mixed_types_degrade_to_any() {
+        let rows = vec![row![1i32], row![2i64]];
+        let b = RowBlock::from_rows(&rows, 1);
+        assert!(matches!(b.column(0), ColumnVec::Any(_)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn selection_filters_to_rows() {
+        let rows = sample_rows();
+        let b = RowBlock::from_rows(&rows, 3).with_sel(vec![1, 3]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.to_rows(), vec![rows[1].clone(), rows[3].clone()]);
+        let c = b.compact();
+        assert_eq!(c.len(), 2);
+        assert!(c.sel().is_none());
+        assert_eq!(c.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn project_shares_columns() {
+        let b = RowBlock::from_rows(&sample_rows(), 3);
+        let p = b.project(&[2, 0]);
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.to_rows()[0], row![1.5f64, 1i32]);
+        assert!(Arc::ptr_eq(&p.columns()[1], &b.columns()[0]));
+    }
+
+    #[test]
+    fn concat_preserves_selection_and_types() {
+        let rows = sample_rows();
+        let a = RowBlock::from_rows(&rows[..2], 3);
+        let b = RowBlock::from_rows(&rows[2..], 3).with_sel(vec![1]);
+        let c = RowBlock::concat(&[a, b], 3);
+        assert_eq!(c.len(), 3);
+        assert!(c.sel().is_none());
+        assert_eq!(
+            c.to_rows(),
+            vec![rows[0].clone(), rows[1].clone(), rows[3].clone()]
+        );
+        assert!(matches!(c.column(0), ColumnVec::Int32(_)));
+    }
+
+    #[test]
+    fn hash_columns_matches_row_hash() {
+        let rows = vec![
+            row![1i32, "a", 1.5f64],
+            Row::new(vec![Datum::Null, Datum::str("b"), Datum::Int64(7)]),
+            row![3i64, "c", 3.5f64],
+            Row::new(vec![
+                Datum::Bool(true),
+                Datum::str("d"),
+                Datum::Float64(4.0),
+            ]),
+            Row::new(vec![
+                Datum::Date(15_000),
+                Datum::str("e"),
+                Datum::Float64(-0.25),
+            ]),
+        ];
+        let b = RowBlock::from_rows(&rows, 3);
+        for idx in [vec![0usize], vec![2], vec![0, 1, 2], vec![2, 0]] {
+            let hs = b.hash_columns(&idx);
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(hs[i], r.hash_columns(&idx), "cols {idx:?} row {i}");
+            }
+        }
+        // And under a selection.
+        let s = b.clone().with_sel(vec![0, 2, 4]);
+        let hs = s.hash_columns(&[0, 2]);
+        assert_eq!(hs.len(), 3);
+        for (k, &i) in [0usize, 2, 4].iter().enumerate() {
+            assert_eq!(hs[k], rows[i].hash_columns(&[0, 2]));
+        }
+    }
+
+    #[test]
+    fn truncate_limits_selected_rows() {
+        let mut b = RowBlock::from_rows(&sample_rows(), 3);
+        b.truncate(2);
+        assert_eq!(b.len(), 2);
+        let mut s = RowBlock::from_rows(&sample_rows(), 3).with_sel(vec![0, 2, 3]);
+        s.truncate(2);
+        assert_eq!(s.to_rows().len(), 2);
+        assert_eq!(s.to_rows()[1], sample_rows()[2]);
+    }
+
+    #[test]
+    fn push_degrades_in_place() {
+        let mut c = ColumnVec::from_datums(vec![Datum::Int32(1), Datum::Int32(2)]);
+        assert!(matches!(c, ColumnVec::Int32(_)));
+        c.push(Datum::Null);
+        assert!(matches!(c, ColumnVec::Any(_)));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Datum::Int32(1));
+        assert_eq!(c.get(2), Datum::Null);
+        // Empty fallback re-types on first push.
+        let mut e = ColumnVec::empty();
+        e.push(Datum::str("x"));
+        assert!(matches!(e, ColumnVec::Str(_)));
+    }
+}

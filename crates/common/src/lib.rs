@@ -14,6 +14,7 @@
 //! The crate is dependency-light on purpose: everything above it (expressions,
 //! catalog, storage, planner, executor) builds on these definitions.
 
+pub mod block;
 pub mod error;
 pub mod oid;
 pub mod row;
@@ -21,6 +22,7 @@ pub mod schema;
 pub mod types;
 pub mod value;
 
+pub use block::{ColumnVec, RowBlock};
 pub use error::{Error, Result};
 pub use oid::{MotionId, PartOid, PartScanId, SegmentId, TableOid};
 pub use row::{Row, RowBatch};

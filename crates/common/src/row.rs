@@ -58,12 +58,22 @@ impl Row {
 
     /// Hash of the listed columns, used by hash-distribution and hash joins.
     pub fn hash_columns(&self, indices: &[usize]) -> u64 {
-        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut h = HASH_COLUMNS_SEED;
         for &i in indices {
-            h = h.rotate_left(5).wrapping_mul(0x100_0000_01b3) ^ self.values[i].distribution_hash();
+            h = hash_combine(h, self.values[i].distribution_hash());
         }
         h
     }
+}
+
+/// Seed of [`Row::hash_columns`], shared with the columnar batch hasher
+/// ([`crate::block::RowBlock::hash_columns`]) which must agree bit-for-bit.
+pub const HASH_COLUMNS_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Fold one column's distribution hash into a running multi-column hash.
+#[inline]
+pub fn hash_combine(h: u64, dist: u64) -> u64 {
+    h.rotate_left(5).wrapping_mul(0x100_0000_01b3) ^ dist
 }
 
 impl fmt::Display for Row {

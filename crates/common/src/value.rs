@@ -201,53 +201,69 @@ impl Datum {
     /// A stable 64-bit hash used for MPP hash distribution. Numeric values
     /// that compare equal hash equal across physical types.
     pub fn distribution_hash(&self) -> u64 {
-        // FNV-1a over a normalized byte representation.
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
         match self {
-            Datum::Null => eat(&[0u8]),
-            Datum::Bool(b) => {
-                eat(&[1u8]);
-                eat(&[*b as u8]);
-            }
-            Datum::Int32(v) => {
-                eat(&[2u8]);
-                eat(&(*v as i64).to_le_bytes());
-            }
-            Datum::Int64(v) => {
-                eat(&[2u8]);
-                eat(&v.to_le_bytes());
-            }
-            Datum::Float64(v) => {
-                // Integral floats hash like the integer they equal.
-                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
-                    eat(&[2u8]);
-                    eat(&(*v as i64).to_le_bytes());
-                } else {
-                    eat(&[3u8]);
-                    eat(&v.to_bits().to_le_bytes());
-                }
-            }
-            Datum::Str(s) => {
-                eat(&[4u8]);
-                eat(s.as_bytes());
-            }
+            Datum::Null => dist_hash_null(),
+            Datum::Bool(b) => dist_hash_bool(*b),
+            Datum::Int32(v) => dist_hash_int(*v as i64),
+            Datum::Int64(v) => dist_hash_int(*v),
+            Datum::Float64(v) => dist_hash_f64(*v),
+            Datum::Str(s) => dist_hash_str(s),
             // Dates hash as their day number: Date(n) compares equal to
             // Int(n) under the coercion rules, so they must hash equal.
-            Datum::Date(v) => {
-                eat(&[2u8]);
-                eat(&(*v as i64).to_le_bytes());
-            }
+            Datum::Date(v) => dist_hash_int(*v as i64),
         }
-        h
     }
+}
+
+// FNV-1a over a normalized (tag, payload) byte representation. The per-kind
+// helpers are public so columnar batch hashing (`crate::block`) can hash
+// typed vectors without constructing a `Datum` per value; they must stay
+// bit-identical to `Datum::distribution_hash`.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Distribution hash of a NULL value.
+#[inline]
+pub fn dist_hash_null() -> u64 {
+    fnv1a(FNV_OFFSET, &[0u8])
+}
+
+/// Distribution hash of a boolean.
+#[inline]
+pub fn dist_hash_bool(b: bool) -> u64 {
+    fnv1a(fnv1a(FNV_OFFSET, &[1u8]), &[b as u8])
+}
+
+/// Distribution hash of an integer-class value (Int32/Int64/Date, and
+/// integral floats, which must hash like the integer they equal).
+#[inline]
+pub fn dist_hash_int(v: i64) -> u64 {
+    fnv1a(fnv1a(FNV_OFFSET, &[2u8]), &v.to_le_bytes())
+}
+
+/// Distribution hash of a float (integral floats hash as integers).
+#[inline]
+pub fn dist_hash_f64(v: f64) -> u64 {
+    if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 {
+        dist_hash_int(v as i64)
+    } else {
+        fnv1a(fnv1a(FNV_OFFSET, &[3u8]), &v.to_bits().to_le_bytes())
+    }
+}
+
+/// Distribution hash of a string.
+#[inline]
+pub fn dist_hash_str(s: &str) -> u64 {
+    fnv1a(fnv1a(FNV_OFFSET, &[4u8]), s.as_bytes())
 }
 
 /// Arithmetic operators supported by [`Datum::arith`].

@@ -10,7 +10,7 @@
 use crate::exec::ExecMode;
 use crate::prepared::CompiledCache;
 use crate::stats::{ExecutionStats, SegmentStats};
-use mpp_common::{Datum, Error, MotionId, PartOid, PartScanId, Result, Row, SegmentId};
+use mpp_common::{Datum, Error, MotionId, PartOid, PartScanId, Result, Row, RowBlock, SegmentId};
 use mpp_plan::PhysicalPlan;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -40,6 +40,19 @@ pub struct ExecContext<'a> {
     /// Motion materialization cache: stable [`MotionId`] → per-source-
     /// segment rows. `Arc` so concurrent readers share one materialization.
     motion_cache: Mutex<HashMap<MotionId, Arc<Vec<Vec<Row>>>>>,
+    /// Block-engine Motion cache: per-source-segment chunk lists. A run
+    /// uses one engine throughout, so the two caches never both fill for
+    /// the same Motion.
+    motion_cache_blocks: Mutex<HashMap<MotionId, Arc<Vec<Vec<RowBlock>>>>>,
+    /// Row-engine Broadcast memo: the child output flattened across
+    /// source segments exactly once per Motion, shared by every
+    /// destination segment instead of each re-walking (and re-collecting)
+    /// the whole cache.
+    broadcast_flat: Mutex<HashMap<MotionId, Arc<Vec<Row>>>>,
+    /// Block-engine Redistribute memo: distribution hashes per chunk (in
+    /// flattened source order), computed once per Motion instead of once
+    /// per destination segment.
+    redist_hashes: Mutex<HashMap<MotionId, Arc<Vec<Vec<u64>>>>>,
     /// Node address → stable id, precomputed from the plan's pre-order
     /// Motion positions. Read-only during execution.
     motion_ids: HashMap<usize, MotionId>,
@@ -54,6 +67,9 @@ pub struct ExecContext<'a> {
     /// (e.g. a Motion under a nested-loop inner) fall back to cloning
     /// from `motion_cache` exactly as sequential execution does.
     preroute: Mutex<HashMap<MotionId, Vec<Row>>>,
+    /// Block-engine pre-routed Gather output (chunk lists concatenated in
+    /// segment order).
+    preroute_blocks: Mutex<HashMap<MotionId, Vec<RowBlock>>>,
     /// Rows materialized per Motion node.
     per_motion_rows: Mutex<HashMap<MotionId, u64>>,
     motions: AtomicU64,
@@ -94,9 +110,13 @@ impl<'a> ExecContext<'a> {
             part_registry: Mutex::new(HashMap::new()),
             oid_params: Mutex::new(HashMap::new()),
             motion_cache: Mutex::new(HashMap::new()),
+            motion_cache_blocks: Mutex::new(HashMap::new()),
+            broadcast_flat: Mutex::new(HashMap::new()),
+            redist_hashes: Mutex::new(HashMap::new()),
             motion_ids: HashMap::new(),
             motions_frozen: AtomicBool::new(false),
             preroute: Mutex::new(HashMap::new()),
+            preroute_blocks: Mutex::new(HashMap::new()),
             per_motion_rows: Mutex::new(HashMap::new()),
             motions: AtomicU64::new(0),
             seg_stats: (0..num_segments.max(1))
@@ -197,6 +217,48 @@ impl<'a> ExecContext<'a> {
         self.motion_cache.lock().insert(id, per_segment);
     }
 
+    pub(crate) fn motion_cached_blocks(&self, id: MotionId) -> Option<Arc<Vec<Vec<RowBlock>>>> {
+        self.motion_cache_blocks.lock().get(&id).cloned()
+    }
+
+    pub(crate) fn motion_store_blocks(&self, id: MotionId, per_segment: Arc<Vec<Vec<RowBlock>>>) {
+        self.motion_cache_blocks.lock().insert(id, per_segment);
+    }
+
+    /// Row-engine Broadcast: flatten the materialized child output across
+    /// source segments once per Motion and share the result. Every
+    /// destination segment still receives its own `Vec<Row>` (rows are
+    /// refcounted, so that is pointer copies), but the per-segment walk
+    /// over the whole cache is gone.
+    pub(crate) fn broadcast_flattened(
+        &self,
+        id: MotionId,
+        build: impl FnOnce() -> Vec<Row>,
+    ) -> Arc<Vec<Row>> {
+        Arc::clone(
+            self.broadcast_flat
+                .lock()
+                .entry(id)
+                .or_insert_with(|| Arc::new(build())),
+        )
+    }
+
+    /// Block-engine Redistribute: distribution hashes for every chunk (in
+    /// flattened source order), computed once per Motion and shared by
+    /// all destination segments' routing passes.
+    pub(crate) fn redistribute_hashes(
+        &self,
+        id: MotionId,
+        build: impl FnOnce() -> Vec<Vec<u64>>,
+    ) -> Arc<Vec<Vec<u64>>> {
+        Arc::clone(
+            self.redist_hashes
+                .lock()
+                .entry(id)
+                .or_insert_with(|| Arc::new(build())),
+        )
+    }
+
     /// Store a pre-routed copy of a Gather's output for its first
     /// consumption on segment 0.
     pub(crate) fn preroute_put(&self, id: MotionId, rows: Vec<Row>) {
@@ -206,6 +268,15 @@ impl<'a> ExecContext<'a> {
     /// Take the pre-routed copy, if one exists and was not consumed yet.
     pub(crate) fn preroute_take(&self, id: MotionId) -> Option<Vec<Row>> {
         self.preroute.lock().remove(&id)
+    }
+
+    /// Block-engine variants of the Gather preroute.
+    pub(crate) fn preroute_blocks_put(&self, id: MotionId, chunks: Vec<RowBlock>) {
+        self.preroute_blocks.lock().insert(id, chunks);
+    }
+
+    pub(crate) fn preroute_blocks_take(&self, id: MotionId) -> Option<Vec<RowBlock>> {
+        self.preroute_blocks.lock().remove(&id)
     }
 
     /// After this, a Motion cache miss under parallel execution is an
@@ -222,12 +293,19 @@ impl<'a> ExecContext<'a> {
     /// keyed by the stable motion id, and per-source-segment rows-moved
     /// attribution.
     pub(crate) fn record_motion(&self, id: MotionId, per_source: &[Vec<Row>]) {
+        let counts: Vec<u64> = per_source.iter().map(|r| r.len() as u64).collect();
+        self.record_motion_counts(id, &counts);
+    }
+
+    /// [`ExecContext::record_motion`] over pre-counted per-source row
+    /// totals — the block engine's chunked payloads record through this.
+    pub(crate) fn record_motion_counts(&self, id: MotionId, per_source: &[u64]) {
         self.motions.fetch_add(1, Ordering::Relaxed);
-        let total: u64 = per_source.iter().map(|r| r.len() as u64).sum();
+        let total: u64 = per_source.iter().sum();
         *self.per_motion_rows.lock().entry(id).or_insert(0) += total;
-        for (s, rows) in per_source.iter().enumerate() {
+        for (s, &rows) in per_source.iter().enumerate() {
             if let Some(slot) = self.seg_stats.get(s) {
-                slot.lock().rows_moved += rows.len() as u64;
+                slot.lock().rows_moved += rows;
             }
         }
     }

@@ -28,6 +28,23 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Which operator implementations interpret the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecEngine {
+    /// Vectorized execution: operators exchange columnar
+    /// [`mpp_common::RowBlock`] chunks with selection vectors; filters
+    /// refine selections without copying, projections and join keys
+    /// evaluate column-at-a-time, and Motions ship refcounted column
+    /// chunks. Falls back to row-at-a-time evaluation per block whenever
+    /// strict batch evaluation cannot reproduce exact row semantics, so
+    /// results (rows, errors, stats) are identical to [`ExecEngine::Row`].
+    #[default]
+    Batch,
+    /// The original row-at-a-time interpreter — the semantic reference
+    /// the batch engine is tested against, and the path DML always takes.
+    Row,
+}
+
 /// How the simulated cluster's segments execute their plan slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecMode {
@@ -55,6 +72,7 @@ pub struct QueryResult {
 pub struct Executor {
     storage: Storage,
     mode: ExecMode,
+    engine: ExecEngine,
 }
 
 impl Executor {
@@ -62,11 +80,16 @@ impl Executor {
         Executor {
             storage,
             mode: ExecMode::Sequential,
+            engine: ExecEngine::default(),
         }
     }
 
     pub fn with_mode(storage: Storage, mode: ExecMode) -> Executor {
-        Executor { storage, mode }
+        Executor {
+            storage,
+            mode,
+            engine: ExecEngine::default(),
+        }
     }
 
     pub fn set_mode(&mut self, mode: ExecMode) {
@@ -77,16 +100,24 @@ impl Executor {
         self.mode
     }
 
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
     pub fn storage(&self) -> &Storage {
         &self.storage
     }
 
     pub fn run(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
-        execute_with_params_mode(&self.storage, plan, &[], self.mode)
+        execute_with_params_engine(&self.storage, plan, &[], self.mode, self.engine)
     }
 
     pub fn run_with_params(&self, plan: &PhysicalPlan, params: &[Datum]) -> Result<QueryResult> {
-        execute_with_params_mode(&self.storage, plan, params, self.mode)
+        execute_with_params_engine(&self.storage, plan, params, self.mode, self.engine)
     }
 }
 
@@ -117,7 +148,18 @@ pub fn execute_with_params_mode(
     params: &[Datum],
     mode: ExecMode,
 ) -> Result<QueryResult> {
-    run_plan(storage, plan, params, mode, None)
+    run_plan(storage, plan, params, mode, ExecEngine::default(), None)
+}
+
+/// Execute with full control over mode and [`ExecEngine`].
+pub fn execute_with_params_engine(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+    engine: ExecEngine,
+) -> Result<QueryResult> {
+    run_plan(storage, plan, params, mode, engine, None)
 }
 
 /// The shared driver behind ad-hoc and prepared execution: the optional
@@ -127,15 +169,24 @@ pub(crate) fn run_plan(
     plan: &PhysicalPlan,
     params: &[Datum],
     mode: ExecMode,
+    engine: ExecEngine,
     cache: Option<&CompiledCache>,
 ) -> Result<QueryResult> {
     // DML mutates shared storage from one driver thread in either mode;
     // its children still execute per segment, with Motions materialized
-    // lazily, so it always runs under a sequential context.
+    // lazily, so it always runs under a sequential context. It also
+    // always runs the row engine: every mutation path materializes rows
+    // regardless, and the scan-not-observing-its-own-writes contract is
+    // what the row path is tested for.
     let eff_mode = if is_dml(plan) {
         ExecMode::Sequential
     } else {
         mode
+    };
+    let eff_engine = if is_dml(plan) {
+        ExecEngine::Row
+    } else {
+        engine
     };
     let ctx = ExecContext::for_plan(plan, params, storage.num_segments(), eff_mode)
         .with_compiled_cache(cache);
@@ -155,8 +206,8 @@ pub(crate) fn run_plan(
         ctx.seg_stats(SegmentId(0)).elapsed += t0.elapsed();
         rows
     } else {
-        match eff_mode {
-            ExecMode::Sequential => {
+        match (eff_engine, eff_mode) {
+            (ExecEngine::Row, ExecMode::Sequential) => {
                 // Every segment runs its slice; the union of slice
                 // outputs is the query result (a root Gather makes all
                 // but segment 0 empty).
@@ -169,7 +220,22 @@ pub(crate) fn run_plan(
                 }
                 out
             }
-            ExecMode::Parallel => exec_parallel(plan, storage, &ctx)?,
+            (ExecEngine::Row, ExecMode::Parallel) => exec_parallel(plan, storage, &ctx)?,
+            (ExecEngine::Batch, ExecMode::Sequential) => {
+                // Same driver shape, block payloads: rows materialize
+                // exactly once, at the root.
+                let mut out = Vec::new();
+                for seg in storage.segments() {
+                    let t0 = Instant::now();
+                    let chunks = crate::block_exec::exec_block(plan, seg, storage, &ctx)?;
+                    ctx.seg_stats(seg).elapsed += t0.elapsed();
+                    out.extend(chunks.iter().flat_map(|b| b.to_rows()));
+                }
+                out
+            }
+            (ExecEngine::Batch, ExecMode::Parallel) => {
+                crate::block_exec::exec_parallel_blocks(plan, storage, &ctx)?
+            }
         }
     };
     let mut stats = ctx.into_stats();
@@ -291,7 +357,7 @@ fn is_dml(plan: &PhysicalPlan) -> bool {
 /// compiled form per row. Under prepared execution the context carries a
 /// template cache and the lowering survives across executions — only the
 /// cheap parameter re-bind runs per call.
-fn compiled(e: &Expr, cols: &[ColRef], ctx: &ExecContext<'_>) -> Arc<CompiledExpr> {
+pub(crate) fn compiled(e: &Expr, cols: &[ColRef], ctx: &ExecContext<'_>) -> Arc<CompiledExpr> {
     crate::prepared::compiled_for(e, cols, ctx)
 }
 
@@ -512,7 +578,7 @@ pub(crate) fn exec(
                     v
                 }
             };
-            route_motion(kind, &per_source, seg, storage, child)
+            route_motion(kind, &per_source, seg, storage, child, ctx, id)
         }
 
         PhysicalPlan::Append { children, .. } => {
@@ -614,12 +680,15 @@ pub(crate) fn exec(
 }
 
 /// Motion routing: hand `seg` its share of the materialized child output.
+#[allow(clippy::too_many_arguments)]
 fn route_motion(
     kind: &MotionKind,
     per_source: &[Vec<Row>],
     seg: SegmentId,
     storage: &Storage,
     child: &PhysicalPlan,
+    ctx: &ExecContext<'_>,
+    id: mpp_common::MotionId,
 ) -> Result<Vec<Row>> {
     match kind {
         MotionKind::Gather => {
@@ -636,7 +705,14 @@ fn route_motion(
                 Ok(Vec::new())
             }
         }
-        MotionKind::Broadcast => Ok(per_source.iter().flatten().cloned().collect()),
+        MotionKind::Broadcast => {
+            // Flatten the cache once per Motion and share it: each
+            // destination still gets its own Vec (rows are refcounted),
+            // but not its own walk over every source segment's output.
+            let flat =
+                ctx.broadcast_flattened(id, || per_source.iter().flatten().cloned().collect());
+            Ok((*flat).clone())
+        }
         MotionKind::Redistribute(cols) => {
             let child_cols = child.output_cols();
             let positions: Vec<usize> =
@@ -676,9 +752,11 @@ enum LevelProbe<'a> {
 }
 
 impl LevelProbe<'_> {
+    /// `get_val(i)` returns the current input tuple's value at row
+    /// position `i` — a row or a block column, the probe doesn't care.
     fn derive(
         &self,
-        row: &Row,
+        get_val: &dyn Fn(usize) -> Datum,
         positions: &[(u32, usize)],
         ctx: &ExecContext<'_>,
         key: &ColRef,
@@ -686,13 +764,13 @@ impl LevelProbe<'_> {
         match self {
             LevelProbe::Full => DerivedSet::full(),
             LevelProbe::EqInput(pos) => {
-                let v = &row.values()[*pos];
+                let v = get_val(*pos);
                 if v.is_null() {
                     // key = NULL never holds (same as derive_cmp).
                     DerivedSet::empty_exact()
                 } else {
                     DerivedSet {
-                        set: IntervalSet::point(v.clone()),
+                        set: IntervalSet::point(v),
                         exact: true,
                         null_possible: false,
                     }
@@ -701,7 +779,7 @@ impl LevelProbe<'_> {
             LevelProbe::General(p) => {
                 let subst: HashMap<u32, Expr> = positions
                     .iter()
-                    .map(|&(id, i)| (id, Expr::Lit(row.values()[i].clone())))
+                    .map(|&(id, i)| (id, Expr::Lit(get_val(i))))
                     .collect();
                 let bound = mpp_expr::substitute_columns(p, &subst);
                 derive_interval_set(&bound, key, Some(ctx.params))
@@ -740,6 +818,93 @@ fn eq_input_probe(pred: &Expr, key: &ColRef, positions: &[(u32, usize)]) -> Opti
 /// set for the partitioning key, and propagate the selected OIDs. The
 /// per-level probes are prepared once; the dominant equality shape skips
 /// expression substitution entirely per row.
+pub(crate) struct TupleSelector<'a> {
+    tree: &'a PartTree,
+    positions: Vec<(u32, usize)>,
+    probes: Vec<(&'a ColRef, LevelProbe<'a>)>,
+    seen: HashSet<Vec<Datum>>,
+}
+
+impl<'a> TupleSelector<'a> {
+    /// Prepare the per-level probes once per selector execution.
+    pub(crate) fn prepare(
+        tree: &'a PartTree,
+        part_keys: &'a [ColRef],
+        predicates: &'a [Option<Expr>],
+        child_cols: &[ColRef],
+    ) -> Result<TupleSelector<'a>> {
+        // Columns of the predicates that come from the input (not the
+        // scan's partition keys): these get substituted per row.
+        let key_set: HashSet<u32> = part_keys.iter().map(|k| k.id).collect();
+        let mut input_cols: Vec<ColRef> = Vec::new();
+        for p in predicates.iter().flatten() {
+            for c in collect_columns(p) {
+                if !key_set.contains(&c.id) && !input_cols.contains(&c) {
+                    input_cols.push(c);
+                }
+            }
+        }
+        let positions: Vec<(u32, usize)> = input_cols
+            .iter()
+            .map(|c| {
+                child_cols
+                    .iter()
+                    .position(|x| x == c)
+                    .map(|i| (c.id, i))
+                    .ok_or_else(|| {
+                        Error::Execution(format!(
+                            "PartitionSelector predicate references {c}, not in its input"
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?;
+
+        let probes: Vec<(&ColRef, LevelProbe<'_>)> = part_keys
+            .iter()
+            .zip(predicates)
+            .map(|(key, pred)| {
+                let probe = match pred {
+                    None => LevelProbe::Full,
+                    Some(p) => match eq_input_probe(p, key, &positions) {
+                        Some(pos) => LevelProbe::EqInput(pos),
+                        None => LevelProbe::General(p),
+                    },
+                };
+                (key, probe)
+            })
+            .collect();
+        Ok(TupleSelector {
+            tree,
+            positions,
+            probes,
+            seen: HashSet::new(),
+        })
+    }
+
+    /// Probe one input tuple, presented as a value accessor over its row
+    /// positions. Dedup on the driving values spans every call on this
+    /// selector, so a batch of blocks routes to one dedup'd OID set.
+    pub(crate) fn observe(
+        &mut self,
+        get_val: &dyn Fn(usize) -> Datum,
+        ctx: &ExecContext<'_>,
+        propagate: &mut dyn FnMut(Vec<PartOid>),
+    ) -> Result<()> {
+        let key_vals: Vec<Datum> = self.positions.iter().map(|&(_, i)| get_val(i)).collect();
+        if !self.seen.insert(key_vals) {
+            return Ok(()); // same driving values → same partitions
+        }
+        let derived: Vec<DerivedSet> = self
+            .probes
+            .iter()
+            .map(|(key, probe)| probe.derive(get_val, &self.positions, ctx, key))
+            .collect();
+        propagate(self.tree.select_partitions(&derived)?);
+        Ok(())
+    }
+}
+
+/// Per-tuple partition selection over materialized rows (row engine).
 fn select_per_tuple(
     tree: &PartTree,
     part_keys: &[ColRef],
@@ -749,61 +914,9 @@ fn select_per_tuple(
     ctx: &ExecContext<'_>,
     mut propagate: impl FnMut(Vec<PartOid>),
 ) -> Result<()> {
-    // Columns of the predicates that come from the input (not the scan's
-    // partition keys): these get substituted per row.
-    let key_set: HashSet<u32> = part_keys.iter().map(|k| k.id).collect();
-    let mut input_cols: Vec<ColRef> = Vec::new();
-    for p in predicates.iter().flatten() {
-        for c in collect_columns(p) {
-            if !key_set.contains(&c.id) && !input_cols.contains(&c) {
-                input_cols.push(c);
-            }
-        }
-    }
-    let positions: Vec<(u32, usize)> = input_cols
-        .iter()
-        .map(|c| {
-            child_cols
-                .iter()
-                .position(|x| x == c)
-                .map(|i| (c.id, i))
-                .ok_or_else(|| {
-                    Error::Execution(format!(
-                        "PartitionSelector predicate references {c}, not in its input"
-                    ))
-                })
-        })
-        .collect::<Result<_>>()?;
-
-    let probes: Vec<(&ColRef, LevelProbe<'_>)> = part_keys
-        .iter()
-        .zip(predicates)
-        .map(|(key, pred)| {
-            let probe = match pred {
-                None => LevelProbe::Full,
-                Some(p) => match eq_input_probe(p, key, &positions) {
-                    Some(pos) => LevelProbe::EqInput(pos),
-                    None => LevelProbe::General(p),
-                },
-            };
-            (key, probe)
-        })
-        .collect();
-
-    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    let mut sel = TupleSelector::prepare(tree, part_keys, predicates, child_cols)?;
     for row in rows {
-        let key_vals: Vec<Datum> = positions
-            .iter()
-            .map(|&(_, i)| row.values()[i].clone())
-            .collect();
-        if !seen.insert(key_vals) {
-            continue; // same driving values → same partitions
-        }
-        let derived: Vec<DerivedSet> = probes
-            .iter()
-            .map(|(key, probe)| probe.derive(row, &positions, ctx, key))
-            .collect();
-        propagate(tree.select_partitions(&derived)?);
+        sel.observe(&|i| row.values()[i].clone(), ctx, &mut propagate)?;
     }
     Ok(())
 }
@@ -829,13 +942,13 @@ fn apply_filter(
     }
 }
 
-fn null_row(width: usize) -> Row {
+pub(crate) fn null_row(width: usize) -> Row {
     Row::new(vec![Datum::Null; width])
 }
 
 /// Hash join building on the left (outer) side, probing with the right.
 #[allow(clippy::too_many_arguments)]
-fn hash_join(
+pub(crate) fn hash_join(
     join_type: JoinType,
     left_keys: &[Expr],
     right_keys: &[Expr],
@@ -938,7 +1051,7 @@ fn hash_join(
 }
 
 /// Nested-loops join.
-fn nl_join(
+pub(crate) fn nl_join(
     join_type: JoinType,
     pred: &Option<Expr>,
     left: &PhysicalPlan,
@@ -979,7 +1092,215 @@ fn nl_join(
     Ok(out)
 }
 
-/// Hash aggregation.
+/// One aggregate call's running state.
+#[derive(Clone)]
+pub(crate) struct Acc {
+    count: i64,
+    sum: f64,
+    sum_is_float: bool,
+    sum_i: i64,
+    min: Option<Datum>,
+    max: Option<Datum>,
+    non_null: i64,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            sum_is_float: false,
+            sum_i: 0,
+            min: None,
+            max: None,
+            non_null: 0,
+        }
+    }
+
+    /// Fold one row's argument value in (`None` = argument-less COUNT(*)).
+    fn observe(&mut self, v: Option<Datum>) -> Result<()> {
+        self.count += 1;
+        if let Some(v) = v {
+            if !v.is_null() {
+                self.non_null += 1;
+                match &v {
+                    Datum::Float64(f) => {
+                        self.sum_is_float = true;
+                        self.sum += f;
+                    }
+                    Datum::Int32(_) | Datum::Int64(_) | Datum::Date(_) => {
+                        let i = v.as_i64()?;
+                        self.sum_i = self
+                            .sum_i
+                            .checked_add(i)
+                            .ok_or_else(|| Error::Arithmetic("sum overflow".into()))?;
+                        self.sum += i as f64;
+                    }
+                    _ => {}
+                }
+                match &self.min {
+                    Some(m) if &v >= m => {}
+                    _ => self.min = Some(v.clone()),
+                }
+                match &self.max {
+                    Some(m) if &v <= m => {}
+                    _ => self.max = Some(v),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, call: &AggCall) -> Datum {
+        match call.func {
+            AggFunc::Count => match &call.arg {
+                None => Datum::Int64(self.count),
+                Some(_) => Datum::Int64(self.non_null),
+            },
+            AggFunc::Sum => {
+                if self.non_null == 0 {
+                    Datum::Null
+                } else if self.sum_is_float {
+                    Datum::Float64(self.sum)
+                } else {
+                    Datum::Int64(self.sum_i)
+                }
+            }
+            AggFunc::Avg => {
+                if self.non_null == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float64(self.sum / self.non_null as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Datum::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Datum::Null),
+        }
+    }
+}
+
+/// Hash-aggregation state shared by the row and block engines. Group keys
+/// are built **once** per input row and moved into the index on first
+/// sight (the former implementation cloned each key up to three times per
+/// row); the per-group prefix row is cloned once per *distinct* group.
+pub(crate) struct AggExec {
+    /// Compiled aggregate arguments (`None` = COUNT(*), no argument).
+    pub(crate) args: Vec<Option<Arc<CompiledExpr>>>,
+    /// Row positions of the GROUP BY columns in the child output.
+    pub(crate) positions: Vec<usize>,
+    index: HashMap<Vec<Datum>, usize>,
+    /// Group states in first-seen order: (group-key values, accumulators).
+    groups: Vec<(Vec<Datum>, Vec<Acc>)>,
+}
+
+impl AggExec {
+    pub(crate) fn prepare(
+        group_by: &[ColRef],
+        aggs: &[AggCall],
+        child_cols: &[ColRef],
+        ctx: &ExecContext<'_>,
+    ) -> Result<AggExec> {
+        let args = aggs
+            .iter()
+            .map(|call| call.arg.as_ref().map(|e| compiled(e, child_cols, ctx)))
+            .collect();
+        let positions = group_by
+            .iter()
+            .map(|c| {
+                child_cols
+                    .iter()
+                    .position(|x| x == c)
+                    .ok_or_else(|| Error::Execution(format!("group column {c} missing")))
+            })
+            .collect::<Result<_>>()?;
+        Ok(AggExec {
+            args,
+            positions,
+            index: HashMap::new(),
+            groups: Vec::new(),
+        })
+    }
+
+    /// Slot index for a group key, creating the group on first sight. The
+    /// key is moved, not cloned — the single extra copy (the group's
+    /// output prefix) happens once per distinct group.
+    pub(crate) fn slot(&mut self, key: Vec<Datum>) -> usize {
+        let n_aggs = self.args.len();
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let i = self.groups.len();
+                self.groups
+                    .push((e.key().clone(), vec![Acc::new(); n_aggs]));
+                e.insert(i);
+                i
+            }
+        }
+    }
+
+    /// Fold pre-computed argument values (one per aggregate, in call
+    /// order) into a slot — the block engine's columnar entry point.
+    pub(crate) fn observe_values(
+        &mut self,
+        slot: usize,
+        vals: impl Iterator<Item = Option<Datum>>,
+    ) -> Result<()> {
+        for (acc, v) in self.groups[slot].1.iter_mut().zip(vals) {
+            acc.observe(v)?;
+        }
+        Ok(())
+    }
+
+    /// Fold one input row: build the key once, evaluate the arguments in
+    /// call order.
+    pub(crate) fn observe_row(&mut self, row: &Row) -> Result<()> {
+        let key: Vec<Datum> = self
+            .positions
+            .iter()
+            .map(|&i| row.values()[i].clone())
+            .collect();
+        let s = self.slot(key);
+        for (acc, arg) in self.groups[s].1.iter_mut().zip(&self.args) {
+            let v = match arg {
+                None => None,
+                Some(e) => Some(e.eval(row)?),
+            };
+            acc.observe(v)?;
+        }
+        Ok(())
+    }
+
+    /// Emit one output row per group, in first-seen order. Scalar
+    /// aggregates over empty input produce one default row — on the
+    /// singleton segment only (the optimizer gathers below scalar aggs,
+    /// so segment 0 is where the single input slice lives).
+    pub(crate) fn finalize(self, aggs: &[AggCall], seg: SegmentId) -> Result<Vec<Row>> {
+        if self.groups.is_empty() && self.positions.is_empty() {
+            if seg != SegmentId(0) {
+                return Ok(Vec::new());
+            }
+            let vals: Vec<Datum> = aggs
+                .iter()
+                .map(|call| match call.func {
+                    AggFunc::Count => Datum::Int64(0),
+                    _ => Datum::Null,
+                })
+                .collect();
+            return Ok(vec![Row::new(vals)]);
+        }
+        let mut out = Vec::with_capacity(self.groups.len());
+        for (key, accs) in &self.groups {
+            let mut vals: Vec<Datum> = key.clone();
+            for (acc, call) in accs.iter().zip(aggs) {
+                vals.push(acc.finalize(call));
+            }
+            out.push(Row::new(vals));
+        }
+        Ok(out)
+    }
+}
+
+/// Hash aggregation (row engine).
 fn hash_agg(
     group_by: &[ColRef],
     aggs: &[AggCall],
@@ -988,159 +1309,11 @@ fn hash_agg(
     seg: SegmentId,
     ctx: &ExecContext<'_>,
 ) -> Result<Vec<Row>> {
-    // Aggregate arguments are evaluated once per row per call: compile them
-    // up front (None = COUNT(*), no argument).
-    let args: Vec<Option<Arc<CompiledExpr>>> = aggs
-        .iter()
-        .map(|call| call.arg.as_ref().map(|e| compiled(e, child_cols, ctx)))
-        .collect();
-    let positions: Vec<usize> = group_by
-        .iter()
-        .map(|c| {
-            child_cols
-                .iter()
-                .position(|x| x == c)
-                .ok_or_else(|| Error::Execution(format!("group column {c} missing")))
-        })
-        .collect::<Result<_>>()?;
-
-    #[derive(Clone)]
-    struct Acc {
-        count: i64,
-        sum: f64,
-        sum_is_float: bool,
-        sum_i: i64,
-        min: Option<Datum>,
-        max: Option<Datum>,
-        non_null: i64,
+    let mut agg = AggExec::prepare(group_by, aggs, child_cols, ctx)?;
+    for row in &rows {
+        agg.observe_row(row)?;
     }
-    impl Acc {
-        fn new() -> Acc {
-            Acc {
-                count: 0,
-                sum: 0.0,
-                sum_is_float: false,
-                sum_i: 0,
-                min: None,
-                max: None,
-                non_null: 0,
-            }
-        }
-    }
-
-    let update = |accs: &mut [Acc], row: &Row| -> Result<()> {
-        for (acc, arg) in accs.iter_mut().zip(&args) {
-            acc.count += 1;
-            let v = match arg {
-                None => None,
-                Some(e) => Some(e.eval(row)?),
-            };
-            if let Some(v) = v {
-                if !v.is_null() {
-                    acc.non_null += 1;
-                    match &v {
-                        Datum::Float64(f) => {
-                            acc.sum_is_float = true;
-                            acc.sum += f;
-                        }
-                        Datum::Int32(_) | Datum::Int64(_) | Datum::Date(_) => {
-                            let i = v.as_i64()?;
-                            acc.sum_i = acc
-                                .sum_i
-                                .checked_add(i)
-                                .ok_or_else(|| Error::Arithmetic("sum overflow".into()))?;
-                            acc.sum += i as f64;
-                        }
-                        _ => {}
-                    }
-                    match &acc.min {
-                        Some(m) if &v >= m => {}
-                        _ => acc.min = Some(v.clone()),
-                    }
-                    match &acc.max {
-                        Some(m) if &v <= m => {}
-                        _ => acc.max = Some(v),
-                    }
-                }
-            }
-        }
-        Ok(())
-    };
-
-    let mut groups: HashMap<Vec<Datum>, (Vec<Acc>, Row)> = HashMap::new();
-    let mut order: Vec<Vec<Datum>> = Vec::new();
-    if positions.is_empty() {
-        // Scalar aggregation: one group, no per-row key hashing.
-        if !rows.is_empty() {
-            let mut accs = vec![Acc::new(); aggs.len()];
-            for row in &rows {
-                update(&mut accs, row)?;
-            }
-            order.push(Vec::new());
-            groups.insert(Vec::new(), (accs, Row::new(Vec::new())));
-        }
-    } else {
-        for row in &rows {
-            let key: Vec<Datum> = positions.iter().map(|&i| row.values()[i].clone()).collect();
-            let entry = groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key.clone());
-                (vec![Acc::new(); aggs.len()], row.project(&positions))
-            });
-            update(&mut entry.0, row)?;
-        }
-    }
-
-    // Scalar aggregates over empty input produce one row — on the
-    // singleton segment only (the optimizer gathers below scalar aggs,
-    // so segment 0 is where the single input slice lives).
-    if groups.is_empty() && group_by.is_empty() {
-        if seg != SegmentId(0) {
-            return Ok(Vec::new());
-        }
-        let vals: Vec<Datum> = aggs
-            .iter()
-            .map(|call| match call.func {
-                AggFunc::Count => Datum::Int64(0),
-                _ => Datum::Null,
-            })
-            .collect();
-        return Ok(vec![Row::new(vals)]);
-    }
-
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let (accs, group_row) = &groups[&key];
-        let mut vals: Vec<Datum> = group_row.values().to_vec();
-        for (acc, call) in accs.iter().zip(aggs) {
-            let v = match call.func {
-                AggFunc::Count => match &call.arg {
-                    None => Datum::Int64(acc.count),
-                    Some(_) => Datum::Int64(acc.non_null),
-                },
-                AggFunc::Sum => {
-                    if acc.non_null == 0 {
-                        Datum::Null
-                    } else if acc.sum_is_float {
-                        Datum::Float64(acc.sum)
-                    } else {
-                        Datum::Int64(acc.sum_i)
-                    }
-                }
-                AggFunc::Avg => {
-                    if acc.non_null == 0 {
-                        Datum::Null
-                    } else {
-                        Datum::Float64(acc.sum / acc.non_null as f64)
-                    }
-                }
-                AggFunc::Min => acc.min.clone().unwrap_or(Datum::Null),
-                AggFunc::Max => acc.max.clone().unwrap_or(Datum::Null),
-            };
-            vals.push(v);
-        }
-        out.push(Row::new(vals));
-    }
-    Ok(out)
+    agg.finalize(aggs, seg)
 }
 
 /// Execute a DML plan (always the root).

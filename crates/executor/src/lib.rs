@@ -30,6 +30,7 @@
 //! [`SegmentStats`] — which the benchmark harness uses to regenerate
 //! the paper's Figures 16–17 and Table 2.
 
+pub mod block_exec;
 pub mod context;
 pub mod exec;
 mod pool;
@@ -42,8 +43,8 @@ mod motion_tests;
 
 pub use context::ExecContext;
 pub use exec::{
-    execute, execute_mode, execute_with_params, execute_with_params_mode, ExecMode, Executor,
-    QueryResult,
+    execute, execute_mode, execute_with_params, execute_with_params_engine,
+    execute_with_params_mode, ExecEngine, ExecMode, Executor, QueryResult,
 };
 pub use prepared::{execute_prepared, CompiledCache, PreparedPlan};
 pub use slice::SlicePlan;

@@ -18,7 +18,7 @@
 //! reaches occupy cache space.
 
 use crate::context::ExecContext;
-use crate::exec::{run_plan, ExecMode, QueryResult};
+use crate::exec::{run_plan, ExecEngine, ExecMode, QueryResult};
 use mpp_common::{Datum, Result};
 use mpp_expr::{compile, ColRef, CompiledExpr, EvalContext, Expr};
 use mpp_plan::PhysicalPlan;
@@ -95,7 +95,18 @@ impl PreparedPlan {
         params: &[Datum],
         mode: ExecMode,
     ) -> Result<QueryResult> {
-        run_plan(storage, &self.plan, params, mode, Some(&self.cache))
+        self.execute_engine(storage, params, mode, ExecEngine::default())
+    }
+
+    /// [`PreparedPlan::execute`] with an explicit execution engine.
+    pub fn execute_engine(
+        &self,
+        storage: &Storage,
+        params: &[Datum],
+        mode: ExecMode,
+        engine: ExecEngine,
+    ) -> Result<QueryResult> {
+        run_plan(storage, &self.plan, params, mode, engine, Some(&self.cache))
     }
 }
 

@@ -32,6 +32,17 @@ pub struct SegmentStats {
     pub rows_moved: u64,
     /// Partition-selector invocations on this segment.
     pub selector_runs: u64,
+    /// Rows this segment processed through vectorized (columnar block)
+    /// operator paths: batch filters, projections, join-key extraction,
+    /// aggregate input, per-tuple selector probes.
+    pub rows_vectorized: u64,
+    /// Rows the block engine routed through the row-at-a-time fallback
+    /// (per-block, when strict batch evaluation cannot reproduce exact
+    /// row semantics — e.g. a row error mid-block), plus rows handled by
+    /// operators that always run row-wise (nested-loops join).
+    pub rows_row_fallback: u64,
+    /// `RowBlock` chunks the block engine's operators produced.
+    pub blocks_produced: u64,
 }
 
 impl SegmentStats {
@@ -68,6 +79,12 @@ pub struct ExecutionStats {
     pub rows_returned: u64,
     /// Partition-selector invocations.
     pub selector_runs: u64,
+    /// Rows processed through vectorized (columnar block) operator paths.
+    pub rows_vectorized: u64,
+    /// Rows the block engine fell back to row-at-a-time evaluation for.
+    pub rows_row_fallback: u64,
+    /// `RowBlock` chunks produced by block operators.
+    pub blocks_produced: u64,
     /// Rows materialized by each Motion node, keyed by its stable
     /// [`MotionId`] (not its node address, so clones/re-executions of a
     /// plan report under the same key).
@@ -119,6 +136,9 @@ impl ExecutionStats {
             self.tuples_scanned += seg.tuples_scanned;
             self.rows_moved += seg.rows_moved;
             self.selector_runs += seg.selector_runs;
+            self.rows_vectorized += seg.rows_vectorized;
+            self.rows_row_fallback += seg.rows_row_fallback;
+            self.blocks_produced += seg.blocks_produced;
         }
         self.per_segment = per_segment;
     }

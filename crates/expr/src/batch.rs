@@ -1,0 +1,768 @@
+//! Batch (vectorized) evaluation of [`CompiledExpr`] over [`RowBlock`]s.
+//!
+//! Two public entry points extend the per-row API of `compile`:
+//!
+//! * [`CompiledExpr::eval_predicate_block`] — evaluate a WHERE predicate
+//!   over a block and return the **refined selection vector** (physical
+//!   indices of rows where the predicate is `true`), plus a flag telling
+//!   whether the row-at-a-time fallback ran.
+//! * [`CompiledExpr::eval_column`] — evaluate a scalar expression over a
+//!   block into a [`ColumnVec`] with one value per selected row (projection
+//!   targets, join keys, aggregate arguments, group keys).
+//!
+//! # Semantics: exactly the row path, or fall back to it
+//!
+//! SQL three-valued logic and evaluation-order-dependent errors make naive
+//! column-at-a-time evaluation subtly wrong: `AND` only short-circuits on
+//! `false` (a NULL conjunct keeps evaluating later conjuncts, which may
+//! error), and evaluating a whole column of a subexpression visits rows the
+//! row-at-a-time path may never reach. The batch evaluator therefore:
+//!
+//! 1. tracks **alive sets** through `AND`/`OR` — conjunct *k* is evaluated
+//!    only on rows not yet decided `false` (resp. `true`), which is exactly
+//!    the set of rows the row path evaluates it on;
+//! 2. treats *any* internal error as "this block needs row semantics" and
+//!    re-runs the expression row-at-a-time over the block's selection. The
+//!    fallback reproduces the row path bit for bit — including *which* row
+//!    errors first and whether an error is masked by a short circuit that
+//!    the column-major order missed (e.g. a `Cmp` whose left side errors on
+//!    row 5 while its right side errors on row 2).
+//!
+//! The net effect: `eval_predicate_block` ≡ filtering with
+//! [`CompiledExpr::eval_predicate`] per row, and `eval_column` ≡ mapping
+//! [`CompiledExpr::eval`] per row — values *and* errors — while the common
+//! shapes (col-op-const, BETWEEN, IN-set, AND of those) run as tight typed
+//! loops with no `Datum` construction.
+
+use crate::ast::CmpOp;
+use crate::compile::{between_result, CompiledExpr};
+use crate::eval::cmp_holds;
+use mpp_common::{ColumnVec, Datum, Error, Result, RowBlock};
+
+/// Three-valued logic as a byte: `1` true, `0` false, `-1` null/unknown.
+pub type Trool = i8;
+pub const T_TRUE: Trool = 1;
+pub const T_FALSE: Trool = 0;
+pub const T_NULL: Trool = -1;
+
+#[inline]
+fn datum_to_trool(d: &Datum) -> Result<Trool> {
+    Ok(match d.as_bool()? {
+        None => T_NULL,
+        Some(true) => T_TRUE,
+        Some(false) => T_FALSE,
+    })
+}
+
+/// Build a boolean result column from trools (typed when null-free).
+fn trools_to_column(tr: &[Trool]) -> ColumnVec {
+    if tr.contains(&T_NULL) {
+        ColumnVec::Any(
+            tr.iter()
+                .map(|&t| match t {
+                    T_NULL => Datum::Null,
+                    t => Datum::Bool(t == T_TRUE),
+                })
+                .collect(),
+        )
+    } else {
+        ColumnVec::Bool(tr.iter().map(|&t| t == T_TRUE).collect())
+    }
+}
+
+/// Integer-class view of a constant (Int32/Int64/Date — the combinations
+/// `sql_cmp` compares through `as_i64`).
+#[inline]
+fn const_i64(d: &Datum) -> Option<i64> {
+    match d {
+        Datum::Int32(v) => Some(*v as i64),
+        Datum::Int64(v) => Some(*v),
+        Datum::Date(v) => Some(*v as i64),
+        _ => None,
+    }
+}
+
+/// Numeric-class view of a constant (used when either side is Float64).
+#[inline]
+fn const_f64(d: &Datum) -> Option<f64> {
+    match d {
+        Datum::Int32(v) => Some(*v as f64),
+        Datum::Int64(v) => Some(*v as f64),
+        Datum::Float64(v) => Some(*v),
+        Datum::Date(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// `col OP const` over a selection: typed loops for the class-compatible
+/// combinations, per-row `sql_cmp` otherwise (same values, same errors).
+fn cmp_const_trools(col: &ColumnVec, sel: &[u32], op: CmpOp, val: &Datum) -> Result<Vec<Trool>> {
+    // NULL constant: sql_cmp returns None before any type check.
+    if val.is_null() {
+        return Ok(vec![T_NULL; sel.len()]);
+    }
+    let tr = |b: bool| if b { T_TRUE } else { T_FALSE };
+    macro_rules! int_loop {
+        ($v:expr, $c:expr) => {{
+            let c = $c;
+            Ok(sel
+                .iter()
+                .map(|&i| tr(cmp_holds(op, ($v[i as usize] as i64).cmp(&c))))
+                .collect())
+        }};
+    }
+    macro_rules! f64_loop {
+        ($v:expr, $c:expr) => {{
+            let c = $c;
+            Ok(sel
+                .iter()
+                .map(|&i| tr(cmp_holds(op, ($v[i as usize] as f64).total_cmp(&c))))
+                .collect())
+        }};
+    }
+    match (col, const_i64(val), const_f64(val)) {
+        (ColumnVec::Int32(v), Some(c), _) => int_loop!(v, c),
+        (ColumnVec::Int64(v), Some(c), _) => int_loop!(v, c),
+        (ColumnVec::Date(v), Some(c), _) => int_loop!(v, c),
+        (ColumnVec::Int32(v), None, Some(c)) => f64_loop!(v, c),
+        (ColumnVec::Int64(v), None, Some(c)) => f64_loop!(v, c),
+        (ColumnVec::Date(v), None, Some(c)) => f64_loop!(v, c),
+        (ColumnVec::Float64(v), _, Some(c)) => f64_loop!(v, c),
+        (ColumnVec::Str(v), _, _) if matches!(val, Datum::Str(_)) => {
+            let Datum::Str(c) = val else { unreachable!() };
+            Ok(sel
+                .iter()
+                .map(|&i| tr(cmp_holds(op, v[i as usize].as_ref().cmp(c.as_ref()))))
+                .collect())
+        }
+        (ColumnVec::Bool(v), _, _) if matches!(val, Datum::Bool(_)) => {
+            let Datum::Bool(c) = val else { unreachable!() };
+            Ok(sel
+                .iter()
+                .map(|&i| tr(cmp_holds(op, v[i as usize].cmp(c))))
+                .collect())
+        }
+        // Mixed classes or an `Any` column: per-row semantics by reference.
+        _ => sel
+            .iter()
+            .map(|&i| {
+                Ok(match col.get(i as usize).sql_cmp(val)? {
+                    None => T_NULL,
+                    Some(ord) => {
+                        if cmp_holds(op, ord) {
+                            T_TRUE
+                        } else {
+                            T_FALSE
+                        }
+                    }
+                })
+            })
+            .collect(),
+    }
+}
+
+/// `col BETWEEN low AND high` over a selection with typed loops when the
+/// column and both bounds share a comparability class.
+fn between_const_trools(
+    col: &ColumnVec,
+    sel: &[u32],
+    low: &Datum,
+    high: &Datum,
+) -> Result<Vec<Trool>> {
+    let tr = |b: bool| if b { T_TRUE } else { T_FALSE };
+    match (col, const_i64(low), const_i64(high)) {
+        (ColumnVec::Int32(v), Some(lo), Some(hi)) => {
+            return Ok(sel
+                .iter()
+                .map(|&i| {
+                    let x = v[i as usize] as i64;
+                    tr(x >= lo && x <= hi)
+                })
+                .collect())
+        }
+        (ColumnVec::Int64(v), Some(lo), Some(hi)) => {
+            return Ok(sel
+                .iter()
+                .map(|&i| {
+                    let x = v[i as usize];
+                    tr(x >= lo && x <= hi)
+                })
+                .collect())
+        }
+        (ColumnVec::Date(v), Some(lo), Some(hi)) => {
+            return Ok(sel
+                .iter()
+                .map(|&i| {
+                    let x = v[i as usize] as i64;
+                    tr(x >= lo && x <= hi)
+                })
+                .collect())
+        }
+        _ => {}
+    }
+    if let (ColumnVec::Float64(v), Some(lo), Some(hi)) = (col, const_f64(low), const_f64(high)) {
+        return Ok(sel
+            .iter()
+            .map(|&i| {
+                let x = v[i as usize];
+                tr(x.total_cmp(&lo) != std::cmp::Ordering::Less
+                    && x.total_cmp(&hi) != std::cmp::Ordering::Greater)
+            })
+            .collect());
+    }
+    if let (ColumnVec::Str(v), Datum::Str(lo), Datum::Str(hi)) = (col, low, high) {
+        return Ok(sel
+            .iter()
+            .map(|&i| {
+                let x = v[i as usize].as_ref();
+                tr(x >= lo.as_ref() && x <= hi.as_ref())
+            })
+            .collect());
+    }
+    // NULL bounds, mixed classes, or `Any` columns: per-row 3VL.
+    sel.iter()
+        .map(|&i| datum_to_trool(&between_result(&col.get(i as usize), low, high)?))
+        .collect()
+}
+
+impl CompiledExpr {
+    /// Evaluate a WHERE predicate over `block` and return `(refined
+    /// selection, fell_back)`: the physical indices (subset of the block's
+    /// selection, in order) where the predicate is `true`. Errors are
+    /// exactly the errors per-row filtering raises, at the same first row.
+    pub fn eval_predicate_block(&self, block: &RowBlock) -> Result<(Vec<u32>, bool)> {
+        let ident;
+        let sel: &[u32] = match block.sel() {
+            Some(s) => s,
+            None => {
+                ident = (0..block.phys_rows() as u32).collect::<Vec<u32>>();
+                &ident
+            }
+        };
+        match self.trools(block, sel) {
+            Ok(tr) => Ok((
+                sel.iter()
+                    .zip(tr.iter())
+                    .filter(|&(_, &t)| t == T_TRUE)
+                    .map(|(&i, _)| i)
+                    .collect(),
+                false,
+            )),
+            // Any internal error: re-run with exact row-at-a-time
+            // semantics (values, short circuits, and first-error row).
+            Err(_) => {
+                let mut out = Vec::new();
+                for &i in sel {
+                    if self.eval_predicate(&block.row_at_phys(i as usize))? {
+                        out.push(i);
+                    }
+                }
+                Ok((out, true))
+            }
+        }
+    }
+
+    /// Evaluate a scalar expression over `block` into a column with one
+    /// value per selected row, plus a flag telling whether the row
+    /// fallback ran. Equivalent to mapping [`CompiledExpr::eval`] over the
+    /// selected rows — values and errors.
+    pub fn eval_column(&self, block: &RowBlock) -> Result<(ColumnVec, bool)> {
+        let ident;
+        let sel: &[u32] = match block.sel() {
+            Some(s) => s,
+            None => {
+                ident = (0..block.phys_rows() as u32).collect::<Vec<u32>>();
+                &ident
+            }
+        };
+        match self.values(block, sel) {
+            Ok(col) => Ok((col, false)),
+            Err(_) => {
+                let mut out = Vec::with_capacity(sel.len());
+                for &i in sel {
+                    out.push(self.eval(&block.row_at_phys(i as usize))?);
+                }
+                Ok((ColumnVec::from_datums(out), true))
+            }
+        }
+    }
+
+    /// Strict batch evaluation: one value per selected row, with **no
+    /// internal row fallback**. An `Err` means "this block needs the
+    /// row-at-a-time path" — it is *not* the error per-row evaluation
+    /// would raise and must never be surfaced. Callers evaluating
+    /// several expressions over one block (projections, join keys,
+    /// aggregate arguments) use this so a failure in *any* expression
+    /// falls back jointly, preserving the row-major evaluation order
+    /// across expressions that decides which error surfaces first.
+    pub fn eval_column_strict(&self, block: &RowBlock) -> Result<ColumnVec> {
+        let ident;
+        let sel: &[u32] = match block.sel() {
+            Some(s) => s,
+            None => {
+                ident = (0..block.phys_rows() as u32).collect::<Vec<u32>>();
+                &ident
+            }
+        };
+        self.values(block, sel)
+    }
+
+    /// Three-valued truth value per selected row. An `Err` means "this
+    /// block needs the row-at-a-time path", not necessarily that the row
+    /// path errors — callers must fall back, never propagate.
+    fn trools(&self, block: &RowBlock, sel: &[u32]) -> Result<Vec<Trool>> {
+        match self {
+            CompiledExpr::Const(d) => Ok(vec![datum_to_trool(d)?; sel.len()]),
+            CompiledExpr::Col { pos, col } => {
+                if *pos >= block.width() {
+                    return Err(Error::Execution(format!(
+                        "row too short for {col} at {pos}"
+                    )));
+                }
+                match block.column(*pos) {
+                    ColumnVec::Bool(v) => Ok(sel
+                        .iter()
+                        .map(|&i| if v[i as usize] { T_TRUE } else { T_FALSE })
+                        .collect()),
+                    ColumnVec::Any(v) => sel
+                        .iter()
+                        .map(|&i| datum_to_trool(&v[i as usize]))
+                        .collect(),
+                    // A null-free non-bool column fails `as_bool` on every
+                    // row; surface the first selected row's error.
+                    other => match sel.first() {
+                        None => Ok(Vec::new()),
+                        Some(&i) => {
+                            datum_to_trool(&other.get(i as usize))?;
+                            unreachable!("non-bool datum converted to trool")
+                        }
+                    },
+                }
+            }
+            CompiledExpr::CmpColConst { op, pos, col, val } => {
+                if *pos >= block.width() {
+                    return Err(Error::Execution(format!(
+                        "row too short for {col} at {pos}"
+                    )));
+                }
+                cmp_const_trools(block.column(*pos), sel, *op, val)
+            }
+            CompiledExpr::BetweenColConst {
+                pos,
+                col,
+                low,
+                high,
+            } => {
+                if *pos >= block.width() {
+                    return Err(Error::Execution(format!(
+                        "row too short for {col} at {pos}"
+                    )));
+                }
+                between_const_trools(block.column(*pos), sel, low, high)
+            }
+            CompiledExpr::And(exprs) => {
+                // Alive tracking: conjunct k is evaluated only on rows not
+                // yet `false` — the exact rows the row path evaluates it
+                // on. A NULL row stays alive (later conjuncts still run and
+                // may error or turn it false) but can never turn true.
+                let mut result = vec![T_TRUE; sel.len()];
+                let mut alive_sel: Vec<u32> = sel.to_vec();
+                let mut alive_slots: Vec<u32> = (0..sel.len() as u32).collect();
+                for e in exprs {
+                    if alive_sel.is_empty() {
+                        break;
+                    }
+                    let tr = e.trools(block, &alive_sel)?;
+                    let mut keep = 0usize;
+                    for k in 0..alive_sel.len() {
+                        let slot = alive_slots[k] as usize;
+                        match tr[k] {
+                            T_FALSE => result[slot] = T_FALSE,
+                            t => {
+                                if t == T_NULL {
+                                    result[slot] = T_NULL;
+                                }
+                                alive_sel[keep] = alive_sel[k];
+                                alive_slots[keep] = alive_slots[k];
+                                keep += 1;
+                            }
+                        }
+                    }
+                    alive_sel.truncate(keep);
+                    alive_slots.truncate(keep);
+                }
+                Ok(result)
+            }
+            CompiledExpr::Or(exprs) => {
+                // Mirror of AND: a row dies once `true`; a NULL row stays
+                // alive and may still turn true later.
+                let mut result = vec![T_FALSE; sel.len()];
+                let mut alive_sel: Vec<u32> = sel.to_vec();
+                let mut alive_slots: Vec<u32> = (0..sel.len() as u32).collect();
+                for e in exprs {
+                    if alive_sel.is_empty() {
+                        break;
+                    }
+                    let tr = e.trools(block, &alive_sel)?;
+                    let mut keep = 0usize;
+                    for k in 0..alive_sel.len() {
+                        let slot = alive_slots[k] as usize;
+                        match tr[k] {
+                            T_TRUE => result[slot] = T_TRUE,
+                            t => {
+                                if t == T_NULL {
+                                    result[slot] = T_NULL;
+                                }
+                                alive_sel[keep] = alive_sel[k];
+                                alive_slots[keep] = alive_slots[k];
+                                keep += 1;
+                            }
+                        }
+                    }
+                    alive_sel.truncate(keep);
+                    alive_slots.truncate(keep);
+                }
+                Ok(result)
+            }
+            CompiledExpr::Not(e) => Ok(e
+                .trools(block, sel)?
+                .into_iter()
+                .map(|t| match t {
+                    T_TRUE => T_FALSE,
+                    T_FALSE => T_TRUE,
+                    t => t,
+                })
+                .collect()),
+            CompiledExpr::IsNull(e) => {
+                // IS NULL of a typed (null-free) column is uniformly false
+                // without touching values.
+                if let CompiledExpr::Col { pos, .. } = e.as_ref() {
+                    if *pos < block.width() && !matches!(block.column(*pos), ColumnVec::Any(_)) {
+                        return Ok(vec![T_FALSE; sel.len()]);
+                    }
+                }
+                let vals = e.values(block, sel)?;
+                Ok((0..sel.len())
+                    .map(|k| {
+                        if vals.get(k).is_null() {
+                            T_TRUE
+                        } else {
+                            T_FALSE
+                        }
+                    })
+                    .collect())
+            }
+            CompiledExpr::Cmp { op, left, right } => {
+                let l = left.values(block, sel)?;
+                let r = right.values(block, sel)?;
+                (0..sel.len())
+                    .map(|k| {
+                        Ok(match l.get(k).sql_cmp(&r.get(k))? {
+                            None => T_NULL,
+                            Some(ord) => {
+                                if cmp_holds(*op, ord) {
+                                    T_TRUE
+                                } else {
+                                    T_FALSE
+                                }
+                            }
+                        })
+                    })
+                    .collect()
+            }
+            CompiledExpr::Between { expr, low, high } => {
+                let v = expr.values(block, sel)?;
+                let lo = low.values(block, sel)?;
+                let hi = high.values(block, sel)?;
+                (0..sel.len())
+                    .map(|k| datum_to_trool(&between_result(&v.get(k), &lo.get(k), &hi.get(k))?))
+                    .collect()
+            }
+            CompiledExpr::InConstSet { input, set } => {
+                if let CompiledExpr::Col { pos, col } = input.as_ref() {
+                    if *pos >= block.width() {
+                        return Err(Error::Execution(format!(
+                            "row too short for {col} at {pos}"
+                        )));
+                    }
+                    let c = block.column(*pos);
+                    return sel
+                        .iter()
+                        .map(|&i| datum_to_trool(&set.probe(&c.get(i as usize))?))
+                        .collect();
+                }
+                let vals = input.values(block, sel)?;
+                (0..sel.len())
+                    .map(|k| datum_to_trool(&set.probe(&vals.get(k))?))
+                    .collect()
+            }
+            // The ordered `IN`-walk short-circuits per row (break on match,
+            // positional NULLs/errors); evaluate it with row semantics
+            // directly rather than approximating column-wise.
+            CompiledExpr::InList { .. } => sel
+                .iter()
+                .map(|&i| datum_to_trool(&self.eval(&block.row_at_phys(i as usize))?))
+                .collect(),
+            // Value-producing or always-erroring nodes used in predicate
+            // position: evaluate as values, then convert (errors included).
+            CompiledExpr::UnboundCol(_)
+            | CompiledExpr::UnboundParam(_)
+            | CompiledExpr::Arith { .. } => {
+                let vals = self.values(block, sel)?;
+                (0..sel.len())
+                    .map(|k| datum_to_trool(&vals.get(k)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Value per selected row. Same error contract as [`Self::trools`].
+    fn values(&self, block: &RowBlock, sel: &[u32]) -> Result<ColumnVec> {
+        match self {
+            CompiledExpr::Const(d) => Ok(ColumnVec::broadcast(d, sel.len())),
+            CompiledExpr::Col { pos, col } => {
+                if *pos >= block.width() {
+                    return Err(Error::Execution(format!(
+                        "row too short for {col} at {pos}"
+                    )));
+                }
+                Ok(block.column(*pos).gather(sel))
+            }
+            CompiledExpr::UnboundCol(c) => Err(Error::Execution(format!("unbound column {c}"))),
+            CompiledExpr::UnboundParam(0) => {
+                Err(Error::Execution("parameter numbers are 1-based".into()))
+            }
+            CompiledExpr::UnboundParam(n) => {
+                Err(Error::Execution(format!("unbound parameter ${n}")))
+            }
+            CompiledExpr::Arith { op, left, right } => {
+                let l = left.values(block, sel)?;
+                let r = right.values(block, sel)?;
+                let mut out = Vec::with_capacity(sel.len());
+                for k in 0..sel.len() {
+                    out.push(l.get(k).arith(*op, &r.get(k))?);
+                }
+                Ok(ColumnVec::from_datums(out))
+            }
+            // Predicate-shaped nodes in value position produce a boolean
+            // column through the trool path.
+            CompiledExpr::CmpColConst { .. }
+            | CompiledExpr::Cmp { .. }
+            | CompiledExpr::And(_)
+            | CompiledExpr::Or(_)
+            | CompiledExpr::Not(_)
+            | CompiledExpr::IsNull(_)
+            | CompiledExpr::BetweenColConst { .. }
+            | CompiledExpr::Between { .. }
+            | CompiledExpr::InConstSet { .. }
+            | CompiledExpr::InList { .. } => Ok(trools_to_column(&self.trools(block, sel)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::colref::ColRef;
+    use crate::compile::compile;
+    use crate::eval::EvalContext;
+    use mpp_common::value::ArithOp;
+    use mpp_common::{row, Row};
+
+    fn ctx3() -> EvalContext<'static> {
+        EvalContext::from_columns(&[
+            ColRef::new(1, "a"),
+            ColRef::new(2, "b"),
+            ColRef::new(3, "c"),
+        ])
+    }
+
+    fn col(id: u32) -> Expr {
+        Expr::col(ColRef::new(id, "c"))
+    }
+
+    /// Rows covering typed columns, NULLs, and mixed types.
+    fn mixed_rows() -> Vec<Row> {
+        vec![
+            row![1i32, 10i64, "x"],
+            Row::new(vec![Datum::Int32(2), Datum::Null, Datum::str("y")]),
+            row![3i32, 30i64, "z"],
+            Row::new(vec![Datum::Int32(4), Datum::Int64(40), Datum::Null]),
+            row![5i32, 50i64, "x"],
+        ]
+    }
+
+    /// The reference: filter with the per-row API.
+    fn row_filter(c: &CompiledExpr, rows: &[Row]) -> Result<Vec<u32>> {
+        let mut out = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            if c.eval_predicate(r)? {
+                out.push(i as u32);
+            }
+        }
+        Ok(out)
+    }
+
+    fn assert_block_matches_rows(e: &Expr, rows: &[Row]) {
+        let c = compile(e, &ctx3());
+        let block = RowBlock::from_rows(rows, 3);
+        let batch = c.eval_predicate_block(&block);
+        let byrow = row_filter(&c, rows);
+        match (batch, byrow) {
+            (Ok((bsel, _)), Ok(rsel)) => assert_eq!(bsel, rsel, "selection mismatch for {e:?}"),
+            (Err(be), Err(re)) => {
+                assert_eq!(be.to_string(), re.to_string(), "error mismatch for {e:?}")
+            }
+            (b, r) => panic!("outcome mismatch for {e:?}: batch={b:?} rows={r:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_cmp_between_in_match_row_path() {
+        let rows = mixed_rows();
+        let shapes = vec![
+            Expr::lt(col(1), Expr::lit(4i32)),
+            Expr::gt(col(1), Expr::lit(2.5f64)),
+            Expr::eq(col(3), Expr::lit("x")),
+            Expr::between(col(1), Expr::lit(2i32), Expr::lit(4i32)),
+            Expr::in_list(col(1), vec![Expr::lit(1i32), Expr::lit(5i32)]),
+            Expr::in_list(col(3), vec![Expr::lit("x"), Expr::lit("q")]),
+        ];
+        for e in shapes {
+            assert_block_matches_rows(&e, &rows);
+        }
+    }
+
+    #[test]
+    fn null_columns_and_consts_match_row_path() {
+        let rows = mixed_rows();
+        let shapes = vec![
+            Expr::eq(col(2), Expr::lit(30i64)),       // Any column probe
+            Expr::eq(col(1), Expr::Lit(Datum::Null)), // NULL const
+            Expr::IsNull(Box::new(col(2))),
+            Expr::Not(Box::new(Expr::IsNull(Box::new(col(3))))),
+            Expr::between(col(2), Expr::lit(10i64), Expr::lit(40i64)),
+        ];
+        for e in shapes {
+            assert_block_matches_rows(&e, &rows);
+        }
+    }
+
+    #[test]
+    fn and_or_alive_tracking_matches_short_circuit() {
+        let rows = mixed_rows();
+        let shapes = vec![
+            Expr::and(vec![
+                Expr::lt(col(1), Expr::lit(4i32)),
+                Expr::gt(col(2), Expr::lit(5i64)),
+            ]),
+            Expr::or(vec![
+                Expr::eq(col(3), Expr::lit("x")),
+                Expr::lt(col(1), Expr::lit(2i32)),
+            ]),
+            // NULL in the middle of an AND: rows stay alive, never true.
+            Expr::and(vec![
+                Expr::eq(col(2), Expr::lit(40i64)),
+                Expr::gt(col(1), Expr::lit(0i32)),
+            ]),
+        ];
+        for e in shapes {
+            assert_block_matches_rows(&e, &rows);
+        }
+    }
+
+    #[test]
+    fn short_circuit_masks_batch_error() {
+        // a != 0 AND 10/a > 1: the row path never divides where a == 0.
+        // With a zero filtered out by the first conjunct the batch path
+        // must agree (alive tracking skips the dead row).
+        let rows = vec![
+            row![2i32, 0i64, "x"],
+            row![0i32, 0i64, "x"],
+            row![10i32, 0i64, "x"],
+        ];
+        let div = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::lit(10i32)),
+            right: Box::new(col(1)),
+        };
+        let e = Expr::and(vec![
+            Expr::Not(Box::new(Expr::eq(col(1), Expr::lit(0i32)))),
+            Expr::gt(div, Expr::lit(1i32)),
+        ]);
+        assert_block_matches_rows(&e, &rows);
+    }
+
+    #[test]
+    fn genuine_errors_surface_identically() {
+        let rows = vec![row![1i32, 1i64, "x"], row![0i32, 2i64, "y"]];
+        // Division by zero reached on row 1.
+        let div = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::lit(10i32)),
+            right: Box::new(col(1)),
+        };
+        assert_block_matches_rows(&Expr::gt(div, Expr::lit(0i32)), &rows);
+        // Cross-class comparison errors.
+        assert_block_matches_rows(&Expr::eq(col(1), Expr::lit("nope")), &rows);
+        // Unbound column.
+        assert_block_matches_rows(&Expr::lt(col(99), Expr::lit(1i32)), &rows);
+        // Cross-class IN probe.
+        assert_block_matches_rows(
+            &Expr::in_list(col(3), vec![Expr::lit(1i32), Expr::lit(2i32)]),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn eval_column_matches_row_eval() {
+        let rows = mixed_rows();
+        let exprs = vec![
+            col(1),
+            col(2),
+            Expr::Arith {
+                op: ArithOp::Add,
+                left: Box::new(col(1)),
+                right: Box::new(Expr::lit(100i32)),
+            },
+            Expr::lt(col(1), Expr::lit(3i32)),
+            Expr::Arith {
+                op: ArithOp::Add,
+                left: Box::new(col(1)),
+                right: Box::new(col(2)), // NULL row → NULL result
+            },
+        ];
+        let block = RowBlock::from_rows(&rows, 3);
+        for e in exprs {
+            let c = compile(&e, &ctx3());
+            let (vals, _) = c.eval_column(&block).unwrap();
+            assert_eq!(vals.len(), rows.len());
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(vals.get(i), c.eval(r).unwrap(), "{e:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_column_under_selection() {
+        let rows = mixed_rows();
+        let block = RowBlock::from_rows(&rows, 3).with_sel(vec![0, 2, 4]);
+        let c = compile(&col(1), &ctx3());
+        let (vals, fell_back) = c.eval_column(&block).unwrap();
+        assert!(!fell_back);
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals.get(1), Datum::Int32(3));
+    }
+
+    #[test]
+    fn predicate_block_respects_existing_selection() {
+        let rows = mixed_rows();
+        let block = RowBlock::from_rows(&rows, 3).with_sel(vec![1, 2, 3, 4]);
+        let c = compile(&Expr::lt(col(1), Expr::lit(4i32)), &ctx3());
+        let (sel, fell_back) = c.eval_predicate_block(&block).unwrap();
+        assert!(!fell_back);
+        // Rows 1 (a=2) and 2 (a=3) pass; row 0 was pre-filtered out.
+        assert_eq!(sel, vec![1, 2]);
+    }
+}

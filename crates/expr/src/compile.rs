@@ -588,7 +588,7 @@ impl CompiledExpr {
 }
 
 /// Shared BETWEEN combination: `v >= low AND v <= high` under 3VL.
-fn between_result(v: &Datum, low: &Datum, high: &Datum) -> Result<Datum> {
+pub(crate) fn between_result(v: &Datum, low: &Datum, high: &Datum) -> Result<Datum> {
     let ge_low = v.sql_cmp(low)?.map(|ord| ord != Ordering::Less);
     let le_high = v.sql_cmp(high)?.map(|ord| ord != Ordering::Greater);
     Ok(match (ge_low, le_high) {

@@ -21,6 +21,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod batch;
 pub mod colref;
 pub mod compile;
 pub mod eval;

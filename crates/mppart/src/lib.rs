@@ -38,8 +38,8 @@ pub use mpp_workloads as workloads;
 use mpp_catalog::Catalog;
 use mpp_common::{Datum, Error, PartOid, Result, Row};
 use mpp_core::{Optimizer, OptimizerConfig};
-pub use mpp_executor::ExecMode;
-use mpp_executor::{execute_with_params_mode, ExecutionStats, PreparedPlan};
+use mpp_executor::{execute_with_params_engine, ExecutionStats, PreparedPlan};
+pub use mpp_executor::{ExecEngine, ExecMode};
 use mpp_expr::ColRefGenerator;
 use mpp_legacy::LegacyPlanner;
 use mpp_plan::{explain, PhysicalPlan};
@@ -135,6 +135,7 @@ pub struct MppDb {
     legacy: LegacyPlanner,
     gen: ColRefGenerator,
     exec_mode: ExecMode,
+    exec_engine: ExecEngine,
 }
 
 impl MppDb {
@@ -157,6 +158,7 @@ impl MppDb {
             legacy: LegacyPlanner::new(catalog),
             gen: ColRefGenerator::new(),
             exec_mode: ExecMode::Sequential,
+            exec_engine: ExecEngine::default(),
         }
     }
 
@@ -173,6 +175,21 @@ impl MppDb {
 
     pub fn exec_mode(&self) -> ExecMode {
         self.exec_mode
+    }
+
+    /// Same database, executing queries on the given [`ExecEngine`]
+    /// (vectorized `Batch` by default; `Row` forces tuple-at-a-time).
+    pub fn with_exec_engine(mut self, engine: ExecEngine) -> MppDb {
+        self.exec_engine = engine;
+        self
+    }
+
+    pub fn set_exec_engine(&mut self, engine: ExecEngine) {
+        self.exec_engine = engine;
+    }
+
+    pub fn exec_engine(&self) -> ExecEngine {
+        self.exec_engine
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -248,7 +265,13 @@ impl MppDb {
                 cache: None,
             });
         }
-        let res = execute_with_params_mode(&self.storage, &plan, params, self.exec_mode)?;
+        let res = execute_with_params_engine(
+            &self.storage,
+            &plan,
+            params,
+            self.exec_mode,
+            self.exec_engine,
+        )?;
         Ok(QueryOutcome {
             rows: res.rows,
             stats: res.stats,
@@ -299,7 +322,9 @@ impl MppDb {
                 cache: None,
             });
         }
-        let res = q.prepared.execute(&self.storage, params, self.exec_mode)?;
+        let res =
+            q.prepared
+                .execute_engine(&self.storage, params, self.exec_mode, self.exec_engine)?;
         Ok(QueryOutcome {
             rows: res.rows,
             stats: res.stats,

@@ -5,6 +5,10 @@ use std::fmt::Write;
 
 /// Render a physical plan as an indented tree, one operator per line with
 /// its interesting annotations — close to GPDB's `EXPLAIN` output.
+/// Operators the block engine evaluates column-at-a-time (batch filters
+/// and projections, hash-join key extraction, aggregate input, batched
+/// redistribute hashing, per-tuple partition-selector probes) carry a
+/// `[vec]` marker.
 pub fn explain(plan: &PhysicalPlan) -> String {
     let mut out = String::new();
     render(plan, 0, &mut out);
@@ -69,9 +73,12 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
                     None => write!(text, " [{k}: <all>]").unwrap(),
                 }
             }
+            if !plan.children().is_empty() {
+                text.push_str(" [vec]");
+            }
         }
         PhysicalPlan::Sequence { .. } => text.push_str("Sequence"),
-        PhysicalPlan::Filter { pred, .. } => write!(text, "Filter: {pred}").unwrap(),
+        PhysicalPlan::Filter { pred, .. } => write!(text, "Filter: {pred} [vec]").unwrap(),
         PhysicalPlan::Project { exprs, .. } => {
             write!(text, "Project: ").unwrap();
             for (i, e) in exprs.iter().enumerate() {
@@ -80,6 +87,7 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
                 }
                 write!(text, "{e}").unwrap();
             }
+            text.push_str(" [vec]");
         }
         PhysicalPlan::HashJoin {
             join_type,
@@ -95,6 +103,7 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             if let Some(r) = residual {
                 write!(text, " residual: {r}").unwrap();
             }
+            text.push_str(" [vec]");
         }
         PhysicalPlan::NLJoin {
             join_type, pred, ..
@@ -119,6 +128,7 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             for a in aggs {
                 write!(text, " {a}").unwrap();
             }
+            text.push_str(" [vec]");
         }
         PhysicalPlan::Motion { kind, .. } => match kind {
             crate::physical::MotionKind::Redistribute(cols) => {
@@ -129,6 +139,7 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
                     }
                     write!(text, "{c}").unwrap();
                 }
+                text.push_str(" [vec]");
             }
             k => write!(text, "{} Motion", k.name()).unwrap(),
         },

@@ -1,7 +1,7 @@
 //! The storage engine proper.
 
 use mpp_catalog::{Catalog, ColumnStats, Distribution, TableStats};
-use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
+use mpp_common::{Datum, Error, PartOid, Result, Row, RowBlock, SegmentId, TableOid};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -25,8 +25,10 @@ impl std::fmt::Display for PhysId {
 
 #[derive(Default)]
 struct Inner {
-    /// (physical table, segment) → rows.
-    data: HashMap<(PhysId, SegmentId), Vec<Row>>,
+    /// (physical table, segment) → resident columnar block (always dense:
+    /// no selection vector). Scanning a block is an `Arc` bump per column;
+    /// the row-oriented scan APIs materialize rows on the way out.
+    data: HashMap<(PhysId, SegmentId), RowBlock>,
 }
 
 /// The shared storage engine. Cheap to clone.
@@ -155,30 +157,53 @@ impl Storage {
             }
             n += 1;
         }
+        let width = desc.schema.len();
         let mut g = self.inner.write();
-        for (key, mut rows) in staged {
-            g.data.entry(key).or_default().append(&mut rows);
+        for (key, rows) in staged {
+            g.data
+                .entry(key)
+                .or_insert_with(|| RowBlock::empty(width))
+                .append_rows(&rows);
         }
         Ok(n)
     }
 
-    /// Scan one physical table on one segment. Returns a clone of the row
-    /// vector (rows share storage, so this is shallow).
+    /// Scan one physical table on one segment as a columnar block: an
+    /// `Arc` bump per column, no row materialization. `None` when the
+    /// location holds no rows (the caller knows the schema width).
+    pub fn scan_block(&self, phys: PhysId, segment: SegmentId) -> Option<RowBlock> {
+        self.inner.read().data.get(&(phys, segment)).cloned()
+    }
+
+    /// Scan several physical tables on one segment under a *single* lock
+    /// acquisition, in input order — the block-engine counterpart of
+    /// [`Storage::scan_batch`]. A dynamic scan opens every selected
+    /// partition back to back; taking the storage lock once per batch
+    /// instead of once per partition keeps fine-grained partitioning
+    /// cheap — and keeps concurrently-scanning segment workers from
+    /// bouncing the lock's cache line hundreds of times per query.
+    pub fn scan_batch_blocks(
+        &self,
+        phys: impl IntoIterator<Item = PhysId>,
+        segment: SegmentId,
+    ) -> Vec<(PhysId, Option<RowBlock>)> {
+        let g = self.inner.read();
+        phys.into_iter()
+            .map(|p| (p, g.data.get(&(p, segment)).cloned()))
+            .collect()
+    }
+
+    /// Scan one physical table on one segment, materializing rows.
     pub fn scan(&self, phys: PhysId, segment: SegmentId) -> Vec<Row> {
         self.inner
             .read()
             .data
             .get(&(phys, segment))
-            .cloned()
+            .map(|b| b.to_rows())
             .unwrap_or_default()
     }
 
-    /// Scan several physical tables on one segment under a *single* lock
-    /// acquisition, in input order. A dynamic scan opens every selected
-    /// partition back to back; taking the storage lock once per batch
-    /// instead of once per partition keeps fine-grained partitioning
-    /// cheap — and keeps concurrently-scanning segment workers from
-    /// bouncing the lock's cache line hundreds of times per query.
+    /// Row-materializing form of [`Storage::scan_batch_blocks`].
     pub fn scan_batch(
         &self,
         phys: impl IntoIterator<Item = PhysId>,
@@ -186,7 +211,15 @@ impl Storage {
     ) -> Vec<(PhysId, Vec<Row>)> {
         let g = self.inner.read();
         phys.into_iter()
-            .map(|p| (p, g.data.get(&(p, segment)).cloned().unwrap_or_default()))
+            .map(|p| {
+                (
+                    p,
+                    g.data
+                        .get(&(p, segment))
+                        .map(|b| b.to_rows())
+                        .unwrap_or_default(),
+                )
+            })
             .collect()
     }
 
@@ -195,8 +228,8 @@ impl Storage {
         let g = self.inner.read();
         let mut out = Vec::new();
         for seg in 0..self.num_segments as u32 {
-            if let Some(rows) = g.data.get(&(phys, SegmentId(seg))) {
-                out.extend(rows.iter().cloned());
+            if let Some(b) = g.data.get(&(phys, SegmentId(seg))) {
+                out.extend(b.to_rows());
             }
         }
         out
@@ -224,8 +257,8 @@ impl Storage {
         let mut n = 0u64;
         for p in phys {
             for seg in 0..self.num_segments as u32 {
-                if let Some(rows) = g.data.get(&(p, SegmentId(seg))) {
-                    n += rows.len() as u64;
+                if let Some(b) = g.data.get(&(p, SegmentId(seg))) {
+                    n += b.len() as u64;
                 }
             }
         }
@@ -238,7 +271,17 @@ impl Storage {
     /// Replace the contents of one physical table on one segment (used by
     /// DML execution).
     pub fn overwrite(&self, phys: PhysId, segment: SegmentId, rows: Vec<Row>) {
-        self.inner.write().data.insert((phys, segment), rows);
+        let mut g = self.inner.write();
+        match rows.first() {
+            None => {
+                g.data.remove(&(phys, segment));
+            }
+            Some(first) => {
+                let width = first.len();
+                g.data
+                    .insert((phys, segment), RowBlock::from_rows(&rows, width));
+            }
+        }
     }
 
     /// Delete all rows of a logical table.
@@ -279,25 +322,28 @@ impl Storage {
                 (0..self.num_segments as u32).collect()
             };
             for seg in seg_range {
-                let Some(rows) = g.data.get(&(*p, SegmentId(seg))) else {
+                let Some(block) = g.data.get(&(*p, SegmentId(seg))) else {
                     continue;
                 };
-                for row in rows {
-                    rows_seen += 1;
-                    for (i, v) in row.values().iter().enumerate() {
+                rows_seen += block.len() as u64;
+                // Column-at-a-time statistics straight off the resident
+                // block — no row materialization.
+                for (i, col) in block.columns().iter().enumerate().take(ncols) {
+                    for r in 0..block.phys_rows() {
+                        let v = col.get(r);
                         if v.is_null() {
                             nulls[i] += 1;
                             continue;
                         }
-                        distinct[i].insert(v.clone());
                         match &mins[i] {
-                            Some(m) if v >= m => {}
+                            Some(m) if &v >= m => {}
                             _ => mins[i] = Some(v.clone()),
                         }
                         match &maxs[i] {
-                            Some(m) if v <= m => {}
+                            Some(m) if &v <= m => {}
                             _ => maxs[i] = Some(v.clone()),
                         }
+                        distinct[i].insert(v);
                     }
                 }
             }

@@ -15,6 +15,12 @@
 #               plan cache vs explicit prepared statements. Appends a
 #               JSON record to results/BENCH_qps.json and asserts plan
 #               reuse beats re-planning at every session count.
+#   batch_pipeline
+#               vectorized block engine vs row-at-a-time engine on a
+#               scan+filter+agg pipeline over 10k/100k/1M rows x
+#               4/64/1024 partitions, both exec modes. Appends records
+#               to results/BENCH_batch.json and asserts the block
+#               engine is >= 2x on the 100k scan+filter pipeline.
 #
 # Pass --test to run everything in smoke mode (single samples, tiny row
 # counts, no JSON output) — what CI uses.
@@ -30,4 +36,7 @@ cargo run --release -p mpp-bench --bin table2 -- --quick
 echo "== bench: bench_qps =="
 cargo bench -p mpp-bench --bench bench_qps -- "$@"
 
-echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json and results/table2.json) =="
+echo "== bench: batch_pipeline =="
+cargo bench -p mpp-bench --bench batch_pipeline -- "$@"
+
+echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json and results/table2.json) =="
