@@ -2,6 +2,20 @@
 //! (`f*_T`) must be consistent — a tuple routed to partition P that
 //! satisfies predicate φ implies P ∈ f*(φ).
 
+// `--cfg ci_quick` (set via RUSTFLAGS by time-bounded CI lanes) shrinks
+// the proptest case count; the cfg is probed, not declared, so silence
+// the unexpected-cfgs lint.
+#![allow(unexpected_cfgs)]
+
+/// Full case count normally; an eighth (floor 32) under `ci_quick`.
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(ci_quick) {
+        (full / 8).max(32)
+    } else {
+        full
+    }
+}
+
 use mpp_catalog::builders::{list_level, range_level_equal_width};
 use mpp_catalog::{PartTree, PartitionLevel, PartitionPiece};
 use mpp_common::{Datum, PartOid, Row};
@@ -66,7 +80,7 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(256)))]
 
     /// f_T / f*_T consistency: if value v routes to P and satisfies φ,
     /// then P is selected by f*(φ).

@@ -22,9 +22,10 @@
 use crate::spec::PartSelectorSpec;
 use mpp_catalog::Catalog;
 use mpp_common::{Error, Result};
-use mpp_expr::analysis::find_preds_on_keys;
-use mpp_expr::Expr;
+use mpp_expr::analysis::{find_preds_on_keys, references_only, split_conjuncts};
+use mpp_expr::{ColRef, Expr};
 use mpp_plan::PhysicalPlan;
+use std::collections::BTreeSet;
 
 /// Top-level driver: build one unfiltered [`PartSelectorSpec`] per
 /// DynamicScan in `expr` (the initialization step of Algorithm 1) and run
@@ -123,7 +124,9 @@ fn compute_part_selectors(
 
             // Algorithm 3: Select contributes its partition-key conjuncts.
             PhysicalPlan::Filter { pred, .. } => {
-                let spec = match find_preds_on_keys(pred, &spec.part_keys) {
+                let usable = find_preds_on_keys(pred, &spec.part_keys)
+                    .and_then(|pl| usable_preds(pl, &spec.part_keys, &BTreeSet::new()));
+                let spec = match usable {
                     Some(per_level) => spec.augmented(&per_level),
                     None => spec,
                 };
@@ -199,7 +202,13 @@ fn route_join_spec(
         return;
     }
     let dpe_possible = !motion_above_scan(right, spec.part_scan_id);
-    match find_preds_on_keys(join_pred, &spec.part_keys) {
+    // A spec planted on the outer side becomes a pass-through selector
+    // whose input is the outer subtree: its predicates may bind the
+    // partitioning keys and outer columns, nothing else.
+    let outer_cols: BTreeSet<ColRef> = left.output_cols().into_iter().collect();
+    let usable = find_preds_on_keys(join_pred, &spec.part_keys)
+        .and_then(|pl| usable_preds(pl, &spec.part_keys, &outer_cols));
+    match usable {
         // The join predicate restricts the partitioning key and the inner
         // scan shares the join's process: plant the augmented spec on the
         // outer side — dynamic partition elimination. Filters sitting on
@@ -209,13 +218,52 @@ fn route_join_spec(
         // travel through them.
         Some(per_level) if dpe_possible => {
             let mut spec = spec.augmented(&per_level);
-            if let Some(inner_preds) = inner_path_preds(right, spec.part_scan_id, &spec.part_keys) {
+            let inner = inner_path_preds(right, spec.part_scan_id, &spec.part_keys)
+                .and_then(|pl| usable_preds(pl, &spec.part_keys, &BTreeSet::new()));
+            if let Some(inner_preds) = inner {
                 spec = spec.augmented(&inner_preds);
             }
             child_specs[0].push(spec);
         }
         // Otherwise resolve near the scan.
         _ => child_specs[1].push(spec),
+    }
+}
+
+/// Keep only the extracted conjuncts a selector will be able to evaluate:
+/// those referencing nothing but the partitioning keys and `available`
+/// input columns. `find_pred_on_key` extracts *any* conjunct mentioning
+/// the key — e.g. a disjunction that also references other columns of the
+/// scanned table. Such a conjunct derives no interval for the key anyway,
+/// and the executor rejects selector predicates it cannot bind, so
+/// dropping it loses nothing and keeps the selector well-formed.
+fn usable_preds(
+    per_level: Vec<Option<Expr>>,
+    part_keys: &[ColRef],
+    available: &BTreeSet<ColRef>,
+) -> Option<Vec<Option<Expr>>> {
+    let mut allowed = available.clone();
+    allowed.extend(part_keys.iter().cloned());
+    let filtered: Vec<Option<Expr>> = per_level
+        .into_iter()
+        .map(|p| {
+            p.and_then(|e| {
+                let kept: Vec<Expr> = split_conjuncts(&e)
+                    .into_iter()
+                    .filter(|c| references_only(c, &allowed))
+                    .collect();
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(Expr::and(kept))
+                }
+            })
+        })
+        .collect();
+    if filtered.iter().all(Option::is_none) {
+        None
+    } else {
+        Some(filtered)
     }
 }
 

@@ -2,6 +2,20 @@
 //! tree shape, the §2.3 algorithms must produce exactly one selector per
 //! dynamic scan, placed so the §3.1 pairing rules hold.
 
+// `--cfg ci_quick` (set via RUSTFLAGS by time-bounded CI lanes) shrinks
+// the proptest case count; the cfg is probed, not declared, so silence
+// the unexpected-cfgs lint.
+#![allow(unexpected_cfgs)]
+
+/// Full case count normally; an eighth (floor 32) under `ci_quick`.
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(ci_quick) {
+        (full / 8).max(32)
+    } else {
+        full
+    }
+}
+
 use mpp_catalog::builders::range_parts_equal_width;
 use mpp_catalog::{Catalog, Distribution, TableDesc};
 use mpp_common::{Column, DataType, Datum, PartScanId, Schema};
@@ -170,7 +184,7 @@ fn count_scans(plan: &PhysicalPlan) -> usize {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(256)))]
 
     /// Placement always yields a valid plan with exactly one selector per
     /// dynamic scan, and never duplicates or drops scans.

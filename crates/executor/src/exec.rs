@@ -1565,6 +1565,41 @@ mod tests {
     }
 
     #[test]
+    fn two_selectors_one_scan_count_each_part_once() {
+        // Two static selectors probe the same DynamicScan with
+        // overlapping selections: b < 25 → parts {0,1,2} and
+        // b BETWEEN 15 AND 45 → parts {1,2,3,4}. The registry unions
+        // per (scan, segment) into a set, so the scan must open the 5
+        // distinct partitions exactly once each — `parts_scanned` and
+        // `part_opens` must not double-count the overlap {1,2}.
+        let (st, r, _) = setup();
+        let p1 = Expr::lt(Expr::col(cr(2, "b")), Expr::lit(25i32));
+        let p2 = Expr::between(Expr::col(cr(2, "b")), Expr::lit(15i32), Expr::lit(45i32));
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Sequence {
+                children: vec![
+                    static_selector(r, 1, Some(p1)),
+                    static_selector(r, 1, Some(p2)),
+                    r_scan(r, 1),
+                ],
+            }),
+        };
+        for engine in [ExecEngine::Row, ExecEngine::Batch] {
+            let res =
+                execute_with_params_engine(&st, &plan, &[], ExecMode::Sequential, engine).unwrap();
+            // Parts {0..=4} hold b ∈ [0, 50): rows 0..50.
+            assert_eq!(res.rows.len(), 50, "{engine:?}");
+            assert_eq!(res.stats.parts_scanned_for(r), 5, "{engine:?}");
+            // Every segment opens each distinct partition once; the
+            // overlap would push this to 7 per segment if propagations
+            // accumulated instead of unioned.
+            assert_eq!(res.stats.part_opens, 5 * 4, "{engine:?}");
+            assert_eq!(res.stats.selector_runs, 2 * 4, "{engine:?}");
+        }
+    }
+
+    #[test]
     fn join_dpe_scans_only_matching_parts() {
         // Figure 5(d): selector on the outer side driven by S tuples.
         let (st, r, s) = setup();

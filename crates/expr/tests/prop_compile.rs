@@ -5,6 +5,20 @@
 //! order. This is the license for the executor to swap the interpreter out
 //! of its per-row hot paths.
 
+// `--cfg ci_quick` (set via RUSTFLAGS by time-bounded CI lanes) shrinks
+// the proptest case count; the cfg is probed, not declared, so silence
+// the unexpected-cfgs lint.
+#![allow(unexpected_cfgs)]
+
+/// Full case count normally; an eighth (floor 32) under `ci_quick`.
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(ci_quick) {
+        (full / 8).max(32)
+    } else {
+        full
+    }
+}
+
 use mpp_common::value::ArithOp;
 use mpp_common::{Datum, Row};
 use mpp_expr::{compile, eval, eval_predicate, CmpOp, ColRef, EvalContext, Expr};
@@ -102,7 +116,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(1024))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(1024)))]
 
     /// The compiled form returns the interpreter's exact result: same
     /// datum, or an error of the same kind (short rows, unbound columns

@@ -3,6 +3,20 @@
 //! v, if a row with key = v satisfies φ then v is in the derived set.
 //! Partition pruning built on this can never lose rows.
 
+// `--cfg ci_quick` (set via RUSTFLAGS by time-bounded CI lanes) shrinks
+// the proptest case count; the cfg is probed, not declared, so silence
+// the unexpected-cfgs lint.
+#![allow(unexpected_cfgs)]
+
+/// Full case count normally; an eighth (floor 32) under `ci_quick`.
+fn prop_cases(full: u32) -> u32 {
+    if cfg!(ci_quick) {
+        (full / 8).max(32)
+    } else {
+        full
+    }
+}
+
 use mpp_common::{Datum, Row};
 use mpp_expr::analysis::derive_interval_set;
 use mpp_expr::{eval, ColRef, EvalContext, Expr};
@@ -62,7 +76,7 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(512)))]
 
     /// Soundness: a satisfying key value is always in the derived set.
     #[test]

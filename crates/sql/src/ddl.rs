@@ -16,7 +16,7 @@
 use crate::parser::{
     AlterAction, AstExpr, ColumnDef, DistClause, EveryStep, PartClause, Statement,
 };
-use mpp_catalog::builders::{list_level, range_level_stepped, RangeStep};
+use mpp_catalog::builders::{range_level_stepped, RangeStep};
 use mpp_catalog::{Catalog, Distribution, PartTree, PartitionLevel, PartitionPiece, TableDesc};
 use mpp_common::value::parse_date;
 use mpp_common::{Column, DataType, Datum, Error, Result, Schema, TableOid};
@@ -158,6 +158,7 @@ fn alter_table(table: &str, action: &AlterAction, catalog: &Catalog) -> Result<T
     match action {
         AlterAction::AddRange { name, start, end } => {
             ensure_fresh_piece_name(&pieces, name)?;
+            ensure_no_default(&pieces)?;
             let iv = Interval::half_open(literal(start, ty)?, literal(end, ty)?);
             if iv.is_empty() {
                 return Err(Error::InvalidMetadata(format!(
@@ -168,6 +169,7 @@ fn alter_table(table: &str, action: &AlterAction, catalog: &Catalog) -> Result<T
         }
         AlterAction::AddList { name, values } => {
             ensure_fresh_piece_name(&pieces, name)?;
+            ensure_no_default(&pieces)?;
             let datums = values
                 .iter()
                 .map(|v| literal(v, ty))
@@ -234,6 +236,21 @@ fn ensure_fresh_piece_name(pieces: &[PartitionPiece], name: &str) -> Result<()> 
     Ok(())
 }
 
+/// Adding a partition to a level with a DEFAULT partition is rejected
+/// (Greenplum requires splitting the default instead): rows the new piece
+/// would now claim may already sit in the default partition, and routing
+/// around them would silently change query results.
+fn ensure_no_default(pieces: &[PartitionPiece]) -> Result<()> {
+    if let Some(def) = pieces.iter().find(|p| p.is_default) {
+        return Err(Error::InvalidMetadata(format!(
+            "cannot add a partition to a level with a default partition \
+             ('{}'); split the default instead",
+            def.name
+        )));
+    }
+    Ok(())
+}
+
 fn build_level(clause: &PartClause, schema: &Schema) -> Result<PartitionLevel> {
     match clause {
         PartClause::Range {
@@ -259,19 +276,22 @@ fn build_level(clause: &PartClause, schema: &Schema) -> Result<PartitionLevel> {
         } => {
             let key_index = schema.index_of(column)?;
             let ty = schema.column(key_index)?.data_type;
-            let groups = parts
+            let mut pieces = parts
                 .iter()
                 .map(|(nm, vals)| {
                     let datums = vals
                         .iter()
                         .map(|v| literal(v, ty))
                         .collect::<Result<Vec<_>>>()?;
-                    Ok((nm.clone(), datums))
+                    Ok(PartitionPiece::new(nm.clone(), IntervalSet::points(datums)))
                 })
                 .collect::<Result<Vec<_>>>()?;
-            // The default piece gets the user's name via list_level's
-            // default flag; the name itself is cosmetic.
-            list_level(key_index, groups, default_partition.is_some())
+            // The default piece keeps the user's declared name, so it can
+            // be addressed by later ALTER … DROP PARTITION statements.
+            if let Some(nm) = default_partition {
+                pieces.push(PartitionPiece::default_piece(nm.clone()));
+            }
+            PartitionLevel::new(key_index, pieces)
         }
     }
 }
@@ -474,6 +494,29 @@ mod tests {
         // Unpartitioned table.
         ddl("CREATE TABLE plain (a int)", &cat).unwrap();
         assert!(ddl("ALTER TABLE plain ADD PARTITION p START (0) END (1)", &cat).is_err());
+    }
+
+    #[test]
+    fn add_partition_with_default_present_is_rejected() {
+        // A later ADD would route new rows around values already stored in
+        // the default partition, silently changing results — reject it.
+        let cat = Catalog::new();
+        ddl(
+            "CREATE TABLE cust (id int, state text) \
+             PARTITION BY LIST (state) \
+             (PARTITION west VALUES ('CA'), DEFAULT PARTITION other)",
+            &cat,
+        )
+        .unwrap();
+        let err = ddl("ALTER TABLE cust ADD PARTITION south VALUES ('TX')", &cat).unwrap_err();
+        assert_eq!(err.kind(), "invalid_metadata");
+        assert!(err.to_string().contains("default partition"), "{err}");
+        // The duplicate-name check still fires first.
+        let err = ddl("ALTER TABLE cust ADD PARTITION west VALUES ('TX')", &cat).unwrap_err();
+        assert_eq!(err.kind(), "duplicate");
+        // Dropping the default lifts the restriction.
+        ddl("ALTER TABLE cust DROP PARTITION other", &cat).unwrap();
+        ddl("ALTER TABLE cust ADD PARTITION south VALUES ('TX')", &cat).unwrap();
     }
 
     #[test]

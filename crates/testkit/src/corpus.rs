@@ -1,0 +1,90 @@
+//! The checked-in regression corpus: minimized reproducers under
+//! `testkit/corpus/*.case` at the repository root.
+//!
+//! Every file is one s-expression [`Case`] (see [`crate::sexp`]) with
+//! leading `;` comment lines describing the failure it reproduces. The
+//! corpus is replayed across all engine combos by `tests/corpus_replay.rs`
+//! on every test run, so a once-shrunk bug can never quietly return.
+
+use crate::case::Case;
+use mpp_common::{Error, Result};
+use std::path::{Path, PathBuf};
+
+/// `testkit/corpus/` at the repository root, resolved relative to this
+/// crate so it works from any test working directory.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../testkit/corpus")
+}
+
+/// Load every `*.case` file, sorted by file name for determinism.
+pub fn load_all() -> Result<Vec<(String, Case)>> {
+    load_dir(&corpus_dir())
+}
+
+/// Load every `*.case` file from a specific directory.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Case)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        // A missing corpus directory simply means no reproducers yet.
+        Err(_) => return Ok(out),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "case").unwrap_or(false))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| Error::Internal(format!("read {}: {e}", path.display())))?;
+        let case = Case::decode(&text).map_err(|e| Error::Parse(format!("{name}: {e}")))?;
+        out.push((name, case));
+    }
+    Ok(out)
+}
+
+/// Write a case as `<name>.case` with a `;`-comment header, creating the
+/// directory if needed. Returns the path written.
+pub fn save(dir: &Path, name: &str, case: &Case, header: &str) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::Internal(format!("mkdir {}: {e}", dir.display())))?;
+    let path = dir.join(format!("{name}.case"));
+    let mut text = String::new();
+    for line in header.lines() {
+        text.push_str("; ");
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str(&case.encode());
+    std::fs::write(&path, &text)
+        .map_err(|e| Error::Internal(format!("write {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mpp-testkit-corpus-{}", std::process::id()));
+        let case = crate::gen::gen_case(3);
+        save(&dir, "t", &case, "failure: example\nsecond line").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, "t.case");
+        assert_eq!(loaded[0].1, case);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_empty_corpus() {
+        assert!(load_dir(Path::new("/nonexistent/corpus/dir"))
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! A tiny s-expression reader/writer used to persist minimized
+//! reproducers under `testkit/corpus/`.
+//!
+//! The vendored `serde_json` stub has no parser, so the corpus format is
+//! self-contained here: atoms are symbols, 64-bit integers, or
+//! percent-encoded strings; lists nest in parentheses. The encoding is
+//! deterministic, diff-friendly, and trivially hand-editable — exactly
+//! what a checked-in regression corpus wants.
+
+use mpp_common::{Error, Result};
+use std::fmt;
+
+/// One node of a parsed s-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexp {
+    /// Bare identifier, e.g. `query` or `null`.
+    Sym(String),
+    /// Integer atom.
+    Int(i64),
+    /// String atom, written as `"…"` with percent-encoded specials.
+    Str(String),
+    /// `( … )`.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    pub fn sym(s: impl Into<String>) -> Sexp {
+        Sexp::Sym(s.into())
+    }
+
+    pub fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    /// A list starting with a tag symbol: `(tag …)`.
+    pub fn tagged(tag: &str, mut items: Vec<Sexp>) -> Sexp {
+        let mut v = Vec::with_capacity(items.len() + 1);
+        v.push(Sexp::sym(tag));
+        v.append(&mut items);
+        Sexp::List(v)
+    }
+
+    pub fn as_sym(&self) -> Result<&str> {
+        match self {
+            Sexp::Sym(s) => Ok(s),
+            other => Err(corrupt(format!("expected symbol, got {other}"))),
+        }
+    }
+
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Sexp::Int(v) => Ok(*v),
+            other => Err(corrupt(format!("expected int, got {other}"))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Sexp::Str(s) => Ok(s),
+            other => Err(corrupt(format!("expected string, got {other}"))),
+        }
+    }
+
+    pub fn as_list(&self) -> Result<&[Sexp]> {
+        match self {
+            Sexp::List(items) => Ok(items),
+            other => Err(corrupt(format!("expected list, got {other}"))),
+        }
+    }
+
+    /// The items of a `(tag …)` list, with the tag checked and stripped.
+    pub fn items(&self, tag: &str) -> Result<&[Sexp]> {
+        let list = self.as_list()?;
+        match list.first() {
+            Some(head) if head.as_sym()? == tag => Ok(&list[1..]),
+            _ => Err(corrupt(format!("expected ({tag} …), got {self}"))),
+        }
+    }
+
+    /// Find the unique child list tagged `tag` among `(parent (a …) (b …))`.
+    pub fn field<'a>(items: &'a [Sexp], tag: &str) -> Result<&'a Sexp> {
+        Sexp::field_opt(items, tag)?.ok_or_else(|| corrupt(format!("missing field ({tag} …)")))
+    }
+
+    pub fn field_opt<'a>(items: &'a [Sexp], tag: &str) -> Result<Option<&'a Sexp>> {
+        for it in items {
+            if let Sexp::List(l) = it {
+                if let Some(Sexp::Sym(s)) = l.first() {
+                    if s == tag {
+                        return Ok(Some(it));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn corrupt(msg: String) -> Error {
+    Error::Parse(format!("corpus: {msg}"))
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' | '%' | '\\' | '\n' | '\r' | '\t' => {
+                out.push('%');
+                out.push_str(&format!("{:02x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn decode_str(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hi = chars.next().ok_or_else(|| corrupt("bad escape".into()))?;
+            let lo = chars.next().ok_or_else(|| corrupt("bad escape".into()))?;
+            let code = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                .map_err(|_| corrupt("bad escape".into()))?;
+            out.push(char::from_u32(code).ok_or_else(|| corrupt("bad escape".into()))?);
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Sym(s) => write!(f, "{s}"),
+            Sexp::Int(v) => write!(f, "{v}"),
+            Sexp::Str(s) => {
+                let mut buf = String::new();
+                encode_str(s, &mut buf);
+                write!(f, "{buf}")
+            }
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Pretty-print with one top-level child per line so corpus diffs stay
+/// readable. Nesting below depth 2 is compact.
+pub fn pretty(sexp: &Sexp) -> String {
+    fn rec(s: &Sexp, depth: usize, out: &mut String) {
+        match s {
+            Sexp::List(items) if depth < 2 && items.len() > 2 => {
+                out.push('(');
+                for (i, it) in items.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(&it.to_string());
+                    } else {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth + 1));
+                        rec(it, depth + 1, out);
+                    }
+                }
+                out.push(')');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    let mut out = String::new();
+    rec(sexp, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Parse one s-expression from `text` (comments start with `;`).
+pub fn parse(text: &str) -> Result<Sexp> {
+    let mut toks = tokenize(text)?;
+    toks.reverse(); // pop() from the front
+    let sexp = parse_one(&mut toks)?;
+    if !toks.is_empty() {
+        return Err(corrupt("trailing tokens".into()));
+    }
+    Ok(sexp)
+}
+
+#[derive(Debug)]
+enum Tok {
+    Open,
+    Close,
+    Sym(String),
+    Int(i64),
+    Str(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::Open);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::Close);
+            }
+            '"' => {
+                chars.next();
+                let mut raw = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => raw.push(c),
+                        None => return Err(corrupt("unterminated string".into())),
+                    }
+                }
+                toks.push(Tok::Str(decode_str(&raw)?));
+            }
+            _ => {
+                let mut atom = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == '"' || c == ';' {
+                        break;
+                    }
+                    atom.push(c);
+                    chars.next();
+                }
+                let first = atom.chars().next().unwrap_or(' ');
+                if first.is_ascii_digit() || first == '-' && atom.len() > 1 {
+                    toks.push(Tok::Int(
+                        atom.parse::<i64>()
+                            .map_err(|_| corrupt(format!("bad int '{atom}'")))?,
+                    ));
+                } else {
+                    toks.push(Tok::Sym(atom));
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_one(toks: &mut Vec<Tok>) -> Result<Sexp> {
+    match toks.pop() {
+        None => Err(corrupt("unexpected end of input".into())),
+        Some(Tok::Open) => {
+            let mut items = Vec::new();
+            loop {
+                match toks.last() {
+                    None => return Err(corrupt("unclosed list".into())),
+                    Some(Tok::Close) => {
+                        toks.pop();
+                        return Ok(Sexp::List(items));
+                    }
+                    _ => items.push(parse_one(toks)?),
+                }
+            }
+        }
+        Some(Tok::Close) => Err(corrupt("unexpected ')'".into())),
+        Some(Tok::Sym(s)) => Ok(Sexp::Sym(s)),
+        Some(Tok::Int(v)) => Ok(Sexp::Int(v)),
+        Some(Tok::Str(s)) => Ok(Sexp::Str(s)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = Sexp::tagged(
+            "case",
+            vec![
+                Sexp::tagged("seed", vec![Sexp::Int(42)]),
+                Sexp::Str("a b%\"c".into()),
+                Sexp::List(vec![Sexp::Int(-7), Sexp::sym("null")]),
+            ],
+        );
+        let text = pretty(&s);
+        assert_eq!(parse(&text).unwrap(), s);
+        // Compact form round-trips too.
+        assert_eq!(parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn comments_and_errors() {
+        assert_eq!(
+            parse("; header\n(a 1)").unwrap(),
+            Sexp::tagged("a", vec![Sexp::Int(1)])
+        );
+        assert!(parse("(a").is_err());
+        assert!(parse(")").is_err());
+        assert!(parse("(a) b").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Differential fuzz campaign: generate random workloads, run each through
+# every {planner} × {exec mode} × {exec engine} combination and the naive
+# oracle, and diff results, error kinds, and partition-elimination
+# soundness. On failure the case is shrunk to a minimal reproducer and
+# written to testkit/corpus/.
+#
+#   scripts/fuzz.sh                          500 cases from seed 1
+#   scripts/fuzz.sh --cases 200              200 cases from seed 1
+#   scripts/fuzz.sh --seed from-git-sha      base seed from HEAD (CI uses
+#                                            this so every push explores a
+#                                            fresh region)
+#   scripts/fuzz.sh --replay path/to.case    re-run one reproducer
+#
+# All arguments are forwarded to the fuzz binary (see
+# crates/testkit/src/bin/fuzz.rs for the full list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=("$@")
+if [[ ${#args[@]} -eq 0 ]]; then
+  args=(--cases 500 --seed 1)
+fi
+
+cargo build --release -p mpp-testkit --bin fuzz --quiet
+exec ./target/release/fuzz "${args[@]}"

@@ -1,0 +1,22 @@
+//! Replay every minimized reproducer in `testkit/corpus/` through the
+//! full differential harness: all eight {planner} × {exec mode} ×
+//! {exec engine} combinations plus both planners' prepared paths. Each
+//! corpus file is a bug the fuzzer once found, shrunk to its essence; a
+//! failure here means the bug came back.
+
+use mpp_testkit::{combos, corpus, run_case};
+
+#[test]
+fn corpus_replays_clean_across_all_combos() {
+    assert_eq!(combos().len(), 8, "the combo matrix changed size");
+    let cases = corpus::load_all().expect("corpus must parse");
+    assert!(
+        !cases.is_empty(),
+        "testkit/corpus is empty — reproducers should be checked in"
+    );
+    for (name, case) in cases {
+        if let Some(f) = run_case(&case) {
+            panic!("corpus case {name} regressed:\n{f}");
+        }
+    }
+}

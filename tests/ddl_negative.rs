@@ -1,0 +1,105 @@
+//! Negative paths for ALTER TABLE ADD/DROP PARTITION at the `MppDb`
+//! level: the statement must fail with the right error kind AND leave the
+//! partition tree — and the stored rows — exactly as they were.
+
+use mppart::MppDb;
+
+fn leaf_names(db: &MppDb, table: &str) -> Vec<String> {
+    db.catalog()
+        .table_by_name(table)
+        .unwrap()
+        .part_tree()
+        .unwrap()
+        .leaves()
+        .iter()
+        .map(|l| l.name.clone())
+        .collect()
+}
+
+fn setup() -> MppDb {
+    let db = MppDb::new(2);
+    db.sql(
+        "CREATE TABLE m (id int NOT NULL, k int NOT NULL) \
+         DISTRIBUTED BY (id) \
+         PARTITION BY RANGE (k) (START (0) END (30) EVERY (10))",
+    )
+    .unwrap();
+    db.sql("INSERT INTO m VALUES (1, 5), (2, 15), (3, 25)")
+        .unwrap();
+    db
+}
+
+#[test]
+fn drop_nonexistent_partition_is_not_found_and_preserves_state() {
+    let db = setup();
+    let before = leaf_names(&db, "m");
+
+    let err = db.sql("ALTER TABLE m DROP PARTITION nosuch").unwrap_err();
+    assert_eq!(err.kind(), "not_found", "got: {err}");
+
+    assert_eq!(leaf_names(&db, "m"), before);
+    let out = db.sql("SELECT id, k FROM m").unwrap();
+    assert_eq!(out.rows.len(), 3, "rows must survive the failed ALTER");
+}
+
+#[test]
+fn drop_last_partition_of_a_level_is_rejected() {
+    let db = setup();
+    // Dropping down to one partition is legal…
+    db.sql("ALTER TABLE m DROP PARTITION p1").unwrap();
+    db.sql("ALTER TABLE m DROP PARTITION p2").unwrap();
+    let before = leaf_names(&db, "m");
+    assert_eq!(before.len(), 1);
+
+    // …but a level may never become empty.
+    let err = db.sql("ALTER TABLE m DROP PARTITION p0").unwrap_err();
+    assert_eq!(err.kind(), "invalid_metadata", "got: {err}");
+
+    assert_eq!(leaf_names(&db, "m"), before);
+    let out = db.sql("SELECT id FROM m WHERE k < 10").unwrap();
+    assert_eq!(out.rows.len(), 1);
+}
+
+#[test]
+fn add_partition_with_default_present_is_rejected() {
+    let db = MppDb::new(2);
+    db.sql(
+        "CREATE TABLE cust (id int NOT NULL, region text NOT NULL) \
+         DISTRIBUTED BY (id) \
+         PARTITION BY LIST (region) \
+         (PARTITION north VALUES ('NY'), DEFAULT PARTITION other)",
+    )
+    .unwrap();
+    let before = leaf_names(&db, "cust");
+
+    // The default already captures every remaining value; adding a
+    // partition would silently steal rows from it.
+    let err = db
+        .sql("ALTER TABLE cust ADD PARTITION south VALUES ('TX')")
+        .unwrap_err();
+    assert_eq!(err.kind(), "invalid_metadata", "got: {err}");
+    assert_eq!(leaf_names(&db, "cust"), before);
+
+    // Dropping the default lifts the restriction.
+    db.sql("ALTER TABLE cust DROP PARTITION other").unwrap();
+    db.sql("ALTER TABLE cust ADD PARTITION south VALUES ('TX')")
+        .unwrap();
+    assert_eq!(leaf_names(&db, "cust"), vec!["north", "south"]);
+}
+
+#[test]
+fn duplicate_partition_name_is_rejected_before_the_default_check() {
+    let db = MppDb::new(2);
+    db.sql(
+        "CREATE TABLE cust (id int NOT NULL, region text NOT NULL) \
+         DISTRIBUTED BY (id) \
+         PARTITION BY LIST (region) \
+         (PARTITION north VALUES ('NY'), DEFAULT PARTITION other)",
+    )
+    .unwrap();
+
+    let err = db
+        .sql("ALTER TABLE cust ADD PARTITION north VALUES ('TX')")
+        .unwrap_err();
+    assert_eq!(err.kind(), "duplicate", "got: {err}");
+}
