@@ -19,8 +19,9 @@ use criterion::{black_box, Criterion};
 use mpp_bench::{scaled, time_median_pair, write_result};
 use mppart::core::OptimizerConfig;
 use mppart::executor::{ExecEngine, ExecMode};
-use mppart::workloads::{setup_rs, SynthConfig};
-use mppart::MppDb;
+use mppart::testing::sorted;
+use mppart::workloads::{setup_rs, setup_skewed, SynthConfig};
+use mppart::{MppDb, SchedConfig, SchedPolicy};
 
 const SEGMENTS: usize = 3;
 
@@ -54,6 +55,135 @@ fn run(db: &MppDb, q: &mppart::PreparedQuery, mode: ExecMode, engine: ExecEngine
         .unwrap()
         .rows
         .len()
+}
+
+/// A table where one partition holds ~92% of the rows, hash-distributed
+/// on the group column `b` so a group-by-`b` aggregate runs co-located:
+/// the whole scan → filter → agg pipeline is one fused slice the morsel
+/// scheduler can cut up, while the per-segment baseline serializes the
+/// hot partition onto one task.
+fn mk_skew_db(rows: usize) -> MppDb {
+    let db = MppDb::with_config(OptimizerConfig {
+        num_segments: 4,
+        ..OptimizerConfig::default()
+    })
+    .with_exec_mode(ExecMode::Parallel)
+    .with_exec_engine(ExecEngine::Batch);
+    setup_skewed(
+        db.storage(),
+        "skew",
+        &SynthConfig {
+            r_rows: rows,
+            s_rows: 0,
+            r_parts: Some(16),
+            s_parts: None,
+            b_domain: 4096,
+            a_domain: 200,
+            seed: 2014,
+        },
+        92,
+        1,
+    )
+    .unwrap();
+    db
+}
+
+/// One batch-engine execution under an explicit scheduler config.
+fn run_sched(db: &MppDb, q: &mppart::PreparedQuery, sched: &SchedConfig) -> usize {
+    q.prepared_plan()
+        .execute_engine_sched(
+            db.storage(),
+            &[],
+            ExecMode::Parallel,
+            ExecEngine::Batch,
+            sched,
+        )
+        .unwrap()
+        .rows
+        .len()
+}
+
+/// Morsel-driven work stealing vs the per-segment-thread baseline on the
+/// skewed table. Returns the measured speedup (None in smoke mode, which
+/// only checks result equality).
+fn skew_bench(smoke: bool) -> Option<f64> {
+    let rows = scaled(if smoke { 20_000 } else { 400_000 });
+    let db = mk_skew_db(rows);
+    let sql = "SELECT b, COUNT(*), SUM(a) FROM skew WHERE a < 150 GROUP BY b";
+    let q = db.prepare(sql).unwrap();
+    let morsel = SchedConfig {
+        workers: Some(4),
+        policy: SchedPolicy::Morsel,
+        morsel_rows: 4096,
+    };
+    let baseline = SchedConfig {
+        workers: None,
+        policy: SchedPolicy::PerSegment,
+        morsel_rows: 4096,
+    };
+
+    // Both schedules must agree exactly before any timing means a thing.
+    let m = q
+        .prepared_plan()
+        .execute_engine_sched(
+            db.storage(),
+            &[],
+            ExecMode::Parallel,
+            ExecEngine::Batch,
+            &morsel,
+        )
+        .unwrap();
+    let b = q
+        .prepared_plan()
+        .execute_engine_sched(
+            db.storage(),
+            &[],
+            ExecMode::Parallel,
+            ExecEngine::Batch,
+            &baseline,
+        )
+        .unwrap();
+    assert_eq!(
+        sorted(m.rows),
+        sorted(b.rows),
+        "schedulers disagree on {sql}"
+    );
+
+    if smoke {
+        println!(
+            "{rows:>9} rows  skew (hot part ~92%)  agg: morsel == per-segment rows ok (smoke)"
+        );
+        return None;
+    }
+
+    let (t_base, t_morsel) = time_median_pair(
+        9,
+        || black_box(run_sched(&db, &q, &baseline)),
+        || black_box(run_sched(&db, &q, &morsel)),
+    );
+    let speedup = t_base.as_secs_f64() / t_morsel.as_secs_f64().max(1e-9);
+    println!(
+        "{rows:>9} rows  skew (hot part ~92%)  agg Parallel: per-segment {:>9.3?}  \
+         morsel {:>9.3?}  speedup {speedup:>5.2}x",
+        t_base, t_morsel
+    );
+    write_result(
+        "BENCH_batch",
+        &serde_json::json!({
+            "bench": "skew_pipeline",
+            "rows": rows,
+            "parts": 16,
+            "hot_pct": 92,
+            "query": "agg",
+            "mode": "Parallel",
+            "segments": 4,
+            "per_segment_ms": t_base.as_secs_f64() * 1e3,
+            "morsel_ms": t_morsel.as_secs_f64() * 1e3,
+            "speedup": speedup,
+            "smoke": smoke,
+        }),
+    );
+    Some(speedup)
 }
 
 fn main() {
@@ -147,6 +277,8 @@ fn main() {
     }
     group.finish();
 
+    let skew_speedup = skew_bench(smoke);
+
     if let Some(speedup) = speedup_100k_filter {
         assert!(
             speedup >= 2.0,
@@ -154,5 +286,13 @@ fn main() {
              100k scan+filter pipeline, measured {speedup:.2}x"
         );
         println!("\nacceptance: 100k scan+filter speedup {speedup:.2}x (>= 2x) ok");
+    }
+    if let Some(speedup) = skew_speedup {
+        assert!(
+            speedup >= 2.0,
+            "acceptance: morsel work-stealing must be >= 2x the per-segment \
+             baseline on the skewed aggregate, measured {speedup:.2}x"
+        );
+        println!("acceptance: skewed-partition morsel speedup {speedup:.2}x (>= 2x) ok");
     }
 }

@@ -447,6 +447,26 @@ impl RowBlock {
         }
     }
 
+    /// A view of the logical rows `lo..hi` (morsel cut). Columns are
+    /// shared, not copied: a dense block gets a dense range selection, a
+    /// filtered block a sub-slice of its selection. `lo == 0 && hi ==
+    /// len()` returns a plain clone so single-morsel blocks stay dense.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> RowBlock {
+        debug_assert!(lo <= hi && hi <= self.len());
+        if lo == 0 && hi == self.len() {
+            return self.clone();
+        }
+        let sel = match &self.sel {
+            None => (lo as u32..hi as u32).collect(),
+            Some(sel) => sel[lo..hi].to_vec(),
+        };
+        RowBlock {
+            columns: self.columns.clone(),
+            rows: self.rows,
+            sel: Some(sel),
+        }
+    }
+
     /// Keep the listed columns, in order (projection by position). Columns
     /// are shared, not copied; the selection carries over.
     pub fn project(&self, cols: &[usize]) -> RowBlock {
@@ -638,6 +658,28 @@ mod tests {
         s.truncate(2);
         assert_eq!(s.to_rows().len(), 2);
         assert_eq!(s.to_rows()[1], sample_rows()[2]);
+    }
+
+    #[test]
+    fn slice_rows_cuts_logical_ranges() {
+        let rows = sample_rows();
+        let b = RowBlock::from_rows(&rows, 3);
+        // Whole-range slice of a dense block stays dense (shared columns).
+        let whole = b.slice_rows(0, 4);
+        assert!(whole.sel().is_none());
+        assert!(Arc::ptr_eq(&whole.columns()[0], &b.columns()[0]));
+        let m = b.slice_rows(1, 3);
+        assert_eq!(m.to_rows(), vec![rows[1].clone(), rows[2].clone()]);
+        assert!(Arc::ptr_eq(&m.columns()[0], &b.columns()[0]));
+        // Slicing a filtered block sub-slices its selection.
+        let f = b.clone().with_sel(vec![0, 2, 3]);
+        let fm = f.slice_rows(1, 3);
+        assert_eq!(fm.to_rows(), vec![rows[2].clone(), rows[3].clone()]);
+        assert!(fm.slice_rows(0, 0).is_empty());
+        // Morsel cuts tile the block: concatenation restores the rows.
+        let parts: Vec<RowBlock> = (0..2).map(|k| b.slice_rows(k * 2, k * 2 + 2)).collect();
+        let back = RowBlock::concat(&parts, 3);
+        assert_eq!(back.to_rows(), rows);
     }
 
     #[test]

@@ -27,8 +27,7 @@
 
 use crate::context::ExecContext;
 use crate::exec::{compiled, exec, hash_join, nl_join, AggExec, TupleSelector};
-use crate::pool;
-use crate::slice::SlicePlan;
+use crate::stats::SegmentStats;
 use mpp_common::{ColumnVec, Datum, Error, MotionId, Result, Row, RowBlock, SegmentId};
 use mpp_expr::analysis::DerivedSet;
 use mpp_expr::{CompiledExpr, Expr};
@@ -36,7 +35,6 @@ use mpp_plan::{JoinType, MotionKind, PhysicalPlan};
 use mpp_storage::{PhysId, Storage};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Flatten chunk lists back into rows (operator fallbacks and the root).
 pub(crate) fn blocks_to_rows(chunks: &[RowBlock]) -> Vec<Row> {
@@ -44,7 +42,7 @@ pub(crate) fn blocks_to_rows(chunks: &[RowBlock]) -> Vec<Row> {
 }
 
 /// Wrap a row-engine result back into (at most one) chunk.
-fn rows_to_chunks(rows: Vec<Row>, width: usize) -> Vec<RowBlock> {
+pub(crate) fn rows_to_chunks(rows: Vec<Row>, width: usize) -> Vec<RowBlock> {
     if rows.is_empty() {
         Vec::new()
     } else {
@@ -410,25 +408,36 @@ fn filter_blocks(
     let pred = compiled(pred, cols, ctx);
     let mut out = Vec::with_capacity(chunks.len());
     for b in chunks {
-        let n = b.len() as u64;
-        let (sel, fell_back) = pred.eval_predicate_block(&b)?;
-        let keep = !sel.is_empty();
-        {
-            let mut stats = ctx.seg_stats(seg);
-            if fell_back {
-                stats.rows_row_fallback += n;
-            } else {
-                stats.rows_vectorized += n;
-            }
-            if keep {
-                stats.blocks_produced += 1;
-            }
-        }
-        if keep {
-            out.push(b.with_sel(sel));
+        let mut stats = ctx.seg_stats(seg);
+        if let Some(nb) = filter_block_core(&pred, b, &mut stats)? {
+            drop(stats);
+            out.push(nb);
         }
     }
     Ok(out)
+}
+
+/// Filter one chunk against a compiled predicate, recording stats into
+/// the given buffer. Returns `None` when every row is filtered out (a
+/// dead chunk produces no `blocks_produced` tick).
+pub(crate) fn filter_block_core(
+    pred: &CompiledExpr,
+    b: RowBlock,
+    stats: &mut SegmentStats,
+) -> Result<Option<RowBlock>> {
+    let n = b.len() as u64;
+    let (sel, fell_back) = pred.eval_predicate_block(&b)?;
+    if fell_back {
+        stats.rows_row_fallback += n;
+    } else {
+        stats.rows_vectorized += n;
+    }
+    if sel.is_empty() {
+        Ok(None)
+    } else {
+        stats.blocks_produced += 1;
+        Ok(Some(b.with_sel(sel)))
+    }
 }
 
 /// Project one block column-at-a-time, with a joint row-major fallback
@@ -438,6 +447,17 @@ fn project_block(
     b: &RowBlock,
     seg: SegmentId,
     ctx: &ExecContext<'_>,
+) -> Result<RowBlock> {
+    let mut stats = ctx.seg_stats(seg);
+    project_block_core(exprs, b, &mut stats)
+}
+
+/// Project one chunk, recording stats into the given buffer (strict
+/// columnar evaluation with a joint row-major fallback).
+pub(crate) fn project_block_core(
+    exprs: &[Arc<CompiledExpr>],
+    b: &RowBlock,
+    stats: &mut SegmentStats,
 ) -> Result<RowBlock> {
     let mut cols = Vec::with_capacity(exprs.len());
     let mut strict = true;
@@ -451,7 +471,7 @@ fn project_block(
         }
     }
     if strict {
-        ctx.seg_stats(seg).rows_vectorized += b.len() as u64;
+        stats.rows_vectorized += b.len() as u64;
         return Ok(RowBlock::from_columns(cols, b.len()));
     }
     let mut rows = Vec::with_capacity(b.len());
@@ -463,7 +483,7 @@ fn project_block(
             .collect::<Result<Vec<_>>>()?;
         rows.push(Row::new(vals));
     }
-    ctx.seg_stats(seg).rows_row_fallback += b.len() as u64;
+    stats.rows_row_fallback += b.len() as u64;
     Ok(RowBlock::from_rows(&rows, exprs.len()))
 }
 
@@ -719,94 +739,152 @@ fn route_motion_blocks(
     }
 }
 
-/// The parallel stage driver over block payloads — the block-engine twin
-/// of [`crate::exec::exec_parallel`]. Gather stages pre-route by cloning
-/// chunk lists (column refcount bumps), so the serial cost the row
-/// engine's preroute avoids is near-zero here to begin with.
-pub(crate) fn exec_parallel_blocks(
-    plan: &PhysicalPlan,
-    storage: &Storage,
-    ctx: &ExecContext<'_>,
-) -> Result<Vec<Row>> {
-    let slices = SlicePlan::cut(plan);
-    ctx.freeze_motions();
-    let segs: Vec<SegmentId> = storage.segments().collect();
-    let Some((&first, rest)) = segs.split_first() else {
-        return Ok(Vec::new());
-    };
-    let timed = |node: &PhysicalPlan, seg: SegmentId| {
-        let t0 = Instant::now();
-        let res = exec_block(node, seg, storage, ctx);
-        ctx.seg_stats(seg).elapsed += t0.elapsed();
-        res
-    };
-
-    type SegOut = Result<(Vec<RowBlock>, Vec<RowBlock>)>;
-    let run_slice =
-        |node: &PhysicalPlan, preroute: bool| -> Result<(Vec<Vec<RowBlock>>, Vec<RowBlock>)> {
-            let run = |seg: SegmentId| -> SegOut {
-                timed(node, seg).map(|chunks| {
-                    let copy = if preroute { chunks.clone() } else { Vec::new() };
-                    (chunks, copy)
-                })
-            };
-            let mut slots: Vec<Option<SegOut>> = Vec::new();
-            slots.resize_with(rest.len(), || None);
-            let run = &run;
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = rest
-                .iter()
-                .zip(slots.iter_mut())
-                .map(|(&seg, slot)| {
-                    Box::new(move || {
-                        *slot = Some(run(seg));
-                    }) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            let (first_res, _oks) = pool::run_with(jobs, || run(first));
-            let mut joined = vec![first_res];
-            joined.extend(slots.into_iter().map(|slot| {
-                slot.unwrap_or_else(|| Err(Error::Internal("segment worker panicked".into())))
-            }));
-            let pairs: Vec<(Vec<RowBlock>, Vec<RowBlock>)> =
-                joined.into_iter().collect::<Result<_>>()?;
-            let mut per_source = Vec::with_capacity(pairs.len());
-            let mut routed = Vec::new();
-            for (chunks, copy) in pairs {
-                per_source.push(chunks);
-                routed.extend(copy);
-            }
-            Ok((per_source, routed))
-        };
-
-    for site in &slices.stages {
-        let id = ctx.motion_id_of(site.node)?;
-        // Skip stages already materialized — by an earlier stage, or by
-        // the init-plan phase (init subtrees run the row engine and cache
-        // rows; their Motions are never consumed by the main traversal).
-        if ctx.motion_cached_blocks(id).is_some() || ctx.motion_cached(id).is_some() {
-            continue;
-        }
-        let preroute = matches!(site.kind, MotionKind::Gather);
-        let (per_source, routed) = run_slice(site.child, preroute)?;
-        let counts: Vec<u64> = per_source
-            .iter()
-            .map(|chunks| chunks.iter().map(|b| b.len() as u64).sum())
-            .collect();
-        ctx.record_motion_counts(id, &counts);
-        ctx.motion_store_blocks(id, Arc::new(per_source));
-        if preroute {
-            ctx.preroute_blocks_put(id, routed);
-        }
-    }
-    let (per_segment, _) = run_slice(slices.root, false)?;
-    Ok(per_segment
-        .into_iter()
-        .flatten()
-        .flat_map(|b| b.to_rows())
-        .collect())
-}
-
 // Keep the unused-import lint honest when DerivedSet is only referenced
 // by the static-selector delegation above.
 #[allow(unused)]
 fn _derived_set_marker(_d: DerivedSet) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_with_params_engine, ExecEngine, ExecMode, QueryResult};
+    use mpp_catalog::{Catalog, Distribution, TableDesc};
+    use mpp_common::{row, Column, DataType, Schema, TableOid};
+    use mpp_expr::{CmpOp, ColRef};
+    use mpp_plan::{AggCall, AggFunc};
+
+    fn cr(id: u32, name: &str) -> ColRef {
+        ColRef::new(id, name)
+    }
+
+    fn setup(segs: usize, rows: Vec<Row>) -> (Storage, TableOid) {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::new("g", DataType::Int64),
+        ]);
+        let t = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: t,
+            name: "t".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        let st = Storage::new(cat, segs);
+        st.insert(t, rows).unwrap();
+        (st, t)
+    }
+
+    fn scan(t: TableOid) -> PhysicalPlan {
+        PhysicalPlan::TableScan {
+            table: t,
+            table_name: "t".into(),
+            output: vec![cr(1, "a"), cr(2, "g")],
+            filter: None,
+        }
+    }
+
+    fn batch(st: &Storage, plan: &PhysicalPlan, mode: ExecMode) -> QueryResult {
+        execute_with_params_engine(st, plan, &[], mode, ExecEngine::Batch).unwrap()
+    }
+
+    /// A filter that keeps nothing must still count the rows it
+    /// inspected, but must not count a produced block for the dead chunk
+    /// — and downstream operators must see clean empty input.
+    #[test]
+    fn fully_filtered_chunks_leave_no_phantom_stats() {
+        let rows: Vec<Row> = (0..50).map(|i| row![i as i64, 0i64]).collect();
+        let (st, t) = setup(2, rows);
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Filter {
+                pred: Expr::cmp(
+                    CmpOp::Lt,
+                    Expr::col(cr(1, "a")),
+                    Expr::lit(Datum::Int64(-1)),
+                ),
+                child: Box::new(scan(t)),
+            }),
+        };
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let res = batch(&st, &plan, mode);
+            assert!(res.rows.is_empty(), "{mode:?}");
+            assert_eq!(res.stats.rows_vectorized, 50, "{mode:?}");
+            assert_eq!(res.stats.blocks_produced, 0, "{mode:?}");
+            assert_eq!(res.stats.rows_row_fallback, 0, "{mode:?}");
+        }
+    }
+
+    /// An empty table produces no blocks at all: zero vectorized rows,
+    /// zero produced blocks — and a scalar aggregate above it still
+    /// emits its one default row, from segment 0 only.
+    #[test]
+    fn empty_input_yields_no_stats_but_keeps_the_agg_default_row() {
+        let (st, t) = setup(3, Vec::new());
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::HashAgg {
+                group_by: vec![],
+                aggs: vec![
+                    AggCall::count_star(),
+                    AggCall::new(AggFunc::Max, Expr::col(cr(1, "a"))),
+                ],
+                output: vec![cr(10, "count"), cr(11, "max")],
+                child: Box::new(scan(t)),
+            }),
+        };
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let res = batch(&st, &plan, mode);
+            assert_eq!(
+                res.rows,
+                vec![Row::new(vec![Datum::Int64(0), Datum::Null])],
+                "{mode:?}"
+            );
+            assert_eq!(res.stats.rows_vectorized, 0, "{mode:?}");
+            assert_eq!(res.stats.rows_row_fallback, 0, "{mode:?}");
+        }
+    }
+
+    /// All-NULL group keys are one real group (`NULL` groups with
+    /// `NULL`), not zero groups and not one group per row.
+    #[test]
+    fn all_null_group_keys_form_exactly_one_group() {
+        let rows: Vec<Row> = (0..20).map(|i| row![i as i64, Datum::Null]).collect();
+        let (st, t) = setup(2, rows);
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Motion {
+                kind: MotionKind::Redistribute(vec![cr(2, "g")]),
+                child: Box::new(PhysicalPlan::HashAgg {
+                    group_by: vec![cr(2, "g")],
+                    aggs: vec![
+                        AggCall::count_star(),
+                        AggCall::new(AggFunc::Count, Expr::col(cr(2, "g"))),
+                    ],
+                    output: vec![cr(2, "g"), cr(10, "count"), cr(11, "count_g")],
+                    child: Box::new(scan(t)),
+                }),
+            }),
+        };
+        for engine in [ExecEngine::Batch, ExecEngine::Row] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                let res = execute_with_params_engine(&st, &plan, &[], mode, engine).unwrap();
+                // One group per *segment* that saw rows, all keyed NULL;
+                // COUNT(g) over an all-NULL column is 0.
+                assert!(!res.rows.is_empty(), "{engine:?} {mode:?}");
+                let total: i64 = res
+                    .rows
+                    .iter()
+                    .map(|r| r.values()[1].as_i64().unwrap())
+                    .sum();
+                assert_eq!(total, 20, "{engine:?} {mode:?}");
+                for r in &res.rows {
+                    assert_eq!(r.values()[0], Datum::Null, "{engine:?} {mode:?}");
+                    assert_eq!(r.values()[2], Datum::Int64(0), "{engine:?} {mode:?}");
+                }
+            }
+        }
+    }
+}

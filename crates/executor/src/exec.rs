@@ -14,9 +14,9 @@
 //! Both produce the same rows and the same merged statistics.
 
 use crate::context::ExecContext;
-use crate::pool;
+use crate::morsel::{self, SchedConfig};
 use crate::prepared::CompiledCache;
-use crate::slice::{init_plan_sites, SlicePlan};
+use crate::slice::init_plan_sites;
 use crate::stats::ExecutionStats;
 use mpp_catalog::PartTree;
 use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
@@ -162,6 +162,19 @@ pub fn execute_with_params_engine(
     run_plan(storage, plan, params, mode, engine, None)
 }
 
+/// Execute with full control over mode, [`ExecEngine`] and the morsel
+/// scheduler's [`SchedConfig`].
+pub fn execute_with_params_sched(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+    engine: ExecEngine,
+    sched: &SchedConfig,
+) -> Result<QueryResult> {
+    run_plan_sched(storage, plan, params, mode, engine, None, sched)
+}
+
 /// The shared driver behind ad-hoc and prepared execution: the optional
 /// [`CompiledCache`] carries a prepared plan's expression templates.
 pub(crate) fn run_plan(
@@ -171,6 +184,26 @@ pub(crate) fn run_plan(
     mode: ExecMode,
     engine: ExecEngine,
     cache: Option<&CompiledCache>,
+) -> Result<QueryResult> {
+    run_plan_sched(
+        storage,
+        plan,
+        params,
+        mode,
+        engine,
+        cache,
+        &SchedConfig::default(),
+    )
+}
+
+pub(crate) fn run_plan_sched(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+    engine: ExecEngine,
+    cache: Option<&CompiledCache>,
+    sched: &SchedConfig,
 ) -> Result<QueryResult> {
     // DML mutates shared storage from one driver thread in either mode;
     // its children still execute per segment, with Motions materialized
@@ -206,142 +239,14 @@ pub(crate) fn run_plan(
         ctx.seg_stats(SegmentId(0)).elapsed += t0.elapsed();
         rows
     } else {
-        match (eff_engine, eff_mode) {
-            (ExecEngine::Row, ExecMode::Sequential) => {
-                // Every segment runs its slice; the union of slice
-                // outputs is the query result (a root Gather makes all
-                // but segment 0 empty).
-                let mut out = Vec::new();
-                for seg in storage.segments() {
-                    let t0 = Instant::now();
-                    let rows = exec(plan, seg, storage, &ctx)?;
-                    ctx.seg_stats(seg).elapsed += t0.elapsed();
-                    out.extend(rows);
-                }
-                out
-            }
-            (ExecEngine::Row, ExecMode::Parallel) => exec_parallel(plan, storage, &ctx)?,
-            (ExecEngine::Batch, ExecMode::Sequential) => {
-                // Same driver shape, block payloads: rows materialize
-                // exactly once, at the root.
-                let mut out = Vec::new();
-                for seg in storage.segments() {
-                    let t0 = Instant::now();
-                    let chunks = crate::block_exec::exec_block(plan, seg, storage, &ctx)?;
-                    ctx.seg_stats(seg).elapsed += t0.elapsed();
-                    out.extend(chunks.iter().flat_map(|b| b.to_rows()));
-                }
-                out
-            }
-            (ExecEngine::Batch, ExecMode::Parallel) => {
-                crate::block_exec::exec_parallel_blocks(plan, storage, &ctx)?
-            }
-        }
+        // One stage driver for both modes and both engines: the plan is
+        // cut into slices at Motion boundaries and each stage's work runs
+        // on the morsel scheduler (Sequential = one worker).
+        morsel::run_stages(plan, storage, &ctx, eff_engine, sched)?
     };
     let mut stats = ctx.into_stats();
     stats.rows_returned = rows.len() as u64;
     Ok(QueryResult { rows, stats })
-}
-
-/// The multi-process-shaped driver: materialize every Motion stage in
-/// children-before-parents order, then run the root slice.
-///
-/// Each stage fans out to the long-lived per-segment worker threads of
-/// [`crate::pool`] — mirroring an MPP cluster's persistent segment
-/// processes, and keeping thread start-up latency off every stage's
-/// critical path. Segment 0 runs inline on the driver thread: a root
-/// Gather concentrates its work there, and keeping that path on one
-/// warm thread across stages is what makes parallel execution no slower
-/// than sequential even for plans whose upper slice is inherently
-/// serial.
-fn exec_parallel(
-    plan: &PhysicalPlan,
-    storage: &Storage,
-    ctx: &ExecContext<'_>,
-) -> Result<Vec<Row>> {
-    let slices = SlicePlan::cut(plan);
-    // From here on every Motion a worker reads must come from a stage
-    // (or from the init-plan phase, which may have materialized Motions
-    // inside init subtrees already — those stages are skipped).
-    ctx.freeze_motions();
-    let segs: Vec<SegmentId> = storage.segments().collect();
-    let Some((&first, rest)) = segs.split_first() else {
-        return Ok(Vec::new());
-    };
-    let timed = |node: &PhysicalPlan, seg: SegmentId| {
-        let t0 = Instant::now();
-        let res = exec(node, seg, storage, ctx);
-        ctx.seg_stats(seg).elapsed += t0.elapsed();
-        res
-    };
-
-    // Run one slice on every segment concurrently; results come back in
-    // segment order — the same order the sequential driver produces — so
-    // downstream routing, result concatenation and first-error selection
-    // are mode-independent. Every worker runs the slice to completion
-    // even when another segment errors, exactly as the sequential loop
-    // visits every segment's already-started work.
-    //
-    // With `preroute` set (Gather stages), each worker also clones its
-    // own output while the rows are still warm in its cache: a Gather
-    // concentrates all rows on segment 0, and cloning the whole cache
-    // there serially — cold — is the one part of a gather-rooted plan
-    // that parallelism would otherwise make *slower* than sequential.
-    // A segment's slice output plus (for Gather stages) its pre-routed copy.
-    type SegOut = Result<(Vec<Row>, Vec<Row>)>;
-    let run_slice = |node: &PhysicalPlan, preroute: bool| -> Result<(Vec<Vec<Row>>, Vec<Row>)> {
-        let run = |seg: SegmentId| -> SegOut {
-            timed(node, seg).map(|rows| {
-                let copy = if preroute { rows.clone() } else { Vec::new() };
-                (rows, copy)
-            })
-        };
-        let mut slots: Vec<Option<SegOut>> = Vec::new();
-        slots.resize_with(rest.len(), || None);
-        let run = &run;
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = rest
-            .iter()
-            .zip(slots.iter_mut())
-            .map(|(&seg, slot)| {
-                Box::new(move || {
-                    *slot = Some(run(seg));
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        let (first_res, _oks) = pool::run_with(jobs, || run(first));
-        let mut joined = vec![first_res];
-        joined.extend(slots.into_iter().map(|slot| {
-            // An empty slot means the job never finished — its worker
-            // panicked mid-slice.
-            slot.unwrap_or_else(|| Err(Error::Internal("segment worker panicked".into())))
-        }));
-        let pairs: Vec<(Vec<Row>, Vec<Row>)> = joined.into_iter().collect::<Result<_>>()?;
-        let mut per_source = Vec::with_capacity(pairs.len());
-        let mut routed = Vec::new();
-        for (rows, copy) in pairs {
-            per_source.push(rows);
-            routed.extend(copy);
-        }
-        Ok((per_source, routed))
-    };
-
-    for site in &slices.stages {
-        let id = ctx.motion_id_of(site.node)?;
-        if ctx.motion_cached(id).is_some() {
-            continue;
-        }
-        let preroute = matches!(site.kind, MotionKind::Gather);
-        let (per_source, routed) = run_slice(site.child, preroute)?;
-        ctx.record_motion(id, &per_source);
-        ctx.motion_store(id, Arc::new(per_source));
-        if preroute {
-            // Concatenated in segment order — byte-identical to what
-            // `route_motion` would assemble for segment 0.
-            ctx.preroute_put(id, routed);
-        }
-    }
-    let (per_segment, _) = run_slice(slices.root, false)?;
-    Ok(per_segment.into_iter().flatten().collect())
 }
 
 fn is_dml(plan: &PhysicalPlan) -> bool {

@@ -33,6 +33,7 @@
 pub mod block_exec;
 pub mod context;
 pub mod exec;
+pub mod morsel;
 mod pool;
 pub mod prepared;
 pub mod slice;
@@ -44,8 +45,10 @@ mod motion_tests;
 pub use context::ExecContext;
 pub use exec::{
     execute, execute_mode, execute_with_params, execute_with_params_engine,
-    execute_with_params_mode, ExecEngine, ExecMode, Executor, QueryResult,
+    execute_with_params_mode, execute_with_params_sched, ExecEngine, ExecMode, Executor,
+    QueryResult,
 };
+pub use morsel::{SchedConfig, SchedPolicy};
 pub use prepared::{execute_prepared, CompiledCache, PreparedPlan};
 pub use slice::SlicePlan;
 pub use stats::{ExecutionStats, SegmentStats};

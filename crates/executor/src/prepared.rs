@@ -18,7 +18,8 @@
 //! reaches occupy cache space.
 
 use crate::context::ExecContext;
-use crate::exec::{run_plan, ExecEngine, ExecMode, QueryResult};
+use crate::exec::{run_plan, run_plan_sched, ExecEngine, ExecMode, QueryResult};
+use crate::morsel::SchedConfig;
 use mpp_common::{Datum, Result};
 use mpp_expr::{compile, ColRef, CompiledExpr, EvalContext, Expr};
 use mpp_plan::PhysicalPlan;
@@ -107,6 +108,27 @@ impl PreparedPlan {
         engine: ExecEngine,
     ) -> Result<QueryResult> {
         run_plan(storage, &self.plan, params, mode, engine, Some(&self.cache))
+    }
+
+    /// [`PreparedPlan::execute_engine`] with an explicit scheduler
+    /// configuration (worker count, decomposition policy, morsel size).
+    pub fn execute_engine_sched(
+        &self,
+        storage: &Storage,
+        params: &[Datum],
+        mode: ExecMode,
+        engine: ExecEngine,
+        sched: &SchedConfig,
+    ) -> Result<QueryResult> {
+        run_plan_sched(
+            storage,
+            &self.plan,
+            params,
+            mode,
+            engine,
+            Some(&self.cache),
+            sched,
+        )
     }
 }
 

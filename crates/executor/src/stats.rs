@@ -56,6 +56,25 @@ impl SegmentStats {
         self.table_scans += 1;
         self.tuples_scanned += tuples as u64;
     }
+
+    /// Fold another stats buffer into this one (same field set as
+    /// [`ExecutionStats::merge_segments`], plus `elapsed`). Used by the
+    /// morsel scheduler to absorb a segment's buffered counters only
+    /// once the whole segment has succeeded.
+    pub fn absorb(&mut self, other: SegmentStats) {
+        self.elapsed += other.elapsed;
+        for (table, parts) in other.parts_scanned {
+            self.parts_scanned.entry(table).or_default().extend(parts);
+        }
+        self.part_opens += other.part_opens;
+        self.table_scans += other.table_scans;
+        self.tuples_scanned += other.tuples_scanned;
+        self.rows_moved += other.rows_moved;
+        self.selector_runs += other.selector_runs;
+        self.rows_vectorized += other.rows_vectorized;
+        self.rows_row_fallback += other.rows_row_fallback;
+        self.blocks_produced += other.blocks_produced;
+    }
 }
 
 /// Counters for one query execution, merged across segments.

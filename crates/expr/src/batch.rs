@@ -225,12 +225,213 @@ fn between_const_trools(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Word-packed predicate masks.
+//
+// For predicate trees whose every leaf compares a *typed* (hence
+// null-free) column against a class-compatible non-NULL constant, the
+// three-valued logic above collapses to plain two-valued logic: no leaf
+// can yield NULL or error, so `AND`/`OR` lose their alive-set bookkeeping
+// and `NOT` is a pure complement. Those trees evaluate here as one bit
+// per physical row packed into `u64` words — leaves run branch-free
+// store loops the compiler autovectorizes, combinators run word-at-a-time
+// (64 rows per op), and the final mask compacts into a selection vector
+// without a branch per row. Anything outside the shape (NULL-able `Any`
+// columns, NULL constants, strings, arithmetic) returns `None` and takes
+// the exact trools path below.
+
+/// Set bit `i` of the mask for every row where `f` holds — branch-free,
+/// one shift/or per element.
+#[inline]
+fn fill_mask<T: Copy>(vals: &[T], mask: &mut [u64], f: impl Fn(T) -> bool) {
+    for (i, &x) in vals.iter().enumerate() {
+        mask[i >> 6] |= (f(x) as u64) << (i & 63);
+    }
+}
+
+/// Integer-class `col OP const` kernels, one monomorphized loop per op.
+#[inline]
+fn cmp_mask_int<T: Copy>(v: &[T], to: impl Fn(T) -> i64 + Copy, op: CmpOp, c: i64, m: &mut [u64]) {
+    match op {
+        CmpOp::Eq => fill_mask(v, m, |x| to(x) == c),
+        CmpOp::Ne => fill_mask(v, m, |x| to(x) != c),
+        CmpOp::Lt => fill_mask(v, m, |x| to(x) < c),
+        CmpOp::Le => fill_mask(v, m, |x| to(x) <= c),
+        CmpOp::Gt => fill_mask(v, m, |x| to(x) > c),
+        CmpOp::Ge => fill_mask(v, m, |x| to(x) >= c),
+    }
+}
+
+/// Float-class kernels — `total_cmp`, bit-identical to the trools loops.
+#[inline]
+fn cmp_mask_f64<T: Copy>(v: &[T], to: impl Fn(T) -> f64 + Copy, op: CmpOp, c: f64, m: &mut [u64]) {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => fill_mask(v, m, |x| to(x).total_cmp(&c) == Equal),
+        CmpOp::Ne => fill_mask(v, m, |x| to(x).total_cmp(&c) != Equal),
+        CmpOp::Lt => fill_mask(v, m, |x| to(x).total_cmp(&c) == Less),
+        CmpOp::Le => fill_mask(v, m, |x| to(x).total_cmp(&c) != Greater),
+        CmpOp::Gt => fill_mask(v, m, |x| to(x).total_cmp(&c) == Greater),
+        CmpOp::Ge => fill_mask(v, m, |x| to(x).total_cmp(&c) != Less),
+    }
+}
+
+/// Clear the mask bits at and past `n` (the tail of the last word), so a
+/// complement never invents rows beyond the block.
+#[inline]
+fn zero_tail(mask: &mut [u64], n: usize) {
+    if n & 63 != 0 {
+        if let Some(last) = mask.last_mut() {
+            *last &= (1u64 << (n & 63)) - 1;
+        }
+    }
+}
+
+/// `col OP const` as a physical-row mask, for null-free typed columns in
+/// the same comparability class as the constant.
+fn cmp_const_mask(col: &ColumnVec, op: CmpOp, val: &Datum, n: usize) -> Option<Vec<u64>> {
+    if val.is_null() {
+        return None;
+    }
+    let mut mask = vec![0u64; n.div_ceil(64)];
+    match (col, const_i64(val), const_f64(val)) {
+        (ColumnVec::Int32(v), Some(c), _) => cmp_mask_int(v, |x| x as i64, op, c, &mut mask),
+        (ColumnVec::Int64(v), Some(c), _) => cmp_mask_int(v, |x| x, op, c, &mut mask),
+        (ColumnVec::Date(v), Some(c), _) => cmp_mask_int(v, |x| x as i64, op, c, &mut mask),
+        (ColumnVec::Int32(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
+        (ColumnVec::Int64(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
+        (ColumnVec::Date(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
+        (ColumnVec::Float64(v), _, Some(c)) => cmp_mask_f64(v, |x| x, op, c, &mut mask),
+        _ => return None,
+    }
+    Some(mask)
+}
+
+/// `col BETWEEN low AND high` as a physical-row mask (numeric classes
+/// only — the same combinations `between_const_trools` runs typed).
+fn between_const_mask(col: &ColumnVec, low: &Datum, high: &Datum, n: usize) -> Option<Vec<u64>> {
+    let mut mask = vec![0u64; n.div_ceil(64)];
+    match (col, const_i64(low), const_i64(high)) {
+        (ColumnVec::Int32(v), Some(lo), Some(hi)) => {
+            fill_mask(v, &mut mask, |x| (x as i64) >= lo && (x as i64) <= hi);
+            return Some(mask);
+        }
+        (ColumnVec::Int64(v), Some(lo), Some(hi)) => {
+            fill_mask(v, &mut mask, |x| x >= lo && x <= hi);
+            return Some(mask);
+        }
+        (ColumnVec::Date(v), Some(lo), Some(hi)) => {
+            fill_mask(v, &mut mask, |x| (x as i64) >= lo && (x as i64) <= hi);
+            return Some(mask);
+        }
+        _ => {}
+    }
+    if let (ColumnVec::Float64(v), Some(lo), Some(hi)) = (col, const_f64(low), const_f64(high)) {
+        use std::cmp::Ordering::*;
+        fill_mask(v, &mut mask, |x| {
+            x.total_cmp(&lo) != Less && x.total_cmp(&hi) != Greater
+        });
+        return Some(mask);
+    }
+    None
+}
+
+/// Intersect a physical-row mask with the block's selection. Dense blocks
+/// walk set bits (`trailing_zeros`); filtered blocks compact the selection
+/// with a branch-free conditional append.
+fn mask_to_sel(mask: &[u64], block: &RowBlock) -> Vec<u32> {
+    match block.sel() {
+        None => {
+            let mut out = Vec::with_capacity(block.phys_rows());
+            for (w, &word) in mask.iter().enumerate() {
+                let mut word = word;
+                let base = (w as u32) << 6;
+                while word != 0 {
+                    out.push(base + word.trailing_zeros());
+                    word &= word - 1;
+                }
+            }
+            out
+        }
+        Some(sel) => {
+            let mut out = vec![0u32; sel.len()];
+            let mut k = 0usize;
+            for &i in sel {
+                out[k] = i;
+                k += ((mask[(i >> 6) as usize] >> (i & 63)) & 1) as usize;
+            }
+            out.truncate(k);
+            out
+        }
+    }
+}
+
 impl CompiledExpr {
+    /// Word-packed two-valued evaluation over **all physical rows** of
+    /// `block`, when this predicate provably yields no NULL and no error
+    /// on any row. `None` means "shape not covered" — not a failure.
+    fn try_mask(&self, block: &RowBlock) -> Option<Vec<u64>> {
+        let n = block.phys_rows();
+        match self {
+            CompiledExpr::Col { pos, .. } => match block.columns().get(*pos)?.as_ref() {
+                ColumnVec::Bool(v) => {
+                    let mut mask = vec![0u64; n.div_ceil(64)];
+                    fill_mask(v, &mut mask, |x| x);
+                    Some(mask)
+                }
+                _ => None,
+            },
+            CompiledExpr::CmpColConst { op, pos, val, .. } => {
+                cmp_const_mask(block.columns().get(*pos)?.as_ref(), *op, val, n)
+            }
+            CompiledExpr::BetweenColConst { pos, low, high, .. } => {
+                between_const_mask(block.columns().get(*pos)?.as_ref(), low, high, n)
+            }
+            CompiledExpr::And(exprs) => {
+                let (first, rest) = exprs.split_first()?;
+                let mut acc = first.try_mask(block)?;
+                for e in rest {
+                    let m = e.try_mask(block)?;
+                    for (a, b) in acc.iter_mut().zip(&m) {
+                        *a &= b;
+                    }
+                }
+                Some(acc)
+            }
+            CompiledExpr::Or(exprs) => {
+                let (first, rest) = exprs.split_first()?;
+                let mut acc = first.try_mask(block)?;
+                for e in rest {
+                    let m = e.try_mask(block)?;
+                    for (a, b) in acc.iter_mut().zip(&m) {
+                        *a |= b;
+                    }
+                }
+                Some(acc)
+            }
+            CompiledExpr::Not(e) => {
+                let mut m = e.try_mask(block)?;
+                for w in m.iter_mut() {
+                    *w = !*w;
+                }
+                zero_tail(&mut m, n);
+                Some(m)
+            }
+            _ => None,
+        }
+    }
+
     /// Evaluate a WHERE predicate over `block` and return `(refined
     /// selection, fell_back)`: the physical indices (subset of the block's
     /// selection, in order) where the predicate is `true`. Errors are
     /// exactly the errors per-row filtering raises, at the same first row.
     pub fn eval_predicate_block(&self, block: &RowBlock) -> Result<(Vec<u32>, bool)> {
+        // Null-free typed shapes collapse to two-valued word masks: the
+        // trools below would produce exactly T_TRUE/T_FALSE with the same
+        // comparisons, so the mask path is equivalence-preserving.
+        if let Some(mask) = self.try_mask(block) {
+            return Ok((mask_to_sel(&mask, block), false));
+        }
         let ident;
         let sel: &[u32] = match block.sel() {
             Some(s) => s,
@@ -753,6 +954,51 @@ mod tests {
         assert!(!fell_back);
         assert_eq!(vals.len(), 3);
         assert_eq!(vals.get(1), Datum::Int32(3));
+    }
+
+    #[test]
+    fn word_mask_matches_row_path_across_word_boundaries() {
+        // 150 rows spans three mask words with a ragged tail; every op,
+        // plus NOT (tail complement) and nested AND/OR, must agree with
+        // the per-row reference bit for bit.
+        let rows: Vec<Row> = (0..150)
+            .map(|i| row![i % 13, (i * 7 % 29) as i64, "s"])
+            .collect();
+        let ops = [
+            Expr::eq(col(1), Expr::lit(5i32)),
+            Expr::cmp(CmpOp::Ne, col(1), Expr::lit(5i32)),
+            Expr::lt(col(1), Expr::lit(6i32)),
+            Expr::le(col(1), Expr::lit(6i32)),
+            Expr::gt(col(2), Expr::lit(14i64)),
+            Expr::ge(col(2), Expr::lit(14i64)),
+            Expr::between(col(2), Expr::lit(3i64), Expr::lit(21i64)),
+            Expr::Not(Box::new(Expr::lt(col(1), Expr::lit(6i32)))),
+            Expr::and(vec![
+                Expr::gt(col(1), Expr::lit(2i32)),
+                Expr::Not(Box::new(Expr::eq(col(2), Expr::lit(0i64)))),
+            ]),
+            Expr::or(vec![
+                Expr::lt(col(1), Expr::lit(1i32)),
+                Expr::gt(col(2), Expr::lit(25i64)),
+            ]),
+            // Float constant against an integer column.
+            Expr::gt(col(1), Expr::lit(5.5f64)),
+        ];
+        for e in ops {
+            assert_block_matches_rows(&e, &rows);
+        }
+    }
+
+    #[test]
+    fn word_mask_compacts_existing_selection() {
+        let rows: Vec<Row> = (0..100).map(|i| row![i, 0i64, "s"]).collect();
+        let sel: Vec<u32> = (0..100).filter(|i| i % 3 == 0).collect();
+        let block = RowBlock::from_rows(&rows, 3).with_sel(sel.clone());
+        let c = compile(&Expr::lt(col(1), Expr::lit(50i32)), &ctx3());
+        let (got, fell_back) = c.eval_predicate_block(&block).unwrap();
+        assert!(!fell_back);
+        let want: Vec<u32> = sel.into_iter().filter(|&i| i < 50).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

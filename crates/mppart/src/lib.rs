@@ -38,8 +38,8 @@ pub use mpp_workloads as workloads;
 use mpp_catalog::Catalog;
 use mpp_common::{Datum, Error, PartOid, Result, Row};
 use mpp_core::{Optimizer, OptimizerConfig};
-use mpp_executor::{execute_with_params_engine, ExecutionStats, PreparedPlan};
-pub use mpp_executor::{ExecEngine, ExecMode};
+use mpp_executor::{execute_with_params_sched, ExecutionStats, PreparedPlan};
+pub use mpp_executor::{ExecEngine, ExecMode, SchedConfig, SchedPolicy};
 use mpp_expr::ColRefGenerator;
 use mpp_legacy::LegacyPlanner;
 use mpp_plan::{explain, PhysicalPlan};
@@ -136,6 +136,7 @@ pub struct MppDb {
     gen: ColRefGenerator,
     exec_mode: ExecMode,
     exec_engine: ExecEngine,
+    sched: SchedConfig,
 }
 
 impl MppDb {
@@ -159,6 +160,7 @@ impl MppDb {
             gen: ColRefGenerator::new(),
             exec_mode: ExecMode::Sequential,
             exec_engine: ExecEngine::default(),
+            sched: SchedConfig::default(),
         }
     }
 
@@ -190,6 +192,21 @@ impl MppDb {
 
     pub fn exec_engine(&self) -> ExecEngine {
         self.exec_engine
+    }
+
+    /// Same database, with an explicit morsel-scheduler configuration
+    /// (worker count, decomposition policy, morsel size).
+    pub fn with_sched_config(mut self, sched: SchedConfig) -> MppDb {
+        self.sched = sched;
+        self
+    }
+
+    pub fn set_sched_config(&mut self, sched: SchedConfig) {
+        self.sched = sched;
+    }
+
+    pub fn sched_config(&self) -> SchedConfig {
+        self.sched
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -265,12 +282,13 @@ impl MppDb {
                 cache: None,
             });
         }
-        let res = execute_with_params_engine(
+        let res = execute_with_params_sched(
             &self.storage,
             &plan,
             params,
             self.exec_mode,
             self.exec_engine,
+            &self.sched,
         )?;
         Ok(QueryOutcome {
             rows: res.rows,
@@ -322,9 +340,13 @@ impl MppDb {
                 cache: None,
             });
         }
-        let res =
-            q.prepared
-                .execute_engine(&self.storage, params, self.exec_mode, self.exec_engine)?;
+        let res = q.prepared.execute_engine_sched(
+            &self.storage,
+            params,
+            self.exec_mode,
+            self.exec_engine,
+            &self.sched,
+        )?;
         Ok(QueryOutcome {
             rows: res.rows,
             stats: res.stats,

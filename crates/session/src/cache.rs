@@ -115,23 +115,38 @@ impl PlanCache {
     /// Insert a freshly prepared plan, evicting the shard's
     /// least-recently-used entry when at capacity. (The victim scan is
     /// linear in the shard — shards are small by construction.)
+    ///
+    /// Victim selection is version-aware: an entry from an older catalog
+    /// than the inserted plan's is preferred over any live entry and is
+    /// accounted as an *invalidation*, not an eviction — a lookup or
+    /// sweep would have dropped it for the same reason. Counting it as
+    /// an eviction would double-report one catalog bump (once here,
+    /// once in the sweep/lookup bookkeeping) and misstate capacity
+    /// pressure.
     pub fn insert(&self, key: CacheKey, q: Arc<PreparedQuery>) {
         if self.per_shard_cap == 0 {
             return;
         }
+        let current = q.catalog_version();
         let mut guard = self.shard(&key).lock();
         let shard = &mut *guard;
         shard.tick += 1;
         let stamp = shard.tick;
         if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_cap {
+            // `false < true`: stale entries sort before live ones, then
+            // least-recent stamp among equals.
             let victim = shard
                 .map
                 .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone());
-            if let Some(victim) = victim {
+                .min_by_key(|(_, e)| (e.q.catalog_version() == current, e.stamp))
+                .map(|(k, e)| (k.clone(), e.q.catalog_version() != current));
+            if let Some((victim, was_stale)) = victim {
                 shard.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if was_stale {
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         shard.map.insert(key, Entry { q, stamp });
@@ -232,6 +247,64 @@ mod tests {
         // The most recently inserted key of some shard must still be hot.
         let survivors = keys.iter().filter(|k| cache.lookup(k, v).is_some()).count();
         assert_eq!(survivors, cache.len());
+    }
+
+    /// Two distinct keys guaranteed to land in `cache`'s same shard,
+    /// plus `extra` more (probing the private shard mapping directly).
+    fn same_shard_keys(cache: &PlanCache, n: usize) -> Vec<CacheKey> {
+        let first = key("s0");
+        let mut keys = vec![first.clone()];
+        let mut i = 1;
+        while keys.len() < n {
+            let k = key(&format!("s{i}"));
+            if std::ptr::eq(cache.shard(&k), cache.shard(&first)) {
+                keys.push(k);
+            }
+            i += 1;
+        }
+        keys
+    }
+
+    #[test]
+    fn stale_victim_at_insert_counts_once_as_invalidation() {
+        let db = MppDb::new(2);
+        db.sql("CREATE TABLE t (a int)").unwrap();
+        let cache = PlanCache::new(SHARDS); // single-slot shards
+        let keys = same_shard_keys(&cache, 2);
+        cache.insert(keys[0].clone(), prepared(&db, "SELECT a FROM t"));
+        db.sql("CREATE TABLE u (b int)").unwrap(); // keys[0]'s plan is now stale
+        cache.insert(keys[1].clone(), prepared(&db, "SELECT b FROM u"));
+        let info = cache.info(false);
+        assert_eq!(info.evictions, 0, "stale victim misreported as an eviction");
+        assert_eq!(info.invalidations, 1);
+        // The displaced entry is gone; the DDL sweep must not report the
+        // same entry a second time.
+        cache.sweep(db.catalog().version());
+        let info = cache.info(false);
+        assert_eq!((info.evictions, info.invalidations), (0, 1));
+        assert!(cache.lookup(&keys[1], db.catalog().version()).is_some());
+    }
+
+    #[test]
+    fn insert_prefers_stale_victims_over_the_lru_entry() {
+        let db = MppDb::new(2);
+        db.sql("CREATE TABLE t (a int)").unwrap();
+        let cache = PlanCache::new(2 * SHARDS); // two-slot shards
+        let keys = same_shard_keys(&cache, 3);
+        let v0 = db.catalog().version();
+        cache.insert(keys[0].clone(), prepared(&db, "SELECT a FROM t"));
+        db.sql("CREATE TABLE u (b int)").unwrap();
+        cache.insert(keys[1].clone(), prepared(&db, "SELECT b FROM u"));
+        // Touch the stale entry so it is *not* the LRU victim.
+        assert!(cache.lookup(&keys[0], v0).is_some());
+        cache.insert(keys[2].clone(), prepared(&db, "SELECT b FROM u"));
+        // The stale-but-recently-touched entry was displaced, not the
+        // colder live one, and it counted as an invalidation.
+        let v1 = db.catalog().version();
+        assert!(cache.lookup(&keys[1], v1).is_some());
+        assert!(cache.lookup(&keys[0], v1).is_none());
+        let info = cache.info(false);
+        assert_eq!((info.evictions, info.invalidations), (0, 1));
     }
 
     #[test]

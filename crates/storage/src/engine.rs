@@ -193,6 +193,25 @@ impl Storage {
             .collect()
     }
 
+    /// Scan one physical table on one segment as *morsels*: block slices
+    /// of at most `morsel_rows` logical rows, in row order. Each morsel
+    /// shares the stored block's column arcs — slicing allocates only a
+    /// selection vector (and a whole-block morsel not even that). This is
+    /// the unit of work the morsel-driven scheduler steals between
+    /// workers, so a partition's scan parallelizes even when one
+    /// partition holds most of the table.
+    pub fn scan_block_morsels(
+        &self,
+        phys: PhysId,
+        segment: SegmentId,
+        morsel_rows: usize,
+    ) -> Vec<RowBlock> {
+        match self.scan_block(phys, segment) {
+            None => Vec::new(),
+            Some(b) => block_morsels(&b, morsel_rows),
+        }
+    }
+
     /// Scan one physical table on one segment, materializing rows.
     pub fn scan(&self, phys: PhysId, segment: SegmentId) -> Vec<Row> {
         self.inner
@@ -366,6 +385,26 @@ impl Storage {
     }
 }
 
+/// Cut one block into morsels of at most `morsel_rows` logical rows,
+/// preserving row order. A block no larger than one morsel comes back
+/// as a single clone (no selection vector materialized); `morsel_rows`
+/// is clamped to at least 1 so a misconfigured zero still terminates.
+pub fn block_morsels(b: &RowBlock, morsel_rows: usize) -> Vec<RowBlock> {
+    let step = morsel_rows.max(1);
+    let len = b.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(len.div_ceil(step));
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + step).min(len);
+        out.push(b.slice_rows(lo, hi));
+        lo = hi;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +490,31 @@ mod tests {
             .map(|s| st2.scan(PhysId::Table(t2), s).len())
             .collect();
         assert_eq!(seg_with_rows.iter().filter(|&&n| n > 0).count(), 1);
+    }
+
+    #[test]
+    fn morsels_cover_a_segment_in_row_order() {
+        let (st, t) = setup(None, Distribution::Singleton);
+        st.insert(t, (0..25).map(|i| row![i, i * 2])).unwrap();
+        // 25 rows at 7 rows/morsel: 7+7+7+4, in row order, no overlap.
+        let morsels = st.scan_block_morsels(PhysId::Table(t), SegmentId(0), 7);
+        assert_eq!(
+            morsels.iter().map(RowBlock::len).collect::<Vec<_>>(),
+            [7, 7, 7, 4]
+        );
+        let rows: Vec<Row> = morsels.iter().flat_map(RowBlock::to_rows).collect();
+        assert_eq!(rows, st.scan(PhysId::Table(t), SegmentId(0)));
+        // A morsel at least as large as the block is the block itself.
+        let whole = st.scan_block_morsels(PhysId::Table(t), SegmentId(0), 100);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 25);
+        // morsel_rows == 0 is clamped, not an infinite loop.
+        let ones = st.scan_block_morsels(PhysId::Table(t), SegmentId(0), 0);
+        assert_eq!(ones.len(), 25);
+        // An empty segment yields no morsels.
+        assert!(st
+            .scan_block_morsels(PhysId::Table(t), SegmentId(1), 7)
+            .is_empty());
     }
 
     #[test]

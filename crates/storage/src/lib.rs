@@ -18,4 +18,4 @@
 
 pub mod engine;
 
-pub use engine::{PhysId, Storage};
+pub use engine::{block_morsels, PhysId, Storage};

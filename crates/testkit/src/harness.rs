@@ -26,7 +26,7 @@ use crate::oracle::{static_upper_bound, Oracle, OracleResult};
 use mpp_common::{Datum, Result};
 use mpp_expr::ColRefGenerator;
 use mppart::testing::approx_same_bag;
-use mppart::{ExecEngine, ExecMode, MppDb, Planner, QueryOutcome};
+use mppart::{ExecEngine, ExecMode, MppDb, Planner, QueryOutcome, SchedConfig, SchedPolicy};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -59,6 +59,25 @@ pub fn combos() -> Vec<Combo> {
         }
     }
     v
+}
+
+/// Scheduler configurations every combo runs under: the default, and a
+/// stress shape — many tiny morsels, more workers than a small case has
+/// segments — that forces multi-morsel decomposition with stealing even
+/// on the fuzzer's little tables. Orthogonal to [`combos`]; the combo
+/// matrix itself stays 8 cells.
+pub fn sched_axis() -> Vec<(&'static str, SchedConfig)> {
+    vec![
+        ("default", SchedConfig::default()),
+        (
+            "morsel7x3",
+            SchedConfig {
+                workers: Some(3),
+                policy: SchedPolicy::Morsel,
+                morsel_rows: 7,
+            },
+        ),
+    ]
 }
 
 /// What kind of disagreement was observed.
@@ -211,20 +230,27 @@ fn run_query(
         mpp_sql::plan_sql(&sql, db.catalog(), &ColRefGenerator::new())
             .and_then(|bound| oracle.query(&bound.plan, &params));
 
-    for combo in combos() {
-        db.set_exec_mode(combo.mode);
-        db.set_exec_engine(combo.engine);
-        let engine_out = db.run_sql(&sql, &params, combo.planner);
-        let check = diff_query(db, oracle, case, q, combo.planner, &engine_out, &oracle_out);
-        db.set_exec_mode(ExecMode::Sequential);
-        db.set_exec_engine(ExecEngine::Row);
-        check.map_err(|(kind, detail)| Failure {
-            action,
-            combo: combo.to_string(),
-            kind,
-            detail: format!("{detail}\n  sql: {sql}"),
-        })?;
+    for (sched_name, sched) in sched_axis() {
+        db.set_sched_config(sched);
+        for combo in combos() {
+            db.set_exec_mode(combo.mode);
+            db.set_exec_engine(combo.engine);
+            let engine_out = db.run_sql(&sql, &params, combo.planner);
+            let check = diff_query(db, oracle, case, q, combo.planner, &engine_out, &oracle_out);
+            db.set_exec_mode(ExecMode::Sequential);
+            db.set_exec_engine(ExecEngine::Row);
+            if let Err((kind, detail)) = check {
+                db.set_sched_config(SchedConfig::default());
+                return Err(Failure {
+                    action,
+                    combo: format!("{combo}/{sched_name}"),
+                    kind,
+                    detail: format!("{detail}\n  sql: {sql}"),
+                });
+            }
+        }
     }
+    db.set_sched_config(SchedConfig::default());
 
     // Prepared-statement path, both planners (default mode/engine).
     for planner in [Planner::Orca, Planner::Legacy] {

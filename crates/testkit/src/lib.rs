@@ -15,8 +15,11 @@
 //!   bound logical plans and additionally tracks per-row *provenance*
 //!   (which leaf partition each contributing row was stored in).
 //! - [`harness`] — runs each case through all eight
-//!   {Orca,Legacy} × {Sequential,Parallel} × {Row,Batch} combos and the
-//!   prepared-statement path, diffing row multisets, error kinds,
+//!   {Orca,Legacy} × {Sequential,Parallel} × {Row,Batch} combos — each
+//!   under both scheduler configs of [`harness::sched_axis`] (the
+//!   default morsel scheduler and a stress schedule with tiny morsels
+//!   and 3 workers) — and the prepared-statement path, diffing row
+//!   multisets, error kinds,
 //!   partition-elimination *soundness* (`parts_scanned` ⊇ partitions with
 //!   qualifying rows) and, for exactly-analyzable static filters,
 //!   *minimality* against an independent f*_T bound.
@@ -37,6 +40,6 @@ pub mod shrink;
 
 pub use case::Case;
 pub use gen::gen_case;
-pub use harness::{combos, run_case, FailKind, Failure};
+pub use harness::{combos, run_case, sched_axis, FailKind, Failure};
 pub use oracle::Oracle;
 pub use shrink::{minimize, shrink};

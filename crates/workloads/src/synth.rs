@@ -51,6 +51,65 @@ pub fn setup_rs(storage: &Storage, cfg: &SynthConfig) -> Result<(TableOid, Table
     Ok((r, s))
 }
 
+/// Register and populate one *skewed* table shaped like R: `hot_pct`
+/// percent of the rows take a single hot partition-key value — all of
+/// them landing in one leaf partition — while the rest stay uniform
+/// over `[0, b_domain)`. `dist_col` picks the hash-distribution column
+/// (0 = `a`, 1 = `b`); distributing on `b` keeps a group-by-`b`
+/// aggregate co-located, so the whole scan→filter→agg pipeline runs in
+/// one slice. Uses `cfg.r_rows`, `cfg.r_parts`, the domains and the
+/// seed; returns the table OID and the hot key value.
+pub fn setup_skewed(
+    storage: &Storage,
+    name: &str,
+    cfg: &SynthConfig,
+    hot_pct: u32,
+    dist_col: usize,
+) -> Result<(TableOid, i32)> {
+    let cat = storage.catalog();
+    let schema = Schema::new(vec![
+        Column::new("a", DataType::Int32).not_null(),
+        Column::new("b", DataType::Int32).not_null(),
+    ]);
+    let oid = cat.allocate_table_oid();
+    let partitioning = match cfg.r_parts {
+        None => None,
+        Some(n) => {
+            let first = cat.allocate_part_oids(n as u32);
+            Some(range_parts_equal_width(
+                1,
+                Datum::Int32(0),
+                Datum::Int32(cfg.b_domain),
+                n,
+                first,
+            )?)
+        }
+    };
+    cat.register(TableDesc {
+        oid,
+        name: name.into(),
+        schema,
+        distribution: Distribution::Hashed(vec![dist_col]),
+        partitioning,
+    })?;
+    let hot_b = cfg.b_domain / 2;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let data = (0..cfg.r_rows).map(|_| {
+        let b = if rng.gen_range(0..100u32) < hot_pct {
+            hot_b
+        } else {
+            rng.gen_range(0..cfg.b_domain)
+        };
+        Row::new(vec![
+            Datum::Int32(rng.gen_range(0..cfg.a_domain)),
+            Datum::Int32(b),
+        ])
+    });
+    storage.insert(oid, data)?;
+    storage.analyze(oid)?;
+    Ok((oid, hot_b))
+}
+
 fn setup_one(
     storage: &Storage,
     name: &str,
@@ -110,6 +169,29 @@ mod tests {
         assert_eq!(st.row_count(s).unwrap(), 1_000);
         assert_eq!(st.catalog().table(r).unwrap().num_leaves(), 100);
         assert!(!st.catalog().table(s).unwrap().is_partitioned());
+    }
+
+    #[test]
+    fn skewed_table_concentrates_one_partition() {
+        let st = Storage::new(Catalog::new(), 4);
+        let cfg = SynthConfig {
+            r_rows: 1000,
+            r_parts: Some(10),
+            b_domain: 200,
+            ..SynthConfig::default()
+        };
+        let (oid, hot) = setup_skewed(&st, "skew", &cfg, 90, 1).unwrap();
+        assert_eq!(hot, 100);
+        let counts: Vec<usize> = st
+            .physical_tables(oid)
+            .unwrap()
+            .iter()
+            .map(|p| st.scan_all_segments(*p).len())
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        // ~90% of rows plus the uniform remainder's share land in the
+        // hot value's leaf.
+        assert!(*counts.iter().max().unwrap() >= 850, "{counts:?}");
     }
 
     #[test]

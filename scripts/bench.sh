@@ -18,9 +18,15 @@
 #   batch_pipeline
 #               vectorized block engine vs row-at-a-time engine on a
 #               scan+filter+agg pipeline over 10k/100k/1M rows x
-#               4/64/1024 partitions, both exec modes. Appends records
-#               to results/BENCH_batch.json and asserts the block
-#               engine is >= 2x on the 100k scan+filter pipeline.
+#               4/64/1024 partitions, both exec modes, plus the
+#               skewed-partition scheduler benchmark (one partition
+#               holding ~92% of 400k rows, 4 segments): morsel-driven
+#               work stealing vs the per-segment-thread baseline.
+#               Appends records to results/BENCH_batch.json and asserts
+#               the block engine is >= 2x on the 100k scan+filter
+#               pipeline and the morsel scheduler >= 2x on the skewed
+#               aggregate. In --test smoke mode the skew benchmark
+#               checks morsel == per-segment result equality only.
 #
 # Pass --test to run everything in smoke mode (single samples, tiny row
 # counts, no JSON output) — what CI uses.

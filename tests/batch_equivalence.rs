@@ -8,8 +8,8 @@
 use mppart::common::Datum;
 use mppart::core::OptimizerConfig;
 use mppart::testing::sorted;
-use mppart::workloads::{setup_rs, SynthConfig};
-use mppart::{ExecEngine, ExecMode, MppDb, Planner};
+use mppart::workloads::{setup_rs, setup_skewed, SynthConfig};
+use mppart::{ExecEngine, ExecMode, MppDb, Planner, SchedConfig, SchedPolicy};
 use proptest::prelude::*;
 
 /// A small random single-table predicate over `a` and the partition key
@@ -219,6 +219,60 @@ proptest! {
                 format!("SELECT SUM(b / (a % {k})) FROM r"),
             ] {
                 assert_engines_agree(&batch, &row, &sql, &[])?;
+            }
+        }
+    }
+
+    /// The block engine under the morsel scheduler, across worker counts
+    /// and heavy skew (one partition holding ~90% of the rows), stays
+    /// observationally identical to the row interpreter: same rows, same
+    /// partition work, same error outcome — the fused pipeline and its
+    /// row fallback must not depend on how morsels were distributed.
+    #[test]
+    fn batch_matches_row_across_worker_counts_on_skew(
+        seed in 0u64..20,
+        cutoff in 20i32..180,
+        k in 1i32..24,
+    ) {
+        let cfg = SynthConfig {
+            r_rows: 400,
+            s_rows: 0,
+            r_parts: Some(12),
+            s_parts: None,
+            b_domain: 200,
+            a_domain: 200,
+            seed,
+        };
+        let queries = [
+            format!("SELECT * FROM r WHERE a < {cutoff}"),
+            format!("SELECT b, COUNT(*), SUM(a), AVG(a) FROM r WHERE a < {cutoff} GROUP BY b"),
+            format!("SELECT SUM(100 / (a % {k})) FROM r WHERE b < {cutoff}"),
+        ];
+        for workers in [1usize, 2, 4, 8] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                let mk = |engine, sched: SchedConfig| {
+                    let db = MppDb::with_config(OptimizerConfig {
+                        num_segments: 4,
+                        ..OptimizerConfig::default()
+                    })
+                    .with_exec_mode(mode)
+                    .with_exec_engine(engine)
+                    .with_sched_config(sched);
+                    setup_skewed(db.storage(), "r", &cfg, 90, 0).unwrap();
+                    db
+                };
+                let batch = mk(
+                    ExecEngine::Batch,
+                    SchedConfig {
+                        workers: Some(workers),
+                        policy: SchedPolicy::Morsel,
+                        morsel_rows: 48,
+                    },
+                );
+                let row = mk(ExecEngine::Row, SchedConfig::default());
+                for sql in &queries {
+                    assert_engines_agree(&batch, &row, sql, &[])?;
+                }
             }
         }
     }

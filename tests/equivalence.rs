@@ -6,8 +6,8 @@
 use mppart::common::{Datum, Row};
 use mppart::core::OptimizerConfig;
 use mppart::testing::{approx_same_bag, sorted};
-use mppart::workloads::{setup_rs, SynthConfig};
-use mppart::{ExecMode, MppDb};
+use mppart::workloads::{setup_rs, setup_skewed, SynthConfig};
+use mppart::{ExecMode, MppDb, Planner, SchedConfig, SchedPolicy};
 use proptest::prelude::*;
 
 /// A randomly generated single-table predicate over `b` (the partition
@@ -345,6 +345,102 @@ proptest! {
         let p = par.sql_legacy_with_params(sql, &one).unwrap();
         prop_assert_eq!(sorted(s.rows), sorted(p.rows));
         prop_assert_eq!(&s.stats.parts_scanned, &p.stats.parts_scanned);
+    }
+
+    /// The morsel scheduler's worker count is invisible to results: over
+    /// heavily skewed data (one partition holding ~90% of the rows),
+    /// every worker count returns the identical multiset of rows, does
+    /// the identical partition-elimination work and surfaces the
+    /// identical error outcome as the per-segment baseline, on both
+    /// planners and both exec modes.
+    #[test]
+    fn worker_count_is_invisible_on_skewed_data(
+        seed in 0u64..20,
+        cutoff in 20i32..180,
+        k in 1i32..24,
+    ) {
+        let mk = |sched: SchedConfig, mode: ExecMode| {
+            let db = MppDb::with_config(OptimizerConfig {
+                num_segments: 4,
+                ..OptimizerConfig::default()
+            })
+            .with_exec_mode(mode)
+            .with_sched_config(sched);
+            let cfg = SynthConfig {
+                r_rows: 400,
+                s_rows: 0,
+                r_parts: Some(12),
+                s_parts: None,
+                b_domain: 200,
+                a_domain: 200,
+                seed,
+            };
+            setup_skewed(db.storage(), "r", &cfg, 90, 0).unwrap();
+            db
+        };
+        let queries = [
+            format!("SELECT * FROM r WHERE a < {cutoff}"),
+            format!("SELECT b, count(*), sum(a), min(a), max(a) FROM r WHERE a < {cutoff} GROUP BY b"),
+            // Division by zero on some rows (whenever a % k hits 0).
+            format!("SELECT 100 / (a % {k}) FROM r WHERE b < {cutoff}"),
+        ];
+        let baseline = mk(
+            SchedConfig { policy: SchedPolicy::PerSegment, ..SchedConfig::default() },
+            ExecMode::Sequential,
+        );
+        for workers in [1usize, 2, 4, 8] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                let db = mk(
+                    SchedConfig {
+                        workers: Some(workers),
+                        policy: SchedPolicy::Morsel,
+                        // Small morsels so skewed partitions split into many.
+                        morsel_rows: 48,
+                    },
+                    mode,
+                );
+                for sql in &queries {
+                    for planner in [Planner::Orca, Planner::Legacy] {
+                        let want = baseline.run_sql(sql, &[], planner);
+                        let got = db.run_sql(sql, &[], planner);
+                        match (want, got) {
+                            (Ok(w), Ok(g)) => {
+                                prop_assert_eq!(
+                                    sorted(w.rows), sorted(g.rows),
+                                    "rows differ: {} w={} {:?} {:?}", sql, workers, mode, planner
+                                );
+                                prop_assert_eq!(
+                                    &w.stats.parts_scanned, &g.stats.parts_scanned,
+                                    "parts_scanned differ: {} w={} {:?} {:?}", sql, workers, mode, planner
+                                );
+                                prop_assert_eq!(
+                                    w.stats.tuples_scanned, g.stats.tuples_scanned,
+                                    "tuples_scanned differ: {} w={} {:?} {:?}", sql, workers, mode, planner
+                                );
+                            }
+                            (Err(w), Err(g)) => {
+                                prop_assert_eq!(
+                                    w.kind(), g.kind(),
+                                    "error kind differs: {} w={} {:?} {:?}", sql, workers, mode, planner
+                                );
+                                prop_assert_eq!(
+                                    w.to_string(), g.to_string(),
+                                    "error message differs: {} w={} {:?} {:?}", sql, workers, mode, planner
+                                );
+                            }
+                            (w, g) => {
+                                return Err(TestCaseError::fail(format!(
+                                    "outcomes disagree for {sql} (workers={workers} {mode:?} \
+                                     {planner:?}): baseline={:?} got={:?}",
+                                    w.map(|o| o.rows.len()),
+                                    g.map(|o| o.rows.len()),
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Compiled expression evaluation is invisible to results: every
