@@ -20,7 +20,7 @@ use mpp_bench::{scaled, time_median_pair, write_result};
 use mppart::core::OptimizerConfig;
 use mppart::executor::{ExecEngine, ExecMode};
 use mppart::testing::sorted;
-use mppart::workloads::{setup_rs, setup_skewed, SynthConfig};
+use mppart::workloads::{setup_nullable, setup_rs, setup_skewed, SynthConfig};
 use mppart::{MppDb, SchedConfig, SchedPolicy};
 
 const SEGMENTS: usize = 3;
@@ -186,6 +186,110 @@ fn skew_bench(smoke: bool) -> Option<f64> {
     Some(speedup)
 }
 
+/// The null-fraction axis: scan+filter and agg pipelines over a table
+/// whose filtered column `v` carries 0/10/50% NULLs, comparing the
+/// validity-bitmap representation against the same data force-degraded
+/// to `Any` per-datum columns (the engine's pre-bitmap behavior, where
+/// one NULL knocked the whole column off every typed kernel). Returns
+/// the filter speedup at 10% NULLs for the acceptance gate (None in
+/// smoke mode).
+fn null_bench(smoke: bool) -> Option<f64> {
+    let rows = scaled(if smoke { 10_000 } else { 1_000_000 });
+    let iters = if smoke {
+        2
+    } else if rows >= 1_000_000 {
+        3
+    } else {
+        9
+    };
+    let mk = |null_pct: u32, degrade: bool| {
+        let db = MppDb::with_config(OptimizerConfig {
+            num_segments: SEGMENTS,
+            ..OptimizerConfig::default()
+        })
+        .with_exec_engine(ExecEngine::Batch);
+        setup_nullable(
+            db.storage(),
+            "rn",
+            &SynthConfig {
+                r_rows: rows,
+                s_rows: 0,
+                r_parts: Some(64),
+                s_parts: None,
+                b_domain: 4096,
+                a_domain: 200,
+                seed: 2014,
+            },
+            null_pct,
+        )
+        .unwrap();
+        if degrade {
+            db.storage().degrade_blocks();
+        }
+        db
+    };
+    let queries: &[(&str, &str)] = &[
+        ("filter", "SELECT * FROM rn WHERE v < 20"),
+        (
+            "agg",
+            "SELECT b, COUNT(v), SUM(v) FROM rn WHERE v < 150 GROUP BY b",
+        ),
+    ];
+    let mut acceptance: Option<f64> = None;
+    println!();
+    for &null_pct in &[0u32, 10, 50] {
+        // Identical data (same seed), two representations.
+        let typed = mk(null_pct, false);
+        let degraded = mk(null_pct, true);
+        for (label, sql) in queries {
+            let qt = typed.prepare(sql).unwrap();
+            let qd = degraded.prepare(sql).unwrap();
+            // Representation must be invisible in the results.
+            let rt = run(&typed, &qt, ExecMode::Sequential, ExecEngine::Batch);
+            let rd = run(&degraded, &qd, ExecMode::Sequential, ExecEngine::Batch);
+            assert_eq!(rt, rd, "representations disagree on {sql}");
+            if smoke {
+                println!(
+                    "{rows:>9} rows  {null_pct:>3}% nulls  {label:<6}: \
+                     typed == degraded rows ok (smoke)"
+                );
+                continue;
+            }
+            let (t_any, t_typed) = time_median_pair(
+                iters,
+                || black_box(run(&degraded, &qd, ExecMode::Sequential, ExecEngine::Batch)),
+                || black_box(run(&typed, &qt, ExecMode::Sequential, ExecEngine::Batch)),
+            );
+            let speedup = t_any.as_secs_f64() / t_typed.as_secs_f64().max(1e-9);
+            println!(
+                "{rows:>9} rows  {null_pct:>3}% nulls  {label:<6} Sequential: \
+                 degraded {:>9.3?}  typed {:>9.3?}  speedup {speedup:>5.2}x",
+                t_any, t_typed
+            );
+            write_result(
+                "BENCH_batch",
+                &serde_json::json!({
+                    "bench": "null_pipeline",
+                    "rows": rows,
+                    "parts": 64,
+                    "null_pct": null_pct,
+                    "query": *label,
+                    "mode": "Sequential",
+                    "segments": SEGMENTS,
+                    "degraded_ms": t_any.as_secs_f64() * 1e3,
+                    "typed_ms": t_typed.as_secs_f64() * 1e3,
+                    "speedup": speedup,
+                    "smoke": smoke,
+                }),
+            );
+            if null_pct == 10 && *label == "filter" {
+                acceptance = Some(speedup);
+            }
+        }
+    }
+    acceptance
+}
+
 fn main() {
     // Anchor at the workspace root so `results/` is shared with the
     // figure binaries.
@@ -277,8 +381,17 @@ fn main() {
     }
     group.finish();
 
+    let null_speedup = null_bench(smoke);
     let skew_speedup = skew_bench(smoke);
 
+    if let Some(speedup) = null_speedup {
+        assert!(
+            speedup >= 2.0,
+            "acceptance: validity-bitmap columns must be >= 2x the Any-degraded \
+             path on the 1M-row scan+filter with 10% NULLs, measured {speedup:.2}x"
+        );
+        println!("\nacceptance: 1M nullable scan+filter speedup {speedup:.2}x (>= 2x) ok");
+    }
     if let Some(speedup) = speedup_100k_filter {
         assert!(
             speedup >= 2.0,

@@ -1,0 +1,183 @@
+//! Microbenchmarks for the block kernels themselves — no planner, no
+//! storage, no motion: one resident [`RowBlock`] and the compiled
+//! expression API.
+//!
+//! Three kernel families, each across null fractions 0/10/50%:
+//!
+//! * `filter` — `v < 100` as a word-packed comparison mask;
+//! * `and_or` — `(v < 120 AND w > 40) OR v IS NULL` as dual-bitmap 3VL
+//!   word combinators;
+//! * `hash` — columnar distribution hashing (`RowBlock::hash_columns`)
+//!   of the nullable key column.
+//!
+//! Every cell times the validity-bitmap representation against the same
+//! block force-degraded to `Any` per-datum columns (the pre-bitmap
+//! behavior), interleaved so the recorded number is a fair ratio. In
+//! `--test` smoke mode only the equivalence checks run (identical
+//! selections and identical hashes across representations).
+
+use criterion::{black_box, Criterion};
+use mpp_bench::{scaled, time_median_pair, write_result};
+use mppart::common::{Datum, Row, RowBlock};
+use mppart::expr::{compile, ColRef, CompiledExpr, EvalContext, Expr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-column block `(v, w)` of Int32 with `null_pct`% NULLs in each
+/// column (independently drawn). The NULLs keep both columns typed with
+/// validity bitmaps; `degraded()` yields the `Any` counterpart.
+fn mk_block(n: usize, null_pct: u32, seed: u64) -> RowBlock {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cell = |rng: &mut StdRng| {
+        if rng.gen_range(0..100u32) < null_pct {
+            Datum::Null
+        } else {
+            Datum::Int32(rng.gen_range(0..200))
+        }
+    };
+    let rows: Vec<Row> = (0..n)
+        .map(|_| {
+            let v = cell(&mut rng);
+            let w = cell(&mut rng);
+            Row::new(vec![v, w])
+        })
+        .collect();
+    RowBlock::from_rows(&rows, 2)
+}
+
+fn ctx() -> EvalContext<'static> {
+    EvalContext::from_columns(&[ColRef::new(1, "v"), ColRef::new(2, "w")])
+}
+
+fn col(id: u32) -> Expr {
+    Expr::col(ColRef::new(id, if id == 1 { "v" } else { "w" }))
+}
+
+fn predicates() -> Vec<(&'static str, CompiledExpr)> {
+    let c = ctx();
+    vec![
+        ("filter", compile(&Expr::lt(col(1), Expr::lit(100i32)), &c)),
+        (
+            "and_or",
+            compile(
+                &Expr::or(vec![
+                    Expr::and(vec![
+                        Expr::lt(col(1), Expr::lit(120i32)),
+                        Expr::gt(col(2), Expr::lit(40i32)),
+                    ]),
+                    Expr::IsNull(Box::new(col(1))),
+                ]),
+                &c,
+            ),
+        ),
+    ]
+}
+
+fn main() {
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let smoke = std::env::args().any(|a| a == "--test");
+    let n = scaled(if smoke { 20_000 } else { 1 << 20 });
+    let iters = if smoke { 2 } else { 15 };
+
+    println!("== kernels: validity-bitmap typed columns vs Any-degraded ({n} rows) ==\n");
+    for &null_pct in &[0u32, 10, 50] {
+        let typed = mk_block(n, null_pct, 2014 + null_pct as u64);
+        let degraded = typed.degraded();
+
+        for (label, pred) in predicates() {
+            // The representations must select identical rows (and the
+            // typed path must not have fallen back to the row loop).
+            let (sel_t, fell_back) = pred.eval_predicate_block(&typed).unwrap();
+            let (sel_d, _) = pred.eval_predicate_block(&degraded).unwrap();
+            assert_eq!(sel_t, sel_d, "selection mismatch: {label} @ {null_pct}%");
+            assert!(!fell_back, "typed path fell back: {label} @ {null_pct}%");
+            if smoke {
+                println!(
+                    "{n:>9} rows  {null_pct:>3}% nulls  {label:<7}: typed == degraded ok (smoke)"
+                );
+                continue;
+            }
+            let (t_any, t_typed) = time_median_pair(
+                iters,
+                || black_box(pred.eval_predicate_block(&degraded).unwrap().0.len()),
+                || black_box(pred.eval_predicate_block(&typed).unwrap().0.len()),
+            );
+            let speedup = t_any.as_secs_f64() / t_typed.as_secs_f64().max(1e-9);
+            println!(
+                "{n:>9} rows  {null_pct:>3}% nulls  {label:<7}: degraded {:>9.3?}  \
+                 typed {:>9.3?}  speedup {speedup:>5.2}x",
+                t_any, t_typed
+            );
+            write_result(
+                "BENCH_kernels",
+                &serde_json::json!({
+                    "bench": "kernels",
+                    "kernel": label,
+                    "rows": n,
+                    "null_pct": null_pct,
+                    "degraded_ms": t_any.as_secs_f64() * 1e3,
+                    "typed_ms": t_typed.as_secs_f64() * 1e3,
+                    "speedup": speedup,
+                    "smoke": smoke,
+                }),
+            );
+        }
+
+        // Columnar distribution hashing: bit-identical lanes, NULLs
+        // hashed through the validity bitmap.
+        let h_t = typed.hash_columns(&[0]);
+        let h_d = degraded.hash_columns(&[0]);
+        assert_eq!(h_t, h_d, "hash mismatch @ {null_pct}%");
+        if smoke {
+            println!("{n:>9} rows  {null_pct:>3}% nulls  hash   : typed == degraded ok (smoke)");
+            continue;
+        }
+        let (t_any, t_typed) = time_median_pair(
+            iters,
+            || black_box(degraded.hash_columns(&[0]).len()),
+            || black_box(typed.hash_columns(&[0]).len()),
+        );
+        let speedup = t_any.as_secs_f64() / t_typed.as_secs_f64().max(1e-9);
+        println!(
+            "{n:>9} rows  {null_pct:>3}% nulls  hash   : degraded {:>9.3?}  \
+             typed {:>9.3?}  speedup {speedup:>5.2}x",
+            t_any, t_typed
+        );
+        write_result(
+            "BENCH_kernels",
+            &serde_json::json!({
+                "bench": "kernels",
+                "kernel": "hash",
+                "rows": n,
+                "null_pct": null_pct,
+                "degraded_ms": t_any.as_secs_f64() * 1e3,
+                "typed_ms": t_typed.as_secs_f64() * 1e3,
+                "speedup": speedup,
+                "smoke": smoke,
+            }),
+        );
+    }
+
+    // A small criterion group for `cargo bench` comparability.
+    let bn = scaled(if smoke { 20_000 } else { 1 << 18 });
+    let typed = mk_block(bn, 10, 7);
+    let degraded = typed.degraded();
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("kernels");
+    group.sample_size(10);
+    for (label, pred) in predicates() {
+        group.bench_function(format!("{label}/typed_10pct"), |b| {
+            b.iter(|| black_box(pred.eval_predicate_block(&typed).unwrap().0.len()))
+        });
+        group.bench_function(format!("{label}/degraded_10pct"), |b| {
+            b.iter(|| black_box(pred.eval_predicate_block(&degraded).unwrap().0.len()))
+        });
+    }
+    group.bench_function("hash/typed_10pct", |b| {
+        b.iter(|| black_box(typed.hash_columns(&[0]).len()))
+    });
+    group.bench_function("hash/degraded_10pct", |b| {
+        b.iter(|| black_box(degraded.hash_columns(&[0]).len()))
+    });
+    group.finish();
+}

@@ -9,10 +9,13 @@
 //! by bumping refcounts.
 //!
 //! A `ColumnVec` stores values in a typed vector when the column is
-//! null-free and monotyped (`Vec<i64>`, `Vec<f64>`, …) and degrades to a
-//! `Vec<Datum>` (`ColumnVec::Any`) the moment a NULL or a second runtime
-//! type appears. Typed vectors are what make tight per-kind predicate loops
-//! possible (`mpp_expr`'s batch evaluator); the `Any` fallback keeps every
+//! monotyped (`Vec<i64>`, `Vec<f64>`, …) plus an optional word-packed
+//! validity bitmap ([`ColumnVec::validity`]) marking which slots are
+//! non-NULL, and degrades to a `Vec<Datum>` ([`ColumnData::Any`]) only when
+//! a second runtime type appears (or the column is entirely NULL, leaving
+//! its type unknown). Typed vectors are what make tight per-kind predicate
+//! loops possible (`mpp_expr`'s batch evaluator); the validity bitmap keeps
+//! nullable columns on those typed paths; the `Any` fallback keeps every
 //! SQL value representable with unchanged semantics.
 //!
 //! Invariants:
@@ -21,6 +24,16 @@
 //!   (operators only ever *refine* selections, so order is preserved);
 //! * `Row`↔block conversion is lossless: `RowBlock::from_rows(rows).to_rows()
 //!   == rows` for equal-width rows.
+//!
+//! Validity bitmap invariants (enforced by every constructor):
+//! * `valid` is `None` when every slot is non-NULL (all-valid normalizes to
+//!   `None`, so derived equality is representation-independent), and never
+//!   present on an `Any` column (NULLs live as `Datum::Null` there);
+//! * when present, the bitmap has `len().div_ceil(64)` words, bit `i` set
+//!   iff slot `i` is non-NULL, and the tail bits of the last word zero;
+//! * invalid slots hold a canonical *dummy* value (`false`, `0`, `0.0`,
+//!   `""`), so kernels may run branch-free over all slots and two columns
+//!   with equal logical contents compare equal.
 
 use crate::row::{hash_combine, Row, HASH_COLUMNS_SEED};
 use crate::value::{
@@ -28,10 +41,66 @@ use crate::value::{
 };
 use std::sync::Arc;
 
-/// One column of a [`RowBlock`]: typed and null-free, or the `Any`
+// ---------------------------------------------------------------------
+// Word-packed bitmap helpers (shared with the batch kernels).
+// ---------------------------------------------------------------------
+
+/// Bit `i` of a word-packed bitmap.
+#[inline]
+pub fn bitmap_get(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 != 0
+}
+
+#[inline]
+fn bitmap_set(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+/// An all-ones bitmap of `n` bits with a zeroed tail.
+pub fn bitmap_ones(n: usize) -> Vec<u64> {
+    let mut words = vec![u64::MAX; n.div_ceil(64)];
+    bitmap_zero_tail(&mut words, n);
+    words
+}
+
+/// Clear the bits at and past `n` (the tail of the last word).
+#[inline]
+pub fn bitmap_zero_tail(words: &mut [u64], n: usize) {
+    if n & 63 != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << (n & 63)) - 1;
+        }
+    }
+}
+
+/// Number of set bits.
+#[inline]
+pub fn bitmap_count(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Append one bit to a validity bitmap of `len` bits (`None` = all valid),
+/// materializing the bitmap only when the first invalid bit arrives.
+fn validity_push(valid: &mut Option<Vec<u64>>, len: usize, is_valid: bool) {
+    if valid.is_none() {
+        if is_valid {
+            return;
+        }
+        *valid = Some(bitmap_ones(len));
+    }
+    let words = valid.as_mut().unwrap();
+    if len & 63 == 0 {
+        words.push(0);
+    }
+    if is_valid {
+        bitmap_set(words, len);
+    }
+}
+
+/// The dense value buffer of a [`ColumnVec`]: typed, or the `Any`
 /// fallback holding arbitrary datums.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ColumnVec {
+pub enum ColumnData {
     Bool(Vec<bool>),
     Int32(Vec<i32>),
     Int64(Vec<i64>),
@@ -39,22 +108,62 @@ pub enum ColumnVec {
     /// Days since 1970-01-01, like [`Datum::Date`].
     Date(Vec<i32>),
     Str(Vec<Arc<str>>),
-    /// Fallback for columns containing NULLs or mixed runtime types.
+    /// Fallback for columns of mixed runtime types (or all-NULL columns,
+    /// whose type is unknown).
     Any(Vec<Datum>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int32(v) => v.len(),
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Any(v) => v.len(),
+        }
+    }
+
+    /// Overwrite every invalid slot with the canonical dummy value.
+    fn scrub_invalid(&mut self, valid: &[u64]) {
+        macro_rules! scrub {
+            ($v:expr, $dummy:expr) => {
+                for (i, x) in $v.iter_mut().enumerate() {
+                    if !bitmap_get(valid, i) {
+                        *x = $dummy;
+                    }
+                }
+            };
+        }
+        match self {
+            ColumnData::Bool(v) => scrub!(v, false),
+            ColumnData::Int32(v) => scrub!(v, 0),
+            ColumnData::Int64(v) => scrub!(v, 0),
+            ColumnData::Float64(v) => scrub!(v, 0.0),
+            ColumnData::Date(v) => scrub!(v, 0),
+            ColumnData::Str(v) => {
+                let empty: Arc<str> = Arc::from("");
+                scrub!(v, Arc::clone(&empty))
+            }
+            ColumnData::Any(_) => unreachable!("validity bitmap on an Any column"),
+        }
+    }
+}
+
+/// One column of a [`RowBlock`]: a dense [`ColumnData`] buffer plus an
+/// optional validity bitmap (see the module docs for the invariants).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVec {
+    data: ColumnData,
+    valid: Option<Vec<u64>>,
 }
 
 impl ColumnVec {
     /// Physical length of the column.
     pub fn len(&self) -> usize {
-        match self {
-            ColumnVec::Bool(v) => v.len(),
-            ColumnVec::Int32(v) => v.len(),
-            ColumnVec::Int64(v) => v.len(),
-            ColumnVec::Float64(v) => v.len(),
-            ColumnVec::Date(v) => v.len(),
-            ColumnVec::Str(v) => v.len(),
-            ColumnVec::Any(v) => v.len(),
-        }
+        self.data.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -63,177 +172,313 @@ impl ColumnVec {
 
     /// An empty column that will re-type itself on first push.
     pub fn empty() -> ColumnVec {
-        ColumnVec::Any(Vec::new())
+        ColumnVec {
+            data: ColumnData::Any(Vec::new()),
+            valid: None,
+        }
+    }
+
+    /// The dense value buffer. Callers matching a typed variant must also
+    /// consult [`Self::validity`] — invalid slots hold dummy values.
+    #[inline]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The validity bitmap: `None` means every slot is non-NULL.
+    #[inline]
+    pub fn validity(&self) -> Option<&[u64]> {
+        self.valid.as_deref()
+    }
+
+    /// Is slot `i` non-NULL? (Always true for `Any` columns, whose NULLs
+    /// live in the datums themselves.)
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match &self.valid {
+            None => true,
+            Some(w) => bitmap_get(w, i),
+        }
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        match (&self.data, &self.valid) {
+            (ColumnData::Any(v), _) => v.iter().filter(|d| d.is_null()).count(),
+            (_, None) => 0,
+            (_, Some(w)) => self.len() - bitmap_count(w),
+        }
+    }
+
+    /// Assemble a column from a dense buffer and validity bitmap,
+    /// canonicalizing: all-valid normalizes to `None`, tail bits are
+    /// cleared, and invalid slots are scrubbed to the dummy value.
+    /// Panics if `valid` is present on an `Any` buffer or has the wrong
+    /// word count.
+    pub fn from_parts(mut data: ColumnData, valid: Option<Vec<u64>>) -> ColumnVec {
+        let n = data.len();
+        let valid = match valid {
+            None => None,
+            Some(mut words) => {
+                assert!(
+                    !matches!(data, ColumnData::Any(_)),
+                    "validity bitmap on an Any column"
+                );
+                assert_eq!(words.len(), n.div_ceil(64), "validity word count");
+                bitmap_zero_tail(&mut words, n);
+                if bitmap_count(&words) == n {
+                    None
+                } else {
+                    data.scrub_invalid(&words);
+                    Some(words)
+                }
+            }
+        };
+        ColumnVec { data, valid }
+    }
+
+    /// A null-free column over a dense buffer.
+    pub fn from_data(data: ColumnData) -> ColumnVec {
+        ColumnVec { data, valid: None }
     }
 
     /// The datum at physical index `i`. Cheap for every variant (`Str`
     /// clones an `Arc`).
     #[inline]
     pub fn get(&self, i: usize) -> Datum {
-        match self {
-            ColumnVec::Bool(v) => Datum::Bool(v[i]),
-            ColumnVec::Int32(v) => Datum::Int32(v[i]),
-            ColumnVec::Int64(v) => Datum::Int64(v[i]),
-            ColumnVec::Float64(v) => Datum::Float64(v[i]),
-            ColumnVec::Date(v) => Datum::Date(v[i]),
-            ColumnVec::Str(v) => Datum::Str(Arc::clone(&v[i])),
-            ColumnVec::Any(v) => v[i].clone(),
+        if let Some(w) = &self.valid {
+            if !bitmap_get(w, i) {
+                return Datum::Null;
+            }
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Datum::Bool(v[i]),
+            ColumnData::Int32(v) => Datum::Int32(v[i]),
+            ColumnData::Int64(v) => Datum::Int64(v[i]),
+            ColumnData::Float64(v) => Datum::Float64(v[i]),
+            ColumnData::Date(v) => Datum::Date(v[i]),
+            ColumnData::Str(v) => Datum::Str(Arc::clone(&v[i])),
+            ColumnData::Any(v) => v[i].clone(),
         }
     }
 
-    /// Build a column from owned datums, choosing the typed representation
-    /// when the values are null-free and monotyped.
+    /// Build a column from owned datums in a single pass: the first
+    /// non-NULL value decides the typed representation (earlier NULLs
+    /// backfill as invalid dummy slots), a second runtime type degrades
+    /// to `Any`, and an all-NULL column stays `Any`.
     pub fn from_datums(values: Vec<Datum>) -> ColumnVec {
-        // Decide the representation from the first value, then verify.
-        let uniform = |values: &[Datum]| -> Option<ColumnVec> {
-            match values.first()? {
-                Datum::Bool(_) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for d in values {
-                        match d {
-                            Datum::Bool(b) => out.push(*b),
-                            _ => return None,
-                        }
-                    }
-                    Some(ColumnVec::Bool(out))
-                }
-                Datum::Int32(_) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for d in values {
-                        match d {
-                            Datum::Int32(v) => out.push(*v),
-                            _ => return None,
-                        }
-                    }
-                    Some(ColumnVec::Int32(out))
-                }
-                Datum::Int64(_) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for d in values {
-                        match d {
-                            Datum::Int64(v) => out.push(*v),
-                            _ => return None,
-                        }
-                    }
-                    Some(ColumnVec::Int64(out))
-                }
-                Datum::Float64(_) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for d in values {
-                        match d {
-                            Datum::Float64(v) => out.push(*v),
-                            _ => return None,
-                        }
-                    }
-                    Some(ColumnVec::Float64(out))
-                }
-                Datum::Date(_) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for d in values {
-                        match d {
-                            Datum::Date(v) => out.push(*v),
-                            _ => return None,
-                        }
-                    }
-                    Some(ColumnVec::Date(out))
-                }
-                Datum::Str(_) => {
-                    let mut out = Vec::with_capacity(values.len());
-                    for d in values {
-                        match d {
-                            Datum::Str(s) => out.push(Arc::clone(s)),
-                            _ => return None,
-                        }
-                    }
-                    Some(ColumnVec::Str(out))
-                }
-                Datum::Null => None,
-            }
-        };
-        match uniform(&values) {
-            Some(typed) => typed,
-            None => ColumnVec::Any(values),
+        let mut col = ColumnVec::empty();
+        for d in values {
+            col.push(d);
         }
+        col
     }
 
     /// A column of `n` copies of `d` (constant broadcast).
     pub fn broadcast(d: &Datum, n: usize) -> ColumnVec {
-        match d {
-            Datum::Bool(b) => ColumnVec::Bool(vec![*b; n]),
-            Datum::Int32(v) => ColumnVec::Int32(vec![*v; n]),
-            Datum::Int64(v) => ColumnVec::Int64(vec![*v; n]),
-            Datum::Float64(v) => ColumnVec::Float64(vec![*v; n]),
-            Datum::Date(v) => ColumnVec::Date(vec![*v; n]),
-            Datum::Str(s) => ColumnVec::Str(vec![Arc::clone(s); n]),
-            Datum::Null => ColumnVec::Any(vec![Datum::Null; n]),
-        }
+        let data = match d {
+            Datum::Bool(b) => ColumnData::Bool(vec![*b; n]),
+            Datum::Int32(v) => ColumnData::Int32(vec![*v; n]),
+            Datum::Int64(v) => ColumnData::Int64(vec![*v; n]),
+            Datum::Float64(v) => ColumnData::Float64(vec![*v; n]),
+            Datum::Date(v) => ColumnData::Date(vec![*v; n]),
+            Datum::Str(s) => ColumnData::Str(vec![Arc::clone(s); n]),
+            Datum::Null => ColumnData::Any(vec![Datum::Null; n]),
+        };
+        ColumnVec { data, valid: None }
     }
 
-    /// Append one datum, degrading the representation in place when the
-    /// value does not fit the current typed vector.
+    /// Append one datum. NULLs onto a typed column set an invalid bit
+    /// (dummy value slot); a mismatched runtime type degrades to `Any`;
+    /// the first non-NULL value onto an all-NULL column adopts its type.
     pub fn push(&mut self, d: Datum) {
-        match (&mut *self, &d) {
-            (ColumnVec::Bool(v), Datum::Bool(b)) => v.push(*b),
-            (ColumnVec::Int32(v), Datum::Int32(x)) => v.push(*x),
-            (ColumnVec::Int64(v), Datum::Int64(x)) => v.push(*x),
-            (ColumnVec::Float64(v), Datum::Float64(x)) => v.push(*x),
-            (ColumnVec::Date(v), Datum::Date(x)) => v.push(*x),
-            (ColumnVec::Str(v), Datum::Str(s)) => v.push(Arc::clone(s)),
-            (ColumnVec::Any(v), _) => {
+        let n = self.len();
+        match (&mut self.data, &d) {
+            (ColumnData::Bool(v), Datum::Bool(b)) => {
+                v.push(*b);
+                validity_push(&mut self.valid, n, true);
+            }
+            (ColumnData::Int32(v), Datum::Int32(x)) => {
+                v.push(*x);
+                validity_push(&mut self.valid, n, true);
+            }
+            (ColumnData::Int64(v), Datum::Int64(x)) => {
+                v.push(*x);
+                validity_push(&mut self.valid, n, true);
+            }
+            (ColumnData::Float64(v), Datum::Float64(x)) => {
+                v.push(*x);
+                validity_push(&mut self.valid, n, true);
+            }
+            (ColumnData::Date(v), Datum::Date(x)) => {
+                v.push(*x);
+                validity_push(&mut self.valid, n, true);
+            }
+            (ColumnData::Str(v), Datum::Str(s)) => {
+                v.push(Arc::clone(s));
+                validity_push(&mut self.valid, n, true);
+            }
+            (ColumnData::Any(v), _) => {
                 if v.is_empty() {
                     // Re-type an empty fallback column on first push.
-                    *self = ColumnVec::from_datums(vec![d]);
+                    *self = ColumnVec::from_typed_datum(&d).unwrap_or(ColumnVec {
+                        data: ColumnData::Any(vec![d]),
+                        valid: None,
+                    });
+                } else if !d.is_null() && v.iter().all(|x| x.is_null()) {
+                    // An all-NULL column meets its first typed value:
+                    // adopt the typed representation, backfilling the
+                    // NULLs as invalid dummy slots. (`all()` bails at the
+                    // first non-NULL, so mixed columns stay O(1) here.)
+                    self.upgrade_all_null(&d);
                 } else {
                     v.push(d);
                 }
             }
+            (_, Datum::Null) => {
+                self.push_dummy();
+                validity_push(&mut self.valid, n, false);
+            }
             _ => {
                 self.degrade();
-                match self {
-                    ColumnVec::Any(v) => v.push(d),
+                match &mut self.data {
+                    ColumnData::Any(v) => v.push(d),
                     _ => unreachable!("degrade always yields Any"),
                 }
             }
         }
     }
 
+    /// A one-element typed column for a non-NULL datum.
+    fn from_typed_datum(d: &Datum) -> Option<ColumnVec> {
+        let data = match d {
+            Datum::Bool(b) => ColumnData::Bool(vec![*b]),
+            Datum::Int32(x) => ColumnData::Int32(vec![*x]),
+            Datum::Int64(x) => ColumnData::Int64(vec![*x]),
+            Datum::Float64(x) => ColumnData::Float64(vec![*x]),
+            Datum::Date(x) => ColumnData::Date(vec![*x]),
+            Datum::Str(s) => ColumnData::Str(vec![Arc::clone(s)]),
+            Datum::Null => return None,
+        };
+        Some(ColumnVec { data, valid: None })
+    }
+
+    /// Append the dummy value for the current typed representation.
+    fn push_dummy(&mut self) {
+        match &mut self.data {
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Int32(v) => v.push(0),
+            ColumnData::Int64(v) => v.push(0),
+            ColumnData::Float64(v) => v.push(0.0),
+            ColumnData::Date(v) => v.push(0),
+            ColumnData::Str(v) => v.push(Arc::from("")),
+            ColumnData::Any(_) => unreachable!("push_dummy on Any"),
+        }
+    }
+
+    /// Replace an all-NULL `Any` column of length `n` with a typed column
+    /// of `n` invalid dummy slots followed by `d`.
+    fn upgrade_all_null(&mut self, d: &Datum) {
+        let n = self.len();
+        let mut col = ColumnVec::from_typed_datum(d).expect("non-NULL upgrade value");
+        match &mut col.data {
+            ColumnData::Bool(v) => {
+                v.splice(0..0, std::iter::repeat_n(false, n));
+            }
+            ColumnData::Int32(v) => {
+                v.splice(0..0, std::iter::repeat_n(0, n));
+            }
+            ColumnData::Int64(v) => {
+                v.splice(0..0, std::iter::repeat_n(0, n));
+            }
+            ColumnData::Float64(v) => {
+                v.splice(0..0, std::iter::repeat_n(0.0, n));
+            }
+            ColumnData::Date(v) => {
+                v.splice(0..0, std::iter::repeat_n(0, n));
+            }
+            ColumnData::Str(v) => {
+                v.splice(0..0, std::iter::repeat_with(|| Arc::from("")).take(n));
+            }
+            ColumnData::Any(_) => unreachable!(),
+        }
+        let mut words = vec![0u64; (n + 1).div_ceil(64)];
+        bitmap_set(&mut words, n);
+        col.valid = Some(words);
+        *self = col;
+    }
+
     /// Convert the representation to `Any` in place.
     fn degrade(&mut self) {
         let datums: Vec<Datum> = (0..self.len()).map(|i| self.get(i)).collect();
-        *self = ColumnVec::Any(datums);
+        self.data = ColumnData::Any(datums);
+        self.valid = None;
+    }
+
+    /// A copy of this column in the `Any` representation — the degraded
+    /// pre-validity-bitmap form. Benchmark and testing aid.
+    pub fn degraded(&self) -> ColumnVec {
+        let mut c = self.clone();
+        c.degrade();
+        c
     }
 
     /// A new column holding the rows at `idx`, in that order.
     pub fn gather(&self, idx: &[u32]) -> ColumnVec {
-        match self {
-            ColumnVec::Bool(v) => ColumnVec::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
-            ColumnVec::Int32(v) => ColumnVec::Int32(idx.iter().map(|&i| v[i as usize]).collect()),
-            ColumnVec::Int64(v) => ColumnVec::Int64(idx.iter().map(|&i| v[i as usize]).collect()),
-            ColumnVec::Float64(v) => {
-                ColumnVec::Float64(idx.iter().map(|&i| v[i as usize]).collect())
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Int32(v) => ColumnData::Int32(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Int64(v) => ColumnData::Int64(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(idx.iter().map(|&i| v[i as usize]).collect())
             }
-            ColumnVec::Date(v) => ColumnVec::Date(idx.iter().map(|&i| v[i as usize]).collect()),
-            ColumnVec::Str(v) => {
-                ColumnVec::Str(idx.iter().map(|&i| Arc::clone(&v[i as usize])).collect())
+            ColumnData::Date(v) => ColumnData::Date(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(idx.iter().map(|&i| Arc::clone(&v[i as usize])).collect())
             }
-            ColumnVec::Any(v) => {
-                ColumnVec::Any(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            ColumnData::Any(v) => {
+                ColumnData::Any(idx.iter().map(|&i| v[i as usize].clone()).collect())
             }
-        }
+        };
+        let valid = match &self.valid {
+            None => None,
+            Some(w) => {
+                let mut out = vec![0u64; idx.len().div_ceil(64)];
+                let mut invalid = false;
+                for (k, &i) in idx.iter().enumerate() {
+                    if bitmap_get(w, i as usize) {
+                        bitmap_set(&mut out, k);
+                    } else {
+                        invalid = true;
+                    }
+                }
+                invalid.then_some(out)
+            }
+        };
+        ColumnVec { data, valid }
     }
 
     /// Append `other`'s rows at `idx` (all of `other` when `idx` is `None`),
     /// degrading the representation if the variants differ.
     pub fn extend_gather(&mut self, other: &ColumnVec, idx: Option<&[u32]>) {
-        use ColumnVec::*;
-        match (&mut *self, other, idx) {
+        if self.is_empty() {
+            *self = match idx {
+                None => other.clone(),
+                Some(idx) => other.gather(idx),
+            };
+            return;
+        }
+        let old_len = self.len();
+        let added = idx.map_or(other.len(), |s| s.len());
+        use ColumnData::*;
+        match (&mut self.data, &other.data, idx) {
             (Bool(a), Bool(b), None) => a.extend_from_slice(b),
             (Int32(a), Int32(b), None) => a.extend_from_slice(b),
             (Int64(a), Int64(b), None) => a.extend_from_slice(b),
             (Float64(a), Float64(b), None) => a.extend_from_slice(b),
             (Date(a), Date(b), None) => a.extend_from_slice(b),
             (Str(a), Str(b), None) => a.extend(b.iter().map(Arc::clone)),
-            (Any(a), Any(b), None) if !a.is_empty() => a.extend(b.iter().cloned()),
+            (Any(a), Any(b), None) => a.extend(b.iter().cloned()),
             (Bool(a), Bool(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
             (Int32(a), Int32(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
             (Int64(a), Int64(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize])),
@@ -242,26 +487,40 @@ impl ColumnVec {
             (Str(a), Str(b), Some(idx)) => {
                 a.extend(idx.iter().map(|&i| Arc::clone(&b[i as usize])))
             }
-            (Any(a), Any(b), Some(idx)) if !a.is_empty() => {
-                a.extend(idx.iter().map(|&i| b[i as usize].clone()))
-            }
-            (this, other, idx) => {
-                if this.is_empty() {
-                    *this = match idx {
-                        None => other.clone(),
-                        Some(idx) => other.gather(idx),
-                    };
-                    return;
-                }
-                this.degrade();
-                let Any(a) = this else {
+            (Any(a), Any(b), Some(idx)) => a.extend(idx.iter().map(|&i| b[i as usize].clone())),
+            _ => {
+                self.degrade();
+                let Any(a) = &mut self.data else {
                     unreachable!("degrade always yields Any")
                 };
                 match idx {
                     None => a.extend((0..other.len()).map(|i| other.get(i))),
                     Some(idx) => a.extend(idx.iter().map(|&i| other.get(i as usize))),
                 }
+                return;
             }
+        }
+        // Same-variant append: merge the validity bitmaps.
+        if self.valid.is_none() && other.valid.is_none() {
+            return;
+        }
+        if self.valid.is_none() {
+            self.valid = Some(bitmap_ones(old_len));
+        }
+        let words = self.valid.as_mut().unwrap();
+        words.resize((old_len + added).div_ceil(64), 0);
+        // The old tail bits are zero (canonical), so setting is enough.
+        for k in 0..added {
+            let i = match idx {
+                None => k,
+                Some(s) => s[k] as usize,
+            };
+            if other.valid.as_deref().is_none_or(|w| bitmap_get(w, i)) {
+                bitmap_set(words, old_len + k);
+            }
+        }
+        if bitmap_count(words) == old_len + added {
+            self.valid = None;
         }
     }
 
@@ -269,17 +528,76 @@ impl ColumnVec {
     /// `Datum::distribution_hash` of [`ColumnVec::get`]`(i)`.
     #[inline]
     pub fn dist_hash(&self, i: usize) -> u64 {
-        match self {
-            ColumnVec::Bool(v) => dist_hash_bool(v[i]),
-            ColumnVec::Int32(v) => dist_hash_int(v[i] as i64),
-            ColumnVec::Int64(v) => dist_hash_int(v[i]),
-            ColumnVec::Float64(v) => dist_hash_f64(v[i]),
-            ColumnVec::Date(v) => dist_hash_int(v[i] as i64),
-            ColumnVec::Str(v) => dist_hash_str(&v[i]),
-            ColumnVec::Any(v) => match &v[i] {
+        if !self.is_valid(i) {
+            return dist_hash_null();
+        }
+        match &self.data {
+            ColumnData::Bool(v) => dist_hash_bool(v[i]),
+            ColumnData::Int32(v) => dist_hash_int(v[i] as i64),
+            ColumnData::Int64(v) => dist_hash_int(v[i]),
+            ColumnData::Float64(v) => dist_hash_f64(v[i]),
+            ColumnData::Date(v) => dist_hash_int(v[i] as i64),
+            ColumnData::Str(v) => dist_hash_str(&v[i]),
+            ColumnData::Any(v) => match &v[i] {
                 Datum::Null => dist_hash_null(),
                 d => d.distribution_hash(),
             },
+        }
+    }
+
+    /// Combine this column's distribution hashes into `hs`, one slot per
+    /// selected row (all physical rows when `sel` is `None`). Columnar:
+    /// the variant dispatch is hoisted out of the row loop.
+    pub fn dist_hash_into(&self, hs: &mut [u64], sel: Option<&[u32]>) {
+        macro_rules! lanes {
+            ($v:expr, $h:expr) => {{
+                let h = $h;
+                match (sel, &self.valid) {
+                    (None, None) => {
+                        for (k, slot) in hs.iter_mut().enumerate() {
+                            *slot = hash_combine(*slot, h(&$v[k]));
+                        }
+                    }
+                    (None, Some(w)) => {
+                        for (k, slot) in hs.iter_mut().enumerate() {
+                            let hx = if bitmap_get(w, k) {
+                                h(&$v[k])
+                            } else {
+                                dist_hash_null()
+                            };
+                            *slot = hash_combine(*slot, hx);
+                        }
+                    }
+                    (Some(sel), None) => {
+                        for (k, slot) in hs.iter_mut().enumerate() {
+                            *slot = hash_combine(*slot, h(&$v[sel[k] as usize]));
+                        }
+                    }
+                    (Some(sel), Some(w)) => {
+                        for (k, slot) in hs.iter_mut().enumerate() {
+                            let i = sel[k] as usize;
+                            let hx = if bitmap_get(w, i) {
+                                h(&$v[i])
+                            } else {
+                                dist_hash_null()
+                            };
+                            *slot = hash_combine(*slot, hx);
+                        }
+                    }
+                }
+            }};
+        }
+        match &self.data {
+            ColumnData::Bool(v) => lanes!(v, |x: &bool| dist_hash_bool(*x)),
+            ColumnData::Int32(v) => lanes!(v, |x: &i32| dist_hash_int(*x as i64)),
+            ColumnData::Int64(v) => lanes!(v, |x: &i64| dist_hash_int(*x)),
+            ColumnData::Float64(v) => lanes!(v, |x: &f64| dist_hash_f64(*x)),
+            ColumnData::Date(v) => lanes!(v, |x: &i32| dist_hash_int(*x as i64)),
+            ColumnData::Str(v) => lanes!(v, |x: &Arc<str>| dist_hash_str(x)),
+            ColumnData::Any(v) => lanes!(v, |d: &Datum| match d {
+                Datum::Null => dist_hash_null(),
+                d => d.distribution_hash(),
+            }),
         }
     }
 }
@@ -512,26 +830,27 @@ impl RowBlock {
         self.rows += rows.len();
     }
 
+    /// A copy of this block with every column degraded to the `Any`
+    /// representation (the pre-validity-bitmap form). Benchmark aid.
+    pub fn degraded(&self) -> RowBlock {
+        RowBlock {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.degraded()))
+                .collect(),
+            rows: self.rows,
+            sel: self.sel.clone(),
+        }
+    }
+
     /// Per-selected-row hash of the listed columns — bit-identical to
     /// calling [`Row::hash_columns`] on each materialized row, computed
     /// column-at-a-time.
     pub fn hash_columns(&self, indices: &[usize]) -> Vec<u64> {
-        let n = self.len();
-        let mut hs = vec![HASH_COLUMNS_SEED; n];
+        let mut hs = vec![HASH_COLUMNS_SEED; self.len()];
         for &c in indices {
-            let col = &self.columns[c];
-            match &self.sel {
-                None => {
-                    for (i, h) in hs.iter_mut().enumerate() {
-                        *h = hash_combine(*h, col.dist_hash(i));
-                    }
-                }
-                Some(sel) => {
-                    for (k, h) in hs.iter_mut().enumerate() {
-                        *h = hash_combine(*h, col.dist_hash(sel[k] as usize));
-                    }
-                }
-            }
+            self.columns[c].dist_hash_into(&mut hs, self.sel.as_deref());
         }
         hs
     }
@@ -559,25 +878,79 @@ mod tests {
         assert_eq!(b.width(), 3);
         assert_eq!(b.to_rows(), rows);
         // Null-free monotyped columns pick the typed representation.
-        assert!(matches!(b.column(0), ColumnVec::Int32(_)));
-        assert!(matches!(b.column(1), ColumnVec::Str(_)));
-        assert!(matches!(b.column(2), ColumnVec::Float64(_)));
+        assert!(matches!(b.column(0).data(), ColumnData::Int32(_)));
+        assert!(matches!(b.column(1).data(), ColumnData::Str(_)));
+        assert!(matches!(b.column(2).data(), ColumnData::Float64(_)));
+        assert!(b.column(0).validity().is_none());
     }
 
     #[test]
-    fn nulls_degrade_to_any() {
+    fn nulls_stay_typed_with_validity() {
         let rows = vec![row![1i32], Row::new(vec![Datum::Null]), row![3i32]];
         let b = RowBlock::from_rows(&rows, 1);
-        assert!(matches!(b.column(0), ColumnVec::Any(_)));
+        let c = b.column(0);
+        assert!(matches!(c.data(), ColumnData::Int32(_)));
+        assert!(c.validity().is_some());
+        assert!(c.is_valid(0) && !c.is_valid(1) && c.is_valid(2));
+        assert_eq!(c.null_count(), 1);
         assert_eq!(b.to_rows(), rows);
+        // The dummy slot holds the canonical value.
+        let ColumnData::Int32(v) = c.data() else {
+            unreachable!()
+        };
+        assert_eq!(v[1], 0);
+    }
+
+    #[test]
+    fn leading_nulls_adopt_first_typed_value() {
+        let rows = vec![
+            Row::new(vec![Datum::Null]),
+            Row::new(vec![Datum::Null]),
+            row!["x"],
+            Row::new(vec![Datum::Null]),
+        ];
+        let b = RowBlock::from_rows(&rows, 1);
+        let c = b.column(0);
+        assert!(matches!(c.data(), ColumnData::Str(_)));
+        assert_eq!(c.null_count(), 3);
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn all_null_columns_stay_any() {
+        let c = ColumnVec::from_datums(vec![Datum::Null, Datum::Null]);
+        assert!(matches!(c.data(), ColumnData::Any(_)));
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.get(0), Datum::Null);
     }
 
     #[test]
     fn mixed_types_degrade_to_any() {
         let rows = vec![row![1i32], row![2i64]];
         let b = RowBlock::from_rows(&rows, 1);
-        assert!(matches!(b.column(0), ColumnVec::Any(_)));
+        assert!(matches!(b.column(0).data(), ColumnData::Any(_)));
         assert_eq!(b.to_rows(), rows);
+        // NULL-then-mixed also degrades, keeping the NULL as a datum.
+        let c = ColumnVec::from_datums(vec![Datum::Null, Datum::Int32(1), Datum::str("s")]);
+        assert!(matches!(c.data(), ColumnData::Any(_)));
+        assert_eq!(c.get(0), Datum::Null);
+        assert_eq!(c.get(2), Datum::str("s"));
+    }
+
+    #[test]
+    fn from_parts_canonicalizes() {
+        // All-valid bitmap normalizes away.
+        let c = ColumnVec::from_parts(ColumnData::Int64(vec![1, 2]), Some(vec![0b11]));
+        assert!(c.validity().is_none());
+        // Invalid slots are scrubbed to the dummy value; equality is
+        // representation-independent.
+        let a = ColumnVec::from_parts(ColumnData::Int64(vec![7, 99]), Some(vec![0b01]));
+        let b = ColumnVec::from_parts(ColumnData::Int64(vec![7, 0]), Some(vec![0b01]));
+        assert_eq!(a, b);
+        assert_eq!(a.get(1), Datum::Null);
+        // And matches the push-built column.
+        let p = ColumnVec::from_datums(vec![Datum::Int64(7), Datum::Null]);
+        assert_eq!(a, p);
     }
 
     #[test]
@@ -590,6 +963,43 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.sel().is_none());
         assert_eq!(c.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn gather_carries_validity() {
+        let c = ColumnVec::from_datums(vec![
+            Datum::Int64(1),
+            Datum::Null,
+            Datum::Int64(3),
+            Datum::Null,
+        ]);
+        let g = c.gather(&[1, 2, 3]);
+        assert_eq!(g.get(0), Datum::Null);
+        assert_eq!(g.get(1), Datum::Int64(3));
+        assert_eq!(g.get(2), Datum::Null);
+        assert_eq!(g.null_count(), 2);
+        // Gathering only valid slots normalizes back to all-valid.
+        let v = c.gather(&[0, 2]);
+        assert!(v.validity().is_none());
+        assert_eq!(v.get(1), Datum::Int64(3));
+    }
+
+    #[test]
+    fn extend_gather_merges_validity() {
+        let mut a = ColumnVec::from_datums(vec![Datum::Int64(1), Datum::Null]);
+        let b = ColumnVec::from_datums(vec![Datum::Int64(3), Datum::Null, Datum::Int64(5)]);
+        a.extend_gather(&b, None);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.get(1), Datum::Null);
+        assert_eq!(a.get(3), Datum::Null);
+        assert_eq!(a.get(4), Datum::Int64(5));
+        // Null-free extending nullable keeps the bitmap; nullable
+        // extending null-free materializes it.
+        let mut c = ColumnVec::from_datums(vec![Datum::Int64(9)]);
+        c.extend_gather(&b, Some(&[1]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Datum::Int64(9));
+        assert_eq!(c.get(1), Datum::Null);
     }
 
     #[test]
@@ -613,7 +1023,22 @@ mod tests {
             c.to_rows(),
             vec![rows[0].clone(), rows[1].clone(), rows[3].clone()]
         );
-        assert!(matches!(c.column(0), ColumnVec::Int32(_)));
+        assert!(matches!(c.column(0).data(), ColumnData::Int32(_)));
+    }
+
+    #[test]
+    fn concat_keeps_nullable_columns_typed() {
+        let rows1 = vec![row![1i64], Row::new(vec![Datum::Null])];
+        let rows2 = vec![Row::new(vec![Datum::Null]), row![4i64]];
+        let a = RowBlock::from_rows(&rows1, 1);
+        let b = RowBlock::from_rows(&rows2, 1);
+        let c = RowBlock::concat(&[a, b], 1);
+        assert!(matches!(c.column(0).data(), ColumnData::Int64(_)));
+        assert_eq!(c.column(0).null_count(), 2);
+        assert_eq!(
+            c.to_rows(),
+            rows1.iter().chain(&rows2).cloned().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -646,6 +1071,27 @@ mod tests {
         assert_eq!(hs.len(), 3);
         for (k, &i) in [0usize, 2, 4].iter().enumerate() {
             assert_eq!(hs[k], rows[i].hash_columns(&[0, 2]));
+        }
+    }
+
+    #[test]
+    fn hash_columns_nullable_typed_matches_row_hash() {
+        // A typed Int64 column with a validity bitmap must hash NULL
+        // slots exactly like the row engine hashes Datum::Null.
+        let rows: Vec<Row> = (0..130)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Row::new(vec![Datum::Null, Datum::str("k")])
+                } else {
+                    row![i as i64, "k"]
+                }
+            })
+            .collect();
+        let b = RowBlock::from_rows(&rows, 2);
+        assert!(matches!(b.column(0).data(), ColumnData::Int64(_)));
+        let hs = b.hash_columns(&[0, 1]);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(hs[i], r.hash_columns(&[0, 1]), "row {i}");
         }
     }
 
@@ -683,17 +1129,57 @@ mod tests {
     }
 
     #[test]
-    fn push_degrades_in_place() {
+    fn push_keeps_types_and_degrades_on_mix() {
         let mut c = ColumnVec::from_datums(vec![Datum::Int32(1), Datum::Int32(2)]);
-        assert!(matches!(c, ColumnVec::Int32(_)));
+        assert!(matches!(c.data(), ColumnData::Int32(_)));
+        // A NULL no longer degrades: it sets an invalid dummy slot.
         c.push(Datum::Null);
-        assert!(matches!(c, ColumnVec::Any(_)));
+        assert!(matches!(c.data(), ColumnData::Int32(_)));
         assert_eq!(c.len(), 3);
         assert_eq!(c.get(0), Datum::Int32(1));
         assert_eq!(c.get(2), Datum::Null);
+        // A mismatched runtime type still degrades, NULLs intact.
+        c.push(Datum::str("x"));
+        assert!(matches!(c.data(), ColumnData::Any(_)));
+        assert_eq!(c.get(2), Datum::Null);
+        assert_eq!(c.get(3), Datum::str("x"));
         // Empty fallback re-types on first push.
         let mut e = ColumnVec::empty();
         e.push(Datum::str("x"));
-        assert!(matches!(e, ColumnVec::Str(_)));
+        assert!(matches!(e.data(), ColumnData::Str(_)));
+    }
+
+    #[test]
+    fn degraded_roundtrips_values() {
+        let c = ColumnVec::from_datums(vec![Datum::Int64(1), Datum::Null, Datum::Int64(3)]);
+        let d = c.degraded();
+        assert!(matches!(d.data(), ColumnData::Any(_)));
+        for i in 0..3 {
+            assert_eq!(c.get(i), d.get(i));
+            assert_eq!(c.dist_hash(i), d.dist_hash(i));
+        }
+    }
+
+    #[test]
+    fn validity_spans_word_boundaries() {
+        // 200 slots exercises multi-word bitmaps with a ragged tail.
+        let datums: Vec<Datum> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int64(i)
+                }
+            })
+            .collect();
+        let c = ColumnVec::from_datums(datums.clone());
+        assert!(matches!(c.data(), ColumnData::Int64(_)));
+        for (i, d) in datums.iter().enumerate() {
+            assert_eq!(&c.get(i), d, "slot {i}");
+        }
+        assert_eq!(
+            c.null_count(),
+            datums.iter().filter(|d| d.is_null()).count()
+        );
     }
 }

@@ -22,7 +22,9 @@ pub mod schema;
 pub mod types;
 pub mod value;
 
-pub use block::{ColumnVec, RowBlock};
+pub use block::{
+    bitmap_count, bitmap_get, bitmap_ones, bitmap_zero_tail, ColumnData, ColumnVec, RowBlock,
+};
 pub use error::{Error, Result};
 pub use oid::{MotionId, PartOid, PartScanId, SegmentId, TableOid};
 pub use row::{Row, RowBatch};

@@ -62,7 +62,8 @@ use crate::pool;
 use crate::slice::SlicePlan;
 use crate::stats::SegmentStats;
 use mpp_common::{
-    ColumnVec, Datum, Error, PartOid, PartScanId, Result, Row, RowBlock, SegmentId, TableOid,
+    bitmap_get, ColumnData, ColumnVec, Datum, Error, PartOid, PartScanId, Result, Row, RowBlock,
+    SegmentId, TableOid,
 };
 use mpp_expr::CompiledExpr;
 use mpp_plan::{AggCall, AggFunc, MotionKind, PhysicalPlan};
@@ -888,10 +889,10 @@ enum IntVar {
 
 impl IntVar {
     fn of(col: &ColumnVec) -> Option<IntVar> {
-        match col {
-            ColumnVec::Int32(_) => Some(IntVar::I32),
-            ColumnVec::Int64(_) => Some(IntVar::I64),
-            ColumnVec::Date(_) => Some(IntVar::Date),
+        match col.data() {
+            ColumnData::Int32(_) => Some(IntVar::I32),
+            ColumnData::Int64(_) => Some(IntVar::I64),
+            ColumnData::Date(_) => Some(IntVar::Date),
             _ => None,
         }
     }
@@ -1213,48 +1214,63 @@ impl PartialAgg {
                 }
                 Some(col) => {
                     let var = IntVar::of(col);
-                    match (var, col, call.func) {
+                    // Typed integer lanes, null-aware: a NULL slot counts
+                    // the row (`observe(Null)` ≡ `count += 1`) without
+                    // touching sums or extremes; null-free columns keep the
+                    // branch-free inner loop.
+                    macro_rules! lanes {
+                        ($v:expr, $to:expr, $obs:expr) => {{
+                            let v = $v;
+                            let to = $to;
+                            let obs = $obs;
+                            match col.validity() {
+                                None => {
+                                    for (k, &s) in slots.iter().enumerate() {
+                                        obs(&mut self.groups[s as usize][j], to(v[k]));
+                                    }
+                                }
+                                Some(w) => {
+                                    for (k, &s) in slots.iter().enumerate() {
+                                        let acc = &mut self.groups[s as usize][j];
+                                        if bitmap_get(w, k) {
+                                            obs(acc, to(v[k]));
+                                        } else {
+                                            acc.count += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }};
+                    }
+                    match (var, col.data(), call.func) {
                         (
                             Some(_),
-                            ColumnVec::Int32(v),
+                            ColumnData::Int32(v),
                             AggFunc::Count | AggFunc::Sum | AggFunc::Avg,
-                        ) => {
-                            for (k, &s) in slots.iter().enumerate() {
-                                self.groups[s as usize][j].observe_int(v[k] as i64);
-                            }
-                        }
+                        ) => lanes!(v, |x: i32| x as i64, |a: &mut PartialAcc, x| a
+                            .observe_int(x)),
                         (
                             Some(_),
-                            ColumnVec::Int64(v),
+                            ColumnData::Int64(v),
                             AggFunc::Count | AggFunc::Sum | AggFunc::Avg,
-                        ) => {
-                            for (k, &s) in slots.iter().enumerate() {
-                                self.groups[s as usize][j].observe_int(v[k]);
-                            }
-                        }
+                        ) => lanes!(v, |x: i64| x, |a: &mut PartialAcc, x| a.observe_int(x)),
                         (
                             Some(_),
-                            ColumnVec::Date(v),
+                            ColumnData::Date(v),
                             AggFunc::Count | AggFunc::Sum | AggFunc::Avg,
-                        ) => {
-                            for (k, &s) in slots.iter().enumerate() {
-                                self.groups[s as usize][j].observe_int(v[k] as i64);
-                            }
+                        ) => lanes!(v, |x: i32| x as i64, |a: &mut PartialAcc, x| a
+                            .observe_int(x)),
+                        (Some(var), ColumnData::Int32(v), _) => {
+                            lanes!(v, |x: i32| x as i64, |a: &mut PartialAcc, x| a
+                                .observe_int_minmax(x, var))
                         }
-                        (Some(var), ColumnVec::Int32(v), _) => {
-                            for (k, &s) in slots.iter().enumerate() {
-                                self.groups[s as usize][j].observe_int_minmax(v[k] as i64, var);
-                            }
+                        (Some(var), ColumnData::Int64(v), _) => {
+                            lanes!(v, |x: i64| x, |a: &mut PartialAcc, x| a
+                                .observe_int_minmax(x, var))
                         }
-                        (Some(var), ColumnVec::Int64(v), _) => {
-                            for (k, &s) in slots.iter().enumerate() {
-                                self.groups[s as usize][j].observe_int_minmax(v[k], var);
-                            }
-                        }
-                        (Some(var), ColumnVec::Date(v), _) => {
-                            for (k, &s) in slots.iter().enumerate() {
-                                self.groups[s as usize][j].observe_int_minmax(v[k] as i64, var);
-                            }
+                        (Some(var), ColumnData::Date(v), _) => {
+                            lanes!(v, |x: i32| x as i64, |a: &mut PartialAcc, x| a
+                                .observe_int_minmax(x, var))
                         }
                         _ => {
                             for (k, &s) in slots.iter().enumerate() {
@@ -1296,16 +1312,18 @@ impl PartialAgg {
         if positions.len() == 1 {
             let p = positions[0];
             if let Some(col) = b.columns().get(p) {
-                if let Some(var) = IntVar::of(col) {
+                // NULL group keys need datum identity — only null-free
+                // integer columns take the typed-key fast path.
+                if let (Some(var), None) = (IntVar::of(col), col.validity()) {
                     self.keys = Keys::Int {
                         var,
                         index: HashMap::new(),
                         keys: Vec::new(),
                     };
-                    return match col.as_ref() {
-                        ColumnVec::Int32(v) => self.int_slots(b, |p| v[p] as i64, n_calls),
-                        ColumnVec::Int64(v) => self.int_slots(b, |p| v[p], n_calls),
-                        ColumnVec::Date(v) => self.int_slots(b, |p| v[p] as i64, n_calls),
+                    return match col.data() {
+                        ColumnData::Int32(v) => self.int_slots(b, |p| v[p] as i64, n_calls),
+                        ColumnData::Int64(v) => self.int_slots(b, |p| v[p], n_calls),
+                        ColumnData::Date(v) => self.int_slots(b, |p| v[p] as i64, n_calls),
                         _ => unreachable!("IntVar::of matched an int column"),
                     };
                 }

@@ -18,26 +18,40 @@
 //! error), and evaluating a whole column of a subexpression visits rows the
 //! row-at-a-time path may never reach. The batch evaluator therefore:
 //!
-//! 1. tracks **alive sets** through `AND`/`OR` — conjunct *k* is evaluated
-//!    only on rows not yet decided `false` (resp. `true`), which is exactly
-//!    the set of rows the row path evaluates it on;
-//! 2. treats *any* internal error as "this block needs row semantics" and
+//! 1. evaluates *provably error-free* predicate trees as word-packed
+//!    **dual bitmaps** ([`Mask3`]): a value mask and a valid mask encode
+//!    the three truth values, leaves run branch-free typed loops over all
+//!    physical rows (NULL slots hold dummy values and are masked by the
+//!    column's validity bitmap), and `AND`/`OR`/`NOT`/`IS NULL` compose
+//!    with Kleene word formulas — 64 rows per op, order-independent
+//!    because no covered leaf can error;
+//! 2. for everything else tracks **alive sets** through `AND`/`OR` —
+//!    conjunct *k* is evaluated only on rows not yet decided `false`
+//!    (resp. `true`), which is exactly the set of rows the row path
+//!    evaluates it on;
+//! 3. treats *any* internal error as "this block needs row semantics" and
 //!    re-runs the expression row-at-a-time over the block's selection. The
 //!    fallback reproduces the row path bit for bit — including *which* row
 //!    errors first and whether an error is masked by a short circuit that
-//!    the column-major order missed (e.g. a `Cmp` whose left side errors on
-//!    row 5 while its right side errors on row 2).
+//!    the column-major order missed. Arithmetic kernels use the same
+//!    mechanism as a **deferred error mask**: overflow and division by
+//!    zero on non-NULL slots are accumulated branch-free, and one set bit
+//!    aborts the whole block to the row path.
 //!
 //! The net effect: `eval_predicate_block` ≡ filtering with
 //! [`CompiledExpr::eval_predicate`] per row, and `eval_column` ≡ mapping
 //! [`CompiledExpr::eval`] per row — values *and* errors — while the common
-//! shapes (col-op-const, BETWEEN, IN-set, AND of those) run as tight typed
-//! loops with no `Datum` construction.
+//! shapes (col-op-const, BETWEEN, IN-set, IS NULL, AND/OR of those) run as
+//! word-mask kernels with no `Datum` construction, NULLs included.
 
 use crate::ast::CmpOp;
 use crate::compile::{between_result, CompiledExpr};
 use crate::eval::cmp_holds;
-use mpp_common::{ColumnVec, Datum, Error, Result, RowBlock};
+use mpp_common::value::ArithOp;
+use mpp_common::{
+    bitmap_get, bitmap_ones, bitmap_zero_tail, ColumnData, ColumnVec, Datum, Error, Result,
+    RowBlock,
+};
 
 /// Three-valued logic as a byte: `1` true, `0` false, `-1` null/unknown.
 pub type Trool = i8;
@@ -54,20 +68,22 @@ fn datum_to_trool(d: &Datum) -> Result<Trool> {
     })
 }
 
-/// Build a boolean result column from trools (typed when null-free).
+/// Build a boolean result column from trools: typed `Bool` values with a
+/// validity bitmap marking the NULL slots (dummy `false` underneath).
 fn trools_to_column(tr: &[Trool]) -> ColumnVec {
-    if tr.contains(&T_NULL) {
-        ColumnVec::Any(
-            tr.iter()
-                .map(|&t| match t {
-                    T_NULL => Datum::Null,
-                    t => Datum::Bool(t == T_TRUE),
-                })
-                .collect(),
-        )
-    } else {
-        ColumnVec::Bool(tr.iter().map(|&t| t == T_TRUE).collect())
+    let n = tr.len();
+    let mut vals = Vec::with_capacity(n);
+    let mut valid = vec![0u64; n.div_ceil(64)];
+    let mut any_null = false;
+    for (i, &t) in tr.iter().enumerate() {
+        vals.push(t == T_TRUE);
+        if t == T_NULL {
+            any_null = true;
+        } else {
+            valid[i >> 6] |= 1 << (i & 63);
+        }
     }
+    ColumnVec::from_parts(ColumnData::Bool(vals), any_null.then_some(valid))
 }
 
 /// Integer-class view of a constant (Int32/Int64/Date — the combinations
@@ -95,7 +111,8 @@ fn const_f64(d: &Datum) -> Option<f64> {
 }
 
 /// `col OP const` over a selection: typed loops for the class-compatible
-/// combinations, per-row `sql_cmp` otherwise (same values, same errors).
+/// combinations (NULL slots yield three-valued NULL via the validity
+/// bitmap), per-row `sql_cmp` otherwise (same values, same errors).
 fn cmp_const_trools(col: &ColumnVec, sel: &[u32], op: CmpOp, val: &Datum) -> Result<Vec<Trool>> {
     // NULL constant: sql_cmp returns None before any type check.
     if val.is_null() {
@@ -107,7 +124,14 @@ fn cmp_const_trools(col: &ColumnVec, sel: &[u32], op: CmpOp, val: &Datum) -> Res
             let c = $c;
             Ok(sel
                 .iter()
-                .map(|&i| tr(cmp_holds(op, ($v[i as usize] as i64).cmp(&c))))
+                .map(|&i| {
+                    let i = i as usize;
+                    if !col.is_valid(i) {
+                        T_NULL
+                    } else {
+                        tr(cmp_holds(op, ($v[i] as i64).cmp(&c)))
+                    }
+                })
                 .collect())
         }};
     }
@@ -116,33 +140,55 @@ fn cmp_const_trools(col: &ColumnVec, sel: &[u32], op: CmpOp, val: &Datum) -> Res
             let c = $c;
             Ok(sel
                 .iter()
-                .map(|&i| tr(cmp_holds(op, ($v[i as usize] as f64).total_cmp(&c))))
+                .map(|&i| {
+                    let i = i as usize;
+                    if !col.is_valid(i) {
+                        T_NULL
+                    } else {
+                        tr(cmp_holds(op, ($v[i] as f64).total_cmp(&c)))
+                    }
+                })
                 .collect())
         }};
     }
-    match (col, const_i64(val), const_f64(val)) {
-        (ColumnVec::Int32(v), Some(c), _) => int_loop!(v, c),
-        (ColumnVec::Int64(v), Some(c), _) => int_loop!(v, c),
-        (ColumnVec::Date(v), Some(c), _) => int_loop!(v, c),
-        (ColumnVec::Int32(v), None, Some(c)) => f64_loop!(v, c),
-        (ColumnVec::Int64(v), None, Some(c)) => f64_loop!(v, c),
-        (ColumnVec::Date(v), None, Some(c)) => f64_loop!(v, c),
-        (ColumnVec::Float64(v), _, Some(c)) => f64_loop!(v, c),
-        (ColumnVec::Str(v), _, _) if matches!(val, Datum::Str(_)) => {
+    match (col.data(), const_i64(val), const_f64(val)) {
+        (ColumnData::Int32(v), Some(c), _) => int_loop!(v, c),
+        (ColumnData::Int64(v), Some(c), _) => int_loop!(v, c),
+        (ColumnData::Date(v), Some(c), _) => int_loop!(v, c),
+        (ColumnData::Int32(v), None, Some(c)) => f64_loop!(v, c),
+        (ColumnData::Int64(v), None, Some(c)) => f64_loop!(v, c),
+        (ColumnData::Date(v), None, Some(c)) => f64_loop!(v, c),
+        (ColumnData::Float64(v), _, Some(c)) => f64_loop!(v, c),
+        (ColumnData::Str(v), _, _) if matches!(val, Datum::Str(_)) => {
             let Datum::Str(c) = val else { unreachable!() };
             Ok(sel
                 .iter()
-                .map(|&i| tr(cmp_holds(op, v[i as usize].as_ref().cmp(c.as_ref()))))
+                .map(|&i| {
+                    let i = i as usize;
+                    if !col.is_valid(i) {
+                        T_NULL
+                    } else {
+                        tr(cmp_holds(op, v[i].as_ref().cmp(c.as_ref())))
+                    }
+                })
                 .collect())
         }
-        (ColumnVec::Bool(v), _, _) if matches!(val, Datum::Bool(_)) => {
+        (ColumnData::Bool(v), _, _) if matches!(val, Datum::Bool(_)) => {
             let Datum::Bool(c) = val else { unreachable!() };
             Ok(sel
                 .iter()
-                .map(|&i| tr(cmp_holds(op, v[i as usize].cmp(c))))
+                .map(|&i| {
+                    let i = i as usize;
+                    if !col.is_valid(i) {
+                        T_NULL
+                    } else {
+                        tr(cmp_holds(op, v[i].cmp(c)))
+                    }
+                })
                 .collect())
         }
-        // Mixed classes or an `Any` column: per-row semantics by reference.
+        // Mixed classes or an `Any` column: per-row semantics by reference
+        // (`get` materializes NULL slots as `Datum::Null`).
         _ => sel
             .iter()
             .map(|&i| {
@@ -170,54 +216,57 @@ fn between_const_trools(
     high: &Datum,
 ) -> Result<Vec<Trool>> {
     let tr = |b: bool| if b { T_TRUE } else { T_FALSE };
-    match (col, const_i64(low), const_i64(high)) {
-        (ColumnVec::Int32(v), Some(lo), Some(hi)) => {
+    macro_rules! typed_loop {
+        ($f:expr) => {{
+            let f = $f;
             return Ok(sel
                 .iter()
                 .map(|&i| {
-                    let x = v[i as usize] as i64;
-                    tr(x >= lo && x <= hi)
+                    let i = i as usize;
+                    if !col.is_valid(i) {
+                        T_NULL
+                    } else {
+                        tr(f(i))
+                    }
                 })
-                .collect())
+                .collect());
+        }};
+    }
+    match (col.data(), const_i64(low), const_i64(high)) {
+        (ColumnData::Int32(v), Some(lo), Some(hi)) => {
+            typed_loop!(|i: usize| {
+                let x = v[i] as i64;
+                x >= lo && x <= hi
+            })
         }
-        (ColumnVec::Int64(v), Some(lo), Some(hi)) => {
-            return Ok(sel
-                .iter()
-                .map(|&i| {
-                    let x = v[i as usize];
-                    tr(x >= lo && x <= hi)
-                })
-                .collect())
+        (ColumnData::Int64(v), Some(lo), Some(hi)) => {
+            typed_loop!(|i: usize| {
+                let x = v[i];
+                x >= lo && x <= hi
+            })
         }
-        (ColumnVec::Date(v), Some(lo), Some(hi)) => {
-            return Ok(sel
-                .iter()
-                .map(|&i| {
-                    let x = v[i as usize] as i64;
-                    tr(x >= lo && x <= hi)
-                })
-                .collect())
+        (ColumnData::Date(v), Some(lo), Some(hi)) => {
+            typed_loop!(|i: usize| {
+                let x = v[i] as i64;
+                x >= lo && x <= hi
+            })
         }
         _ => {}
     }
-    if let (ColumnVec::Float64(v), Some(lo), Some(hi)) = (col, const_f64(low), const_f64(high)) {
-        return Ok(sel
-            .iter()
-            .map(|&i| {
-                let x = v[i as usize];
-                tr(x.total_cmp(&lo) != std::cmp::Ordering::Less
-                    && x.total_cmp(&hi) != std::cmp::Ordering::Greater)
-            })
-            .collect());
+    if let (ColumnData::Float64(v), Some(lo), Some(hi)) =
+        (col.data(), const_f64(low), const_f64(high))
+    {
+        typed_loop!(|i: usize| {
+            let x = v[i];
+            x.total_cmp(&lo) != std::cmp::Ordering::Less
+                && x.total_cmp(&hi) != std::cmp::Ordering::Greater
+        });
     }
-    if let (ColumnVec::Str(v), Datum::Str(lo), Datum::Str(hi)) = (col, low, high) {
-        return Ok(sel
-            .iter()
-            .map(|&i| {
-                let x = v[i as usize].as_ref();
-                tr(x >= lo.as_ref() && x <= hi.as_ref())
-            })
-            .collect());
+    if let (ColumnData::Str(v), Datum::Str(lo), Datum::Str(hi)) = (col.data(), low, high) {
+        typed_loop!(|i: usize| {
+            let x = v[i].as_ref();
+            x >= lo.as_ref() && x <= hi.as_ref()
+        });
     }
     // NULL bounds, mixed classes, or `Any` columns: per-row 3VL.
     sel.iter()
@@ -226,19 +275,33 @@ fn between_const_trools(
 }
 
 // ---------------------------------------------------------------------
-// Word-packed predicate masks.
+// Word-packed three-valued predicate masks.
 //
-// For predicate trees whose every leaf compares a *typed* (hence
-// null-free) column against a class-compatible non-NULL constant, the
-// three-valued logic above collapses to plain two-valued logic: no leaf
-// can yield NULL or error, so `AND`/`OR` lose their alive-set bookkeeping
-// and `NOT` is a pure complement. Those trees evaluate here as one bit
-// per physical row packed into `u64` words — leaves run branch-free
-// store loops the compiler autovectorizes, combinators run word-at-a-time
-// (64 rows per op), and the final mask compacts into a selection vector
-// without a branch per row. Anything outside the shape (NULL-able `Any`
-// columns, NULL constants, strings, arithmetic) returns `None` and takes
-// the exact trools path below.
+// A predicate tree whose every leaf compares a *typed* column against a
+// class-compatible constant cannot error on any row: NULL slots flow
+// through the validity bitmap and Kleene logic is evaluation-order
+// independent, so the alive-set bookkeeping below is unnecessary. Those
+// trees evaluate here as **dual bitmaps**, one bit per physical row
+// packed into `u64` words:
+//
+// * `value` — bit set iff the predicate is definitely TRUE;
+// * `valid` — bit set iff the truth value is known (not NULL);
+// * canonical form: `value ⊆ valid` (a TRUE row is always known), and
+//   tail bits past the block's row count are zero in both.
+//
+// Leaves run branch-free store loops over all slots (dummy values in
+// NULL slots make this safe) and intersect with the column's validity;
+// combinators run word-at-a-time:
+//
+//   AND: value = a.value & b.value
+//        valid = value | (a.valid & !a.value) | (b.valid & !b.value)
+//   OR:  value = a.value | b.value
+//        valid = value | (a.valid & !a.value & b.valid & !b.value)
+//   NOT: value = valid & !value          (valid unchanged)
+//
+// Anything outside the shape (mixed-class comparisons, `Any` columns,
+// arithmetic, `InList` walks) returns `None` and takes the exact trools
+// path below.
 
 /// Set bit `i` of the mask for every row where `f` holds — branch-free,
 /// one shift/or per element.
@@ -276,73 +339,113 @@ fn cmp_mask_f64<T: Copy>(v: &[T], to: impl Fn(T) -> f64 + Copy, op: CmpOp, c: f6
     }
 }
 
-/// Clear the mask bits at and past `n` (the tail of the last word), so a
-/// complement never invents rows beyond the block.
-#[inline]
-fn zero_tail(mask: &mut [u64], n: usize) {
-    if n & 63 != 0 {
-        if let Some(last) = mask.last_mut() {
-            *last &= (1u64 << (n & 63)) - 1;
-        }
-    }
-}
-
-/// `col OP const` as a physical-row mask, for null-free typed columns in
-/// the same comparability class as the constant.
-fn cmp_const_mask(col: &ColumnVec, op: CmpOp, val: &Datum, n: usize) -> Option<Vec<u64>> {
-    if val.is_null() {
-        return None;
-    }
+/// `col OP const` as a physical-row *value* mask computed over all slots
+/// (NULL slots hold dummies — the caller intersects with validity), for
+/// typed columns in the same comparability class as the non-NULL constant.
+fn cmp_const_mask(col: &ColumnData, op: CmpOp, val: &Datum, n: usize) -> Option<Vec<u64>> {
     let mut mask = vec![0u64; n.div_ceil(64)];
     match (col, const_i64(val), const_f64(val)) {
-        (ColumnVec::Int32(v), Some(c), _) => cmp_mask_int(v, |x| x as i64, op, c, &mut mask),
-        (ColumnVec::Int64(v), Some(c), _) => cmp_mask_int(v, |x| x, op, c, &mut mask),
-        (ColumnVec::Date(v), Some(c), _) => cmp_mask_int(v, |x| x as i64, op, c, &mut mask),
-        (ColumnVec::Int32(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
-        (ColumnVec::Int64(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
-        (ColumnVec::Date(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
-        (ColumnVec::Float64(v), _, Some(c)) => cmp_mask_f64(v, |x| x, op, c, &mut mask),
+        (ColumnData::Int32(v), Some(c), _) => cmp_mask_int(v, |x| x as i64, op, c, &mut mask),
+        (ColumnData::Int64(v), Some(c), _) => cmp_mask_int(v, |x| x, op, c, &mut mask),
+        (ColumnData::Date(v), Some(c), _) => cmp_mask_int(v, |x| x as i64, op, c, &mut mask),
+        (ColumnData::Int32(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
+        (ColumnData::Int64(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
+        (ColumnData::Date(v), None, Some(c)) => cmp_mask_f64(v, |x| x as f64, op, c, &mut mask),
+        (ColumnData::Float64(v), _, Some(c)) => cmp_mask_f64(v, |x| x, op, c, &mut mask),
+        (ColumnData::Str(v), _, _) if matches!(val, Datum::Str(_)) => {
+            let Datum::Str(c) = val else { unreachable!() };
+            for (i, s) in v.iter().enumerate() {
+                mask[i >> 6] |= (cmp_holds(op, s.as_ref().cmp(c.as_ref())) as u64) << (i & 63);
+            }
+        }
+        (ColumnData::Bool(v), _, _) if matches!(val, Datum::Bool(_)) => {
+            let Datum::Bool(c) = val else { unreachable!() };
+            let c = *c;
+            fill_mask(v, &mut mask, |x| cmp_holds(op, x.cmp(&c)));
+        }
         _ => return None,
     }
     Some(mask)
 }
 
-/// `col BETWEEN low AND high` as a physical-row mask (numeric classes
-/// only — the same combinations `between_const_trools` runs typed).
-fn between_const_mask(col: &ColumnVec, low: &Datum, high: &Datum, n: usize) -> Option<Vec<u64>> {
+/// `col BETWEEN low AND high` as a physical-row value mask (the same
+/// combinations `between_const_trools` runs typed; non-NULL bounds only).
+fn between_const_mask(col: &ColumnData, low: &Datum, high: &Datum, n: usize) -> Option<Vec<u64>> {
     let mut mask = vec![0u64; n.div_ceil(64)];
     match (col, const_i64(low), const_i64(high)) {
-        (ColumnVec::Int32(v), Some(lo), Some(hi)) => {
+        (ColumnData::Int32(v), Some(lo), Some(hi)) => {
             fill_mask(v, &mut mask, |x| (x as i64) >= lo && (x as i64) <= hi);
             return Some(mask);
         }
-        (ColumnVec::Int64(v), Some(lo), Some(hi)) => {
+        (ColumnData::Int64(v), Some(lo), Some(hi)) => {
             fill_mask(v, &mut mask, |x| x >= lo && x <= hi);
             return Some(mask);
         }
-        (ColumnVec::Date(v), Some(lo), Some(hi)) => {
+        (ColumnData::Date(v), Some(lo), Some(hi)) => {
             fill_mask(v, &mut mask, |x| (x as i64) >= lo && (x as i64) <= hi);
             return Some(mask);
         }
         _ => {}
     }
-    if let (ColumnVec::Float64(v), Some(lo), Some(hi)) = (col, const_f64(low), const_f64(high)) {
+    if let (ColumnData::Float64(v), Some(lo), Some(hi)) = (col, const_f64(low), const_f64(high)) {
         use std::cmp::Ordering::*;
         fill_mask(v, &mut mask, |x| {
             x.total_cmp(&lo) != Less && x.total_cmp(&hi) != Greater
         });
         return Some(mask);
     }
+    if let (ColumnData::Str(v), Datum::Str(lo), Datum::Str(hi)) = (col, low, high) {
+        for (i, s) in v.iter().enumerate() {
+            let x = s.as_ref();
+            mask[i >> 6] |= ((x >= lo.as_ref() && x <= hi.as_ref()) as u64) << (i & 63);
+        }
+        return Some(mask);
+    }
     None
 }
 
+/// A word-packed three-valued predicate result over all physical rows:
+/// TRUE where `value` is set, FALSE where known but not set, NULL where
+/// `valid` is clear. Canonical: `value ⊆ valid`, tail bits zero.
+struct Mask3 {
+    value: Vec<u64>,
+    valid: Vec<u64>,
+}
+
+impl Mask3 {
+    /// A leaf over a typed column: `value` was computed branch-free over
+    /// all slots (dummies included); intersect it with the column's
+    /// validity so NULL slots become three-valued NULL.
+    fn leaf(mut value: Vec<u64>, col: &ColumnVec, n: usize) -> Mask3 {
+        let valid = match col.validity() {
+            Some(w) => w.to_vec(),
+            None => bitmap_ones(n),
+        };
+        for (v, &k) in value.iter_mut().zip(&valid) {
+            *v &= k;
+        }
+        Mask3 { value, valid }
+    }
+
+    /// A mask that is NULL on every row.
+    fn all_null(n: usize) -> Mask3 {
+        let words = n.div_ceil(64);
+        Mask3 {
+            value: vec![0; words],
+            valid: vec![0; words],
+        }
+    }
+}
+
 /// Intersect a physical-row mask with the block's selection. Dense blocks
-/// walk set bits (`trailing_zeros`); filtered blocks compact the selection
-/// with a branch-free conditional append.
+/// walk set bits (`trailing_zeros`) into a popcount-sized vector;
+/// filtered blocks compact the selection with a branch-free conditional
+/// append.
 fn mask_to_sel(mask: &[u64], block: &RowBlock) -> Vec<u32> {
     match block.sel() {
         None => {
-            let mut out = Vec::with_capacity(block.phys_rows());
+            // Exact allocation: one slot per set bit, not per physical row.
+            let mut out = Vec::with_capacity(mpp_common::bitmap_count(mask));
             for (w, &word) in mask.iter().enumerate() {
                 let mut word = word;
                 let base = (w as u32) << 6;
@@ -366,55 +469,297 @@ fn mask_to_sel(mask: &[u64], block: &RowBlock) -> Vec<u32> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Typed arithmetic kernels with deferred error masks.
+// ---------------------------------------------------------------------
+
+/// AND of two optional validity bitmaps (NULL if either input is NULL).
+fn and_valid(a: Option<&[u64]>, b: Option<&[u64]>) -> Option<Vec<u64>> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(w), None) | (None, Some(w)) => Some(w.to_vec()),
+        (Some(x), Some(y)) => Some(x.iter().zip(y).map(|(p, q)| p & q).collect()),
+    }
+}
+
+#[inline]
+fn valid_bit(valid: &Option<Vec<u64>>, i: usize) -> bool {
+    match valid {
+        None => true,
+        Some(w) => bitmap_get(w, i),
+    }
+}
+
+/// The abort signal for a deferred batch error: the caller re-runs the
+/// block row-at-a-time, reproducing the exact first error. Never surfaced.
+fn needs_row_path() -> Error {
+    Error::Execution("batch arithmetic needs row semantics".into())
+}
+
+/// Integer lanes (`Int32`/`Int64` operands, `Int64` result — the row
+/// path's widening rule). Overflow and division by zero are collected as
+/// deferred errors: any error on a non-NULL slot aborts to the row path.
+fn int_arith(
+    op: ArithOp,
+    n: usize,
+    a: impl Fn(usize) -> i64,
+    b: impl Fn(usize) -> i64,
+    valid: Option<Vec<u64>>,
+) -> Result<ColumnVec> {
+    let mut out = Vec::with_capacity(n);
+    let mut err = false;
+    match op {
+        ArithOp::Add => {
+            for i in 0..n {
+                let (v, o) = a(i).overflowing_add(b(i));
+                out.push(v);
+                err |= o && valid_bit(&valid, i);
+            }
+        }
+        ArithOp::Sub => {
+            for i in 0..n {
+                let (v, o) = a(i).overflowing_sub(b(i));
+                out.push(v);
+                err |= o && valid_bit(&valid, i);
+            }
+        }
+        ArithOp::Mul => {
+            for i in 0..n {
+                let (v, o) = a(i).overflowing_mul(b(i));
+                out.push(v);
+                err |= o && valid_bit(&valid, i);
+            }
+        }
+        ArithOp::Div => {
+            for i in 0..n {
+                let (x, y) = (a(i), b(i));
+                let bad = y == 0 || (x == i64::MIN && y == -1);
+                out.push(x.wrapping_div(if bad { 1 } else { y }));
+                err |= bad && valid_bit(&valid, i);
+            }
+        }
+        ArithOp::Mod => {
+            for i in 0..n {
+                let (x, y) = (a(i), b(i));
+                let bad = y == 0 || (x == i64::MIN && y == -1);
+                out.push(x.wrapping_rem(if bad { 1 } else { y }));
+                err |= bad && valid_bit(&valid, i);
+            }
+        }
+    }
+    if err {
+        return Err(needs_row_path());
+    }
+    Ok(ColumnVec::from_parts(ColumnData::Int64(out), valid))
+}
+
+/// Float lanes (either operand `Float64`): plain IEEE ops, bit-identical
+/// to the row path's `as_f64` coercions. Division/modulo by zero errors
+/// in the row path, so it defers the same way.
+fn f64_arith(
+    op: ArithOp,
+    n: usize,
+    a: impl Fn(usize) -> f64,
+    b: impl Fn(usize) -> f64,
+    valid: Option<Vec<u64>>,
+) -> Result<ColumnVec> {
+    let mut out = Vec::with_capacity(n);
+    let mut err = false;
+    match op {
+        ArithOp::Add => {
+            for i in 0..n {
+                out.push(a(i) + b(i));
+            }
+        }
+        ArithOp::Sub => {
+            for i in 0..n {
+                out.push(a(i) - b(i));
+            }
+        }
+        ArithOp::Mul => {
+            for i in 0..n {
+                out.push(a(i) * b(i));
+            }
+        }
+        ArithOp::Div => {
+            for i in 0..n {
+                let y = b(i);
+                err |= y == 0.0 && valid_bit(&valid, i);
+                out.push(a(i) / y);
+            }
+        }
+        ArithOp::Mod => {
+            for i in 0..n {
+                let y = b(i);
+                err |= y == 0.0 && valid_bit(&valid, i);
+                out.push(a(i) % y);
+            }
+        }
+    }
+    if err {
+        return Err(needs_row_path());
+    }
+    Ok(ColumnVec::from_parts(ColumnData::Float64(out), valid))
+}
+
+/// Typed arithmetic over dense argument columns. `None` means the shape
+/// is not covered (Date result-type rules, strings, `Any` columns) and
+/// the caller should evaluate per row. NULL slots propagate through the
+/// combined validity bitmap without branching the value loops.
+fn arith_column(op: ArithOp, l: &ColumnVec, r: &ColumnVec) -> Option<Result<ColumnVec>> {
+    use ColumnData::*;
+    let n = l.len();
+    let valid = and_valid(l.validity(), r.validity());
+    macro_rules! ii {
+        ($a:expr, $b:expr) => {
+            Some(int_arith(op, n, $a, $b, valid))
+        };
+    }
+    macro_rules! ff {
+        ($a:expr, $b:expr) => {
+            Some(f64_arith(op, n, $a, $b, valid))
+        };
+    }
+    match (l.data(), r.data()) {
+        (Int32(a), Int32(b)) => ii!(|i| a[i] as i64, |i| b[i] as i64),
+        (Int32(a), Int64(b)) => ii!(|i| a[i] as i64, |i| b[i]),
+        (Int64(a), Int32(b)) => ii!(|i| a[i], |i| b[i] as i64),
+        (Int64(a), Int64(b)) => ii!(|i| a[i], |i| b[i]),
+        (Float64(a), Float64(b)) => ff!(|i| a[i], |i| b[i]),
+        (Float64(a), Int32(b)) => ff!(|i| a[i], |i| b[i] as f64),
+        (Float64(a), Int64(b)) => ff!(|i| a[i], |i| b[i] as f64),
+        (Float64(a), Date(b)) => ff!(|i| a[i], |i| b[i] as f64),
+        (Int32(a), Float64(b)) => ff!(|i| a[i] as f64, |i| b[i]),
+        (Int64(a), Float64(b)) => ff!(|i| a[i] as f64, |i| b[i]),
+        (Date(a), Float64(b)) => ff!(|i| a[i] as f64, |i| b[i]),
+        _ => None,
+    }
+}
+
 impl CompiledExpr {
-    /// Word-packed two-valued evaluation over **all physical rows** of
-    /// `block`, when this predicate provably yields no NULL and no error
-    /// on any row. `None` means "shape not covered" — not a failure.
-    fn try_mask(&self, block: &RowBlock) -> Option<Vec<u64>> {
+    /// Word-packed three-valued evaluation over **all physical rows** of
+    /// `block`, when this predicate provably cannot error on any row.
+    /// `None` means "shape not covered" — not a failure.
+    fn try_mask3(&self, block: &RowBlock) -> Option<Mask3> {
         let n = block.phys_rows();
+        let words = n.div_ceil(64);
         match self {
-            CompiledExpr::Col { pos, .. } => match block.columns().get(*pos)?.as_ref() {
-                ColumnVec::Bool(v) => {
-                    let mut mask = vec![0u64; n.div_ceil(64)];
-                    fill_mask(v, &mut mask, |x| x);
-                    Some(mask)
-                }
+            CompiledExpr::Const(d) => match d {
+                Datum::Bool(true) => Some(Mask3 {
+                    value: bitmap_ones(n),
+                    valid: bitmap_ones(n),
+                }),
+                Datum::Bool(false) => Some(Mask3 {
+                    value: vec![0; words],
+                    valid: bitmap_ones(n),
+                }),
+                Datum::Null => Some(Mask3::all_null(n)),
                 _ => None,
             },
+            CompiledExpr::Col { pos, .. } => {
+                let col = block.columns().get(*pos)?;
+                match col.data() {
+                    ColumnData::Bool(v) => {
+                        let mut value = vec![0u64; words];
+                        fill_mask(v, &mut value, |x| x);
+                        Some(Mask3::leaf(value, col, n))
+                    }
+                    _ => None,
+                }
+            }
             CompiledExpr::CmpColConst { op, pos, val, .. } => {
-                cmp_const_mask(block.columns().get(*pos)?.as_ref(), *op, val, n)
+                let col = block.columns().get(*pos)?;
+                if val.is_null() {
+                    // `col op NULL` is NULL on every row, whatever the col.
+                    return Some(Mask3::all_null(n));
+                }
+                let value = cmp_const_mask(col.data(), *op, val, n)?;
+                Some(Mask3::leaf(value, col, n))
             }
             CompiledExpr::BetweenColConst { pos, low, high, .. } => {
-                between_const_mask(block.columns().get(*pos)?.as_ref(), low, high, n)
+                let col = block.columns().get(*pos)?;
+                let value = between_const_mask(col.data(), low, high, n)?;
+                Some(Mask3::leaf(value, col, n))
+            }
+            CompiledExpr::IsNull(e) => {
+                let CompiledExpr::Col { pos, .. } = e.as_ref() else {
+                    return None;
+                };
+                let col = block.columns().get(*pos)?;
+                if matches!(col.data(), ColumnData::Any(_)) {
+                    return None;
+                }
+                // The complement of the validity bitmap, in one word op
+                // per 64 rows; the result itself is never NULL.
+                let mut value = match col.validity() {
+                    None => vec![0u64; words],
+                    Some(w) => w.iter().map(|x| !x).collect(),
+                };
+                bitmap_zero_tail(&mut value, n);
+                Some(Mask3 {
+                    value,
+                    valid: bitmap_ones(n),
+                })
+            }
+            CompiledExpr::InConstSet { input, set } => {
+                let CompiledExpr::Col { pos, .. } = input.as_ref() else {
+                    return None;
+                };
+                let col = block.columns().get(*pos)?;
+                if matches!(col.data(), ColumnData::Any(_)) {
+                    return None;
+                }
+                let mut value = vec![0u64; words];
+                let mut valid = vec![0u64; words];
+                for i in 0..n {
+                    if !col.is_valid(i) {
+                        continue; // NULL probe → NULL: both bits stay 0.
+                    }
+                    match set.probe(&col.get(i)) {
+                        Ok(Datum::Bool(b)) => {
+                            valid[i >> 6] |= 1 << (i & 63);
+                            value[i >> 6] |= (b as u64) << (i & 63);
+                        }
+                        Ok(_) => continue,
+                        // Cross-class probe: the row path errors — take it.
+                        Err(_) => return None,
+                    }
+                }
+                Some(Mask3 { value, valid })
             }
             CompiledExpr::And(exprs) => {
                 let (first, rest) = exprs.split_first()?;
-                let mut acc = first.try_mask(block)?;
+                let mut acc = first.try_mask3(block)?;
                 for e in rest {
-                    let m = e.try_mask(block)?;
-                    for (a, b) in acc.iter_mut().zip(&m) {
-                        *a &= b;
+                    let m = e.try_mask3(block)?;
+                    for k in 0..acc.value.len() {
+                        let value = acc.value[k] & m.value[k];
+                        acc.valid[k] =
+                            value | (acc.valid[k] & !acc.value[k]) | (m.valid[k] & !m.value[k]);
+                        acc.value[k] = value;
                     }
                 }
                 Some(acc)
             }
             CompiledExpr::Or(exprs) => {
                 let (first, rest) = exprs.split_first()?;
-                let mut acc = first.try_mask(block)?;
+                let mut acc = first.try_mask3(block)?;
                 for e in rest {
-                    let m = e.try_mask(block)?;
-                    for (a, b) in acc.iter_mut().zip(&m) {
-                        *a |= b;
+                    let m = e.try_mask3(block)?;
+                    for k in 0..acc.value.len() {
+                        let value = acc.value[k] | m.value[k];
+                        acc.valid[k] =
+                            value | (acc.valid[k] & !acc.value[k] & m.valid[k] & !m.value[k]);
+                        acc.value[k] = value;
                     }
                 }
                 Some(acc)
             }
             CompiledExpr::Not(e) => {
-                let mut m = e.try_mask(block)?;
-                for w in m.iter_mut() {
-                    *w = !*w;
+                let mut m = e.try_mask3(block)?;
+                for k in 0..m.value.len() {
+                    m.value[k] = m.valid[k] & !m.value[k];
                 }
-                zero_tail(&mut m, n);
                 Some(m)
             }
             _ => None,
@@ -426,11 +771,12 @@ impl CompiledExpr {
     /// selection, in order) where the predicate is `true`. Errors are
     /// exactly the errors per-row filtering raises, at the same first row.
     pub fn eval_predicate_block(&self, block: &RowBlock) -> Result<(Vec<u32>, bool)> {
-        // Null-free typed shapes collapse to two-valued word masks: the
-        // trools below would produce exactly T_TRUE/T_FALSE with the same
-        // comparisons, so the mask path is equivalence-preserving.
-        if let Some(mask) = self.try_mask(block) {
-            return Ok((mask_to_sel(&mask, block), false));
+        // Error-free typed shapes (NULLs included) collapse to dual-bitmap
+        // word masks: Kleene logic is order-independent, so the masks are
+        // equivalence-preserving. The canonical form guarantees a set
+        // `value` bit means definitely TRUE.
+        if let Some(m) = self.try_mask3(block) {
+            return Ok((mask_to_sel(&m.value, block), false));
         }
         let ident;
         let sel: &[u32] = match block.sel() {
@@ -520,24 +866,32 @@ impl CompiledExpr {
                         "row too short for {col} at {pos}"
                     )));
                 }
-                match block.column(*pos) {
-                    ColumnVec::Bool(v) => Ok(sel
+                let c = block.column(*pos);
+                match c.data() {
+                    ColumnData::Bool(v) => Ok(sel
                         .iter()
-                        .map(|&i| if v[i as usize] { T_TRUE } else { T_FALSE })
+                        .map(|&i| {
+                            let i = i as usize;
+                            if !c.is_valid(i) {
+                                T_NULL
+                            } else if v[i] {
+                                T_TRUE
+                            } else {
+                                T_FALSE
+                            }
+                        })
                         .collect()),
-                    ColumnVec::Any(v) => sel
+                    ColumnData::Any(v) => sel
                         .iter()
                         .map(|&i| datum_to_trool(&v[i as usize]))
                         .collect(),
-                    // A null-free non-bool column fails `as_bool` on every
-                    // row; surface the first selected row's error.
-                    other => match sel.first() {
-                        None => Ok(Vec::new()),
-                        Some(&i) => {
-                            datum_to_trool(&other.get(i as usize))?;
-                            unreachable!("non-bool datum converted to trool")
-                        }
-                    },
+                    // A non-bool typed column: NULL slots are three-valued
+                    // NULL; the first non-NULL slot errors like the row
+                    // path's `as_bool`.
+                    _ => sel
+                        .iter()
+                        .map(|&i| datum_to_trool(&c.get(i as usize)))
+                        .collect(),
                 }
             }
             CompiledExpr::CmpColConst { op, pos, col, val } => {
@@ -635,11 +989,24 @@ impl CompiledExpr {
                 })
                 .collect()),
             CompiledExpr::IsNull(e) => {
-                // IS NULL of a typed (null-free) column is uniformly false
-                // without touching values.
+                // IS NULL of a typed column reads the validity bitmap
+                // without touching values (uniformly false when
+                // null-free).
                 if let CompiledExpr::Col { pos, .. } = e.as_ref() {
-                    if *pos < block.width() && !matches!(block.column(*pos), ColumnVec::Any(_)) {
-                        return Ok(vec![T_FALSE; sel.len()]);
+                    if *pos < block.width() {
+                        let c = block.column(*pos);
+                        if !matches!(c.data(), ColumnData::Any(_)) {
+                            return Ok(sel
+                                .iter()
+                                .map(|&i| {
+                                    if c.is_valid(i as usize) {
+                                        T_FALSE
+                                    } else {
+                                        T_TRUE
+                                    }
+                                })
+                                .collect());
+                        }
                     }
                 }
                 let vals = e.values(block, sel)?;
@@ -739,6 +1106,11 @@ impl CompiledExpr {
             CompiledExpr::Arith { op, left, right } => {
                 let l = left.values(block, sel)?;
                 let r = right.values(block, sel)?;
+                // Typed lanes with deferred error masks; NULL slots ride
+                // the combined validity bitmap.
+                if let Some(res) = arith_column(*op, &l, &r) {
+                    return res;
+                }
                 let mut out = Vec::with_capacity(sel.len());
                 for k in 0..sel.len() {
                     out.push(l.get(k).arith(*op, &r.get(k))?);
@@ -839,11 +1211,12 @@ mod tests {
     fn null_columns_and_consts_match_row_path() {
         let rows = mixed_rows();
         let shapes = vec![
-            Expr::eq(col(2), Expr::lit(30i64)),       // Any column probe
+            Expr::eq(col(2), Expr::lit(30i64)),       // nullable typed probe
             Expr::eq(col(1), Expr::Lit(Datum::Null)), // NULL const
             Expr::IsNull(Box::new(col(2))),
             Expr::Not(Box::new(Expr::IsNull(Box::new(col(3))))),
             Expr::between(col(2), Expr::lit(10i64), Expr::lit(40i64)),
+            Expr::in_list(col(2), vec![Expr::lit(10i64), Expr::lit(40i64)]),
         ];
         for e in shapes {
             assert_block_matches_rows(&e, &rows);
@@ -946,6 +1319,94 @@ mod tests {
     }
 
     #[test]
+    fn arith_kernels_match_row_eval() {
+        // Typed lanes across ops and operand classes, with NULLs: values
+        // (and float bit patterns) must equal the per-row results.
+        let rows: Vec<Row> = (0..150)
+            .map(|i| {
+                if i % 11 == 0 {
+                    Row::new(vec![Datum::Null, Datum::Int64(i), Datum::str("s")])
+                } else if i % 7 == 0 {
+                    Row::new(vec![Datum::Int32(i as i32), Datum::Null, Datum::str("s")])
+                } else {
+                    row![i as i32, i * 3 + 1, "s"]
+                }
+            })
+            .collect();
+        let block = RowBlock::from_rows(&rows, 3);
+        let mk = |op, l: Expr, r: Expr| Expr::Arith {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        let exprs = vec![
+            mk(ArithOp::Add, col(1), col(2)),
+            mk(ArithOp::Sub, col(2), col(1)),
+            mk(ArithOp::Mul, col(1), col(2)),
+            mk(ArithOp::Div, col(2), Expr::lit(3i32)),
+            mk(ArithOp::Mod, col(2), Expr::lit(7i64)),
+            mk(ArithOp::Add, col(1), Expr::lit(0.5f64)),
+            mk(ArithOp::Div, col(2), Expr::lit(2.5f64)),
+            mk(ArithOp::Mod, col(2), Expr::lit(1.5f64)),
+            mk(ArithOp::Mul, Expr::lit(1.25f64), col(1)),
+        ];
+        for e in exprs {
+            let c = compile(&e, &ctx3());
+            let (vals, _) = c.eval_column(&block).unwrap();
+            for (i, r) in rows.iter().enumerate() {
+                let want = c.eval(r).unwrap();
+                let got = vals.get(i);
+                // Bit-identity for floats (total_cmp distinguishes -0.0).
+                match (&got, &want) {
+                    (Datum::Float64(a), Datum::Float64(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{e:?} row {i}")
+                    }
+                    _ => assert_eq!(got, want, "{e:?} row {i}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arith_deferred_errors_match_row_eval() {
+        // Division by zero mid-block, overflow, and date arithmetic all
+        // leave the kernels and reproduce exact row-path errors.
+        let rows = vec![
+            row![4i32, 2i64, "x"],
+            row![9i32, 0i64, "y"],
+            row![16i32, 4i64, "z"],
+        ];
+        let mk = |op, l: Expr, r: Expr| Expr::Arith {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        let shapes = vec![
+            mk(ArithOp::Div, col(1), col(2)),
+            mk(ArithOp::Mod, col(1), col(2)),
+            mk(ArithOp::Mul, Expr::lit(i64::MAX), col(1)),
+            mk(ArithOp::Div, Expr::lit(1.0f64), col(2)),
+        ];
+        for e in shapes {
+            let c = compile(&e, &ctx3());
+            let block = RowBlock::from_rows(&rows, 3);
+            let batch = c.eval_column(&block);
+            let mut byrow: Result<Vec<Datum>> = rows.iter().map(|r| c.eval(r)).collect();
+            match (&batch, &mut byrow) {
+                (Ok((vals, _)), Ok(want)) => {
+                    for (i, w) in want.iter().enumerate() {
+                        assert_eq!(&vals.get(i), w, "{e:?} row {i}");
+                    }
+                }
+                (Err(be), Err(re)) => {
+                    assert_eq!(be.to_string(), re.to_string(), "error mismatch for {e:?}")
+                }
+                (b, r) => panic!("outcome mismatch for {e:?}: batch={b:?} rows={r:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn eval_column_under_selection() {
         let rows = mixed_rows();
         let block = RowBlock::from_rows(&rows, 3).with_sel(vec![0, 2, 4]);
@@ -987,6 +1448,77 @@ mod tests {
         for e in ops {
             assert_block_matches_rows(&e, &rows);
         }
+    }
+
+    #[test]
+    fn null_word_masks_match_row_path_across_word_boundaries() {
+        // Nullable typed columns spanning three mask words: every leaf
+        // shape, IS NULL, NOT, and nested AND/OR run as dual bitmaps and
+        // must agree with per-row three-valued logic bit for bit.
+        let rows: Vec<Row> = (0..150)
+            .map(|i| {
+                let a = if i % 5 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int32(i % 13)
+                };
+                let b = if i % 9 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Int64((i * 7 % 29) as i64)
+                };
+                let s = if i % 4 == 0 {
+                    Datum::Null
+                } else {
+                    Datum::str(if i % 2 == 0 { "x" } else { "y" })
+                };
+                Row::new(vec![a, b, s])
+            })
+            .collect();
+        let ops = [
+            Expr::eq(col(1), Expr::lit(5i32)),
+            Expr::cmp(CmpOp::Ne, col(1), Expr::lit(5i32)),
+            Expr::lt(col(1), Expr::lit(6i32)),
+            Expr::gt(col(2), Expr::lit(14i64)),
+            Expr::eq(col(3), Expr::lit("x")),
+            Expr::between(col(2), Expr::lit(3i64), Expr::lit(21i64)),
+            Expr::between(col(3), Expr::lit("x"), Expr::lit("y")),
+            Expr::in_list(col(1), vec![Expr::lit(1i32), Expr::lit(5i32)]),
+            Expr::IsNull(Box::new(col(1))),
+            Expr::Not(Box::new(Expr::IsNull(Box::new(col(2))))),
+            Expr::Not(Box::new(Expr::lt(col(1), Expr::lit(6i32)))),
+            Expr::eq(col(1), Expr::Lit(Datum::Null)),
+            Expr::and(vec![
+                Expr::gt(col(1), Expr::lit(2i32)),
+                Expr::lt(col(2), Expr::lit(20i64)),
+            ]),
+            Expr::or(vec![
+                Expr::lt(col(1), Expr::lit(2i32)),
+                Expr::gt(col(2), Expr::lit(25i64)),
+                Expr::IsNull(Box::new(col(3))),
+            ]),
+            Expr::and(vec![
+                Expr::or(vec![
+                    Expr::eq(col(3), Expr::lit("x")),
+                    Expr::IsNull(Box::new(col(1))),
+                ]),
+                Expr::Not(Box::new(Expr::eq(col(2), Expr::lit(0i64)))),
+            ]),
+        ];
+        for e in ops {
+            assert_block_matches_rows(&e, &rows);
+        }
+        // The dual-bitmap path really ran (no fallback) on a covered shape.
+        let c = compile(
+            &Expr::and(vec![
+                Expr::gt(col(1), Expr::lit(2i32)),
+                Expr::IsNull(Box::new(col(2))),
+            ]),
+            &ctx3(),
+        );
+        let block = RowBlock::from_rows(&rows, 3);
+        let (_, fell_back) = c.eval_predicate_block(&block).unwrap();
+        assert!(!fell_back);
     }
 
     #[test]

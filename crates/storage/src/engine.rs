@@ -383,6 +383,18 @@ impl Storage {
         self.catalog.set_stats(table, stats.clone());
         Ok(stats)
     }
+
+    /// Rewrite every resident block into the `Any` (per-datum)
+    /// representation. A benchmarking aid: it reproduces the engine's
+    /// pre-validity-bitmap behavior — where one NULL degraded a whole
+    /// column — on identical data, so the typed-vs-degraded gap is
+    /// measurable without a historical build.
+    pub fn degrade_blocks(&self) {
+        let mut g = self.inner.write();
+        for b in g.data.values_mut() {
+            *b = b.degraded();
+        }
+    }
 }
 
 /// Cut one block into morsels of at most `morsel_rows` logical rows,

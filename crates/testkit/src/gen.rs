@@ -154,7 +154,10 @@ fn gen_row(g: &mut StdRng, spec: &TableSpec, next_id: &mut i64, force_uncovered:
 }
 
 fn gen_v(g: &mut StdRng) -> Val {
-    if g.gen_range(0u32..100) < 25 {
+    // High NULL weight on purpose: nullable columns now keep their typed
+    // representation (validity bitmaps), and the differential suites must
+    // exercise the 3VL mask/agg/hash kernels, not just null-free lanes.
+    if g.gen_range(0u32..100) < 40 {
         Val::Null
     } else {
         Val::Int(g.gen_range(-5i64..15))
@@ -162,7 +165,7 @@ fn gen_v(g: &mut StdRng) -> Val {
 }
 
 fn gen_s(g: &mut StdRng) -> Val {
-    if g.gen_range(0u32..100) < 20 {
+    if g.gen_range(0u32..100) < 35 {
         Val::Null
     } else {
         Val::Str(pick(g, VOCAB).to_string())

@@ -110,6 +110,64 @@ pub fn setup_skewed(
     Ok((oid, hot_b))
 }
 
+/// Register and populate a table `name(a, b, v)` shaped like R plus a
+/// *nullable* value column: `v` is NULL with probability `null_pct`/100,
+/// otherwise uniform over `[0, a_domain)`. Partitioning, distribution,
+/// and the `a`/`b` columns match [`setup_rs`]'s R, so existing query
+/// shapes port directly; the NULL slots keep `v` in its typed
+/// representation (validity bitmap), making this the workload for the
+/// null-fraction benchmark axis and the nullable equivalence suites.
+pub fn setup_nullable(
+    storage: &Storage,
+    name: &str,
+    cfg: &SynthConfig,
+    null_pct: u32,
+) -> Result<TableOid> {
+    let cat = storage.catalog();
+    let schema = Schema::new(vec![
+        Column::new("a", DataType::Int32).not_null(),
+        Column::new("b", DataType::Int32).not_null(),
+        Column::new("v", DataType::Int32),
+    ]);
+    let oid = cat.allocate_table_oid();
+    let partitioning = match cfg.r_parts {
+        None => None,
+        Some(n) => {
+            let first = cat.allocate_part_oids(n as u32);
+            Some(range_parts_equal_width(
+                1,
+                Datum::Int32(0),
+                Datum::Int32(cfg.b_domain),
+                n,
+                first,
+            )?)
+        }
+    };
+    cat.register(TableDesc {
+        oid,
+        name: name.into(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning,
+    })?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let data = (0..cfg.r_rows).map(|_| {
+        let v = if rng.gen_range(0..100u32) < null_pct {
+            Datum::Null
+        } else {
+            Datum::Int32(rng.gen_range(0..cfg.a_domain))
+        };
+        Row::new(vec![
+            Datum::Int32(rng.gen_range(0..cfg.a_domain)),
+            Datum::Int32(rng.gen_range(0..cfg.b_domain)),
+            v,
+        ])
+    });
+    storage.insert(oid, data)?;
+    storage.analyze(oid)?;
+    Ok(oid)
+}
+
 fn setup_one(
     storage: &Storage,
     name: &str,

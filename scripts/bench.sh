@@ -20,29 +20,58 @@
 #               scan+filter+agg pipeline over 10k/100k/1M rows x
 #               4/64/1024 partitions, both exec modes, plus the
 #               skewed-partition scheduler benchmark (one partition
-#               holding ~92% of 400k rows, 4 segments): morsel-driven
-#               work stealing vs the per-segment-thread baseline.
+#               holding ~92% of 400k rows, 4 segments) and the
+#               null-fraction axis: a 1M-row nullable column at
+#               0/10/50% NULLs, validity-bitmap representation vs the
+#               same data force-degraded to per-datum Any columns.
 #               Appends records to results/BENCH_batch.json and asserts
 #               the block engine is >= 2x on the 100k scan+filter
-#               pipeline and the morsel scheduler >= 2x on the skewed
-#               aggregate. In --test smoke mode the skew benchmark
-#               checks morsel == per-segment result equality only.
+#               pipeline, the morsel scheduler >= 2x on the skewed
+#               aggregate, and the typed representation >= 2x the
+#               degraded path on the 1M scan+filter at 10% NULLs. In
+#               --test smoke mode only the result-equality checks run.
+#   kernels     block-kernel microbenchmarks (no planner/storage):
+#               filter word-mask, dual-bitmap 3VL AND/OR, and columnar
+#               distribution hashing at 0/10/50% NULLs, typed vs
+#               Any-degraded. Appends to results/BENCH_kernels.json.
 #
 # Pass --test to run everything in smoke mode (single samples, tiny row
 # counts, no JSON output) — what CI uses.
+#
+# Pass --native to run with RUSTFLAGS="-C target-cpu=native" (fresh
+# codegen against the host ISA — lets the autovectorizer use wider SIMD
+# in the word-mask and hash lanes). Numbers land in the same JSON files;
+# compare the last two runs. Off by default because the binaries stop
+# being portable and the target/ cache is invalidated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+args=()
+native=0
+for a in "$@"; do
+  case "$a" in
+    --native) native=1 ;;
+    *) args+=("$a") ;;
+  esac
+done
+if [[ "$native" == 1 ]]; then
+  export RUSTFLAGS="${RUSTFLAGS:+$RUSTFLAGS }-C target-cpu=native"
+  echo "== bench: native codegen (RUSTFLAGS=$RUSTFLAGS) =="
+fi
+
 echo "== bench: expr_eval =="
-cargo bench -p mpp-bench --bench expr_eval -- "$@"
+cargo bench -p mpp-bench --bench expr_eval -- ${args[@]+"${args[@]}"}
 
 echo "== bench: table2 --quick =="
 cargo run --release -p mpp-bench --bin table2 -- --quick
 
 echo "== bench: bench_qps =="
-cargo bench -p mpp-bench --bench bench_qps -- "$@"
+cargo bench -p mpp-bench --bench bench_qps -- ${args[@]+"${args[@]}"}
 
 echo "== bench: batch_pipeline =="
-cargo bench -p mpp-bench --bench batch_pipeline -- "$@"
+cargo bench -p mpp-bench --bench batch_pipeline -- ${args[@]+"${args[@]}"}
 
-echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json and results/table2.json) =="
+echo "== bench: kernels =="
+cargo bench -p mpp-bench --bench kernels -- ${args[@]+"${args[@]}"}
+
+echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json and results/table2.json) =="

@@ -6,7 +6,7 @@
 use mppart::common::{Datum, Row};
 use mppart::core::OptimizerConfig;
 use mppart::testing::{approx_same_bag, sorted};
-use mppart::workloads::{setup_rs, setup_skewed, SynthConfig};
+use mppart::workloads::{setup_nullable, setup_rs, setup_skewed, SynthConfig};
 use mppart::{ExecMode, MppDb, Planner, SchedConfig, SchedPolicy};
 use proptest::prelude::*;
 
@@ -302,6 +302,47 @@ proptest! {
         let (seq, par) = mode_pair(segs, parts, seed);
         let sql = format!("SELECT * FROM r WHERE {}", pred.to_sql());
         assert_modes_agree(&seq, &par, &sql, &[])?;
+    }
+
+    /// Nullable typed columns (validity bitmaps): three-valued predicate
+    /// logic, NULL-skipping aggregates, and NULL group keys must behave
+    /// identically under sequential and parallel execution, on both
+    /// planners' plans.
+    #[test]
+    fn parallel_matches_sequential_on_nullable_columns(
+        cutoff in 0i32..200,
+        null_pct in prop_oneof![Just(0u32), Just(10), Just(50)],
+        seed in 0u64..50,
+        parts in 1usize..16,
+    ) {
+        let cfg = SynthConfig {
+            r_rows: 300,
+            s_rows: 0,
+            r_parts: Some(parts),
+            s_parts: None,
+            b_domain: 200,
+            a_domain: 200,
+            seed,
+        };
+        let mk = |mode| {
+            let db = MppDb::with_config(OptimizerConfig {
+                num_segments: 3,
+                ..OptimizerConfig::default()
+            })
+            .with_exec_mode(mode);
+            setup_nullable(db.storage(), "rn", &cfg, null_pct).unwrap();
+            db
+        };
+        let (seq, par) = (mk(ExecMode::Sequential), mk(ExecMode::Parallel));
+        for sql in [
+            format!("SELECT * FROM rn WHERE v < {cutoff} OR v IS NULL"),
+            format!("SELECT * FROM rn WHERE v IS NOT NULL AND b < {cutoff}"),
+            format!("SELECT b, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) \
+                     FROM rn WHERE a < {cutoff} GROUP BY b"),
+            "SELECT v, COUNT(*) FROM rn GROUP BY v".to_string(),
+        ] {
+            assert_modes_agree(&seq, &par, &sql, &[])?;
+        }
     }
 
     /// Joins exercise Motion staging and dynamic partition elimination;
