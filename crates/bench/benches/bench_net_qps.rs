@@ -1,0 +1,167 @@
+//! Network service throughput: QPS and client-observed p50/p99 latency
+//! of point-lookup statements over the wire protocol, at 1 / 16 / 128 /
+//! 512 concurrent connections against one server process (in-process
+//! listener on a loopback socket — real frames, real TCP, real
+//! per-connection sessions).
+//!
+//! Appends a record to `results/BENCH_net_qps.json` with, per
+//! connection count: QPS, client p50/p99 microseconds, and the
+//! server-side histogram quantiles from the `Stats` frame. Smoke mode
+//! (`--test`) shrinks the matrix and skips the JSON.
+
+use mpp_bench::write_result;
+use mpp_server::{Client, Server, ServerConfig};
+use mpp_session::SessionCtx;
+use mppart::common::Datum;
+use mppart::workloads::{setup_rs, SynthConfig};
+use mppart::MppDb;
+use std::sync::Arc;
+use std::time::Instant;
+
+const STATEMENTS: &[(&str, i32)] = &[
+    ("SELECT * FROM r WHERE b = $1", 17),
+    ("SELECT count(*) FROM r WHERE b < $1", 60),
+];
+
+fn mk_ctx() -> Arc<SessionCtx> {
+    let db = MppDb::new(2);
+    setup_rs(
+        db.storage(),
+        &SynthConfig {
+            r_rows: 2_000,
+            s_rows: 0,
+            r_parts: Some(50),
+            s_parts: None,
+            b_domain: 200,
+            a_domain: 200,
+            seed: 2014,
+        },
+    )
+    .unwrap();
+    SessionCtx::with_db(db, 256)
+}
+
+fn quantile(sorted_micros: &[u64], q: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_micros.len() as f64).ceil() as usize).clamp(1, sorted_micros.len());
+    sorted_micros[rank - 1]
+}
+
+/// Drive `conns` client connections, each running `iters` passes of the
+/// workload; returns (qps, sorted per-statement client latencies in µs).
+fn run_load(addr: std::net::SocketAddr, conns: usize, iters: usize) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(iters * STATEMENTS.len());
+                    for i in 0..iters {
+                        for (sql, v) in STATEMENTS {
+                            let params = [Datum::Int32((v + (i + c) as i32 * 7) % 200)];
+                            let t0 = Instant::now();
+                            let reply = client.query(sql, &params).expect("query");
+                            lats.push(t0.elapsed().as_micros() as u64);
+                            std::hint::black_box(reply.rows.len());
+                        }
+                    }
+                    let _ = client.goodbye();
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (
+        (conns * iters * STATEMENTS.len()) as f64 / elapsed,
+        latencies,
+    )
+}
+
+fn main() {
+    let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    let server = Server::start(
+        mk_ctx(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 600,
+            max_inflight_queries: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let matrix: &[usize] = if smoke { &[1, 4] } else { &[1, 16, 128, 512] };
+    println!(
+        "\n== bench_net_qps: {} statements/pass over {addr} ==\n",
+        STATEMENTS.len()
+    );
+
+    let mut records = Vec::new();
+    for &conns in matrix {
+        // Keep total statement count roughly flat across the matrix so
+        // each point runs for a comparable wall-clock span.
+        let iters = if smoke { 2 } else { (4_000 / conns).max(8) };
+        let (qps, lats) = run_load(addr, conns, iters);
+        let p50 = quantile(&lats, 0.50);
+        let p99 = quantile(&lats, 0.99);
+        println!(
+            "{conns:>3} connection(s): {qps:>9.0} qps | client p50 {p50:>6}us p99 {p99:>7}us \
+             ({} statements)",
+            lats.len()
+        );
+        records.push(serde_json::json!({
+            "connections": conns,
+            "qps": qps,
+            "client_p50_micros": p50,
+            "client_p99_micros": p99,
+            "statements": lats.len(),
+        }));
+    }
+
+    // Server-side view over the whole run, straight from a Stats frame.
+    let mut probe = Client::connect(addr).expect("stats connect");
+    let m = probe.server_stats().expect("stats");
+    let _ = probe.goodbye();
+    println!(
+        "\nserver: {} queries ({} err), p50 {}us p99 {}us, {} rows in {} blocks",
+        m.queries_started,
+        m.queries_err,
+        m.latency_quantile_micros(0.50),
+        m.latency_quantile_micros(0.99),
+        m.rows_streamed,
+        m.blocks_streamed,
+    );
+    assert_eq!(m.queries_err, 0, "the bench workload must not fail queries");
+
+    if !smoke {
+        write_result(
+            "BENCH_net_qps",
+            &serde_json::json!({
+                "statements": STATEMENTS.iter().map(|(q, _)| *q).collect::<Vec<_>>(),
+                "by_connections": records,
+                "server": serde_json::json!({
+                    "queries": m.queries_started,
+                    "p50_micros": m.latency_quantile_micros(0.50),
+                    "p99_micros": m.latency_quantile_micros(0.99),
+                    "rows_streamed": m.rows_streamed,
+                    "blocks_streamed": m.blocks_streamed,
+                    "cache_hits": m.cache_hits,
+                    "cache_misses": m.cache_misses,
+                }),
+            }),
+        );
+    }
+    server.stop();
+}

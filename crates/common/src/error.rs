@@ -37,6 +37,10 @@ pub enum Error {
     Arithmetic(String),
     /// Feature intentionally out of scope.
     Unsupported(String),
+    /// Execution stopped cooperatively: a cancel request, a dropped
+    /// client connection, or a query deadline. Raised at block
+    /// boundaries by the executor's cancellation checks.
+    Cancelled(String),
     /// Anything else.
     Internal(String),
 }
@@ -57,6 +61,7 @@ impl Error {
             Error::Execution(_) => "execution",
             Error::Arithmetic(_) => "arithmetic",
             Error::Unsupported(_) => "unsupported",
+            Error::Cancelled(_) => "cancelled",
             Error::Internal(_) => "internal",
         }
     }
@@ -75,6 +80,7 @@ impl Error {
             | Error::Execution(m)
             | Error::Arithmetic(m)
             | Error::Unsupported(m)
+            | Error::Cancelled(m)
             | Error::Internal(m) => m,
         }
     }

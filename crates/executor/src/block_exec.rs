@@ -79,6 +79,7 @@ pub(crate) fn exec_block(
             gate,
             ..
         } => {
+            ctx.check_cancel()?;
             if let Some(g) = gate {
                 if !ctx.oid_param_contains(*g, *part)? {
                     return Ok(Vec::new());
@@ -104,6 +105,7 @@ pub(crate) fn exec_block(
             {
                 let mut stats = ctx.seg_stats(seg);
                 for (oid, (_, block)) in oids.iter().zip(scans) {
+                    ctx.check_cancel()?;
                     let n = block.as_ref().map_or(0, |b| b.len());
                     stats.record_part_scan(*table, *oid, n);
                     if let Some(b) = block {

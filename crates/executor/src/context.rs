@@ -10,6 +10,7 @@
 use crate::exec::ExecMode;
 use crate::prepared::CompiledCache;
 use crate::stats::{ExecutionStats, SegmentStats};
+use crate::stream::CancelToken;
 use mpp_common::{Datum, Error, MotionId, PartOid, PartScanId, Result, Row, RowBlock, SegmentId};
 use mpp_plan::PhysicalPlan;
 use parking_lot::{Mutex, MutexGuard};
@@ -79,6 +80,10 @@ pub struct ExecContext<'a> {
     /// Compiled-expression template cache of a [`crate::prepared::PreparedPlan`]
     /// execution; `None` for ad-hoc plans (compile per slice, as before).
     compiled_cache: Option<&'a CompiledCache>,
+    /// Cooperative cancellation, checked at block boundaries (per stage,
+    /// per segment, per partition scanned). A fresh token never trips, so
+    /// the collecting entry points pay only an uncontended atomic load.
+    cancel: CancelToken,
 }
 
 impl<'a> ExecContext<'a> {
@@ -123,6 +128,7 @@ impl<'a> ExecContext<'a> {
                 .map(|_| Mutex::new(SegmentStats::default()))
                 .collect(),
             compiled_cache: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -130,6 +136,18 @@ impl<'a> ExecContext<'a> {
     pub(crate) fn with_compiled_cache(mut self, cache: Option<&'a CompiledCache>) -> Self {
         self.compiled_cache = cache;
         self
+    }
+
+    /// Attach a cancellation token to this execution.
+    pub(crate) fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Cooperative cancellation point: `Err(Error::Cancelled)` once the
+    /// token tripped (explicitly or by deadline).
+    pub fn check_cancel(&self) -> Result<()> {
+        self.cancel.check()
     }
 
     pub(crate) fn compiled_cache(&self) -> Option<&'a CompiledCache> {

@@ -18,6 +18,7 @@ use crate::morsel::{self, SchedConfig};
 use crate::prepared::CompiledCache;
 use crate::slice::init_plan_sites;
 use crate::stats::ExecutionStats;
+use crate::stream::{CancelToken, ResultChunk, RowSink, StreamResult};
 use mpp_catalog::PartTree;
 use mpp_common::{Datum, Error, PartOid, Result, Row, SegmentId, TableOid};
 use mpp_expr::analysis::{derive_interval_set, DerivedSet};
@@ -196,6 +197,10 @@ pub(crate) fn run_plan(
     )
 }
 
+/// The collecting driver: one streaming execution whose sink appends
+/// every chunk to a row vector. This is the *only* way a materialized
+/// `Vec<Row>` is ever produced — streaming and collecting execution
+/// share one implementation.
 pub(crate) fn run_plan_sched(
     storage: &Storage,
     plan: &PhysicalPlan,
@@ -205,6 +210,59 @@ pub(crate) fn run_plan_sched(
     cache: Option<&CompiledCache>,
     sched: &SchedConfig,
 ) -> Result<QueryResult> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut sink = |chunk: ResultChunk| {
+        chunk.append_to(&mut rows);
+        Ok(())
+    };
+    let out = run_plan_stream(
+        storage,
+        plan,
+        params,
+        mode,
+        engine,
+        cache,
+        sched,
+        &CancelToken::new(),
+        &mut sink,
+    );
+    let stats = out.into_stats()?;
+    Ok(QueryResult { rows, stats })
+}
+
+/// Streaming execution with full control over mode, engine, scheduler
+/// and cancellation: result chunks are pushed into `sink` as each
+/// segment (and, for the block engine, each chunk) completes at the
+/// root. Statistics survive errors — a cancelled query reports what it
+/// scanned before stopping.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_sched(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+    engine: ExecEngine,
+    sched: &SchedConfig,
+    cancel: &CancelToken,
+    sink: &mut RowSink<'_>,
+) -> StreamResult {
+    run_plan_stream(
+        storage, plan, params, mode, engine, None, sched, cancel, sink,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_plan_stream(
+    storage: &Storage,
+    plan: &PhysicalPlan,
+    params: &[Datum],
+    mode: ExecMode,
+    engine: ExecEngine,
+    cache: Option<&CompiledCache>,
+    sched: &SchedConfig,
+    cancel: &CancelToken,
+    sink: &mut RowSink<'_>,
+) -> StreamResult {
     // DML mutates shared storage from one driver thread in either mode;
     // its children still execute per segment, with Motions materialized
     // lazily, so it always runs under a sequential context. It also
@@ -222,31 +280,59 @@ pub(crate) fn run_plan_sched(
         engine
     };
     let ctx = ExecContext::for_plan(plan, params, storage.num_segments(), eff_mode)
-        .with_compiled_cache(cache);
+        .with_compiled_cache(cache)
+        .with_cancel(cancel.clone());
+    let result = run_plan_stream_inner(plan, storage, &ctx, eff_engine, sched, sink);
+    let mut stats = ctx.into_stats();
+    match result {
+        Ok(rows_returned) => {
+            stats.rows_returned = rows_returned;
+            StreamResult {
+                stats,
+                result: Ok(()),
+            }
+        }
+        Err(e) => StreamResult {
+            stats,
+            result: Err(e),
+        },
+    }
+}
+
+fn run_plan_stream_inner(
+    plan: &PhysicalPlan,
+    storage: &Storage,
+    ctx: &ExecContext<'_>,
+    engine: ExecEngine,
+    sched: &SchedConfig,
+    sink: &mut RowSink<'_>,
+) -> Result<u64> {
     // Init plans run once, before the main plan — the classic planner
     // contract. Publishing every $oids parameter up front is what lets a
     // gated scan below a Motion read a parameter its InitPlanOids
     // sibling sits above, in both modes, and it makes the two modes
     // reach gates in an identical publication state.
     for init in init_plan_sites(plan) {
+        ctx.check_cancel()?;
         let t0 = Instant::now();
-        exec(init, SegmentId(0), storage, &ctx)?;
+        exec(init, SegmentId(0), storage, ctx)?;
         ctx.seg_stats(SegmentId(0)).elapsed += t0.elapsed();
     }
-    let rows = if is_dml(plan) {
+    if is_dml(plan) {
         let t0 = Instant::now();
-        let rows = exec_dml(plan, storage, &ctx)?;
+        let rows = exec_dml(plan, storage, ctx)?;
         ctx.seg_stats(SegmentId(0)).elapsed += t0.elapsed();
-        rows
+        let n = rows.len() as u64;
+        if !rows.is_empty() {
+            sink(ResultChunk::Rows(rows))?;
+        }
+        Ok(n)
     } else {
         // One stage driver for both modes and both engines: the plan is
         // cut into slices at Motion boundaries and each stage's work runs
         // on the morsel scheduler (Sequential = one worker).
-        morsel::run_stages(plan, storage, &ctx, eff_engine, sched)?
-    };
-    let mut stats = ctx.into_stats();
-    stats.rows_returned = rows.len() as u64;
-    Ok(QueryResult { rows, stats })
+        morsel::run_stages_stream(plan, storage, ctx, engine, sched, sink)
+    }
 }
 
 fn is_dml(plan: &PhysicalPlan) -> bool {
@@ -293,6 +379,7 @@ pub(crate) fn exec(
             gate,
             ..
         } => {
+            ctx.check_cancel()?;
             // Legacy gated scan: skip entirely when the run-time OID set
             // excludes this partition.
             if let Some(g) = gate {
@@ -319,6 +406,7 @@ pub(crate) fn exec(
             {
                 let mut stats = ctx.seg_stats(seg);
                 for (oid, (_, part_rows)) in oids.iter().zip(scans) {
+                    ctx.check_cancel()?;
                     stats.record_part_scan(*table, *oid, part_rows.len());
                     rows.extend(part_rows);
                 }

@@ -38,13 +38,14 @@ mod pool;
 pub mod prepared;
 pub mod slice;
 pub mod stats;
+pub mod stream;
 
 #[cfg(test)]
 mod motion_tests;
 
 pub use context::ExecContext;
 pub use exec::{
-    execute, execute_mode, execute_with_params, execute_with_params_engine,
+    execute, execute_mode, execute_stream_sched, execute_with_params, execute_with_params_engine,
     execute_with_params_mode, execute_with_params_sched, ExecEngine, ExecMode, Executor,
     QueryResult,
 };
@@ -52,3 +53,4 @@ pub use morsel::{SchedConfig, SchedPolicy};
 pub use prepared::{execute_prepared, CompiledCache, PreparedPlan};
 pub use slice::SlicePlan;
 pub use stats::{ExecutionStats, SegmentStats};
+pub use stream::{CancelToken, ResultChunk, RowSink, StreamResult};

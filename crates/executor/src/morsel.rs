@@ -61,9 +61,10 @@ use crate::exec::{compiled, exec, AggExec, ExecEngine, ExecMode};
 use crate::pool;
 use crate::slice::SlicePlan;
 use crate::stats::SegmentStats;
+use crate::stream::{ResultChunk, RowSink};
 use mpp_common::{
-    bitmap_get, ColumnData, ColumnVec, Datum, Error, PartOid, PartScanId, Result, Row, RowBlock,
-    SegmentId, TableOid,
+    bitmap_get, ColumnData, ColumnVec, Datum, Error, MotionId, PartOid, PartScanId, Result, Row,
+    RowBlock, SegmentId, TableOid,
 };
 use mpp_expr::CompiledExpr;
 use mpp_plan::{AggCall, AggFunc, MotionKind, PhysicalPlan};
@@ -187,17 +188,19 @@ where
 }
 
 /// The unified stage driver: materialize every Motion stage in
-/// children-before-parents order, then run the root slice. Both modes and
-/// both engines route through here (Sequential = one worker), so Motions
-/// always materialize eagerly stage by stage, exactly as the old parallel
-/// drivers did.
-pub(crate) fn run_stages(
+/// children-before-parents order, then run the root slice, emitting its
+/// output through `sink` chunk by chunk. Both modes and both engines
+/// route through here (Sequential = one worker), so Motions always
+/// materialize eagerly stage by stage, exactly as the old parallel
+/// drivers did. Returns the number of rows emitted.
+pub(crate) fn run_stages_stream(
     plan: &PhysicalPlan,
     storage: &Storage,
     ctx: &ExecContext<'_>,
     engine: ExecEngine,
     sched: &SchedConfig,
-) -> Result<Vec<Row>> {
+    sink: &mut RowSink<'_>,
+) -> Result<u64> {
     let slices = SlicePlan::cut(plan);
     // From here on every Motion a task reads must come from a stage (or
     // from the init-plan phase, whose subtree Motions are already cached
@@ -205,12 +208,50 @@ pub(crate) fn run_stages(
     ctx.freeze_motions();
     let segs: Vec<SegmentId> = storage.segments().collect();
     if segs.is_empty() {
-        return Ok(Vec::new());
+        return Ok(0);
     }
     let workers = sched.effective_workers(ctx.mode(), segs.len());
     match engine {
-        ExecEngine::Row => run_stages_rows(&slices, storage, ctx, workers, &segs),
-        ExecEngine::Batch => run_stages_blocks(&slices, storage, ctx, workers, &segs, sched),
+        ExecEngine::Row => run_stages_rows(&slices, storage, ctx, workers, &segs, sink),
+        ExecEngine::Batch => run_stages_blocks(&slices, storage, ctx, workers, &segs, sched, sink),
+    }
+}
+
+/// The incremental-delivery fast path: when the plan root is an uncached
+/// `Motion{Gather}` and execution is sequential, the final Gather is not
+/// materialized as a stage at all — each segment's child-slice output is
+/// handed to the sink as that segment finishes, so the first chunks
+/// reach a network client while later segments are still scanning.
+///
+/// This is observable-behavior-identical to the staged path: Gather
+/// consumption on segment 0 records no stats (it takes the preroute
+/// copy), the single `record_motion_counts` still happens exactly once
+/// after *all* segments succeeded, rows arrive in segment order, and the
+/// first error in segment order wins either way.
+fn stream_root<'p>(
+    slices: &SlicePlan<'p>,
+    ctx: &ExecContext<'_>,
+) -> Option<(MotionId, &'p PhysicalPlan)> {
+    if ctx.mode() != ExecMode::Sequential {
+        // Parallel stages overlap segments; streaming them per segment
+        // would serialize the workers. Keep the staged path.
+        return None;
+    }
+    match slices.root {
+        PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child,
+        } => {
+            let id = ctx.motion_id_of(slices.root).ok()?;
+            // An init-plan phase may have materialized this Motion
+            // already; consuming the cache is then the correct path.
+            if ctx.motion_cached(id).is_none() && ctx.motion_cached_blocks(id).is_none() {
+                Some((id, child.as_ref()))
+            } else {
+                None
+            }
+        }
+        _ => None,
     }
 }
 
@@ -220,7 +261,8 @@ fn run_stages_rows(
     ctx: &ExecContext<'_>,
     workers: usize,
     segs: &[SegmentId],
-) -> Result<Vec<Row>> {
+    sink: &mut RowSink<'_>,
+) -> Result<u64> {
     // One task per segment; with `preroute` set (Gather stages) each task
     // clones its own output while the rows are warm, concatenated in
     // segment order — byte-identical to what `route_motion` assembles.
@@ -243,8 +285,14 @@ fn run_stages_rows(
         Ok((per_source, routed))
     };
 
+    let streamed = stream_root(slices, ctx);
     for site in &slices.stages {
+        ctx.check_cancel()?;
         let id = ctx.motion_id_of(site.node)?;
+        if matches!(streamed, Some((sid, _)) if sid == id) {
+            // The root Gather streams; its child runs below, per segment.
+            continue;
+        }
         if ctx.motion_cached(id).is_some() {
             continue;
         }
@@ -256,10 +304,41 @@ fn run_stages_rows(
             ctx.preroute_put(id, routed);
         }
     }
+    ctx.check_cancel()?;
+    if let Some((id, child)) = streamed {
+        let mut counts = Vec::with_capacity(segs.len());
+        let mut total = 0u64;
+        for &seg in segs {
+            ctx.check_cancel()?;
+            let t0 = Instant::now();
+            let res = exec(child, seg, storage, ctx);
+            ctx.seg_stats(seg).elapsed += t0.elapsed();
+            let rows = res?;
+            counts.push(rows.len() as u64);
+            total += rows.len() as u64;
+            if !rows.is_empty() {
+                ctx.check_cancel()?;
+                sink(ResultChunk::Rows(rows))?;
+            }
+        }
+        // Recorded only once the whole Gather succeeded — the staged
+        // path's stats carry no trace of a failed materialization either.
+        ctx.record_motion_counts(id, &counts);
+        return Ok(total);
+    }
     let (per_segment, _) = run_slice(slices.root, false)?;
-    Ok(per_segment.into_iter().flatten().collect())
+    let mut total = 0u64;
+    for rows in per_segment {
+        total += rows.len() as u64;
+        if !rows.is_empty() {
+            ctx.check_cancel()?;
+            sink(ResultChunk::Rows(rows))?;
+        }
+    }
+    Ok(total)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_stages_blocks(
     slices: &SlicePlan<'_>,
     storage: &Storage,
@@ -267,7 +346,8 @@ fn run_stages_blocks(
     workers: usize,
     segs: &[SegmentId],
     sched: &SchedConfig,
-) -> Result<Vec<Row>> {
+    sink: &mut RowSink<'_>,
+) -> Result<u64> {
     let run_slice =
         |node: &PhysicalPlan, preroute: bool| -> Result<(Vec<Vec<RowBlock>>, Vec<RowBlock>)> {
             if matches!(sched.policy, SchedPolicy::Morsel) {
@@ -293,8 +373,14 @@ fn run_stages_blocks(
             Ok((per_source, routed))
         };
 
+    let streamed = stream_root(slices, ctx);
     for site in &slices.stages {
+        ctx.check_cancel()?;
         let id = ctx.motion_id_of(site.node)?;
+        if matches!(streamed, Some((sid, _)) if sid == id) {
+            // The root Gather streams; its child runs below, per segment.
+            continue;
+        }
         // Skip stages already materialized — by an earlier stage, or by
         // the init-plan phase (init subtrees run the row engine and cache
         // rows; their Motions are never consumed by the main traversal).
@@ -313,12 +399,63 @@ fn run_stages_blocks(
             ctx.preroute_blocks_put(id, routed);
         }
     }
+    ctx.check_cancel()?;
+    if let Some((id, child)) = streamed {
+        // Analyze once; the fused driver then runs one segment at a time
+        // so chunks stream out as each segment completes. Single-segment
+        // invocations produce the same morsel decomposition, merge order
+        // and stats as one all-segments invocation — only the scheduling
+        // envelope shrinks.
+        let fused = if matches!(sched.policy, SchedPolicy::Morsel) {
+            FusedSlice::analyze(child, ctx)
+        } else {
+            None
+        };
+        let mut counts = Vec::with_capacity(segs.len());
+        let mut total = 0u64;
+        for &seg in segs {
+            ctx.check_cancel()?;
+            let chunks = match &fused {
+                Some(f) => {
+                    let (mut per_source, _) =
+                        run_fused(f, storage, ctx, workers, &[seg], sched, false)?;
+                    per_source.pop().unwrap_or_default()
+                }
+                None => {
+                    let t0 = Instant::now();
+                    let res = exec_block(child, seg, storage, ctx);
+                    ctx.seg_stats(seg).elapsed += t0.elapsed();
+                    res?
+                }
+            };
+            let rows: u64 = chunks.iter().map(|b| b.len() as u64).sum();
+            counts.push(rows);
+            total += rows;
+            // A cancel check per block, not just per segment: a Cancel
+            // frame arriving while a big segment result drains to a
+            // network sink must stop at the next block boundary.
+            for b in chunks {
+                if !b.is_empty() {
+                    ctx.check_cancel()?;
+                    sink(ResultChunk::Block(b))?;
+                }
+            }
+        }
+        ctx.record_motion_counts(id, &counts);
+        return Ok(total);
+    }
     let (per_segment, _) = run_slice(slices.root, false)?;
-    Ok(per_segment
-        .into_iter()
-        .flatten()
-        .flat_map(|b| b.to_rows())
-        .collect())
+    let mut total = 0u64;
+    for chunks in per_segment {
+        for b in chunks {
+            total += b.len() as u64;
+            if !b.is_empty() {
+                ctx.check_cancel()?;
+                sink(ResultChunk::Block(b))?;
+            }
+        }
+    }
+    Ok(total)
 }
 
 // ---------------------------------------------------------------------
@@ -546,6 +683,7 @@ impl<'p> FusedSlice<'p> {
             }
             FusedSource::Parts(specs) => {
                 for s in specs {
+                    ctx.check_cancel()?;
                     if let Some(g) = s.gate {
                         if !ctx.oid_param_contains(g, s.part)? {
                             continue;
@@ -561,6 +699,7 @@ impl<'p> FusedSlice<'p> {
                 let scans =
                     storage.scan_batch_blocks(oids.iter().map(|&oid| PhysId::Part(oid)), seg);
                 for (oid, (_, block)) in oids.iter().zip(scans) {
+                    ctx.check_cancel()?;
                     local.record_part_scan(*table, *oid, block.as_ref().map_or(0, |b| b.len()));
                     push(block, filter);
                 }

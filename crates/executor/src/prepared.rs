@@ -18,8 +18,9 @@
 //! reaches occupy cache space.
 
 use crate::context::ExecContext;
-use crate::exec::{run_plan, run_plan_sched, ExecEngine, ExecMode, QueryResult};
+use crate::exec::{run_plan, run_plan_sched, run_plan_stream, ExecEngine, ExecMode, QueryResult};
 use crate::morsel::SchedConfig;
+use crate::stream::{CancelToken, RowSink, StreamResult};
 use mpp_common::{Datum, Result};
 use mpp_expr::{compile, ColRef, CompiledExpr, EvalContext, Expr};
 use mpp_plan::PhysicalPlan;
@@ -128,6 +129,34 @@ impl PreparedPlan {
             engine,
             Some(&self.cache),
             sched,
+        )
+    }
+
+    /// Streaming execution of the pinned plan: chunks flow through
+    /// `sink` as segments finish, cancellation is honored at block
+    /// boundaries, and statistics survive errors. Same template cache as
+    /// the collecting path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_stream_sched(
+        &self,
+        storage: &Storage,
+        params: &[Datum],
+        mode: ExecMode,
+        engine: ExecEngine,
+        sched: &SchedConfig,
+        cancel: &CancelToken,
+        sink: &mut RowSink<'_>,
+    ) -> StreamResult {
+        run_plan_stream(
+            storage,
+            &self.plan,
+            params,
+            mode,
+            engine,
+            Some(&self.cache),
+            sched,
+            cancel,
+            sink,
         )
     }
 }

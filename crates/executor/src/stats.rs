@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 /// Counters collected by one segment (worker) during one execution.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SegmentStats {
     /// Wall-clock time this segment spent executing its slices. Under
     /// `ExecMode::Parallel` this is the worker thread's own time; under
@@ -78,7 +78,7 @@ impl SegmentStats {
 }
 
 /// Counters for one query execution, merged across segments.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ExecutionStats {
     /// Distinct leaf partitions scanned, per root table — the metric of
     /// paper Figure 16.

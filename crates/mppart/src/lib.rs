@@ -38,8 +38,10 @@ pub use mpp_workloads as workloads;
 use mpp_catalog::Catalog;
 use mpp_common::{Datum, Error, PartOid, Result, Row};
 use mpp_core::{Optimizer, OptimizerConfig};
-use mpp_executor::{execute_with_params_sched, ExecutionStats, PreparedPlan};
-pub use mpp_executor::{ExecEngine, ExecMode, SchedConfig, SchedPolicy};
+use mpp_executor::{execute_stream_sched, ExecutionStats, PreparedPlan};
+pub use mpp_executor::{
+    CancelToken, ExecEngine, ExecMode, ResultChunk, RowSink, SchedConfig, SchedPolicy, StreamResult,
+};
 use mpp_expr::ColRefGenerator;
 use mpp_legacy::LegacyPlanner;
 use mpp_plan::{explain, PhysicalPlan};
@@ -83,6 +85,34 @@ pub struct QueryOutcome {
     pub cache: Option<CacheInfo>,
 }
 
+/// Result of *streaming* one SQL statement: the rows went through the
+/// caller's sink, so only the statistics, plan and cache counters remain
+/// here. Unlike [`QueryOutcome`], statistics survive errors — a
+/// cancelled or failed query reports what it did before stopping, which
+/// is what the network layer sends in an `Error` frame.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    pub stats: ExecutionStats,
+    /// The executed physical plan; `None` when the statement failed
+    /// before planning completed.
+    pub plan: Option<Arc<PhysicalPlan>>,
+    /// Plan-cache counters when the statement ran through a session.
+    pub cache: Option<CacheInfo>,
+    pub result: Result<()>,
+}
+
+impl StreamOutcome {
+    /// An outcome for a statement that failed before execution started.
+    pub fn failed(e: Error) -> StreamOutcome {
+        StreamOutcome {
+            stats: ExecutionStats::default(),
+            plan: None,
+            cache: None,
+            result: Err(e),
+        }
+    }
+}
+
 /// A statement prepared against the catalog: parse, bind and optimize are
 /// paid once at [`MppDb::prepare`] time; every [`MppDb::execute_prepared`]
 /// binds fresh parameters, re-resolves partition OIDs through the plan's
@@ -104,6 +134,12 @@ impl PreparedQuery {
     /// Exact number of `$n` parameters each execution must supply.
     pub fn param_count(&self) -> u32 {
         self.param_count
+    }
+
+    /// Is this an `EXPLAIN` statement (executions return plan text rows
+    /// instead of running the plan)?
+    pub fn is_explain(&self) -> bool {
+        self.explain
     }
 
     pub fn planner(&self) -> Planner {
@@ -260,42 +296,97 @@ impl MppDb {
     }
 
     /// The single parse→DDL→bind→optimize→execute path behind both
-    /// planner flavors (and the session layer).
+    /// planner flavors (and the session layer): a streaming execution
+    /// whose sink collects every chunk into the returned row vector.
     pub fn run_sql(
         &self,
         sql_text: &str,
         params: &[Datum],
         planner: Planner,
     ) -> Result<QueryOutcome> {
-        let stmt = mpp_sql::parse(sql_text)?;
-        if let Some(outcome) = self.try_ddl(&stmt)? {
-            return Ok(outcome);
-        }
-        let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
-        check_param_arity(bound.param_count, params.len())?;
-        let plan = Arc::new(self.optimize_with(planner, &bound.plan)?);
-        if bound.explain {
-            return Ok(QueryOutcome {
-                rows: explain_rows(&plan),
+        let mut rows: Vec<Row> = Vec::new();
+        let mut sink = |chunk: ResultChunk| {
+            chunk.append_to(&mut rows);
+            Ok(())
+        };
+        let out = self.stream_sql(sql_text, params, planner, &CancelToken::new(), &mut sink);
+        out.result?;
+        Ok(QueryOutcome {
+            rows,
+            stats: out.stats,
+            plan: out
+                .plan
+                .expect("successful statement always carries a plan"),
+            cache: out.cache,
+        })
+    }
+
+    /// Streaming form of [`MppDb::run_sql`]: result chunks flow through
+    /// `sink` as segments finish, `cancel` stops execution at the next
+    /// block boundary, and the returned [`StreamOutcome`] keeps partial
+    /// statistics even on error. DDL and `EXPLAIN` behave exactly as in
+    /// the collecting path (DDL emits no chunks; EXPLAIN emits its plan
+    /// text as one chunk without executing).
+    pub fn stream_sql(
+        &self,
+        sql_text: &str,
+        params: &[Datum],
+        planner: Planner,
+        cancel: &CancelToken,
+        sink: &mut RowSink<'_>,
+    ) -> StreamOutcome {
+        // Everything up to execution fails without stats, as before.
+        let planned = (|| {
+            let stmt = mpp_sql::parse(sql_text)?;
+            if self.try_ddl(&stmt)?.is_some() {
+                return Ok(None);
+            }
+            let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
+            check_param_arity(bound.param_count, params.len())?;
+            let plan = Arc::new(self.optimize_with(planner, &bound.plan)?);
+            Ok(Some((plan, bound.explain)))
+        })();
+        let (plan, explain) = match planned {
+            Err(e) => return StreamOutcome::failed(e),
+            // DDL already executed inside try_ddl; it has no result rows.
+            Ok(None) => {
+                return StreamOutcome {
+                    stats: ExecutionStats::default(),
+                    plan: Some(Arc::new(PhysicalPlan::Values {
+                        rows: vec![],
+                        output: vec![],
+                    })),
+                    cache: None,
+                    result: Ok(()),
+                }
+            }
+            Ok(Some(p)) => p,
+        };
+        if explain {
+            let result = sink(ResultChunk::Rows(explain_rows(&plan)));
+            return StreamOutcome {
                 stats: ExecutionStats::default(),
-                plan,
+                plan: Some(plan),
                 cache: None,
-            });
+                result,
+            };
         }
-        let res = execute_with_params_sched(
+        let out = execute_stream_sched(
             &self.storage,
             &plan,
             params,
             self.exec_mode,
             self.exec_engine,
             &self.sched,
-        )?;
-        Ok(QueryOutcome {
-            rows: res.rows,
-            stats: res.stats,
-            plan,
+            cancel,
+            sink,
+        );
+        StreamOutcome {
+            stats: out.stats,
+            plan: Some(plan),
             cache: None,
-        })
+            result: out.result,
+        }
     }
 
     /// Prepare a statement: parse, bind and optimize once. The returned
@@ -330,29 +421,57 @@ impl MppDb {
 
     /// Execute a prepared statement with this call's parameter bindings.
     pub fn execute_prepared(&self, q: &PreparedQuery, params: &[Datum]) -> Result<QueryOutcome> {
-        check_param_arity(q.param_count, params.len())?;
+        let mut rows: Vec<Row> = Vec::new();
+        let mut sink = |chunk: ResultChunk| {
+            chunk.append_to(&mut rows);
+            Ok(())
+        };
+        let out = self.stream_prepared(q, params, &CancelToken::new(), &mut sink);
+        out.result?;
+        Ok(QueryOutcome {
+            rows,
+            stats: out.stats,
+            plan: out.plan.expect("prepared statement always carries a plan"),
+            cache: out.cache,
+        })
+    }
+
+    /// Streaming form of [`MppDb::execute_prepared`].
+    pub fn stream_prepared(
+        &self,
+        q: &PreparedQuery,
+        params: &[Datum],
+        cancel: &CancelToken,
+        sink: &mut RowSink<'_>,
+    ) -> StreamOutcome {
         let plan = Arc::clone(q.prepared.plan());
-        if q.explain {
-            return Ok(QueryOutcome {
-                rows: explain_rows(&plan),
-                stats: ExecutionStats::default(),
-                plan,
-                cache: None,
-            });
+        if let Err(e) = check_param_arity(q.param_count, params.len()) {
+            return StreamOutcome::failed(e);
         }
-        let res = q.prepared.execute_engine_sched(
+        if q.explain {
+            let result = sink(ResultChunk::Rows(explain_rows(&plan)));
+            return StreamOutcome {
+                stats: ExecutionStats::default(),
+                plan: Some(plan),
+                cache: None,
+                result,
+            };
+        }
+        let out = q.prepared.execute_stream_sched(
             &self.storage,
             params,
             self.exec_mode,
             self.exec_engine,
             &self.sched,
-        )?;
-        Ok(QueryOutcome {
-            rows: res.rows,
-            stats: res.stats,
-            plan,
+            cancel,
+            sink,
+        );
+        StreamOutcome {
+            stats: out.stats,
+            plan: Some(plan),
             cache: None,
-        })
+            result: out.result,
+        }
     }
 
     fn optimize_with(

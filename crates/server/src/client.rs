@@ -1,0 +1,280 @@
+//! Blocking client for the wire protocol, used by tests, benches, and
+//! the `mpp_cli` example.
+//!
+//! One [`Client`] is one connection; [`Client::query`] and
+//! [`Client::execute`] collect a full streamed reply. The lower-level
+//! [`Client::send`] / [`Client::recv`] pair is for tests that need to
+//! observe individual frames (e.g. reading one `DataBlock` and then
+//! cancelling). A [`Canceller`] is a cloned socket handle that can
+//! inject a `Cancel` frame while `recv` is blocked on the same
+//! connection from another thread.
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{read_frame, write_frame, ClientMsg, ServerMsg, MAX_FRAME, PROTOCOL_VERSION};
+use mpp_common::{Datum, Row};
+use mppart::executor::ExecutionStats;
+use mppart::CacheInfo;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, protocol, or a server `Error` frame.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    /// The byte stream violated the protocol (bad frame, bad sequence).
+    Proto(String),
+    /// The server answered with an `Error` frame. `code` is stable and
+    /// machine-readable — an engine error kind (`"planning"`, …) or a
+    /// server code (`"overloaded"`, `"cancelled"`, `"timeout"`, …);
+    /// `stats` carries partial execution statistics when execution had
+    /// started.
+    Server {
+        code: String,
+        message: String,
+        /// Boxed so the error stays small next to the `Ok` payloads.
+        stats: Option<Box<ExecutionStats>>,
+    },
+}
+
+impl ClientError {
+    /// The server error code, if this is a server-reported failure.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// Partial execution statistics from a server-reported failure.
+    pub fn stats(&self) -> Option<&ExecutionStats> {
+        match self {
+            ClientError::Server {
+                stats: Some(stats), ..
+            } => Some(stats.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Proto(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message, .. } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A fully collected statement result.
+#[derive(Debug, Default)]
+pub struct Reply {
+    /// Output column names (empty for DDL, which sends no description).
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    pub stats: ExecutionStats,
+    pub cache: Option<CacheInfo>,
+    /// How many `DataBlock` frames the result arrived in.
+    pub data_blocks: usize,
+}
+
+/// One protocol connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client { stream };
+        client.send(&ClientMsg::Hello {
+            version: PROTOCOL_VERSION,
+            options: Vec::new(),
+        })?;
+        match client.recv()? {
+            ServerMsg::HelloOk { .. } => Ok(client),
+            ServerMsg::Error {
+                code,
+                message,
+                stats,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                stats: stats.map(Box::new),
+            }),
+            other => Err(ClientError::Proto(format!(
+                "unexpected handshake reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Write one frame. Low-level; prefer [`Client::query`].
+    pub fn send(&mut self, msg: &ClientMsg) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &msg.encode()).map_err(ClientError::Io)
+    }
+
+    /// Read one frame. Low-level; prefer [`Client::query`].
+    pub fn recv(&mut self) -> Result<ServerMsg, ClientError> {
+        match read_frame(&mut self.stream, MAX_FRAME) {
+            Ok(Some(payload)) => {
+                ServerMsg::decode(&payload).map_err(|e| ClientError::Proto(e.to_string()))
+            }
+            Ok(None) => Err(ClientError::Proto("server closed the connection".into())),
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Run one SQL statement and collect the streamed result.
+    pub fn query(&mut self, sql: &str, params: &[Datum]) -> Result<Reply, ClientError> {
+        self.send(&ClientMsg::Query {
+            sql: sql.to_string(),
+            params: params.to_vec(),
+        })?;
+        self.collect_reply()
+    }
+
+    /// Plan `sql` under `name`; returns the statement's parameter count.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<u32, ClientError> {
+        self.send(&ClientMsg::Prepare {
+            name: name.to_string(),
+            sql: sql.to_string(),
+        })?;
+        match self.recv()? {
+            ServerMsg::PrepareOk { param_count, .. } => Ok(param_count),
+            ServerMsg::Error {
+                code,
+                message,
+                stats,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                stats: stats.map(Box::new),
+            }),
+            other => Err(ClientError::Proto(format!(
+                "unexpected Prepare reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a statement prepared under `name`.
+    pub fn execute(&mut self, name: &str, params: &[Datum]) -> Result<Reply, ClientError> {
+        self.send(&ClientMsg::Execute {
+            name: name.to_string(),
+            params: params.to_vec(),
+        })?;
+        self.collect_reply()
+    }
+
+    /// Forget a prepared statement (idempotent).
+    pub fn close_prepared(&mut self, name: &str) -> Result<(), ClientError> {
+        self.send(&ClientMsg::ClosePrepared {
+            name: name.to_string(),
+        })?;
+        match self.recv()? {
+            ServerMsg::CloseOk => Ok(()),
+            other => Err(ClientError::Proto(format!(
+                "unexpected ClosePrepared reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot.
+    pub fn server_stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.send(&ClientMsg::Stats)?;
+        match self.recv()? {
+            ServerMsg::StatsReply { metrics } => Ok(metrics),
+            other => Err(ClientError::Proto(format!(
+                "unexpected Stats reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask for the in-flight query on *this* connection to stop. Usually
+    /// sent from a [`Canceller`] while the main thread is mid-`recv`;
+    /// exposed here too for single-threaded drive-by-frames tests.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Cancel)
+    }
+
+    /// A second handle to this connection's socket that can inject a
+    /// `Cancel` frame from another thread.
+    pub fn canceller(&self) -> io::Result<Canceller> {
+        Ok(Canceller {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Shutdown)?;
+        match self.recv()? {
+            ServerMsg::CloseOk => Ok(()),
+            other => Err(ClientError::Proto(format!(
+                "unexpected Shutdown reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly close.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Goodbye)
+    }
+
+    fn collect_reply(&mut self) -> Result<Reply, ClientError> {
+        let mut reply = Reply::default();
+        loop {
+            match self.recv()? {
+                ServerMsg::RowDescription { columns } => reply.columns = columns,
+                ServerMsg::DataBlock { rows } => {
+                    reply.data_blocks += 1;
+                    reply.rows.extend(rows);
+                }
+                ServerMsg::CommandComplete { stats, cache } => {
+                    reply.stats = stats;
+                    reply.cache = cache;
+                    return Ok(reply);
+                }
+                ServerMsg::Error {
+                    code,
+                    message,
+                    stats,
+                } => {
+                    return Err(ClientError::Server {
+                        code,
+                        message,
+                        stats: stats.map(Box::new),
+                    })
+                }
+                other => {
+                    return Err(ClientError::Proto(format!(
+                        "unexpected frame {other:?} in query reply"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Cloned socket handle for out-of-band cancellation.
+pub struct Canceller {
+    stream: TcpStream,
+}
+
+impl Canceller {
+    pub fn cancel(&mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &ClientMsg::Cancel.encode())
+    }
+}

@@ -1,0 +1,918 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload
+//! length followed by the payload, whose first byte is the message type
+//! and whose remainder is the message body. Client-originated types use
+//! the `0x0_` range, server-originated types `0x8_`, so a stray frame
+//! read in the wrong direction decodes to a clean error rather than a
+//! misparse.
+//!
+//! Decoding never panics on hostile input: every length and count is
+//! checked against the bytes actually present *before* any allocation
+//! is sized from it, unknown type bytes and trailing garbage are
+//! errors, and [`read_frame`] rejects length headers above
+//! [`MAX_FRAME`] without reading (or allocating) the claimed payload.
+//!
+//! There is no serde in this layer on purpose: the vendored serde stub
+//! has a no-op derive, and the frame layout is part of the protocol
+//! contract — spelled out here, tested by round-trip in
+//! `tests/proto_roundtrip.rs`.
+
+use crate::metrics::MetricsSnapshot;
+use mpp_common::{Datum, MotionId, PartOid, Row, TableOid};
+use mppart::executor::{ExecutionStats, SegmentStats};
+use mppart::CacheInfo;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Protocol revision carried in `Hello`; the server rejects mismatches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload. Large results never need large
+/// frames — they stream as many `DataBlock`s — so this is purely a
+/// defense against hostile length headers.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Error code carried by [`ServerMsg::Error`] when admission control
+/// sheds a query or connection.
+pub const CODE_OVERLOADED: &str = "overloaded";
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// First frame on every connection.
+    Hello {
+        version: u32,
+        /// Free-form option pairs (reserved; the server currently
+        /// ignores unknown keys rather than erroring).
+        options: Vec<(String, String)>,
+    },
+    /// Run one SQL statement with positional `$n` parameters.
+    Query { sql: String, params: Vec<Datum> },
+    /// Plan a statement once under a connection-local name.
+    Prepare { name: String, sql: String },
+    /// Execute a named prepared statement.
+    Execute { name: String, params: Vec<Datum> },
+    /// Forget a named prepared statement.
+    ClosePrepared { name: String },
+    /// Stop the in-flight query at its next block boundary. Sent
+    /// out-of-band: the server reads it while a query is streaming.
+    Cancel,
+    /// Ask for a server metrics snapshot.
+    Stats,
+    /// Orderly connection close.
+    Goodbye,
+    /// Ask the whole server to shut down gracefully.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake accepted.
+    HelloOk { version: u32 },
+    /// Output column names, sent before the first `DataBlock` of any
+    /// row-returning statement.
+    RowDescription { columns: Vec<String> },
+    /// One chunk of result rows. A large result is a sequence of these.
+    DataBlock { rows: Vec<Row> },
+    /// Successful end of a statement, with its execution statistics and
+    /// (when the statement ran through the plan cache) cache counters.
+    CommandComplete {
+        stats: ExecutionStats,
+        cache: Option<CacheInfo>,
+    },
+    /// `Prepare` succeeded.
+    PrepareOk { name: String, param_count: u32 },
+    /// `ClosePrepared` done (idempotent).
+    CloseOk,
+    /// Reply to `Stats`.
+    StatsReply { metrics: MetricsSnapshot },
+    /// Any failure: a stable machine-readable `code` (an engine error
+    /// kind, or a server-level code such as `"overloaded"`,
+    /// `"cancelled"`, `"timeout"`, `"limit_rows"`, `"limit_bytes"`,
+    /// `"protocol"`, `"shutting_down"`, `"unknown_prepared"`), a human
+    /// message, and — when execution had started — the partial
+    /// statistics up to the failure point.
+    Error {
+        code: String,
+        message: String,
+        stats: Option<ExecutionStats>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+/// Write one frame: `u32` little-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame's payload. `Ok(None)` is a clean EOF *at a frame
+/// boundary*; EOF inside a frame is an error. A length header above
+/// `max` is rejected before anything is allocated or read.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len[1..])?,
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds limit {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------
+
+/// Decode failure: what was wrong with the bytes. Never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+type DResult<T> = Result<T, DecodeError>;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential reader over a payload that reports truncation instead of
+/// panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DecodeError(format!(
+                "truncated: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> DResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> DResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError(format!("invalid bool byte {b:#04x}"))),
+        }
+    }
+
+    fn u32(&mut self) -> DResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> DResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> DResult<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> DResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> DResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError("string is not valid UTF-8".into()))
+    }
+
+    /// A collection count, sanity-checked: each element needs at least
+    /// `min_elem` bytes, so a count the remaining bytes cannot possibly
+    /// satisfy is rejected *before* any allocation is sized from it.
+    fn count(&mut self, what: &str, min_elem: usize) -> DResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(DecodeError(format!(
+                "{what} count {n} impossible with {} bytes left",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> DResult<()> {
+        if self.remaining() != 0 {
+            return Err(DecodeError(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Datum / Row encoding
+// ---------------------------------------------------------------------
+
+const DATUM_NULL: u8 = 0;
+const DATUM_BOOL: u8 = 1;
+const DATUM_INT32: u8 = 2;
+const DATUM_INT64: u8 = 3;
+const DATUM_FLOAT64: u8 = 4;
+const DATUM_STR: u8 = 5;
+const DATUM_DATE: u8 = 6;
+
+fn put_datum(buf: &mut Vec<u8>, d: &Datum) {
+    match d {
+        Datum::Null => buf.push(DATUM_NULL),
+        Datum::Bool(b) => {
+            buf.push(DATUM_BOOL);
+            buf.push(*b as u8);
+        }
+        Datum::Int32(v) => {
+            buf.push(DATUM_INT32);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Datum::Int64(v) => {
+            buf.push(DATUM_INT64);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Datum::Float64(v) => {
+            buf.push(DATUM_FLOAT64);
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Datum::Str(s) => {
+            buf.push(DATUM_STR);
+            put_str(buf, s);
+        }
+        Datum::Date(v) => {
+            buf.push(DATUM_DATE);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn get_datum(c: &mut Cursor<'_>) -> DResult<Datum> {
+    match c.u8()? {
+        DATUM_NULL => Ok(Datum::Null),
+        DATUM_BOOL => Ok(Datum::Bool(c.bool()?)),
+        DATUM_INT32 => Ok(Datum::Int32(c.i32()?)),
+        DATUM_INT64 => Ok(Datum::Int64(c.i64()?)),
+        DATUM_FLOAT64 => Ok(Datum::Float64(f64::from_bits(c.u64()?))),
+        DATUM_STR => Ok(Datum::str(c.str()?)),
+        DATUM_DATE => Ok(Datum::Date(c.i32()?)),
+        t => Err(DecodeError(format!("unknown datum tag {t:#04x}"))),
+    }
+}
+
+fn put_params(buf: &mut Vec<u8>, params: &[Datum]) {
+    put_u32(buf, params.len() as u32);
+    for p in params {
+        put_datum(buf, p);
+    }
+}
+
+fn get_params(c: &mut Cursor<'_>) -> DResult<Vec<Datum>> {
+    let n = c.count("param", 1)?;
+    (0..n).map(|_| get_datum(c)).collect()
+}
+
+/// Encoded size of one row's datums (tag byte + payload each). The
+/// server uses this to cut arbitrarily large executor chunks into
+/// bounded `DataBlock` frames *before* encoding them.
+pub(crate) fn row_wire_size(row: &Row) -> usize {
+    row.values()
+        .iter()
+        .map(|d| match d {
+            Datum::Null => 1,
+            Datum::Bool(_) => 2,
+            Datum::Int32(_) | Datum::Date(_) => 5,
+            Datum::Int64(_) | Datum::Float64(_) => 9,
+            Datum::Str(s) => 5 + s.len(),
+        })
+        .sum()
+}
+
+/// Row-major block body: row count, column count, then every datum.
+/// Zero-column rows are legal (e.g. `SELECT` with no output columns
+/// never occurs, but empty blocks do).
+fn put_rows(buf: &mut Vec<u8>, rows: &[Row]) {
+    put_u32(buf, rows.len() as u32);
+    let cols = rows.first().map(|r| r.values().len()).unwrap_or(0);
+    put_u32(buf, cols as u32);
+    for row in rows {
+        debug_assert_eq!(row.values().len(), cols, "ragged block");
+        for d in row.values() {
+            put_datum(buf, d);
+        }
+    }
+}
+
+fn get_rows(c: &mut Cursor<'_>) -> DResult<Vec<Row>> {
+    let nrows = c.count("row", 1)?;
+    let ncols = c.u32()? as usize;
+    if nrows.saturating_mul(ncols) > c.remaining() {
+        return Err(DecodeError(format!(
+            "block {nrows}x{ncols} impossible with {} bytes left",
+            c.remaining()
+        )));
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut vals = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            vals.push(get_datum(c)?);
+        }
+        rows.push(Row::new(vals));
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Statistics encoding (satellite: every stats field crosses the wire)
+// ---------------------------------------------------------------------
+
+/// `parts_scanned` maps travel sorted by table then partition OID so
+/// encoding is deterministic (same stats → same bytes).
+fn put_parts_map(buf: &mut Vec<u8>, m: &HashMap<TableOid, HashSet<PartOid>>) {
+    let mut tables: Vec<_> = m.iter().collect();
+    tables.sort_by_key(|(t, _)| t.raw());
+    put_u32(buf, tables.len() as u32);
+    for (table, parts) in tables {
+        put_u32(buf, table.raw());
+        let mut sorted: Vec<_> = parts.iter().map(|p| p.raw()).collect();
+        sorted.sort_unstable();
+        put_u32(buf, sorted.len() as u32);
+        for p in sorted {
+            put_u32(buf, p);
+        }
+    }
+}
+
+fn get_parts_map(c: &mut Cursor<'_>) -> DResult<HashMap<TableOid, HashSet<PartOid>>> {
+    let ntables = c.count("table", 8)?;
+    let mut m = HashMap::with_capacity(ntables);
+    for _ in 0..ntables {
+        let table = TableOid(c.u32()?);
+        let nparts = c.count("partition", 4)?;
+        let mut parts = HashSet::with_capacity(nparts);
+        for _ in 0..nparts {
+            parts.insert(PartOid(c.u32()?));
+        }
+        m.insert(table, parts);
+    }
+    Ok(m)
+}
+
+fn put_duration(buf: &mut Vec<u8>, d: Duration) {
+    put_u64(buf, d.as_secs());
+    put_u32(buf, d.subsec_nanos());
+}
+
+fn get_duration(c: &mut Cursor<'_>) -> DResult<Duration> {
+    let secs = c.u64()?;
+    let nanos = c.u32()?;
+    if nanos >= 1_000_000_000 {
+        return Err(DecodeError(format!("duration nanos {nanos} out of range")));
+    }
+    Ok(Duration::new(secs, nanos))
+}
+
+fn put_segment_stats(buf: &mut Vec<u8>, s: &SegmentStats) {
+    put_duration(buf, s.elapsed);
+    put_parts_map(buf, &s.parts_scanned);
+    for v in [
+        s.part_opens,
+        s.table_scans,
+        s.tuples_scanned,
+        s.rows_moved,
+        s.selector_runs,
+        s.rows_vectorized,
+        s.rows_row_fallback,
+        s.blocks_produced,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn get_segment_stats(c: &mut Cursor<'_>) -> DResult<SegmentStats> {
+    Ok(SegmentStats {
+        elapsed: get_duration(c)?,
+        parts_scanned: get_parts_map(c)?,
+        part_opens: c.u64()?,
+        table_scans: c.u64()?,
+        tuples_scanned: c.u64()?,
+        rows_moved: c.u64()?,
+        selector_runs: c.u64()?,
+        rows_vectorized: c.u64()?,
+        rows_row_fallback: c.u64()?,
+        blocks_produced: c.u64()?,
+    })
+}
+
+/// Encode the full [`ExecutionStats`] — every field, so the client's
+/// view is exactly the in-process view.
+fn put_execution_stats(buf: &mut Vec<u8>, s: &ExecutionStats) {
+    put_parts_map(buf, &s.parts_scanned);
+    for v in [
+        s.part_opens,
+        s.table_scans,
+        s.tuples_scanned,
+        s.rows_moved,
+        s.motions,
+        s.rows_returned,
+        s.selector_runs,
+        s.rows_vectorized,
+        s.rows_row_fallback,
+        s.blocks_produced,
+    ] {
+        put_u64(buf, v);
+    }
+    let mut motions: Vec<_> = s.per_motion_rows.iter().collect();
+    motions.sort_by_key(|(id, _)| id.raw());
+    put_u32(buf, motions.len() as u32);
+    for (id, rows) in motions {
+        put_u32(buf, id.raw());
+        put_u64(buf, *rows);
+    }
+    put_u32(buf, s.per_segment.len() as u32);
+    for seg in &s.per_segment {
+        put_segment_stats(buf, seg);
+    }
+}
+
+fn get_execution_stats(c: &mut Cursor<'_>) -> DResult<ExecutionStats> {
+    let mut s = ExecutionStats {
+        parts_scanned: get_parts_map(c)?,
+        part_opens: c.u64()?,
+        table_scans: c.u64()?,
+        tuples_scanned: c.u64()?,
+        rows_moved: c.u64()?,
+        motions: c.u64()?,
+        rows_returned: c.u64()?,
+        selector_runs: c.u64()?,
+        rows_vectorized: c.u64()?,
+        rows_row_fallback: c.u64()?,
+        blocks_produced: c.u64()?,
+        per_motion_rows: HashMap::new(),
+        per_segment: Vec::new(),
+    };
+    let nmotions = c.count("motion", 12)?;
+    for _ in 0..nmotions {
+        let id = MotionId(c.u32()?);
+        let rows = c.u64()?;
+        s.per_motion_rows.insert(id, rows);
+    }
+    let nsegs = c.count("segment", 12)?;
+    for _ in 0..nsegs {
+        s.per_segment.push(get_segment_stats(c)?);
+    }
+    Ok(s)
+}
+
+fn put_cache_info(buf: &mut Vec<u8>, info: &CacheInfo) {
+    buf.push(info.hit as u8);
+    put_u64(buf, info.hits);
+    put_u64(buf, info.misses);
+    put_u64(buf, info.evictions);
+    put_u64(buf, info.invalidations);
+}
+
+fn get_cache_info(c: &mut Cursor<'_>) -> DResult<CacheInfo> {
+    Ok(CacheInfo {
+        hit: c.bool()?,
+        hits: c.u64()?,
+        misses: c.u64()?,
+        evictions: c.u64()?,
+        invalidations: c.u64()?,
+    })
+}
+
+fn put_metrics(buf: &mut Vec<u8>, m: &MetricsSnapshot) {
+    for v in [
+        m.active_connections,
+        m.total_connections,
+        m.shed_connections,
+        m.inflight_queries,
+        m.queued_queries,
+        m.shed_queries,
+        m.queries_started,
+        m.queries_ok,
+        m.queries_err,
+        m.queries_cancelled,
+        m.rows_streamed,
+        m.blocks_streamed,
+        m.bytes_streamed,
+        m.chunks_emitted,
+        m.cache_hits,
+        m.cache_misses,
+        m.latency_count,
+    ] {
+        put_u64(buf, v);
+    }
+    put_u32(buf, m.latency_buckets.len() as u32);
+    for b in &m.latency_buckets {
+        put_u64(buf, *b);
+    }
+}
+
+fn get_metrics(c: &mut Cursor<'_>) -> DResult<MetricsSnapshot> {
+    let mut m = MetricsSnapshot {
+        active_connections: c.u64()?,
+        total_connections: c.u64()?,
+        shed_connections: c.u64()?,
+        inflight_queries: c.u64()?,
+        queued_queries: c.u64()?,
+        shed_queries: c.u64()?,
+        queries_started: c.u64()?,
+        queries_ok: c.u64()?,
+        queries_err: c.u64()?,
+        queries_cancelled: c.u64()?,
+        rows_streamed: c.u64()?,
+        blocks_streamed: c.u64()?,
+        bytes_streamed: c.u64()?,
+        chunks_emitted: c.u64()?,
+        cache_hits: c.u64()?,
+        cache_misses: c.u64()?,
+        latency_count: c.u64()?,
+        latency_buckets: Vec::new(),
+    };
+    let nbuckets = c.count("latency bucket", 8)?;
+    m.latency_buckets = (0..nbuckets).map(|_| c.u64()).collect::<DResult<_>>()?;
+    Ok(m)
+}
+
+// ---------------------------------------------------------------------
+// Message encoding
+// ---------------------------------------------------------------------
+
+const CM_HELLO: u8 = 0x01;
+const CM_QUERY: u8 = 0x02;
+const CM_PREPARE: u8 = 0x03;
+const CM_EXECUTE: u8 = 0x04;
+const CM_CLOSE_PREPARED: u8 = 0x05;
+const CM_CANCEL: u8 = 0x06;
+const CM_STATS: u8 = 0x07;
+const CM_GOODBYE: u8 = 0x08;
+const CM_SHUTDOWN: u8 = 0x09;
+
+const SM_HELLO_OK: u8 = 0x81;
+const SM_ROW_DESCRIPTION: u8 = 0x82;
+const SM_DATA_BLOCK: u8 = 0x83;
+const SM_COMMAND_COMPLETE: u8 = 0x84;
+const SM_PREPARE_OK: u8 = 0x85;
+const SM_CLOSE_OK: u8 = 0x86;
+const SM_STATS_REPLY: u8 = 0x87;
+const SM_ERROR: u8 = 0x88;
+
+impl ClientMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ClientMsg::Hello { version, options } => {
+                buf.push(CM_HELLO);
+                put_u32(&mut buf, *version);
+                put_u32(&mut buf, options.len() as u32);
+                for (k, v) in options {
+                    put_str(&mut buf, k);
+                    put_str(&mut buf, v);
+                }
+            }
+            ClientMsg::Query { sql, params } => {
+                buf.push(CM_QUERY);
+                put_str(&mut buf, sql);
+                put_params(&mut buf, params);
+            }
+            ClientMsg::Prepare { name, sql } => {
+                buf.push(CM_PREPARE);
+                put_str(&mut buf, name);
+                put_str(&mut buf, sql);
+            }
+            ClientMsg::Execute { name, params } => {
+                buf.push(CM_EXECUTE);
+                put_str(&mut buf, name);
+                put_params(&mut buf, params);
+            }
+            ClientMsg::ClosePrepared { name } => {
+                buf.push(CM_CLOSE_PREPARED);
+                put_str(&mut buf, name);
+            }
+            ClientMsg::Cancel => buf.push(CM_CANCEL),
+            ClientMsg::Stats => buf.push(CM_STATS),
+            ClientMsg::Goodbye => buf.push(CM_GOODBYE),
+            ClientMsg::Shutdown => buf.push(CM_SHUTDOWN),
+        }
+        buf
+    }
+
+    pub fn decode(payload: &[u8]) -> DResult<ClientMsg> {
+        let mut c = Cursor::new(payload);
+        let msg = match c.u8()? {
+            CM_HELLO => {
+                let version = c.u32()?;
+                let n = c.count("option", 8)?;
+                let mut options = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = c.str()?;
+                    let v = c.str()?;
+                    options.push((k, v));
+                }
+                ClientMsg::Hello { version, options }
+            }
+            CM_QUERY => ClientMsg::Query {
+                sql: c.str()?,
+                params: get_params(&mut c)?,
+            },
+            CM_PREPARE => ClientMsg::Prepare {
+                name: c.str()?,
+                sql: c.str()?,
+            },
+            CM_EXECUTE => ClientMsg::Execute {
+                name: c.str()?,
+                params: get_params(&mut c)?,
+            },
+            CM_CLOSE_PREPARED => ClientMsg::ClosePrepared { name: c.str()? },
+            CM_CANCEL => ClientMsg::Cancel,
+            CM_STATS => ClientMsg::Stats,
+            CM_GOODBYE => ClientMsg::Goodbye,
+            CM_SHUTDOWN => ClientMsg::Shutdown,
+            t => return Err(DecodeError(format!("unknown client message type {t:#04x}"))),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ServerMsg::HelloOk { version } => {
+                buf.push(SM_HELLO_OK);
+                put_u32(&mut buf, *version);
+            }
+            ServerMsg::RowDescription { columns } => {
+                buf.push(SM_ROW_DESCRIPTION);
+                put_u32(&mut buf, columns.len() as u32);
+                for col in columns {
+                    put_str(&mut buf, col);
+                }
+            }
+            ServerMsg::DataBlock { rows } => {
+                buf.push(SM_DATA_BLOCK);
+                put_rows(&mut buf, rows);
+            }
+            ServerMsg::CommandComplete { stats, cache } => {
+                buf.push(SM_COMMAND_COMPLETE);
+                put_execution_stats(&mut buf, stats);
+                match cache {
+                    None => buf.push(0),
+                    Some(info) => {
+                        buf.push(1);
+                        put_cache_info(&mut buf, info);
+                    }
+                }
+            }
+            ServerMsg::PrepareOk { name, param_count } => {
+                buf.push(SM_PREPARE_OK);
+                put_str(&mut buf, name);
+                put_u32(&mut buf, *param_count);
+            }
+            ServerMsg::CloseOk => buf.push(SM_CLOSE_OK),
+            ServerMsg::StatsReply { metrics } => {
+                buf.push(SM_STATS_REPLY);
+                put_metrics(&mut buf, metrics);
+            }
+            ServerMsg::Error {
+                code,
+                message,
+                stats,
+            } => {
+                buf.push(SM_ERROR);
+                put_str(&mut buf, code);
+                put_str(&mut buf, message);
+                match stats {
+                    None => buf.push(0),
+                    Some(s) => {
+                        buf.push(1);
+                        put_execution_stats(&mut buf, s);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    pub fn decode(payload: &[u8]) -> DResult<ServerMsg> {
+        let mut c = Cursor::new(payload);
+        let msg = match c.u8()? {
+            SM_HELLO_OK => ServerMsg::HelloOk { version: c.u32()? },
+            SM_ROW_DESCRIPTION => {
+                let n = c.count("column", 4)?;
+                let columns = (0..n).map(|_| c.str()).collect::<DResult<_>>()?;
+                ServerMsg::RowDescription { columns }
+            }
+            SM_DATA_BLOCK => ServerMsg::DataBlock {
+                rows: get_rows(&mut c)?,
+            },
+            SM_COMMAND_COMPLETE => {
+                let stats = get_execution_stats(&mut c)?;
+                let cache = match c.u8()? {
+                    0 => None,
+                    1 => Some(get_cache_info(&mut c)?),
+                    b => return Err(DecodeError(format!("invalid option byte {b:#04x}"))),
+                };
+                ServerMsg::CommandComplete { stats, cache }
+            }
+            SM_PREPARE_OK => ServerMsg::PrepareOk {
+                name: c.str()?,
+                param_count: c.u32()?,
+            },
+            SM_CLOSE_OK => ServerMsg::CloseOk,
+            SM_STATS_REPLY => ServerMsg::StatsReply {
+                metrics: get_metrics(&mut c)?,
+            },
+            SM_ERROR => {
+                let code = c.str()?;
+                let message = c.str()?;
+                let stats = match c.u8()? {
+                    0 => None,
+                    1 => Some(get_execution_stats(&mut c)?),
+                    b => return Err(DecodeError(format!("invalid option byte {b:#04x}"))),
+                };
+                ServerMsg::Error {
+                    code,
+                    message,
+                    stats,
+                }
+            }
+            t => return Err(DecodeError(format!("unknown server message type {t:#04x}"))),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_common::SegmentId;
+
+    /// Satellite requirement: a round-trip that exercises *every* field
+    /// of the stats structures, so a forgotten field in the codec fails
+    /// here rather than silently reading as zero on clients.
+    #[test]
+    fn execution_stats_round_trips_every_field() {
+        let mut seg0 = SegmentStats {
+            elapsed: Duration::new(3, 141_592_653),
+            rows_moved: 17,
+            selector_runs: 19,
+            rows_vectorized: 23,
+            rows_row_fallback: 29,
+            blocks_produced: 31,
+            ..SegmentStats::default()
+        };
+        seg0.record_part_scan(TableOid(7), PartOid(70), 11);
+        seg0.record_part_scan(TableOid(7), PartOid(71), 13);
+        seg0.record_table_scan(5);
+        let mut seg1 = SegmentStats {
+            elapsed: Duration::from_micros(42),
+            ..SegmentStats::default()
+        };
+        seg1.record_part_scan(TableOid(8), PartOid(80), 37);
+
+        let mut stats = ExecutionStats {
+            motions: 41,
+            ..ExecutionStats::default()
+        };
+        stats.merge_segments(vec![seg0, seg1]);
+        stats.rows_returned = 43;
+        stats.per_motion_rows.insert(MotionId(1), 47);
+        stats.per_motion_rows.insert(MotionId(9), 53);
+
+        // Nothing above left at its default, except fields merge fills.
+        assert_ne!(stats, ExecutionStats::default());
+        assert_eq!(stats.segment(SegmentId(0)).unwrap().part_opens, 2);
+
+        let mut buf = Vec::new();
+        put_execution_stats(&mut buf, &stats);
+        let mut c = Cursor::new(&buf);
+        let back = get_execution_stats(&mut c).unwrap();
+        c.finish().unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn cache_info_and_metrics_round_trip() {
+        let info = CacheInfo {
+            hit: true,
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            invalidations: 4,
+        };
+        let mut buf = Vec::new();
+        put_cache_info(&mut buf, &info);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(get_cache_info(&mut c).unwrap(), info);
+        c.finish().unwrap();
+
+        let m = MetricsSnapshot {
+            active_connections: 1,
+            total_connections: 2,
+            shed_connections: 3,
+            inflight_queries: 4,
+            queued_queries: 5,
+            shed_queries: 6,
+            queries_started: 7,
+            queries_ok: 8,
+            queries_err: 9,
+            queries_cancelled: 10,
+            rows_streamed: 11,
+            blocks_streamed: 12,
+            bytes_streamed: 13,
+            chunks_emitted: 14,
+            cache_hits: 15,
+            cache_misses: 16,
+            latency_count: 17,
+            latency_buckets: (0..64).collect(),
+        };
+        let msg = ServerMsg::StatsReply { metrics: m };
+        assert_eq!(ServerMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_rejects_hostile_lengths() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none());
+
+        // A length header claiming 4 GiB must be rejected without
+        // allocating or waiting for 4 GiB of payload.
+        let hostile = u32::MAX.to_le_bytes();
+        let err = read_frame(&mut &hostile[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // EOF mid-frame is an error, not a clean end.
+        let truncated = [5u8, 0, 0, 0, b'x'];
+        assert!(read_frame(&mut &truncated[..], MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = ClientMsg::Cancel.encode();
+        buf.push(0xee);
+        assert!(ClientMsg::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! End-to-end over real sockets: wire results must be *identical* to
+//! in-process `Session::sql` — multiset row equality plus error-kind
+//! equality — for ad-hoc, prepared, EXPLAIN and DDL statements.
+
+use mpp_common::{Datum, Row};
+use mpp_server::{Client, ClientError, Server, ServerConfig, PROTOCOL_VERSION};
+use mpp_server::{ClientMsg, ServerMsg};
+use mpp_session::SessionCtx;
+use mpp_workloads::{setup_rs, SynthConfig};
+use mppart::MppDb;
+use std::sync::Arc;
+
+fn demo_ctx() -> Arc<SessionCtx> {
+    let db = MppDb::new(2);
+    setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+    SessionCtx::with_db(db, 64)
+}
+
+fn start(cfg: ServerConfig) -> (Server, Arc<SessionCtx>) {
+    let ctx = demo_ctx();
+    let server = Server::start(Arc::clone(&ctx), "127.0.0.1:0", cfg).unwrap();
+    (server, ctx)
+}
+
+/// Order-insensitive row fingerprint: sorted debug renderings.
+fn multiset(rows: &[Row]) -> Vec<String> {
+    let mut keys: Vec<String> = rows.iter().map(|r| format!("{:?}", r.values())).collect();
+    keys.sort();
+    keys
+}
+
+const STATEMENTS: &[&str] = &[
+    "SELECT count(*) FROM r",
+    "SELECT a, b FROM r WHERE b = 5",
+    "SELECT b, count(*) FROM r WHERE b < 50 GROUP BY b",
+    "SELECT r.a, s.b FROM r JOIN s ON r.b = s.b WHERE r.a < 200",
+    "SELECT a FROM r WHERE b BETWEEN 10 AND 20",
+    "EXPLAIN SELECT count(*) FROM r WHERE b = 7",
+];
+
+#[test]
+fn adhoc_queries_match_in_process() {
+    let (server, ctx) = start(ServerConfig::default());
+    let session = ctx.session();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for sql in STATEMENTS {
+        let wire = client.query(sql, &[]).unwrap();
+        let local = session.sql(sql).unwrap();
+        assert_eq!(
+            multiset(&wire.rows),
+            multiset(&local.rows),
+            "row mismatch for {sql}"
+        );
+        assert_eq!(
+            wire.stats.rows_returned, local.stats.rows_returned,
+            "rows_returned mismatch for {sql}"
+        );
+        assert_eq!(
+            wire.stats.tuples_scanned, local.stats.tuples_scanned,
+            "tuples_scanned mismatch for {sql}"
+        );
+        assert!(!wire.columns.is_empty(), "no RowDescription for {sql}");
+    }
+
+    let explain = client.query("EXPLAIN SELECT count(*) FROM r", &[]).unwrap();
+    assert_eq!(explain.columns, vec!["QUERY PLAN".to_string()]);
+
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn errors_carry_engine_kinds() {
+    let (server, ctx) = start(ServerConfig::default());
+    let session = ctx.session();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let cases = [
+        "SELEKT 1",                     // parse
+        "SELECT zzz FROM r",            // bind
+        "SELECT a FROM no_such_table",  // not_found / bind
+        "SELECT a FROM r WHERE b = $1", // missing parameter
+    ];
+    for sql in cases {
+        let local_kind = session.sql(sql).unwrap_err().kind();
+        match client.query(sql, &[]) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, local_kind, "error kind mismatch for {sql}")
+            }
+            other => panic!("expected server error for {sql}, got {other:?}"),
+        }
+    }
+
+    // Connection stays usable after errors.
+    let reply = client.query("SELECT count(*) FROM r", &[]).unwrap();
+    assert_eq!(reply.rows.len(), 1);
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn prepared_statements_match_in_process() {
+    let (server, ctx) = start(ServerConfig::default());
+    let session = ctx.session();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let sql = "SELECT a, b FROM r WHERE b = $1";
+    let param_count = client.prepare("q1", sql).unwrap();
+    assert_eq!(param_count, 1);
+    let local = session.prepare(sql).unwrap();
+
+    for key in [1i32, 7, 42, 999] {
+        let params = [Datum::Int32(key)];
+        let wire = client.execute("q1", &params).unwrap();
+        let in_proc = local.execute(&params).unwrap();
+        assert_eq!(
+            multiset(&wire.rows),
+            multiset(&in_proc.rows),
+            "prepared mismatch for key {key}"
+        );
+        assert_eq!(wire.columns, local.columns());
+    }
+
+    // Param arity error matches the in-process kind.
+    let local_kind = local.execute(&[]).unwrap_err().kind();
+    match client.execute("q1", &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, local_kind),
+        other => panic!("expected arity error, got {other:?}"),
+    }
+
+    client.close_prepared("q1").unwrap();
+    match client.execute("q1", &[Datum::Int32(1)]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "unknown_prepared"),
+        other => panic!("expected unknown_prepared, got {other:?}"),
+    }
+
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn ddl_and_inserts_work_over_the_wire() {
+    let (server, ctx) = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let ddl = client
+        .query("CREATE TABLE wire_t (k int NOT NULL, v int)", &[])
+        .unwrap();
+    assert!(ddl.columns.is_empty(), "DDL must not send RowDescription");
+
+    client
+        .query("INSERT INTO wire_t VALUES (1, 10), (2, 20), (3, 30)", &[])
+        .unwrap();
+    let reply = client
+        .query("SELECT k, v FROM wire_t WHERE k <= 2", &[])
+        .unwrap();
+    assert_eq!(reply.rows.len(), 2);
+
+    // The DDL is visible to in-process sessions on the same ctx.
+    let local = ctx.session().sql("SELECT count(*) FROM wire_t").unwrap();
+    assert_eq!(format!("{:?}", local.rows[0].values()), "[Int64(3)]");
+
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn large_results_arrive_in_multiple_data_blocks() {
+    let (server, ctx) = start(ServerConfig::default());
+    let session = ctx.session();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let sql = "SELECT a, b FROM r";
+    let wire = client.query(sql, &[]).unwrap();
+    let local = session.sql(sql).unwrap();
+    assert_eq!(wire.rows.len(), local.rows.len());
+    assert_eq!(multiset(&wire.rows), multiset(&local.rows));
+    assert!(
+        wire.data_blocks > 1,
+        "10k rows should stream in several DataBlock frames, got {}",
+        wire.data_blocks
+    );
+
+    client.goodbye().unwrap();
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_each_get_exact_results() {
+    let (server, ctx) = start(ServerConfig {
+        max_connections: 64,
+        max_inflight_queries: 64,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let session = ctx.session();
+    let expected: Vec<Vec<String>> = STATEMENTS
+        .iter()
+        .map(|sql| multiset(&session.sql(sql).unwrap().rows))
+        .collect();
+
+    let handles: Vec<_> = (0..8)
+        .map(|worker| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..3 {
+                    for (i, sql) in STATEMENTS.iter().enumerate() {
+                        let reply = client.query(sql, &[]).unwrap();
+                        assert_eq!(
+                            multiset(&reply.rows),
+                            expected[i],
+                            "worker {worker} round {round}: {sql}"
+                        );
+                    }
+                }
+                client.goodbye().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.queries_err, 0);
+    assert_eq!(m.queries_ok, 8 * 3 * STATEMENTS.len() as u64);
+    server.stop();
+}
+
+#[test]
+fn malformed_handshake_gets_error_and_server_survives() {
+    let (server, _ctx) = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // 1. Garbage frame instead of Hello.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        mpp_server::write_frame(&mut raw, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        raw.flush().unwrap();
+        let frame = mpp_server::read_frame(&mut raw, mpp_server::MAX_FRAME)
+            .unwrap()
+            .expect("server should answer before closing");
+        match ServerMsg::decode(&frame).unwrap() {
+            ServerMsg::Error { code, .. } => assert_eq!(code, "protocol"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    // 2. Wrong protocol version.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        let hello = ClientMsg::Hello {
+            version: PROTOCOL_VERSION + 99,
+            options: Vec::new(),
+        };
+        mpp_server::write_frame(&mut raw, &hello.encode()).unwrap();
+        raw.flush().unwrap();
+        let frame = mpp_server::read_frame(&mut raw, mpp_server::MAX_FRAME)
+            .unwrap()
+            .expect("server should answer before closing");
+        match ServerMsg::decode(&frame).unwrap() {
+            ServerMsg::Error { code, .. } => assert_eq!(code, "protocol"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    // 3. A well-behaved client still works afterwards.
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.query("SELECT count(*) FROM r", &[]).unwrap();
+    assert_eq!(reply.rows.len(), 1);
+    client.goodbye().unwrap();
+    server.stop();
+}

@@ -33,7 +33,9 @@ pub use cache::{CacheKey, PlanCache, DEFAULT_CACHE_CAPACITY};
 pub use normalize::normalize_sql;
 
 use mpp_common::{Datum, Result};
-use mppart::{is_ddl, MppDb, Planner, PreparedQuery, QueryOutcome};
+use mppart::{
+    is_ddl, CancelToken, MppDb, Planner, PreparedQuery, QueryOutcome, RowSink, StreamOutcome,
+};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -150,27 +152,71 @@ impl Session {
             out.cache = Some(self.ctx.cache.info(false));
             return Ok(out);
         }
+        let (q, hit) = self.cached_prepare(text)?;
+        let mut out = db.execute_prepared(&q, params)?;
+        out.cache = Some(self.ctx.cache.info(hit));
+        Ok(out)
+    }
+
+    /// Streaming [`Session::sql_with_params`]: result chunks flow through
+    /// `sink` as segments finish, `cancel` stops execution at the next
+    /// block boundary, and partial statistics survive errors. Identical
+    /// plan-cache behavior (DDL sweeps, everything else keys on
+    /// normalized text).
+    pub fn sql_stream_with_params(
+        &self,
+        text: &str,
+        params: &[Datum],
+        cancel: &CancelToken,
+        sink: &mut RowSink<'_>,
+    ) -> StreamOutcome {
+        let db = self.ctx.db();
+        let stmt = match mpp_sql::parse(text) {
+            Ok(stmt) => stmt,
+            Err(e) => return StreamOutcome::failed(e),
+        };
+        if is_ddl(&stmt) {
+            let mut out = db.stream_sql(text, params, self.planner, cancel, sink);
+            if out.result.is_ok() {
+                self.ctx.cache.sweep(db.catalog().version());
+            }
+            out.cache = Some(self.ctx.cache.info(false));
+            return out;
+        }
+        let (q, hit) = match self.cached_prepare(text) {
+            Ok(pair) => pair,
+            Err(e) => return StreamOutcome::failed(e),
+        };
+        let mut out = db.stream_prepared(&q, params, cancel, sink);
+        out.cache = Some(self.ctx.cache.info(hit));
+        out
+    }
+
+    /// The cache lookup behind [`Session::sql_with_params`], exposed so
+    /// streaming front ends (the network server) can resolve the plan —
+    /// and announce the result's row description — *before* execution
+    /// starts. Counts a per-session hit or miss; the returned flag says
+    /// which.
+    pub fn cached_prepare(&self, text: &str) -> Result<(Arc<PreparedQuery>, bool)> {
+        let db = self.ctx.db();
         let key = CacheKey {
             sql: normalize_sql(text)?,
             planner: self.planner,
             mode: db.exec_mode(),
         };
         let version = db.catalog().version();
-        let (q, hit) = match self.ctx.cache.lookup(&key, version) {
+        match self.ctx.cache.lookup(&key, version) {
             Some(q) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                (q, true)
+                Ok((q, true))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let q = Arc::new(db.prepare_with(text, self.planner)?);
                 self.ctx.cache.insert(key, Arc::clone(&q));
-                (q, false)
+                Ok((q, false))
             }
-        };
-        let mut out = db.execute_prepared(&q, params)?;
-        out.cache = Some(self.ctx.cache.info(hit));
-        Ok(out)
+        }
     }
 
     /// Prepare a statement for repeated execution. Unlike the implicit
@@ -203,28 +249,69 @@ impl PreparedStatement {
     /// exactly). Partition OIDs are re-resolved per execution, and the
     /// plan's compiled-expression templates are reused across calls.
     pub fn execute(&self, params: &[Datum]) -> Result<QueryOutcome> {
+        let (q, hit) = self.current()?;
+        let mut out = self.ctx.db().execute_prepared(&q, params)?;
+        out.cache = Some(self.ctx.cache().info(hit));
+        Ok(out)
+    }
+
+    /// Streaming [`PreparedStatement::execute`]: same transparent
+    /// re-prepare on catalog change, but result chunks flow through
+    /// `sink` and `cancel` stops execution at the next block boundary.
+    pub fn execute_stream(
+        &self,
+        params: &[Datum],
+        cancel: &CancelToken,
+        sink: &mut RowSink<'_>,
+    ) -> StreamOutcome {
+        let (q, hit) = match self.current() {
+            Ok(pair) => pair,
+            Err(e) => return StreamOutcome::failed(e),
+        };
+        let mut out = self.ctx.db().stream_prepared(&q, params, cancel, sink);
+        out.cache = Some(self.ctx.cache().info(hit));
+        out
+    }
+
+    /// The statement's current plan, re-prepared if DDL has obsoleted
+    /// it. The flag reports whether the cached plan was still valid.
+    fn current(&self) -> Result<(Arc<PreparedQuery>, bool)> {
         let db = self.ctx.db();
         let current = db.catalog().version();
         let cached = {
             let g = self.slot.read();
             (g.catalog_version() == current).then(|| Arc::clone(&g))
         };
-        let (q, hit) = match cached {
-            Some(q) => (q, true),
+        match cached {
+            Some(q) => Ok((q, true)),
             None => {
                 let fresh = Arc::new(db.prepare_with(&self.text, self.planner)?);
                 *self.slot.write() = Arc::clone(&fresh);
-                (fresh, false)
+                Ok((fresh, false))
             }
-        };
-        let mut out = db.execute_prepared(&q, params)?;
-        out.cache = Some(self.ctx.cache().info(hit));
-        Ok(out)
+        }
     }
 
     /// Exact number of `$n` parameters every execution must supply.
     pub fn param_count(&self) -> u32 {
         self.slot.read().param_count()
+    }
+
+    /// Output column names of the current plan (`["QUERY PLAN"]` for an
+    /// `EXPLAIN`). Read from the plan as currently prepared; a DDL that
+    /// races between this call and the next execution re-prepares the
+    /// plan, which can change the answer.
+    pub fn columns(&self) -> Vec<String> {
+        let q = self.slot.read();
+        if q.is_explain() {
+            vec!["QUERY PLAN".to_string()]
+        } else {
+            q.plan()
+                .output_cols()
+                .iter()
+                .map(|c| c.name.to_string())
+                .collect()
+        }
     }
 
     pub fn planner(&self) -> Planner {

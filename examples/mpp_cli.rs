@@ -1,0 +1,160 @@
+//! `mpp_cli` — run SQL against a running `mppd`.
+//!
+//! ```text
+//! mpp_cli 127.0.0.1:7333 "SELECT count(*) FROM r" "EXPLAIN SELECT * FROM r WHERE b = 5"
+//! mpp_cli 127.0.0.1:7333 --stats
+//! mpp_cli 127.0.0.1:7333 --cancel-after-block "SELECT * FROM r, s WHERE r.a < 1000"
+//! mpp_cli 127.0.0.1:7333 --shutdown
+//! ```
+//!
+//! `--cancel-after-block` is the scripted form of the mid-query cancel
+//! path (used by `scripts/net_smoke.sh`): it reads exactly one
+//! `DataBlock`, injects a `Cancel` frame, and expects the query to die
+//! with `code = "cancelled"` and partial statistics.
+
+use mpp_common::Datum;
+use mpp_server::{Client, ClientError, ClientMsg, ServerMsg};
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("mpp_cli: {e}");
+    std::process::exit(1);
+}
+
+fn print_reply(reply: &mpp_server::Reply) {
+    if !reply.columns.is_empty() {
+        println!("{}", reply.columns.join(" | "));
+    }
+    for row in &reply.rows {
+        let cells: Vec<String> = row.values().iter().map(render).collect();
+        println!("{}", cells.join(" | "));
+    }
+    println!(
+        "-- {} row(s) in {} block(s); {} tuple(s) scanned, {} partition(s)",
+        reply.rows.len(),
+        reply.data_blocks,
+        reply.stats.tuples_scanned,
+        reply.stats.total_parts_scanned(),
+    );
+}
+
+fn render(d: &Datum) -> String {
+    match d {
+        Datum::Null => "NULL".to_string(),
+        Datum::Bool(b) => b.to_string(),
+        Datum::Int32(v) => v.to_string(),
+        Datum::Int64(v) => v.to_string(),
+        Datum::Float64(v) => v.to_string(),
+        Datum::Str(s) => s.to_string(),
+        Datum::Date(days) => format!("date({days})"),
+    }
+}
+
+fn cancel_after_block(client: &mut Client, sql: &str) {
+    client
+        .send(&ClientMsg::Query {
+            sql: sql.to_string(),
+            params: Vec::new(),
+        })
+        .unwrap_or_else(|e| fail(e));
+    let mut cancelled = false;
+    loop {
+        match client.recv().unwrap_or_else(|e| fail(e)) {
+            ServerMsg::RowDescription { .. } => {}
+            ServerMsg::DataBlock { rows } => {
+                if !cancelled {
+                    println!("got first block ({} rows), cancelling", rows.len());
+                    client.cancel().unwrap_or_else(|e| fail(e));
+                    cancelled = true;
+                }
+            }
+            ServerMsg::CommandComplete { stats, .. } => {
+                // The query finished before the cancel landed — possible
+                // on tiny results, a failure for the smoke script's
+                // deliberately large one.
+                fail(format!(
+                    "query completed ({} rows) before cancel took effect",
+                    stats.rows_returned
+                ));
+            }
+            ServerMsg::Error { code, stats, .. } if code == "cancelled" => {
+                let scanned = stats.map(|s| s.tuples_scanned).unwrap_or(0);
+                println!("cancelled mid-query after scanning {scanned} tuple(s)");
+                return;
+            }
+            ServerMsg::Error { code, message, .. } => {
+                fail(format!("expected cancelled, got [{code}] {message}"))
+            }
+            other => fail(format!("unexpected frame {other:?}")),
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| {
+        eprintln!("usage: mpp_cli HOST:PORT [--stats|--shutdown|--cancel-after-block SQL|SQL ...]");
+        std::process::exit(2);
+    });
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| fail(e));
+
+    let mut ran_anything = false;
+    while let Some(arg) = args.next() {
+        ran_anything = true;
+        match arg.as_str() {
+            "--stats" => {
+                let m = client.server_stats().unwrap_or_else(|e| fail(e));
+                println!(
+                    "connections: {} active / {} total ({} shed)",
+                    m.active_connections, m.total_connections, m.shed_connections
+                );
+                println!(
+                    "queries: {} in flight, {} queued, {} shed; {} ok, {} failed, {} cancelled",
+                    m.inflight_queries,
+                    m.queued_queries,
+                    m.shed_queries,
+                    m.queries_ok,
+                    m.queries_err,
+                    m.queries_cancelled
+                );
+                println!(
+                    "streamed: {} rows in {} blocks ({} bytes); plan cache {} hits / {} misses",
+                    m.rows_streamed,
+                    m.blocks_streamed,
+                    m.bytes_streamed,
+                    m.cache_hits,
+                    m.cache_misses
+                );
+                println!(
+                    "latency: p50 {}us, p99 {}us over {} queries",
+                    m.latency_quantile_micros(0.50),
+                    m.latency_quantile_micros(0.99),
+                    m.latency_count
+                );
+            }
+            "--shutdown" => {
+                client.shutdown_server().unwrap_or_else(|e| fail(e));
+                println!("shutdown requested");
+                return;
+            }
+            "--cancel-after-block" => {
+                let sql = args
+                    .next()
+                    .unwrap_or_else(|| fail("--cancel-after-block needs a SQL argument"));
+                cancel_after_block(&mut client, &sql);
+            }
+            sql => match client.query(sql, &[]) {
+                Ok(reply) => print_reply(&reply),
+                Err(ClientError::Server { code, message, .. }) => {
+                    eprintln!("error [{code}]: {message}");
+                    std::process::exit(1);
+                }
+                Err(e) => fail(e),
+            },
+        }
+    }
+    if !ran_anything {
+        eprintln!("nothing to do; pass SQL or a flag");
+        std::process::exit(2);
+    }
+    let _ = client.goodbye();
+}

@@ -1,0 +1,78 @@
+//! `mppd` — the engine as a standalone server process.
+//!
+//! Boots an [`mpp_server::Server`] over a demo database (the synthetic
+//! `r`/`s` tables every walkthrough uses), prints the bound address,
+//! and runs until a client sends a `Shutdown` frame (`mpp_cli <addr>
+//! --shutdown`) or the process receives SIGINT-by-way-of-kill.
+//!
+//! ```text
+//! cargo run --release --example mppd -- --addr 127.0.0.1:0
+//! ```
+
+use mpp_server::{Server, ServerConfig};
+use mpp_session::SessionCtx;
+use mppart::workloads::{setup_rs, SynthConfig};
+use mppart::MppDb;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7333".to_string();
+    let mut segments: usize = 4;
+    let mut timeout_ms: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs a value"),
+            "--segments" => {
+                segments = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--segments needs a number")
+            }
+            "--query-timeout-ms" => {
+                timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--query-timeout-ms needs a number"),
+                )
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: mppd [--addr HOST:PORT] [--segments N] [--query-timeout-ms MS]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = MppDb::new(segments);
+    // Denser join key than the stock config (b in [0, 10)): the full
+    // `r JOIN s ON r.b = s.b` explodes to ~1M rows, big enough for the
+    // smoke script's mid-query cancel to always land mid-stream.
+    let demo = SynthConfig {
+        b_domain: 10,
+        r_parts: Some(10),
+        ..SynthConfig::default()
+    };
+    setup_rs(db.storage(), &demo).expect("demo data setup failed");
+    let ctx = SessionCtx::with_db(db, 256);
+
+    let cfg = ServerConfig {
+        query_timeout: timeout_ms.map(Duration::from_millis),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(ctx, &addr, cfg).expect("bind failed");
+    println!("mppd listening on {}", server.local_addr());
+    println!(
+        "demo tables: r, s (try: mpp_cli {} 'SELECT count(*) FROM r')",
+        server.local_addr()
+    );
+
+    server.wait_stop_requested();
+    println!("mppd shutting down");
+    server.stop();
+    let m = server.metrics();
+    println!(
+        "served {} queries ({} ok, {} failed, {} cancelled), {} rows streamed",
+        m.queries_started, m.queries_ok, m.queries_err, m.queries_cancelled, m.rows_streamed
+    );
+}

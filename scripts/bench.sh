@@ -34,6 +34,13 @@
 #               filter word-mask, dual-bitmap 3VL AND/OR, and columnar
 #               distribution hashing at 0/10/50% NULLs, typed vs
 #               Any-degraded. Appends to results/BENCH_kernels.json.
+#   bench_net_qps
+#               the network service layer: point-lookup QPS and client
+#               p50/p99 latency over the wire protocol at 1/16/128/512
+#               concurrent connections against one in-process server on
+#               a loopback socket, plus the server-side latency
+#               histogram from a Stats frame. Appends a JSON record to
+#               results/BENCH_net_qps.json.
 #
 # Pass --test to run everything in smoke mode (single samples, tiny row
 # counts, no JSON output) — what CI uses.
@@ -74,4 +81,7 @@ cargo bench -p mpp-bench --bench batch_pipeline -- ${args[@]+"${args[@]}"}
 echo "== bench: kernels =="
 cargo bench -p mpp-bench --bench kernels -- ${args[@]+"${args[@]}"}
 
-echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json and results/table2.json) =="
+echo "== bench: bench_net_qps =="
+cargo bench -p mpp-bench --bench bench_net_qps -- ${args[@]+"${args[@]}"}
+
+echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json, results/BENCH_net_qps.json and results/table2.json) =="

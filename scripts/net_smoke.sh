@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network service layer over a real socket:
+# boots the `mppd` example server on an ephemeral port, drives it with
+# `mpp_cli` — ad-hoc queries, EXPLAIN, a server Stats frame, a mid-query
+# cancel of a deliberately large join — and finishes with a graceful
+# Shutdown frame, asserting the server process exits cleanly.
+#
+# What CI's net-smoke job runs. No arguments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== net_smoke: building server examples =="
+cargo build --release -p mpp-server --examples
+
+log="$(mktemp)"
+./target/release/examples/mppd --addr 127.0.0.1:0 >"$log" 2>&1 &
+mppd_pid=$!
+trap 'kill "$mppd_pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+# The server prints "mppd listening on HOST:PORT" once bound.
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^mppd listening on //p' "$log" | head -n1)"
+  [[ -n "$addr" ]] && break
+  if ! kill -0 "$mppd_pid" 2>/dev/null; then
+    echo "mppd died during startup:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "mppd never reported its address" >&2; cat "$log" >&2; exit 1; }
+echo "== net_smoke: mppd up on $addr =="
+
+cli=./target/release/examples/mpp_cli
+
+echo "== net_smoke: ad-hoc queries =="
+"$cli" "$addr" "SELECT count(*) FROM r" "SELECT b, count(*) FROM r WHERE b < 20 GROUP BY b"
+"$cli" "$addr" "EXPLAIN SELECT count(*) FROM r WHERE b = 7"
+
+echo "== net_smoke: error frames keep the connection healthy =="
+if "$cli" "$addr" "SELEKT nope" 2>/dev/null; then
+  echo "parse error must fail the CLI" >&2
+  exit 1
+fi
+
+echo "== net_smoke: mid-query cancel =="
+"$cli" "$addr" --cancel-after-block \
+  "SELECT r.a, r.b, s.a, s.b FROM r JOIN s ON r.b = s.b"
+
+echo "== net_smoke: server stats =="
+"$cli" "$addr" --stats
+
+echo "== net_smoke: graceful shutdown =="
+"$cli" "$addr" --shutdown
+for _ in $(seq 1 100); do
+  kill -0 "$mppd_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$mppd_pid" 2>/dev/null; then
+  echo "mppd did not exit after Shutdown frame" >&2
+  exit 1
+fi
+wait "$mppd_pid" || { echo "mppd exited non-zero" >&2; cat "$log" >&2; exit 1; }
+trap 'rm -f "$log"' EXIT
+
+echo "== net_smoke: server log =="
+cat "$log"
+echo "== net_smoke: OK =="
