@@ -23,6 +23,12 @@ struct Inner {
     /// *quality*, never correctness, and auto-analyze after DML would
     /// otherwise flush every plan cache on every insert.
     version: u64,
+    /// Monotonic statistics version: bumped by [`Catalog::set_stats`]
+    /// (the ANALYZE path), so plan caches can re-optimize once better
+    /// cardinalities exist. The coarse insert-time refresh goes through
+    /// [`Catalog::refresh_stats_coarse`], which deliberately does NOT
+    /// bump it — otherwise every bulk insert would flush every cache.
+    stats_version: u64,
 }
 
 /// Thread-safe registry of table metadata, shared by binder, optimizers,
@@ -49,6 +55,13 @@ impl Catalog {
     /// `version() == v`.
     pub fn version(&self) -> u64 {
         self.inner.read().version
+    }
+
+    /// Current statistics version: bumps whenever ANALYZE installs fresh
+    /// stats. Plan caches combine it with [`Catalog::version`] so cached
+    /// plans re-optimize after stats change without DDL churn.
+    pub fn stats_version(&self) -> u64 {
+        self.inner.read().stats_version
     }
 
     /// Reserve the next table OID.
@@ -201,8 +214,33 @@ impl Catalog {
         Ok(())
     }
 
+    /// Install full statistics (the ANALYZE path). Bumps the stats
+    /// version so plan caches drop plans optimized against the old
+    /// cardinalities.
     pub fn set_stats(&self, oid: TableOid, stats: TableStats) {
-        self.inner.write().stats.insert(oid, stats);
+        let mut g = self.inner.write();
+        g.stats.insert(oid, stats);
+        g.stats_version += 1;
+    }
+
+    /// Coarse, cheap stats refresh on bulk insert: scales the row count
+    /// (total and per-partition deltas) without touching histograms and
+    /// WITHOUT bumping the stats version — row-count drift alone must not
+    /// flush plan caches on every insert.
+    pub fn refresh_stats_coarse(
+        &self,
+        oid: TableOid,
+        added_rows: u64,
+        part_deltas: &[(PartOid, u64)],
+    ) {
+        let mut g = self.inner.write();
+        let stats = g.stats.entry(oid).or_insert_with(|| TableStats::new(0));
+        stats.row_count += added_rows;
+        if !stats.part_rows.is_empty() || !part_deltas.is_empty() {
+            for (p, n) in part_deltas {
+                *stats.part_rows.entry(*p).or_insert(0) += n;
+            }
+        }
     }
 
     /// Stats for a table; defaults to a small-table guess when never
@@ -351,6 +389,22 @@ mod tests {
             ..(*cat.table(t.oid).unwrap()).clone()
         };
         assert!(cat.replace_table(missing).is_err());
+    }
+
+    #[test]
+    fn stats_version_bumps_on_analyze_not_coarse_refresh() {
+        let cat = Catalog::new();
+        let t = register_partitioned(&cat, "R", 2);
+        let ddl_v = cat.version();
+        let sv0 = cat.stats_version();
+        cat.set_stats(t.oid, TableStats::new(500));
+        assert!(cat.stats_version() > sv0, "ANALYZE stats must bump");
+        assert_eq!(cat.version(), ddl_v, "stats must not bump the DDL version");
+        let sv1 = cat.stats_version();
+        cat.refresh_stats_coarse(t.oid, 100, &[(PartOid(1000), 100)]);
+        assert_eq!(cat.stats_version(), sv1, "coarse refresh must NOT bump");
+        assert_eq!(cat.stats(t.oid).row_count, 600);
+        assert_eq!(cat.stats(t.oid).part_rows.get(&PartOid(1000)), Some(&100));
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod table;
 pub use builders::{list_parts, monthly_range_parts, range_parts_equal_width};
 pub use catalog::Catalog;
 pub use partition::{LeafPart, PartTree, PartitionLevel, PartitionPiece};
-pub use stats::{ColumnStats, TableStats};
+pub use stats::{ColumnStats, Histogram, HistogramBuilder, TableStats, HISTOGRAM_BUCKETS};
 pub use table::{Distribution, TableDesc};

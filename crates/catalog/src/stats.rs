@@ -1,8 +1,175 @@
 //! Table statistics for cardinality estimation and costing.
+//!
+//! Besides the classic NDV / null-fraction / min-max summary, columns can
+//! carry an equi-depth [`Histogram`] built by `ANALYZE` and tables keep
+//! per-leaf-partition row counts, which is what lets the optimizer cost a
+//! `DynamicScan` by the rows of the partitions that *survive* elimination
+//! rather than by a whole-table fraction.
 
-use mpp_common::Datum;
+use mpp_common::{Datum, PartOid};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Number of buckets every equi-depth histogram carries.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Sample capacity of the streaming histogram builder.
+const RESERVOIR_CAP: usize = 4096;
+
+/// An equi-depth histogram over an integer-ordered column.
+///
+/// `bounds` holds `n+1` non-decreasing values: bucket `i` covers
+/// `(bounds[i], bounds[i+1]]` (the first bucket is closed on the left) and
+/// each bucket holds ~`total / n` of the non-null values. Built from a
+/// bounded reservoir sample, so construction is a single streaming pass
+/// over the data — only the fixed-size sample is ever sorted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub bounds: Vec<i64>,
+    /// Non-null values summarized.
+    pub total: u64,
+}
+
+impl Histogram {
+    fn buckets(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Fraction of non-null values `<= v` (0 when the histogram is empty).
+    pub fn le_frac(&self, v: i64) -> f64 {
+        let n = self.buckets();
+        if n == 0 || self.total == 0 {
+            return 0.0;
+        }
+        let lo = self.bounds[0];
+        let hi = self.bounds[n];
+        if v < lo {
+            return 0.0;
+        }
+        if v >= hi {
+            return 1.0;
+        }
+        // Find the bucket containing v: bounds[i] <= v < bounds[i+1].
+        let i = match self.bounds.binary_search(&v) {
+            // v equals a boundary; everything up to and including bucket i
+            // (which ends at v) qualifies. Skip duplicate boundaries.
+            Ok(mut idx) => {
+                while idx < n && self.bounds[idx + 1] == v {
+                    idx += 1;
+                }
+                return (idx as f64 / n as f64).clamp(0.0, 1.0);
+            }
+            Err(ins) => ins - 1,
+        };
+        let b_lo = self.bounds[i];
+        let b_hi = self.bounds[i + 1];
+        let within = if b_hi > b_lo {
+            (v - b_lo) as f64 / (b_hi - b_lo) as f64
+        } else {
+            1.0
+        };
+        ((i as f64 + within) / n as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of non-null values in `[lo, hi]` (inclusive both ends).
+    pub fn range_frac(&self, lo: Option<i64>, hi: Option<i64>) -> f64 {
+        let above_lo = match lo {
+            // P(x >= lo) = 1 - P(x <= lo-1)
+            Some(l) => 1.0 - self.le_frac(l.saturating_sub(1)),
+            None => 1.0,
+        };
+        let below_hi = match hi {
+            Some(h) => self.le_frac(h),
+            None => 1.0,
+        };
+        (above_lo + below_hi - 1.0).clamp(0.0, 1.0)
+    }
+}
+
+/// Streaming builder: reservoir-samples values in one pass, then derives
+/// equi-depth boundaries from the sorted sample. Deterministic (fixed
+/// xorshift seed) so repeated ANALYZE over identical data yields
+/// identical plans.
+#[derive(Debug, Clone)]
+pub struct HistogramBuilder {
+    reservoir: Vec<i64>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Default for HistogramBuilder {
+    fn default() -> Self {
+        HistogramBuilder::new()
+    }
+}
+
+impl HistogramBuilder {
+    pub fn new() -> HistogramBuilder {
+        HistogramBuilder {
+            reservoir: Vec::new(),
+            seen: 0,
+            rng: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Feed one non-null value.
+    pub fn add(&mut self, v: i64) {
+        self.seen += 1;
+        if self.reservoir.len() < RESERVOIR_CAP {
+            self.reservoir.push(v);
+        } else {
+            let j = self.next_rand() % self.seen;
+            if (j as usize) < RESERVOIR_CAP {
+                self.reservoir[j as usize] = v;
+            }
+        }
+    }
+
+    /// Feed an integer-valued datum; non-integer datums are skipped (the
+    /// histogram stays value-domain `i64`; string columns rely on NDV).
+    pub fn add_datum(&mut self, d: &Datum) {
+        match d {
+            Datum::Int32(v) => self.add(*v as i64),
+            Datum::Int64(v) => self.add(*v),
+            Datum::Date(v) => self.add(*v as i64),
+            Datum::Bool(v) => self.add(*v as i64),
+            _ => {}
+        }
+    }
+
+    /// Finish into a histogram with up to [`HISTOGRAM_BUCKETS`] buckets,
+    /// or `None` when no integer values were seen.
+    pub fn finish(mut self) -> Option<Histogram> {
+        if self.reservoir.is_empty() {
+            return None;
+        }
+        self.reservoir.sort_unstable();
+        let sample = &self.reservoir;
+        let n = HISTOGRAM_BUCKETS.min(sample.len());
+        let mut bounds = Vec::with_capacity(n + 1);
+        bounds.push(sample[0]);
+        for b in 1..=n {
+            let idx = ((b * sample.len()) / n)
+                .saturating_sub(1)
+                .min(sample.len() - 1);
+            bounds.push(sample[idx].max(*bounds.last().unwrap()));
+        }
+        Some(Histogram {
+            bounds,
+            total: self.seen,
+        })
+    }
+}
 
 /// Per-column summary statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -13,6 +180,10 @@ pub struct ColumnStats {
     pub null_frac: f64,
     pub min: Option<Datum>,
     pub max: Option<Datum>,
+    /// Equi-depth histogram over non-null values (ANALYZE only; coarse
+    /// refresh paths leave it `None`).
+    #[serde(default)]
+    pub histogram: Option<Histogram>,
 }
 
 impl ColumnStats {
@@ -22,12 +193,18 @@ impl ColumnStats {
             null_frac: 0.0,
             min: None,
             max: None,
+            histogram: None,
         }
     }
 
     pub fn with_range(mut self, min: Datum, max: Datum) -> ColumnStats {
         self.min = Some(min);
         self.max = Some(max);
+        self
+    }
+
+    pub fn with_histogram(mut self, h: Histogram) -> ColumnStats {
+        self.histogram = Some(h);
         self
     }
 }
@@ -38,6 +215,10 @@ pub struct TableStats {
     pub row_count: u64,
     /// Column index → stats. Sparse: absent columns use defaults.
     pub columns: HashMap<usize, ColumnStats>,
+    /// Leaf partition → row count (ANALYZE fills it; empty means assume a
+    /// uniform spread across leaves).
+    #[serde(default)]
+    pub part_rows: HashMap<PartOid, u64>,
 }
 
 impl TableStats {
@@ -45,11 +226,17 @@ impl TableStats {
         TableStats {
             row_count,
             columns: HashMap::new(),
+            part_rows: HashMap::new(),
         }
     }
 
     pub fn with_column(mut self, idx: usize, stats: ColumnStats) -> TableStats {
         self.columns.insert(idx, stats);
+        self
+    }
+
+    pub fn with_part_rows(mut self, rows: HashMap<PartOid, u64>) -> TableStats {
+        self.part_rows = rows;
         self
     }
 
@@ -62,9 +249,32 @@ impl TableStats {
             .unwrap_or_else(|| (self.row_count / 10).max(1))
     }
 
-    /// Selectivity of an equality predicate on the column.
+    /// Fraction of NULLs in a column (0 when unknown).
+    pub fn null_frac(&self, idx: usize) -> f64 {
+        self.columns
+            .get(&idx)
+            .map(|c| c.null_frac.clamp(0.0, 1.0))
+            .unwrap_or(0.0)
+    }
+
+    /// Selectivity of an equality predicate on the column. Equality never
+    /// matches NULL, so the NULL fraction is excluded before the uniform
+    /// 1/NDV spread over the remaining rows.
     pub fn eq_selectivity(&self, idx: usize) -> f64 {
-        1.0 / self.ndv(idx) as f64
+        ((1.0 - self.null_frac(idx)) / self.ndv(idx) as f64).clamp(0.0, 1.0)
+    }
+
+    /// Total rows across a set of surviving leaf partitions, or `None`
+    /// when per-partition counts were never collected.
+    pub fn rows_in_parts<'a>(&self, parts: impl Iterator<Item = &'a PartOid>) -> Option<u64> {
+        if self.part_rows.is_empty() {
+            return None;
+        }
+        Some(
+            parts
+                .map(|p| self.part_rows.get(p).copied().unwrap_or(0))
+                .sum(),
+        )
     }
 }
 
@@ -91,5 +301,81 @@ mod tests {
         let s = TableStats::new(0).with_column(0, ColumnStats::new(0));
         assert_eq!(s.ndv(0), 1);
         assert_eq!(s.ndv(1), 1);
+    }
+
+    #[test]
+    fn eq_selectivity_excludes_nulls() {
+        let mut col = ColumnStats::new(10);
+        col.null_frac = 0.5;
+        let s = TableStats::new(1000).with_column(0, col);
+        assert!((s.eq_selectivity(0) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_uniform_quantiles() {
+        let mut b = HistogramBuilder::new();
+        for v in 0..10_000i64 {
+            b.add(v);
+        }
+        let h = b.finish().unwrap();
+        assert_eq!(h.total, 10_000);
+        // Median of 0..10000 should be ~5000.
+        let le = h.le_frac(5_000);
+        assert!((le - 0.5).abs() < 0.05, "le_frac(5000) = {le}");
+        assert_eq!(h.le_frac(-1), 0.0);
+        assert_eq!(h.le_frac(10_000), 1.0);
+        // A [2500, 7500] range covers ~half the values.
+        let r = h.range_frac(Some(2_500), Some(7_500));
+        assert!((r - 0.5).abs() < 0.08, "range_frac = {r}");
+    }
+
+    #[test]
+    fn histogram_skewed_data() {
+        // 90% of values are 0, the rest uniform in [1, 1000].
+        let mut b = HistogramBuilder::new();
+        for i in 0..10_000i64 {
+            b.add(if i % 10 == 0 { 1 + (i % 1000) } else { 0 });
+        }
+        let h = b.finish().unwrap();
+        let le0 = h.le_frac(0);
+        assert!(le0 > 0.8, "le_frac(0) = {le0} for 90%-zero data");
+        // A range that excludes zero must estimate well under 20%.
+        let r = h.range_frac(Some(1), Some(1_000));
+        assert!(r < 0.2, "range_frac(1..1000) = {r}");
+    }
+
+    #[test]
+    fn histogram_reservoir_bounded() {
+        let mut b = HistogramBuilder::new();
+        for v in 0..100_000i64 {
+            b.add(v % 997);
+        }
+        let h = b.finish().unwrap();
+        assert_eq!(h.total, 100_000);
+        assert!(h.bounds.len() <= HISTOGRAM_BUCKETS + 1);
+        // Sample-derived quantiles should still be roughly uniform.
+        let le = h.le_frac(498);
+        assert!((le - 0.5).abs() < 0.1, "le_frac(498) = {le}");
+    }
+
+    #[test]
+    fn empty_builder_yields_none() {
+        assert!(HistogramBuilder::new().finish().is_none());
+        let mut b = HistogramBuilder::new();
+        b.add_datum(&Datum::str("only strings"));
+        b.add_datum(&Datum::Null);
+        assert!(b.finish().is_none());
+    }
+
+    #[test]
+    fn part_rows_sum_surviving() {
+        let mut parts = HashMap::new();
+        parts.insert(PartOid(1), 100);
+        parts.insert(PartOid(2), 900);
+        let s = TableStats::new(1000).with_part_rows(parts);
+        let survivors = [PartOid(2)];
+        assert_eq!(s.rows_in_parts(survivors.iter()), Some(900));
+        let none = TableStats::new(1000);
+        assert_eq!(none.rows_in_parts(survivors.iter()), None);
     }
 }

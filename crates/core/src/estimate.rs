@@ -1,0 +1,320 @@
+//! Post-hoc cardinality/cost annotation of physical plans for EXPLAIN.
+//!
+//! The optimizer costs plans while it builds them but the final
+//! [`PhysicalPlan`] carries no estimate fields — deliberately, so the
+//! executor and the wire format stay estimate-free. This module re-derives
+//! per-operator estimates with one bottom-up walk over the finished plan,
+//! using the same [`CardinalityEstimator`] and [`CostModel`] the optimizer
+//! used, and keys them by node address so [`mpp_plan::explain_annotated`]
+//! can append `(rows=… cost=…)` to each operator line. Costs are
+//! cumulative: an operator's number includes its whole subtree, so the
+//! root shows the plan's total estimated cost.
+
+use crate::cardinality::{CardinalityEstimator, ColumnBinding};
+use crate::cost::CostModel;
+use mpp_catalog::Catalog;
+use mpp_common::PartScanId;
+use mpp_expr::analysis::{derive_interval_set, DerivedSet};
+use mpp_expr::Expr;
+use mpp_plan::{explain_annotated, MotionKind, PhysicalPlan};
+use std::collections::HashMap;
+
+/// Estimated output rows and cumulative (subtree) cost of one operator.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeEstimate {
+    pub rows: f64,
+    pub cost: f64,
+}
+
+/// Per-node estimates for one plan tree, keyed by node address. Valid
+/// only for the tree it was computed from, while that tree is alive.
+pub struct PlanEstimates {
+    map: HashMap<usize, NodeEstimate>,
+}
+
+impl PlanEstimates {
+    pub fn get(&self, node: &PhysicalPlan) -> Option<NodeEstimate> {
+        self.map
+            .get(&(node as *const PhysicalPlan as usize))
+            .copied()
+    }
+
+    /// The root's estimate (rows the query should return, total cost).
+    pub fn root(&self, plan: &PhysicalPlan) -> Option<NodeEstimate> {
+        self.get(plan)
+    }
+}
+
+/// Estimate every operator of `plan` against the catalog's current
+/// statistics.
+pub fn estimate_plan(plan: &PhysicalPlan, catalog: &Catalog, num_segments: usize) -> PlanEstimates {
+    let mut binding = ColumnBinding::new();
+    bind_scans(plan, &mut binding);
+    let mut selectors = HashMap::new();
+    collect_selectors(plan, &mut selectors);
+    let walker = Walker {
+        catalog,
+        est: CardinalityEstimator::new(catalog, &binding),
+        cost: CostModel::with_segments(num_segments),
+        selectors,
+    };
+    let mut map = HashMap::new();
+    walker.walk(plan, &mut map);
+    PlanEstimates { map }
+}
+
+/// EXPLAIN text with `(rows=… cost=…)` appended to every operator.
+pub fn explain_with_estimates(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    num_segments: usize,
+) -> String {
+    let ests = estimate_plan(plan, catalog, num_segments);
+    explain_annotated(plan, &|node| {
+        ests.get(node)
+            .map(|e| format!("rows={} cost={}", fmt(e.rows), fmt(e.cost)))
+    })
+}
+
+/// Compact numeric rendering: integers below a million, otherwise
+/// scientific-ish `1.2e7` so wide plans stay readable.
+pub fn fmt(x: f64) -> String {
+    if x < 1e6 {
+        format!("{:.0}", x)
+    } else {
+        format!("{:.1e}", x)
+    }
+}
+
+fn bind_scans(plan: &PhysicalPlan, binding: &mut ColumnBinding) {
+    match plan {
+        PhysicalPlan::TableScan { table, output, .. }
+        | PhysicalPlan::PartScan { table, output, .. }
+        | PhysicalPlan::DynamicScan { table, output, .. } => {
+            for (i, c) in output.iter().enumerate() {
+                binding.bind(c.id, *table, i);
+            }
+        }
+        _ => {}
+    }
+    for c in plan.children() {
+        bind_scans(c, binding);
+    }
+}
+
+/// Selector predicates per scan id, so a DynamicScan's estimate can use
+/// the statically derivable part of its paired selector's restriction
+/// wherever the selector sits in the tree (sequence sibling or across a
+/// join).
+fn collect_selectors<'a>(plan: &'a PhysicalPlan, out: &mut HashMap<PartScanId, &'a PhysicalPlan>) {
+    if let PhysicalPlan::PartitionSelector { part_scan_id, .. } = plan {
+        out.entry(*part_scan_id).or_insert(plan);
+    }
+    for c in plan.children() {
+        collect_selectors(c, out);
+    }
+}
+
+struct Walker<'a> {
+    catalog: &'a Catalog,
+    est: CardinalityEstimator<'a>,
+    cost: CostModel,
+    selectors: HashMap<PartScanId, &'a PhysicalPlan>,
+}
+
+impl<'a> Walker<'a> {
+    fn walk(&self, plan: &PhysicalPlan, map: &mut HashMap<usize, NodeEstimate>) -> NodeEstimate {
+        use PhysicalPlan::*;
+        let kids: Vec<NodeEstimate> = plan.children().iter().map(|c| self.walk(c, map)).collect();
+        let kid_cost: f64 = kids.iter().map(|k| k.cost).sum();
+        let e = match plan {
+            TableScan { table, filter, .. } => {
+                let base = self.est.table_cardinality(*table);
+                NodeEstimate {
+                    rows: filtered(base, filter, &self.est),
+                    cost: self.cost.table_scan(base),
+                }
+            }
+            PartScan {
+                table,
+                part,
+                filter,
+                ..
+            } => {
+                let stats = self.catalog.stats(*table);
+                let base = match stats.rows_in_parts(std::iter::once(part)) {
+                    Some(n) => n as f64,
+                    None => {
+                        let leaves = self
+                            .catalog
+                            .part_tree(*table)
+                            .map(|t| t.num_leaves())
+                            .unwrap_or(1);
+                        stats.row_count as f64 / leaves.max(1) as f64
+                    }
+                };
+                NodeEstimate {
+                    rows: filtered(base, filter, &self.est),
+                    cost: self.cost.table_scan(base),
+                }
+            }
+            DynamicScan {
+                table,
+                part_scan_id,
+                filter,
+                ..
+            } => {
+                let (parts, total, base) = self.dynamic_scan_shape(*table, *part_scan_id);
+                NodeEstimate {
+                    rows: filtered(base, filter, &self.est),
+                    cost: self
+                        .cost
+                        .dynamic_scan(base, total, parts as f64 / total.max(1) as f64),
+                }
+            }
+            PartitionSelector { child, .. } => {
+                // Producer only: rows flow through an optional child
+                // unchanged; a childless selector produces nothing.
+                let rows = if child.is_some() { kids[0].rows } else { 0.0 };
+                NodeEstimate {
+                    rows,
+                    cost: kid_cost + self.cost.partition_selector(rows),
+                }
+            }
+            Sequence { .. } => NodeEstimate {
+                rows: kids.last().map(|k| k.rows).unwrap_or(0.0),
+                cost: kid_cost,
+            },
+            Filter { pred, .. } => NodeEstimate {
+                rows: (kids[0].rows * self.est.selectivity(pred)).max(1.0),
+                cost: kid_cost + self.cost.filter(kids[0].rows),
+            },
+            Project { .. } => NodeEstimate {
+                rows: kids[0].rows,
+                cost: kid_cost + self.cost.project(kids[0].rows),
+            },
+            HashJoin {
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                let mut conjs: Vec<Expr> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| Expr::eq(l.clone(), r.clone()))
+                    .collect();
+                conjs.extend(residual.clone());
+                let out = self
+                    .est
+                    .join_cardinality(kids[0].rows, kids[1].rows, &Expr::and(conjs));
+                NodeEstimate {
+                    rows: out,
+                    cost: kid_cost + self.cost.hash_join(kids[0].rows, kids[1].rows, out),
+                }
+            }
+            NLJoin { pred, .. } => {
+                let p = pred.clone().unwrap_or_else(|| Expr::lit(true));
+                NodeEstimate {
+                    rows: self.est.join_cardinality(kids[0].rows, kids[1].rows, &p),
+                    cost: kid_cost + self.cost.nl_join(kids[0].rows, kids[1].rows),
+                }
+            }
+            HashAgg { group_by, .. } => NodeEstimate {
+                rows: self.est.agg_cardinality(kids[0].rows, group_by),
+                cost: kid_cost + self.cost.hash_agg(kids[0].rows),
+            },
+            Motion { kind, .. } => {
+                let rows = kids[0].rows;
+                let move_cost = match kind {
+                    MotionKind::Gather | MotionKind::GatherOne => self.cost.gather(rows),
+                    MotionKind::Redistribute(_) => self.cost.redistribute(rows),
+                    MotionKind::Broadcast => self.cost.broadcast(rows),
+                };
+                NodeEstimate {
+                    rows,
+                    cost: kid_cost + move_cost,
+                }
+            }
+            Append { .. } => NodeEstimate {
+                rows: kids.iter().map(|k| k.rows).sum(),
+                cost: kid_cost,
+            },
+            Values { rows, .. } => NodeEstimate {
+                rows: rows.len() as f64,
+                cost: 0.0,
+            },
+            Limit { n, .. } => NodeEstimate {
+                rows: kids[0].rows.min(*n as f64),
+                cost: kid_cost,
+            },
+            // Sort, DML and init-plans pass rows through; their own work
+            // is proportional to input and already dominated by it.
+            Sort { .. } | Update { .. } | Delete { .. } | Insert { .. } | InitPlanOids { .. } => {
+                NodeEstimate {
+                    rows: kids.first().map(|k| k.rows).unwrap_or(0.0),
+                    cost: kid_cost,
+                }
+            }
+        };
+        map.insert(plan as *const PhysicalPlan as usize, e);
+        e
+    }
+
+    /// (estimated surviving parts, total parts, estimated rows scanned)
+    /// for a DynamicScan, using the statically derivable restriction of
+    /// its paired selector (parameters unknown at plan time → full set,
+    /// exactly as the optimizer derived it).
+    fn dynamic_scan_shape(
+        &self,
+        table: mpp_common::TableOid,
+        id: PartScanId,
+    ) -> (usize, usize, f64) {
+        let stats = self.catalog.stats(table);
+        let tree = match self.catalog.part_tree(table) {
+            Ok(t) => t,
+            Err(_) => return (1, 1, stats.row_count as f64),
+        };
+        let total = tree.num_leaves();
+        let full = (total.max(1), total.max(1), stats.row_count as f64);
+        let Some(PhysicalPlan::PartitionSelector {
+            part_keys,
+            predicates,
+            child,
+            ..
+        }) = self.selectors.get(&id)
+        else {
+            return full;
+        };
+        // A selector with a child eliminates from join rows at run time;
+        // nothing is statically derivable here.
+        if child.is_some() {
+            return full;
+        }
+        let derived: Vec<DerivedSet> = part_keys
+            .iter()
+            .zip(predicates)
+            .map(|(key, pred)| match pred {
+                Some(p) => derive_interval_set(p, key, None),
+                None => DerivedSet::full(),
+            })
+            .collect();
+        match tree.select_partitions(&derived) {
+            Ok(surviving) => {
+                let rows = match stats.rows_in_parts(surviving.iter()) {
+                    Some(n) => n as f64,
+                    None => stats.row_count as f64 * surviving.len() as f64 / total.max(1) as f64,
+                };
+                (surviving.len().max(1), total.max(1), rows)
+            }
+            Err(_) => full,
+        }
+    }
+}
+
+fn filtered(base: f64, filter: &Option<Expr>, est: &CardinalityEstimator) -> f64 {
+    match filter {
+        Some(f) => (base * est.selectivity(f)).max(1.0),
+        None => base.max(1.0),
+    }
+}

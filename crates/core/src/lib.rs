@@ -27,12 +27,14 @@
 
 pub mod cardinality;
 pub mod cost;
+pub mod estimate;
 pub mod memo;
 pub mod optimizer;
 pub mod placement;
 pub mod spec;
 pub mod validate;
 
+pub use estimate::{estimate_plan, explain_with_estimates, PlanEstimates};
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use placement::place_partition_selectors;
 pub use spec::PartSelectorSpec;

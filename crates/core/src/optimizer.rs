@@ -28,6 +28,7 @@ use crate::placement::place_partition_selectors;
 use crate::validate::validate_selector_pairing;
 use mpp_catalog::{Catalog, Distribution};
 use mpp_common::{Error, PartScanId, Result, TableOid};
+use mpp_expr::analysis::{derive_interval_set, DerivedSet};
 use mpp_expr::{collect_columns, simplify, split_conjuncts, ColRef, Expr};
 use mpp_plan::{JoinType, LogicalPlan, MotionKind, PhysicalPlan};
 use std::collections::BTreeSet;
@@ -45,6 +46,12 @@ pub struct OptimizerConfig {
     /// Route SELECT queries through the Memo (cost-based, §3.1) instead of
     /// the deterministic pipeline.
     pub use_memo: bool,
+    /// Cost-based join-order search: flatten inner-join subtrees and run a
+    /// DPsize enumeration over the relation set (greedy above
+    /// [`MAX_DP_RELATIONS`]). When false, joins keep their syntactic
+    /// (left-deep, as-written) order — the baseline the join-order
+    /// benchmark compares against.
+    pub join_order_search: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -53,9 +60,14 @@ impl Default for OptimizerConfig {
             num_segments: 4,
             enable_partition_selection: true,
             use_memo: false,
+            join_order_search: true,
         }
     }
 }
+
+/// DPsize enumerates all 3^n subset splits; beyond this relation count the
+/// enumerator switches to a greedy (cheapest-pair-first) heuristic.
+pub const MAX_DP_RELATIONS: usize = 10;
 
 /// Distribution of a plan subtree's output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,7 +211,16 @@ impl Optimizer {
 
             LogicalPlan::Select { pred, child } => {
                 let c = self.build(child, binding)?;
-                let rows = (c.rows * est.selectivity(pred)).max(1.0);
+                let mut rows = (c.rows * est.selectivity(pred)).max(1.0);
+                // Partition-aware refinement: a predicate that statically
+                // eliminates partitions caps the estimate at the rows
+                // living in the surviving partitions (per-partition counts
+                // from ANALYZE when available).
+                if let LogicalPlan::Get { table, output, .. } = child.as_ref() {
+                    if let Some(cap) = self.statically_pruned_rows(*table, output, pred, &est) {
+                        rows = rows.min(cap.max(1.0));
+                    }
+                }
                 Ok(Built {
                     plan: PhysicalPlan::Filter {
                         pred: pred.clone(),
@@ -422,7 +443,8 @@ impl Optimizer {
         }
     }
 
-    /// Join implementation + distribution strategy selection.
+    /// Join implementation: order enumeration (inner joins) + distribution
+    /// strategy selection.
     fn build_join(
         &self,
         join_type: JoinType,
@@ -431,29 +453,490 @@ impl Optimizer {
         right: &LogicalPlan,
         binding: &ColumnBinding,
     ) -> Result<Built> {
+        if join_type == JoinType::Inner && self.config.join_order_search {
+            // Flatten the maximal inner-join subtree rooted here into its
+            // relation leaves and pooled conjuncts; with three or more
+            // relations the order is worth searching.
+            let mut rels: Vec<&LogicalPlan> = Vec::new();
+            let mut conjs: Vec<Expr> = Vec::new();
+            flatten_inner(left, &mut rels, &mut conjs);
+            flatten_inner(right, &mut rels, &mut conjs);
+            push_conjuncts(pred, &mut conjs);
+            if rels.len() >= 3 {
+                let original_out: Vec<ColRef> = [left.output_cols(), right.output_cols()].concat();
+                return self.build_join_ordered(&rels, conjs, original_out, binding);
+            }
+        }
+        // Two relations (or a non-inner join): keep the syntactic order,
+        // search distribution strategies only.
         let est = CardinalityEstimator::new(&self.catalog, binding);
         let l = self.build(left, binding)?;
         let r = self.build(right, binding)?;
-        let left_cols: BTreeSet<ColRef> = left.output_cols().into_iter().collect();
-        let right_cols: BTreeSet<ColRef> = right.output_cols().into_iter().collect();
+        let out_rows = est.join_cardinality(l.rows, r.rows, pred);
+        let l = JoinSide {
+            cols: left.output_cols().into_iter().collect(),
+            out: left.output_cols(),
+            base_rows: base_cardinality(left, &self.catalog),
+            plan: l.plan,
+            dist: l.dist,
+            rows: l.rows,
+        };
+        let r = JoinSide {
+            cols: right.output_cols().into_iter().collect(),
+            out: right.output_cols(),
+            base_rows: base_cardinality(right, &self.catalog),
+            plan: r.plan,
+            dist: r.dist,
+            rows: r.rows,
+        };
+        let (joined, _cost) = self.join_pair(join_type, split_conjuncts(pred), l, r, out_rows)?;
+        Ok(Built {
+            plan: joined.plan,
+            dist: joined.dist,
+            rows: joined.rows,
+        })
+    }
 
+    /// Cost-based join ordering: DPsize over subsets of the flattened
+    /// relation list (ISSUE: beats the fixed left-deep order), with a
+    /// greedy cheapest-pair fallback above [`MAX_DP_RELATIONS`]. The
+    /// per-pair distribution-strategy search ([`Optimizer::pair_cost`]) is
+    /// the inner loop, so join order and Motion placement optimize
+    /// jointly.
+    fn build_join_ordered(
+        &self,
+        rels: &[&LogicalPlan],
+        conjs: Vec<Expr>,
+        original_out: Vec<ColRef>,
+        binding: &ColumnBinding,
+    ) -> Result<Built> {
+        let est = CardinalityEstimator::new(&self.catalog, binding);
+        let n = rels.len();
+
+        // Build every relation leaf once.
+        let mut leaves: Vec<JoinSide> = Vec::with_capacity(n);
+        for rel in rels {
+            let b = self.build(rel, binding)?;
+            leaves.push(JoinSide {
+                cols: rel.output_cols().into_iter().collect(),
+                out: rel.output_cols(),
+                base_rows: base_cardinality(rel, &self.catalog),
+                plan: b.plan,
+                dist: b.dist,
+                rows: b.rows,
+            });
+        }
+
+        // Classify conjuncts by the set of relations they reference.
+        let mut infos: Vec<ConjInfo> = Vec::new();
+        let mut top_level: Vec<Expr> = Vec::new();
+        for c in conjs {
+            let cols = collect_columns(&c);
+            let mut support = 0usize;
+            for (i, leaf) in leaves.iter().enumerate() {
+                if cols.iter().any(|x| leaf.cols.contains(x)) {
+                    support |= 1 << i;
+                }
+            }
+            match support.count_ones() {
+                // References no relation (params/constants): filter once on
+                // top of the final join.
+                0 => top_level.push(c),
+                // Single-relation conjunct the normalizer did not sink
+                // (it can resurface from a nested join predicate): filter
+                // the leaf directly so every order sees it applied.
+                1 => {
+                    let i = support.trailing_zeros() as usize;
+                    let leaf = &mut leaves[i];
+                    leaf.rows = (leaf.rows * est.selectivity(&c)).max(1.0);
+                    let child = std::mem::replace(
+                        &mut leaf.plan,
+                        PhysicalPlan::Values {
+                            rows: vec![],
+                            output: vec![],
+                        },
+                    );
+                    leaf.plan = PhysicalPlan::Filter {
+                        pred: c,
+                        child: Box::new(child),
+                    };
+                }
+                _ => {
+                    let sel = est.selectivity(&c);
+                    let eq = match &c {
+                        Expr::Cmp {
+                            op: mpp_expr::CmpOp::Eq,
+                            left: a,
+                            right: b,
+                        } => {
+                            let side_mask = |e: &Expr| {
+                                let cols = collect_columns(e);
+                                let mut m = 0usize;
+                                for (i, leaf) in leaves.iter().enumerate() {
+                                    if cols.iter().any(|x| leaf.cols.contains(x)) {
+                                        m |= 1 << i;
+                                    }
+                                }
+                                m
+                            };
+                            Some((
+                                a.as_ref().clone(),
+                                b.as_ref().clone(),
+                                side_mask(a),
+                                side_mask(b),
+                            ))
+                        }
+                        _ => None,
+                    };
+                    infos.push(ConjInfo {
+                        expr: c,
+                        support,
+                        sel,
+                        eq,
+                    });
+                }
+            }
+        }
+
+        let side = if n <= MAX_DP_RELATIONS {
+            self.enumerate_dpsize(leaves, &infos)?
+        } else {
+            self.enumerate_greedy(leaves, &infos)?
+        };
+
+        // Constant conjuncts on top, then restore the syntactic column
+        // order: downstream operators resolve columns by identity, but the
+        // root of the query delivers columns positionally.
+        let mut plan = side.plan;
+        if !top_level.is_empty() {
+            plan = PhysicalPlan::Filter {
+                pred: Expr::and(top_level),
+                child: Box::new(plan),
+            };
+        }
+        if side.out != original_out {
+            plan = PhysicalPlan::Project {
+                exprs: original_out.iter().cloned().map(Expr::col).collect(),
+                output: original_out,
+                child: Box::new(plan),
+            };
+        }
+        Ok(Built {
+            plan,
+            dist: side.dist,
+            rows: side.rows,
+        })
+    }
+
+    /// Exhaustive DP over subsets (DPsize): for every subset of relations,
+    /// keep the cheapest (cost, distribution) over all ordered splits into
+    /// two smaller subsets; cross products are considered only when a
+    /// subset has no connected split. When the query graph is connected,
+    /// the DP visits only subsets whose induced join graph is connected
+    /// (the DPccp restriction): every cross-product-free join tree's
+    /// subtrees are connected subgraphs, so no plan is lost, and the
+    /// subset count collapses from 2^n to O(n²) on chains and O(2^n / 2)
+    /// on stars. The winning split tree is materialized afterwards by
+    /// [`Optimizer::dp_rebuild`].
+    fn enumerate_dpsize(&self, leaves: Vec<JoinSide>, infos: &[ConjInfo]) -> Result<JoinSide> {
+        let n = leaves.len();
+        let full: usize = (1 << n) - 1;
+
+        // Induced connectivity per subset: BFS over conjunct supports.
+        let mut connected = vec![false; full + 1];
+        for (mask, conn) in connected.iter_mut().enumerate().skip(1) {
+            if mask.count_ones() == 1 {
+                *conn = true;
+                continue;
+            }
+            let mut reach = mask & mask.wrapping_neg();
+            loop {
+                let before = reach;
+                for ci in infos {
+                    if ci.support & mask == ci.support && ci.support & reach != 0 {
+                        reach |= ci.support;
+                    }
+                }
+                if reach == before {
+                    break;
+                }
+            }
+            *conn = reach == mask;
+        }
+        let graph_connected = connected[full];
+
+        // Split-independent per-subset estimates: row product × the
+        // selectivity of every conjunct fully covered by the subset, and
+        // the base-table row product (for the DPE domain heuristic).
+        let mut rows = vec![1.0f64; full + 1];
+        let mut base = vec![1.0f64; full + 1];
+        for mask in 1..=full {
+            let mut r = 1.0f64;
+            let mut b = 1.0f64;
+            for (i, leaf) in leaves.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    r *= leaf.rows;
+                    b *= leaf.base_rows;
+                }
+            }
+            for ci in infos {
+                if ci.support & mask == ci.support {
+                    r *= ci.sel;
+                }
+            }
+            rows[mask] = r.max(1.0);
+            base[mask] = b;
+        }
+
+        let mut dp: Vec<Option<DpEntry>> = vec![None; full + 1];
+        for (i, leaf) in leaves.iter().enumerate() {
+            dp[1 << i] = Some(DpEntry {
+                cost: self.leaf_cost(leaf),
+                dist: leaf.dist.clone(),
+                split: None,
+            });
+        }
+
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            // DPccp prune: with a connected query graph a disconnected
+            // subset can only appear under a cross product, which the
+            // connected plan space never needs.
+            if graph_connected && !connected[mask] {
+                continue;
+            }
+            // Pass 1: connected splits only; pass 2 (if none): cartesian.
+            for allow_cartesian in [false, true] {
+                // Enumerate proper non-empty submasks; both (l, r) and
+                // (r, l) appear, so build/probe and DPE sides are searched.
+                let mut lmask = (mask - 1) & mask;
+                while lmask != 0 {
+                    let rmask = mask & !lmask;
+                    if let (Some(le), Some(re)) = (&dp[lmask], &dp[rmask]) {
+                        let (left_keys, right_keys, connected) =
+                            split_keys(infos, mask, lmask, rmask);
+                        if connected == allow_cartesian {
+                            lmask = (lmask - 1) & mask;
+                            continue;
+                        }
+                        let (dpe_fraction, right_scan) = if rmask.count_ones() == 1 {
+                            let j = rmask.trailing_zeros() as usize;
+                            (
+                                self.dpe_fraction(
+                                    &leaves[j].plan,
+                                    &left_keys,
+                                    &right_keys,
+                                    rows[lmask],
+                                    base[lmask],
+                                ),
+                                self.partitioned_scan_shape(&leaves[j].plan),
+                            )
+                        } else {
+                            (1.0, None)
+                        };
+                        let ctx = StrategyCtx {
+                            join_type: JoinType::Inner,
+                            has_equi: !left_keys.is_empty(),
+                            l_rows: rows[lmask],
+                            r_rows: rows[rmask],
+                            out_rows: rows[mask],
+                            l_dist: &le.dist,
+                            r_dist: &re.dist,
+                            lk_cols: &simple_cols(&left_keys),
+                            rk_cols: &simple_cols(&right_keys),
+                            dpe_fraction,
+                            right_scan,
+                        };
+                        if let Some((pair, _ml, _mr, dist)) = self.pair_cost(&ctx) {
+                            let cost = le.cost + re.cost + pair;
+                            if dp[mask].as_ref().map(|e| cost < e.cost).unwrap_or(true) {
+                                dp[mask] = Some(DpEntry {
+                                    cost,
+                                    dist,
+                                    split: Some((lmask, rmask)),
+                                });
+                            }
+                        }
+                    }
+                    lmask = (lmask - 1) & mask;
+                }
+                if dp[mask].is_some() {
+                    break;
+                }
+            }
+            if dp[mask].is_none() {
+                return Err(Error::Optimize(
+                    "join enumeration found no valid plan for a subset".into(),
+                ));
+            }
+        }
+
+        let mut slots: Vec<Option<JoinSide>> = leaves.into_iter().map(Some).collect();
+        let (side, _cost) = self.dp_rebuild(full, &dp, &mut slots, infos, &rows)?;
+        Ok(side)
+    }
+
+    /// Materialize the DP winner: recurse down the recorded splits and run
+    /// the same pair-join construction the costing saw.
+    fn dp_rebuild(
+        &self,
+        mask: usize,
+        dp: &[Option<DpEntry>],
+        slots: &mut [Option<JoinSide>],
+        infos: &[ConjInfo],
+        rows: &[f64],
+    ) -> Result<(JoinSide, f64)> {
+        let entry = dp[mask]
+            .as_ref()
+            .ok_or_else(|| Error::Optimize("missing DP entry during rebuild".into()))?;
+        let Some((lmask, rmask)) = entry.split else {
+            let i = mask.trailing_zeros() as usize;
+            let leaf = slots[i]
+                .take()
+                .ok_or_else(|| Error::Optimize("leaf consumed twice during rebuild".into()))?;
+            let cost = self.leaf_cost(&leaf);
+            return Ok((leaf, cost));
+        };
+        let (l, lc) = self.dp_rebuild(lmask, dp, slots, infos, rows)?;
+        let (r, rc) = self.dp_rebuild(rmask, dp, slots, infos, rows)?;
+        let conjs: Vec<Expr> = infos
+            .iter()
+            .filter(|ci| {
+                ci.support & mask == ci.support
+                    && ci.support & lmask != 0
+                    && ci.support & rmask != 0
+            })
+            .map(|ci| ci.expr.clone())
+            .collect();
+        let (side, pair) = self.join_pair(JoinType::Inner, conjs, l, r, rows[mask])?;
+        Ok((side, lc + rc + pair))
+    }
+
+    /// Greedy fallback above [`MAX_DP_RELATIONS`]: repeatedly merge the
+    /// pair of subtrees with the cheapest join, preferring connected pairs
+    /// over cross products.
+    fn enumerate_greedy(&self, leaves: Vec<JoinSide>, infos: &[ConjInfo]) -> Result<JoinSide> {
+        let mut entries: Vec<(usize, JoinSide)> = leaves
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (1usize << i, l))
+            .collect();
+        while entries.len() > 1 {
+            let mut best: Option<(f64, usize, usize, bool)> = None;
+            for li in 0..entries.len() {
+                for ri in 0..entries.len() {
+                    if li == ri {
+                        continue;
+                    }
+                    let (lm, l) = &entries[li];
+                    let (rm, r) = &entries[ri];
+                    let mask = lm | rm;
+                    let (left_keys, right_keys, connected) = split_keys(infos, mask, *lm, *rm);
+                    let out_rows = pair_out_rows(l.rows, r.rows, infos, mask, *lm, *rm);
+                    let (dpe_fraction, right_scan) = if rm.count_ones() == 1 {
+                        (
+                            self.dpe_fraction(
+                                &r.plan,
+                                &left_keys,
+                                &right_keys,
+                                l.rows,
+                                l.base_rows,
+                            ),
+                            self.partitioned_scan_shape(&r.plan),
+                        )
+                    } else {
+                        (1.0, None)
+                    };
+                    let ctx = StrategyCtx {
+                        join_type: JoinType::Inner,
+                        has_equi: !left_keys.is_empty(),
+                        l_rows: l.rows,
+                        r_rows: r.rows,
+                        out_rows,
+                        l_dist: &l.dist,
+                        r_dist: &r.dist,
+                        lk_cols: &simple_cols(&left_keys),
+                        rk_cols: &simple_cols(&right_keys),
+                        dpe_fraction,
+                        right_scan,
+                    };
+                    if let Some((cost, _, _, _)) = self.pair_cost(&ctx) {
+                        let better = match &best {
+                            None => true,
+                            // Connected pairs always beat cross products.
+                            Some((bc, _, _, bconn)) => {
+                                (connected && !bconn) || (connected == *bconn && cost < *bc)
+                            }
+                        };
+                        if better {
+                            best = Some((cost, li, ri, connected));
+                        }
+                    }
+                }
+            }
+            let (_, li, ri, _) = best
+                .ok_or_else(|| Error::Optimize("greedy join enumeration found no plan".into()))?;
+            // Remove the higher index first so the lower stays valid.
+            let (hi, lo) = if li > ri { (li, ri) } else { (ri, li) };
+            let b = entries.remove(hi);
+            let a = entries.remove(lo);
+            let ((lm, l), (rm, r)) = if li > ri { (b, a) } else { (a, b) };
+            let mask = lm | rm;
+            let conjs: Vec<Expr> = infos
+                .iter()
+                .filter(|ci| {
+                    ci.support & mask == ci.support && ci.support & lm != 0 && ci.support & rm != 0
+                })
+                .map(|ci| ci.expr.clone())
+                .collect();
+            let out_rows = pair_out_rows(l.rows, r.rows, infos, mask, lm, rm);
+            let (side, _cost) = self.join_pair(JoinType::Inner, conjs, l, r, out_rows)?;
+            entries.push((mask, side));
+        }
+        Ok(entries.pop().expect("at least one entry").1)
+    }
+
+    /// Cost charged for producing a relation leaf (its scan). Pair costs
+    /// use a *credit* for DPE (pruned minus full scan), so leaves carry
+    /// the full scan cost and totals stay comparable across orders.
+    fn leaf_cost(&self, leaf: &JoinSide) -> f64 {
+        match self.partitioned_scan_shape(&leaf.plan) {
+            Some((parts, rows)) => self.cost.dynamic_scan(rows, parts, 1.0),
+            None => self.cost.table_scan(leaf.rows),
+        }
+    }
+
+    /// Construct the physical join of two built sides: split the conjuncts
+    /// into equi keys and residual, pick the cheapest distribution
+    /// strategy, and wrap Motions. Returns the joined side and the pair's
+    /// incremental cost (the same figure the enumerators ranked).
+    fn join_pair(
+        &self,
+        join_type: JoinType,
+        conjuncts: Vec<Expr>,
+        l: JoinSide,
+        r: JoinSide,
+        out_rows: f64,
+    ) -> Result<(JoinSide, f64)> {
         // Split the predicate into equi-key pairs and a residual.
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
         let mut residual = Vec::new();
-        for conj in split_conjuncts(pred) {
+        for conj in &conjuncts {
             if let Expr::Cmp {
                 op: mpp_expr::CmpOp::Eq,
                 left: a,
                 right: b,
-            } = &conj
+            } = conj
             {
                 let a_cols = collect_columns(a);
                 let b_cols = collect_columns(b);
-                let a_left = a_cols.iter().all(|c| left_cols.contains(c));
-                let a_right = a_cols.iter().all(|c| right_cols.contains(c));
-                let b_left = b_cols.iter().all(|c| left_cols.contains(c));
-                let b_right = b_cols.iter().all(|c| right_cols.contains(c));
+                let a_left = a_cols.iter().all(|c| l.cols.contains(c));
+                let a_right = a_cols.iter().all(|c| r.cols.contains(c));
+                let b_left = b_cols.iter().all(|c| l.cols.contains(c));
+                let b_right = b_cols.iter().all(|c| r.cols.contains(c));
                 if a_left && b_right && !a_cols.is_empty() && !b_cols.is_empty() {
                     left_keys.push(a.as_ref().clone());
                     right_keys.push(b.as_ref().clone());
@@ -465,79 +948,125 @@ impl Optimizer {
                     continue;
                 }
             }
-            residual.push(conj);
+            residual.push(conj.clone());
         }
+
+        let dpe_fraction = self.dpe_fraction(&r.plan, &left_keys, &right_keys, l.rows, l.base_rows);
+        let lk_cols = simple_cols(&left_keys);
+        let rk_cols = simple_cols(&right_keys);
+        let ctx = StrategyCtx {
+            join_type,
+            has_equi: !left_keys.is_empty(),
+            l_rows: l.rows,
+            r_rows: r.rows,
+            out_rows,
+            l_dist: &l.dist,
+            r_dist: &r.dist,
+            lk_cols: &lk_cols,
+            rk_cols: &rk_cols,
+            dpe_fraction,
+            right_scan: self.partitioned_scan_shape(&r.plan),
+        };
+        let (cost, ml, mr, out_dist) = self
+            .pair_cost(&ctx)
+            .ok_or_else(|| Error::Optimize("no valid distribution strategy for join".into()))?;
+
+        let out: Vec<ColRef> = [l.out.as_slice(), r.out.as_slice()].concat();
+        let cols: BTreeSet<ColRef> = l.cols.union(&r.cols).cloned().collect();
+        let base_rows = l.base_rows * r.base_rows;
+
+        if left_keys.is_empty() {
+            // No equi keys: nested loops with a broadcast inner.
+            let r_plan = if mr == Mv::Bcast {
+                PhysicalPlan::Motion {
+                    kind: MotionKind::Broadcast,
+                    child: Box::new(r.plan),
+                }
+            } else {
+                r.plan
+            };
+            return Ok((
+                JoinSide {
+                    plan: PhysicalPlan::NLJoin {
+                        join_type,
+                        pred: Some(Expr::and(conjuncts)),
+                        left: Box::new(l.plan),
+                        right: Box::new(r_plan),
+                    },
+                    dist: out_dist,
+                    rows: out_rows,
+                    cols,
+                    out,
+                    base_rows,
+                },
+                cost,
+            ));
+        }
+
         let residual = if residual.is_empty() {
             None
         } else {
             Some(Expr::and(residual))
         };
-
-        let out_rows = est.join_cardinality(l.rows, r.rows, pred);
-
-        if left_keys.is_empty() {
-            // No equi keys: nested loops with a broadcast inner.
-            let (r_plan, r_moved) = match &r.dist {
-                DistSpec::Replicated => (r.plan, false),
-                DistSpec::Singleton if l.dist == DistSpec::Singleton => (r.plan, false),
-                _ => (
-                    PhysicalPlan::Motion {
-                        kind: MotionKind::Broadcast,
-                        child: Box::new(r.plan),
-                    },
-                    true,
-                ),
-            };
-            let _ = r_moved;
-            let dist = l.dist.clone();
-            return Ok(Built {
-                plan: PhysicalPlan::NLJoin {
+        let apply = |plan: PhysicalPlan, mv: Mv, keys: &Option<Vec<ColRef>>| match mv {
+            Mv::None => plan,
+            Mv::Redist => PhysicalPlan::Motion {
+                kind: MotionKind::Redistribute(keys.clone().expect("checked in pair_cost")),
+                child: Box::new(plan),
+            },
+            Mv::Bcast => PhysicalPlan::Motion {
+                kind: MotionKind::Broadcast,
+                child: Box::new(plan),
+            },
+        };
+        let l_plan = apply(l.plan, ml, &lk_cols);
+        let r_plan = apply(r.plan, mr, &rk_cols);
+        Ok((
+            JoinSide {
+                plan: PhysicalPlan::HashJoin {
                     join_type,
-                    pred: Some(pred.clone()),
-                    left: Box::new(l.plan),
+                    left_keys,
+                    right_keys,
+                    residual,
+                    left: Box::new(l_plan),
                     right: Box::new(r_plan),
                 },
-                dist,
+                dist: out_dist,
                 rows: out_rows,
-            });
+                cols,
+                out,
+                base_rows,
+            },
+            cost,
+        ))
+    }
+
+    /// The distribution-strategy search for one join pair: cheapest of
+    /// redistribute / broadcast-right / broadcast-left (inner only),
+    /// respecting co-location and Replicated-side rules. Partitioned inner
+    /// sides that stay in place are credited with the DPE scan saving
+    /// (Figure 14), expressed relative to the full scan the leaf already
+    /// paid for, so enumerator totals compose. Returns
+    /// `(cost, left motion, right motion, output distribution)`.
+    fn pair_cost(&self, ctx: &StrategyCtx) -> Option<(f64, Mv, Mv, DistSpec)> {
+        if !ctx.has_equi {
+            // Nested loops; the inner side is broadcast unless already
+            // visible everywhere (or both sides are singletons).
+            let (mr, move_cost) = match (ctx.r_dist, ctx.l_dist) {
+                (DistSpec::Replicated, _) => (Mv::None, 0.0),
+                (DistSpec::Singleton, DistSpec::Singleton) => (Mv::None, 0.0),
+                _ => (Mv::Bcast, self.cost.broadcast(ctx.r_rows)),
+            };
+            let cost = move_cost + self.cost.nl_join(ctx.l_rows, ctx.r_rows);
+            return Some((cost, Mv::None, mr, ctx.l_dist.clone()));
         }
 
-        // Key colref sequences for co-location checks (only simple column
-        // keys co-locate).
-        let lk_cols: Option<Vec<ColRef>> = left_keys
-            .iter()
-            .map(|e| match e {
-                Expr::Col(c) => Some(c.clone()),
-                _ => None,
-            })
-            .collect();
-        let rk_cols: Option<Vec<ColRef>> = right_keys
-            .iter()
-            .map(|e| match e {
-                Expr::Col(c) => Some(c.clone()),
-                _ => None,
-            })
-            .collect();
+        let l_colocated = matches!((ctx.l_dist, ctx.lk_cols), (DistSpec::Hashed(h), Some(k)) if h == k)
+            || *ctx.l_dist == DistSpec::Singleton;
+        let r_colocated = matches!((ctx.r_dist, ctx.rk_cols), (DistSpec::Hashed(h), Some(k)) if h == k)
+            || *ctx.r_dist == DistSpec::Singleton;
 
-        let l_colocated = matches!((&l.dist, &lk_cols), (DistSpec::Hashed(h), Some(k)) if h == k)
-            || l.dist == DistSpec::Singleton;
-        let r_colocated = matches!((&r.dist, &rk_cols), (DistSpec::Hashed(h), Some(k)) if h == k)
-            || r.dist == DistSpec::Singleton;
-
-        // Is there a DPE opportunity: the right (inner) side roots a
-        // partitioned scan whose partition key is constrained by the join
-        // predicate?
-        let l_base_rows = base_cardinality(left, &self.catalog);
-        let dpe_fraction = self.dpe_fraction(&r.plan, &left_keys, &right_keys, l.rows, l_base_rows);
-        let _ = est;
-
-        // Candidate strategies: (left motion, right motion, dpe-possible).
-        #[derive(Clone, Copy, PartialEq)]
-        enum Mv {
-            None,
-            Redist,
-            Bcast,
-        }
+        // Candidate strategies: (left motion, right motion).
         let mut candidates: Vec<(Mv, Mv)> = Vec::new();
         // (a) redistribute to co-locate on keys.
         candidates.push((
@@ -548,36 +1077,36 @@ impl Optimizer {
         candidates.push((Mv::None, Mv::Bcast));
         // (c) broadcast left, leave right (inner joins and semi-style
         // joins must not duplicate left rows — only Inner allows this).
-        if join_type == JoinType::Inner {
+        if ctx.join_type == JoinType::Inner {
             candidates.push((Mv::Bcast, Mv::None));
         }
 
         let mut best: Option<(f64, (Mv, Mv))> = None;
         for (ml, mr) in candidates {
             // Redistribution requires simple column keys.
-            if ml == Mv::Redist && lk_cols.is_none() {
+            if ml == Mv::Redist && ctx.lk_cols.is_none() {
                 continue;
             }
-            if mr == Mv::Redist && rk_cols.is_none() {
+            if mr == Mv::Redist && ctx.rk_cols.is_none() {
                 continue;
             }
             // Replicated sides must not be moved again.
-            if l.dist == DistSpec::Replicated && ml != Mv::None {
+            if *ctx.l_dist == DistSpec::Replicated && ml != Mv::None {
                 continue;
             }
-            if r.dist == DistSpec::Replicated && mr != Mv::None {
+            if *ctx.r_dist == DistSpec::Replicated && mr != Mv::None {
                 continue;
             }
             // Validity: matching pairs must meet. Either both hashed on
             // keys, or one side replicated/broadcast.
-            let l_ok = ml != Mv::None || l_colocated || l.dist == DistSpec::Replicated;
-            let r_ok = mr != Mv::None || r_colocated || r.dist == DistSpec::Replicated;
+            let l_ok = ml != Mv::None || l_colocated || *ctx.l_dist == DistSpec::Replicated;
+            let r_ok = mr != Mv::None || r_colocated || *ctx.r_dist == DistSpec::Replicated;
             let joinable = match (ml, mr) {
                 (Mv::Bcast, _) | (_, Mv::Bcast) => true,
                 _ => {
                     (l_ok && r_ok)
-                        || l.dist == DistSpec::Replicated
-                        || r.dist == DistSpec::Replicated
+                        || *ctx.l_dist == DistSpec::Replicated
+                        || *ctx.r_dist == DistSpec::Replicated
                 }
             };
             if !joinable {
@@ -586,73 +1115,52 @@ impl Optimizer {
             let mut cost = 0.0;
             cost += match ml {
                 Mv::None => 0.0,
-                Mv::Redist => self.cost.redistribute(l.rows),
-                Mv::Bcast => self.cost.broadcast(l.rows),
+                Mv::Redist => self.cost.redistribute(ctx.l_rows),
+                Mv::Bcast => self.cost.broadcast(ctx.l_rows),
             };
             cost += match mr {
                 Mv::None => 0.0,
-                Mv::Redist => self.cost.redistribute(r.rows),
-                Mv::Bcast => self.cost.broadcast(r.rows),
+                Mv::Redist => self.cost.redistribute(ctx.r_rows),
+                Mv::Bcast => self.cost.broadcast(ctx.r_rows),
             };
-            // DPE saves scan cost on the inner side when it stays in place.
-            let scan_fraction = if mr == Mv::None { dpe_fraction } else { 1.0 };
-            if let Some((total_parts, scan_rows)) = partitioned_scan_shape(&r.plan, &self.catalog) {
+            // DPE saves scan cost on the inner side when it stays in
+            // place; charged as a delta against the full scan so the
+            // saving is comparable across join orders.
+            let scan_fraction = if mr == Mv::None {
+                ctx.dpe_fraction
+            } else {
+                1.0
+            };
+            if let Some((total_parts, scan_rows)) = ctx.right_scan {
                 cost += self
                     .cost
-                    .dynamic_scan(scan_rows, total_parts, scan_fraction);
-            } else {
-                cost += r.rows * 0.0; // child cost already sunk
+                    .dynamic_scan(scan_rows, total_parts, scan_fraction)
+                    - self.cost.dynamic_scan(scan_rows, total_parts, 1.0);
             }
             cost += self
                 .cost
-                .hash_join(l.rows, r.rows * scan_fraction, out_rows);
+                .hash_join(ctx.l_rows, ctx.r_rows * scan_fraction, ctx.out_rows);
             if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                 best = Some((cost, (ml, mr)));
             }
         }
-        let (_, (ml, mr)) =
-            best.ok_or_else(|| Error::Optimize("no valid distribution strategy for join".into()))?;
-
-        let apply = |plan: PhysicalPlan, mv: Mv, keys: &Option<Vec<ColRef>>| match mv {
-            Mv::None => plan,
-            Mv::Redist => PhysicalPlan::Motion {
-                kind: MotionKind::Redistribute(keys.clone().expect("checked above")),
-                child: Box::new(plan),
-            },
-            Mv::Bcast => PhysicalPlan::Motion {
-                kind: MotionKind::Broadcast,
-                child: Box::new(plan),
-            },
-        };
+        let (cost, (ml, mr)) = best?;
         let out_dist = match (ml, mr) {
-            (Mv::Bcast, _) => r.dist.clone(),
+            (Mv::Bcast, _) => ctx.r_dist.clone(),
             (_, Mv::Bcast) => match ml {
-                Mv::Redist => DistSpec::Hashed(lk_cols.clone().unwrap()),
-                _ => l.dist.clone(),
+                Mv::Redist => DistSpec::Hashed(ctx.lk_cols.clone().unwrap()),
+                _ => ctx.l_dist.clone(),
             },
             (Mv::Redist, _) | (Mv::None, Mv::Redist) => {
                 if ml == Mv::Redist {
-                    DistSpec::Hashed(lk_cols.clone().unwrap())
+                    DistSpec::Hashed(ctx.lk_cols.clone().unwrap())
                 } else {
-                    l.dist.clone()
+                    ctx.l_dist.clone()
                 }
             }
-            (Mv::None, Mv::None) => l.dist.clone(),
+            (Mv::None, Mv::None) => ctx.l_dist.clone(),
         };
-        let l_plan = apply(l.plan, ml, &lk_cols);
-        let r_plan = apply(r.plan, mr, &rk_cols);
-        Ok(Built {
-            plan: PhysicalPlan::HashJoin {
-                join_type,
-                left_keys,
-                right_keys,
-                residual,
-                left: Box::new(l_plan),
-                right: Box::new(r_plan),
-            },
-            dist: out_dist,
-            rows: out_rows,
-        })
+        Some((cost, ml, mr, out_dist))
     }
 
     /// Expected fraction of partitions scanned if dynamic partition
@@ -705,6 +1213,236 @@ impl Optimizer {
         }
         1.0
     }
+
+    /// Shape of the partitioned scan rooted in the plan, if any: expected
+    /// (leaf count, rows). *Static* elimination by the filters sitting on
+    /// the scan is folded in — with per-partition row counts from ANALYZE
+    /// the estimate reflects the partitions actually opened, otherwise a
+    /// uniform fraction of the table.
+    fn partitioned_scan_shape(&self, plan: &PhysicalPlan) -> Option<(usize, f64)> {
+        let (table, output) = dynamic_scan_of(plan)?;
+        let tree = self.catalog.part_tree(table).ok()?;
+        let stats = self.catalog.stats(table);
+        let total = tree.num_leaves();
+        let mut parts = total;
+        let mut rows = stats.row_count as f64;
+        let mut preds = Vec::new();
+        scan_filters(plan, &mut preds);
+        if !preds.is_empty() && self.config.enable_partition_selection {
+            let pred = Expr::and(preds);
+            let derived: Vec<DerivedSet> = tree
+                .key_indices()
+                .iter()
+                .map(|&i| match output.get(i) {
+                    // Plan-time derivation: params unknown → full set.
+                    Some(key) => derive_interval_set(&pred, key, None),
+                    None => DerivedSet::full(),
+                })
+                .collect();
+            if let Ok(surviving) = tree.select_partitions(&derived) {
+                parts = surviving.len();
+                rows = match stats.rows_in_parts(surviving.iter()) {
+                    Some(n) => n as f64,
+                    None => rows * parts as f64 / total.max(1) as f64,
+                };
+            }
+        }
+        Some((parts.max(1), rows))
+    }
+
+    /// Rows surviving *static* partition elimination of `pred` over a
+    /// partitioned `table`, or `None` when nothing is eliminated (not
+    /// partitioned, no partition-key conjuncts, or selection disabled).
+    fn statically_pruned_rows(
+        &self,
+        table: TableOid,
+        output: &[ColRef],
+        pred: &Expr,
+        est: &CardinalityEstimator,
+    ) -> Option<f64> {
+        if !self.config.enable_partition_selection {
+            return None;
+        }
+        let tree = self.catalog.part_tree(table).ok()?;
+        let derived: Vec<DerivedSet> = tree
+            .key_indices()
+            .iter()
+            .map(|&i| match output.get(i) {
+                Some(key) => derive_interval_set(pred, key, None),
+                None => DerivedSet::full(),
+            })
+            .collect();
+        let surviving = tree.select_partitions(&derived).ok()?;
+        if surviving.len() >= tree.num_leaves() {
+            return None;
+        }
+        Some(est.partition_cardinality(table, &surviving, tree.num_leaves()))
+    }
+}
+
+/// Left/right motion applied to a join side.
+#[derive(Clone, Copy, PartialEq)]
+enum Mv {
+    None,
+    Redist,
+    Bcast,
+}
+
+/// One side of a candidate pair join: the built subtree plus what the
+/// strategy search and the enumerators track per subset.
+struct JoinSide {
+    plan: PhysicalPlan,
+    dist: DistSpec,
+    rows: f64,
+    /// Output columns as a set (conjunct ownership tests).
+    cols: BTreeSet<ColRef>,
+    /// Output columns in order (restoring the syntactic column order at
+    /// the root of a reordered join tree).
+    out: Vec<ColRef>,
+    /// Product of base-table cardinalities under this side (the DPE
+    /// selectivity-vs-domain heuristic).
+    base_rows: f64,
+}
+
+/// Inputs to [`Optimizer::pair_cost`].
+struct StrategyCtx<'a> {
+    join_type: JoinType,
+    has_equi: bool,
+    l_rows: f64,
+    r_rows: f64,
+    out_rows: f64,
+    l_dist: &'a DistSpec,
+    r_dist: &'a DistSpec,
+    lk_cols: &'a Option<Vec<ColRef>>,
+    rk_cols: &'a Option<Vec<ColRef>>,
+    dpe_fraction: f64,
+    /// `(leaf parts, rows)` when the right side roots a partitioned scan.
+    right_scan: Option<(usize, f64)>,
+}
+
+/// A pooled join conjunct: which relations it references (`support`, a
+/// bitmask over the flattened relation list), its selectivity, and — for
+/// `a = b` equalities — both sides with their own relation masks, so the
+/// enumerator can type it as an equi-key for any split.
+struct ConjInfo {
+    expr: Expr,
+    support: usize,
+    sel: f64,
+    eq: Option<(Expr, Expr, usize, usize)>,
+}
+
+/// Best plan found for one relation subset during DPsize.
+#[derive(Clone)]
+struct DpEntry {
+    cost: f64,
+    dist: DistSpec,
+    /// `None` for single relations; otherwise the winning (left, right)
+    /// submasks.
+    split: Option<(usize, usize)>,
+}
+
+/// Collect the relation leaves and pooled conjuncts of a maximal
+/// inner-join subtree. Anything that is not an inner join (outer joins,
+/// aggregates, projections…) is opaque: it becomes a relation of the
+/// enumeration, and its own joins are ordered independently when `build`
+/// recurses into it.
+fn flatten_inner<'a>(
+    plan: &'a LogicalPlan,
+    rels: &mut Vec<&'a LogicalPlan>,
+    conjs: &mut Vec<Expr>,
+) {
+    if let LogicalPlan::Join {
+        join_type: JoinType::Inner,
+        pred,
+        left,
+        right,
+    } = plan
+    {
+        flatten_inner(left, rels, conjs);
+        flatten_inner(right, rels, conjs);
+        push_conjuncts(pred, conjs);
+    } else {
+        rels.push(plan);
+    }
+}
+
+/// Append a predicate's conjuncts, dropping literal `true`.
+fn push_conjuncts(pred: &Expr, conjs: &mut Vec<Expr>) {
+    let truth = Expr::lit(true);
+    conjs.extend(split_conjuncts(pred).into_iter().filter(|c| *c != truth));
+}
+
+/// Equi-key pairs between two subsets for one DP split, plus whether any
+/// conjunct connects them at all (cross-product detection).
+fn split_keys(
+    infos: &[ConjInfo],
+    mask: usize,
+    lmask: usize,
+    rmask: usize,
+) -> (Vec<Expr>, Vec<Expr>, bool) {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut connected = false;
+    for ci in infos {
+        if ci.support & mask != ci.support || ci.support & lmask == 0 || ci.support & rmask == 0 {
+            continue;
+        }
+        connected = true;
+        if let Some((a, b, am, bm)) = &ci.eq {
+            if *am != 0 && *bm != 0 {
+                if am & lmask == *am && bm & rmask == *bm {
+                    left_keys.push(a.clone());
+                    right_keys.push(b.clone());
+                } else if bm & lmask == *bm && am & rmask == *am {
+                    left_keys.push(b.clone());
+                    right_keys.push(a.clone());
+                }
+            }
+        }
+    }
+    (left_keys, right_keys, connected)
+}
+
+/// Key columns usable for redistribution: all keys must be bare columns.
+fn simple_cols(keys: &[Expr]) -> Option<Vec<ColRef>> {
+    keys.iter()
+        .map(|e| match e {
+            Expr::Col(c) => Some(c.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Split-independent output estimate for merging two subtrees in the
+/// greedy enumerator: row product × selectivity of every conjunct newly
+/// covered by the union.
+fn pair_out_rows(
+    l_rows: f64,
+    r_rows: f64,
+    infos: &[ConjInfo],
+    mask: usize,
+    lmask: usize,
+    rmask: usize,
+) -> f64 {
+    let mut rows = l_rows * r_rows;
+    for ci in infos {
+        if ci.support & mask == ci.support && ci.support & lmask != 0 && ci.support & rmask != 0 {
+            rows *= ci.sel;
+        }
+    }
+    rows.max(1.0)
+}
+
+/// Conjuncts of the Filter/Project chain sitting directly on a scan.
+fn scan_filters(plan: &PhysicalPlan, preds: &mut Vec<Expr>) {
+    match plan {
+        PhysicalPlan::Filter { pred, child } => {
+            preds.extend(split_conjuncts(pred));
+            scan_filters(child, preds);
+        }
+        PhysicalPlan::Project { child, .. } => scan_filters(child, preds),
+        _ => {}
+    }
 }
 
 /// Product of the base-table cardinalities in a logical subtree — the
@@ -728,14 +1466,6 @@ fn dynamic_scan_of(plan: &PhysicalPlan) -> Option<(TableOid, Vec<ColRef>)> {
         }
         _ => None,
     }
-}
-
-/// Shape of the partitioned scan rooted in the plan, if any: (leaf count,
-/// base row estimate).
-fn partitioned_scan_shape(plan: &PhysicalPlan, catalog: &Catalog) -> Option<(usize, f64)> {
-    let (table, _) = dynamic_scan_of(plan)?;
-    let tree = catalog.part_tree(table).ok()?;
-    Some((tree.num_leaves(), catalog.stats(table).row_count as f64))
 }
 
 /// Remove every selector predicate, disabling partition elimination while
@@ -1384,6 +2114,201 @@ mod tests {
         let plan = opt.optimize(&logical).unwrap();
         let text = explain(&plan);
         assert!(text.contains("Redistribute Motion"), "{text}");
+    }
+
+    /// Star schema: fact F(f1, f2, f3) with `fact_rows` rows, three dims
+    /// D1, D2, D3 (100/50/10 rows) joined on their first column. Returns
+    /// the catalog and the bound Get nodes (colref ids 1.. in order).
+    fn star_catalog(fact_rows: u64) -> (Catalog, LogicalPlan, Vec<LogicalPlan>) {
+        let cat = Catalog::new();
+        let fact_schema = Schema::new(vec![
+            Column::new("f1", DataType::Int32),
+            Column::new("f2", DataType::Int32),
+            Column::new("f3", DataType::Int32),
+        ]);
+        let f = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: f,
+            name: "fact".into(),
+            schema: fact_schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        cat.set_stats(f, TableStats::new(fact_rows));
+        let mut dims = Vec::new();
+        for (i, rows) in [(1u32, 100u64), (2, 50), (3, 10)] {
+            let schema = Schema::new(vec![
+                Column::new("pk", DataType::Int32),
+                Column::new("pay", DataType::Int32),
+            ]);
+            let d = cat.allocate_table_oid();
+            cat.register(TableDesc {
+                oid: d,
+                name: format!("d{i}"),
+                schema,
+                distribution: Distribution::Hashed(vec![0]),
+                partitioning: None,
+            })
+            .unwrap();
+            cat.set_stats(d, TableStats::new(rows));
+            dims.push(d);
+        }
+        let fact = get(&cat, f, &[1, 2, 3]);
+        let dim_gets: Vec<LogicalPlan> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| get(&cat, d, &[10 + 2 * i as u32, 11 + 2 * i as u32]))
+            .collect();
+        (cat, fact, dim_gets)
+    }
+
+    /// Left-deep as written: ((F ⨝ D1) ⨝ D2) ⨝ D3 on fk_i = pk_i.
+    fn star_query(fact: &LogicalPlan, dims: &[LogicalPlan]) -> LogicalPlan {
+        let mut plan = fact.clone();
+        for (i, d) in dims.iter().enumerate() {
+            let fk = ColRef::new(1 + i as u32, format!("f{}", i + 1));
+            let pk = ColRef::new(10 + 2 * i as u32, "pk");
+            plan = LogicalPlan::Join {
+                join_type: JoinType::Inner,
+                pred: Expr::eq(Expr::col(fk), Expr::col(pk)),
+                left: Box::new(plan),
+                right: Box::new(d.clone()),
+            };
+        }
+        plan
+    }
+
+    /// Does the plan contain a HashJoin whose *left* (build) subtree roots
+    /// a scan of `name`?
+    fn builds_on(plan: &PhysicalPlan, name: &str) -> bool {
+        fn roots_scan(p: &PhysicalPlan, name: &str) -> bool {
+            match p {
+                PhysicalPlan::TableScan { table_name, .. }
+                | PhysicalPlan::DynamicScan { table_name, .. } => table_name == name,
+                PhysicalPlan::Filter { child, .. }
+                | PhysicalPlan::Project { child, .. }
+                | PhysicalPlan::Motion { child, .. } => roots_scan(child, name),
+                _ => false,
+            }
+        }
+        let mut found = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::HashJoin { left, .. } = p {
+                if roots_scan(left, name) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    #[test]
+    fn join_order_search_moves_fact_off_the_build_side() {
+        let (cat, fact, dims) = star_catalog(1_000_000);
+        let logical = star_query(&fact, &dims);
+        // As written, every build (left) side contains the 1M-row fact.
+        let left_deep = Optimizer::new(
+            cat.clone(),
+            OptimizerConfig {
+                join_order_search: false,
+                ..OptimizerConfig::default()
+            },
+        )
+        .optimize(&logical)
+        .unwrap();
+        assert!(
+            builds_on(&left_deep, "fact"),
+            "baseline should build on fact:\n{}",
+            explain(&left_deep)
+        );
+        // The enumerator flips the fact onto the probe side everywhere.
+        let searched = Optimizer::new(cat.clone(), OptimizerConfig::default())
+            .optimize(&logical)
+            .unwrap();
+        let text = explain(&searched);
+        assert_eq!(searched.count_op("HashJoin"), 3, "{text}");
+        assert!(!builds_on(&searched, "fact"), "{text}");
+    }
+
+    #[test]
+    fn join_order_search_preserves_output_column_order() {
+        let (cat, fact, dims) = star_catalog(1_000_000);
+        let logical = star_query(&fact, &dims);
+        let expected = logical.output_cols();
+        let plan = Optimizer::new(cat, OptimizerConfig::default())
+            .optimize(&logical)
+            .unwrap();
+        assert_eq!(
+            plan.output_cols(),
+            expected,
+            "reordered join must deliver the syntactic column order:\n{}",
+            explain(&plan)
+        );
+    }
+
+    #[test]
+    fn join_order_search_keeps_dpe_on_partitioned_fact() {
+        // R partitioned on b joined to two small relations; the enumerator
+        // must keep R inner (motion-free) so DPE still applies.
+        let (cat, r, s) = rs_catalog(100, 1_000_000, 1_000);
+        // Third table: tiny T(a, b) hashed on a.
+        let t = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: t,
+            name: "t".into(),
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int32),
+                Column::new("b", DataType::Int32),
+            ]),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        cat.set_stats(t, TableStats::new(50));
+        let (rb, sa, sb) = (
+            ColRef::new(2, "b"),
+            ColRef::new(3, "a"),
+            ColRef::new(4, "b"),
+        );
+        let (ta, _tb) = (ColRef::new(5, "a"), ColRef::new(6, "b"));
+        // select * from t, s, r where t.a = s.a and s.b = r.b and s.a < 100
+        let logical = LogicalPlan::Select {
+            pred: Expr::and(vec![
+                Expr::eq(Expr::col(ta), Expr::col(sa.clone())),
+                Expr::eq(Expr::col(sb), Expr::col(rb)),
+                Expr::lt(Expr::col(sa), Expr::lit(100i32)),
+            ]),
+            child: Box::new(LogicalPlan::Join {
+                join_type: JoinType::Inner,
+                pred: Expr::lit(true),
+                left: Box::new(LogicalPlan::Join {
+                    join_type: JoinType::Inner,
+                    pred: Expr::lit(true),
+                    left: Box::new(get(&cat, t, &[5, 6])),
+                    right: Box::new(get(&cat, s, &[3, 4])),
+                }),
+                right: Box::new(get(&cat, r, &[1, 2])),
+            }),
+        };
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        let plan = opt.optimize(&logical).unwrap();
+        let text = explain(&plan);
+        let mut dpe = false;
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::PartitionSelector {
+                child: Some(_),
+                predicates,
+                ..
+            } = p
+            {
+                if predicates.iter().any(Option::is_some) {
+                    dpe = true;
+                }
+            }
+        });
+        assert!(dpe, "expected DPE selector to survive reordering:\n{text}");
+        validate_selector_pairing(&plan).unwrap();
     }
 
     #[test]

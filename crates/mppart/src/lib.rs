@@ -37,14 +37,15 @@ pub use mpp_workloads as workloads;
 
 use mpp_catalog::Catalog;
 use mpp_common::{Datum, Error, PartOid, Result, Row};
-use mpp_core::{Optimizer, OptimizerConfig};
+use mpp_core::estimate::{estimate_plan, fmt as fmt_est};
+use mpp_core::{explain_with_estimates, Optimizer, OptimizerConfig};
 use mpp_executor::{execute_stream_sched, ExecutionStats, PreparedPlan};
 pub use mpp_executor::{
     CancelToken, ExecEngine, ExecMode, ResultChunk, RowSink, SchedConfig, SchedPolicy, StreamResult,
 };
 use mpp_expr::ColRefGenerator;
 use mpp_legacy::LegacyPlanner;
-use mpp_plan::{explain, PhysicalPlan};
+use mpp_plan::{explain_annotated, PhysicalPlan};
 use mpp_storage::Storage;
 use std::sync::Arc;
 
@@ -124,6 +125,7 @@ pub struct PreparedQuery {
     explain: bool,
     planner: Planner,
     catalog_version: u64,
+    stats_version: u64,
 }
 
 impl PreparedQuery {
@@ -150,6 +152,17 @@ impl PreparedQuery {
     /// (version no longer current) should be re-prepared after DDL.
     pub fn catalog_version(&self) -> u64 {
         self.catalog_version
+    }
+
+    /// The statistics version the plan was costed against. ANALYZE bumps it,
+    /// so cached plans re-optimize once fresher statistics exist.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
+    }
+
+    /// Both planning inputs as one comparable epoch: (catalog, statistics).
+    pub fn epoch(&self) -> (u64, u64) {
+        (self.catalog_version, self.stats_version)
     }
 
     /// Expression sites lowered so far by executions of this handle.
@@ -247,6 +260,14 @@ impl MppDb {
 
     pub fn catalog(&self) -> &Catalog {
         self.storage.catalog()
+    }
+
+    /// Current planning epoch: (catalog version, statistics version). A plan
+    /// whose [`PreparedQuery::epoch`] differs was optimized against a schema
+    /// or statistics snapshot that no longer holds.
+    pub fn planning_epoch(&self) -> (u64, u64) {
+        let cat = self.storage.catalog();
+        (cat.version(), cat.stats_version())
     }
 
     pub fn storage(&self) -> &Storage {
@@ -363,7 +384,7 @@ impl MppDb {
             Ok(Some(p)) => p,
         };
         if explain {
-            let result = sink(ResultChunk::Rows(explain_rows(&plan)));
+            let result = sink(ResultChunk::Rows(text_rows(&self.explain_plan(&plan))));
             return StreamOutcome {
                 stats: ExecutionStats::default(),
                 plan: Some(plan),
@@ -404,10 +425,11 @@ impl MppDb {
                 "DDL statements cannot be prepared; run them directly".into(),
             ));
         }
-        // Read the version before binding: a concurrent DDL between this
-        // read and the optimize pass makes the handle *stale* (its version
-        // no longer current), never silently wrong.
+        // Read the versions before binding: a concurrent DDL or ANALYZE
+        // between this read and the optimize pass makes the handle *stale*
+        // (its epoch no longer current), never silently wrong.
         let catalog_version = self.catalog().version();
+        let stats_version = self.catalog().stats_version();
         let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
         let plan = Arc::new(self.optimize_with(planner, &bound.plan)?);
         Ok(PreparedQuery {
@@ -416,6 +438,7 @@ impl MppDb {
             explain: bound.explain,
             planner,
             catalog_version,
+            stats_version,
         })
     }
 
@@ -449,7 +472,7 @@ impl MppDb {
             return StreamOutcome::failed(e);
         }
         if q.explain {
-            let result = sink(ResultChunk::Rows(explain_rows(&plan)));
+            let result = sink(ResultChunk::Rows(text_rows(&self.explain_plan(&plan))));
             return StreamOutcome {
                 stats: ExecutionStats::default(),
                 plan: Some(plan),
@@ -522,6 +545,14 @@ impl MppDb {
                     self.storage.drop_parts(&dropped);
                 }
             }
+            Statement::Analyze { table } => {
+                // One streaming pass over the table's blocks: row counts,
+                // per-partition counts, per-column NDV / nulls / min-max /
+                // equi-depth histograms. Writing the stats bumps the
+                // catalog's stats version, invalidating cached plans.
+                let oid = self.catalog().table_by_name(table)?.oid;
+                self.storage.analyze(oid)?;
+            }
             _ => return Ok(None),
         }
         Ok(Some(QueryOutcome {
@@ -535,9 +566,37 @@ impl MppDb {
         }))
     }
 
-    /// EXPLAIN text of the optimized plan.
+    /// EXPLAIN text of the optimized plan, with per-operator estimated
+    /// rows and cumulative estimated cost.
     pub fn explain_sql(&self, sql_text: &str) -> Result<String> {
-        Ok(explain(&self.plan(sql_text)?))
+        Ok(self.explain_plan(&self.plan(sql_text)?))
+    }
+
+    fn explain_plan(&self, plan: &PhysicalPlan) -> String {
+        explain_with_estimates(plan, self.catalog(), self.storage.num_segments())
+    }
+
+    /// Run the statement, then render its plan with estimated *and*
+    /// actual figures side by side — result rows at the root, partitions
+    /// scanned at each DynamicScan — so misestimates that misorder joins
+    /// or defeat partition elimination show up directly in test output.
+    pub fn explain_analyze_sql(&self, sql_text: &str) -> Result<String> {
+        let out = self.sql(sql_text)?;
+        let ests = estimate_plan(&out.plan, self.catalog(), self.storage.num_segments());
+        Ok(explain_annotated(&out.plan, &|node| {
+            let e = ests.get(node)?;
+            let mut note = format!("rows={} cost={}", fmt_est(e.rows), fmt_est(e.cost));
+            if std::ptr::eq(node, out.plan.as_ref()) {
+                note.push_str(&format!(" actual-rows={}", out.stats.rows_returned));
+            }
+            if let PhysicalPlan::DynamicScan { table, .. } = node {
+                note.push_str(&format!(
+                    " actual-parts={}",
+                    out.stats.parts_scanned_for(*table)
+                ));
+            }
+            Some(note)
+        }))
     }
 }
 
@@ -554,21 +613,23 @@ fn check_param_arity(needed: u32, given: usize) -> Result<()> {
     Ok(())
 }
 
-fn explain_rows(plan: &PhysicalPlan) -> Vec<Row> {
-    explain(plan)
-        .lines()
+fn text_rows(text: &str) -> Vec<Row> {
+    text.lines()
         .map(|l| Row::new(vec![Datum::str(l)]))
         .collect()
 }
 
-/// Is this statement DDL (CREATE / DROP / ALTER TABLE, possibly behind
-/// EXPLAIN)? DDL cannot be prepared or plan-cached.
+/// Is this statement DDL (CREATE / DROP / ALTER TABLE / ANALYZE, possibly
+/// behind EXPLAIN)? DDL cannot be prepared or plan-cached. ANALYZE rides
+/// along: it produces no rows and changes planning inputs (statistics),
+/// so it takes the same non-preparable path.
 pub fn is_ddl(stmt: &mpp_sql::Statement) -> bool {
     use mpp_sql::Statement;
     match stmt {
         Statement::CreateTable { .. }
         | Statement::DropTable { .. }
-        | Statement::AlterTable { .. } => true,
+        | Statement::AlterTable { .. }
+        | Statement::Analyze { .. } => true,
         Statement::Explain(inner) => is_ddl(inner),
         _ => false,
     }
@@ -602,6 +663,34 @@ mod tests {
             .collect();
         assert!(text.iter().any(|l| l.contains("PartitionSelector")));
         assert!(text.iter().any(|l| l.contains("DynamicScan")));
+        // Every operator line carries its estimates.
+        assert!(
+            text.iter()
+                .all(|l| l.contains("rows=") && l.contains("cost=")),
+            "estimate annotations missing: {text:?}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_estimated_vs_actual() {
+        let db = MppDb::new(4);
+        setup_rs(db.storage(), &SynthConfig::default()).unwrap();
+        db.sql("ANALYZE r").unwrap();
+        let text = db
+            .explain_analyze_sql("SELECT count(*) FROM r WHERE b < 100")
+            .unwrap();
+        let root = text.lines().next().unwrap();
+        assert!(
+            root.contains("rows=") && root.contains("actual-rows=1"),
+            "{root}"
+        );
+        let scan = text
+            .lines()
+            .find(|l| l.contains("DynamicScan"))
+            .expect("partitioned scan in plan");
+        // Static elimination keeps 10 of 100 partitions; with fresh
+        // per-partition counts the estimate should agree with reality.
+        assert!(scan.contains("actual-parts=10"), "{scan}");
     }
 
     #[test]
@@ -660,6 +749,34 @@ mod tests {
         // Arity is exact here too, and DDL cannot be prepared.
         assert!(db.execute_prepared(&q, &[]).is_err());
         assert!(db.prepare("CREATE TABLE nope (a int)").is_err());
+    }
+
+    #[test]
+    fn analyze_collects_stats_end_to_end() {
+        let db = MppDb::new(2);
+        db.sql(
+            "CREATE TABLE m (k int, v int) \
+             PARTITION BY RANGE (k) (START (0) END (30) EVERY (10))",
+        )
+        .unwrap();
+        db.sql("INSERT INTO m VALUES (5, 1), (15, 1), (15, 2), (25, 1)")
+            .unwrap();
+        let oid = db.catalog().table_by_name("m").unwrap().oid;
+        let sv = db.catalog().stats_version();
+        let out = db.sql("ANALYZE m").unwrap();
+        assert!(out.rows.is_empty());
+        assert!(db.catalog().stats_version() > sv, "ANALYZE bumps stats");
+        let stats = db.catalog().stats(oid);
+        assert_eq!(stats.row_count, 4);
+        assert_eq!(stats.part_rows.values().sum::<u64>(), 4);
+        // k has 3 distinct values; its histogram covers all rows.
+        assert_eq!(stats.columns.get(&0).unwrap().ndv, 3);
+        let hist = stats.columns.get(&0).unwrap().histogram.as_ref().unwrap();
+        assert_eq!(hist.total, 4);
+        // ANALYZE cannot be prepared, like other DDL.
+        assert!(db.prepare("ANALYZE m").is_err());
+        // Unknown table errors cleanly.
+        assert!(db.sql("ANALYZE nope").is_err());
     }
 
     #[test]

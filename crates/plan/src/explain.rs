@@ -10,8 +10,20 @@ use std::fmt::Write;
 /// redistribute hashing, per-tuple partition-selector probes) carry a
 /// `[vec]` marker.
 pub fn explain(plan: &PhysicalPlan) -> String {
+    explain_annotated(plan, &|_| None)
+}
+
+/// [`explain`], with a caller-supplied annotation appended to each
+/// operator line (in parentheses). The optimizer uses this to attach
+/// cardinality/cost estimates — and, post-run, actuals — without the
+/// plan tree itself carrying estimate fields; the callback is handed
+/// each node by reference, so side tables keyed by node address work.
+pub fn explain_annotated(
+    plan: &PhysicalPlan,
+    annotate: &dyn Fn(&PhysicalPlan) -> Option<String>,
+) -> String {
     let mut out = String::new();
-    render(plan, 0, &mut out);
+    render(plan, 0, &mut out, annotate);
     out
 }
 
@@ -23,7 +35,12 @@ fn line(out: &mut String, depth: usize, text: &str) {
     out.push('\n');
 }
 
-fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+fn render(
+    plan: &PhysicalPlan,
+    depth: usize,
+    out: &mut String,
+    annotate: &dyn Fn(&PhysicalPlan) -> Option<String>,
+) {
     let mut text = String::new();
     match plan {
         PhysicalPlan::TableScan {
@@ -164,9 +181,12 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
         PhysicalPlan::Delete { table, .. } => write!(text, "Delete {table}").unwrap(),
         PhysicalPlan::Insert { table, .. } => write!(text, "Insert {table}").unwrap(),
     }
+    if let Some(note) = annotate(plan) {
+        write!(text, "  ({note})").unwrap();
+    }
     line(out, depth, &text);
     for c in plan.children() {
-        render(c, depth + 1, out);
+        render(c, depth + 1, out, annotate);
     }
 }
 

@@ -24,7 +24,7 @@ pub mod physical;
 pub mod size;
 
 pub use agg::{AggCall, AggFunc};
-pub use explain::explain;
+pub use explain::{explain, explain_annotated};
 pub use logical::{JoinType, LogicalPlan};
 pub use physical::{MotionKind, PhysicalPlan};
 pub use size::{plan_node_count, plan_size_bytes};

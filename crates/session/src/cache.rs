@@ -6,10 +6,14 @@
 //! shares not just the plan but the executor's compiled-expression
 //! templates with every concurrent user.
 //!
-//! Entries carry the catalog version they were optimized against
-//! (implicitly — it is recorded on the `PreparedQuery`). A lookup that
-//! finds an entry from an older catalog removes it and reports a miss;
-//! DDL paths may also [`PlanCache::sweep`] eagerly. An execution already
+//! Entries carry the planning epoch they were optimized against — the
+//! (catalog version, statistics version) pair recorded on the
+//! `PreparedQuery`. A lookup that finds an entry from an older epoch
+//! removes it and reports a miss; DDL and ANALYZE paths may also
+//! [`PlanCache::sweep`] eagerly. Statistics count because the
+//! cost-based join-order search reads them: a plan cached before
+//! ANALYZE may order joins badly afterwards, so it must re-optimize
+//! even though it would still be *correct*. An execution already
 //! running on an invalidated plan is unaffected — the `Arc` keeps the
 //! plan alive, and storage reads of partitions dropped mid-flight
 //! simply see no rows — so invalidation is safe at any point.
@@ -84,16 +88,17 @@ impl PlanCache {
     }
 
     /// The cached plan for `key`, if present *and* optimized against the
-    /// current catalog. A version mismatch removes the stale entry and
-    /// counts as both an invalidation and a miss.
-    pub fn lookup(&self, key: &CacheKey, current_version: u64) -> Option<Arc<PreparedQuery>> {
+    /// current planning epoch (catalog version, statistics version). An
+    /// epoch mismatch removes the stale entry and counts as both an
+    /// invalidation and a miss.
+    pub fn lookup(&self, key: &CacheKey, epoch: (u64, u64)) -> Option<Arc<PreparedQuery>> {
         if self.per_shard_cap > 0 {
             let mut guard = self.shard(key).lock();
             let shard = &mut *guard;
             shard.tick += 1;
             let stamp = shard.tick;
             let stale = match shard.map.get_mut(key) {
-                Some(e) if e.q.catalog_version() == current_version => {
+                Some(e) if e.q.epoch() == epoch => {
                     e.stamp = stamp;
                     let q = Arc::clone(&e.q);
                     drop(guard);
@@ -116,18 +121,18 @@ impl PlanCache {
     /// least-recently-used entry when at capacity. (The victim scan is
     /// linear in the shard — shards are small by construction.)
     ///
-    /// Victim selection is version-aware: an entry from an older catalog
+    /// Victim selection is epoch-aware: an entry from an older epoch
     /// than the inserted plan's is preferred over any live entry and is
     /// accounted as an *invalidation*, not an eviction — a lookup or
     /// sweep would have dropped it for the same reason. Counting it as
-    /// an eviction would double-report one catalog bump (once here,
-    /// once in the sweep/lookup bookkeeping) and misstate capacity
-    /// pressure.
+    /// an eviction would double-report one catalog or stats bump (once
+    /// here, once in the sweep/lookup bookkeeping) and misstate
+    /// capacity pressure.
     pub fn insert(&self, key: CacheKey, q: Arc<PreparedQuery>) {
         if self.per_shard_cap == 0 {
             return;
         }
-        let current = q.catalog_version();
+        let current = q.epoch();
         let mut guard = self.shard(&key).lock();
         let shard = &mut *guard;
         shard.tick += 1;
@@ -138,8 +143,8 @@ impl PlanCache {
             let victim = shard
                 .map
                 .iter()
-                .min_by_key(|(_, e)| (e.q.catalog_version() == current, e.stamp))
-                .map(|(k, e)| (k.clone(), e.q.catalog_version() != current));
+                .min_by_key(|(_, e)| (e.q.epoch() == current, e.stamp))
+                .map(|(k, e)| (k.clone(), e.q.epoch() != current));
             if let Some((victim, was_stale)) = victim {
                 shard.map.remove(&victim);
                 if was_stale {
@@ -152,15 +157,14 @@ impl PlanCache {
         shard.map.insert(key, Entry { q, stamp });
     }
 
-    /// Eagerly drop every entry not optimized against `current_version`.
-    /// Called after DDL so stale plans don't linger until their next
-    /// lookup; lookups would catch them anyway.
-    pub fn sweep(&self, current_version: u64) {
+    /// Eagerly drop every entry not optimized against the current epoch.
+    /// Called after DDL and ANALYZE so stale plans don't linger until
+    /// their next lookup; lookups would catch them anyway.
+    pub fn sweep(&self, epoch: (u64, u64)) {
         for shard in &self.shards {
             let mut g = shard.lock();
             let before = g.map.len();
-            g.map
-                .retain(|_, e| e.q.catalog_version() == current_version);
+            g.map.retain(|_, e| e.q.epoch() == epoch);
             let dropped = (before - g.map.len()) as u64;
             if dropped > 0 {
                 self.invalidations.fetch_add(dropped, Ordering::Relaxed);
@@ -219,12 +223,12 @@ mod tests {
         let db = MppDb::new(2);
         db.sql("CREATE TABLE t (a int)").unwrap();
         let cache = PlanCache::new(16);
-        let v = db.catalog().version();
+        let v = db.planning_epoch();
         assert!(cache.lookup(&key("q"), v).is_none());
         cache.insert(key("q"), prepared(&db, "SELECT a FROM t"));
         assert!(cache.lookup(&key("q"), v).is_some());
         // A catalog bump makes the entry stale: removed on next lookup.
-        assert!(cache.lookup(&key("q"), v + 1).is_none());
+        assert!(cache.lookup(&key("q"), (v.0 + 1, v.1)).is_none());
         assert_eq!(cache.len(), 0);
         let info = cache.info(false);
         assert_eq!((info.hits, info.misses, info.invalidations), (1, 2, 1));
@@ -234,7 +238,7 @@ mod tests {
     fn lru_evicts_the_coldest_entry() {
         let db = MppDb::new(2);
         db.sql("CREATE TABLE t (a int)").unwrap();
-        let v = db.catalog().version();
+        let v = db.planning_epoch();
         // Single-slot shards: every shard holds one entry, so two keys
         // landing in the same shard must evict the older one.
         let cache = PlanCache::new(SHARDS);
@@ -279,10 +283,10 @@ mod tests {
         assert_eq!(info.invalidations, 1);
         // The displaced entry is gone; the DDL sweep must not report the
         // same entry a second time.
-        cache.sweep(db.catalog().version());
+        cache.sweep(db.planning_epoch());
         let info = cache.info(false);
         assert_eq!((info.evictions, info.invalidations), (0, 1));
-        assert!(cache.lookup(&keys[1], db.catalog().version()).is_some());
+        assert!(cache.lookup(&keys[1], db.planning_epoch()).is_some());
     }
 
     #[test]
@@ -291,7 +295,7 @@ mod tests {
         db.sql("CREATE TABLE t (a int)").unwrap();
         let cache = PlanCache::new(2 * SHARDS); // two-slot shards
         let keys = same_shard_keys(&cache, 3);
-        let v0 = db.catalog().version();
+        let v0 = db.planning_epoch();
         cache.insert(keys[0].clone(), prepared(&db, "SELECT a FROM t"));
         db.sql("CREATE TABLE u (b int)").unwrap();
         cache.insert(keys[1].clone(), prepared(&db, "SELECT b FROM u"));
@@ -300,7 +304,7 @@ mod tests {
         cache.insert(keys[2].clone(), prepared(&db, "SELECT b FROM u"));
         // The stale-but-recently-touched entry was displaced, not the
         // colder live one, and it counted as an invalidation.
-        let v1 = db.catalog().version();
+        let v1 = db.planning_epoch();
         assert!(cache.lookup(&keys[1], v1).is_some());
         assert!(cache.lookup(&keys[0], v1).is_none());
         let info = cache.info(false);
@@ -313,7 +317,7 @@ mod tests {
         db.sql("CREATE TABLE t (a int)").unwrap();
         let cache = PlanCache::new(0);
         cache.insert(key("q"), prepared(&db, "SELECT a FROM t"));
-        assert!(cache.lookup(&key("q"), db.catalog().version()).is_none());
+        assert!(cache.lookup(&key("q"), db.planning_epoch()).is_none());
         assert_eq!(cache.len(), 0);
     }
 
@@ -325,9 +329,27 @@ mod tests {
         cache.insert(key("old"), prepared(&db, "SELECT a FROM t"));
         db.sql("CREATE TABLE u (b int)").unwrap(); // bumps the version
         cache.insert(key("new"), prepared(&db, "SELECT b FROM u"));
-        cache.sweep(db.catalog().version());
+        cache.sweep(db.planning_epoch());
         assert_eq!(cache.len(), 1);
-        assert!(cache.lookup(&key("new"), db.catalog().version()).is_some());
+        assert!(cache.lookup(&key("new"), db.planning_epoch()).is_some());
         assert_eq!(cache.info(false).invalidations, 1);
+    }
+
+    #[test]
+    fn analyze_bumps_only_the_stats_half_of_the_epoch() {
+        let db = MppDb::new(2);
+        db.sql("CREATE TABLE t (a int)").unwrap();
+        db.sql("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let cache = PlanCache::new(16);
+        cache.insert(key("q"), prepared(&db, "SELECT a FROM t"));
+        let before = db.planning_epoch();
+        assert!(cache.lookup(&key("q"), before).is_some());
+        db.sql("ANALYZE t").unwrap();
+        let after = db.planning_epoch();
+        assert_eq!(before.0, after.0, "ANALYZE must not look like DDL");
+        assert!(after.1 > before.1, "ANALYZE must bump the stats version");
+        // The cached plan was costed against pre-ANALYZE statistics.
+        assert!(cache.lookup(&key("q"), after).is_none());
+        assert_eq!(cache.len(), 0);
     }
 }

@@ -145,10 +145,11 @@ impl Session {
         let db = self.ctx.db();
         let stmt = mpp_sql::parse(text)?;
         if is_ddl(&stmt) {
-            // DDL never caches; it bumps the catalog version, so sweep
-            // the plans that version just obsoleted.
+            // DDL (and ANALYZE, which rides the DDL path) never caches;
+            // it bumps the planning epoch, so sweep the plans that
+            // epoch just obsoleted.
             let mut out = db.run_sql(text, params, self.planner)?;
-            self.ctx.cache.sweep(db.catalog().version());
+            self.ctx.cache.sweep(db.planning_epoch());
             out.cache = Some(self.ctx.cache.info(false));
             return Ok(out);
         }
@@ -178,7 +179,7 @@ impl Session {
         if is_ddl(&stmt) {
             let mut out = db.stream_sql(text, params, self.planner, cancel, sink);
             if out.result.is_ok() {
-                self.ctx.cache.sweep(db.catalog().version());
+                self.ctx.cache.sweep(db.planning_epoch());
             }
             out.cache = Some(self.ctx.cache.info(false));
             return out;
@@ -204,8 +205,8 @@ impl Session {
             planner: self.planner,
             mode: db.exec_mode(),
         };
-        let version = db.catalog().version();
-        match self.ctx.cache.lookup(&key, version) {
+        let epoch = db.planning_epoch();
+        match self.ctx.cache.lookup(&key, epoch) {
             Some(q) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Ok((q, true))
@@ -273,14 +274,15 @@ impl PreparedStatement {
         out
     }
 
-    /// The statement's current plan, re-prepared if DDL has obsoleted
-    /// it. The flag reports whether the cached plan was still valid.
+    /// The statement's current plan, re-prepared if DDL or ANALYZE has
+    /// obsoleted it. The flag reports whether the cached plan was still
+    /// valid.
     fn current(&self) -> Result<(Arc<PreparedQuery>, bool)> {
         let db = self.ctx.db();
-        let current = db.catalog().version();
+        let current = db.planning_epoch();
         let cached = {
             let g = self.slot.read();
-            (g.catalog_version() == current).then(|| Arc::clone(&g))
+            (g.epoch() == current).then(|| Arc::clone(&g))
         };
         match cached {
             Some(q) => Ok((q, true)),
@@ -325,6 +327,11 @@ impl PreparedStatement {
     /// The catalog version the current plan was optimized against.
     pub fn catalog_version(&self) -> u64 {
         self.slot.read().catalog_version()
+    }
+
+    /// The statistics version the current plan was costed against.
+    pub fn stats_version(&self) -> u64 {
+        self.slot.read().stats_version()
     }
 
     /// Compiled expression sites of the current plan (stable across
@@ -410,6 +417,38 @@ mod tests {
         assert!(q.catalog_version() > v0);
         let again = q.execute(&[Datum::Int32(100)]).unwrap();
         assert!(again.cache.unwrap().hit);
+    }
+
+    #[test]
+    fn analyze_reoptimizes_cached_plans() {
+        let ctx = ctx();
+        let s = ctx.session();
+        let q = "SELECT count(*) FROM r JOIN s ON r.a = s.a";
+        let a = s.sql(q).unwrap();
+        assert!(!a.cache.unwrap().hit);
+        assert!(s.sql(q).unwrap().cache.unwrap().hit);
+        // ANALYZE bumps the stats version: both the eager sweep and the
+        // next lookup must treat the cached plan as stale, so the query
+        // re-optimizes against the fresh statistics.
+        let sv0 = ctx.db().planning_epoch();
+        s.sql("ANALYZE r").unwrap();
+        assert!(ctx.db().planning_epoch().1 > sv0.1);
+        assert_eq!(ctx.cache().len(), 0, "sweep must drop pre-ANALYZE plans");
+        let b = s.sql(q).unwrap();
+        assert!(!b.cache.unwrap().hit, "post-ANALYZE execution must re-plan");
+        assert_eq!(a.rows, b.rows);
+        assert!(!Arc::ptr_eq(&a.plan, &b.plan), "plan must be rebuilt");
+        // Prepared handles re-prepare lazily on the same trigger.
+        let p = s.prepare("SELECT count(*) FROM s WHERE b < $1").unwrap();
+        let sv1 = p.stats_version();
+        p.execute(&[Datum::Int32(100)]).unwrap();
+        s.sql("ANALYZE s").unwrap();
+        let out = p.execute(&[Datum::Int32(100)]).unwrap();
+        assert!(
+            !out.cache.unwrap().hit,
+            "post-ANALYZE handle must re-prepare"
+        );
+        assert!(p.stats_version() > sv1);
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub fn bind(stmt: &Statement, catalog: &Catalog, gen: &ColRefGenerator) -> Resul
         } => (b.bind_delete(table, using, where_clause.as_ref())?, false),
         Statement::CreateTable { .. }
         | Statement::DropTable { .. }
-        | Statement::AlterTable { .. } => {
+        | Statement::AlterTable { .. }
+        | Statement::Analyze { .. } => {
             return Err(Error::Unsupported(
                 "DDL is executed by the session layer (see mpp_sql::ddl), not bound to a plan"
                     .into(),

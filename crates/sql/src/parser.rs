@@ -208,6 +208,11 @@ pub enum Statement {
         using: Vec<FromItem>,
         where_clause: Option<AstExpr>,
     },
+    /// `ANALYZE <table>`: collect table statistics (row counts,
+    /// per-partition counts, per-column NDV/nulls/min/max/histograms).
+    Analyze {
+        table: String,
+    },
     Explain(Box<Statement>),
 }
 
@@ -323,6 +328,10 @@ impl Parser {
         }
         if self.eat_kw("delete") {
             return self.delete();
+        }
+        if self.eat_kw("analyze") {
+            let table = self.ident()?;
+            return Ok(Statement::Analyze { table });
         }
         Err(Error::Parse(format!(
             "expected a statement, found {:?}",

@@ -1,6 +1,6 @@
 //! The storage engine proper.
 
-use mpp_catalog::{Catalog, ColumnStats, Distribution, TableStats};
+use mpp_catalog::{Catalog, ColumnStats, Distribution, HistogramBuilder, TableStats};
 use mpp_common::{Datum, Error, PartOid, Result, Row, RowBlock, SegmentId, TableOid};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
@@ -124,6 +124,7 @@ impl Storage {
             .map(|tree| (tree, tree.key_indices()));
         let mut keys: Vec<Datum> = Vec::with_capacity(part.as_ref().map_or(0, |(_, k)| k.len()));
         let mut staged: HashMap<(PhysId, SegmentId), Vec<Row>> = HashMap::new();
+        let mut part_deltas: HashMap<PartOid, u64> = HashMap::new();
         let mut n = 0usize;
         for row in rows {
             if row.len() != desc.schema.len() {
@@ -155,6 +156,9 @@ impl Storage {
             for seg in self.target_segments(&desc.distribution, &row) {
                 staged.entry((phys, seg)).or_default().push(row.clone());
             }
+            if let PhysId::Part(oid) = phys {
+                *part_deltas.entry(oid).or_insert(0) += 1;
+            }
             n += 1;
         }
         let width = desc.schema.len();
@@ -164,6 +168,14 @@ impl Storage {
                 .entry(key)
                 .or_insert_with(|| RowBlock::empty(width))
                 .append_rows(&rows);
+        }
+        drop(g);
+        // Coarse stats refresh: keep the row counts trailing the data so
+        // the optimizer never costs a freshly-loaded table as empty. Does
+        // not bump the stats version (see `Catalog::refresh_stats_coarse`).
+        if n > 0 {
+            let deltas: Vec<(PartOid, u64)> = part_deltas.into_iter().collect();
+            self.catalog.refresh_stats_coarse(table, n as u64, &deltas);
         }
         Ok(n)
     }
@@ -320,17 +332,23 @@ impl Storage {
         g.data.retain(|(p, _), _| !phys.contains(p));
     }
 
-    /// Compute and install [`TableStats`] for a table: row count and, for
-    /// every column, NDV / null fraction / min / max.
+    /// Compute and install [`TableStats`] for a table: row count, per-leaf
+    /// partition row counts and, for every column, NDV / null fraction /
+    /// min / max plus an equi-depth histogram (integer-ordered columns) —
+    /// all in one streaming pass over the resident blocks, no row
+    /// materialization and no data sort (the histogram builder only ever
+    /// sorts its bounded reservoir sample).
     pub fn analyze(&self, table: TableOid) -> Result<TableStats> {
         let desc = self.catalog.table(table)?;
         let phys = self.physical_tables(table)?;
         let ncols = desc.schema.len();
         let mut rows_seen = 0u64;
+        let mut part_rows: HashMap<PartOid, u64> = HashMap::new();
         let mut distinct: Vec<HashSet<Datum>> = vec![HashSet::new(); ncols];
         let mut nulls = vec![0u64; ncols];
         let mut mins: Vec<Option<Datum>> = vec![None; ncols];
         let mut maxs: Vec<Option<Datum>> = vec![None; ncols];
+        let mut hists: Vec<HistogramBuilder> = vec![HistogramBuilder::new(); ncols];
         let replicated = matches!(desc.distribution, Distribution::Replicated);
         let g = self.inner.read();
         for p in &phys {
@@ -345,6 +363,9 @@ impl Storage {
                     continue;
                 };
                 rows_seen += block.len() as u64;
+                if let PhysId::Part(oid) = p {
+                    *part_rows.entry(*oid).or_insert(0) += block.len() as u64;
+                }
                 // Column-at-a-time statistics straight off the resident
                 // block — no row materialization.
                 for (i, col) in block.columns().iter().enumerate().take(ncols) {
@@ -362,14 +383,15 @@ impl Storage {
                             Some(m) if &v <= m => {}
                             _ => maxs[i] = Some(v.clone()),
                         }
+                        hists[i].add_datum(&v);
                         distinct[i].insert(v);
                     }
                 }
             }
         }
         drop(g);
-        let mut stats = TableStats::new(rows_seen);
-        for i in 0..ncols {
+        let mut stats = TableStats::new(rows_seen).with_part_rows(part_rows);
+        for (i, hist) in hists.into_iter().enumerate() {
             let mut cs = ColumnStats::new(distinct[i].len() as u64);
             cs.null_frac = if rows_seen == 0 {
                 0.0
@@ -378,6 +400,7 @@ impl Storage {
             };
             cs.min = mins[i].clone();
             cs.max = maxs[i].clone();
+            cs.histogram = hist.finish();
             stats = stats.with_column(i, cs);
         }
         self.catalog.set_stats(table, stats.clone());
@@ -576,6 +599,52 @@ mod tests {
         assert_eq!(b.max, Some(Datum::Int32(39)));
         // Stats are installed in the catalog.
         assert_eq!(st.catalog().stats(t).row_count, 40);
+    }
+
+    #[test]
+    fn analyze_builds_histogram_and_part_rows() {
+        let (st, t) = setup(Some(4), Distribution::Hashed(vec![0]));
+        // Skew: partition p0 gets 31 rows (b in 0..10 cycled), the rest 3 each.
+        let rows = (0..40).map(|i| {
+            let b = if i < 31 { i % 10 } else { 10 + (i - 31) * 3 };
+            row![i, b]
+        });
+        st.insert(t, rows).unwrap();
+        let stats = st.analyze(t).unwrap();
+        assert_eq!(stats.row_count, 40);
+        // Per-partition counts reflect the skew.
+        let leaves = st
+            .catalog()
+            .table(t)
+            .unwrap()
+            .part_tree()
+            .unwrap()
+            .partition_expansion();
+        assert_eq!(stats.part_rows[&leaves[0]], 31);
+        let total: u64 = stats.part_rows.values().sum();
+        assert_eq!(total, 40);
+        // Column b carries a histogram covering its full value range.
+        let h = stats.columns[&1].histogram.as_ref().unwrap();
+        assert_eq!(h.total, 40);
+        assert_eq!(h.le_frac(39), 1.0);
+        // Most values are < 10: the histogram sees the skew.
+        assert!(h.le_frac(9) > 0.6);
+    }
+
+    #[test]
+    fn insert_refreshes_coarse_row_counts() {
+        let (st, t) = setup(Some(4), Distribution::Hashed(vec![0]));
+        st.insert(t, (0..12).map(|i| row![i, i % 40])).unwrap();
+        let stats = st.catalog().stats(t);
+        assert_eq!(stats.row_count, 12, "insert must refresh the row count");
+        let sv = st.catalog().stats_version();
+        st.insert(t, vec![row![100, 5]]).unwrap();
+        assert_eq!(st.catalog().stats(t).row_count, 13);
+        assert_eq!(
+            st.catalog().stats_version(),
+            sv,
+            "coarse refresh must not bump the stats version"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The serializable unit of differential testing: one [`Case`] bundles a
 //! schema (tables with range/list partitioning), data, and a sequence of
-//! actions (queries, inserts, ALTER TABLE) to run in order.
+//! actions (queries, inserts, ALTER TABLE, ANALYZE) to run in order.
 //!
 //! Cases are structured — predicates are trees, not SQL strings — so the
 //! shrinker can delete conjuncts, rows and partitions mechanically. SQL
@@ -569,17 +569,44 @@ impl PredSpec {
     }
 }
 
-/// Join shape for two-table queries.
+/// Join shape for multi-table queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinSpec {
     /// `a JOIN b ON …` when true; comma join with the condition folded
-    /// into WHERE when false.
+    /// into WHERE when false. Ignored for `QuerySpec::extra_joins`,
+    /// which always render comma-style.
     pub explicit: bool,
     /// `LEFT JOIN` (implies `explicit`).
     pub left_outer: bool,
     pub left: ColId,
     pub op: String,
     pub right: ColId,
+}
+
+impl JoinSpec {
+    fn to_sexp(&self) -> Sexp {
+        Sexp::tagged(
+            "join",
+            vec![
+                Sexp::Int(self.explicit as i64),
+                Sexp::Int(self.left_outer as i64),
+                self.left.to_sexp(),
+                Sexp::sym(self.op.clone()),
+                self.right.to_sexp(),
+            ],
+        )
+    }
+
+    fn from_sexp(s: &Sexp) -> Result<JoinSpec> {
+        let ji = s.items("join")?;
+        Ok(JoinSpec {
+            explicit: ji[0].as_int()? != 0,
+            left_outer: ji[1].as_int()? != 0,
+            left: ColId::from_sexp(&ji[2])?,
+            op: ji[3].as_sym()?.to_string(),
+            right: ColId::from_sexp(&ji[4])?,
+        })
+    }
 }
 
 /// One aggregate call.
@@ -597,12 +624,17 @@ pub struct AggSpec {
     pub calls: Vec<AggCallSpec>,
 }
 
-/// A structured SELECT over one or two case tables.
+/// A structured SELECT over one or more case tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuerySpec {
-    /// Indices into `Case::tables`; 1 or 2 entries.
+    /// Indices into `Case::tables`; distinct.
     pub tables: Vec<usize>,
+    /// Joins `tables[0]` with `tables[1]`.
     pub join: Option<JoinSpec>,
+    /// The join-order axis: `extra_joins[k]` chains `tables[k + 2]` onto
+    /// the query (comma-style, condition in WHERE), giving the optimizer
+    /// a ≥3-relation inner-join space to enumerate.
+    pub extra_joins: Vec<JoinSpec>,
     pub pred: Option<PredSpec>,
     pub agg: Option<AggSpec>,
     /// `$n` bindings, 1-based.
@@ -630,11 +662,12 @@ impl QuerySpec {
                 if specs.len() == 1 {
                     "id, v, s".to_string()
                 } else {
-                    // Project both sides' payloads plus the left id.
-                    format!(
-                        "{}.id, {}.v, {}.v",
-                        specs[0].name, specs[0].name, specs[1].name
-                    )
+                    // Project every side's payload plus the left id.
+                    let mut items = vec![format!("{0}.id, {0}.v", specs[0].name)];
+                    for s in &specs[1..] {
+                        items.push(format!("{}.v", s.name));
+                    }
+                    items.join(", ")
                 }
             }
             Some(agg) => {
@@ -664,6 +697,10 @@ impl QuerySpec {
                 where_parts.push(on);
             }
         }
+        for (k, j) in self.extra_joins.iter().enumerate() {
+            let _ = write!(from, ", {}", specs[k + 2].name);
+            where_parts.push(format!("{} {} {}", col(&j.left), j.op, col(&j.right)));
+        }
         let table_refs: Vec<&TableSpec> = all_tables.iter().collect();
         if let Some(p) = &self.pred {
             where_parts.push(p.sql(&table_refs, qualify));
@@ -688,15 +725,12 @@ impl QuerySpec {
             self.tables.iter().map(|&t| Sexp::Int(t as i64)).collect(),
         )];
         if let Some(j) = &self.join {
+            items.push(j.to_sexp());
+        }
+        if !self.extra_joins.is_empty() {
             items.push(Sexp::tagged(
-                "join",
-                vec![
-                    Sexp::Int(j.explicit as i64),
-                    Sexp::Int(j.left_outer as i64),
-                    j.left.to_sexp(),
-                    Sexp::sym(j.op.clone()),
-                    j.right.to_sexp(),
-                ],
+                "joins",
+                self.extra_joins.iter().map(JoinSpec::to_sexp).collect(),
             ));
         }
         if let Some(p) = &self.pred {
@@ -738,16 +772,15 @@ impl QuerySpec {
             .collect::<Result<Vec<_>>>()?;
         let join = match Sexp::field_opt(items, "join")? {
             None => None,
-            Some(j) => {
-                let ji = j.items("join")?;
-                Some(JoinSpec {
-                    explicit: ji[0].as_int()? != 0,
-                    left_outer: ji[1].as_int()? != 0,
-                    left: ColId::from_sexp(&ji[2])?,
-                    op: ji[3].as_sym()?.to_string(),
-                    right: ColId::from_sexp(&ji[4])?,
-                })
-            }
+            Some(j) => Some(JoinSpec::from_sexp(j)?),
+        };
+        let extra_joins = match Sexp::field_opt(items, "joins")? {
+            None => Vec::new(),
+            Some(js) => js
+                .items("joins")?
+                .iter()
+                .map(JoinSpec::from_sexp)
+                .collect::<Result<_>>()?,
         };
         let pred = match Sexp::field_opt(items, "pred")? {
             None => None,
@@ -789,6 +822,7 @@ impl QuerySpec {
         Ok(QuerySpec {
             tables,
             join,
+            extra_joins,
             pred,
             agg,
             params,
@@ -816,6 +850,12 @@ pub enum Action {
     Insert {
         table: usize,
         rows: Vec<Vec<Val>>,
+    },
+    /// `ANALYZE <table>`: recomputes statistics mid-workload. Results of
+    /// every later query must be unchanged — statistics may only move the
+    /// optimizer between equivalent plans.
+    Analyze {
+        table: usize,
     },
     Query(Box<QuerySpec>),
 }
@@ -877,6 +917,7 @@ impl Action {
                 );
                 Sexp::tagged("insert", items)
             }
+            Action::Analyze { table } => Sexp::tagged("analyze", vec![Sexp::Int(*table as i64)]),
             Action::Query(q) => q.to_sexp(),
         }
     }
@@ -918,6 +959,9 @@ impl Action {
                             .collect::<Result<Vec<_>>>()
                     })
                     .collect::<Result<_>>()?,
+            }),
+            Some("analyze") => Ok(Action::Analyze {
+                table: list[1].as_int()? as usize,
             }),
             Some("query") => Ok(Action::Query(Box::new(QuerySpec::from_sexp(s)?))),
             _ => Err(Error::Parse(format!("corpus: bad action {s}"))),
@@ -1018,6 +1062,7 @@ mod tests {
                 Action::Query(Box::new(QuerySpec {
                     tables: vec![0],
                     join: None,
+                    extra_joins: vec![],
                     pred: Some(PredSpec::And(vec![
                         PredSpec::Cmp {
                             col: ColId::new(0, "k1"),

@@ -3,10 +3,11 @@
 //! One seed deterministically produces one [`Case`]: tables with single-
 //! and multi-level range/list partitioning (with DEFAULT partitions),
 //! seeded rows, and an action stream interleaving SELECTs (filters with
-//! AND/OR/BETWEEN/IN/NULLs, equi- and non-equi joins, aggregates,
-//! prepared-statement parameters), INSERTs and ALTER TABLE ADD/DROP
-//! PARTITION — including deliberate negative actions (dropping unknown
-//! partitions, inserting unroutable rows) so error kinds get diffed too.
+//! AND/OR/BETWEEN/IN/NULLs, equi- and non-equi joins up to three-way for
+//! the join-order enumerator, aggregates, prepared-statement parameters),
+//! INSERTs, ANALYZE and ALTER TABLE ADD/DROP PARTITION — including
+//! deliberate negative actions (dropping unknown partitions, inserting
+//! unroutable rows) so error kinds get diffed too.
 //!
 //! The generator keeps a shadow [`Oracle`] in sync with the actions it
 //! emits, so data and DDL stay valid against the *evolving* piece set
@@ -50,7 +51,13 @@ pub fn gen_case(seed: u64) -> Case {
         let roll = g.gen_range(0u32..100);
         let action = if roll < 20 {
             gen_alter(g, &tables, &mut shadow, &mut alter_counter)
-        } else if roll < 45 {
+        } else if roll < 28 {
+            // ANALYZE between queries: statistics may switch the optimizer
+            // between plans, never change results.
+            Some(Action::Analyze {
+                table: g.gen_range(0usize..tables.len()),
+            })
+        } else if roll < 50 {
             gen_insert(g, &tables, &mut shadow)
         } else {
             Some(Action::Query(Box::new(gen_query(g, &tables, &shadow))))
@@ -363,6 +370,19 @@ fn gen_query(g: &mut StdRng, tables: &[TableSpec], shadow: &Oracle) -> QuerySpec
         None
     };
 
+    // Chain any remaining tables comma-style with equi-conditions in
+    // WHERE: a ≥3-relation inner-join space for the join-order
+    // enumerator, while the oracle just sees more joins.
+    let mut extra_joins = Vec::new();
+    if two {
+        for t in 0..tables.len() {
+            if !chosen.contains(&t) && g.gen_range(0u32..100) < 60 {
+                chosen.push(t);
+                extra_joins.push(gen_extra_join(g, tables, &chosen));
+            }
+        }
+    }
+
     let mut params = Vec::new();
     let single_partitioned = !two && !tables[t0].levels.is_empty();
     let want_static = single_partitioned && g.gen_range(0u32..100) < 40;
@@ -386,10 +406,36 @@ fn gen_query(g: &mut StdRng, tables: &[TableSpec], shadow: &Oracle) -> QuerySpec
     QuerySpec {
         tables: chosen,
         join,
+        extra_joins,
         pred,
         agg,
         params,
         static_prunable,
+    }
+}
+
+/// An equi-join chaining the most recently chosen table onto an earlier
+/// one; always rendered comma-style with the condition in WHERE.
+fn gen_extra_join(g: &mut StdRng, tables: &[TableSpec], chosen: &[usize]) -> JoinSpec {
+    let b = *chosen.last().unwrap();
+    let a = chosen[g.gen_range(0usize..chosen.len() - 1)];
+    let mut pairs: Vec<(String, String)> =
+        vec![("v".into(), "v".into()), ("id".into(), "id".into())];
+    let (ta, tb) = (&tables[a], &tables[b]);
+    for (i, la) in ta.levels.iter().enumerate() {
+        for (j, lb) in tb.levels.iter().enumerate() {
+            if la.key_ty() == lb.key_ty() {
+                pairs.push((format!("k{}", i + 1), format!("k{}", j + 1)));
+            }
+        }
+    }
+    let (lc, rc) = pick(g, &pairs).clone();
+    JoinSpec {
+        explicit: false,
+        left_outer: false,
+        left: ColId::new(a, lc),
+        op: "=".into(),
+        right: ColId::new(b, rc),
     }
 }
 
@@ -737,6 +783,32 @@ mod tests {
         for seed in [0u64, 1, 42, 9999] {
             assert_eq!(gen_case(seed), gen_case(seed));
         }
+    }
+
+    /// The join-order and statistics axes must actually be exercised:
+    /// across 500 seeds, a healthy share of cases carry ANALYZE actions
+    /// and ≥3-relation join queries.
+    #[test]
+    fn generator_covers_analyze_and_multiway_joins() {
+        let (mut analyzes, mut multiway) = (0usize, 0usize);
+        for seed in 0..500u64 {
+            for a in &gen_case(seed).actions {
+                match a {
+                    Action::Analyze { .. } => analyzes += 1,
+                    Action::Query(q) if !q.extra_joins.is_empty() => {
+                        assert_eq!(
+                            q.tables.len(),
+                            2 + q.extra_joins.len(),
+                            "extra_joins[k] chains tables[k + 2]"
+                        );
+                        multiway += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(analyzes > 50, "ANALYZE actions generated: {analyzes}");
+        assert!(multiway > 20, "3-way join queries generated: {multiway}");
     }
 
     #[test]

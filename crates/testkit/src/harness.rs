@@ -189,6 +189,19 @@ pub fn run_case(case: &Case) -> Option<Failure> {
                     detail: format!("{e}\n  sql: {sql}"),
                 })
             }
+            Action::Analyze { table } => {
+                // The oracle keeps no statistics: ANALYZE must succeed and
+                // must not change any later query's result (stats only move
+                // the optimizer between equivalent plans — the queries after
+                // this action are the real check).
+                let sql = format!("ANALYZE {}", case.tables[*table].name);
+                db.sql(&sql).err().map(|e| Failure {
+                    action: i,
+                    combo: "ddl".into(),
+                    kind: FailKind::ErrorKind,
+                    detail: format!("ANALYZE failed: {e}\n  sql: {sql}"),
+                })
+            }
             Action::Query(q) => run_query(&mut db, &oracle, case, i, q).err(),
         };
         if let Some(f) = failure {

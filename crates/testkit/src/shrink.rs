@@ -111,7 +111,9 @@ fn shrink_tables(case: &mut Case, fails: &dyn Fn(&Case) -> bool) -> bool {
 
 fn table_used(case: &Case, t: usize) -> bool {
     case.actions.iter().any(|a| match a {
-        Action::Alter { table, .. } | Action::Insert { table, .. } => *table == t,
+        Action::Alter { table, .. } | Action::Insert { table, .. } | Action::Analyze { table } => {
+            *table == t
+        }
         Action::Query(q) => {
             if q.tables.contains(&t) {
                 return true;
@@ -120,7 +122,7 @@ fn table_used(case: &Case, t: usize) -> bool {
             if let Some(p) = &q.pred {
                 p.cols(&mut cols);
             }
-            if let Some(j) = &q.join {
+            for j in q.join.iter().chain(&q.extra_joins) {
                 cols.push(j.left.clone());
                 cols.push(j.right.clone());
             }
@@ -148,12 +150,14 @@ fn remap_tables(case: &mut Case, removed: usize) {
     };
     for a in &mut case.actions {
         match a {
-            Action::Alter { table, .. } | Action::Insert { table, .. } => fix(table),
+            Action::Alter { table, .. }
+            | Action::Insert { table, .. }
+            | Action::Analyze { table } => fix(table),
             Action::Query(q) => {
                 for t in &mut q.tables {
                     fix(t);
                 }
-                if let Some(j) = &mut q.join {
+                for j in q.join.iter_mut().chain(&mut q.extra_joins) {
                     fix(&mut j.left.table);
                     fix(&mut j.right.table);
                 }
@@ -337,7 +341,15 @@ fn query_candidates(q: &QuerySpec) -> Vec<QuerySpec> {
     if q.join.is_some() {
         let mut c = q.clone();
         c.join = None;
+        c.extra_joins.clear();
         c.tables.truncate(1);
+        out.push(c);
+    }
+    if !q.extra_joins.is_empty() {
+        // Unchain the last extra table.
+        let mut c = q.clone();
+        c.extra_joins.pop();
+        c.tables.truncate(q.tables.len() - 1);
         out.push(c);
     }
     if q.agg.is_some() {

@@ -34,6 +34,15 @@
 #               filter word-mask, dual-bitmap 3VL AND/OR, and columnar
 #               distribution hashing at 0/10/50% NULLs, typed vs
 #               Any-degraded. Appends to results/BENCH_kernels.json.
+#   join_order  cost-based join ordering vs the syntactic left-deep
+#               baseline on a 6-table star schema with the selective
+#               dimensions written last, after ANALYZE. Appends a JSON
+#               record to results/BENCH_join_order.json and asserts the
+#               acceptance criteria: cost-based >= 2x wall-clock on the
+#               star query and < 10 ms planning for a 10-relation chain
+#               (the DPsize ceiling). Also reports plans/sec at 2-10
+#               relations. In --test smoke mode only the result-equality
+#               check runs (both orderings must agree).
 #   bench_net_qps
 #               the network service layer: point-lookup QPS and client
 #               p50/p99 latency over the wire protocol at 1/16/128/512
@@ -81,7 +90,10 @@ cargo bench -p mpp-bench --bench batch_pipeline -- ${args[@]+"${args[@]}"}
 echo "== bench: kernels =="
 cargo bench -p mpp-bench --bench kernels -- ${args[@]+"${args[@]}"}
 
+echo "== bench: join_order =="
+cargo bench -p mpp-bench --bench join_order -- ${args[@]+"${args[@]}"}
+
 echo "== bench: bench_net_qps =="
 cargo bench -p mpp-bench --bench bench_net_qps -- ${args[@]+"${args[@]}"}
 
-echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json, results/BENCH_net_qps.json and results/table2.json) =="
+echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json, results/BENCH_join_order.json, results/BENCH_net_qps.json and results/table2.json) =="
