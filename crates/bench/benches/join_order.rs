@@ -15,12 +15,20 @@
 //!     relations — the acceptance criterion asserts < 10 ms at 10
 //!     relations (the DPsize ceiling; greedy takes over above).
 //!
+//! Also runs the adaptive-planning benchmark ([`bench_adaptive`]):
+//! per-partition join specialization vs the uniform plan on a
+//! skewed-DEFAULT-partition workload, recorded in
+//! `results/BENCH_adaptive.json` with an acceptance criterion of
+//! adaptive ≥ 1.5× (set `BENCH_ADAPTIVE_ONLY=1` to run just this
+//! section, `BENCH_EXPLAIN=1` to print both plans).
+//!
 //! In `--test` smoke mode the row counts shrink and only the
-//! result-equality check runs: both orderings must return identical
-//! row multisets.
+//! result-equality checks run: both orderings (and both adaptive
+//! settings) must return identical row multisets.
 
 use mpp_bench::{scaled, time_median, time_median_pair, write_result};
 use mppart::core::OptimizerConfig;
+use mppart::workloads::{setup_skewed_default, SynthConfig};
 use mppart::MppDb;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,9 +115,142 @@ fn chain_query(n: usize) -> String {
     )
 }
 
+/// Adaptive per-partition specialization vs the uniform single-strategy
+/// plan, on the skewed-DEFAULT workload: `big` is range-partitioned on
+/// `b` with explicit parts covering only `[0, 100_000)` and a DEFAULT
+/// partition holding ~98% of the rows; `probe` is unpartitioned with
+/// every key inside the covered range (anti-correlated with the
+/// DEFAULT overflow). The uniform optimizer prices one strategy off the
+/// aggregate row counts and redistributes both sides — dragging the
+/// dominant DEFAULT partition through a Motion for a join that, at
+/// runtime, never needs it. The adaptive plan splits the scan into a
+/// heavy DEFAULT branch (whose filtered outer side shrinks to nothing,
+/// so run-time partition selection skips the 98% entirely) and a light
+/// branch that moves only the small covered parts.
+fn bench_adaptive(smoke: bool) {
+    // probe must stay above big/3: below that, broadcasting the probe
+    // side gets cheaper than redistributing both and the uniform plan
+    // stops being interestingly bad.
+    let (big_rows, probe_rows) = if smoke {
+        (4_000, 1_500)
+    } else {
+        (scaled(400_000), scaled(140_000))
+    };
+    let hot_pct = 98;
+    let cover = 100_000;
+
+    let mk = |adaptive: bool| {
+        let db = MppDb::with_config(OptimizerConfig {
+            num_segments: 4,
+            adaptive_plans: adaptive,
+            ..OptimizerConfig::default()
+        });
+        let cfg = SynthConfig {
+            r_rows: big_rows,
+            r_parts: Some(10),
+            b_domain: 1_000_000,
+            a_domain: 1_000,
+            seed: SEED,
+            ..SynthConfig::default()
+        };
+        setup_skewed_default(db.storage(), "big", &cfg, hot_pct, cover).unwrap();
+        db.sql("CREATE TABLE probe (a int, b int) DISTRIBUTED BY (a)")
+            .unwrap();
+        let mut g = StdRng::seed_from_u64(SEED ^ 0xada);
+        for chunk in (0..probe_rows).collect::<Vec<_>>().chunks(500) {
+            let tuples: Vec<String> = chunk
+                .iter()
+                .map(|_| format!("({}, {})", g.gen_range(0..1_000), g.gen_range(0..cover)))
+                .collect();
+            db.sql(&format!("INSERT INTO probe VALUES {}", tuples.join(", ")))
+                .unwrap();
+        }
+        db.sql("ANALYZE probe").unwrap();
+        db
+    };
+    let adaptive = mk(true);
+    let uniform = mk(false);
+    let sql = "SELECT count(*), sum(big.a) FROM probe JOIN big ON probe.b = big.b";
+
+    // Result equality first: specialization must never change rows. The
+    // agg query plus a row-returning probe, compared as multisets.
+    for q in [
+        sql,
+        "SELECT probe.a, big.a FROM probe JOIN big ON probe.b = big.b WHERE probe.a < 20",
+    ] {
+        let mut a: Vec<String> = adaptive
+            .sql(q)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let mut b: Vec<String> = uniform
+            .sql(q)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "adaptive and uniform plans disagree on: {q}");
+    }
+    println!("result equality: adaptive ≡ uniform");
+
+    let plan_adaptive = adaptive.explain_sql(sql).unwrap();
+    let plan_uniform = uniform.explain_sql(sql).unwrap();
+    assert_ne!(plan_adaptive, plan_uniform, "plans should differ");
+    if std::env::var_os("BENCH_EXPLAIN").is_some() {
+        println!("-- adaptive --\n{plan_adaptive}\n-- uniform --\n{plan_uniform}");
+    }
+
+    let iters = if smoke { 1 } else { 9 };
+    let (t_adaptive, t_uniform) = time_median_pair(
+        iters,
+        || adaptive.sql(sql).unwrap().rows.len(),
+        || uniform.sql(sql).unwrap().rows.len(),
+    );
+    let speedup = t_uniform.as_secs_f64() / t_adaptive.as_secs_f64();
+    println!(
+        "skewed DEFAULT join ({big_rows} rows, {hot_pct}% in DEFAULT): \
+         adaptive {:.1} ms | uniform {:.1} ms ({speedup:.2}x)",
+        t_adaptive.as_secs_f64() * 1e3,
+        t_uniform.as_secs_f64() * 1e3,
+    );
+
+    if !smoke {
+        assert!(
+            plan_adaptive.contains("Append"),
+            "adaptive plan should specialize into Append branches:\n{plan_adaptive}"
+        );
+        assert!(
+            speedup >= 1.5,
+            "adaptive plan must beat the uniform plan by >= 1.5x, got {speedup:.2}x"
+        );
+        write_result(
+            "BENCH_adaptive",
+            &serde_json::json!({
+                "big_rows": big_rows,
+                "probe_rows": probe_rows,
+                "hot_pct": hot_pct,
+                "segments": 4,
+                "query": sql,
+                "adaptive_ms": t_adaptive.as_secs_f64() * 1e3,
+                "uniform_ms": t_uniform.as_secs_f64() * 1e3,
+                "speedup": speedup,
+            }),
+        );
+    }
+}
+
 fn main() {
     let _ = std::env::set_current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
     let smoke = std::env::args().any(|a| a == "--test");
+    if std::env::var_os("BENCH_ADAPTIVE_ONLY").is_some() {
+        bench_adaptive(smoke);
+        return;
+    }
     let (fact_rows, dim_rows) = if smoke {
         (2_000, 200)
     } else {
@@ -193,6 +334,8 @@ fn main() {
             "median_ms": secs * 1e3,
         }));
     }
+
+    bench_adaptive(smoke);
 
     if !smoke {
         assert!(

@@ -29,6 +29,25 @@ struct Inner {
     /// [`Catalog::refresh_stats_coarse`], which deliberately does NOT
     /// bump it — otherwise every bulk insert would flush every cache.
     stats_version: u64,
+    /// Runtime cardinality feedback: per-table row counts *observed*
+    /// during execution where the optimizer's estimate was off by more
+    /// than [`FEEDBACK_MISS_FACTOR`]. [`Catalog::stats`] folds these over
+    /// the stored statistics (scaling `row_count` and `part_rows`
+    /// proportionally), so the next optimization sees the observed
+    /// cardinality; ANALYZE ([`Catalog::set_stats`]) supersedes and
+    /// clears them.
+    feedback: HashMap<TableOid, u64>,
+}
+
+/// A runtime cardinality observation only counts as a *miss* — and only
+/// then invalidates cached plans — when estimate and actual differ by
+/// more than this factor in either direction.
+pub const FEEDBACK_MISS_FACTOR: f64 = 10.0;
+
+fn off_by(a: u64, b: u64, factor: f64) -> bool {
+    let a = a.max(1) as f64;
+    let b = b.max(1) as f64;
+    a / b > factor || b / a > factor
 }
 
 /// Thread-safe registry of table metadata, shared by binder, optimizers,
@@ -205,6 +224,7 @@ impl Catalog {
             .ok_or_else(|| Error::NotFound(format!("table {oid}")))?;
         g.by_name.remove(&desc.name.to_ascii_lowercase());
         g.stats.remove(&oid);
+        g.feedback.remove(&oid);
         if let Some(tree) = &desc.partitioning {
             for leaf in tree.leaves() {
                 g.part_owner.remove(&leaf.oid);
@@ -216,10 +236,12 @@ impl Catalog {
 
     /// Install full statistics (the ANALYZE path). Bumps the stats
     /// version so plan caches drop plans optimized against the old
-    /// cardinalities.
+    /// cardinalities, and clears any runtime feedback override — real
+    /// statistics supersede observed row counts.
     pub fn set_stats(&self, oid: TableOid, stats: TableStats) {
         let mut g = self.inner.write();
         g.stats.insert(oid, stats);
+        g.feedback.remove(&oid);
         g.stats_version += 1;
     }
 
@@ -244,14 +266,62 @@ impl Catalog {
     }
 
     /// Stats for a table; defaults to a small-table guess when never
-    /// analyzed.
+    /// analyzed. Any runtime feedback override is folded in: the observed
+    /// row count replaces `row_count` and per-partition counts are scaled
+    /// proportionally (the *shape* of the stored distribution is the best
+    /// information available; only its magnitude was observed wrong).
     pub fn stats(&self, oid: TableOid) -> TableStats {
-        self.inner
-            .read()
+        let g = self.inner.read();
+        let mut stats = g
             .stats
             .get(&oid)
             .cloned()
-            .unwrap_or_else(|| TableStats::new(1000))
+            .unwrap_or_else(|| TableStats::new(1000));
+        if let Some(&observed) = g.feedback.get(&oid) {
+            let old = stats.row_count.max(1);
+            stats.row_count = observed;
+            if !stats.part_rows.is_empty() {
+                let scale = observed as f64 / old as f64;
+                for rows in stats.part_rows.values_mut() {
+                    *rows = (*rows as f64 * scale).round() as u64;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Record a runtime cardinality observation for a base-table scan:
+    /// `estimated` is what the optimizer planned with, `observed` what the
+    /// executor actually read. Installs a feedback override and bumps the
+    /// stats version — invalidating every cached plan through the existing
+    /// `(catalog_version, stats_version)` epoch — **only** when the
+    /// estimate was off by more than [`FEEDBACK_MISS_FACTOR`] *and* the
+    /// observation materially changes the override already in place.
+    /// The second condition breaks invalidation loops: once the override
+    /// is folded into [`Catalog::stats`], the re-optimized plan estimates
+    /// near the observation, the next run sees no 10× miss, and the cache
+    /// settles. Returns whether cached plans were invalidated.
+    pub fn record_feedback(&self, oid: TableOid, estimated: u64, observed: u64) -> bool {
+        if !off_by(estimated, observed, FEEDBACK_MISS_FACTOR) {
+            return false;
+        }
+        let mut g = self.inner.write();
+        if !g.tables.contains_key(&oid) {
+            return false;
+        }
+        if let Some(&prev) = g.feedback.get(&oid) {
+            if !off_by(prev, observed, 2.0) {
+                return false; // already folded close enough — no re-bump
+            }
+        }
+        g.feedback.insert(oid, observed);
+        g.stats_version += 1;
+        true
+    }
+
+    /// The runtime feedback override for a table, if one is in place.
+    pub fn feedback_override(&self, oid: TableOid) -> Option<u64> {
+        self.inner.read().feedback.get(&oid).copied()
     }
 }
 
@@ -405,6 +475,44 @@ mod tests {
         assert_eq!(cat.stats_version(), sv1, "coarse refresh must NOT bump");
         assert_eq!(cat.stats(t.oid).row_count, 600);
         assert_eq!(cat.stats(t.oid).part_rows.get(&PartOid(1000)), Some(&100));
+    }
+
+    #[test]
+    fn feedback_miss_overrides_stats_and_bumps_once() {
+        let cat = Catalog::new();
+        let t = register_partitioned(&cat, "R", 2);
+        let mut part_rows = HashMap::new();
+        part_rows.insert(PartOid(1000), 75u64);
+        part_rows.insert(PartOid(1001), 25u64);
+        cat.set_stats(t.oid, TableStats::new(100).with_part_rows(part_rows));
+        let sv = cat.stats_version();
+
+        // A 5× miss is within tolerance: no override, no invalidation.
+        assert!(!cat.record_feedback(t.oid, 100, 500));
+        assert_eq!(cat.stats_version(), sv);
+        assert_eq!(cat.feedback_override(t.oid), None);
+
+        // A >10× miss installs the observation and bumps the epoch; the
+        // per-partition distribution is scaled, not discarded.
+        assert!(cat.record_feedback(t.oid, 100, 10_000));
+        assert_eq!(cat.stats_version(), sv + 1);
+        let s = cat.stats(t.oid);
+        assert_eq!(s.row_count, 10_000);
+        assert_eq!(s.part_rows[&PartOid(1000)], 7_500);
+        assert_eq!(s.part_rows[&PartOid(1001)], 2_500);
+
+        // Re-observing roughly the same cardinality must NOT re-bump —
+        // otherwise folded feedback would flush the cache every query.
+        assert!(!cat.record_feedback(t.oid, 100, 11_000));
+        assert_eq!(cat.stats_version(), sv + 1);
+
+        // ANALYZE supersedes: the override is cleared.
+        cat.set_stats(t.oid, TableStats::new(10_000));
+        assert_eq!(cat.feedback_override(t.oid), None);
+        assert_eq!(cat.stats(t.oid).row_count, 10_000);
+
+        // Unknown tables are ignored.
+        assert!(!cat.record_feedback(TableOid(999), 1, 1_000_000));
     }
 
     #[test]

@@ -162,9 +162,11 @@ impl<'a> Walker<'a> {
                 table,
                 part_scan_id,
                 filter,
+                restrict,
                 ..
             } => {
-                let (parts, total, base) = self.dynamic_scan_shape(*table, *part_scan_id);
+                let (parts, total, base) =
+                    self.dynamic_scan_shape(*table, *part_scan_id, restrict.as_deref());
                 NodeEstimate {
                     rows: filtered(base, filter, &self.est),
                     cost: self
@@ -269,6 +271,7 @@ impl<'a> Walker<'a> {
         &self,
         table: mpp_common::TableOid,
         id: PartScanId,
+        restrict: Option<&[mpp_common::PartOid]>,
     ) -> (usize, usize, f64) {
         let stats = self.catalog.stats(table);
         let tree = match self.catalog.part_tree(table) {
@@ -276,7 +279,23 @@ impl<'a> Walker<'a> {
             Err(_) => return (1, 1, stats.row_count as f64),
         };
         let total = tree.num_leaves();
-        let full = (total.max(1), total.max(1), stats.row_count as f64);
+        let shape = |surviving: Vec<mpp_common::PartOid>| {
+            // An adaptive group branch only ever scans the intersection of
+            // the selector's output with its group.
+            let surviving: Vec<mpp_common::PartOid> = match restrict {
+                Some(keep) => surviving
+                    .into_iter()
+                    .filter(|oid| keep.contains(oid))
+                    .collect(),
+                None => surviving,
+            };
+            let rows = match stats.rows_in_parts(surviving.iter()) {
+                Some(n) => n as f64,
+                None => stats.row_count as f64 * surviving.len() as f64 / total.max(1) as f64,
+            };
+            (surviving.len().max(1), total.max(1), rows)
+        };
+        let full = || shape(tree.partition_expansion());
         let Some(PhysicalPlan::PartitionSelector {
             part_keys,
             predicates,
@@ -284,12 +303,12 @@ impl<'a> Walker<'a> {
             ..
         }) = self.selectors.get(&id)
         else {
-            return full;
+            return full();
         };
         // A selector with a child eliminates from join rows at run time;
         // nothing is statically derivable here.
         if child.is_some() {
-            return full;
+            return full();
         }
         let derived: Vec<DerivedSet> = part_keys
             .iter()
@@ -300,14 +319,8 @@ impl<'a> Walker<'a> {
             })
             .collect();
         match tree.select_partitions(&derived) {
-            Ok(surviving) => {
-                let rows = match stats.rows_in_parts(surviving.iter()) {
-                    Some(n) => n as f64,
-                    None => stats.row_count as f64 * surviving.len() as f64 / total.max(1) as f64,
-                };
-                (surviving.len().max(1), total.max(1), rows)
-            }
-            Err(_) => full,
+            Ok(surviving) => shape(surviving),
+            Err(_) => full(),
         }
     }
 }

@@ -1191,6 +1191,7 @@ impl<'a> Memo<'a> {
                     part_scan_id: *scan_id,
                     output: output.clone(),
                     filter: None,
+                    restrict: None,
                 };
                 // A part request satisfied at the scan materializes as the
                 // Sequence(selector, scan) shape of Figure 5.
@@ -1561,6 +1562,7 @@ mod tests {
             part_scan_id: PartScanId(1),
             output: vec![ColRef::new(1, "pk"), ColRef::new(2, "v")],
             filter: None,
+            restrict: None,
         };
         assert_eq!(
             derive_distribution(&scan, &cat),

@@ -27,9 +27,10 @@ use crate::cost::CostModel;
 use crate::placement::place_partition_selectors;
 use crate::validate::validate_selector_pairing;
 use mpp_catalog::{Catalog, Distribution};
-use mpp_common::{Error, PartScanId, Result, TableOid};
+use mpp_common::{Error, PartOid, PartScanId, Result, TableOid};
 use mpp_expr::analysis::{derive_interval_set, DerivedSet};
-use mpp_expr::{collect_columns, simplify, split_conjuncts, ColRef, Expr};
+use mpp_expr::interval::{HighBound, LowBound};
+use mpp_expr::{collect_columns, simplify, split_conjuncts, ColRef, Expr, IntervalSet};
 use mpp_plan::{JoinType, LogicalPlan, MotionKind, PhysicalPlan};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -52,6 +53,15 @@ pub struct OptimizerConfig {
     /// (left-deep, as-written) order — the baseline the join-order
     /// benchmark compares against.
     pub join_order_search: bool,
+    /// Adaptive per-partition plan specialization: when the surviving
+    /// partitions of a join's inner DynamicScan are strongly skewed (one
+    /// heavy partition dominating the per-partition row counts from
+    /// ANALYZE), cost and emit a *different* join strategy per partition
+    /// group — e.g. leave the heavy group in place behind a tiny
+    /// broadcast outer while redistributing only the light remainder —
+    /// stitched back together with an `Append` whose branches each
+    /// restrict the scan to their own group.
+    pub adaptive_plans: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -61,6 +71,7 @@ impl Default for OptimizerConfig {
             enable_partition_selection: true,
             use_memo: false,
             join_order_search: true,
+            adaptive_plans: true,
         }
     }
 }
@@ -120,6 +131,15 @@ impl Optimizer {
 
     pub fn config(&self) -> &OptimizerConfig {
         &self.config
+    }
+
+    /// Toggle adaptive per-partition plan specialization. A runtime knob
+    /// (the differential harness flips it per cell), so it gets a
+    /// dedicated mutator rather than rebuilding the optimizer: every
+    /// other config field feeds derived state (the cost model's segment
+    /// count) and must stay fixed.
+    pub fn set_adaptive_plans(&mut self, on: bool) {
+        self.config.adaptive_plans = on;
     }
 
     fn fresh_scan_id(&self) -> PartScanId {
@@ -197,6 +217,7 @@ impl Optimizer {
                         part_scan_id: self.fresh_scan_id(),
                         output: output.clone(),
                         filter: None,
+                        restrict: None,
                     }
                 } else {
                     PhysicalPlan::TableScan {
@@ -489,7 +510,8 @@ impl Optimizer {
             dist: r.dist,
             rows: r.rows,
         };
-        let (joined, _cost) = self.join_pair(join_type, split_conjuncts(pred), l, r, out_rows)?;
+        let (joined, _cost) =
+            self.join_pair(&est, join_type, split_conjuncts(pred), l, r, out_rows)?;
         Ok(Built {
             plan: joined.plan,
             dist: joined.dist,
@@ -599,9 +621,9 @@ impl Optimizer {
         }
 
         let side = if n <= MAX_DP_RELATIONS {
-            self.enumerate_dpsize(leaves, &infos)?
+            self.enumerate_dpsize(&est, leaves, &infos)?
         } else {
-            self.enumerate_greedy(leaves, &infos)?
+            self.enumerate_greedy(&est, leaves, &infos)?
         };
 
         // Constant conjuncts on top, then restore the syntactic column
@@ -638,7 +660,12 @@ impl Optimizer {
     /// subset count collapses from 2^n to O(n²) on chains and O(2^n / 2)
     /// on stars. The winning split tree is materialized afterwards by
     /// [`Optimizer::dp_rebuild`].
-    fn enumerate_dpsize(&self, leaves: Vec<JoinSide>, infos: &[ConjInfo]) -> Result<JoinSide> {
+    fn enumerate_dpsize(
+        &self,
+        est: &CardinalityEstimator,
+        leaves: Vec<JoinSide>,
+        infos: &[ConjInfo],
+    ) -> Result<JoinSide> {
         let n = leaves.len();
         let full: usize = (1 << n) - 1;
 
@@ -774,7 +801,7 @@ impl Optimizer {
         }
 
         let mut slots: Vec<Option<JoinSide>> = leaves.into_iter().map(Some).collect();
-        let (side, _cost) = self.dp_rebuild(full, &dp, &mut slots, infos, &rows)?;
+        let (side, _cost) = self.dp_rebuild(est, full, &dp, &mut slots, infos, &rows)?;
         Ok(side)
     }
 
@@ -782,6 +809,7 @@ impl Optimizer {
     /// the same pair-join construction the costing saw.
     fn dp_rebuild(
         &self,
+        est: &CardinalityEstimator,
         mask: usize,
         dp: &[Option<DpEntry>],
         slots: &mut [Option<JoinSide>],
@@ -799,8 +827,8 @@ impl Optimizer {
             let cost = self.leaf_cost(&leaf);
             return Ok((leaf, cost));
         };
-        let (l, lc) = self.dp_rebuild(lmask, dp, slots, infos, rows)?;
-        let (r, rc) = self.dp_rebuild(rmask, dp, slots, infos, rows)?;
+        let (l, lc) = self.dp_rebuild(est, lmask, dp, slots, infos, rows)?;
+        let (r, rc) = self.dp_rebuild(est, rmask, dp, slots, infos, rows)?;
         let conjs: Vec<Expr> = infos
             .iter()
             .filter(|ci| {
@@ -810,14 +838,19 @@ impl Optimizer {
             })
             .map(|ci| ci.expr.clone())
             .collect();
-        let (side, pair) = self.join_pair(JoinType::Inner, conjs, l, r, rows[mask])?;
+        let (side, pair) = self.join_pair(est, JoinType::Inner, conjs, l, r, rows[mask])?;
         Ok((side, lc + rc + pair))
     }
 
     /// Greedy fallback above [`MAX_DP_RELATIONS`]: repeatedly merge the
     /// pair of subtrees with the cheapest join, preferring connected pairs
     /// over cross products.
-    fn enumerate_greedy(&self, leaves: Vec<JoinSide>, infos: &[ConjInfo]) -> Result<JoinSide> {
+    fn enumerate_greedy(
+        &self,
+        est: &CardinalityEstimator,
+        leaves: Vec<JoinSide>,
+        infos: &[ConjInfo],
+    ) -> Result<JoinSide> {
         let mut entries: Vec<(usize, JoinSide)> = leaves
             .into_iter()
             .enumerate()
@@ -892,7 +925,7 @@ impl Optimizer {
                 .map(|ci| ci.expr.clone())
                 .collect();
             let out_rows = pair_out_rows(l.rows, r.rows, infos, mask, lm, rm);
-            let (side, _cost) = self.join_pair(JoinType::Inner, conjs, l, r, out_rows)?;
+            let (side, _cost) = self.join_pair(est, JoinType::Inner, conjs, l, r, out_rows)?;
             entries.push((mask, side));
         }
         Ok(entries.pop().expect("at least one entry").1)
@@ -914,6 +947,7 @@ impl Optimizer {
     /// incremental cost (the same figure the enumerators ranked).
     fn join_pair(
         &self,
+        est: &CardinalityEstimator,
         join_type: JoinType,
         conjuncts: Vec<Expr>,
         l: JoinSide,
@@ -1000,6 +1034,34 @@ impl Optimizer {
                     base_rows,
                 },
                 cost,
+            ));
+        }
+
+        // Adaptive per-partition plan specialization: when the inner side
+        // is a skew-partitioned scan, a per-group Append with different
+        // strategies per branch may beat the single uniform strategy.
+        if let Some((plan, dist, spec_cost)) = self.try_specialize_join(
+            est,
+            join_type,
+            &conjuncts,
+            &left_keys,
+            &right_keys,
+            &residual,
+            &l,
+            &r,
+            out_rows,
+            cost,
+        ) {
+            return Ok((
+                JoinSide {
+                    plan,
+                    dist,
+                    rows: out_rows,
+                    cols,
+                    out,
+                    base_rows,
+                },
+                spec_cost,
             ));
         }
 
@@ -1278,6 +1340,285 @@ impl Optimizer {
         }
         Some(est.partition_cardinality(table, &surviving, tree.num_leaves()))
     }
+
+    /// Adaptive per-partition plan specialization. When the inner side of
+    /// an equi join is a partitioned scan whose surviving partitions are
+    /// strongly skewed — per-partition ANALYZE counts show one heavy
+    /// partition (typically DEFAULT) holding at least half the rows — a
+    /// single distribution strategy is a compromise: the heavy group
+    /// wants to stay in place behind a small broadcast outer (dynamic
+    /// partition elimination then prunes it to almost nothing when the
+    /// outer's keys barely reach its range), while the light group is
+    /// cheap to redistribute or broadcast wholesale.
+    ///
+    /// The rewrite splits the join into one branch per partition group.
+    /// Each branch filters the *outer* side to the group's key range
+    /// (per-group costs then come from the outer histogram, which is what
+    /// makes a split cheaper than the uniform plan in the first place),
+    /// restricts the inner scan to the group's partition OIDs under a
+    /// fresh scan id, picks the cheapest strategy for that branch alone,
+    /// and the branches are stitched with `Append`. The group key ranges
+    /// partition the non-null key domain of the surviving partitions, and
+    /// NULL keys never satisfy an inner equi join, so the union of the
+    /// branches is exactly the uniform join's output.
+    ///
+    /// Returns `(plan, dist, cost)` when the specialized plan costs less
+    /// than `uniform_cost`; `None` keeps the uniform join.
+    #[allow(clippy::too_many_arguments)]
+    fn try_specialize_join(
+        &self,
+        est: &CardinalityEstimator,
+        join_type: JoinType,
+        conjuncts: &[Expr],
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        residual: &[Expr],
+        l: &JoinSide,
+        r: &JoinSide,
+        out_rows: f64,
+        uniform_cost: f64,
+    ) -> Option<(PhysicalPlan, DistSpec, f64)> {
+        if !self.config.adaptive_plans
+            || !self.config.enable_partition_selection
+            || join_type != JoinType::Inner
+            || left_keys.is_empty()
+            || l.dist == DistSpec::Replicated
+            || r.dist == DistSpec::Replicated
+        {
+            return None;
+        }
+        // The rewrite duplicates the outer subtree into every branch and
+        // retags the inner scan: only safe when the outer contains no
+        // partitioned scan of its own (selector ids must stay unique) and
+        // the inner contains exactly one.
+        if count_dynamic_scans(&l.plan) != 0 || count_dynamic_scans(&r.plan) != 1 {
+            return None;
+        }
+        let (table, output) = dynamic_scan_of(&r.plan)?;
+        let tree = self.catalog.part_tree(table).ok()?;
+        let key_idx = match tree.key_indices().as_slice() {
+            [i] => *i,
+            _ => return None, // multi-level partitioning: keep uniform
+        };
+        let key_col = output.get(key_idx)?.clone();
+        // The branch filter goes on the outer side, so the join-key pair
+        // hitting the partition key must be a bare column on both sides.
+        let outer_key = left_keys
+            .iter()
+            .zip(right_keys)
+            .find_map(|(lk, rk)| match (lk, rk) {
+                (Expr::Col(lc), Expr::Col(rc)) if *rc == key_col => Some(lc.clone()),
+                _ => None,
+            })?;
+
+        // Surviving partitions after static elimination by the scan's own
+        // filters, with per-partition row counts (requires ANALYZE).
+        let stats = self.catalog.stats(table);
+        let mut preds = Vec::new();
+        scan_filters(&r.plan, &mut preds);
+        let surviving = if preds.is_empty() {
+            tree.partition_expansion()
+        } else {
+            let pred = Expr::and(preds);
+            let derived: Vec<DerivedSet> = tree
+                .key_indices()
+                .iter()
+                .map(|&i| match output.get(i) {
+                    Some(key) => derive_interval_set(&pred, key, None),
+                    None => DerivedSet::full(),
+                })
+                .collect();
+            tree.select_partitions(&derived).ok()?
+        };
+        if surviving.len() < 2 {
+            return None;
+        }
+        let mut part_rows: Vec<(PartOid, f64)> = Vec::with_capacity(surviving.len());
+        for oid in &surviving {
+            part_rows.push((*oid, stats.rows_in_parts(std::iter::once(oid))? as f64));
+        }
+        let total: f64 = part_rows.iter().map(|(_, n)| n).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // Skew gate: specialization only pays when one partition dominates.
+        let (heavy_oid, heavy_rows) = part_rows
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if heavy_rows < 0.5 * total {
+            return None;
+        }
+
+        // Two groups: the heavy partition alone, and the light remainder.
+        let light: Vec<(PartOid, f64)> = part_rows
+            .iter()
+            .filter(|(oid, _)| *oid != heavy_oid)
+            .cloned()
+            .collect();
+        let light_rows: f64 = light.iter().map(|(_, n)| n).sum();
+        let groups: Vec<(Vec<PartOid>, f64)> = vec![
+            (vec![heavy_oid], heavy_rows),
+            (light.iter().map(|(oid, _)| *oid).collect(), light_rows),
+        ];
+
+        // Level-0 key-range constraint per leaf; the DEFAULT partition
+        // reports the uncovered complement, so the surviving constraints
+        // partition the non-null key domain.
+        let constraints: std::collections::HashMap<PartOid, IntervalSet> = tree
+            .partition_constraints()
+            .into_iter()
+            .filter_map(|(oid, mut sets)| {
+                if sets.is_empty() {
+                    None
+                } else {
+                    Some((oid, sets.remove(0)))
+                }
+            })
+            .collect();
+
+        let lk_cols = simple_cols(left_keys);
+        let rk_cols = simple_cols(right_keys);
+        enum Strategy {
+            Hash(Mv, Mv, DistSpec),
+            NlBcast,
+        }
+        let mut branches: Vec<(Vec<PartOid>, Option<Expr>, Strategy)> = Vec::new();
+        let mut spec_cost = 0.0;
+        for (oids, rows) in groups {
+            let mut iset = IntervalSet::empty();
+            for oid in &oids {
+                iset = iset.union(constraints.get(oid)?);
+            }
+            if iset.is_empty() {
+                // Only NULL keys can live here; they never satisfy an
+                // inner equi join, so skip the branch (and keep the
+                // rewrite only when both branches materialize).
+                return None;
+            }
+            let filter = interval_set_to_pred(&outer_key, &iset);
+            let l_rows = match &filter {
+                Some(f) => (l.rows * est.selectivity(f)).max(1.0),
+                None => l.rows,
+            };
+            let frac = (rows / total).clamp(0.0, 1.0);
+            let r_rows = (r.rows * frac).max(1.0);
+            let branch_out = (out_rows * frac).max(1.0);
+            let dpe = self.dpe_fraction(&r.plan, left_keys, right_keys, l_rows, l.base_rows);
+            let ctx = StrategyCtx {
+                join_type,
+                has_equi: true,
+                l_rows,
+                r_rows,
+                out_rows: branch_out,
+                l_dist: &l.dist,
+                r_dist: &r.dist,
+                lk_cols: &lk_cols,
+                rk_cols: &rk_cols,
+                dpe_fraction: dpe,
+                right_scan: Some((oids.len(), rows)),
+            };
+            let hash = self.pair_cost(&ctx);
+            // Alternative: broadcast the (restricted) inner wholesale and
+            // nested-loop it — wins for slim groups where hashing costs
+            // more than it saves.
+            let nl = self.cost.broadcast(r_rows) + self.cost.nl_join(l_rows, r_rows);
+            let (branch_cost, strategy) = match hash {
+                Some((hc, ml, mr, dist)) if hc <= nl => (hc, Strategy::Hash(ml, mr, dist)),
+                _ => (nl, Strategy::NlBcast),
+            };
+            spec_cost += branch_cost;
+            if filter.is_some() {
+                spec_cost += self.cost.filter(l.rows);
+            }
+            branches.push((oids, filter, strategy));
+        }
+        // Every branch re-runs the outer subtree: charge the duplicates.
+        spec_cost += (branches.len() - 1) as f64 * self.cost.table_scan(l.base_rows);
+        if spec_cost >= uniform_cost || branches.len() < 2 {
+            return None;
+        }
+
+        // Emit: per branch, a fresh-id inner scan restricted to the
+        // group's OIDs under the branch's own strategy, an outer filtered
+        // to the group's key range, stitched with Append.
+        let residual = if residual.is_empty() {
+            None
+        } else {
+            Some(Expr::and(residual.to_vec()))
+        };
+        let out_cols: Vec<ColRef> = [l.out.as_slice(), r.out.as_slice()].concat();
+        let mut children = Vec::new();
+        let mut dists: Vec<DistSpec> = Vec::new();
+        for (oids, filter, strategy) in branches {
+            let scan_id = self.fresh_scan_id();
+            let r_plan = retag_restrict(r.plan.clone(), scan_id, &oids);
+            let mut l_plan = l.plan.clone();
+            if let Some(f) = &filter {
+                l_plan = PhysicalPlan::Filter {
+                    pred: f.clone(),
+                    child: Box::new(l_plan),
+                };
+            }
+            match strategy {
+                Strategy::NlBcast => {
+                    children.push(PhysicalPlan::NLJoin {
+                        join_type,
+                        pred: Some(Expr::and(conjuncts.to_vec())),
+                        left: Box::new(l_plan),
+                        right: Box::new(PhysicalPlan::Motion {
+                            kind: MotionKind::Broadcast,
+                            child: Box::new(r_plan),
+                        }),
+                    });
+                    dists.push(l.dist.clone());
+                }
+                Strategy::Hash(ml, mr, dist) => {
+                    let apply = |plan: PhysicalPlan, mv: Mv, keys: &Option<Vec<ColRef>>| match mv {
+                        Mv::None => plan,
+                        Mv::Redist => PhysicalPlan::Motion {
+                            kind: MotionKind::Redistribute(
+                                keys.clone().expect("checked in pair_cost"),
+                            ),
+                            child: Box::new(plan),
+                        },
+                        Mv::Bcast => PhysicalPlan::Motion {
+                            kind: MotionKind::Broadcast,
+                            child: Box::new(plan),
+                        },
+                    };
+                    children.push(PhysicalPlan::HashJoin {
+                        join_type,
+                        left_keys: left_keys.to_vec(),
+                        right_keys: right_keys.to_vec(),
+                        residual: residual.clone(),
+                        left: Box::new(apply(l_plan, ml, &lk_cols)),
+                        right: Box::new(apply(r_plan, mr, &rk_cols)),
+                    });
+                    dists.push(dist);
+                }
+            }
+        }
+        // Branch outputs are unioned in place; unless every branch landed
+        // on the same hashed distribution, claim only "somewhere hashed"
+        // (never co-located) so parents and the root add the Motions they
+        // need. Branch dists are never Replicated (both inputs are gated
+        // non-Replicated above), so this never under-counts rows.
+        let dist =
+            if dists.windows(2).all(|w| w[0] == w[1]) && matches!(dists[0], DistSpec::Hashed(_)) {
+                dists[0].clone()
+            } else {
+                DistSpec::Hashed(vec![])
+            };
+        Some((
+            PhysicalPlan::Append {
+                output: out_cols,
+                children,
+            },
+            dist,
+            spec_cost,
+        ))
+    }
 }
 
 /// Left/right motion applied to a join side.
@@ -1466,6 +1807,74 @@ fn dynamic_scan_of(plan: &PhysicalPlan) -> Option<(TableOid, Vec<ColRef>)> {
         }
         _ => None,
     }
+}
+
+/// Number of DynamicScans anywhere in a subtree.
+fn count_dynamic_scans(plan: &PhysicalPlan) -> usize {
+    let mut n = usize::from(matches!(plan, PhysicalPlan::DynamicScan { .. }));
+    for c in plan.children() {
+        n += count_dynamic_scans(c);
+    }
+    n
+}
+
+/// Clone-rewrite for one adaptive Append branch: give the DynamicScan
+/// under `plan` a fresh scan id and restrict it to the branch's group
+/// OIDs. The fresh id keeps selector pairing unique across branches.
+fn retag_restrict(plan: PhysicalPlan, id: PartScanId, oids: &[PartOid]) -> PhysicalPlan {
+    if let PhysicalPlan::DynamicScan {
+        table,
+        table_name,
+        output,
+        filter,
+        ..
+    } = plan
+    {
+        PhysicalPlan::DynamicScan {
+            table,
+            table_name,
+            part_scan_id: id,
+            output,
+            filter,
+            restrict: Some(oids.to_vec()),
+        }
+    } else {
+        map_children(plan, |c| retag_restrict(c, id, oids))
+    }
+}
+
+/// Render an interval set as a range predicate over `col`: `None` when
+/// the set is unbounded (no filter needed), `false` when it is empty.
+/// Used for the per-branch outer filters of an adaptive Append — each
+/// branch keeps only the outer rows whose join key can meet its group.
+fn interval_set_to_pred(col: &ColRef, iset: &IntervalSet) -> Option<Expr> {
+    if iset.is_full() {
+        return None;
+    }
+    if iset.is_empty() {
+        return Some(Expr::lit(false));
+    }
+    let mut arms = Vec::new();
+    for iv in iset.intervals() {
+        let mut conj = Vec::new();
+        match &iv.low {
+            LowBound::NegInf => {}
+            LowBound::Incl(d) => conj.push(Expr::ge(Expr::col(col.clone()), Expr::lit(d.clone()))),
+            LowBound::Excl(d) => conj.push(Expr::gt(Expr::col(col.clone()), Expr::lit(d.clone()))),
+        }
+        match &iv.high {
+            HighBound::PosInf => {}
+            HighBound::Incl(d) => conj.push(Expr::le(Expr::col(col.clone()), Expr::lit(d.clone()))),
+            HighBound::Excl(d) => conj.push(Expr::lt(Expr::col(col.clone()), Expr::lit(d.clone()))),
+        }
+        if conj.is_empty() {
+            // An unbounded interval inside a non-full set cannot happen;
+            // fail safe with no restriction.
+            return None;
+        }
+        arms.push(Expr::and(conj));
+    }
+    Some(Expr::or(arms))
 }
 
 /// Remove every selector predicate, disabling partition elimination while
@@ -2025,6 +2434,150 @@ mod tests {
         });
         assert!(dpe, "expected pass-through DPE selector:\n{text}");
         validate_selector_pairing(&plan).unwrap();
+    }
+
+    /// R(a, b) hash-distributed on a, partitioned on b into 4 narrow
+    /// ranges over [0, 40) plus a DEFAULT partition holding ~99% of the
+    /// rows (per-partition counts as if ANALYZE ran); S(a, b)
+    /// unpartitioned with a histogram putting every b inside [0, 40).
+    fn skewed_catalog() -> (Catalog, TableOid, TableOid) {
+        use mpp_catalog::{
+            ColumnStats, HistogramBuilder, PartTree, PartitionLevel, PartitionPiece,
+        };
+        use mpp_expr::interval::Interval;
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int32),
+            Column::new("b", DataType::Int32),
+        ]);
+        let r = cat.allocate_table_oid();
+        let first = cat.allocate_part_oids(5);
+        let mut pieces: Vec<PartitionPiece> = (0..4)
+            .map(|i| {
+                PartitionPiece::new(
+                    format!("p{i}"),
+                    IntervalSet::interval(Interval::half_open(
+                        Datum::Int32(i * 10),
+                        Datum::Int32((i + 1) * 10),
+                    )),
+                )
+            })
+            .collect();
+        pieces.push(PartitionPiece::default_piece("pdefault"));
+        let tree = PartTree::new(vec![PartitionLevel::new(1, pieces).unwrap()], first).unwrap();
+        let leaf_oids: Vec<_> = tree.partition_expansion();
+        cat.register(TableDesc {
+            oid: r,
+            name: "r".into(),
+            schema: schema.clone(),
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: Some(tree),
+        })
+        .unwrap();
+        let mut part_rows = std::collections::HashMap::new();
+        for oid in &leaf_oids[..4] {
+            part_rows.insert(*oid, 250u64);
+        }
+        part_rows.insert(leaf_oids[4], 90_000u64);
+        cat.set_stats(r, TableStats::new(91_000).with_part_rows(part_rows));
+
+        let s = cat.allocate_table_oid();
+        cat.register(TableDesc {
+            oid: s,
+            name: "s".into(),
+            schema,
+            distribution: Distribution::Hashed(vec![0]),
+            partitioning: None,
+        })
+        .unwrap();
+        let mut hist = HistogramBuilder::new();
+        for v in 0..1000 {
+            hist.add(v % 40);
+        }
+        cat.set_stats(
+            s,
+            TableStats::new(1_000).with_column(
+                1,
+                ColumnStats::new(40)
+                    .with_range(Datum::Int32(0), Datum::Int32(39))
+                    .with_histogram(hist.finish().unwrap()),
+            ),
+        );
+        (cat, r, s)
+    }
+
+    /// The skewed join: S outer, R inner, equi on the partition key b.
+    fn skewed_join(cat: &Catalog, r: TableOid, s: TableOid) -> LogicalPlan {
+        let (rb, sb) = (ColRef::new(2, "b"), ColRef::new(4, "b"));
+        LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            pred: Expr::eq(Expr::col(sb), Expr::col(rb)),
+            left: Box::new(get(cat, s, &[3, 4])),
+            right: Box::new(get(cat, r, &[1, 2])),
+        }
+    }
+
+    #[test]
+    fn skewed_partitions_specialize_into_append_branches() {
+        let (cat, r, s) = skewed_catalog();
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        let plan = opt.optimize(&skewed_join(&cat, r, s)).unwrap();
+        let text = explain(&plan);
+        assert_eq!(plan.count_op("Append"), 1, "{text}");
+        assert_eq!(plan.count_op("DynamicScan"), 2, "{text}");
+        assert_eq!(plan.count_op("PartitionSelector"), 2, "{text}");
+        // Both branches restrict their scans to their own group.
+        let mut restricts = Vec::new();
+        plan.visit(&mut |p| {
+            if let PhysicalPlan::DynamicScan {
+                restrict: Some(oids),
+                ..
+            } = p
+            {
+                restricts.push(oids.len());
+            }
+        });
+        restricts.sort_unstable();
+        assert_eq!(restricts, vec![1, 4], "{text}");
+        // The heavy branch keeps the big partition in place: its outer
+        // side is filtered to the uncovered complement and never drags
+        // the 90k-row partition through a Motion. The EXPLAIN carries the
+        // per-group annotation.
+        assert!(text.contains("group: 1 part(s)"), "{text}");
+        assert!(text.contains("group: 4 part(s)"), "{text}");
+        validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn adaptive_off_keeps_uniform_join() {
+        let (cat, r, s) = skewed_catalog();
+        let opt = Optimizer::new(
+            cat.clone(),
+            OptimizerConfig {
+                adaptive_plans: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        let plan = opt.optimize(&skewed_join(&cat, r, s)).unwrap();
+        let text = explain(&plan);
+        assert_eq!(plan.count_op("Append"), 0, "{text}");
+        assert_eq!(plan.count_op("DynamicScan"), 1, "{text}");
+        validate_selector_pairing(&plan).unwrap();
+    }
+
+    #[test]
+    fn uniform_partitions_do_not_specialize() {
+        // Same shape but evenly loaded partitions: the skew gate must
+        // keep the uniform plan.
+        let (cat, r, s) = rs_catalog(5, 91_000, 1_000);
+        let mut part_rows = std::collections::HashMap::new();
+        for oid in cat.part_tree(r).unwrap().partition_expansion() {
+            part_rows.insert(oid, 91_000 / 5);
+        }
+        cat.set_stats(r, TableStats::new(91_000).with_part_rows(part_rows));
+        let opt = Optimizer::new(cat.clone(), OptimizerConfig::default());
+        let plan = opt.optimize(&skewed_join(&cat, r, s)).unwrap();
+        assert_eq!(plan.count_op("Append"), 0, "{}", explain(&plan));
     }
 
     #[test]

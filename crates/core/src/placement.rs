@@ -603,6 +603,7 @@ mod tests {
             part_scan_id: PartScanId(1),
             output: vec![d_id(), d_month()],
             filter: None,
+            restrict: None,
         };
         let month_sel = PhysicalPlan::Filter {
             pred: Expr::and(vec![
@@ -617,6 +618,7 @@ mod tests {
             part_scan_id: PartScanId(2),
             output: vec![s_date_id(), s_cust_id(), s_amount()],
             filter: None,
+            restrict: None,
         };
         let lower_join = PhysicalPlan::HashJoin {
             join_type: JoinType::Inner,
@@ -739,6 +741,7 @@ mod tests {
             part_scan_id: PartScanId(1),
             output: vec![d_id(), d_month()],
             filter: None,
+            restrict: None,
         };
         let placed = place_partition_selectors(&cat, scan).unwrap();
         match &placed {
@@ -771,6 +774,7 @@ mod tests {
                 part_scan_id: PartScanId(1),
                 output: vec![s_date_id(), s_cust_id(), s_amount()],
                 filter: None,
+                restrict: None,
             }),
         };
         let placed = place_partition_selectors(&cat, plan).unwrap();
@@ -808,6 +812,7 @@ mod tests {
                 part_scan_id: PartScanId(1),
                 output: vec![s_date_id(), s_cust_id(), s_amount()],
                 filter: None,
+                restrict: None,
             }),
         };
         let placed = place_partition_selectors(&cat, plan).unwrap();
@@ -840,6 +845,7 @@ mod tests {
                 part_scan_id: PartScanId(1),
                 output: vec![s_date_id(), s_cust_id(), s_amount()],
                 filter: None,
+                restrict: None,
             }),
             right: Box::new(PhysicalPlan::TableScan {
                 table: cd.oid,
@@ -917,6 +923,7 @@ mod tests {
                 part_scan_id: PartScanId(1),
                 output: vec![col(9, "oid"), col(10, "amount"), o_date, o_region.clone()],
                 filter: None,
+                restrict: None,
             }),
         };
         let placed = place_partition_selectors(&cat, plan).unwrap();
@@ -961,6 +968,7 @@ mod tests {
                     part_scan_id: PartScanId(1),
                     output: vec![s_date_id(), s_cust_id(), s_amount()],
                     filter: None,
+                    restrict: None,
                 }),
             }),
         };

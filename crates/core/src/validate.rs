@@ -179,6 +179,7 @@ mod tests {
             part_scan_id: PartScanId(id),
             output: vec![ColRef::new(1, "a")],
             filter: None,
+            restrict: None,
         }
     }
 

@@ -121,6 +121,7 @@ impl Builder {
                         part_scan_id: id,
                         output: vec![a.clone(), b.clone()],
                         filter: None,
+                        restrict: None,
                     }
                 } else {
                     PhysicalPlan::TableScan {

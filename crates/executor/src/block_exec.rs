@@ -66,7 +66,7 @@ pub(crate) fn exec_block(
         } => {
             let block = storage.scan_block(PhysId::Table(*table), seg);
             let n = block.as_ref().map_or(0, |b| b.len());
-            ctx.seg_stats(seg).record_table_scan(n);
+            ctx.seg_stats(seg).record_table_scan(*table, n);
             let chunks: Vec<RowBlock> = block.into_iter().filter(|b| !b.is_empty()).collect();
             filter_blocks(chunks, filter.as_ref(), output, seg, ctx)
         }
@@ -97,9 +97,15 @@ pub(crate) fn exec_block(
             part_scan_id,
             output,
             filter,
+            restrict,
             ..
         } => {
-            let oids = ctx.consume_parts(*part_scan_id, seg)?;
+            let mut oids = ctx.consume_parts(*part_scan_id, seg)?;
+            // Adaptive group branch: scan only the selector-propagated OIDs
+            // that fall inside this branch's partition group.
+            if let Some(keep) = restrict {
+                oids.retain(|oid| keep.contains(oid));
+            }
             let scans = storage.scan_batch_blocks(oids.iter().map(|&oid| PhysId::Part(oid)), seg);
             let mut chunks = Vec::new();
             {

@@ -367,7 +367,7 @@ pub(crate) fn exec(
             ..
         } => {
             let rows = storage.scan(PhysId::Table(*table), seg);
-            ctx.seg_stats(seg).record_table_scan(rows.len());
+            ctx.seg_stats(seg).record_table_scan(*table, rows.len());
             apply_filter(rows, filter, output, ctx)
         }
 
@@ -398,9 +398,15 @@ pub(crate) fn exec(
             part_scan_id,
             output,
             filter,
+            restrict,
             ..
         } => {
-            let oids = ctx.consume_parts(*part_scan_id, seg)?;
+            let mut oids = ctx.consume_parts(*part_scan_id, seg)?;
+            // Adaptive group branch: scan only the selector-propagated OIDs
+            // that fall inside this branch's partition group.
+            if let Some(keep) = restrict {
+                oids.retain(|oid| keep.contains(oid));
+            }
             let scans = storage.scan_batch(oids.iter().map(|&oid| PhysId::Part(oid)), seg);
             let mut rows = Vec::new();
             {
@@ -1490,6 +1496,7 @@ mod tests {
             part_scan_id: PartScanId(id),
             output: vec![cr(1, "a"), cr(2, "b")],
             filter: None,
+            restrict: None,
         }
     }
 
@@ -1589,6 +1596,52 @@ mod tests {
             // accumulated instead of unioned.
             assert_eq!(res.stats.part_opens, 5 * 4, "{engine:?}");
             assert_eq!(res.stats.selector_runs, 2 * 4, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn append_stitched_branches_count_each_part_once() {
+        // The adaptive optimizer stitches per-group plans with an Append
+        // whose branches each carry a restricted DynamicScan (own
+        // part_scan_id). With deliberately *overlapping* restricts —
+        // parts {0,1,2} and {1,2,3,4} — `parts_scanned` must stay a set
+        // of 5 distinct parts, not 7; only `part_opens` sees every open.
+        let (st, r, _) = setup();
+        let leaves: Vec<PartOid> = st
+            .catalog()
+            .part_tree(r)
+            .unwrap()
+            .leaves()
+            .iter()
+            .map(|l| l.oid)
+            .collect();
+        let branch = |id: u32, group: &[usize]| {
+            let mut scan = r_scan(r, id);
+            if let PhysicalPlan::DynamicScan { restrict, .. } = &mut scan {
+                *restrict = Some(group.iter().map(|&i| leaves[i]).collect());
+            }
+            PhysicalPlan::Sequence {
+                children: vec![static_selector(r, id, None), scan],
+            }
+        };
+        let plan = PhysicalPlan::Motion {
+            kind: MotionKind::Gather,
+            child: Box::new(PhysicalPlan::Append {
+                output: vec![cr(1, "a"), cr(2, "b")],
+                children: vec![branch(1, &[0, 1, 2]), branch(2, &[1, 2, 3, 4])],
+            }),
+        };
+        for engine in [ExecEngine::Row, ExecEngine::Batch] {
+            let res =
+                execute_with_params_engine(&st, &plan, &[], ExecMode::Sequential, engine).unwrap();
+            // Branch 1 reads b ∈ [0,30), branch 2 reads b ∈ [10,50).
+            assert_eq!(res.rows.len(), 30 + 40, "{engine:?}");
+            assert_eq!(res.stats.parts_scanned_for(r), 5, "{engine:?}");
+            // Each branch opens its own group on every segment: the
+            // overlap {1,2} is opened by both (7 opens/segment), but the
+            // distinct-parts set above must not double-count it.
+            assert_eq!(res.stats.part_opens, 7 * 4, "{engine:?}");
+            assert_eq!(res.stats.scan_rows[&r], 70, "{engine:?}");
         }
     }
 
@@ -1930,6 +1983,7 @@ mod tests {
                     part_scan_id: PartScanId(2),
                     output: vec![cr(1, "a"), cr(2, "b")],
                     filter: Some(Expr::lt(Expr::col(cr(2, "b")), Expr::lit(10i32))),
+                    restrict: None,
                 },
             ],
         };
@@ -2018,6 +2072,7 @@ mod tests {
                         part_scan_id: PartScanId(1),
                         output: keys,
                         filter: Some(Expr::eq(Expr::col(cr(1, "k")), Expr::lit(7i32))),
+                        restrict: None,
                     },
                 ],
             }),

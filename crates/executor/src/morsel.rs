@@ -490,6 +490,9 @@ enum FusedSource {
         table: TableOid,
         id: PartScanId,
         filter: Option<Arc<CompiledExpr>>,
+        /// Adaptive group branch: intersect the selector-propagated OIDs
+        /// with this set before scanning (mirrors `DynamicScan::restrict`).
+        restrict: Option<Vec<PartOid>>,
     },
 }
 
@@ -630,11 +633,13 @@ impl<'p> FusedSlice<'p> {
                 part_scan_id,
                 output,
                 filter,
+                restrict,
                 ..
             } => FusedSource::Dynamic {
                 table: *table,
                 id: *part_scan_id,
                 filter: filter.as_ref().map(|f| compiled(f, output, ctx)),
+                restrict: restrict.clone(),
             },
             PhysicalPlan::Append { children, .. } => {
                 FusedSource::Parts(children.iter().map(part_spec).collect::<Option<Vec<_>>>()?)
@@ -678,7 +683,7 @@ impl<'p> FusedSlice<'p> {
         match &self.source {
             FusedSource::Table { table, filter } => {
                 let block = storage.scan_block(PhysId::Table(*table), seg);
-                local.record_table_scan(block.as_ref().map_or(0, |b| b.len()));
+                local.record_table_scan(*table, block.as_ref().map_or(0, |b| b.len()));
                 push(block, filter);
             }
             FusedSource::Parts(specs) => {
@@ -694,8 +699,16 @@ impl<'p> FusedSlice<'p> {
                     push(block, &s.filter);
                 }
             }
-            FusedSource::Dynamic { table, id, filter } => {
-                let oids = ctx.consume_parts(*id, seg)?;
+            FusedSource::Dynamic {
+                table,
+                id,
+                filter,
+                restrict,
+            } => {
+                let mut oids = ctx.consume_parts(*id, seg)?;
+                if let Some(keep) = restrict {
+                    oids.retain(|oid| keep.contains(oid));
+                }
                 let scans =
                     storage.scan_batch_blocks(oids.iter().map(|&oid| PhysId::Part(oid)), seg);
                 for (oid, (_, block)) in oids.iter().zip(scans) {

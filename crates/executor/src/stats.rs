@@ -43,6 +43,10 @@ pub struct SegmentStats {
     pub rows_row_fallback: u64,
     /// `RowBlock` chunks the block engine's operators produced.
     pub blocks_produced: u64,
+    /// Tuples read from storage per root table (partitioned or not) —
+    /// the *actual* per-table scan cardinalities the runtime feedback
+    /// loop compares against the optimizer's estimates.
+    pub scan_rows: HashMap<TableOid, u64>,
 }
 
 impl SegmentStats {
@@ -50,11 +54,13 @@ impl SegmentStats {
         self.parts_scanned.entry(table).or_default().insert(part);
         self.part_opens += 1;
         self.tuples_scanned += tuples as u64;
+        *self.scan_rows.entry(table).or_default() += tuples as u64;
     }
 
-    pub fn record_table_scan(&mut self, tuples: usize) {
+    pub fn record_table_scan(&mut self, table: TableOid, tuples: usize) {
         self.table_scans += 1;
         self.tuples_scanned += tuples as u64;
+        *self.scan_rows.entry(table).or_default() += tuples as u64;
     }
 
     /// Fold another stats buffer into this one (same field set as
@@ -74,6 +80,9 @@ impl SegmentStats {
         self.rows_vectorized += other.rows_vectorized;
         self.rows_row_fallback += other.rows_row_fallback;
         self.blocks_produced += other.blocks_produced;
+        for (table, rows) in other.scan_rows {
+            *self.scan_rows.entry(table).or_default() += rows;
+        }
     }
 }
 
@@ -108,6 +117,9 @@ pub struct ExecutionStats {
     /// [`MotionId`] (not its node address, so clones/re-executions of a
     /// plan report under the same key).
     pub per_motion_rows: HashMap<MotionId, u64>,
+    /// Tuples read from storage per root table — actual per-table scan
+    /// cardinalities for the runtime feedback loop.
+    pub scan_rows: HashMap<TableOid, u64>,
     /// Per-segment breakdown, indexed by `SegmentId.0`.
     pub per_segment: Vec<SegmentStats>,
 }
@@ -127,11 +139,13 @@ impl ExecutionStats {
         self.parts_scanned.entry(table).or_default().insert(part);
         self.part_opens += 1;
         self.tuples_scanned += tuples as u64;
+        *self.scan_rows.entry(table).or_default() += tuples as u64;
     }
 
-    pub fn record_table_scan(&mut self, tuples: usize) {
+    pub fn record_table_scan(&mut self, table: TableOid, tuples: usize) {
         self.table_scans += 1;
         self.tuples_scanned += tuples as u64;
+        *self.scan_rows.entry(table).or_default() += tuples as u64;
     }
 
     /// The per-segment view for one segment, if it exists.
@@ -158,6 +172,9 @@ impl ExecutionStats {
             self.rows_vectorized += seg.rows_vectorized;
             self.rows_row_fallback += seg.rows_row_fallback;
             self.blocks_produced += seg.blocks_produced;
+            for (table, rows) in &seg.scan_rows {
+                *self.scan_rows.entry(*table).or_default() += rows;
+            }
         }
         self.per_segment = per_segment;
     }
@@ -178,13 +195,15 @@ mod tests {
         assert_eq!(s.total_parts_scanned(), 3);
         assert_eq!(s.part_opens, 4);
         assert_eq!(s.tuples_scanned, 16);
+        assert_eq!(s.scan_rows[&TableOid(1)], 15);
+        assert_eq!(s.scan_rows[&TableOid(2)], 1);
     }
 
     #[test]
     fn merge_is_deterministic_and_complete() {
         let mut a = SegmentStats::default();
         a.record_part_scan(TableOid(1), PartOid(10), 5);
-        a.record_table_scan(3);
+        a.record_table_scan(TableOid(3), 3);
         a.rows_moved = 7;
         a.selector_runs = 1;
         let mut b = SegmentStats::default();
@@ -200,6 +219,8 @@ mod tests {
         assert_eq!(fwd.tuples_scanned, 14);
         assert_eq!(fwd.rows_moved, 9);
         assert_eq!(fwd.selector_runs, 1);
+        assert_eq!(fwd.scan_rows[&TableOid(1)], 11);
+        assert_eq!(fwd.scan_rows[&TableOid(3)], 3);
         assert_eq!(fwd.per_segment.len(), 2);
         assert_eq!(fwd.segment(SegmentId(1)).unwrap().part_opens, 2);
 

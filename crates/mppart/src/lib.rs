@@ -36,7 +36,7 @@ pub use mpp_storage as storage;
 pub use mpp_workloads as workloads;
 
 use mpp_catalog::Catalog;
-use mpp_common::{Datum, Error, PartOid, Result, Row};
+use mpp_common::{Datum, Error, PartOid, Result, Row, TableOid};
 use mpp_core::estimate::{estimate_plan, fmt as fmt_est};
 use mpp_core::{explain_with_estimates, Optimizer, OptimizerConfig};
 use mpp_executor::{execute_stream_sched, ExecutionStats, PreparedPlan};
@@ -126,6 +126,13 @@ pub struct PreparedQuery {
     planner: Planner,
     catalog_version: u64,
     stats_version: u64,
+    /// Per-table tuples the plan expected to read from storage, captured
+    /// from the statistics *the plan was optimized against*. Runtime
+    /// cardinality feedback compares these against the executor's
+    /// `scan_rows` actuals — the current catalog can't serve that role,
+    /// because a coarse insert-time refresh updates it without
+    /// invalidating this plan.
+    scan_estimates: Vec<(TableOid, u64)>,
 }
 
 impl PreparedQuery {
@@ -174,6 +181,55 @@ impl PreparedQuery {
     pub fn prepared_plan(&self) -> &Arc<PreparedPlan> {
         &self.prepared
     }
+
+    /// Plan-time per-table scan cardinality estimates (see the field doc).
+    pub fn scan_estimates(&self) -> &[(TableOid, u64)] {
+        &self.scan_estimates
+    }
+}
+
+/// Per-table tuples a plan expects to read from storage under the given
+/// catalog statistics: full row count per `TableScan`, surviving-group
+/// rows per restricted `DynamicScan`, per-partition rows per static
+/// `PartScan`. Multiple scans of one table sum.
+fn scan_estimates(plan: &PhysicalPlan, catalog: &Catalog) -> Vec<(TableOid, u64)> {
+    fn walk(
+        plan: &PhysicalPlan,
+        catalog: &Catalog,
+        acc: &mut std::collections::HashMap<TableOid, u64>,
+    ) {
+        match plan {
+            PhysicalPlan::TableScan { table, .. } => {
+                *acc.entry(*table).or_default() += catalog.stats(*table).row_count;
+            }
+            PhysicalPlan::DynamicScan {
+                table, restrict, ..
+            } => {
+                let stats = catalog.stats(*table);
+                let rows = restrict
+                    .as_ref()
+                    .and_then(|oids| stats.rows_in_parts(oids.iter()))
+                    .unwrap_or(stats.row_count);
+                *acc.entry(*table).or_default() += rows;
+            }
+            PhysicalPlan::PartScan { table, part, .. } => {
+                let stats = catalog.stats(*table);
+                let rows = stats
+                    .rows_in_parts(std::iter::once(part))
+                    .unwrap_or(stats.row_count);
+                *acc.entry(*table).or_default() += rows;
+            }
+            _ => {}
+        }
+        for c in plan.children() {
+            walk(c, catalog, acc);
+        }
+    }
+    let mut acc = std::collections::HashMap::new();
+    walk(plan, catalog, &mut acc);
+    let mut v: Vec<_> = acc.into_iter().collect();
+    v.sort_by_key(|(t, _)| t.raw());
+    v
 }
 
 /// A self-contained in-process "MPP database": catalog + storage +
@@ -256,6 +312,25 @@ impl MppDb {
 
     pub fn sched_config(&self) -> SchedConfig {
         self.sched
+    }
+
+    /// Same database, with adaptive per-partition plan specialization and
+    /// runtime cardinality feedback toggled (on by default).
+    pub fn with_adaptive_plans(mut self, on: bool) -> MppDb {
+        self.set_adaptive_plans(on);
+        self
+    }
+
+    /// Toggle adaptive planning: per-partition join specialization in the
+    /// optimizer plus post-execution cardinality feedback. Off, the
+    /// optimizer costs one uniform strategy per join and executions never
+    /// touch the feedback store — the differential baseline.
+    pub fn set_adaptive_plans(&mut self, on: bool) {
+        self.optimizer.set_adaptive_plans(on);
+    }
+
+    pub fn adaptive_plans(&self) -> bool {
+        self.optimizer.config().adaptive_plans
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -392,6 +467,9 @@ impl MppDb {
                 result,
             };
         }
+        let estimates = self
+            .adaptive_plans()
+            .then(|| scan_estimates(&plan, self.catalog()));
         let out = execute_stream_sched(
             &self.storage,
             &plan,
@@ -402,6 +480,11 @@ impl MppDb {
             cancel,
             sink,
         );
+        if out.result.is_ok() {
+            if let Some(est) = &estimates {
+                self.record_feedback(est, &out.stats);
+            }
+        }
         StreamOutcome {
             stats: out.stats,
             plan: Some(plan),
@@ -432,6 +515,7 @@ impl MppDb {
         let stats_version = self.catalog().stats_version();
         let bound = mpp_sql::bind(&stmt, self.catalog(), &self.gen)?;
         let plan = Arc::new(self.optimize_with(planner, &bound.plan)?);
+        let scan_estimates = scan_estimates(&plan, self.catalog());
         Ok(PreparedQuery {
             prepared: Arc::new(PreparedPlan::new(plan)),
             param_count: bound.param_count,
@@ -439,6 +523,7 @@ impl MppDb {
             planner,
             catalog_version,
             stats_version,
+            scan_estimates,
         })
     }
 
@@ -489,12 +574,36 @@ impl MppDb {
             cancel,
             sink,
         );
+        if out.result.is_ok() && self.adaptive_plans() {
+            self.record_feedback(&q.scan_estimates, &out.stats);
+        }
         StreamOutcome {
             stats: out.stats,
             plan: Some(plan),
             cache: None,
             result: out.result,
         }
+    }
+
+    /// Fold one execution's observed scan cardinalities back into the
+    /// catalog. `estimates` are plan-time per-table expectations
+    /// ([`PreparedQuery::scan_estimates`]); `stats.scan_rows` are the
+    /// actuals. Only *underestimates* count as misses: a dynamic scan
+    /// legitimately reads fewer tuples than its static estimate (runtime
+    /// partition elimination) and early-terminating operators stop scans
+    /// short, but reading 10× *more* than planned is unambiguous
+    /// evidence of stale statistics. Returns whether cached plans were
+    /// invalidated (the catalog bumped its stats version).
+    pub fn record_feedback(&self, estimates: &[(TableOid, u64)], stats: &ExecutionStats) -> bool {
+        let mut invalidated = false;
+        for (table, est) in estimates {
+            if let Some(&actual) = stats.scan_rows.get(table) {
+                if actual > *est {
+                    invalidated |= self.catalog().record_feedback(*table, *est, actual);
+                }
+            }
+        }
+        invalidated
     }
 
     fn optimize_with(

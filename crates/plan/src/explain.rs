@@ -69,9 +69,13 @@ fn render(
             table_name,
             part_scan_id,
             filter,
+            restrict,
             ..
         } => {
             write!(text, "DynamicScan({part_scan_id}) on {table_name}").unwrap();
+            if let Some(r) = restrict {
+                write!(text, " group: {} part(s)", r.len()).unwrap();
+            }
             if let Some(f) = filter {
                 write!(text, " filter: {f}").unwrap();
             }
@@ -215,6 +219,7 @@ mod tests {
                     part_scan_id: PartScanId(1),
                     output: vec![ColRef::new(5, "pk")],
                     filter: None,
+                    restrict: None,
                 },
             ],
         };

@@ -82,6 +82,14 @@ pub enum PhysicalPlan {
         part_scan_id: PartScanId,
         output: Vec<ColRef>,
         filter: Option<Expr>,
+        /// When set, the scan consumes only the *intersection* of the
+        /// selector-propagated OIDs with this set. Used by adaptive
+        /// per-partition plan specialization: each `Append` branch of a
+        /// specialized join restricts its scan to one partition group, so
+        /// the branches together cover exactly the selector's output while
+        /// each sees a disjoint slice.
+        #[serde(default)]
+        restrict: Option<Vec<PartOid>>,
     },
     /// The paper's producer operator. `part_keys` are the DynamicScan's
     /// colrefs for the partitioning key at each level; `predicates[i]`, if
@@ -376,6 +384,7 @@ mod tests {
             part_scan_id: PartScanId(id),
             output: vec![cr(1, "a"), cr(2, "b")],
             filter: None,
+            restrict: None,
         }
     }
 

@@ -207,6 +207,7 @@ fn encode_plan(plan: &PhysicalPlan, buf: &mut BytesMut) {
             part_scan_id,
             output,
             filter,
+            restrict,
         } => {
             buf.put_u8(3);
             buf.put_u32_le(table.raw());
@@ -214,6 +215,16 @@ fn encode_plan(plan: &PhysicalPlan, buf: &mut BytesMut) {
             buf.put_u32_le(part_scan_id.raw());
             encode_cols(output, buf);
             encode_opt_expr(filter, buf);
+            match restrict {
+                None => buf.put_u8(0),
+                Some(oids) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(oids.len() as u32);
+                    for o in oids {
+                        buf.put_u32_le(o.raw());
+                    }
+                }
+            }
         }
         PhysicalPlan::PartitionSelector {
             table,
@@ -454,6 +465,7 @@ mod tests {
                     part_scan_id: PartScanId(1),
                     output: vec![cr(1), cr(2)],
                     filter: None,
+                    restrict: None,
                 },
             ],
         };

@@ -411,6 +411,27 @@ fn get_parts_map(c: &mut Cursor<'_>) -> DResult<HashMap<TableOid, HashSet<PartOi
     Ok(m)
 }
 
+/// `scan_rows` maps travel sorted by table OID, like `parts_scanned`.
+fn put_scan_rows(buf: &mut Vec<u8>, m: &HashMap<TableOid, u64>) {
+    let mut tables: Vec<_> = m.iter().collect();
+    tables.sort_by_key(|(t, _)| t.raw());
+    put_u32(buf, tables.len() as u32);
+    for (table, rows) in tables {
+        put_u32(buf, table.raw());
+        put_u64(buf, *rows);
+    }
+}
+
+fn get_scan_rows(c: &mut Cursor<'_>) -> DResult<HashMap<TableOid, u64>> {
+    let ntables = c.count("table", 12)?;
+    let mut m = HashMap::with_capacity(ntables);
+    for _ in 0..ntables {
+        let table = TableOid(c.u32()?);
+        m.insert(table, c.u64()?);
+    }
+    Ok(m)
+}
+
 fn put_duration(buf: &mut Vec<u8>, d: Duration) {
     put_u64(buf, d.as_secs());
     put_u32(buf, d.subsec_nanos());
@@ -440,6 +461,7 @@ fn put_segment_stats(buf: &mut Vec<u8>, s: &SegmentStats) {
     ] {
         put_u64(buf, v);
     }
+    put_scan_rows(buf, &s.scan_rows);
 }
 
 fn get_segment_stats(c: &mut Cursor<'_>) -> DResult<SegmentStats> {
@@ -454,6 +476,7 @@ fn get_segment_stats(c: &mut Cursor<'_>) -> DResult<SegmentStats> {
         rows_vectorized: c.u64()?,
         rows_row_fallback: c.u64()?,
         blocks_produced: c.u64()?,
+        scan_rows: get_scan_rows(c)?,
     })
 }
 
@@ -482,6 +505,7 @@ fn put_execution_stats(buf: &mut Vec<u8>, s: &ExecutionStats) {
         put_u32(buf, id.raw());
         put_u64(buf, *rows);
     }
+    put_scan_rows(buf, &s.scan_rows);
     put_u32(buf, s.per_segment.len() as u32);
     for seg in &s.per_segment {
         put_segment_stats(buf, seg);
@@ -502,6 +526,7 @@ fn get_execution_stats(c: &mut Cursor<'_>) -> DResult<ExecutionStats> {
         rows_row_fallback: c.u64()?,
         blocks_produced: c.u64()?,
         per_motion_rows: HashMap::new(),
+        scan_rows: HashMap::new(),
         per_segment: Vec::new(),
     };
     let nmotions = c.count("motion", 12)?;
@@ -510,6 +535,7 @@ fn get_execution_stats(c: &mut Cursor<'_>) -> DResult<ExecutionStats> {
         let rows = c.u64()?;
         s.per_motion_rows.insert(id, rows);
     }
+    s.scan_rows = get_scan_rows(c)?;
     let nsegs = c.count("segment", 12)?;
     for _ in 0..nsegs {
         s.per_segment.push(get_segment_stats(c)?);
@@ -821,7 +847,7 @@ mod tests {
         };
         seg0.record_part_scan(TableOid(7), PartOid(70), 11);
         seg0.record_part_scan(TableOid(7), PartOid(71), 13);
-        seg0.record_table_scan(5);
+        seg0.record_table_scan(TableOid(9), 5);
         let mut seg1 = SegmentStats {
             elapsed: Duration::from_micros(42),
             ..SegmentStats::default()

@@ -452,6 +452,81 @@ mod tests {
     }
 
     #[test]
+    fn runtime_feedback_invalidates_stale_cached_plan() {
+        use mppart::common::{Datum as D, Row};
+        use mppart::plan::explain;
+
+        // s starts tiny (20 rows, analyzed) so the cached join plan is
+        // optimized for a small inner side.
+        let ctx = SessionCtx::new(4);
+        setup_rs(
+            ctx.db().storage(),
+            &SynthConfig {
+                r_rows: 2_000,
+                s_rows: 20,
+                ..SynthConfig::default()
+            },
+        )
+        .unwrap();
+        let s = ctx.session();
+        s.sql("ANALYZE r").unwrap();
+        s.sql("ANALYZE s").unwrap();
+        let q = "SELECT count(*) FROM r JOIN s ON r.a = s.a";
+        assert!(!s.sql(q).unwrap().cache.unwrap().hit);
+        assert!(s.sql(q).unwrap().cache.unwrap().hit);
+
+        // Bulk-grow s by ~2500×. The coarse insert-time refresh updates
+        // row counts but must NOT invalidate the cached plan — row-count
+        // drift alone never flushes caches.
+        let s_oid = ctx.db().catalog().table_by_name("s").unwrap().oid;
+        let epoch = ctx.db().planning_epoch();
+        ctx.db()
+            .storage()
+            .insert(
+                s_oid,
+                (0..50_000).map(|i| Row::new(vec![D::Int32(i % 1000), D::Int32(i % 1000)])),
+            )
+            .unwrap();
+        assert_eq!(
+            ctx.db().planning_epoch(),
+            epoch,
+            "coarse refresh must not invalidate"
+        );
+
+        // The next execution still serves the stale cached plan — and its
+        // actual scan cardinality misses the plan-time estimate by >10×,
+        // which lands in the feedback store and bumps the stats epoch.
+        let stale = s.sql(q).unwrap();
+        assert!(stale.cache.unwrap().hit, "stale plan served once more");
+        assert!(
+            ctx.db().planning_epoch().1 > epoch.1,
+            ">10x miss must invalidate through the stats epoch"
+        );
+        assert_eq!(
+            ctx.db().catalog().feedback_override(s_oid),
+            Some(50_020),
+            "observed cardinality recorded"
+        );
+
+        // The following lookup re-optimizes against the observed
+        // cardinality: a different plan, identical results.
+        let fresh = s.sql(q).unwrap();
+        assert!(!fresh.cache.unwrap().hit, "post-feedback run must re-plan");
+        assert_eq!(stale.rows, fresh.rows);
+        assert_ne!(
+            explain(&stale.plan),
+            explain(&fresh.plan),
+            "re-optimized plan must differ for a 2500x larger inner side"
+        );
+
+        // The loop settles: the re-optimized plan estimates near the
+        // observation, so further executions neither miss nor re-bump.
+        let settled = ctx.db().planning_epoch();
+        assert!(s.sql(q).unwrap().cache.unwrap().hit);
+        assert_eq!(ctx.db().planning_epoch(), settled, "no invalidation loop");
+    }
+
+    #[test]
     fn explain_statements_cache_too() {
         let ctx = ctx();
         let s = ctx.session();

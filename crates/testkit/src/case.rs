@@ -975,27 +975,35 @@ pub struct Case {
     /// Generator seed (0 for hand-written or shrunk cases).
     pub seed: u64,
     pub segments: usize,
+    /// Adaptive-planning axis pin. `None` means the harness runs the case
+    /// under BOTH adaptive settings (the differential axis); `Some(on)`
+    /// pins one setting — used by shrunk reproducers so a corpus file
+    /// replays exactly the cell that diverged.
+    pub adaptive: Option<bool>,
     pub tables: Vec<TableSpec>,
     pub actions: Vec<Action>,
 }
 
 impl Case {
     pub fn to_sexp(&self) -> Sexp {
-        Sexp::tagged(
-            "case",
-            vec![
-                Sexp::tagged("seed", vec![Sexp::Int(self.seed as i64)]),
-                Sexp::tagged("segments", vec![Sexp::Int(self.segments as i64)]),
-                Sexp::tagged(
-                    "tables",
-                    self.tables.iter().map(TableSpec::to_sexp).collect(),
-                ),
-                Sexp::tagged(
-                    "actions",
-                    self.actions.iter().map(Action::to_sexp).collect(),
-                ),
-            ],
-        )
+        let mut items = vec![
+            Sexp::tagged("seed", vec![Sexp::Int(self.seed as i64)]),
+            Sexp::tagged("segments", vec![Sexp::Int(self.segments as i64)]),
+        ];
+        // Emitted only when pinned, so pre-axis corpus files and
+        // unpinned cases share one canonical encoding.
+        if let Some(on) = self.adaptive {
+            items.push(Sexp::tagged("adaptive", vec![Sexp::Int(on as i64)]));
+        }
+        items.push(Sexp::tagged(
+            "tables",
+            self.tables.iter().map(TableSpec::to_sexp).collect(),
+        ));
+        items.push(Sexp::tagged(
+            "actions",
+            self.actions.iter().map(Action::to_sexp).collect(),
+        ));
+        Sexp::tagged("case", items)
     }
 
     pub fn from_sexp(s: &Sexp) -> Result<Case> {
@@ -1003,6 +1011,9 @@ impl Case {
         Ok(Case {
             seed: Sexp::field(items, "seed")?.items("seed")?[0].as_int()? as u64,
             segments: Sexp::field(items, "segments")?.items("segments")?[0].as_int()? as usize,
+            adaptive: Sexp::field_opt(items, "adaptive")?
+                .map(|s| Ok::<_, Error>(s.items("adaptive")?[0].as_int()? != 0))
+                .transpose()?,
             tables: Sexp::field(items, "tables")?
                 .items("tables")?
                 .iter()
@@ -1033,6 +1044,7 @@ mod tests {
         Case {
             seed: 7,
             segments: 3,
+            adaptive: None,
             tables: vec![TableSpec {
                 name: "t0".into(),
                 levels: vec![
@@ -1087,7 +1099,21 @@ mod tests {
     fn case_round_trips_through_sexp() {
         let case = sample_case();
         let text = case.encode();
+        // Unpinned cases keep the pre-axis encoding, so old corpus
+        // files decode unchanged (adaptive -> None).
+        assert!(!text.contains("adaptive"));
         assert_eq!(Case::decode(&text).unwrap(), case);
+    }
+
+    #[test]
+    fn pinned_adaptive_round_trips_through_sexp() {
+        for on in [true, false] {
+            let mut case = sample_case();
+            case.adaptive = Some(on);
+            let text = case.encode();
+            assert!(text.contains("(adaptive"));
+            assert_eq!(Case::decode(&text).unwrap(), case);
+        }
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub fn gen_case(seed: u64) -> Case {
     Case {
         seed,
         segments,
+        // Generated cases always exercise the full adaptive axis; the
+        // shrinker pins one setting only when a failure reproduces there.
+        adaptive: None,
         tables,
         actions,
     }

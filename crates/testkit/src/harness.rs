@@ -20,6 +20,11 @@
 //!    static elimination by design).
 //! 5. **Prepared statements** — `prepare` + `execute_prepared` must
 //!    agree with the one-shot path under both planners.
+//!
+//! Every query additionally runs under both settings of the **adaptive
+//! axis** ([`adaptive_axis`]): per-partition plan specialization plus
+//! runtime cardinality feedback on, then off. Adaptive planning may only
+//! change plan shape, never results or scan soundness.
 
 use crate::case::{Action, Case, PredSpec, QuerySpec, Val};
 use crate::oracle::{static_upper_bound, Oracle, OracleResult};
@@ -78,6 +83,19 @@ pub fn sched_axis() -> Vec<(&'static str, SchedConfig)> {
             },
         ),
     ]
+}
+
+/// Adaptive-planning settings one case runs under. Unpinned cases run
+/// BOTH — adaptive per-partition specialization plus runtime feedback
+/// must be invisible in results, so every cell of the matrix is diffed
+/// against the oracle under each setting. A pinned case (shrunk
+/// reproducer) runs only the setting that diverged.
+pub fn adaptive_axis(case: &Case) -> Vec<(&'static str, bool)> {
+    match case.adaptive {
+        Some(true) => vec![("adapt", true)],
+        Some(false) => vec![("noadapt", false)],
+        None => vec![("adapt", true), ("noadapt", false)],
+    }
 }
 
 /// What kind of disagreement was observed.
@@ -243,46 +261,54 @@ fn run_query(
         mpp_sql::plan_sql(&sql, db.catalog(), &ColRefGenerator::new())
             .and_then(|bound| oracle.query(&bound.plan, &params));
 
-    for (sched_name, sched) in sched_axis() {
-        db.set_sched_config(sched);
-        for combo in combos() {
-            db.set_exec_mode(combo.mode);
-            db.set_exec_engine(combo.engine);
-            let engine_out = db.run_sql(&sql, &params, combo.planner);
-            let check = diff_query(db, oracle, case, q, combo.planner, &engine_out, &oracle_out);
-            db.set_exec_mode(ExecMode::Sequential);
-            db.set_exec_engine(ExecEngine::Row);
+    for (axis_name, adaptive) in adaptive_axis(case) {
+        db.set_adaptive_plans(adaptive);
+        for (sched_name, sched) in sched_axis() {
+            db.set_sched_config(sched);
+            for combo in combos() {
+                db.set_exec_mode(combo.mode);
+                db.set_exec_engine(combo.engine);
+                let engine_out = db.run_sql(&sql, &params, combo.planner);
+                let check =
+                    diff_query(db, oracle, case, q, combo.planner, &engine_out, &oracle_out);
+                db.set_exec_mode(ExecMode::Sequential);
+                db.set_exec_engine(ExecEngine::Row);
+                if let Err((kind, detail)) = check {
+                    db.set_sched_config(SchedConfig::default());
+                    db.set_adaptive_plans(true);
+                    return Err(Failure {
+                        action,
+                        combo: format!("{combo}/{sched_name}/{axis_name}"),
+                        kind,
+                        detail: format!("{detail}\n  sql: {sql}"),
+                    });
+                }
+            }
+        }
+        db.set_sched_config(SchedConfig::default());
+
+        // Prepared-statement path, both planners (default mode/engine).
+        for planner in [Planner::Orca, Planner::Legacy] {
+            let engine_out = db
+                .prepare_with(&sql, planner)
+                .and_then(|h| db.execute_prepared(&h, &params));
+            let check = diff_query(db, oracle, case, q, planner, &engine_out, &oracle_out);
             if let Err((kind, detail)) = check {
-                db.set_sched_config(SchedConfig::default());
+                db.set_adaptive_plans(true);
                 return Err(Failure {
                     action,
-                    combo: format!("{combo}/{sched_name}"),
-                    kind,
+                    combo: format!("{planner:?}/prepared/{axis_name}"),
+                    kind: if kind == FailKind::Rows {
+                        FailKind::Prepared
+                    } else {
+                        kind
+                    },
                     detail: format!("{detail}\n  sql: {sql}"),
                 });
             }
         }
     }
-    db.set_sched_config(SchedConfig::default());
-
-    // Prepared-statement path, both planners (default mode/engine).
-    for planner in [Planner::Orca, Planner::Legacy] {
-        let engine_out = db
-            .prepare_with(&sql, planner)
-            .and_then(|h| db.execute_prepared(&h, &params));
-        diff_query(db, oracle, case, q, planner, &engine_out, &oracle_out).map_err(
-            |(kind, detail)| Failure {
-                action,
-                combo: format!("{planner:?}/prepared"),
-                kind: if kind == FailKind::Rows {
-                    FailKind::Prepared
-                } else {
-                    kind
-                },
-                detail: format!("{detail}\n  sql: {sql}"),
-            },
-        )?;
-    }
+    db.set_adaptive_plans(true);
     Ok(())
 }
 

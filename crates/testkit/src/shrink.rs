@@ -4,7 +4,8 @@
 //! [`shrink`] greedily applies structure-aware reductions to a fixpoint:
 //! truncating and deleting actions, removing unreferenced tables,
 //! deleting rows (in halving chunks, then singly), dropping partitions
-//! and whole partitioning levels, and simplifying predicates (replacing
+//! and whole partitioning levels, pinning the adaptive-planning axis to
+//! the one setting that reproduces, and simplifying predicates (replacing
 //! an AND/OR with one conjunct, unwrapping NOT, shrinking IN lists,
 //! inlining `$n` parameters, dropping filters/aggregates/joins).
 //!
@@ -21,6 +22,10 @@ use crate::harness::{run_case, Failure};
 /// caller asserts that).
 pub fn shrink(case: &Case, fails: &dyn Fn(&Case) -> bool) -> Case {
     let mut current = case.clone();
+    // Pin the adaptive axis first: a pinned case replays only the cell
+    // that diverged (halving every later `fails` probe) and records which
+    // adaptive setting the reproducer needs.
+    pin_adaptive(&mut current, fails);
     loop {
         let mut progressed = false;
         progressed |= shrink_actions(&mut current, fails);
@@ -43,6 +48,25 @@ pub fn minimize(case: &Case) -> Option<(Case, Failure)> {
     let small = shrink(case, &|c| matches!(run_case(c), Some(f) if f.kind == kind));
     let failure = run_case(&small)?;
     Some((small, failure))
+}
+
+/// Pin an unpinned case to the single adaptive setting that still fails
+/// (trying adaptive-on first, the default). Leaves the case unpinned when
+/// neither setting reproduces alone — e.g. a failure that needs the
+/// cross-setting catalog state the full axis builds up.
+fn pin_adaptive(case: &mut Case, fails: &dyn Fn(&Case) -> bool) -> bool {
+    if case.adaptive.is_some() {
+        return false;
+    }
+    for on in [true, false] {
+        let mut candidate = case.clone();
+        candidate.adaptive = Some(on);
+        if fails(&candidate) {
+            *case = candidate;
+            return true;
+        }
+    }
+    false
 }
 
 /// Remove list items in halving chunks, then singly, keeping removals
@@ -541,6 +565,9 @@ mod tests {
             q.pred
         );
         assert!(q.join.is_none() && q.agg.is_none());
+        // The synthetic failure is adaptive-independent, so the shrinker
+        // pins the axis to the first setting it probes (adaptive on).
+        assert_eq!(small.adaptive, Some(true));
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod synth;
 pub mod tpcds;
 pub mod tpch;
 
-pub use synth::{setup_nullable, setup_rs, setup_skewed, SynthConfig};
+pub use synth::{setup_nullable, setup_rs, setup_skewed, setup_skewed_default, SynthConfig};
 pub use tpcds::{setup_tpcds, tpcds_workload, TpcdsConfig, WorkloadQuery};
 pub use tpch::{setup_lineitem, LineitemConfig, TABLE2_GRAINS};

@@ -110,6 +110,75 @@ pub fn setup_skewed(
     Ok((oid, hot_b))
 }
 
+/// Register and populate one range-partitioned table whose explicit
+/// range parts cover only `[0, cover)` of the key domain while a
+/// DEFAULT partition absorbs the overflow `[cover, b_domain)`:
+/// `hot_pct` percent of the rows land in the DEFAULT partition, the
+/// rest spread uniformly over the covered parts. This is the
+/// adaptive-planning benchmark shape — per-partition row counts
+/// dominated by one DEFAULT partition (the classic "overflow catch-all
+/// outgrew the planned ranges" pattern) — which SQL DDL cannot express
+/// for RANGE partitioning, hence the catalog-level builder. Uses
+/// `cfg.r_rows` / `cfg.r_parts` (covered-part count, default 10) /
+/// `cfg.a_domain` / `cfg.seed`; the table is ANALYZEd so the optimizer
+/// sees the skew.
+pub fn setup_skewed_default(
+    storage: &Storage,
+    name: &str,
+    cfg: &SynthConfig,
+    hot_pct: u32,
+    cover: i32,
+) -> Result<TableOid> {
+    use mpp_catalog::{PartTree, PartitionLevel, PartitionPiece};
+    use mpp_expr::interval::{Interval, IntervalSet};
+
+    let cat = storage.catalog();
+    let schema = Schema::new(vec![
+        Column::new("a", DataType::Int32).not_null(),
+        Column::new("b", DataType::Int32).not_null(),
+    ]);
+    let oid = cat.allocate_table_oid();
+    let n = cfg.r_parts.unwrap_or(10).max(1);
+    let width = (cover as i64 / n as i64).max(1);
+    let first = cat.allocate_part_oids(n as u32 + 1);
+    let mut pieces: Vec<PartitionPiece> = (0..n as i64)
+        .map(|i| {
+            PartitionPiece::new(
+                format!("p{i}"),
+                IntervalSet::interval(Interval::half_open(
+                    Datum::Int32((i * width) as i32),
+                    Datum::Int32(((i + 1) * width) as i32),
+                )),
+            )
+        })
+        .collect();
+    pieces.push(PartitionPiece::default_piece("pdefault"));
+    let tree = PartTree::new(vec![PartitionLevel::new(1, pieces)?], first)?;
+    cat.register(TableDesc {
+        oid,
+        name: name.into(),
+        schema,
+        distribution: Distribution::Hashed(vec![0]),
+        partitioning: Some(tree),
+    })?;
+    let covered = width * n as i64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let data = (0..cfg.r_rows).map(|_| {
+        let b = if rng.gen_range(0..100u32) < hot_pct {
+            rng.gen_range(covered..cfg.b_domain.max(covered as i32 + 1) as i64) as i32
+        } else {
+            rng.gen_range(0..covered) as i32
+        };
+        Row::new(vec![
+            Datum::Int32(rng.gen_range(0..cfg.a_domain)),
+            Datum::Int32(b),
+        ])
+    });
+    storage.insert(oid, data)?;
+    storage.analyze(oid)?;
+    Ok(oid)
+}
+
 /// Register and populate a table `name(a, b, v)` shaped like R plus a
 /// *nullable* value column: `v` is NULL with probability `null_pct`/100,
 /// otherwise uniform over `[0, a_domain)`. Partitioning, distribution,

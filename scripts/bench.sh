@@ -41,8 +41,15 @@
 #               acceptance criteria: cost-based >= 2x wall-clock on the
 #               star query and < 10 ms planning for a 10-relation chain
 #               (the DPsize ceiling). Also reports plans/sec at 2-10
-#               relations. In --test smoke mode only the result-equality
-#               check runs (both orderings must agree).
+#               relations, and runs the adaptive-planning benchmark:
+#               per-partition join specialization vs the uniform plan
+#               on a table whose DEFAULT partition holds ~98% of 400k
+#               rows while every probe key falls in the covered range.
+#               Appends to results/BENCH_adaptive.json and asserts
+#               adaptive >= 1.5x (result-equality-gated: both plans
+#               must return identical row multisets first). In --test
+#               smoke mode only the result-equality checks run (both
+#               orderings and both adaptive settings must agree).
 #   bench_net_qps
 #               the network service layer: point-lookup QPS and client
 #               p50/p99 latency over the wire protocol at 1/16/128/512
@@ -96,4 +103,4 @@ cargo bench -p mpp-bench --bench join_order -- ${args[@]+"${args[@]}"}
 echo "== bench: bench_net_qps =="
 cargo bench -p mpp-bench --bench bench_net_qps -- ${args[@]+"${args[@]}"}
 
-echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json, results/BENCH_join_order.json, results/BENCH_net_qps.json and results/table2.json) =="
+echo "== bench: OK (see results/BENCH_expr.json, results/BENCH_qps.json, results/BENCH_batch.json, results/BENCH_kernels.json, results/BENCH_join_order.json, results/BENCH_adaptive.json, results/BENCH_net_qps.json and results/table2.json) =="

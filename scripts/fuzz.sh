@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Differential fuzz campaign: generate random workloads, run each through
-# every {planner} × {exec mode} × {exec engine} combination and the naive
-# oracle, and diff results, error kinds, and partition-elimination
-# soundness. On failure the case is shrunk to a minimal reproducer and
+# every {planner} × {exec mode} × {exec engine} combination — each cell
+# under BOTH adaptive-planning settings (per-partition specialization +
+# cardinality feedback on, then off) — and the naive oracle, and diff
+# results, error kinds, and partition-elimination soundness. On failure
+# the case is shrunk to a minimal reproducer (pinned to the adaptive
+# setting that diverged, when one setting alone reproduces it) and
 # written to testkit/corpus/.
 #
 #   scripts/fuzz.sh                          500 cases from seed 1

@@ -250,6 +250,7 @@ fn invalid_plan_fails_at_runtime_not_silently() {
                     part_scan_id: mppart::common::PartScanId(1),
                     output: vec![ColRef::new(103, "ra"), rb],
                     filter: None,
+                    restrict: None,
                 }),
             }),
         }),
